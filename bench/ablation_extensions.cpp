@@ -1,0 +1,65 @@
+// Ablation of this repository's documented extensions over the paper's
+// model (DESIGN.md §4/§6): per-configuration mean absolute error of the
+// overall SDC prediction against FI across all workloads.
+//
+//   paper      — TRIDENT exactly as described in the paper
+//   +addr      — + in-bounds store-address corruption tracking
+//   +guard     — + guard (induction-variable) damping
+//   +atten     — + relative-magnitude attenuation (full model, default)
+#include <cstdio>
+#include <vector>
+
+#include "core/trident.h"
+#include "fi/campaign.h"
+#include "harness.h"
+#include "stats/stats.h"
+
+int main() {
+  using namespace trident;
+  const uint64_t trials = bench::trials_from_env(2000);
+
+  struct Config {
+    const char* name;
+    bool addr, guard, atten, lucky;
+  };
+  const std::vector<Config> configs{
+      {"paper", false, false, false, false},
+      {"+addr", true, false, false, false},
+      {"+guard", true, true, false, false},
+      {"+atten", true, true, true, false},
+      {"+lucky (full)", true, true, true, true},
+  };
+
+  const auto prepared = bench::prepare_all();
+  std::vector<double> fi_vals;
+  for (const auto& p : prepared) {
+    fi::CampaignOptions options;
+    options.threads = bench::fi_threads();
+    options.trials = trials;
+    fi_vals.push_back(
+        fi::run_overall_campaign(p.module, p.profile, options).sdc_prob());
+  }
+
+  std::printf("Extension ablation: overall-SDC error vs FI "
+              "(%llu trials/benchmark)\n\n",
+              static_cast<unsigned long long>(trials));
+  std::printf("%-16s %12s %12s\n", "configuration", "avg SDC", "MAE vs FI");
+  std::printf("%-16s %11.2f%% %12s\n", "FI (truth)",
+              stats::mean(fi_vals) * 100, "-");
+  for (const auto& config : configs) {
+    std::vector<double> predictions;
+    for (const auto& p : prepared) {
+      core::ModelConfig mc;
+      mc.trace.track_store_addr = config.addr;
+      mc.trace.guard_damping = config.guard;
+      mc.trace.track_attenuation = config.atten;
+      mc.lucky_stores = config.lucky;
+      const core::Trident model(p.module, p.profile, mc);
+      predictions.push_back(model.overall_sdc_exact());
+    }
+    std::printf("%-16s %11.2f%% %11.2f\n", config.name,
+                stats::mean(predictions) * 100,
+                stats::mean_absolute_error(predictions, fi_vals) * 100);
+  }
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Figure 5: overall SDC probabilities measured by FI and predicted by
+// TRIDENT and the two simpler models (fs+fc, fs), with the paper's §V-B
+// summary statistics: per-model averages, mean absolute errors and the
+// paired t-test of TRIDENT vs FI.
+//
+// Set TRIDENT_TRIALS to override the default 3,000 FI trials per
+// benchmark (the paper's sample size).
+#include <cstdio>
+#include <vector>
+
+#include "core/trident.h"
+#include "fi/campaign.h"
+#include "harness.h"
+#include "stats/stats.h"
+#include "stats/ttest.h"
+
+int main() {
+  using namespace trident;
+  const uint64_t trials = bench::trials_from_env(3000);
+
+  std::printf("Figure 5: Overall SDC probabilities (FI trials per "
+              "benchmark: %llu)\n\n",
+              static_cast<unsigned long long>(trials));
+  std::printf("%-14s %10s %8s %9s %8s %8s\n", "benchmark", "FI", "±95%%",
+              "TRIDENT", "fs+fc", "fs");
+
+  std::vector<double> fi_vals, trident_vals, fsfc_vals, fs_vals;
+  for (const auto& p : bench::prepare_all()) {
+    fi::CampaignOptions options;
+    options.threads = bench::fi_threads();
+    options.trials = trials;
+    const auto campaign =
+        fi::run_overall_campaign(p.module, p.profile, options);
+
+    const core::Trident full(p.module, p.profile, core::ModelConfig::full());
+    const core::Trident fsfc(p.module, p.profile, core::ModelConfig::fs_fc());
+    const core::Trident fs(p.module, p.profile, core::ModelConfig::fs_only());
+    // The paper samples the same number of dynamic instructions in the
+    // model as it injects in FI, for a fair comparison (§V-B1).
+    const double t_v = full.overall_sdc(trials, 11);
+    const double c_v = fsfc.overall_sdc(trials, 11);
+    const double s_v = fs.overall_sdc(trials, 11);
+
+    std::printf("%-14s %9.2f%% %7.2f%% %8.2f%% %7.2f%% %7.2f%%\n",
+                p.workload.name.c_str(), campaign.sdc_prob() * 100,
+                campaign.sdc_ci95() * 100, t_v * 100, c_v * 100, s_v * 100);
+    fi_vals.push_back(campaign.sdc_prob());
+    trident_vals.push_back(t_v);
+    fsfc_vals.push_back(c_v);
+    fs_vals.push_back(s_v);
+  }
+
+  const auto avg = [](const std::vector<double>& v) {
+    return stats::mean(v) * 100;
+  };
+  std::printf("\n%-14s %9.2f%% %8s %8.2f%% %7.2f%% %7.2f%%\n", "average",
+              avg(fi_vals), "", avg(trident_vals), avg(fsfc_vals),
+              avg(fs_vals));
+  std::printf("\nmean absolute error vs FI (percentage points):\n");
+  std::printf("  TRIDENT %6.2f   fs+fc %6.2f   fs %6.2f\n",
+              stats::mean_absolute_error(trident_vals, fi_vals) * 100,
+              stats::mean_absolute_error(fsfc_vals, fi_vals) * 100,
+              stats::mean_absolute_error(fs_vals, fi_vals) * 100);
+
+  std::printf("\npaired t-test vs FI (p > 0.05 => statistically "
+              "indistinguishable):\n");
+  for (const auto& [name, vals] :
+       std::vector<std::pair<const char*, const std::vector<double>*>>{
+           {"TRIDENT", &trident_vals},
+           {"fs+fc", &fsfc_vals},
+           {"fs", &fs_vals}}) {
+    const auto t = stats::paired_ttest(*vals, fi_vals);
+    std::printf("  %-8s p = %.3f%s\n", name, t.p,
+                t.p > 0.05 ? "  (fail to reject H0)" : "  (rejected)");
+  }
+  return 0;
+}

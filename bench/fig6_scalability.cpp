@@ -1,0 +1,87 @@
+// Figure 6: computation spent to predict SDC probabilities.
+//  (a) overall SDC probability: wall-clock vs number of samples
+//      (500..7000), FI vs TRIDENT;
+//  (b) per-instruction SDC: wall-clock vs number of static instructions
+//      (50..7000), FI-100/500/1000 vs TRIDENT.
+//
+// As in the paper (§V-C), FI campaign times are projected from measured
+// single-trial times ("projected based on the measurement of one FI
+// trial, averaged over 30 FI runs"); TRIDENT times are measured directly
+// and include the fixed profiling cost.
+#include <cstdio>
+#include <vector>
+
+#include "core/trident.h"
+#include "harness.h"
+#include "profiler/profiler.h"
+
+int main() {
+  using namespace trident;
+  const auto prepared = bench::prepare_all();
+
+  // Mean per-trial FI cost and mean profiling cost across workloads.
+  double fi_trial_s = 0;
+  double profile_s = 0;
+  for (const auto& p : prepared) {
+    fi_trial_s += bench::measure_fi_trial_seconds(p);
+    profile_s += bench::time_seconds(
+        [&] { prof::collect_profile(p.module); });
+  }
+  fi_trial_s /= prepared.size();
+  profile_s /= prepared.size();
+
+  std::printf("Figure 6a: overall SDC probability — time vs #samples\n");
+  std::printf("(mean across the 11 benchmarks; FI projected from one-trial "
+              "cost %.3f ms; TRIDENT profiling cost %.3f ms)\n\n",
+              fi_trial_s * 1e3, profile_s * 1e3);
+  std::printf("%8s %14s %14s %10s\n", "samples", "FI (s)", "TRIDENT (s)",
+              "speedup");
+  for (const uint64_t samples : {500, 1000, 2000, 3000, 5000, 7000}) {
+    const double fi_s = fi_trial_s * static_cast<double>(samples);
+    // TRIDENT: profiling once + sampled inference, measured.
+    double trident_s = profile_s;
+    trident_s += bench::time_seconds([&] {
+                   for (const auto& p : prepared) {
+                     const core::Trident model(p.module, p.profile);
+                     model.overall_sdc(samples, 3);
+                   }
+                 }) /
+                 prepared.size();
+    std::printf("%8llu %14.4f %14.4f %9.2fx\n",
+                static_cast<unsigned long long>(samples), fi_s, trident_s,
+                fi_s / trident_s);
+  }
+
+  std::printf("\nFigure 6b: per-instruction SDC — time vs #static "
+              "instructions\n");
+  std::printf("(FI-N = N injections per instruction, projected)\n\n");
+  std::printf("%8s %12s %12s %12s %14s\n", "#insts", "FI-100 (s)",
+              "FI-500 (s)", "FI-1000 (s)", "TRIDENT (s)");
+  for (const uint64_t n : {50, 100, 500, 1000, 3000, 7000}) {
+    const double fi100 = fi_trial_s * 100 * static_cast<double>(n);
+    const double fi500 = fi_trial_s * 500 * static_cast<double>(n);
+    const double fi1000 = fi_trial_s * 1000 * static_cast<double>(n);
+    // TRIDENT: profile once, then predict n instructions (cycling over
+    // the population when n exceeds it — the marginal cost per extra
+    // instruction is what matters).
+    double trident_s = profile_s;
+    trident_s += bench::time_seconds([&] {
+                   for (const auto& p : prepared) {
+                     const core::Trident model(p.module, p.profile);
+                     const auto insts = model.injectable_instructions();
+                     for (uint64_t k = 0; k < n; ++k) {
+                       model.predict(insts[k % insts.size()]);
+                     }
+                   }
+                 }) /
+                 prepared.size();
+    std::printf("%8llu %12.2f %12.2f %12.2f %14.4f\n",
+                static_cast<unsigned long long>(n), fi100, fi500, fi1000,
+                trident_s);
+  }
+  std::printf("\nShape check: FI grows linearly with samples/instructions; "
+              "TRIDENT stays nearly flat\nafter its fixed profiling cost "
+              "(paper: 2.37x at 1,000 samples, 6.7x at 3,000,\n15.13x at "
+              "7,000; exact factors depend on the substrate).\n");
+  return 0;
+}

@@ -1,0 +1,53 @@
+#include "harness.h"
+
+#include <cstdlib>
+#include <thread>
+
+#include "fi/campaign.h"
+#include "profiler/profiler.h"
+
+namespace trident::bench {
+
+std::vector<Prepared> prepare_all() {
+  std::vector<Prepared> out;
+  for (const auto& w : workloads::all_workloads()) {
+    Prepared p{w, w.build(), {}};
+    p.profile = prof::collect_profile(p.module);
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+uint64_t trials_from_env(uint64_t dflt) {
+  const char* env = std::getenv("TRIDENT_TRIALS");
+  if (env == nullptr) return dflt;
+  const auto v = std::strtoull(env, nullptr, 10);
+  return v == 0 ? dflt : v;
+}
+
+uint32_t fi_threads() {
+  const char* env = std::getenv("TRIDENT_THREADS");
+  if (env != nullptr) {
+    const auto v = std::strtoul(env, nullptr, 10);
+    if (v > 0) return static_cast<uint32_t>(v);
+  }
+  return std::min(8u, std::max(1u, std::thread::hardware_concurrency()));
+}
+
+double time_seconds(const std::function<void()>& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  fn();
+  const auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(end - start).count();
+}
+
+double measure_fi_trial_seconds(const Prepared& p, uint32_t trials) {
+  fi::CampaignOptions options;
+  options.trials = trials;
+  options.seed = 42;
+  double seconds = time_seconds(
+      [&] { fi::run_overall_campaign(p.module, p.profile, options); });
+  return seconds / trials;
+}
+
+}  // namespace trident::bench

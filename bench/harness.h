@@ -1,0 +1,42 @@
+// Shared plumbing for the per-table/figure harness binaries.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ir/module.h"
+#include "profiler/profile.h"
+#include "workloads/workloads.h"
+
+namespace trident::bench {
+
+struct Prepared {
+  workloads::Workload workload;
+  ir::Module module;
+  prof::Profile profile;
+};
+
+/// Builds and profiles every workload (the fixed cost of TRIDENT's
+/// profiling phase is included in each harness's reported numbers).
+std::vector<Prepared> prepare_all();
+
+/// Reads TRIDENT_TRIALS from the environment (campaign size knob for
+/// quick runs); returns `dflt` when unset.
+uint64_t trials_from_env(uint64_t dflt);
+
+/// FI worker threads for the harnesses: TRIDENT_THREADS env var, default
+/// min(8, hardware_concurrency). Campaigns are bit-identical regardless.
+uint32_t fi_threads();
+
+/// Wall-clock seconds of a callable.
+double time_seconds(const std::function<void()>& fn);
+
+/// Measures the average seconds of one FI trial on this workload (the
+/// paper projects campaign costs from single-trial measurements, §V-C:
+/// "projected based on the measurement of one FI trial").
+double measure_fi_trial_seconds(const Prepared& p, uint32_t trials = 30);
+
+}  // namespace trident::bench

@@ -1,0 +1,175 @@
+// Component micro-benchmarks (google-benchmark): interpreter throughput,
+// profiling overhead, fs tracing, fm solving, fc queries, knapsack and
+// the statistics kernels. These are the cost centres behind Figures 6/7.
+#include <benchmark/benchmark.h>
+
+#include "core/trident.h"
+#include "ddg/ddg.h"
+#include "fi/accelerated.h"
+#include "ir/parser.h"
+#include "ir/printer.h"
+#include "protect/duplication.h"
+#include "fi/campaign.h"
+#include "profiler/profiler.h"
+#include "protect/knapsack.h"
+#include "stats/ttest.h"
+#include "support/rng.h"
+#include "workloads/workloads.h"
+
+namespace {
+
+using namespace trident;
+
+const ir::Module& pathfinder_module() {
+  static const ir::Module m = workloads::find_workload("pathfinder").build();
+  return m;
+}
+
+const prof::Profile& pathfinder_profile() {
+  static const prof::Profile p = prof::collect_profile(pathfinder_module());
+  return p;
+}
+
+void BM_InterpreterRun(benchmark::State& state) {
+  const auto& m = pathfinder_module();
+  interp::Interpreter interp(m);
+  uint64_t dynamic = 0;
+  for (auto _ : state) {
+    const auto res = interp.run_main({});
+    dynamic = res.dynamic_insts;
+    benchmark::DoNotOptimize(res.ret_raw);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(dynamic) * state.iterations());
+}
+BENCHMARK(BM_InterpreterRun);
+
+void BM_ProfiledRun(benchmark::State& state) {
+  const auto& m = pathfinder_module();
+  for (auto _ : state) {
+    const auto profile = prof::collect_profile(m);
+    benchmark::DoNotOptimize(profile.total_dynamic);
+  }
+}
+BENCHMARK(BM_ProfiledRun);
+
+void BM_SingleInjectionTrial(benchmark::State& state) {
+  const auto& m = pathfinder_module();
+  const auto& profile = pathfinder_profile();
+  support::Rng rng(5);
+  for (auto _ : state) {
+    fi::InjectionSite site;
+    site.dyn_index = rng.next_below(profile.total_results);
+    site.bit_entropy = rng.next_u64();
+    const auto trial = fi::run_one_trial(m, profile, site,
+                                         profile.total_dynamic * 50,
+                                         ir::kNoFunc);
+    benchmark::DoNotOptimize(trial.outcome);
+  }
+}
+BENCHMARK(BM_SingleInjectionTrial);
+
+void BM_ModelConstruction(benchmark::State& state) {
+  const auto& m = pathfinder_module();
+  const auto& profile = pathfinder_profile();
+  for (auto _ : state) {
+    const core::Trident model(m, profile);
+    benchmark::DoNotOptimize(&model);
+  }
+}
+BENCHMARK(BM_ModelConstruction);
+
+void BM_PredictAllInstructions(benchmark::State& state) {
+  const auto& m = pathfinder_module();
+  const auto& profile = pathfinder_profile();
+  for (auto _ : state) {
+    const core::Trident model(m, profile);
+    double sum = 0;
+    for (const auto& ref : model.injectable_instructions()) {
+      sum += model.predict(ref).sdc;
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_PredictAllInstructions);
+
+void BM_OverallSdcSampled(benchmark::State& state) {
+  const auto& m = pathfinder_module();
+  const auto& profile = pathfinder_profile();
+  const core::Trident model(m, profile);
+  model.overall_sdc(1, 1);  // warm the memo so this measures sampling
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        model.overall_sdc(static_cast<uint64_t>(state.range(0)), 7));
+  }
+}
+BENCHMARK(BM_OverallSdcSampled)->Arg(500)->Arg(3000)->Arg(7000);
+
+void BM_Knapsack(benchmark::State& state) {
+  support::Rng rng(17);
+  std::vector<protect::KnapsackItem> items;
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    items.push_back({rng.next_double(), 1 + rng.next_below(10000)});
+  }
+  uint64_t total = 0;
+  for (const auto& item : items) total += item.weight;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(protect::knapsack_select(items, total / 3));
+  }
+}
+BENCHMARK(BM_Knapsack)->Arg(100)->Arg(1000);
+
+void BM_DdgCapture(benchmark::State& state) {
+  const auto& m = pathfinder_module();
+  for (auto _ : state) {
+    const auto graph = ddg::Ddg::capture(m);
+    benchmark::DoNotOptimize(graph.nodes().size());
+  }
+}
+BENCHMARK(BM_DdgCapture);
+
+void BM_StratifiedCampaign(benchmark::State& state) {
+  const auto& m = pathfinder_module();
+  const auto& profile = pathfinder_profile();
+  fi::StratifiedOptions options;
+  options.trials_per_site = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        fi::run_stratified_campaign(m, profile, options).sdc_prob());
+  }
+}
+BENCHMARK(BM_StratifiedCampaign);
+
+void BM_DuplicationPass(benchmark::State& state) {
+  const auto& m = pathfinder_module();
+  for (auto _ : state) {
+    const auto result = protect::duplicate_all(m);
+    benchmark::DoNotOptimize(result.added_insts);
+  }
+}
+BENCHMARK(BM_DuplicationPass);
+
+void BM_ParsePrintRoundTrip(benchmark::State& state) {
+  const auto text = ir::print_module(pathfinder_module());
+  for (auto _ : state) {
+    const auto m = ir::parse_module(text);
+    benchmark::DoNotOptimize(m->num_insts());
+  }
+}
+BENCHMARK(BM_ParsePrintRoundTrip);
+
+void BM_PairedTTest(benchmark::State& state) {
+  support::Rng rng(23);
+  std::vector<double> a, b;
+  for (int i = 0; i < 1000; ++i) {
+    a.push_back(rng.next_double());
+    b.push_back(a.back() + 0.01 * rng.next_double());
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::paired_ttest(a, b).p);
+  }
+}
+BENCHMARK(BM_PairedTTest);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,51 @@
+// Multi-bit upset study (the single-vs-multi-bit question the paper
+// leans on for its fault model, citing Sangchoolie et al.'s "One bit is
+// (not) enough", DSN 2017): re-runs the FI campaigns with 1-, 2- and
+// 4-bit adjacent-burst flips to check the paper's premise that single-bit
+// SDC probabilities are representative.
+#include <cstdio>
+#include <vector>
+
+#include "fi/campaign.h"
+#include "harness.h"
+#include "stats/stats.h"
+
+int main() {
+  using namespace trident;
+  const uint64_t trials = bench::trials_from_env(1500);
+  std::printf("Multi-bit upsets: SDC probability by burst width "
+              "(%llu trials/benchmark)\n\n",
+              static_cast<unsigned long long>(trials));
+  std::printf("%-14s %9s %9s %9s | %9s %9s %9s\n", "benchmark", "1-bit",
+              "2-bit", "4-bit", "crash 1b", "crash 2b", "crash 4b");
+
+  std::vector<double> sdc1, sdc2, sdc4;
+  for (const auto& p : bench::prepare_all()) {
+    double s[3], c[3];
+    const uint32_t widths[3] = {1, 2, 4};
+    for (int i = 0; i < 3; ++i) {
+      fi::CampaignOptions options;
+      options.threads = bench::fi_threads();
+      options.trials = trials;
+      options.num_bits = widths[i];
+      const auto result =
+          fi::run_overall_campaign(p.module, p.profile, options);
+      s[i] = result.sdc_prob();
+      c[i] = result.crash_prob();
+    }
+    std::printf("%-14s %8.2f%% %8.2f%% %8.2f%% | %8.2f%% %8.2f%% %8.2f%%\n",
+                p.workload.name.c_str(), s[0] * 100, s[1] * 100, s[2] * 100,
+                c[0] * 100, c[1] * 100, c[2] * 100);
+    sdc1.push_back(s[0]);
+    sdc2.push_back(s[1]);
+    sdc4.push_back(s[2]);
+  }
+  std::printf("\naverages: 1-bit %.2f%%, 2-bit %.2f%%, 4-bit %.2f%%\n",
+              stats::mean(sdc1) * 100, stats::mean(sdc2) * 100,
+              stats::mean(sdc4) * 100);
+  std::printf("Sangchoolie et al.'s finding (and the paper's premise): "
+              "single-bit campaigns\ntrack multi-bit SDC probabilities "
+              "closely; divergence here would undermine the\nfault "
+              "model, not the propagation model.\n");
+  return 0;
+}

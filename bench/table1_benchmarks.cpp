@@ -1,0 +1,21 @@
+// Table I: characteristics of the benchmarks (suite, area, input), plus
+// the substrate-specific columns that matter here (static/dynamic
+// instruction counts on our IR).
+#include <cstdio>
+
+#include "harness.h"
+
+int main() {
+  using namespace trident;
+  std::printf("Table I: Characteristics of Benchmarks\n");
+  std::printf("%-14s %-10s %-28s %-26s %8s %10s\n", "benchmark", "suite",
+              "area", "input (scaled)", "static", "dynamic");
+  for (const auto& p : bench::prepare_all()) {
+    std::printf("%-14s %-10s %-28s %-26s %8zu %10llu\n",
+                p.workload.name.c_str(), p.workload.suite.c_str(),
+                p.workload.area.c_str(), p.workload.input.c_str(),
+                p.module.num_insts(),
+                static_cast<unsigned long long>(p.profile.total_dynamic));
+  }
+  return 0;
+}

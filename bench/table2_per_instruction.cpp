@@ -1,0 +1,87 @@
+// Table II: p-values of paired t-tests comparing per-instruction SDC
+// probabilities predicted by each model against per-instruction FI
+// measurements (100 injections per instruction, as in §V-B2), plus the
+// rejection counts the paper reports (TRIDENT 3/11, fs+fc 9/11, fs 7/11).
+//
+// TRIDENT_TRIALS overrides the per-instruction injection count.
+// TRIDENT_INSTS overrides the number of sampled static instructions per
+// benchmark (default 40; the paper uses all of them, which is slower).
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "core/trident.h"
+#include "fi/campaign.h"
+#include "harness.h"
+#include "stats/ttest.h"
+
+namespace {
+
+uint64_t insts_from_env() {
+  const char* env = std::getenv("TRIDENT_INSTS");
+  if (env == nullptr) return 40;
+  const auto v = std::strtoull(env, nullptr, 10);
+  return v == 0 ? 40 : v;
+}
+
+}  // namespace
+
+int main() {
+  using namespace trident;
+  const uint64_t trials = bench::trials_from_env(100);
+  const uint64_t max_insts = insts_from_env();
+
+  std::printf("Table II: paired t-test p-values, per-instruction SDC "
+              "probabilities vs FI\n(%llu injections per instruction, up "
+              "to %llu sampled instructions per benchmark;\n p > 0.05 => "
+              "prediction statistically indistinguishable from FI)\n\n",
+              static_cast<unsigned long long>(trials),
+              static_cast<unsigned long long>(max_insts));
+  std::printf("%-14s %9s %9s %9s\n", "benchmark", "TRIDENT", "fs+fc", "fs");
+
+  int rejected_trident = 0, rejected_fsfc = 0, rejected_fs = 0, total = 0;
+  for (const auto& p : bench::prepare_all()) {
+    const core::Trident full(p.module, p.profile, core::ModelConfig::full());
+    const core::Trident fsfc(p.module, p.profile, core::ModelConfig::fs_fc());
+    const core::Trident fs(p.module, p.profile, core::ModelConfig::fs_only());
+
+    // Sample the most-executed instructions (they dominate both the FI
+    // site distribution and the protection decisions).
+    auto insts = full.injectable_instructions();
+    std::sort(insts.begin(), insts.end(),
+              [&](const ir::InstRef& a, const ir::InstRef& b) {
+                return p.profile.exec(a) > p.profile.exec(b);
+              });
+    if (insts.size() > max_insts) insts.resize(max_insts);
+
+    std::vector<double> fi_vals, t_vals, c_vals, s_vals;
+    for (const auto& ref : insts) {
+      fi::CampaignOptions options;
+      options.threads = bench::fi_threads();
+      options.trials = trials;
+      options.seed = 9000 + ref.inst;
+      fi_vals.push_back(
+          fi::run_instruction_campaign(p.module, p.profile, ref, options)
+              .sdc_prob());
+      t_vals.push_back(full.predict(ref).sdc);
+      c_vals.push_back(fsfc.predict(ref).sdc);
+      s_vals.push_back(fs.predict(ref).sdc);
+    }
+
+    const auto pt = stats::paired_ttest(t_vals, fi_vals);
+    const auto pc = stats::paired_ttest(c_vals, fi_vals);
+    const auto ps = stats::paired_ttest(s_vals, fi_vals);
+    std::printf("%-14s %9.3f %9.3f %9.3f\n", p.workload.name.c_str(), pt.p,
+                pc.p, ps.p);
+    rejected_trident += pt.p <= 0.05;
+    rejected_fsfc += pc.p <= 0.05;
+    rejected_fs += ps.p <= 0.05;
+    ++total;
+  }
+  std::printf("\nNo. of rejections: TRIDENT %d/%d, fs+fc %d/%d, fs %d/%d\n",
+              rejected_trident, total, rejected_fsfc, total, rejected_fs,
+              total);
+  std::printf("(paper: TRIDENT 3/11, fs+fc 9/11, fs 7/11)\n");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// input_sensitivity: the paper's §IX future-work question — how stable
+// are SDC probabilities across program inputs? (Di Leo et al. found that
+// they can shift; the paper evaluates one input per benchmark, as do we
+// in the main harnesses.) This example profiles several inputs of three
+// workloads and compares TRIDENT's per-input predictions against FI.
+//
+// Usage: ./build/examples/example_input_sensitivity [trials]
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <vector>
+
+#include "core/trident.h"
+#include "fi/campaign.h"
+#include "profiler/profiler.h"
+#include "workloads/workloads.h"
+
+using namespace trident;
+
+namespace {
+
+struct Variant {
+  const char* family;
+  std::function<ir::Module(int32_t)> build;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const uint64_t trials =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 1000;
+  const std::vector<Variant> families{
+      {"pathfinder", workloads::build_pathfinder_seeded},
+      {"hotspot", workloads::build_hotspot_seeded},
+      {"bfs_parboil", workloads::build_bfs_parboil_seeded},
+  };
+  const std::vector<int32_t> seeds{1000, 31337, 271828, 987654, 55501};
+
+  for (const auto& family : families) {
+    std::printf("%s:\n", family.family);
+    std::printf("  %-10s %10s %10s %10s\n", "input", "FI", "TRIDENT",
+                "dynamic");
+    double fi_min = 1, fi_max = 0;
+    for (const auto seed : seeds) {
+      const auto m = family.build(seed);
+      const auto profile = prof::collect_profile(m);
+      const core::Trident model(m, profile);
+      fi::CampaignOptions options;
+      options.trials = trials;
+      const auto campaign =
+          fi::run_overall_campaign(m, profile, options);
+      std::printf("  seed %-6d %9.2f%% %9.2f%% %10llu\n", seed,
+                  campaign.sdc_prob() * 100,
+                  model.overall_sdc_exact() * 100,
+                  static_cast<unsigned long long>(profile.total_dynamic));
+      fi_min = std::min(fi_min, campaign.sdc_prob());
+      fi_max = std::max(fi_max, campaign.sdc_prob());
+    }
+    std::printf("  FI spread across inputs: %.2f percentage points\n\n",
+                (fi_max - fi_min) * 100);
+  }
+  std::printf("The per-input profile (and hence the model) tracks each\n"
+              "input; single-input studies inherit whatever spread the\n"
+              "program exhibits, as Di Leo et al. observed.\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// model_vs_fi: compare TRIDENT's predictions (and the fs / fs+fc
+// ablations) against fault injection on one workload, both for the
+// overall SDC probability and for the most SDC-prone instructions.
+//
+// Usage: ./build/examples/example_model_vs_fi [workload] [trials]
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/trident.h"
+#include "fi/campaign.h"
+#include "profiler/profiler.h"
+#include "workloads/workloads.h"
+
+using namespace trident;
+
+int main(int argc, char** argv) {
+  const std::string name = argc > 1 ? argv[1] : "pathfinder";
+  const uint64_t trials = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 3000;
+
+  const auto& workload = workloads::find_workload(name);
+  const ir::Module m = workload.build();
+  const prof::Profile profile = prof::collect_profile(m);
+
+  std::printf("workload: %s (%s, %s)\n", workload.name.c_str(),
+              workload.suite.c_str(), workload.area.c_str());
+  std::printf("static insts: %zu, dynamic insts: %llu\n\n", m.num_insts(),
+              static_cast<unsigned long long>(profile.total_dynamic));
+
+  const core::Trident full(m, profile, core::ModelConfig::full());
+  const core::Trident fs_fc(m, profile, core::ModelConfig::fs_fc());
+  const core::Trident fs(m, profile, core::ModelConfig::fs_only());
+
+  fi::CampaignOptions options;
+  options.trials = trials;
+  const auto campaign = fi::run_overall_campaign(m, profile, options);
+
+  std::printf("overall SDC probability:\n");
+  std::printf("  FI       %6.2f%% (±%.2f%%)\n", campaign.sdc_prob() * 100,
+              campaign.sdc_ci95() * 100);
+  std::printf("  TRIDENT  %6.2f%%\n", full.overall_sdc_exact() * 100);
+  std::printf("  fs+fc    %6.2f%%\n", fs_fc.overall_sdc_exact() * 100);
+  std::printf("  fs       %6.2f%%\n", fs.overall_sdc_exact() * 100);
+
+  // Per-instruction check on the ten most executed instructions.
+  auto insts = full.injectable_instructions();
+  std::sort(insts.begin(), insts.end(),
+            [&](const ir::InstRef& a, const ir::InstRef& b) {
+              return profile.exec(a) > profile.exec(b);
+            });
+  insts.resize(std::min<size_t>(insts.size(), 10));
+
+  std::printf("\nper-instruction SDC, hottest 10 instructions "
+              "(FI: 100 injections each):\n");
+  std::printf("  %-12s %10s %10s %10s\n", "inst", "FI", "TRIDENT", "fs");
+  for (const auto& ref : insts) {
+    fi::CampaignOptions per_inst;
+    per_inst.trials = 100;
+    per_inst.seed = 99 + ref.inst;
+    const auto fi_res = fi::run_instruction_campaign(m, profile, ref,
+                                                     per_inst);
+    std::printf("  f%u:%%%-8u %9.1f%% %9.1f%% %9.1f%%\n", ref.func, ref.inst,
+                fi_res.sdc_prob() * 100, full.predict(ref).sdc * 100,
+                fs.predict(ref).sdc * 100);
+  }
+  return 0;
+}

@@ -1,0 +1,60 @@
+#include "analysis/cfg.h"
+
+#include <algorithm>
+
+namespace trident::analysis {
+
+CFG::CFG(const ir::Function& func) {
+  const auto n = static_cast<uint32_t>(func.blocks.size());
+  succs_.resize(n);
+  preds_.resize(n);
+  rpo_index_.assign(n, ~0u);
+
+  for (uint32_t bb = 0; bb < n; ++bb) {
+    if (func.blocks[bb].insts.empty()) continue;
+    const auto& term = func.inst(func.terminator(bb));
+    switch (term.op) {
+      case ir::Opcode::Br:
+        succs_[bb].push_back(term.succ[0]);
+        break;
+      case ir::Opcode::CondBr:
+        succs_[bb].push_back(term.succ[0]);
+        if (term.succ[1] != term.succ[0]) succs_[bb].push_back(term.succ[1]);
+        break;
+      case ir::Opcode::Ret:
+        exits_.push_back(bb);
+        break;
+      default:
+        break;  // malformed; the verifier reports it
+    }
+    for (const auto s : succs_[bb]) {
+      if (s < n) preds_[s].push_back(bb);
+    }
+  }
+
+  // Iterative post-order DFS from the entry block.
+  if (n == 0) return;
+  std::vector<uint8_t> state(n, 0);  // 0 = unseen, 1 = open, 2 = done
+  std::vector<std::pair<uint32_t, uint32_t>> stack;  // (block, next succ idx)
+  std::vector<uint32_t> post;
+  stack.emplace_back(0, 0);
+  state[0] = 1;
+  while (!stack.empty()) {
+    auto& [bb, next] = stack.back();
+    if (next < succs_[bb].size()) {
+      const auto s = succs_[bb][next++];
+      if (s < n && state[s] == 0) {
+        state[s] = 1;
+        stack.emplace_back(s, 0);
+      }
+    } else {
+      post.push_back(bb);
+      state[bb] = 2;
+      stack.pop_back();
+    }
+  }
+  rpo_.assign(post.rbegin(), post.rend());
+  for (uint32_t i = 0; i < rpo_.size(); ++i) rpo_index_[rpo_[i]] = i;
+}
+
+}  // namespace trident::analysis

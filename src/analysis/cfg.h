@@ -1,0 +1,38 @@
+// Control-flow graph view of a function: successor/predecessor lists,
+// reachability, and reverse post-order. All other analyses build on this.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/function.h"
+
+namespace trident::analysis {
+
+class CFG {
+ public:
+  explicit CFG(const ir::Function& func);
+
+  const std::vector<uint32_t>& succs(uint32_t bb) const { return succs_[bb]; }
+  const std::vector<uint32_t>& preds(uint32_t bb) const { return preds_[bb]; }
+
+  /// Reverse post-order over blocks reachable from the entry.
+  const std::vector<uint32_t>& rpo() const { return rpo_; }
+  /// Position of `bb` in rpo(); ~0u if unreachable.
+  uint32_t rpo_index(uint32_t bb) const { return rpo_index_[bb]; }
+  bool reachable(uint32_t bb) const { return rpo_index_[bb] != ~0u; }
+
+  /// Blocks whose terminator is Ret.
+  const std::vector<uint32_t>& exit_blocks() const { return exits_; }
+
+  size_t num_blocks() const { return succs_.size(); }
+
+ private:
+  std::vector<std::vector<uint32_t>> succs_;
+  std::vector<std::vector<uint32_t>> preds_;
+  std::vector<uint32_t> rpo_;
+  std::vector<uint32_t> rpo_index_;
+  std::vector<uint32_t> exits_;
+};
+
+}  // namespace trident::analysis

@@ -1,0 +1,40 @@
+#include "analysis/control_dependence.h"
+
+#include <algorithm>
+
+namespace trident::analysis {
+
+ControlDependence::ControlDependence(const CFG& cfg, const DomTree& postdom)
+    : cfg_(cfg), postdom_(postdom) {}
+
+std::vector<uint32_t> ControlDependence::dependent_on_edge(
+    uint32_t branch_bb, uint32_t succ) const {
+  std::vector<uint32_t> out;
+  const uint32_t stop = postdom_.idom(branch_bb);
+  // Walk succ -> ipdom(succ) -> ... until reaching ipdom(branch_bb).
+  // Every node on the walk post-dominates succ but not branch_bb.
+  uint32_t node = succ;
+  while (node != stop && node != ir::kNoBlock &&
+         node != postdom_.virtual_exit()) {
+    out.push_back(node);
+    if (node == branch_bb) break;  // loop: the branch depends on itself
+    node = postdom_.idom(node);
+  }
+  return out;
+}
+
+std::vector<uint32_t> ControlDependence::dependent_on_branch(
+    uint32_t branch_bb) const {
+  std::vector<uint32_t> out;
+  for (const auto s : cfg_.succs(branch_bb)) {
+    for (const auto bb : dependent_on_edge(branch_bb, s)) {
+      if (std::find(out.begin(), out.end(), bb) == out.end()) {
+        out.push_back(bb);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace trident::analysis

@@ -1,0 +1,34 @@
+// Control dependence (Ferrante, Ottenstein & Warren): block B is control
+// dependent on branch edge (A -> C) iff B post-dominates C but does not
+// strictly post-dominate A. The fc sub-model uses this to find the store
+// instructions whose execution is decided by a corrupted branch.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/cfg.h"
+#include "analysis/dominators.h"
+
+namespace trident::analysis {
+
+class ControlDependence {
+ public:
+  ControlDependence(const CFG& cfg, const DomTree& postdom);
+
+  /// Blocks control-dependent on the edge from `branch_bb` to its
+  /// successor `succ` (the walk from succ up the post-dominator tree to,
+  /// exclusively, ipostdom(branch_bb)).
+  std::vector<uint32_t> dependent_on_edge(uint32_t branch_bb,
+                                          uint32_t succ) const;
+
+  /// Union of dependent_on_edge over all successors of `branch_bb`:
+  /// every block whose execution is decided by the branch direction.
+  std::vector<uint32_t> dependent_on_branch(uint32_t branch_bb) const;
+
+ private:
+  const CFG& cfg_;
+  const DomTree& postdom_;
+};
+
+}  // namespace trident::analysis

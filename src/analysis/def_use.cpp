@@ -1,0 +1,34 @@
+#include "analysis/def_use.h"
+
+namespace trident::analysis {
+
+DefUse::DefUse(const ir::Function& func) {
+  inst_users_.resize(func.insts.size());
+  arg_users_.resize(func.params.size());
+  for (uint32_t id = 0; id < func.insts.size(); ++id) {
+    const auto& inst = func.insts[id];
+    for (uint32_t op = 0; op < inst.operands.size(); ++op) {
+      const auto& v = inst.operands[op];
+      if (v.is_inst()) {
+        inst_users_[v.index].push_back({id, op});
+      } else if (v.is_arg()) {
+        arg_users_[v.index].push_back({id, op});
+      }
+    }
+  }
+}
+
+CallGraph::CallGraph(const ir::Module& module) {
+  callers_.resize(module.functions.size());
+  for (uint32_t f = 0; f < module.functions.size(); ++f) {
+    const auto& func = module.functions[f];
+    for (uint32_t id = 0; id < func.insts.size(); ++id) {
+      const auto& inst = func.insts[id];
+      if (inst.op == ir::Opcode::Call && inst.callee < callers_.size()) {
+        callers_[inst.callee].push_back({f, id});
+      }
+    }
+  }
+}
+
+}  // namespace trident::analysis

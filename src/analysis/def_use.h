@@ -1,0 +1,58 @@
+// Def-use chains, intra- and inter-procedural.
+//
+// The fs sub-model walks forward from a fault site along uses; calls
+// propagate into callee parameters and return values propagate back to
+// the callers' call-site uses. This analysis precomputes those edges.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/module.h"
+
+namespace trident::analysis {
+
+/// Per-function def-use chains.
+class DefUse {
+ public:
+  explicit DefUse(const ir::Function& func);
+
+  /// Instructions that use the result of instruction `id`, along with the
+  /// operand position they use it at.
+  struct Use {
+    uint32_t user = 0;     // instruction id within the function
+    uint32_t operand = 0;  // operand index in the user
+  };
+
+  const std::vector<Use>& users_of_inst(uint32_t id) const {
+    return inst_users_[id];
+  }
+  const std::vector<Use>& users_of_arg(uint32_t index) const {
+    return arg_users_[index];
+  }
+
+ private:
+  std::vector<std::vector<Use>> inst_users_;
+  std::vector<std::vector<Use>> arg_users_;
+};
+
+/// Module-wide call graph: call sites per callee and per caller.
+class CallGraph {
+ public:
+  explicit CallGraph(const ir::Module& module);
+
+  struct CallSite {
+    uint32_t caller = ir::kNoFunc;
+    uint32_t inst = 0;  // the Call instruction id within the caller
+  };
+
+  /// All call sites that invoke `callee`.
+  const std::vector<CallSite>& callers_of(uint32_t callee) const {
+    return callers_[callee];
+  }
+
+ private:
+  std::vector<std::vector<CallSite>> callers_;
+};
+
+}  // namespace trident::analysis

@@ -1,0 +1,119 @@
+#include "analysis/dominators.h"
+
+#include <algorithm>
+
+namespace trident::analysis {
+
+namespace {
+
+// Post-order DFS over an explicit successor list, returning RPO.
+std::vector<uint32_t> reverse_post_order(
+    uint32_t num_nodes, uint32_t root,
+    const std::vector<std::vector<uint32_t>>& succs) {
+  std::vector<uint8_t> state(num_nodes, 0);
+  std::vector<std::pair<uint32_t, uint32_t>> stack;
+  std::vector<uint32_t> post;
+  stack.emplace_back(root, 0);
+  state[root] = 1;
+  while (!stack.empty()) {
+    auto& [n, next] = stack.back();
+    if (next < succs[n].size()) {
+      const auto s = succs[n][next++];
+      if (state[s] == 0) {
+        state[s] = 1;
+        stack.emplace_back(s, 0);
+      }
+    } else {
+      post.push_back(n);
+      stack.pop_back();
+    }
+  }
+  return {post.rbegin(), post.rend()};
+}
+
+}  // namespace
+
+DomTree DomTree::build(uint32_t num_nodes, uint32_t root,
+                       const std::vector<std::vector<uint32_t>>& preds,
+                       const std::vector<uint32_t>& rpo) {
+  DomTree t;
+  t.root_ = root;
+  t.idom_.assign(num_nodes, ir::kNoBlock);
+  t.depth_.assign(num_nodes, ~0u);
+
+  std::vector<uint32_t> rpo_index(num_nodes, ~0u);
+  for (uint32_t i = 0; i < rpo.size(); ++i) rpo_index[rpo[i]] = i;
+
+  const auto intersect = [&](uint32_t a, uint32_t b) {
+    while (a != b) {
+      while (rpo_index[a] > rpo_index[b]) a = t.idom_[a];
+      while (rpo_index[b] > rpo_index[a]) b = t.idom_[b];
+    }
+    return a;
+  };
+
+  t.idom_[root] = root;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto bb : rpo) {
+      if (bb == root) continue;
+      uint32_t new_idom = ir::kNoBlock;
+      for (const auto p : preds[bb]) {
+        if (rpo_index[p] == ~0u || t.idom_[p] == ir::kNoBlock) continue;
+        new_idom = (new_idom == ir::kNoBlock) ? p : intersect(p, new_idom);
+      }
+      if (new_idom != ir::kNoBlock && t.idom_[bb] != new_idom) {
+        t.idom_[bb] = new_idom;
+        changed = true;
+      }
+    }
+  }
+
+  // Depths for O(depth) dominance queries; root's idom becomes kNoBlock
+  // so callers can walk to the top cleanly.
+  t.depth_[root] = 0;
+  for (const auto bb : rpo) {
+    if (bb == root || t.idom_[bb] == ir::kNoBlock) continue;
+    // rpo order guarantees idom visited first.
+    t.depth_[bb] = t.depth_[t.idom_[bb]] + 1;
+  }
+  t.idom_[root] = ir::kNoBlock;
+  return t;
+}
+
+DomTree DomTree::dominators(const CFG& cfg) {
+  const auto n = static_cast<uint32_t>(cfg.num_blocks());
+  std::vector<std::vector<uint32_t>> preds(n);
+  for (uint32_t bb = 0; bb < n; ++bb) preds[bb] = cfg.preds(bb);
+  return build(n, 0, preds, cfg.rpo());
+}
+
+DomTree DomTree::post_dominators(const CFG& cfg) {
+  const auto n = static_cast<uint32_t>(cfg.num_blocks());
+  const uint32_t vexit = n;
+  // Reversed graph: successors become predecessors; the virtual exit
+  // precedes (in the reversed graph) every Ret block.
+  std::vector<std::vector<uint32_t>> rsuccs(n + 1), rpreds(n + 1);
+  for (uint32_t bb = 0; bb < n; ++bb) {
+    for (const auto s : cfg.succs(bb)) {
+      rsuccs[s].push_back(bb);
+      rpreds[bb].push_back(s);
+    }
+  }
+  for (const auto e : cfg.exit_blocks()) {
+    rsuccs[vexit].push_back(e);
+    rpreds[e].push_back(vexit);
+  }
+  const auto rpo = reverse_post_order(n + 1, vexit, rsuccs);
+  return build(n + 1, vexit, rpreds, rpo);
+}
+
+bool DomTree::dominates(uint32_t a, uint32_t b) const {
+  if (a >= idom_.size() || b >= idom_.size()) return false;
+  if (depth_[a] == ~0u || depth_[b] == ~0u) return false;
+  while (depth_[b] > depth_[a]) b = idom_[b];
+  return a == b;
+}
+
+}  // namespace trident::analysis

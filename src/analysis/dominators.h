@@ -1,0 +1,46 @@
+// Dominator and post-dominator trees (Cooper-Harvey-Kennedy iterative
+// algorithm). The post-dominator tree uses a virtual exit node joining all
+// Ret blocks, identified by DomTree::virtual_exit().
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/cfg.h"
+
+namespace trident::analysis {
+
+class DomTree {
+ public:
+  /// Builds the dominator tree rooted at the entry block.
+  static DomTree dominators(const CFG& cfg);
+  /// Builds the post-dominator tree rooted at a virtual exit node
+  /// (id == cfg.num_blocks()) that succeeds every Ret block.
+  static DomTree post_dominators(const CFG& cfg);
+
+  /// Immediate dominator of `bb`; kNoBlock for the root or unreachable
+  /// blocks. For post-dominators the root is the virtual exit.
+  uint32_t idom(uint32_t bb) const { return idom_[bb]; }
+
+  /// Whether `a` (post-)dominates `b`. Reflexive. Nodes absent from the
+  /// tree (unreachable) dominate nothing and are dominated by nothing.
+  bool dominates(uint32_t a, uint32_t b) const;
+
+  uint32_t root() const { return root_; }
+  /// Valid only for trees built by post_dominators().
+  uint32_t virtual_exit() const { return root_; }
+
+  size_t num_nodes() const { return idom_.size(); }
+
+ private:
+  DomTree() = default;
+  static DomTree build(uint32_t num_nodes, uint32_t root,
+                       const std::vector<std::vector<uint32_t>>& preds,
+                       const std::vector<uint32_t>& rpo);
+
+  std::vector<uint32_t> idom_;
+  std::vector<uint32_t> depth_;  // depth in the tree; ~0u if absent
+  uint32_t root_ = 0;
+};
+
+}  // namespace trident::analysis

@@ -1,0 +1,98 @@
+#include "analysis/loops.h"
+
+#include <algorithm>
+#include <map>
+
+namespace trident::analysis {
+
+LoopInfo::LoopInfo(const CFG& cfg, const DomTree& dom) : cfg_(cfg) {
+  const auto n = static_cast<uint32_t>(cfg.num_blocks());
+  innermost_.assign(n, ~0u);
+  membership_.resize(n);
+
+  // Group back edges by header so a header with several latches forms a
+  // single loop.
+  std::map<uint32_t, std::vector<uint32_t>> latches_by_header;
+  for (uint32_t u = 0; u < n; ++u) {
+    if (!cfg.reachable(u)) continue;
+    for (const auto v : cfg.succs(u)) {
+      if (dom.dominates(v, u)) latches_by_header[v].push_back(u);
+    }
+  }
+
+  for (auto& [header, latches] : latches_by_header) {
+    Loop loop;
+    loop.header = header;
+    loop.latches = latches;
+    // Natural loop body: header plus all blocks that reach a latch
+    // without passing through the header (backward DFS from latches).
+    std::vector<bool> in_body(n, false);
+    in_body[header] = true;
+    std::vector<uint32_t> work = latches;
+    for (const auto l : latches) in_body[l] = true;
+    while (!work.empty()) {
+      const auto bb = work.back();
+      work.pop_back();
+      if (bb == header) continue;
+      for (const auto p : cfg.preds(bb)) {
+        if (!in_body[p] && cfg.reachable(p)) {
+          in_body[p] = true;
+          work.push_back(p);
+        }
+      }
+    }
+    for (uint32_t bb = 0; bb < n; ++bb) {
+      if (in_body[bb]) loop.blocks.push_back(bb);
+    }
+    loops_.push_back(std::move(loop));
+  }
+
+  // Innermost = smallest containing loop (natural loops nest or are
+  // disjoint, so block count orders containment).
+  for (uint32_t id = 0; id < loops_.size(); ++id) {
+    for (const auto bb : loops_[id].blocks) {
+      membership_[bb].push_back(id);
+      if (innermost_[bb] == ~0u ||
+          loops_[id].blocks.size() < loops_[innermost_[bb]].blocks.size()) {
+        innermost_[bb] = id;
+      }
+    }
+  }
+  for (auto& m : membership_) {
+    std::sort(m.begin(), m.end(), [&](uint32_t a, uint32_t b) {
+      return loops_[a].blocks.size() < loops_[b].blocks.size();
+    });
+  }
+}
+
+std::vector<uint32_t> LoopInfo::loops_containing(uint32_t bb) const {
+  return membership_[bb];
+}
+
+bool LoopInfo::in_loop(uint32_t loop_id, uint32_t bb) const {
+  const auto& blocks = loops_[loop_id].blocks;
+  return std::binary_search(blocks.begin(), blocks.end(), bb);
+}
+
+bool LoopInfo::is_back_edge(uint32_t u, uint32_t v) const {
+  for (const auto& loop : loops_) {
+    if (loop.header == v &&
+        std::find(loop.latches.begin(), loop.latches.end(), u) !=
+            loop.latches.end()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+uint32_t LoopInfo::exiting_loop(uint32_t bb,
+                                const std::vector<uint32_t>& succs) const {
+  for (const auto loop_id : membership_[bb]) {
+    for (const auto s : succs) {
+      if (!in_loop(loop_id, s)) return loop_id;
+    }
+  }
+  return ~0u;
+}
+
+}  // namespace trident::analysis

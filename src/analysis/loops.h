@@ -1,0 +1,50 @@
+// Natural-loop detection via back edges (edge u->h where h dominates u).
+// The fc sub-model uses this to classify branches as Loop-Terminating
+// (LT) vs Non-Loop-Terminating (NLT), per paper §IV-D.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/cfg.h"
+#include "analysis/dominators.h"
+
+namespace trident::analysis {
+
+struct Loop {
+  uint32_t header = ir::kNoBlock;
+  std::vector<uint32_t> latches;  // sources of back edges into header
+  std::vector<uint32_t> blocks;   // natural loop body (includes header)
+};
+
+class LoopInfo {
+ public:
+  LoopInfo(const CFG& cfg, const DomTree& dom);
+
+  const std::vector<Loop>& loops() const { return loops_; }
+
+  /// Innermost loop containing `bb`, or ~0u.
+  uint32_t innermost_loop(uint32_t bb) const { return innermost_[bb]; }
+
+  /// All loops containing `bb` (innermost first).
+  std::vector<uint32_t> loops_containing(uint32_t bb) const;
+
+  bool in_loop(uint32_t loop_id, uint32_t bb) const;
+
+  /// True iff edge (u, v) is a back edge of some natural loop.
+  bool is_back_edge(uint32_t u, uint32_t v) const;
+
+  /// A conditional branch in `bb` is loop-terminating iff `bb` lies in a
+  /// loop and at least one successor leaves that loop (or the branch is
+  /// the latch controlling re-entry to the header). Returns the id of the
+  /// loop the branch can exit, or ~0u if the branch is NLT.
+  uint32_t exiting_loop(uint32_t bb, const std::vector<uint32_t>& succs) const;
+
+ private:
+  const CFG& cfg_;
+  std::vector<Loop> loops_;
+  std::vector<uint32_t> innermost_;
+  std::vector<std::vector<uint32_t>> membership_;  // bb -> loop ids
+};
+
+}  // namespace trident::analysis

@@ -1,0 +1,118 @@
+#include "baselines/epvf.h"
+
+#include <algorithm>
+
+namespace trident::baselines {
+
+EpvfModel::EpvfModel(const ir::Module& module, const prof::Profile& profile)
+    : module_(module),
+      profile_(profile),
+      pvf_(module, profile),
+      tracer_(module, profile) {}
+
+double EpvfModel::epvf(ir::InstRef ref) const {
+  const double p = pvf_.pvf(ref);
+  if (p == 0.0) return 0.0;
+  const double crash = std::min(1.0, tracer_.trace(ref).crash);
+  return std::max(0.0, p - crash);
+}
+
+double EpvfModel::overall() const {
+  double weighted = 0, total = 0;
+  for (uint32_t f = 0; f < module_.functions.size(); ++f) {
+    const auto& func = module_.functions[f];
+    for (uint32_t i = 0; i < func.insts.size(); ++i) {
+      if (!func.insts[i].has_result()) continue;
+      const auto w = static_cast<double>(profile_.exec({f, i}));
+      if (w == 0) continue;
+      weighted += w * epvf({f, i});
+      total += w;
+    }
+  }
+  return total == 0 ? 0.0 : weighted / total;
+}
+
+double EpvfModel::overall_with_measured_crashes(double fi_crash_prob) const {
+  return std::max(0.0, pvf_.overall() - fi_crash_prob);
+}
+
+double EpvfModel::ddg_crash(const ddg::Ddg& graph, ir::InstRef ref,
+                            uint32_t max_samples,
+                            uint32_t max_visited) const {
+  const auto instances = graph.nodes_of(ref);
+  if (instances.empty()) return 0.0;
+  const auto& users = graph.users();
+  const size_t stride =
+      std::max<size_t>(1, instances.size() / max_samples);
+
+  // Returns which operand position of `user` consumes producer node `p`
+  // (the first match); memory producers appended past the static operand
+  // list count as value flow (~0u).
+  const auto operand_position = [&](uint64_t user, uint64_t p) -> uint32_t {
+    const auto producers = graph.producers(user);
+    const auto& inst = module_.functions[graph.nodes()[user].inst.func]
+                           .insts[graph.nodes()[user].inst.inst];
+    for (uint32_t k = 0; k < producers.size(); ++k) {
+      if (producers[k] == p) {
+        return k < inst.operands.size() ? k : ~0u;
+      }
+    }
+    return ~0u;
+  };
+
+  double total = 0;
+  uint32_t sampled = 0;
+  std::vector<uint64_t> stack;
+  std::vector<bool> seen;
+  for (size_t i = 0; i < instances.size() && sampled < max_samples;
+       i += stride, ++sampled) {
+    // Forward BFS over the dynamic graph, the expensive ePVF step.
+    stack.assign(1, instances[i]);
+    seen.assign(graph.nodes().size(), false);
+    uint32_t visited = 0;
+    double survive = 1.0;  // probability no reached access traps
+    while (!stack.empty() && visited < max_visited) {
+      const uint64_t n = stack.back();
+      stack.pop_back();
+      if (seen[n]) continue;
+      seen[n] = true;
+      ++visited;
+      for (const uint64_t u : users[n]) {
+        const auto uref = graph.nodes()[u].inst;
+        const auto& uinst = module_.functions[uref.func].insts[uref.inst];
+        const uint32_t pos = operand_position(u, n);
+        const bool addr_pos =
+            (uinst.op == ir::Opcode::Load && pos == 0) ||
+            (uinst.op == ir::Opcode::Store && pos == 1) ||
+            (uinst.op == ir::Opcode::Memcpy && pos != ~0u);
+        if (addr_pos) {
+          survive *= 1.0 - tracer_.tuples().address_crash_prob(
+                               uref, pos);
+        }
+        stack.push_back(u);
+      }
+    }
+    total += 1.0 - survive;
+  }
+  return sampled == 0 ? 0.0 : total / sampled;
+}
+
+double EpvfModel::overall_with_ddg_crashes(const ddg::Ddg& graph) const {
+  double weighted = 0, total = 0;
+  for (uint32_t f = 0; f < module_.functions.size(); ++f) {
+    const auto& func = module_.functions[f];
+    for (uint32_t i = 0; i < func.insts.size(); ++i) {
+      if (!func.insts[i].has_result()) continue;
+      const auto w = static_cast<double>(profile_.exec({f, i}));
+      if (w == 0) continue;
+      const double p = pvf_.pvf({f, i});
+      const double crash =
+          p > 0 ? ddg_crash(graph, {f, i}) : 0.0;
+      weighted += w * std::max(0.0, p - crash);
+      total += w;
+    }
+  }
+  return total == 0 ? 0.0 : weighted / total;
+}
+
+}  // namespace trident::baselines

@@ -1,0 +1,68 @@
+#include "baselines/pvf.h"
+
+namespace trident::baselines {
+
+PvfModel::PvfModel(const ir::Module& module, const prof::Profile& profile)
+    : module_(module), profile_(profile) {
+  def_use_.reserve(module.functions.size());
+  for (const auto& f : module.functions) def_use_.emplace_back(f);
+}
+
+bool PvfModel::ace(ir::InstRef ref) const {
+  const uint64_t k = prof::pack(ref);
+  if (const auto it = memo_.find(k); it != memo_.end()) {
+    return it->second == 1;
+  }
+  memo_[k] = -1;  // in-progress: cycles resolve to not-ACE once
+
+  bool result = false;
+  const auto& func = module_.functions[ref.func];
+  for (const auto& use : def_use_[ref.func].users_of_inst(ref.inst)) {
+    if (profile_.exec({ref.func, use.user}) == 0) continue;
+    const auto& user = func.insts[use.user];
+    switch (user.op) {
+      case ir::Opcode::Store:
+      case ir::Opcode::CondBr:
+      case ir::Opcode::Ret:
+      case ir::Opcode::Call:
+        // Reaches memory, control flow or another function: ACE.
+        result = true;
+        break;
+      case ir::Opcode::Print:
+        result = ir::PrintSpec::unpack(user.imm).is_output;
+        break;
+      case ir::Opcode::Detect:
+        break;
+      default:
+        // In-progress nodes read as not-ACE, cutting def-use cycles.
+        if (user.has_result()) result = ace({ref.func, use.user});
+        break;
+    }
+    if (result) break;
+  }
+  memo_[k] = result ? 1 : 0;
+  return result;
+}
+
+double PvfModel::pvf(ir::InstRef ref) const {
+  const auto& inst = module_.functions[ref.func].insts[ref.inst];
+  if (!inst.has_result() || profile_.exec(ref) == 0) return 0.0;
+  return ace(ref) ? 1.0 : 0.0;
+}
+
+double PvfModel::overall() const {
+  double weighted = 0, total = 0;
+  for (uint32_t f = 0; f < module_.functions.size(); ++f) {
+    const auto& func = module_.functions[f];
+    for (uint32_t i = 0; i < func.insts.size(); ++i) {
+      if (!func.insts[i].has_result()) continue;
+      const auto w = static_cast<double>(profile_.exec({f, i}));
+      if (w == 0) continue;
+      weighted += w * pvf({f, i});
+      total += w;
+    }
+  }
+  return total == 0 ? 0.0 : weighted / total;
+}
+
+}  // namespace trident::baselines

@@ -1,0 +1,39 @@
+// PVF baseline (Sridharan & Kaeli, HPCA 2009), reimplemented on our IR
+// as the paper's comparison point (§VII-C).
+//
+// PVF performs ACE analysis: a register fault is vulnerable iff the value
+// is (transitively) consumed by architectural state — it does not
+// distinguish crashes from SDCs and models no logical masking, so it
+// grossly over-predicts SDC probability (paper: 90.62% vs 13.59% FI).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "analysis/def_use.h"
+#include "ir/module.h"
+#include "profiler/profile.h"
+
+namespace trident::baselines {
+
+class PvfModel {
+ public:
+  PvfModel(const ir::Module& module, const prof::Profile& profile);
+
+  /// 1.0 if a fault in the destination register of `ref` is ACE
+  /// (architecturally consumed), else 0.0.
+  double pvf(ir::InstRef ref) const;
+
+  /// Execution-count-weighted overall PVF (= predicted SDC probability).
+  double overall() const;
+
+ private:
+  bool ace(ir::InstRef ref) const;
+
+  const ir::Module& module_;
+  const prof::Profile& profile_;
+  std::vector<analysis::DefUse> def_use_;
+  mutable std::unordered_map<uint64_t, int> memo_;  // -1 in-progress, 0/1
+};
+
+}  // namespace trident::baselines

@@ -1,0 +1,138 @@
+#include "core/fc_model.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace trident::core {
+
+FcModel::FcModel(const ir::Module& module, const prof::Profile& profile,
+                 bool lucky_stores)
+    : module_(module), profile_(profile), lucky_stores_(lucky_stores) {
+  analyses_.reserve(module.functions.size());
+  for (const auto& f : module.functions) {
+    analyses_.push_back(std::make_unique<FuncAnalyses>(f));
+  }
+}
+
+bool FcModel::is_loop_terminating(ir::InstRef branch) const {
+  const auto& f = module_.functions[branch.func];
+  const auto& inst = f.insts[branch.inst];
+  assert(inst.op == ir::Opcode::CondBr);
+  const auto& a = *analyses_[branch.func];
+  const std::vector<uint32_t> succs{inst.succ[0], inst.succ[1]};
+  return a.loops.exiting_loop(inst.block, succs) != ~0u;
+}
+
+const FcResult& FcModel::corrupted(ir::InstRef branch) const {
+  const uint64_t k = prof::pack(branch);
+  if (const auto it = memo_.find(k); it != memo_.end()) return it->second;
+  return memo_.emplace(k, compute(branch)).first->second;
+}
+
+const std::vector<CorruptedStore>& FcModel::corrupted_stores(
+    ir::InstRef branch) const {
+  return corrupted(branch).stores;
+}
+
+namespace {
+
+// Transitive control-dependence closure of one branch edge: the blocks
+// directly dependent on the edge, plus everything dependent on branches
+// inside that region (the paper's Fig. 3 stores live behind nested
+// branches within the region).
+std::vector<uint32_t> closure_of_edge(const analysis::ControlDependence& cd,
+                                      const ir::Function& f, uint32_t bb,
+                                      uint32_t succ) {
+  std::vector<uint32_t> region = cd.dependent_on_edge(bb, succ);
+  std::vector<uint32_t> work = region;
+  const auto member = [&](uint32_t x) {
+    return std::find(region.begin(), region.end(), x) != region.end();
+  };
+  while (!work.empty()) {
+    const uint32_t block = work.back();
+    work.pop_back();
+    if (f.blocks[block].insts.empty()) continue;
+    const auto& term = f.inst(f.terminator(block));
+    if (term.op != ir::Opcode::CondBr || block == bb) continue;
+    for (const auto next : cd.dependent_on_branch(block)) {
+      if (!member(next)) {
+        region.push_back(next);
+        work.push_back(next);
+      }
+    }
+  }
+  std::sort(region.begin(), region.end());
+  return region;
+}
+
+}  // namespace
+
+FcResult FcModel::compute(ir::InstRef branch) const {
+  const auto& f = module_.functions[branch.func];
+  const auto& inst = f.insts[branch.inst];
+  assert(inst.op == ir::Opcode::CondBr);
+  const auto& a = *analyses_[branch.func];
+  const uint32_t bb = inst.block;
+
+  FcResult out;
+  const double branch_exec = static_cast<double>(profile_.exec(branch));
+  if (branch_exec == 0) return out;
+
+  const bool lt = is_loop_terminating(branch);
+  const double p_taken = profile_.branch_prob_taken(branch);
+
+  // Control-dependence region per direction; an instruction is a
+  // candidate if its block's execution is decided by this branch.
+  const auto dep_taken = closure_of_edge(a.cd, f, bb, inst.succ[0]);
+  const auto dep_fall = closure_of_edge(a.cd, f, bb, inst.succ[1]);
+  const auto in = [](const std::vector<uint32_t>& v, uint32_t x) {
+    return std::binary_search(v.begin(), v.end(), x);
+  };
+
+  for (uint32_t id = 0; id < f.insts.size(); ++id) {
+    const auto& cand = f.insts[id];
+    const bool is_store = cand.op == ir::Opcode::Store;
+    const bool is_output =
+        cand.op == ir::Opcode::Print &&
+        ir::PrintSpec::unpack(cand.imm).is_output;
+    if (!is_store && !is_output) continue;
+    const bool on_taken = in(dep_taken, cand.block);
+    const bool on_fall = in(dep_fall, cand.block);
+    if (!on_taken && !on_fall) continue;
+
+    const double cand_exec =
+        static_cast<double>(profile_.exec({branch.func, id}));
+    // Pe: the instruction's per-branch-execution probability. This equals
+    // the path-probability product the paper computes from CFG edges.
+    const double pe = std::min(1.0, cand_exec / branch_exec);
+    double pc;
+    if (lt) {
+      // Eq. 2, with Pb*Pe collapsed to profiled per-iteration frequency
+      // (Pb is already reflected in how often the instruction runs per
+      // branch execution; see DESIGN.md §4).
+      pc = pe;
+    } else {
+      // Eq. 1: Pc = Pe / Pd. Pd is the probability of the direction that
+      // leads to the instruction.
+      double pd;
+      if (on_taken && on_fall) {
+        pd = 1.0;  // reachable either way; no direction discount
+      } else {
+        pd = on_taken ? p_taken : 1.0 - p_taken;
+      }
+      pc = pd <= 0 ? 0.0 : std::min(1.0, pe / pd);
+    }
+    if (is_store && lucky_stores_) {
+      // Lucky/coincidentally-correct stores: a skipped or spurious store
+      // that writes the value already present corrupts nothing.
+      pc *= 1.0 - profile_.silent_store_rate({branch.func, id});
+    }
+    if (pc > 0) {
+      (is_store ? out.stores : out.outputs)
+          .push_back({{branch.func, id}, pc});
+    }
+  }
+  return out;
+}
+
+}  // namespace trident::core

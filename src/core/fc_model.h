@@ -1,0 +1,90 @@
+// fc: the control-flow sub-model (paper §IV-D). Given a corrupted
+// conditional branch, computes which store instructions get corrupted and
+// with what probability:
+//
+//   NLT (non-loop-terminating) branches:  Pc = Pe / Pd   (Eq. 1)
+//   LT  (loop-terminating) branches:      Pc = Pb * Pe   (Eq. 2)
+//
+// where Pe is the store's execution probability per branch execution, Pd
+// the profiled probability of the branch direction that leads to the
+// store, and Pb the back-edge probability. Candidate stores are those
+// control-dependent on the branch.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/cfg.h"
+#include "analysis/control_dependence.h"
+#include "analysis/dominators.h"
+#include "analysis/loops.h"
+#include "ir/module.h"
+#include "profiler/profile.h"
+
+namespace trident::core {
+
+struct CorruptedStore {
+  ir::InstRef store;
+  double prob = 0;  // Pc
+};
+
+/// Effects of a corrupted conditional branch: the stores whose execution
+/// is corrupted (fed to fm) and the program-output instructions whose
+/// execution is corrupted (an SDC directly — e.g. a print guarded by the
+/// branch runs, or fails to run).
+struct FcResult {
+  std::vector<CorruptedStore> stores;
+  std::vector<CorruptedStore> outputs;
+};
+
+class FcModel {
+ public:
+  /// `lucky_stores` discounts the corruption probability of stores by
+  /// their profiled silent-store rate — the §VII-A "coincidentally
+  /// correct" refinement (skipping a store that would rewrite the value
+  /// already in memory corrupts nothing). Off = the paper's conservative
+  /// assumption.
+  explicit FcModel(const ir::Module& module, const prof::Profile& profile,
+                   bool lucky_stores = true);
+
+  /// Effects of the conditional branch `branch` (a CondBr) taking the
+  /// wrong direction. Candidate instructions are those in the transitive
+  /// control-dependence closure of the branch (the paper's Fig. 3 stores
+  /// sit behind nested branches inside the region).
+  const FcResult& corrupted(ir::InstRef branch) const;
+
+  /// Convenience view of corrupted(branch).stores.
+  const std::vector<CorruptedStore>& corrupted_stores(
+      ir::InstRef branch) const;
+
+  /// Whether the branch is classified Loop-Terminating (exposed for tests
+  /// and the ablation benches).
+  bool is_loop_terminating(ir::InstRef branch) const;
+
+ private:
+  struct FuncAnalyses {
+    explicit FuncAnalyses(const ir::Function& f)
+        : cfg(f),
+          dom(analysis::DomTree::dominators(cfg)),
+          postdom(analysis::DomTree::post_dominators(cfg)),
+          loops(cfg, dom),
+          cd(cfg, postdom) {}
+    analysis::CFG cfg;
+    analysis::DomTree dom;
+    analysis::DomTree postdom;
+    analysis::LoopInfo loops;
+    analysis::ControlDependence cd;
+  };
+
+  FcResult compute(ir::InstRef branch) const;
+
+  const ir::Module& module_;
+  const prof::Profile& profile_;
+  bool lucky_stores_;
+  std::vector<std::unique_ptr<FuncAnalyses>> analyses_;
+  mutable std::unordered_map<uint64_t, FcResult> memo_;
+};
+
+}  // namespace trident::core

@@ -1,0 +1,191 @@
+#include "core/fm_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace trident::core {
+
+FmModel::FmModel(const ir::Module& module, const prof::Profile& profile,
+                 const SequenceTracer& tracer, const FcModel& fc,
+                 FmConfig config)
+    : module_(module),
+      profile_(profile),
+      tracer_(tracer),
+      fc_(fc),
+      config_(config) {}
+
+uint32_t FmModel::store_index(ir::InstRef store) const {
+  const auto it = index_.find(prof::pack(store));
+  return it == index_.end() ? ~0u : it->second;
+}
+
+void FmModel::solve() const {
+  if (solved_) return;
+  solved_ = true;
+
+  // Universe: every static store that is ever reloaded. Stores outside
+  // it have no memory successors, so their output probability is 0.
+  for (const auto& edge : profile_.mem_edges) {
+    index_.try_emplace(prof::pack(edge.store),
+                       static_cast<uint32_t>(index_.size()));
+  }
+  rows_.assign(index_.size(), {});
+  state_.assign(index_.size(), {});
+
+  const auto add_term = [&](Row& row, ir::InstRef store, double coeff,
+                            double step_surv) {
+    if (coeff < config_.prob_cutoff) return;
+    const uint32_t idx = store_index(store);
+    if (idx == ~0u) return;  // never reloaded: contributes 0
+    for (auto& term : row.terms) {
+      if (term.idx == idx &&
+          std::abs(std::log2(std::max(term.step_surv, 1e-30)) -
+                   std::log2(std::max(step_surv, 1e-30))) < 0.5) {
+        term.coeff += coeff;
+        return;
+      }
+    }
+    row.terms.push_back({idx, coeff, step_surv});
+  };
+
+  const auto add_direct = [&](Row& row, const OutputTerm& term,
+                              double scale) {
+    const double p = term.prob * scale;
+    if (p < config_.prob_cutoff) return;
+    if (term.print_width == 0) {
+      row.b_exact += p;
+    } else {
+      row.b_float += p;
+      row.b_surv += p * term.surv;
+      row.b_digits += p * term.digits;
+      row.b_width += p * term.print_width;
+    }
+  };
+
+  for (const auto& edge : profile_.mem_edges) {
+    const uint32_t si = store_index(edge.store);
+    Row& row = rows_[si];
+    const double store_exec =
+        static_cast<double>(profile_.exec(edge.store));
+    if (store_exec == 0) continue;
+    // Probability a given corrupted dynamic store is reloaded by this
+    // static load. For the paper's symmetric update/reload loop pairs
+    // count == exec(store) and the ratio is 1.
+    const double reload =
+        std::min(1.0, static_cast<double>(edge.count) / store_exec);
+    if (reload < config_.prob_cutoff) continue;
+
+    const Terminals t = tracer_.trace(edge.load);
+    for (const auto& term : t.outputs) add_direct(row, term, reload);
+    for (const auto& term : t.stores) {
+      add_term(row, term.ref, reload * std::min(1.0, term.prob),
+               term.surv);
+    }
+    if (config_.enable_fc) {
+      for (const auto& [branch, p] : t.branches) {
+        const double pb = reload * std::min(1.0, p);
+        if (pb < config_.prob_cutoff) continue;
+        const auto& fc_result = fc_.corrupted(branch);
+        // Branch-decided prints: the whole line appears/disappears —
+        // exact-visible regardless of format.
+        for (const auto& co : fc_result.outputs) {
+          row.b_exact += pb * co.prob;
+        }
+        // Branch-decided stores: whole values replaced, no attenuation.
+        for (const auto& cs : fc_result.stores) {
+          add_term(row, cs.store, pb * cs.prob, 1.0);
+        }
+      }
+    }
+  }
+
+  // Joint value iteration: output probability split into exact/float
+  // fractions plus the float fraction's attenuation/digits/width
+  // numerators. Monotone from 0 and bounded (mass capped at 1 with
+  // proportional scaling), so it converges; accumulator cycles with gain
+  // ~1 approach the cap geometrically, hence the iteration budget.
+  for (iterations_ = 0; iterations_ < config_.max_iterations;
+       ++iterations_) {
+    double max_delta = 0;
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      const Row& row = rows_[i];
+      State next;
+      next.exact = row.b_exact;
+      next.flt = row.b_float;
+      // Survival is a best-path ratio, not a mass: the SDC is visible if
+      // ANY corrupted instance's delta reaches the printed digits, so
+      // parallel routes take the max (matching Terminals' merge rule)
+      // while each hop composes multiplicatively.
+      next.surv = row.b_float > 0 ? row.b_surv / row.b_float : 0.0;
+      next.digits = row.b_digits;
+      next.width = row.b_width;
+      for (const auto& term : row.terms) {
+        const State& t = state_[term.idx];
+        next.exact += term.coeff * t.exact;
+        next.flt += term.coeff * t.flt;
+        // Clamped so amplification cycles cannot diverge.
+        next.surv = std::min(
+            std::max(next.surv, t.surv * term.step_surv), 65536.0);
+        next.digits += term.coeff * t.digits;
+        next.width += term.coeff * t.width;
+      }
+      const double mass = next.exact + next.flt;
+      if (mass > 1.0) {
+        const double scale = 1.0 / mass;
+        next.exact *= scale;
+        next.flt *= scale;
+        next.digits *= scale;
+        next.width *= scale;
+      }
+      max_delta = std::max(max_delta,
+                           std::abs(next.exact - state_[i].exact) +
+                               std::abs(next.flt - state_[i].flt));
+      state_[i] = next;
+    }
+    if (max_delta < config_.epsilon) break;
+  }
+}
+
+double FmModel::store_to_output(ir::InstRef store) const {
+  solve();
+  const uint32_t idx = store_index(store);
+  if (idx == ~0u) return 0.0;
+  return std::min(1.0, state_[idx].exact + state_[idx].flt);
+}
+
+StoreOutputProfile FmModel::store_output_profile(ir::InstRef store) const {
+  solve();
+  StoreOutputProfile out;
+  const uint32_t idx = store_index(store);
+  if (idx == ~0u) return out;
+  const State& s = state_[idx];
+  out.prob = std::min(1.0, s.exact + s.flt);
+  if (out.prob <= 0) return out;
+  out.exact_frac = s.exact / (s.exact + s.flt);
+  if (s.flt > 0) {
+    out.surv = s.surv;  // already a best-path ratio
+    out.digits = s.digits / s.flt;
+    out.print_width = s.width / s.flt >= 48.0 ? 64 : 32;
+  }
+  return out;
+}
+
+double FmModel::branch_to_output(ir::InstRef branch) const {
+  solve();
+  const auto& fc_result = fc_.corrupted(branch);
+  double total = 0;
+  // Output instructions whose execution the branch decides are SDCs
+  // directly; corrupted stores propagate through memory first. Control
+  // corruption replaces whole values, so no format masking applies to
+  // the stores' own deltas (their downstream profile still does).
+  for (const auto& co : fc_result.outputs) total += co.prob;
+  for (const auto& cs : fc_result.stores) {
+    if (total >= 1.0) break;
+    const auto profile = store_output_profile(cs.store);
+    // Whole-value corruption survives float formatting: use raw prob.
+    total += cs.prob * profile.prob;
+  }
+  return std::min(1.0, total);
+}
+
+}  // namespace trident::core

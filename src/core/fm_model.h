@@ -1,0 +1,101 @@
+// fm: the memory sub-model (paper §IV-E). Tracks a corrupted store
+// through the pruned memory-dependence graph (profiled static store→load
+// edges) to the program output, re-entering fs (sequence tracing from
+// each reloading load) and fc (when a reloaded value reaches a branch).
+//
+// Store-to-store dependences form cycles for accumulator patterns
+// (store sum -> load sum -> add -> store sum), so the per-store output
+// probabilities are the solution of the monotone fixed point
+//     f(S) = min(1, b_S + sum_T A[S][T] * f(T))
+// solved by value iteration — an equivalent closed-form treatment of the
+// paper's memoized traversal that also converges on cyclic graphs.
+//
+// Alongside f the solver tracks, per store, a probability-weighted
+// summary of HOW the fault reaches output: the fraction through exact
+// (integer) prints, and for float prints the average accumulated
+// magnitude attenuation, printed digits and float width. The top-level
+// model combines these with the generalized output-format rule.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/fc_model.h"
+#include "core/sequence.h"
+
+namespace trident::core {
+
+struct FmConfig {
+  bool enable_fc = true;  // follow branch terminals through fc
+  uint32_t max_iterations = 4096;
+  double epsilon = 1e-7;
+  double prob_cutoff = 1e-9;
+};
+
+/// How a corrupted store reaches program output.
+struct StoreOutputProfile {
+  double prob = 0;        // probability of reaching output at all
+  double exact_frac = 1;  // fraction of that mass through exact prints
+  double surv = 1;        // avg survival E[2^-atten] of the float fraction
+  double digits = 0;      // avg printed digits of the float fraction
+  unsigned print_width = 0;  // representative float width (32/64)
+};
+
+class FmModel {
+ public:
+  FmModel(const ir::Module& module, const prof::Profile& profile,
+          const SequenceTracer& tracer, const FcModel& fc,
+          FmConfig config = {});
+
+  /// Probability that a corrupted dynamic execution of `store` propagates
+  /// to the program output (raw, before output-format masking).
+  double store_to_output(ir::InstRef store) const;
+
+  /// Full output profile of a corrupted store (for the format rule).
+  StoreOutputProfile store_output_profile(ir::InstRef store) const;
+
+  /// Probability that a corrupted branch propagates to program output via
+  /// the output/store instructions it corrupts (capped at 1). Control
+  /// corruption replaces whole values, so no attenuation applies.
+  double branch_to_output(ir::InstRef branch) const;
+
+  /// Number of value-iteration sweeps the solver needed (0 before the
+  /// first query). Exposed for the scalability bench.
+  uint32_t solver_iterations() const { return iterations_; }
+
+ private:
+  struct Term {
+    uint32_t idx = 0;       // successor store index
+    double coeff = 0;       // probability coefficient
+    double step_surv = 1;   // survival from the load to that store
+  };
+  struct Row {
+    double b_exact = 0;   // direct exact-print output mass
+    double b_float = 0;   // direct float-print output mass
+    double b_surv = 0;    // sum of prob*surv over direct float terms
+    double b_digits = 0;  // sum of prob*digits
+    double b_width = 0;   // sum of prob*width
+    std::vector<Term> terms;
+  };
+  struct State {
+    double exact = 0, flt = 0, surv = 0, digits = 0, width = 0;
+  };
+
+  void solve() const;
+  uint32_t store_index(ir::InstRef store) const;
+
+  const ir::Module& module_;
+  const prof::Profile& profile_;
+  const SequenceTracer& tracer_;
+  const FcModel& fc_;
+  FmConfig config_;
+
+  mutable bool solved_ = false;
+  mutable std::unordered_map<uint64_t, uint32_t> index_;  // packed -> idx
+  mutable std::vector<Row> rows_;
+  mutable std::vector<State> state_;
+  mutable uint32_t iterations_ = 0;
+};
+
+}  // namespace trident::core

@@ -1,0 +1,298 @@
+#include "core/sequence.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace trident::core {
+
+namespace {
+// Caps survival so cancellation-driven amplification cannot blow up the
+// linear-domain bookkeeping.
+constexpr double kMaxSurv = 65536.0;  // 2^16 amplification
+constexpr double kMinSurv = 1e-30;
+}  // namespace
+
+double surv_to_atten_bits(double surv) {
+  return -std::log2(std::clamp(surv, kMinSurv, kMaxSurv));
+}
+
+double Terminals::output_mass() const {
+  double total = 0;
+  for (const auto& term : outputs) total += term.prob;
+  return total;
+}
+
+void Terminals::add_output(const OutputTerm& term) {
+  // Merge into an existing bucket with the same print shape. When
+  // several paths reach the same terminal the SDC is visible if ANY
+  // corrupted instance's delta is, so the merged survival takes the
+  // best-surviving path (a weighted average would let heavily-attenuated
+  // side paths dilute an un-attenuated main path — the stencil pattern,
+  // where the identity term passes the value through unattenuated).
+  for (auto& existing : outputs) {
+    if (existing.print_width == term.print_width &&
+        std::abs(existing.digits - term.digits) < 0.5) {
+      existing.prob += term.prob;
+      existing.surv = std::max(existing.surv, term.surv);
+      return;
+    }
+  }
+  outputs.push_back(term);
+}
+
+void Terminals::add_store(ir::InstRef ref, double p, double surv) {
+  for (auto& term : stores) {
+    if (term.ref == ref) {
+      term.prob += p;
+      term.surv = std::max(term.surv, surv);
+      return;
+    }
+  }
+  stores.push_back({ref, p, surv});
+}
+
+void Terminals::add_branch(ir::InstRef ref, double p) {
+  for (auto& [r, prob] : branches) {
+    if (r == ref) {
+      prob += p;
+      return;
+    }
+  }
+  branches.emplace_back(ref, p);
+}
+
+void Terminals::accumulate(const Terminals& other, double scale,
+                           double step_surv) {
+  crash += other.crash * scale;
+  for (const auto& term : other.outputs) {
+    OutputTerm shifted = term;
+    shifted.prob *= scale;
+    shifted.surv = std::clamp(term.surv * step_surv, kMinSurv, kMaxSurv);
+    add_output(shifted);
+  }
+  for (const auto& term : other.stores) {
+    add_store(term.ref, term.prob * scale,
+              std::clamp(term.surv * step_surv, kMinSurv, kMaxSurv));
+  }
+  for (const auto& [r, p] : other.branches) add_branch(r, p * scale);
+}
+
+SequenceTracer::SequenceTracer(const ir::Module& module,
+                               const prof::Profile& profile,
+                               TraceConfig config)
+    : module_(module),
+      profile_(profile),
+      tuples_(module, profile),
+      config_(config),
+      call_graph_(module) {
+  def_use_.reserve(module.functions.size());
+  for (const auto& f : module.functions) def_use_.emplace_back(f);
+  analyses_.resize(module.functions.size());
+}
+
+bool SequenceTracer::control_dependent(uint32_t func, uint32_t branch_block,
+                                       uint32_t block) const {
+  auto& fa = analyses_[func];
+  if (!fa) fa = std::make_unique<FuncAnalyses>(module_.functions[func]);
+  auto [it, inserted] = fa->dep_cache.try_emplace(branch_block);
+  if (inserted) it->second = fa->cd.dependent_on_branch(branch_block);
+  const auto& deps = it->second;
+  return std::binary_search(deps.begin(), deps.end(), block);
+}
+
+std::vector<SequenceTracer::Guard> SequenceTracer::find_guards(
+    uint32_t func, const std::vector<analysis::DefUse::Use>& uses,
+    double def_exec) const {
+  std::vector<Guard> guards;
+  const auto& f = module_.functions[func];
+  for (uint32_t i = 0; i < uses.size(); ++i) {
+    const auto& user = f.insts[uses[i].user];
+    const double uexec =
+        static_cast<double>(profile_.exec({func, uses[i].user}));
+    if (uexec == 0) continue;
+    const double ratio = std::min(1.0, uexec / def_exec);
+    if (user.op == ir::Opcode::CondBr) {
+      guards.push_back({user.block, ratio, i});
+    } else if (user.is_cmp()) {
+      // One comparison away: value -> cmp -> condbr.
+      const double flip =
+          ratio * tuples_.tuple({func, uses[i].user}, uses[i].operand)
+                      .propagate;
+      if (flip < config_.prob_cutoff) continue;
+      for (const auto& cuse : def_use_[func].users_of_inst(uses[i].user)) {
+        if (f.insts[cuse.user].op == ir::Opcode::CondBr &&
+            profile_.exec({func, cuse.user}) > 0) {
+          guards.push_back({f.insts[cuse.user].block, flip, i});
+        }
+      }
+    }
+  }
+  return guards;
+}
+
+Terminals SequenceTracer::trace(ir::InstRef ref) const {
+  return trace_node(ref.func, ref.inst, /*is_arg=*/false);
+}
+
+Terminals SequenceTracer::trace_arg(uint32_t func, uint32_t arg) const {
+  return trace_node(func, arg, /*is_arg=*/true);
+}
+
+Terminals SequenceTracer::trace_node(uint32_t func, uint32_t index,
+                                     bool is_arg, uint32_t depth) const {
+  const uint64_t k = key(func, index, is_arg);
+  if (const auto it = memo_.find(k); it != memo_.end()) return it->second;
+  if (in_progress_[k] || depth > config_.max_depth) {
+    // Cycle (e.g. loop-carried phi) or depth cap: cut here, and mark the
+    // enclosing computations as stack-dependent / truncated so they are
+    // not memoized.
+    ++cycle_cuts_;
+    return {};
+  }
+  in_progress_[k] = true;
+  const uint64_t cuts_before = cycle_cuts_;
+  Terminals result = compute(func, index, is_arg, depth);
+  in_progress_[k] = false;
+  if (cycle_cuts_ == cuts_before) memo_.emplace(k, result);
+  return result;
+}
+
+Terminals SequenceTracer::compute(uint32_t func, uint32_t index, bool is_arg,
+                                  uint32_t depth) const {
+  Terminals out;
+  if (depth > config_.max_depth) return out;
+
+  // Dynamic execution count of the definition, used to weight each use by
+  // how often it actually consumes the (corrupted) value.
+  double def_exec = 0;
+  if (is_arg) {
+    for (const auto& site : call_graph_.callers_of(func)) {
+      def_exec += static_cast<double>(
+          profile_.exec({site.caller, site.inst}));
+    }
+    if (def_exec == 0) def_exec = 1;  // entry function: executed once
+  } else {
+    def_exec = static_cast<double>(profile_.exec({func, index}));
+    if (def_exec == 0) return out;  // dead at runtime: nothing propagates
+  }
+
+  const auto& uses = is_arg ? def_use_[func].users_of_arg(index)
+                            : def_use_[func].users_of_inst(index);
+  const auto guards = config_.guard_damping
+                          ? find_guards(func, uses, def_exec)
+                          : std::vector<Guard>{};
+  for (uint32_t i = 0; i < uses.size(); ++i) {
+    const auto& use = uses[i];
+    const ir::InstRef uref{func, use.user};
+    const double uexec = static_cast<double>(profile_.exec(uref));
+    if (uexec == 0) continue;
+    double ratio = std::min(1.0, uexec / def_exec);
+    // Damp uses that only execute if a data-dependent guard branch is
+    // NOT flipped by the same fault (see Guard above).
+    for (const auto& g : guards) {
+      if (g.source_use == i) continue;
+      const uint32_t ublock = module_.functions[func].insts[use.user].block;
+      if (control_dependent(func, g.branch_block, ublock)) {
+        ratio *= 1.0 - std::min(1.0, g.flip);
+      }
+    }
+    if (ratio < config_.prob_cutoff) continue;
+    follow_use(func, use, ratio, depth, out);
+  }
+  // Each entry is a probability for this single fault, not an expected
+  // count: a value consumed by several users can reach a terminal at
+  // most once, so cap every accumulated mass at 1 (Algorithm 1's cap).
+  const double mass = out.output_mass();
+  if (mass > 1.0) {
+    for (auto& term : out.outputs) term.prob /= mass;
+  }
+  out.crash = std::min(1.0, out.crash);
+  for (auto& term : out.stores) term.prob = std::min(1.0, term.prob);
+  for (auto& [ref, p] : out.branches) p = std::min(1.0, p);
+  return out;
+}
+
+void SequenceTracer::follow_use(uint32_t func,
+                                const analysis::DefUse::Use& use,
+                                double ratio, uint32_t depth,
+                                Terminals& out) const {
+  const auto& f = module_.functions[func];
+  const auto& user = f.insts[use.user];
+  const ir::InstRef uref{func, use.user};
+
+  switch (user.op) {
+    case ir::Opcode::Store:
+      if (use.operand == 0) {
+        // Corrupted value written to memory; no attenuation yet from
+        // this node (upstream steps fold theirs in via accumulate).
+        out.add_store(uref, ratio, 1.0);
+      } else {
+        const double crash = tuples_.tuple(uref, 1).crash;
+        out.crash += ratio * crash;
+        if (config_.track_store_addr) {
+          // Wrong-but-valid target: the store's data structure is
+          // corrupted (wrong cell written, right cell stale). A whole
+          // cell is wrong, so no fractional attenuation applies.
+          out.add_store(uref, ratio * (1.0 - crash), 1.0);
+        }
+      }
+      return;
+    case ir::Opcode::CondBr:
+      out.add_branch(uref, ratio);
+      return;
+    case ir::Opcode::Print: {
+      const auto spec = ir::PrintSpec::unpack(user.imm);
+      if (!spec.is_output) return;  // debug prints do not define SDCs
+      OutputTerm term;
+      term.prob = ratio;
+      const auto t = f.value_type(user.operands[0]);
+      if (spec.kind == ir::PrintSpec::Kind::Float && t.is_float()) {
+        term.digits = spec.precision;
+        term.print_width = t.width();
+      }
+      out.add_output(term);
+      return;
+    }
+    case ir::Opcode::Ret: {
+      // The corrupted value returns to every call site, weighted by how
+      // often each site performs the call.
+      const auto& sites = call_graph_.callers_of(func);
+      double total = 0;
+      for (const auto& site : sites) {
+        total += static_cast<double>(profile_.exec({site.caller, site.inst}));
+      }
+      if (total == 0) return;
+      for (const auto& site : sites) {
+        const double w =
+            static_cast<double>(profile_.exec({site.caller, site.inst})) /
+            total;
+        if (w < config_.prob_cutoff) continue;
+        const auto rec = trace_node(site.caller, site.inst, false, depth + 1);
+        out.accumulate(rec, ratio * w, 1.0);
+      }
+      return;
+    }
+    case ir::Opcode::Call: {
+      // The corrupted value enters the callee as argument `use.operand`.
+      if (user.callee >= module_.functions.size()) return;
+      const auto rec = trace_node(user.callee, use.operand, true, depth + 1);
+      out.accumulate(rec, ratio, 1.0);
+      return;
+    }
+    case ir::Opcode::Detect:
+      return;  // detectors exist only in protected binaries
+    default: {
+      const Tuple t = tuples_.tuple(uref, use.operand);
+      out.crash += ratio * t.crash;
+      const double p = ratio * t.propagate;
+      if (p < config_.prob_cutoff || !user.has_result()) return;
+      const auto rec = trace_node(func, use.user, false, depth + 1);
+      out.accumulate(
+          rec, p,
+          config_.track_attenuation ? std::exp2(-t.atten) : 1.0);
+      return;
+    }
+  }
+}
+
+}  // namespace trident::core

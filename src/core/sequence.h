@@ -1,0 +1,170 @@
+// fs sequence tracing (paper §IV-C): given a fault activated in the
+// result register of an instruction, walk the static data-dependent
+// instruction sequence(s) forward, aggregating per-instruction tuples,
+// until terminals are reached: a store (value operand), a conditional
+// branch, or a program-output instruction. Calls and returns are
+// followed interprocedurally, weighted by profiled call-site frequency.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include <memory>
+
+#include "analysis/cfg.h"
+#include "analysis/control_dependence.h"
+#include "analysis/def_use.h"
+#include "analysis/dominators.h"
+#include "core/tuples.h"
+#include "ir/module.h"
+#include "profiler/profile.h"
+
+namespace trident::core {
+
+/// A program-output (print) terminal reached by the traced fault. The
+/// fp-format masking is NOT pre-applied: the factor depends on the
+/// magnitude attenuation accumulated along the whole path, which grows
+/// as callers compose memoized traces, so it is resolved at prediction
+/// time (TupleModel::fp_format_propagation_attenuated).
+///
+/// Attenuation is carried as `surv` = E[2^-atten_bits]: relative deltas
+/// compose multiplicatively along a path and their expectation composes
+/// linearly across path mixtures, so `surv` can be averaged safely where
+/// per-path bit counts cannot (a zero-attenuation path through a mixture
+/// keeps its full weight). The effective attenuation is -log2(surv).
+struct OutputTerm {
+  double prob = 0;
+  double surv = 1.0;         // E[2^-attenuation_bits] along the path
+  double digits = 0;         // printed significant digits (0 = exact print)
+  unsigned print_width = 0;  // float width of the print operand; 0 = int
+};
+
+/// A store terminal: the corrupted value enters memory at `ref` with the
+/// accumulated survival (the memory sub-model continues from there).
+struct StoreTerm {
+  ir::InstRef ref;
+  double prob = 0;
+  double surv = 1.0;
+};
+
+/// Effective attenuation in bits of a survival value (clamped to a sane
+/// range; surv > 1 = net amplification reads as negative attenuation).
+double surv_to_atten_bits(double surv);
+
+/// Where the traced error can end up, with reach probabilities. Per-node
+/// masses are capped at 1 (Algorithm 1's cap).
+struct Terminals {
+  double crash = 0;  // probability of trapping along the way
+  std::vector<OutputTerm> outputs;
+  std::vector<StoreTerm> stores;
+  std::vector<std::pair<ir::InstRef, double>> branches;  // CondBr reached
+
+  /// Raw probability mass of reaching any output (factors unapplied).
+  double output_mass() const;
+
+  void add_output(const OutputTerm& term);
+  void add_store(ir::InstRef ref, double p, double surv);
+  void add_branch(ir::InstRef ref, double p);
+  /// Accumulate `other` scaled by `scale`, multiplying every output and
+  /// store term's survival by `step_surv` (the 2^-attenuation of the
+  /// step being crossed).
+  void accumulate(const Terminals& other, double scale, double step_surv);
+};
+
+struct TraceConfig {
+  uint32_t max_depth = 64;
+  double prob_cutoff = 1e-6;
+  // Extension over the paper: a corrupted store address that survives the
+  // crash check writes a wrong-but-valid location, which we treat as a
+  // corruption of the store's memory (the paper leaves this untracked and
+  // lists it as its top inaccuracy source, §VII-A). Set false for the
+  // paper-faithful behaviour; the ablation bench reports both.
+  bool track_store_addr = true;
+  // Extension over the paper: accumulate relative-magnitude attenuation
+  // along float chains and feed it to the generalized output-format rule
+  // (zero attenuation reproduces the paper's §IV-E formula exactly). Set
+  // false for the paper-faithful behaviour.
+  bool track_attenuation = true;
+  // Extension over the paper: damp uses control-dependent on a guard
+  // branch whose condition the same fault flips (the induction-variable
+  // pattern: a corrupted `i` usually exits the loop before the guarded
+  // body's store can crash). Set false for the paper-faithful behaviour.
+  bool guard_damping = true;
+};
+
+class SequenceTracer {
+ public:
+  SequenceTracer(const ir::Module& module, const prof::Profile& profile,
+                 TraceConfig config = {});
+
+  /// Terminals reachable from a corrupted result of `ref`. Memoized,
+  /// except for results computed while a def-use cycle was being cut:
+  /// those depend on the traversal stack and are recomputed on a clean
+  /// stack next time (avoids poisoning the cache with zeroed cycles).
+  Terminals trace(ir::InstRef ref) const;
+
+  /// Terminals reachable from a corrupted argument `arg` of `func`
+  /// (used when following a corrupted call argument into the callee).
+  Terminals trace_arg(uint32_t func, uint32_t arg) const;
+
+  const TupleModel& tuples() const { return tuples_; }
+
+ private:
+  // Node key: function, index, is_arg flag.
+  static uint64_t key(uint32_t func, uint32_t index, bool is_arg) {
+    return (static_cast<uint64_t>(func) << 33) |
+           (static_cast<uint64_t>(index) << 1) | (is_arg ? 1 : 0);
+  }
+
+  Terminals trace_node(uint32_t func, uint32_t index, bool is_arg,
+                       uint32_t depth = 0) const;
+  Terminals compute(uint32_t func, uint32_t index, bool is_arg,
+                    uint32_t depth) const;
+  void follow_use(uint32_t func, const analysis::DefUse::Use& use,
+                  double exec_ratio, uint32_t depth, Terminals& out) const;
+
+  // A "guard" is a conditional branch whose direction is data-dependent
+  // on the traced value (directly or through one comparison). A fault
+  // that flips the guard diverts control flow before the value's other
+  // uses execute, so contributions from uses control-dependent on the
+  // guard are damped by (1 - flip probability). This models the
+  // induction-variable pattern (fault in `i` usually exits the loop
+  // instead of reaching the guarded body's stores).
+  struct Guard {
+    uint32_t branch_block = 0;
+    double flip = 0;
+    uint32_t source_use = 0;  // index into the use list (self-exempt)
+  };
+  std::vector<Guard> find_guards(
+      uint32_t func, const std::vector<analysis::DefUse::Use>& uses,
+      double def_exec) const;
+  bool control_dependent(uint32_t func, uint32_t branch_block,
+                         uint32_t block) const;
+
+  double exec_count(ir::InstRef ref) const { return profile_.exec(ref); }
+
+  const ir::Module& module_;
+  const prof::Profile& profile_;
+  TupleModel tuples_;
+  TraceConfig config_;
+  std::vector<analysis::DefUse> def_use_;
+  analysis::CallGraph call_graph_;
+  struct FuncAnalyses {
+    explicit FuncAnalyses(const ir::Function& f)
+        : cfg(f),
+          postdom(analysis::DomTree::post_dominators(cfg)),
+          cd(cfg, postdom) {}
+    analysis::CFG cfg;
+    analysis::DomTree postdom;
+    analysis::ControlDependence cd;
+    // branch block -> blocks control-dependent on it (cached).
+    std::unordered_map<uint32_t, std::vector<uint32_t>> dep_cache;
+  };
+  mutable std::vector<std::unique_ptr<FuncAnalyses>> analyses_;
+  mutable std::unordered_map<uint64_t, Terminals> memo_;
+  mutable std::unordered_map<uint64_t, bool> in_progress_;
+  mutable uint64_t cycle_cuts_ = 0;
+};
+
+}  // namespace trident::core

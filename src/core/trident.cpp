@@ -1,0 +1,141 @@
+#include "core/trident.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace trident::core {
+
+Trident::Trident(const ir::Module& module, const prof::Profile& profile,
+                 ModelConfig config)
+    : module_(module),
+      profile_(profile),
+      config_(config),
+      tracer_(module, profile, config.trace),
+      fc_(module, profile, config.lucky_stores),
+      fm_(module, profile, tracer_, fc_, FmConfig{.enable_fc = config.enable_fc}) {}
+
+namespace {
+
+// Output-format masking for a direct output term: the paper's §IV-E rule
+// generalized with path attenuation (exact prints pass everything).
+double term_factor(const OutputTerm& term) {
+  if (term.print_width == 0) return 1.0;
+  return TupleModel::fp_format_propagation_attenuated(
+      term.print_width, term.digits, surv_to_atten_bits(term.surv));
+}
+
+}  // namespace
+
+double Trident::store_weight(ir::InstRef store) const {
+  // fs+fc / fs ablations: a corrupted store is assumed to reach the
+  // output (the paper's description of the simpler models).
+  return config_.enable_fm ? fm_.store_to_output(store) : 1.0;
+}
+
+// Weight of a store terminal reached with `atten` accumulated bits of
+// relative attenuation: the memory profile supplies the rest of the path
+// and the output formats.
+double Trident::store_term_weight(const StoreTerm& term) const {
+  if (!config_.enable_fm) return 1.0;
+  const auto profile = fm_.store_output_profile(term.ref);
+  if (profile.prob <= 0) return 0.0;
+  const double float_factor = TupleModel::fp_format_propagation_attenuated(
+      profile.print_width == 0 ? 64 : profile.print_width, profile.digits,
+      surv_to_atten_bits(term.surv * profile.surv));
+  return profile.prob *
+         (profile.exact_frac + (1.0 - profile.exact_frac) * float_factor);
+}
+
+double Trident::branch_weight(ir::InstRef branch) const {
+  if (config_.enable_fm) return fm_.branch_to_output(branch);
+  const auto& fc_result = fc_.corrupted(branch);
+  double total = 0;
+  // Branch-decided output instructions are direct SDCs; without fm,
+  // branch-decided stores are assumed to be SDCs (the fs+fc ablation).
+  for (const auto& co : fc_result.outputs) total += co.prob;
+  for (const auto& cs : fc_result.stores) total += cs.prob;
+  return std::min(1.0, total);
+}
+
+InstPrediction Trident::predict(ir::InstRef ref) const {
+  const uint64_t k = prof::pack(ref);
+  if (const auto it = memo_.find(k); it != memo_.end()) return it->second;
+
+  InstPrediction pred;
+  const auto& inst = module_.functions[ref.func].insts[ref.inst];
+  if (inst.has_result() && profile_.exec(ref) > 0) {
+    // Algorithm 1: trace the static sequence from the activated fault,
+    // then fold in the control-flow and memory levels per terminal.
+    const Terminals t = tracer_.trace(ref);
+    double sdc = 0;
+    for (const auto& term : t.outputs) {
+      sdc += term.prob * term_factor(term);
+    }
+    for (const auto& term : t.stores) {
+      sdc += std::min(1.0, term.prob) * store_term_weight(term);
+    }
+    if (config_.enable_fc) {
+      for (const auto& [branch, p] : t.branches) {
+        sdc += std::min(1.0, p) * branch_weight(branch);
+      }
+    }
+    pred.crash = std::min(1.0, t.crash);
+    // A fault cannot both crash and silently corrupt: the outcomes are
+    // mutually exclusive, so crash probability bounds the SDC estimate.
+    pred.sdc = std::min(std::min(1.0, sdc), 1.0 - pred.crash);
+  }
+  memo_[k] = pred;
+  return pred;
+}
+
+std::vector<ir::InstRef> Trident::injectable_instructions() const {
+  std::vector<ir::InstRef> out;
+  for (uint32_t f = 0; f < module_.functions.size(); ++f) {
+    const auto& func = module_.functions[f];
+    for (uint32_t i = 0; i < func.insts.size(); ++i) {
+      if (func.insts[i].has_result() && profile_.exec({f, i}) > 0) {
+        out.push_back({f, i});
+      }
+    }
+  }
+  return out;
+}
+
+double Trident::overall_sdc(uint64_t samples, uint64_t seed) const {
+  assert(samples > 0);
+  // Sample dynamic instructions (each dynamic result-producing execution
+  // equally likely), i.e. static instructions weighted by exec count.
+  const auto insts = injectable_instructions();
+  if (insts.empty()) return 0.0;
+  std::vector<uint64_t> cumulative;
+  cumulative.reserve(insts.size());
+  uint64_t total = 0;
+  for (const auto& ref : insts) {
+    total += profile_.exec(ref);
+    cumulative.push_back(total);
+  }
+  support::Rng rng(seed);
+  double sum = 0;
+  for (uint64_t s = 0; s < samples; ++s) {
+    const uint64_t r = rng.next_below(total);
+    const auto it =
+        std::upper_bound(cumulative.begin(), cumulative.end(), r);
+    const auto idx = static_cast<size_t>(it - cumulative.begin());
+    sum += predict(insts[idx]).sdc;
+  }
+  return sum / static_cast<double>(samples);
+}
+
+double Trident::overall_sdc_exact() const {
+  const auto insts = injectable_instructions();
+  double weighted = 0;
+  double total = 0;
+  for (const auto& ref : insts) {
+    const auto w = static_cast<double>(profile_.exec(ref));
+    weighted += w * predict(ref).sdc;
+    total += w;
+  }
+  return total == 0 ? 0.0 : weighted / total;
+}
+
+}  // namespace trident::core

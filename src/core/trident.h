@@ -1,0 +1,95 @@
+// TRIDENT: the three-level error-propagation model (paper §IV).
+//
+// Composes the sub-models:
+//   fs (SequenceTracer + TupleModel)  — static-instruction level
+//   fc (FcModel)                      — control-flow level
+//   fm (FmModel)                      — memory level
+//
+// ModelConfig reproduces the paper's ablations: disabling fm yields the
+// "fs+fc" model (a corrupted store is assumed to be an SDC); disabling
+// both fc and fm yields the "fs" model (reaching a store/output terminal
+// is assumed to be an SDC, control-flow divergence untracked).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "core/fc_model.h"
+#include "core/fm_model.h"
+#include "core/sequence.h"
+#include "ir/module.h"
+#include "profiler/profile.h"
+#include "support/rng.h"
+
+namespace trident::core {
+
+struct ModelConfig {
+  bool enable_fc = true;
+  bool enable_fm = true;
+  // §VII-A refinement: discount control-corrupted stores by their silent
+  // (coincidentally correct) rate. Off = paper-faithful conservatism.
+  bool lucky_stores = true;
+  TraceConfig trace;
+
+  static ModelConfig full() { return {}; }
+  static ModelConfig fs_fc() {
+    ModelConfig config;
+    config.enable_fm = false;
+    return config;
+  }
+  static ModelConfig fs_only() {
+    ModelConfig config;
+    config.enable_fc = false;
+    config.enable_fm = false;
+    return config;
+  }
+};
+
+/// Per-instruction prediction, conditional on fault activation at the
+/// instruction's destination register.
+struct InstPrediction {
+  double sdc = 0;
+  double crash = 0;
+};
+
+class Trident {
+ public:
+  Trident(const ir::Module& module, const prof::Profile& profile,
+          ModelConfig config = {});
+
+  /// SDC probability of a fault activated at `ref` (must produce a
+  /// result; returns 0 for instructions that never execute).
+  InstPrediction predict(ir::InstRef ref) const;
+
+  /// Overall program SDC probability with `samples` sampled dynamic
+  /// instructions (paper's methodology; sampling balances analysis time
+  /// and accuracy).
+  double overall_sdc(uint64_t samples, uint64_t seed) const;
+
+  /// Exact execution-count-weighted overall SDC probability.
+  double overall_sdc_exact() const;
+
+  /// All result-producing instructions that executed at least once —
+  /// the population both FI and the model draw from.
+  std::vector<ir::InstRef> injectable_instructions() const;
+
+  const prof::Profile& profile() const { return profile_; }
+  const ir::Module& module() const { return module_; }
+  const ModelConfig& config() const { return config_; }
+
+ private:
+  double store_weight(ir::InstRef store) const;
+  double store_term_weight(const StoreTerm& term) const;
+  double branch_weight(ir::InstRef branch) const;
+
+  const ir::Module& module_;
+  const prof::Profile& profile_;
+  ModelConfig config_;
+  SequenceTracer tracer_;
+  FcModel fc_;
+  FmModel fm_;
+  mutable std::unordered_map<uint64_t, InstPrediction> memo_;
+};
+
+}  // namespace trident::core

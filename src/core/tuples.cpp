@@ -1,0 +1,402 @@
+#include "core/tuples.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ir/eval.h"
+#include "support/bits.h"
+
+namespace trident::core {
+
+using support::low_mask;
+
+namespace {
+
+// Probability that flipping a uniformly-chosen bit of operand
+// `operand_index` changes the comparison outcome, averaged over the
+// profiled operand samples. The paper's `cmp sgt $1, 0` example (only the
+// sign bit matters -> 1/32) falls out of this computation.
+double cmp_flip_prob(const ir::Instruction& inst, unsigned width,
+                     const std::vector<std::vector<uint64_t>>& samples,
+                     uint32_t operand_index, bool is_fcmp) {
+  if (samples.empty() || width == 0) return 1.0;
+  double total = 0;
+  for (const auto& ops : samples) {
+    if (ops.size() < 2) continue;
+    const uint64_t a = ops[0], b = ops[1];
+    const bool base = is_fcmp ? ir::eval_fcmp(inst.pred, width, a, b)
+                              : ir::eval_icmp(inst.pred, width, a, b);
+    unsigned changed = 0;
+    for (unsigned bit = 0; bit < width; ++bit) {
+      uint64_t fa = a, fb = b;
+      if (operand_index == 0) {
+        fa = support::flip_bit(a, bit, width);
+      } else {
+        fb = support::flip_bit(b, bit, width);
+      }
+      const bool flipped = is_fcmp ? ir::eval_fcmp(inst.pred, width, fa, fb)
+                                   : ir::eval_icmp(inst.pred, width, fa, fb);
+      if (flipped != base) ++changed;
+    }
+    total += static_cast<double>(changed) / width;
+  }
+  return total / static_cast<double>(samples.size());
+}
+
+// Probability a bit flip in one operand of a bitwise and/or survives to
+// the result: for AND, a flipped bit of `a` matters iff the matching bit
+// of `b` is 1; for OR, iff it is 0.
+double bitwise_prob(ir::Opcode op, unsigned width,
+                    const std::vector<std::vector<uint64_t>>& samples,
+                    uint32_t operand_index) {
+  if (samples.empty() || width == 0) return 1.0;
+  double total = 0;
+  for (const auto& ops : samples) {
+    if (ops.size() < 2) continue;
+    const uint64_t other = ops[1 - operand_index];
+    const unsigned live =
+        op == ir::Opcode::And
+            ? support::popcount_low(other, width)
+            : width - support::popcount_low(other, width);
+    total += static_cast<double>(live) / width;
+  }
+  return total / static_cast<double>(samples.size());
+}
+
+// Fraction of value bits surviving a shift by the profiled amounts.
+double shift_value_prob(unsigned width,
+                        const std::vector<std::vector<uint64_t>>& samples) {
+  if (samples.empty() || width == 0) return 1.0;
+  double total = 0;
+  for (const auto& ops : samples) {
+    if (ops.size() < 2) continue;
+    const unsigned s = static_cast<unsigned>(ops[1] % width);
+    total += static_cast<double>(width - s) / width;
+  }
+  return total / static_cast<double>(samples.size());
+}
+
+// Probability a bit flip turns the divisor into zero (a trap).
+double div_zero_prob(unsigned width,
+                     const std::vector<std::vector<uint64_t>>& samples) {
+  if (samples.empty() || width == 0) return 0.0;
+  double total = 0;
+  for (const auto& ops : samples) {
+    if (ops.size() < 2) continue;
+    // Exactly one bit set: flipping that bit yields zero.
+    if (support::popcount_low(ops[1], width) == 1) total += 1.0 / width;
+  }
+  return total / static_cast<double>(samples.size());
+}
+
+// Exact per-bit propagation through a float arithmetic op: a flipped
+// operand bit propagates iff it changes the result's bit pattern. This
+// captures absorption (deltas below the result's ulp vanish) and
+// cancellation, which dominate masking in float-heavy kernels.
+double float_op_prob(ir::Opcode op, unsigned width,
+                     const std::vector<std::vector<uint64_t>>& samples,
+                     uint32_t operand_index) {
+  if (samples.empty() || width == 0) return 1.0;
+  const auto eval = [&](uint64_t a, uint64_t b) -> uint64_t {
+    if (width == 32) {
+      const float x = support::bits_to_f32(a), y = support::bits_to_f32(b);
+      float r = 0;
+      switch (op) {
+        case ir::Opcode::FAdd: r = x + y; break;
+        case ir::Opcode::FSub: r = x - y; break;
+        case ir::Opcode::FMul: r = x * y; break;
+        default: r = x / y; break;
+      }
+      return support::f32_to_bits(r);
+    }
+    const double x = support::bits_to_f64(a), y = support::bits_to_f64(b);
+    double r = 0;
+    switch (op) {
+      case ir::Opcode::FAdd: r = x + y; break;
+      case ir::Opcode::FSub: r = x - y; break;
+      case ir::Opcode::FMul: r = x * y; break;
+      default: r = x / y; break;
+    }
+    return support::f64_to_bits(r);
+  };
+  double total = 0;
+  for (const auto& ops : samples) {
+    if (ops.size() < 2) continue;
+    const uint64_t base = eval(ops[0], ops[1]);
+    unsigned changed = 0;
+    for (unsigned bit = 0; bit < width; ++bit) {
+      uint64_t a = ops[0], b = ops[1];
+      if (operand_index == 0) {
+        a = support::flip_bit(a, bit, width);
+      } else {
+        b = support::flip_bit(b, bit, width);
+      }
+      if (eval(a, b) != base) ++changed;
+    }
+    total += static_cast<double>(changed) / width;
+  }
+  return total / static_cast<double>(samples.size());
+}
+
+}  // namespace
+
+double TupleModel::address_crash_prob(ir::InstRef ref,
+                                      uint32_t addr_operand) const {
+  const auto& func = module_.functions[ref.func];
+  const auto& samples = profile_.funcs[ref.func].operand_samples[ref.inst];
+  if (samples.empty()) return 0.5;  // no profile data: split the odds
+  const auto& inst = func.insts[ref.inst];
+  const unsigned bytes =
+      inst.op == ir::Opcode::Load ? inst.type.store_size()
+      : inst.op == ir::Opcode::Memcpy
+          ? 1  // byte-granular accesses
+          : func.value_type(inst.operands[0]).store_size();
+
+  // Faults reach the address through the register chain that computed
+  // it. When that is `gep base, index` the perturbable address bits are
+  // only index_width + log2(elem_size); flipping bits above that range
+  // cannot happen, and counting them grossly over-states crashes.
+  unsigned addr_bits = 64;
+  const auto& addr_value = inst.operands[addr_operand];
+  if (addr_value.is_inst()) {
+    const auto& def = func.insts[addr_value.index];
+    if (def.op == ir::Opcode::Gep) {
+      unsigned scale_bits = 0;
+      while ((1ULL << scale_bits) < def.imm) ++scale_bits;
+      addr_bits = std::min<unsigned>(
+          64, func.value_type(def.operands[1]).width() + scale_bits);
+    }
+  }
+
+  double total = 0;
+  unsigned counted = 0;
+  for (const auto& ops : samples) {
+    if (ops.size() <= addr_operand) continue;
+    const uint64_t addr = ops[addr_operand];
+    unsigned invalid = 0;
+    for (unsigned bit = 0; bit < addr_bits; ++bit) {
+      const uint64_t flipped = addr ^ (1ULL << bit);
+      if (!profile_.address_valid(flipped, bytes)) ++invalid;
+    }
+    total += static_cast<double>(invalid) / addr_bits;
+    ++counted;
+  }
+  return counted == 0 ? 0.5 : total / counted;
+}
+
+double TupleModel::fp_format_propagation(unsigned bits, unsigned precision) {
+  // §IV-E: only mantissa-bit errors can hide in the digits the format
+  // cuts off; exponent/sign errors change the magnitude and survive.
+  const unsigned mantissa = bits == 32 ? 23 : 52;
+  const unsigned digits = bits == 32 ? 7 : 16;  // type's decimal precision
+  if (precision == 0 || precision >= digits) return 1.0;
+  const double kept = static_cast<double>(precision) / digits;
+  return ((bits - mantissa) + mantissa * kept) / static_cast<double>(bits);
+}
+
+double TupleModel::fp_format_propagation_attenuated(unsigned bits,
+                                                    double digits,
+                                                    double atten_bits) {
+  if (bits != 32 && bits != 64) return 1.0;
+  const unsigned mantissa = bits == 32 ? 23 : 52;
+  const unsigned type_digits = bits == 32 ? 7 : 16;
+  if (digits <= 0 || digits >= type_digits) {
+    digits = type_digits;  // full precision printed: only atten masks
+  }
+  // A flip of mantissa bit k carries relative delta ~2^(k - mantissa);
+  // after 2^-atten attenuation it reaches the printed digits iff
+  // k > mantissa - digits * log2(10) + atten. Exponent and sign flips
+  // change the magnitude by orders of magnitude and always survive.
+  constexpr double kBitsPerDigit = 3.321928;
+  const double visible = std::clamp(digits * kBitsPerDigit - atten_bits,
+                                    0.0, static_cast<double>(mantissa));
+  return ((bits - mantissa) + visible) / static_cast<double>(bits);
+}
+
+Tuple TupleModel::tuple(ir::InstRef ref, uint32_t operand_index) const {
+  const auto& func = module_.functions[ref.func];
+  const auto& inst = func.insts[ref.inst];
+  const auto& samples = profile_.funcs[ref.func].operand_samples[ref.inst];
+
+  Tuple t;
+  switch (inst.op) {
+    case ir::Opcode::ICmp:
+    case ir::Opcode::FCmp: {
+      const unsigned w = func.value_type(inst.operands[0]).width();
+      t.propagate = cmp_flip_prob(inst, w, samples, operand_index,
+                                  inst.op == ir::Opcode::FCmp);
+      t.mask = 1.0 - t.propagate;
+      break;
+    }
+    case ir::Opcode::And:
+    case ir::Opcode::Or:
+      t.propagate = bitwise_prob(inst.op, inst.type.width(), samples,
+                                 operand_index);
+      t.mask = 1.0 - t.propagate;
+      break;
+    case ir::Opcode::Xor:
+      break;  // xor moves every bit: (1, 0, 0)
+    case ir::Opcode::FAdd:
+    case ir::Opcode::FSub:
+    case ir::Opcode::FMul:
+    case ir::Opcode::FDiv:
+      t.propagate = float_op_prob(inst.op, inst.type.width(), samples,
+                                  operand_index);
+      t.mask = 1.0 - t.propagate;
+      // Relative-magnitude attenuation: only additive ops change the
+      // relative size of a fault (mul/div preserve it).
+      if (inst.op == ir::Opcode::FAdd || inst.op == ir::Opcode::FSub) {
+        const unsigned w = inst.type.width();
+        double total = 0;
+        unsigned counted = 0;
+        for (const auto& ops : samples) {
+          if (ops.size() < 2) continue;
+          const double in =
+              w == 32 ? support::bits_to_f32(ops[operand_index])
+                      : support::bits_to_f64(ops[operand_index]);
+          const double a =
+              w == 32 ? support::bits_to_f32(ops[0])
+                      : support::bits_to_f64(ops[0]);
+          const double b =
+              w == 32 ? support::bits_to_f32(ops[1])
+                      : support::bits_to_f64(ops[1]);
+          const double out = inst.op == ir::Opcode::FAdd ? a + b : a - b;
+          if (in == 0.0 || !std::isfinite(in) || !std::isfinite(out)) {
+            continue;
+          }
+          const double ratio = std::abs(out) / std::abs(in);
+          total += std::clamp(std::log2(std::max(ratio, 1e-30)), -16.0, 80.0);
+          ++counted;
+        }
+        if (counted > 0) t.atten = total / counted;
+      }
+      break;
+    case ir::Opcode::Shl:
+    case ir::Opcode::LShr:
+    case ir::Opcode::AShr:
+      if (operand_index == 0) {
+        t.propagate = shift_value_prob(inst.type.width(), samples);
+        t.mask = 1.0 - t.propagate;
+      }
+      // Errors in the shift amount always change the result: (1, 0, 0).
+      break;
+    case ir::Opcode::Trunc: {
+      const unsigned from = func.value_type(inst.operands[0]).width();
+      t.propagate = static_cast<double>(inst.type.width()) / from;
+      t.mask = 1.0 - t.propagate;
+      break;
+    }
+    case ir::Opcode::Load:
+      // operand 0 is the address: a corrupted address is overwhelmingly a
+      // trap; the non-trapping remainder reads a wrong-but-valid location
+      // and propagates.
+      t.crash = address_crash_prob(ref, 0);
+      t.propagate = 1.0 - t.crash;
+      break;
+    case ir::Opcode::Memcpy: {
+      // Either pointer corrupted: mostly a trap; a surviving flip copies
+      // the wrong region (untracked arbitrary corruption, like the
+      // store-address case).
+      t.crash = address_crash_prob(ref, operand_index);
+      t.propagate = 0.0;
+      t.mask = 1.0 - t.crash;
+      break;
+    }
+    case ir::Opcode::Store:
+      if (operand_index == 1) {
+        // Corrupted store address: trap with probability crash; the
+        // survivors corrupt an arbitrary location, which the paper
+        // explicitly does not track (§VII-A "Errors in Store Address") —
+        // modeled as masked here, and called out in DESIGN.md.
+        t.crash = address_crash_prob(ref, 1);
+        t.propagate = 0.0;
+        t.mask = 1.0 - t.crash;
+      }
+      // operand 0 (the value) propagates into memory: (1, 0, 0).
+      break;
+    case ir::Opcode::Select: {
+      if (operand_index == 0) break;  // a flipped condition selects wrong
+      if (samples.empty()) break;
+      // Min/max idiom — select(cmp(a, b), a, b): the corrupted arm only
+      // propagates if it is still (or newly) selected, which is exactly
+      // computable per bit flip. This captures the magnitude masking that
+      // min/max reductions apply to upsets.
+      const auto& cond = inst.operands[0];
+      if (cond.is_inst()) {
+        const auto& cmp = func.insts[cond.index];
+        if (cmp.is_cmp() && cmp.operands.size() == 2) {
+          int map1 = -1, map2 = -1;  // select arm -> cmp operand position
+          for (int c = 0; c < 2; ++c) {
+            if (cmp.operands[c] == inst.operands[1]) map1 = c;
+            if (cmp.operands[c] == inst.operands[2]) map2 = c;
+          }
+          if (map1 >= 0 && map2 >= 0 && map1 != map2) {
+            const unsigned w = inst.type.width();
+            const bool is_f = cmp.op == ir::Opcode::FCmp;
+            double total = 0;
+            for (const auto& ops : samples) {
+              if (ops.size() < 3) continue;
+              const uint64_t arm[2] = {ops[1], ops[2]};
+              uint64_t cops[2];
+              cops[map1] = arm[0];
+              cops[map2] = arm[1];
+              const bool c0 = is_f
+                                  ? ir::eval_fcmp(cmp.pred, w, cops[0], cops[1])
+                                  : ir::eval_icmp(cmp.pred, w, cops[0], cops[1]);
+              const uint64_t base = c0 ? arm[0] : arm[1];
+              unsigned changed = 0;
+              for (unsigned bit = 0; bit < w; ++bit) {
+                uint64_t a2[2] = {arm[0], arm[1]};
+                a2[operand_index - 1] =
+                    support::flip_bit(a2[operand_index - 1], bit, w);
+                uint64_t c2[2];
+                c2[map1] = a2[0];
+                c2[map2] = a2[1];
+                const bool cf = is_f
+                                    ? ir::eval_fcmp(cmp.pred, w, c2[0], c2[1])
+                                    : ir::eval_icmp(cmp.pred, w, c2[0], c2[1]);
+                // The corruption propagates onward only if the min/max
+                // retains the corrupted arm with a changed value; picking
+                // the clean arm discards the upset (the reduction's
+                // magnitude masking).
+                const bool kept_corrupted = operand_index == 1 ? cf : !cf;
+                const uint64_t out = cf ? a2[0] : a2[1];
+                if (kept_corrupted && out != base) ++changed;
+              }
+              total += static_cast<double>(changed) / w;
+            }
+            t.propagate = total / static_cast<double>(samples.size());
+            t.mask = 1.0 - t.propagate;
+            break;
+          }
+        }
+      }
+      // Generic select: a corrupted arm propagates only when the
+      // condition picks it; the pick rate comes from profiled values.
+      double taken = 0;
+      for (const auto& ops : samples) {
+        if (!ops.empty() && (ops[0] & 1)) taken += 1;
+      }
+      taken /= static_cast<double>(samples.size());
+      t.propagate = operand_index == 1 ? taken : 1.0 - taken;
+      t.mask = 1.0 - t.propagate;
+      break;
+    }
+    case ir::Opcode::SDiv:
+    case ir::Opcode::UDiv:
+    case ir::Opcode::SRem:
+    case ir::Opcode::URem:
+      if (operand_index == 1) {
+        t.crash = div_zero_prob(inst.type.width(), samples);
+        t.propagate = 1.0 - t.crash;
+      }
+      break;
+    default:
+      // The paper's simplifying heuristic (§IV-C): all other instructions
+      // neither move nor discard corrupted bits -> (1, 0, 0).
+      break;
+  }
+  return t;
+}
+
+}  // namespace trident::core

@@ -1,0 +1,65 @@
+// fs tuples (paper §IV-C): for each instruction and operand position, the
+// (propagate, mask, crash) probabilities given that this operand carries
+// an erroneous value. Following the paper, only comparisons, logic
+// operators, shifts and casts have non-trivial masking; loads, stores and
+// divisions have crash entries derived from the profiled memory-segment
+// map / operand values; every other opcode propagates with probability 1.
+#pragma once
+
+#include <cstdint>
+
+#include "ir/module.h"
+#include "profiler/profile.h"
+
+namespace trident::core {
+
+struct Tuple {
+  double propagate = 1.0;
+  double mask = 0.0;
+  double crash = 0.0;
+  // Extension over the paper (see DESIGN.md §4): expected attenuation, in
+  // bits, of a float fault's RELATIVE magnitude across this instruction.
+  // Nonzero only for fadd/fsub, where a small corrupted term entering a
+  // larger sum shrinks relatively (atten = log2|out / in|, averaged over
+  // profiled operands; negative = amplification by cancellation). The
+  // generalized output-format rule consumes the path sum of these.
+  double atten = 0.0;
+};
+
+class TupleModel {
+ public:
+  TupleModel(const ir::Module& module, const prof::Profile& profile)
+      : module_(module), profile_(profile) {}
+
+  /// Tuple of instruction `ref` for an error arriving in operand
+  /// `operand_index`. Deterministic; cheap enough to call repeatedly
+  /// (address-crash estimates are memoized by the caller via the
+  /// SequenceTracer's memoization).
+  Tuple tuple(ir::InstRef ref, uint32_t operand_index) const;
+
+  /// Probability a random single-bit flip of the address operand of a
+  /// load/store leaves all profiled segments (i.e. traps). Derived from
+  /// the profiled address samples and segment map (paper: "approximated
+  /// by profiling memory size allocated for the program").
+  double address_crash_prob(ir::InstRef ref, uint32_t addr_operand) const;
+
+  /// The paper's floating-point output-format masking rule (§IV-E):
+  /// probability that an error in a float value of width `bits` survives
+  /// printing with `precision` significant decimal digits.
+  static double fp_format_propagation(unsigned bits, unsigned precision);
+
+  /// Generalization of the rule above with relative-magnitude attenuation
+  /// `atten_bits` accumulated along the propagation path: a mantissa-bit
+  /// fault survives formatting iff its relative delta, shrunk by
+  /// 2^-atten, still reaches the printed digits. atten = 0 reproduces the
+  /// paper's formula (digits map to mantissa bits at ~3.32 bits/digit).
+  static double fp_format_propagation_attenuated(unsigned bits,
+                                                 double digits,
+                                                 double atten_bits);
+
+ private:
+  const ir::Module& module_;
+  const prof::Profile& profile_;
+};
+
+}  // namespace trident::core

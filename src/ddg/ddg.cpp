@@ -1,0 +1,207 @@
+#include "ddg/ddg.h"
+
+#include <cassert>
+#include <unordered_map>
+
+namespace trident::ddg {
+
+namespace {
+constexpr uint64_t kNoNode = ~0ull;
+}  // namespace
+
+// Shadow machine: replays the interpreter's hook stream, mirroring the
+// call stack and register files at "which dynamic node produced this
+// value" granularity.
+class DdgBuilder final : public interp::ExecHooks {
+ public:
+  explicit DdgBuilder(const ir::Module& module) : module_(module) {
+    push_frame(*module.find_function("main"), {});
+  }
+
+  void on_exec(ir::InstRef ref,
+               std::span<const uint64_t> /*operands*/) override {
+    const auto& func = module_.functions[ref.func];
+    const auto& inst = func.insts[ref.inst];
+    Frame& fr = frames_.back();
+
+    Node node;
+    node.inst = ref;
+    node.first_producer = static_cast<uint32_t>(out_.producer_pool_.size());
+    const auto add_producer = [&](uint64_t n) {
+      if (n == kNoNode) return;
+      out_.producer_pool_.push_back(n);
+      ++node.num_producers;
+    };
+    const auto producer_of = [&](const ir::Value& v) -> uint64_t {
+      switch (v.kind) {
+        case ir::Value::Kind::Inst:
+          return fr.reg_node[v.index];
+        case ir::Value::Kind::Arg:
+          return fr.arg_node[v.index];
+        default:
+          return kNoNode;
+      }
+    };
+
+    if (inst.op == ir::Opcode::Phi) {
+      // The staged value came from the incoming edge matching the block
+      // we arrived from.
+      for (uint32_t k = 0; k < inst.incoming.size(); ++k) {
+        if (inst.incoming[k] == fr.prev_block) {
+          add_producer(producer_of(inst.operands[k]));
+          break;
+        }
+      }
+    } else {
+      for (const auto& v : inst.operands) add_producer(producer_of(v));
+    }
+    current_node_ = out_.nodes_.size();
+    out_.nodes_.push_back(node);
+
+    // Control-flow mirroring.
+    switch (inst.op) {
+      case ir::Opcode::Br:
+        fr.prev_block = inst.block;
+        break;
+      case ir::Opcode::CondBr:
+        fr.prev_block = inst.block;  // direction applied in on_branch
+        break;
+      case ir::Opcode::Call: {
+        std::vector<uint64_t> args;
+        args.reserve(inst.operands.size());
+        for (const auto& v : inst.operands) args.push_back(producer_of(v));
+        push_frame(inst.callee, std::move(args));
+        break;
+      }
+      case ir::Opcode::Ret:
+        last_ret_node_ = current_node_;
+        frames_.pop_back();
+        break;
+      default:
+        break;
+    }
+  }
+
+  void on_result(ir::InstRef ref, uint64_t /*dyn*/,
+                 uint64_t& /*bits*/) override {
+    // Commits happen in the frame that owns the destination register: the
+    // current frame, except for call results, which commit in the caller
+    // right after the callee's frame was popped (and whose producer chain
+    // runs through the ret node).
+    Frame& fr = frames_.back();
+    const auto& inst = module_.functions[ref.func].insts[ref.inst];
+    fr.reg_node[ref.inst] =
+        inst.op == ir::Opcode::Call ? last_ret_node_ : current_node_;
+  }
+
+  void on_branch(ir::InstRef /*ref*/, bool /*taken*/) override {}
+
+  void on_load(ir::InstRef /*ref*/, uint64_t addr, unsigned bytes) override {
+    // Append memory producers to the node created by this load's on_exec.
+    Node& node = out_.nodes_[current_node_];
+    // Producers must stay contiguous per node: loads are the last
+    // producer-adding event for their node, so appending is safe.
+    assert(node.first_producer + node.num_producers ==
+           out_.producer_pool_.size());
+    uint64_t last = kNoNode;
+    for (unsigned i = 0; i < bytes; ++i) {
+      const auto it = mem_writer_.find(addr + i);
+      if (it == mem_writer_.end() || it->second == last) continue;
+      last = it->second;
+      out_.producer_pool_.push_back(last);
+      ++node.num_producers;
+    }
+  }
+
+  void on_store(ir::InstRef /*ref*/, uint64_t addr, unsigned bytes,
+                bool /*silent*/) override {
+    for (unsigned i = 0; i < bytes; ++i) mem_writer_[addr + i] = current_node_;
+  }
+
+  void on_memcpy(ir::InstRef /*ref*/, uint64_t dst, uint64_t src,
+                 uint64_t bytes) override {
+    for (uint64_t i = 0; i < bytes; ++i) {
+      const auto it = mem_writer_.find(src + i);
+      if (it != mem_writer_.end()) {
+        mem_writer_[dst + i] = it->second;
+      } else {
+        mem_writer_.erase(dst + i);
+      }
+    }
+  }
+
+  Ddg take() { return std::move(out_); }
+
+ private:
+  struct Frame {
+    std::vector<uint64_t> reg_node;
+    std::vector<uint64_t> arg_node;
+    uint32_t prev_block = ir::kNoBlock;
+  };
+
+  void push_frame(uint32_t func, std::vector<uint64_t> args) {
+    Frame fr;
+    fr.reg_node.assign(module_.functions[func].insts.size(), kNoNode);
+    fr.arg_node = std::move(args);
+    frames_.push_back(std::move(fr));
+  }
+
+  const ir::Module& module_;
+  Ddg out_;
+  std::vector<Frame> frames_;
+  std::unordered_map<uint64_t, uint64_t> mem_writer_;
+  uint64_t current_node_ = kNoNode;
+  uint64_t last_ret_node_ = kNoNode;
+};
+
+Ddg Ddg::capture(const ir::Module& module, uint64_t fuel) {
+  interp::Interpreter interp(module);
+  DdgBuilder builder(module);
+  interp::RunOptions options;
+  options.fuel = fuel;
+  options.hooks = &builder;
+  const auto res = interp.run_main(options);
+  assert(res.outcome == interp::Outcome::Ok && "golden run must succeed");
+  (void)res;
+  return builder.take();
+}
+
+std::vector<uint64_t> Ddg::producers(uint64_t n) const {
+  const Node& node = nodes_[n];
+  return {producer_pool_.begin() + node.first_producer,
+          producer_pool_.begin() + node.first_producer + node.num_producers};
+}
+
+const std::vector<std::vector<uint64_t>>& Ddg::users() const {
+  if (!users_built_) {
+    users_.assign(nodes_.size(), {});
+    for (uint64_t n = 0; n < nodes_.size(); ++n) {
+      const Node& node = nodes_[n];
+      for (uint32_t k = 0; k < node.num_producers; ++k) {
+        users_[producer_pool_[node.first_producer + k]].push_back(n);
+      }
+    }
+    users_built_ = true;
+  }
+  return users_;
+}
+
+size_t Ddg::memory_bytes() const {
+  size_t bytes = nodes_.size() * sizeof(Node) +
+                 producer_pool_.size() * sizeof(uint64_t);
+  if (users_built_) {
+    bytes += users_.size() * sizeof(std::vector<uint64_t>) +
+             producer_pool_.size() * sizeof(uint64_t);
+  }
+  return bytes;
+}
+
+std::vector<uint64_t> Ddg::nodes_of(ir::InstRef ref) const {
+  std::vector<uint64_t> out;
+  for (uint64_t n = 0; n < nodes_.size(); ++n) {
+    if (nodes_[n].inst == ref) out.push_back(n);
+  }
+  return out;
+}
+
+}  // namespace trident::ddg

@@ -1,0 +1,62 @@
+// Dynamic data-dependency graph (DDG) capture.
+//
+// ePVF's crash-propagation model "requires a detailed DDG of the entire
+// program's execution, which is extremely time-consuming and resource
+// hungry ... ePVF can only be executed on programs with a maximum of a
+// million dynamic instructions in practice" (paper §VII-C). This module
+// builds that DDG, both to implement the real ePVF crash model
+// (baselines/epvf.h) and to let bench/epvf_ddg quantify exactly the cost
+// the paper contrasts TRIDENT against.
+//
+// The graph has one node per executed instruction (result-producing or
+// not), with edges to the dynamic producers of its operands. Register
+// producers are tracked through a shadow call stack replayed from the
+// interpreter's hook stream; memory producers through a byte-granular
+// writer map (propagated through memcpy, as in the profiler).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "interp/interpreter.h"
+#include "ir/module.h"
+
+namespace trident::ddg {
+
+struct Node {
+  ir::InstRef inst;
+  uint32_t first_producer = 0;  // index into the producer pool
+  uint32_t num_producers = 0;
+};
+
+class Ddg {
+ public:
+  /// Captures the full-execution DDG of `module`'s main function.
+  /// Asserts the golden run completes cleanly.
+  static Ddg capture(const ir::Module& module,
+                     uint64_t fuel = 500'000'000);
+
+  const std::vector<Node>& nodes() const { return nodes_; }
+  /// Producers of node `n` (dynamic node ids).
+  std::vector<uint64_t> producers(uint64_t n) const;
+  size_t num_edges() const { return producer_pool_.size(); }
+
+  /// Forward adjacency (consumer lists), built on first use.
+  const std::vector<std::vector<uint64_t>>& users() const;
+
+  /// Total bytes this DDG occupies (nodes + edges + adjacency), the
+  /// §VII-C scalability metric.
+  size_t memory_bytes() const;
+
+  /// All dynamic node ids of one static instruction.
+  std::vector<uint64_t> nodes_of(ir::InstRef ref) const;
+
+ private:
+  friend class DdgBuilder;
+  std::vector<Node> nodes_;
+  std::vector<uint64_t> producer_pool_;
+  mutable std::vector<std::vector<uint64_t>> users_;
+  mutable bool users_built_ = false;
+};
+
+}  // namespace trident::ddg

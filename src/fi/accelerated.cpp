@@ -1,0 +1,82 @@
+#include "fi/accelerated.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace trident::fi {
+
+double StratifiedResult::sdc_prob() const {
+  double weighted = 0, total = 0;
+  for (const auto& s : sites) {
+    if (s.trials == 0) continue;
+    weighted += static_cast<double>(s.exec) * s.sdc / s.trials;
+    total += static_cast<double>(s.exec);
+  }
+  return total == 0 ? 0.0 : weighted / total;
+}
+
+double StratifiedResult::crash_prob() const {
+  double weighted = 0, total = 0;
+  for (const auto& s : sites) {
+    if (s.trials == 0) continue;
+    weighted += static_cast<double>(s.exec) * s.crash / s.trials;
+    total += static_cast<double>(s.exec);
+  }
+  return total == 0 ? 0.0 : weighted / total;
+}
+
+double StratifiedResult::sdc_ci95() const {
+  double total = 0;
+  for (const auto& s : sites) total += static_cast<double>(s.exec);
+  if (total == 0) return 0.0;
+  double variance = 0;
+  for (const auto& s : sites) {
+    if (s.trials == 0) continue;
+    const double w = static_cast<double>(s.exec) / total;
+    const double p = static_cast<double>(s.sdc) / s.trials;
+    // Laplace-smoothed binomial variance keeps 0/0-hit strata honest.
+    const double p_hat =
+        (s.sdc + 1.0) / (s.trials + 2.0);
+    (void)p;
+    variance += w * w * p_hat * (1.0 - p_hat) / s.trials;
+  }
+  return 1.96 * std::sqrt(variance);
+}
+
+StratifiedResult run_stratified_campaign(const ir::Module& module,
+                                         const prof::Profile& profile,
+                                         const StratifiedOptions& options) {
+  assert(options.trials_per_site > 0);
+  support::Rng rng(options.seed);
+  const uint64_t fuel =
+      profile.total_dynamic * options.fuel_multiplier + 10000;
+
+  StratifiedResult result;
+  for (uint32_t f = 0; f < module.functions.size(); ++f) {
+    const auto& func = module.functions[f];
+    for (uint32_t i = 0; i < func.insts.size(); ++i) {
+      if (!func.insts[i].has_result()) continue;
+      const ir::InstRef ref{f, i};
+      const uint64_t exec = profile.exec(ref);
+      if (exec == 0) continue;
+      SiteEstimate site{ref, exec, 0, 0, 0};
+      for (uint64_t t = 0; t < options.trials_per_site; ++t) {
+        InjectionSite inj;
+        inj.mode = InjectionSite::Mode::Occurrence;
+        inj.inst = ref;
+        inj.occurrence = rng.next_below(exec);
+        inj.bit_entropy = rng.next_u64();
+        const auto trial =
+            run_one_trial(module, profile, inj, fuel, ir::kNoFunc);
+        ++site.trials;
+        site.sdc += trial.outcome == FIOutcome::SDC;
+        site.crash += trial.outcome == FIOutcome::Crash;
+      }
+      result.total_trials += site.trials;
+      result.sites.push_back(site);
+    }
+  }
+  return result;
+}
+
+}  // namespace trident::fi

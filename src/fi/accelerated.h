@@ -1,0 +1,52 @@
+// Accelerated FI estimation, after Relyzer (Hari et al., ASPLOS 2012 —
+// the paper's §VIII comparison point): exploit fault equivalence by
+// stratifying the dynamic-instruction population by static instruction.
+// A few injections per static site, combined with execution-count
+// weights, estimate the overall SDC probability with far lower variance
+// per trial than uniform Monte-Carlo sampling when vulnerability is
+// instruction-dependent (it always is). Unlike TRIDENT this still
+// requires injections — it sits between plain FI and the model on the
+// cost/accuracy spectrum, which bench/fi_acceleration quantifies.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fi/campaign.h"
+
+namespace trident::fi {
+
+struct StratifiedOptions {
+  uint64_t seed = 1234;
+  /// Injections per static instruction (stratum).
+  uint64_t trials_per_site = 4;
+  uint64_t fuel_multiplier = 50;
+};
+
+struct SiteEstimate {
+  ir::InstRef site;
+  uint64_t exec = 0;    // stratum weight (dynamic occurrences)
+  uint64_t trials = 0;
+  uint64_t sdc = 0;
+  uint64_t crash = 0;
+};
+
+struct StratifiedResult {
+  std::vector<SiteEstimate> sites;
+  uint64_t total_trials = 0;
+
+  /// Execution-weighted overall estimates.
+  double sdc_prob() const;
+  double crash_prob() const;
+  /// Half-width of the ~95% CI from the stratified variance formula
+  /// (sum of squared weights times per-stratum binomial variances).
+  double sdc_ci95() const;
+};
+
+/// Runs trials_per_site injections into every executed result-producing
+/// static instruction and combines the strata.
+StratifiedResult run_stratified_campaign(const ir::Module& module,
+                                         const prof::Profile& profile,
+                                         const StratifiedOptions& options);
+
+}  // namespace trident::fi

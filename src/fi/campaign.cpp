@@ -1,0 +1,159 @@
+#include "fi/campaign.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <thread>
+
+namespace trident::fi {
+
+const char* fi_outcome_name(FIOutcome o) {
+  switch (o) {
+    case FIOutcome::Benign: return "benign";
+    case FIOutcome::SDC: return "sdc";
+    case FIOutcome::Crash: return "crash";
+    case FIOutcome::Hang: return "hang";
+    case FIOutcome::Detected: return "detected";
+  }
+  return "?";
+}
+
+double CampaignResult::sdc_prob() const {
+  return trials.empty() ? 0.0
+                        : static_cast<double>(sdc) / trials.size();
+}
+
+double CampaignResult::crash_prob() const {
+  return trials.empty() ? 0.0
+                        : static_cast<double>(crash) / trials.size();
+}
+
+double CampaignResult::detected_prob() const {
+  return trials.empty() ? 0.0
+                        : static_cast<double>(detected) / trials.size();
+}
+
+double CampaignResult::sdc_ci95() const {
+  if (trials.empty()) return 0.0;
+  const double p = sdc_prob();
+  return 1.96 * std::sqrt(p * (1.0 - p) / static_cast<double>(trials.size()));
+}
+
+Trial run_one_trial(const ir::Module& module, const prof::Profile& profile,
+                    const InjectionSite& site, uint64_t fuel,
+                    uint32_t entry_func) {
+  interp::Interpreter interp(module);
+  Injector injector(module, site);
+  interp::RunOptions run_options;
+  run_options.fuel = fuel;
+  run_options.hooks = &injector;
+  const auto res = entry_func == ir::kNoFunc
+                       ? interp.run_main(run_options)
+                       : interp.run(entry_func, {}, run_options);
+
+  Trial trial;
+  trial.target = injector.target();
+  trial.bit = injector.bit();
+  switch (res.outcome) {
+    case interp::Outcome::Ok:
+      trial.outcome = res.output == profile.golden_output ? FIOutcome::Benign
+                                                          : FIOutcome::SDC;
+      break;
+    case interp::Outcome::Crash:
+      trial.outcome = FIOutcome::Crash;
+      break;
+    case interp::Outcome::Hang:
+      trial.outcome = FIOutcome::Hang;
+      break;
+    case interp::Outcome::Detected:
+      trial.outcome = FIOutcome::Detected;
+      break;
+  }
+  return trial;
+}
+
+namespace {
+
+void tally(CampaignResult& result, Trial trial) {
+  switch (trial.outcome) {
+    case FIOutcome::Benign: ++result.benign; break;
+    case FIOutcome::SDC: ++result.sdc; break;
+    case FIOutcome::Crash: ++result.crash; break;
+    case FIOutcome::Hang: ++result.hang; break;
+    case FIOutcome::Detected: ++result.detected; break;
+  }
+  result.trials.push_back(trial);
+}
+
+// Runs the pre-planned sites, sharded over options.threads workers.
+// Results land at their plan index, so the outcome is identical for any
+// thread count.
+CampaignResult run_planned(const ir::Module& module,
+                           const prof::Profile& profile,
+                           const std::vector<InjectionSite>& plan,
+                           const CampaignOptions& options) {
+  const uint64_t fuel =
+      profile.total_dynamic * options.fuel_multiplier + 10000;
+  std::vector<Trial> trials(plan.size());
+  const uint32_t workers =
+      std::max<uint32_t>(1, std::min<uint32_t>(options.threads,
+                                               std::thread::hardware_concurrency()));
+  if (workers <= 1) {
+    for (size_t i = 0; i < plan.size(); ++i) {
+      trials[i] = run_one_trial(module, profile, plan[i], fuel, options.entry);
+    }
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (uint32_t w = 0; w < workers; ++w) {
+      pool.emplace_back([&, w] {
+        for (size_t i = w; i < plan.size(); i += workers) {
+          trials[i] =
+              run_one_trial(module, profile, plan[i], fuel, options.entry);
+        }
+      });
+    }
+    for (auto& t : pool) t.join();
+  }
+  CampaignResult result;
+  result.trials.reserve(trials.size());
+  for (const auto& trial : trials) tally(result, trial);
+  return result;
+}
+
+}  // namespace
+
+CampaignResult run_overall_campaign(const ir::Module& module,
+                                    const prof::Profile& profile,
+                                    const CampaignOptions& options) {
+  assert(profile.total_results > 0);
+  support::Rng rng(options.seed);
+  std::vector<InjectionSite> plan(options.trials);
+  for (auto& site : plan) {
+    site.mode = InjectionSite::Mode::DynIndex;
+    site.dyn_index = rng.next_below(profile.total_results);
+    site.bit_entropy = rng.next_u64();
+    site.num_bits = options.num_bits;
+  }
+  return run_planned(module, profile, plan, options);
+}
+
+CampaignResult run_instruction_campaign(const ir::Module& module,
+                                        const prof::Profile& profile,
+                                        ir::InstRef target,
+                                        const CampaignOptions& options) {
+  const uint64_t occurrences = profile.exec(target);
+  assert(occurrences > 0 && "target never executes");
+  support::Rng rng(options.seed);
+  std::vector<InjectionSite> plan(options.trials);
+  for (auto& site : plan) {
+    site.mode = InjectionSite::Mode::Occurrence;
+    site.inst = target;
+    site.occurrence = rng.next_below(occurrences);
+    site.bit_entropy = rng.next_u64();
+    site.num_bits = options.num_bits;
+  }
+  return run_planned(module, profile, plan, options);
+}
+
+}  // namespace trident::fi

@@ -1,0 +1,32 @@
+#include "fi/injector.h"
+
+#include "support/bits.h"
+
+namespace trident::fi {
+
+void Injector::on_result(ir::InstRef ref, uint64_t dyn_index,
+                         uint64_t& bits) {
+  if (fired_) return;
+  if (site_.mode == InjectionSite::Mode::DynIndex) {
+    if (dyn_index != site_.dyn_index) return;
+  } else {
+    if (!(ref == site_.inst)) return;
+    if (occurrence_seen_++ != site_.occurrence) return;
+  }
+  const auto& inst = module_.functions[ref.func].insts[ref.inst];
+  unsigned width = inst.type.width();
+  if (width == 0) width = 64;
+  // Map the 64 bits of entropy to a uniform bit position in [0, width).
+  bit_ = static_cast<unsigned>(
+      (static_cast<__uint128_t>(site_.bit_entropy) * width) >> 64);
+  original_ = bits;
+  // Burst model: flip num_bits adjacent bits (wrapping within the
+  // register) starting at the chosen position.
+  for (uint32_t k = 0; k < site_.num_bits; ++k) {
+    bits = support::flip_bit(bits, (bit_ + k) % width, width);
+  }
+  target_ = ref;
+  fired_ = true;
+}
+
+}  // namespace trident::fi

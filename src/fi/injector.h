@@ -1,0 +1,52 @@
+// Single-bit-flip fault injector (the paper's FI baseline, an LLFI
+// analogue): flips one uniformly-chosen bit in the destination register
+// of one dynamic instruction per run, per the fault model of §II-A.
+#pragma once
+
+#include <cstdint>
+
+#include "interp/interpreter.h"
+
+namespace trident::fi {
+
+/// Where to inject: either the k-th result-producing dynamic instruction
+/// of the whole run (overall campaigns), or the k-th dynamic occurrence
+/// of one specific static instruction (per-instruction campaigns).
+struct InjectionSite {
+  enum class Mode : uint8_t { DynIndex, Occurrence };
+  Mode mode = Mode::DynIndex;
+  uint64_t dyn_index = 0;     // Mode::DynIndex
+  ir::InstRef inst;           // Mode::Occurrence
+  uint64_t occurrence = 0;    // Mode::Occurrence (0-based)
+  uint64_t bit_entropy = 0;   // uniform bit choice resolved against width
+  // Number of bits to flip (default 1, the de-facto soft-error model the
+  // paper uses; >1 supports the multi-bit studies it cites, flipping
+  // `num_bits` adjacent bits starting at the chosen position, the common
+  // burst model).
+  uint32_t num_bits = 1;
+};
+
+class Injector final : public interp::ExecHooks {
+ public:
+  explicit Injector(const ir::Module& module, InjectionSite site)
+      : module_(module), site_(site) {}
+
+  void on_result(ir::InstRef ref, uint64_t dyn_index,
+                 uint64_t& bits) override;
+
+  bool fired() const { return fired_; }
+  ir::InstRef target() const { return target_; }
+  unsigned bit() const { return bit_; }
+  uint64_t original_bits() const { return original_; }
+
+ private:
+  const ir::Module& module_;
+  InjectionSite site_;
+  uint64_t occurrence_seen_ = 0;
+  bool fired_ = false;
+  ir::InstRef target_;
+  unsigned bit_ = 0;
+  uint64_t original_ = 0;
+};
+
+}  // namespace trident::fi

@@ -1,0 +1,492 @@
+#include "interp/interpreter.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "ir/eval.h"
+#include "support/bits.h"
+#include "support/str.h"
+
+namespace trident::interp {
+
+using support::bits_to_f32;
+using support::bits_to_f64;
+using support::f32_to_bits;
+using support::f64_to_bits;
+using support::low_mask;
+using support::sign_extend;
+
+const char* outcome_name(Outcome o) {
+  switch (o) {
+    case Outcome::Ok: return "ok";
+    case Outcome::Crash: return "crash";
+    case Outcome::Hang: return "hang";
+    case Outcome::Detected: return "detected";
+  }
+  return "?";
+}
+
+struct Interpreter::Frame {
+  uint32_t func = 0;
+  std::vector<uint64_t> regs;
+  std::vector<uint64_t> args;
+  uint32_t block = 0;
+  uint32_t prev_block = ir::kNoBlock;
+  uint32_t cursor = 0;
+  std::vector<uint64_t> allocas;
+  uint32_t ret_to_inst = ir::kNoBlock;  // call inst id in the caller
+};
+
+Interpreter::Interpreter(const ir::Module& module) : module_(module) {
+  reset_globals();
+}
+
+void Interpreter::reset_globals() {
+  memory_ = Memory();
+  global_bases_.clear();
+  global_bases_.reserve(module_.globals.size());
+  for (const auto& g : module_.globals) {
+    const uint64_t base = memory_.allocate(g.size ? g.size : 1);
+    for (size_t i = 0; i < g.init.size() && i < g.size; ++i) {
+      memory_.store(base + i, 1, g.init[i]);
+    }
+    global_bases_.push_back(base);
+  }
+}
+
+uint64_t Interpreter::eval(const Frame& frame, const ir::Value& v) const {
+  switch (v.kind) {
+    case ir::Value::Kind::Inst:
+      return frame.regs[v.index];
+    case ir::Value::Kind::Arg:
+      return frame.args[v.index];
+    case ir::Value::Kind::Const:
+      return module_.functions[frame.func].constants[v.index].raw;
+    case ir::Value::Kind::Global:
+      return global_bases_[v.index];
+    case ir::Value::Kind::None:
+      break;
+  }
+  return 0;
+}
+
+RunResult Interpreter::run_main(const RunOptions& options) {
+  const auto main_id = module_.find_function("main");
+  assert(main_id && "module has no main function");
+  return run(*main_id, {}, options);
+}
+
+RunResult Interpreter::run(uint32_t func_id, std::span<const uint64_t> args,
+                           const RunOptions& options) {
+  RunResult res;
+  reset_globals();
+  auto* hooks = options.hooks;
+
+  std::vector<Frame> stack;
+  const auto push_frame = [&](uint32_t f, std::vector<uint64_t> fargs,
+                              uint32_t ret_to) {
+    Frame fr;
+    fr.func = f;
+    fr.regs.assign(module_.functions[f].insts.size(), 0);
+    fr.args = std::move(fargs);
+    fr.ret_to_inst = ret_to;
+    stack.push_back(std::move(fr));
+  };
+  push_frame(func_id, {args.begin(), args.end()}, ir::kNoBlock);
+
+  const auto crash = [&](std::string reason) {
+    res.outcome = Outcome::Crash;
+    res.crash_reason = std::move(reason);
+  };
+
+  // Commits a computed result to the destination register, running the
+  // on_result hook (the fault-injection point) first.
+  const auto commit = [&](Frame& fr, uint32_t inst_id, uint64_t bits) {
+    if (hooks != nullptr) {
+      hooks->on_result({fr.func, inst_id}, res.dynamic_results, bits);
+      const auto& t = module_.functions[fr.func].insts[inst_id].type;
+      if (t.width() != 0) bits &= low_mask(t.width());
+    }
+    ++res.dynamic_results;
+    fr.regs[inst_id] = bits;
+  };
+
+  // Executes the leading phi instructions of the current block with
+  // parallel-assignment semantics. Returns false on fuel exhaustion.
+  const auto do_phis = [&](Frame& fr) {
+    const auto& func = module_.functions[fr.func];
+    const auto& insts = func.blocks[fr.block].insts;
+    uint32_t n_phis = 0;
+    while (n_phis < insts.size() &&
+           func.insts[insts[n_phis]].op == ir::Opcode::Phi) {
+      ++n_phis;
+    }
+    if (n_phis == 0) return true;
+    std::vector<uint64_t> staged(n_phis, 0);
+    for (uint32_t i = 0; i < n_phis; ++i) {
+      const auto& phi = func.insts[insts[i]];
+      uint64_t v = 0;
+      for (uint32_t k = 0; k < phi.incoming.size(); ++k) {
+        if (phi.incoming[k] == fr.prev_block) {
+          v = eval(fr, phi.operands[k]);
+          break;
+        }
+      }
+      staged[i] = v;
+    }
+    for (uint32_t i = 0; i < n_phis; ++i) {
+      if (++res.dynamic_insts > options.fuel) return false;
+      if (hooks != nullptr) {
+        hooks->on_exec({fr.func, insts[i]},
+                       std::span<const uint64_t>(&staged[i], 1));
+      }
+      commit(fr, insts[i], staged[i]);
+    }
+    fr.cursor = n_phis;
+    return true;
+  };
+
+  const auto enter_block = [&](Frame& fr, uint32_t dest) {
+    fr.prev_block = fr.block;
+    fr.block = dest;
+    fr.cursor = 0;
+    return do_phis(fr);
+  };
+
+  std::vector<uint64_t> ops;
+  while (!stack.empty()) {
+    Frame& fr = stack.back();
+    const auto& func = module_.functions[fr.func];
+    assert(fr.cursor < func.blocks[fr.block].insts.size());
+    const uint32_t inst_id = func.blocks[fr.block].insts[fr.cursor];
+    const auto& inst = func.insts[inst_id];
+    const ir::InstRef ref{fr.func, inst_id};
+
+    if (++res.dynamic_insts > options.fuel) {
+      res.outcome = Outcome::Hang;
+      return res;
+    }
+
+    ops.clear();
+    for (const auto& v : inst.operands) ops.push_back(eval(fr, v));
+    if (hooks != nullptr) hooks->on_exec(ref, ops);
+
+    const unsigned w = inst.type.width();
+    const uint64_t mask = w ? low_mask(w) : 0;
+    bool advance = true;
+
+    switch (inst.op) {
+      case ir::Opcode::Add:
+        commit(fr, inst_id, (ops[0] + ops[1]) & mask);
+        break;
+      case ir::Opcode::Sub:
+        commit(fr, inst_id, (ops[0] - ops[1]) & mask);
+        break;
+      case ir::Opcode::Mul:
+        commit(fr, inst_id, (ops[0] * ops[1]) & mask);
+        break;
+      case ir::Opcode::SDiv:
+      case ir::Opcode::SRem: {
+        const int64_t a = sign_extend(ops[0], w);
+        const int64_t b = sign_extend(ops[1], w);
+        if (b == 0) {
+          crash("integer division by zero");
+          return res;
+        }
+        if (a == std::numeric_limits<int64_t>::min() && b == -1) {
+          crash("signed division overflow");
+          return res;
+        }
+        const int64_t q = inst.op == ir::Opcode::SDiv ? a / b : a % b;
+        commit(fr, inst_id, static_cast<uint64_t>(q) & mask);
+        break;
+      }
+      case ir::Opcode::UDiv:
+      case ir::Opcode::URem: {
+        if (ops[1] == 0) {
+          crash("integer division by zero");
+          return res;
+        }
+        const uint64_t q =
+            inst.op == ir::Opcode::UDiv ? ops[0] / ops[1] : ops[0] % ops[1];
+        commit(fr, inst_id, q & mask);
+        break;
+      }
+      case ir::Opcode::And:
+        commit(fr, inst_id, ops[0] & ops[1]);
+        break;
+      case ir::Opcode::Or:
+        commit(fr, inst_id, ops[0] | ops[1]);
+        break;
+      case ir::Opcode::Xor:
+        commit(fr, inst_id, ops[0] ^ ops[1]);
+        break;
+      case ir::Opcode::Shl:
+        commit(fr, inst_id, (ops[0] << (ops[1] % w)) & mask);
+        break;
+      case ir::Opcode::LShr:
+        commit(fr, inst_id, (ops[0] >> (ops[1] % w)) & mask);
+        break;
+      case ir::Opcode::AShr: {
+        const int64_t a = sign_extend(ops[0], w);
+        commit(fr, inst_id,
+               static_cast<uint64_t>(a >> (ops[1] % w)) & mask);
+        break;
+      }
+      case ir::Opcode::FAdd:
+      case ir::Opcode::FSub:
+      case ir::Opcode::FMul:
+      case ir::Opcode::FDiv: {
+        uint64_t bits;
+        if (w == 32) {
+          const float a = bits_to_f32(ops[0]), b = bits_to_f32(ops[1]);
+          float r = 0;
+          switch (inst.op) {
+            case ir::Opcode::FAdd: r = a + b; break;
+            case ir::Opcode::FSub: r = a - b; break;
+            case ir::Opcode::FMul: r = a * b; break;
+            default: r = a / b; break;
+          }
+          bits = f32_to_bits(r);
+        } else {
+          const double a = bits_to_f64(ops[0]), b = bits_to_f64(ops[1]);
+          double r = 0;
+          switch (inst.op) {
+            case ir::Opcode::FAdd: r = a + b; break;
+            case ir::Opcode::FSub: r = a - b; break;
+            case ir::Opcode::FMul: r = a * b; break;
+            default: r = a / b; break;
+          }
+          bits = f64_to_bits(r);
+        }
+        commit(fr, inst_id, bits);
+        break;
+      }
+      case ir::Opcode::ICmp: {
+        const auto opw = func.value_type(inst.operands[0]).width();
+        commit(fr, inst_id,
+               ir::eval_icmp(inst.pred, opw, ops[0], ops[1]) ? 1 : 0);
+        break;
+      }
+      case ir::Opcode::FCmp: {
+        const auto opw = func.value_type(inst.operands[0]).width();
+        commit(fr, inst_id,
+               ir::eval_fcmp(inst.pred, opw, ops[0], ops[1]) ? 1 : 0);
+        break;
+      }
+      case ir::Opcode::Trunc:
+        commit(fr, inst_id, ops[0] & mask);
+        break;
+      case ir::Opcode::ZExt:
+      case ir::Opcode::Bitcast:
+        commit(fr, inst_id, ops[0] & mask);
+        break;
+      case ir::Opcode::SExt: {
+        const auto opw = func.value_type(inst.operands[0]).width();
+        commit(fr, inst_id,
+               static_cast<uint64_t>(sign_extend(ops[0], opw)) & mask);
+        break;
+      }
+      case ir::Opcode::FPTrunc:
+        commit(fr, inst_id,
+               f32_to_bits(static_cast<float>(bits_to_f64(ops[0]))));
+        break;
+      case ir::Opcode::FPExt:
+        commit(fr, inst_id,
+               f64_to_bits(static_cast<double>(bits_to_f32(ops[0]))));
+        break;
+      case ir::Opcode::FPToSI: {
+        const auto opw = func.value_type(inst.operands[0]).width();
+        const double v = opw == 32 ? bits_to_f32(ops[0]) : bits_to_f64(ops[0]);
+        // NaN converts to 0 and out-of-range values saturate; a corrupted
+        // float must not become host UB.
+        int64_t r = 0;
+        if (!std::isnan(v)) {
+          const double lo =
+              static_cast<double>(sign_extend(1ULL << (w - 1), w));
+          const double hi = static_cast<double>(
+              sign_extend(low_mask(w) >> 1, w));
+          r = v <= lo ? static_cast<int64_t>(lo)
+              : v >= hi ? static_cast<int64_t>(hi)
+                        : static_cast<int64_t>(v);
+        }
+        commit(fr, inst_id, static_cast<uint64_t>(r) & mask);
+        break;
+      }
+      case ir::Opcode::SIToFP: {
+        const auto opw = func.value_type(inst.operands[0]).width();
+        const auto v = static_cast<double>(sign_extend(ops[0], opw));
+        commit(fr, inst_id,
+               w == 32 ? f32_to_bits(static_cast<float>(v)) : f64_to_bits(v));
+        break;
+      }
+      case ir::Opcode::Alloca: {
+        const uint64_t base = memory_.allocate(inst.imm);
+        if (hooks != nullptr) hooks->on_alloc(base, inst.imm);
+        fr.allocas.push_back(base);
+        commit(fr, inst_id, base);
+        break;
+      }
+      case ir::Opcode::Load: {
+        const unsigned bytes = inst.type.store_size();
+        uint64_t v = 0;
+        if (!memory_.load(ops[0], bytes, v)) {
+          crash(support::format("out-of-bounds load at 0x%llx",
+                                static_cast<unsigned long long>(ops[0])));
+          return res;
+        }
+        if (hooks != nullptr) hooks->on_load(ref, ops[0], bytes);
+        commit(fr, inst_id, v & mask);
+        break;
+      }
+      case ir::Opcode::Store: {
+        const unsigned bytes =
+            func.value_type(inst.operands[0]).store_size();
+        uint64_t before = 0;
+        const bool had_before =
+            hooks != nullptr && memory_.load(ops[1], bytes, before);
+        if (!memory_.store(ops[1], bytes, ops[0])) {
+          crash(support::format("out-of-bounds store at 0x%llx",
+                                static_cast<unsigned long long>(ops[1])));
+          return res;
+        }
+        if (hooks != nullptr) {
+          const uint64_t mask_bits =
+              support::low_mask(bytes * 8);
+          hooks->on_store(ref, ops[1], bytes,
+                          had_before &&
+                              (before & mask_bits) == (ops[0] & mask_bits));
+        }
+        break;
+      }
+      case ir::Opcode::Memcpy: {
+        const uint64_t dst = ops[0], src = ops[1];
+        for (uint64_t i = 0; i < inst.imm; ++i) {
+          uint64_t byte = 0;
+          if (!memory_.load(src + i, 1, byte)) {
+            crash(support::format("out-of-bounds memcpy read at 0x%llx",
+                                  static_cast<unsigned long long>(src + i)));
+            return res;
+          }
+          if (!memory_.store(dst + i, 1, byte)) {
+            crash(support::format("out-of-bounds memcpy write at 0x%llx",
+                                  static_cast<unsigned long long>(dst + i)));
+            return res;
+          }
+        }
+        if (hooks != nullptr) hooks->on_memcpy(ref, dst, src, inst.imm);
+        break;
+      }
+      case ir::Opcode::Gep: {
+        const auto idxw = func.value_type(inst.operands[1]).width();
+        const int64_t idx = sign_extend(ops[1], idxw);
+        commit(fr, inst_id,
+               ops[0] + static_cast<uint64_t>(idx) * inst.imm);
+        break;
+      }
+      case ir::Opcode::Br:
+        if (!enter_block(fr, inst.succ[0])) {
+          res.outcome = Outcome::Hang;
+          return res;
+        }
+        advance = false;
+        break;
+      case ir::Opcode::CondBr: {
+        const bool taken = (ops[0] & 1) != 0;
+        if (hooks != nullptr) hooks->on_branch(ref, taken);
+        if (!enter_block(fr, taken ? inst.succ[0] : inst.succ[1])) {
+          res.outcome = Outcome::Hang;
+          return res;
+        }
+        advance = false;
+        break;
+      }
+      case ir::Opcode::Ret: {
+        const uint64_t rv = inst.operands.empty() ? 0 : ops[0];
+        for (auto it = fr.allocas.rbegin(); it != fr.allocas.rend(); ++it) {
+          memory_.free(*it);
+        }
+        const uint32_t ret_to = fr.ret_to_inst;
+        stack.pop_back();
+        if (stack.empty()) {
+          res.ret_raw = rv;
+        } else if (ret_to != ir::kNoBlock) {
+          Frame& caller = stack.back();
+          const auto& cinst =
+              module_.functions[caller.func].insts[ret_to];
+          if (cinst.has_result()) {
+            commit(caller, ret_to, rv);
+          }
+        }
+        advance = false;
+        break;
+      }
+      case ir::Opcode::Call: {
+        if (stack.size() >= options.max_call_depth) {
+          crash("call stack overflow");
+          return res;
+        }
+        fr.cursor++;  // resume after the call once the callee returns
+        push_frame(inst.callee, ops, inst_id);
+        if (!enter_block(stack.back(), 0)) {
+          res.outcome = Outcome::Hang;
+          return res;
+        }
+        advance = false;
+        break;
+      }
+      case ir::Opcode::Phi:
+        // Handled at block entry (enter_block); reaching one here means
+        // the entry block starts with a phi, which the verifier rejects.
+        commit(fr, inst_id, 0);
+        break;
+      case ir::Opcode::Select:
+        commit(fr, inst_id, (ops[0] & 1) ? ops[1] : ops[2]);
+        break;
+      case ir::Opcode::Print: {
+        const auto spec = ir::PrintSpec::unpack(inst.imm);
+        const auto t = func.value_type(inst.operands[0]);
+        std::string text;
+        switch (spec.kind) {
+          case ir::PrintSpec::Kind::Int:
+            text = support::format(
+                "%lld\n", static_cast<long long>(
+                              sign_extend(ops[0], t.width())));
+            break;
+          case ir::PrintSpec::Kind::Uint:
+            text = support::format(
+                "%llu\n", static_cast<unsigned long long>(ops[0]));
+            break;
+          case ir::PrintSpec::Kind::Char:
+            text.push_back(static_cast<char>(ops[0] & 0xff));
+            break;
+          case ir::PrintSpec::Kind::Float: {
+            const double v =
+                t.width() == 32 ? bits_to_f32(ops[0]) : bits_to_f64(ops[0]);
+            text = support::format("%.*g\n",
+                                   static_cast<int>(spec.precision), v);
+            break;
+          }
+        }
+        (spec.is_output ? res.output : res.debug_output) += text;
+        break;
+      }
+      case ir::Opcode::Detect:
+        if ((ops[0] & 1) != 0) {
+          res.outcome = Outcome::Detected;
+          return res;
+        }
+        break;
+    }
+
+    if (advance) {
+      Frame& cur = stack.back();
+      ++cur.cursor;
+    }
+  }
+  return res;
+}
+
+}  // namespace trident::interp

@@ -1,0 +1,126 @@
+// The IR interpreter: execution substrate for profiling, golden runs and
+// fault-injection runs.
+//
+// Register values are raw 64-bit payloads masked to the instruction's
+// declared width; floats are stored as their IEEE encodings. This uniform
+// representation is what makes single-bit-flip injection (fi/) and
+// bit-level propagation reasoning (core/tuples) exact.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "interp/memory.h"
+#include "ir/module.h"
+
+namespace trident::interp {
+
+enum class Outcome : uint8_t {
+  Ok,        // ran to completion
+  Crash,     // hardware-trap analogue (OOB access, div-by-zero, overflow)
+  Hang,      // exceeded the dynamic-instruction budget
+  Detected,  // a Detect instruction fired (duplication-pass detector)
+};
+
+const char* outcome_name(Outcome o);
+
+struct RunResult {
+  Outcome outcome = Outcome::Ok;
+  std::string output;        // program-output stream (SDC comparison basis)
+  std::string debug_output;  // prints marked is_output=false
+  uint64_t dynamic_insts = 0;    // all executed instructions
+  uint64_t dynamic_results = 0;  // executed instructions with a result
+                                 // (the fault-injection site space)
+  uint64_t ret_raw = 0;          // entry function's return payload
+  std::string crash_reason;
+};
+
+/// Observation & perturbation interface. All callbacks are invoked only
+/// when a hook object is installed, so plain runs stay on the fast path.
+class ExecHooks {
+ public:
+  virtual ~ExecHooks() = default;
+
+  /// After an instruction computes its result and before it is committed
+  /// to the destination register. `dyn_result_index` counts executed
+  /// result-producing instructions from 0; mutating `bits` emulates a
+  /// soft error in the destination register (the paper's fault model).
+  virtual void on_result(ir::InstRef ref, uint64_t dyn_result_index,
+                         uint64_t& bits) {
+    (void)ref, (void)dyn_result_index, (void)bits;
+  }
+
+  /// Before executing any instruction, with its evaluated operands.
+  virtual void on_exec(ir::InstRef ref, std::span<const uint64_t> operands) {
+    (void)ref, (void)operands;
+  }
+
+  /// After a conditional branch decides its direction.
+  virtual void on_branch(ir::InstRef ref, bool taken) {
+    (void)ref, (void)taken;
+  }
+
+  virtual void on_load(ir::InstRef ref, uint64_t addr, unsigned bytes) {
+    (void)ref, (void)addr, (void)bytes;
+  }
+  /// After a store commits. `silent` reports whether the stored value
+  /// equals what the location already held (the paper's §VII-A
+  /// "coincidentally correct" stores: skipping or re-executing a silent
+  /// store cannot corrupt memory).
+  virtual void on_store(ir::InstRef ref, uint64_t addr, unsigned bytes,
+                        bool silent) {
+    (void)ref, (void)addr, (void)bytes, (void)silent;
+  }
+
+  /// Segment lifecycle (allocas; globals are visible via
+  /// Interpreter::memory() before the run starts).
+  virtual void on_alloc(uint64_t base, uint64_t size) {
+    (void)base, (void)size;
+  }
+
+  /// Bulk copy. The profiler uses this to propagate byte writers so the
+  /// memory-dependence graph sees through memcpy.
+  virtual void on_memcpy(ir::InstRef ref, uint64_t dst, uint64_t src,
+                         uint64_t bytes) {
+    (void)ref, (void)dst, (void)src, (void)bytes;
+  }
+};
+
+struct RunOptions {
+  uint64_t fuel = 500'000'000;   // dynamic-instruction budget before Hang
+  uint32_t max_call_depth = 4096;
+  ExecHooks* hooks = nullptr;
+};
+
+class Interpreter {
+ public:
+  explicit Interpreter(const ir::Module& module);
+
+  /// Runs `func_id` with the given raw argument payloads.
+  RunResult run(uint32_t func_id, std::span<const uint64_t> args,
+                const RunOptions& options);
+
+  /// Convenience: runs the function named "main" with no arguments.
+  RunResult run_main(const RunOptions& options = {});
+
+  /// Base address of global `index` (valid after construction; globals
+  /// are materialized once and reset on every run()).
+  uint64_t global_base(uint32_t index) const { return global_bases_[index]; }
+
+  const Memory& memory() const { return memory_; }
+
+ private:
+  struct Frame;
+
+  void reset_globals();
+  uint64_t eval(const Frame& frame, const ir::Value& v) const;
+
+  const ir::Module& module_;
+  Memory memory_;
+  std::vector<uint64_t> global_bases_;
+};
+
+}  // namespace trident::interp

@@ -1,0 +1,76 @@
+#include "interp/memory.h"
+
+#include <cassert>
+
+namespace trident::interp {
+
+namespace {
+constexpr uint64_t kGuardGap = 64;     // bytes of dead space between segments
+constexpr uint64_t kAlignment = 16;
+}  // namespace
+
+Memory::Memory() = default;
+
+uint64_t Memory::allocate(uint64_t size) {
+  assert(size > 0);
+  const uint64_t base = next_;
+  next_ += (size + kGuardGap + kAlignment - 1) & ~(kAlignment - 1);
+  auto& seg = segments_[base];
+  seg.size = size;
+  seg.data.assign(size, 0);
+  bytes_live_ += size;
+  return base;
+}
+
+void Memory::free(uint64_t base) {
+  const auto it = segments_.find(base);
+  assert(it != segments_.end() && "freeing unknown segment");
+  bytes_live_ -= it->second.size;
+  segments_.erase(it);
+}
+
+const Memory::Segment* Memory::find(uint64_t addr, uint64_t& offset) const {
+  auto it = segments_.upper_bound(addr);
+  if (it == segments_.begin()) return nullptr;
+  --it;
+  if (addr - it->first >= it->second.size) return nullptr;
+  offset = addr - it->first;
+  return &it->second;
+}
+
+bool Memory::valid(uint64_t addr, unsigned bytes) const {
+  uint64_t offset = 0;
+  const auto* seg = find(addr, offset);
+  return seg != nullptr && offset + bytes <= seg->size;
+}
+
+bool Memory::load(uint64_t addr, unsigned bytes, uint64_t& out) const {
+  uint64_t offset = 0;
+  const auto* seg = find(addr, offset);
+  if (seg == nullptr || offset + bytes > seg->size) return false;
+  uint64_t v = 0;
+  for (unsigned i = 0; i < bytes; ++i) {
+    v |= static_cast<uint64_t>(seg->data[offset + i]) << (8 * i);
+  }
+  out = v;
+  return true;
+}
+
+bool Memory::store(uint64_t addr, unsigned bytes, uint64_t value) {
+  uint64_t offset = 0;
+  auto* seg = const_cast<Segment*>(find(addr, offset));
+  if (seg == nullptr || offset + bytes > seg->size) return false;
+  for (unsigned i = 0; i < bytes; ++i) {
+    seg->data[offset + i] = static_cast<uint8_t>(value >> (8 * i));
+  }
+  return true;
+}
+
+std::vector<std::pair<uint64_t, uint64_t>> Memory::segments() const {
+  std::vector<std::pair<uint64_t, uint64_t>> out;
+  out.reserve(segments_.size());
+  for (const auto& [base, seg] : segments_) out.emplace_back(base, seg.size);
+  return out;
+}
+
+}  // namespace trident::interp

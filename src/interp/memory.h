@@ -1,0 +1,60 @@
+// Segmented memory model for the interpreter.
+//
+// Every live allocation (module global or alloca) is a segment with a
+// unique base address handed out by a bump allocator with guard gaps
+// between segments. Loads/stores must fall entirely inside a live
+// segment; anything else is an access violation, which the interpreter
+// turns into a Crash outcome — the hardware-trap analogue the paper's
+// fault model relies on ("read outside its memory segments").
+//
+// The segment map also backs the profiler's crash-probability estimate
+// for corrupted addresses (paper §IV-C: "profiling memory size allocated
+// for the program").
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace trident::interp {
+
+class Memory {
+ public:
+  Memory();
+
+  /// Allocates a fresh zero-initialized segment; returns its base address.
+  uint64_t allocate(uint64_t size);
+
+  /// Frees the segment with the given base (asserts it exists).
+  void free(uint64_t base);
+
+  /// Little-endian load/store of 1/2/4/8 bytes. Returns false on an
+  /// access violation (address range not inside one live segment).
+  bool load(uint64_t addr, unsigned bytes, uint64_t& out) const;
+  bool store(uint64_t addr, unsigned bytes, uint64_t value);
+
+  /// Whether [addr, addr+bytes) lies inside one live segment.
+  bool valid(uint64_t addr, unsigned bytes) const;
+
+  /// Live segments as (base, size) pairs, ascending by base.
+  std::vector<std::pair<uint64_t, uint64_t>> segments() const;
+
+  /// Total bytes currently allocated.
+  uint64_t bytes_live() const { return bytes_live_; }
+
+ private:
+  struct Segment {
+    uint64_t size = 0;
+    std::vector<uint8_t> data;
+  };
+
+  // Locates the segment containing addr; nullptr if none. `offset`
+  // receives addr - base.
+  const Segment* find(uint64_t addr, uint64_t& offset) const;
+
+  std::map<uint64_t, Segment> segments_;  // base -> segment
+  uint64_t next_ = 0x10000000;
+  uint64_t bytes_live_ = 0;
+};
+
+}  // namespace trident::interp

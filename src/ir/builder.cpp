@@ -1,0 +1,263 @@
+#include "ir/builder.h"
+
+#include <cassert>
+
+#include "support/bits.h"
+
+namespace trident::ir {
+
+uint32_t IRBuilder::begin_function(std::string name, std::vector<Type> params,
+                                   Type ret) {
+  assert(func_ == kNoFunc && "previous function not ended");
+  Function f;
+  f.name = std::move(name);
+  f.params = std::move(params);
+  f.ret = ret;
+  func_ = module_.add_function(std::move(f));
+  bb_ = kNoBlock;
+  const_cache_.clear();
+  return func_;
+}
+
+void IRBuilder::end_function() {
+  assert(func_ != kNoFunc);
+  func_ = kNoFunc;
+  bb_ = kNoBlock;
+  const_cache_.clear();
+}
+
+Function& IRBuilder::func() {
+  assert(func_ != kNoFunc);
+  return module_.function(func_);
+}
+
+uint32_t IRBuilder::block(std::string name) {
+  return func().add_block(std::move(name));
+}
+
+uint32_t IRBuilder::emit(Instruction inst) {
+  assert(bb_ != kNoBlock && "no insertion block set");
+  return func().append(bb_, std::move(inst));
+}
+
+Value IRBuilder::const_int(Type type, uint64_t raw) {
+  assert(type.is_int() || type.is_ptr());
+  raw &= support::low_mask(type.width());
+  const auto key = std::make_pair(
+      (static_cast<uint64_t>(type.kind) << 8) | type.bits, raw);
+  auto [it, inserted] = const_cache_.try_emplace(key, 0);
+  if (inserted) it->second = func().add_constant(Constant{type, raw});
+  return Value::constant(it->second);
+}
+
+Value IRBuilder::f32(float v) {
+  const uint64_t raw = support::f32_to_bits(v);
+  const auto key = std::make_pair(
+      (static_cast<uint64_t>(TypeKind::Float) << 8) | 32, raw);
+  auto [it, inserted] = const_cache_.try_emplace(key, 0);
+  if (inserted) it->second = func().add_constant(Constant{Type::f32(), raw});
+  return Value::constant(it->second);
+}
+
+Value IRBuilder::f64(double v) {
+  const uint64_t raw = support::f64_to_bits(v);
+  const auto key = std::make_pair(
+      (static_cast<uint64_t>(TypeKind::Float) << 8) | 64, raw);
+  auto [it, inserted] = const_cache_.try_emplace(key, 0);
+  if (inserted) it->second = func().add_constant(Constant{Type::f64(), raw});
+  return Value::constant(it->second);
+}
+
+Value IRBuilder::binop(Opcode op, Value a, Value b, std::string name) {
+  Instruction inst;
+  inst.op = op;
+  inst.type = func().value_type(a);
+  inst.operands = {a, b};
+  inst.name = std::move(name);
+  return Value::inst(emit(std::move(inst)));
+}
+
+Value IRBuilder::icmp(CmpPred pred, Value a, Value b, std::string name) {
+  Instruction inst;
+  inst.op = Opcode::ICmp;
+  inst.type = Type::i1();
+  inst.pred = pred;
+  inst.operands = {a, b};
+  inst.name = std::move(name);
+  return Value::inst(emit(std::move(inst)));
+}
+
+Value IRBuilder::fcmp(CmpPred pred, Value a, Value b, std::string name) {
+  Instruction inst;
+  inst.op = Opcode::FCmp;
+  inst.type = Type::i1();
+  inst.pred = pred;
+  inst.operands = {a, b};
+  inst.name = std::move(name);
+  return Value::inst(emit(std::move(inst)));
+}
+
+Value IRBuilder::cast(Opcode op, Value v, Type to, std::string name) {
+  Instruction inst;
+  inst.op = op;
+  inst.type = to;
+  inst.operands = {v};
+  inst.name = std::move(name);
+  return Value::inst(emit(std::move(inst)));
+}
+
+Value IRBuilder::alloca_(uint64_t bytes, std::string name) {
+  Instruction inst;
+  inst.op = Opcode::Alloca;
+  inst.type = Type::ptr();
+  inst.imm = bytes;
+  inst.name = std::move(name);
+  return Value::inst(emit(std::move(inst)));
+}
+
+Value IRBuilder::load(Type type, Value ptr, std::string name) {
+  Instruction inst;
+  inst.op = Opcode::Load;
+  inst.type = type;
+  inst.operands = {ptr};
+  inst.name = std::move(name);
+  return Value::inst(emit(std::move(inst)));
+}
+
+void IRBuilder::store(Value value, Value ptr) {
+  Instruction inst;
+  inst.op = Opcode::Store;
+  inst.type = Type::void_();
+  inst.operands = {value, ptr};
+  emit(std::move(inst));
+}
+
+Value IRBuilder::gep(Value base, Value index, uint64_t elem_size,
+                     std::string name) {
+  Instruction inst;
+  inst.op = Opcode::Gep;
+  inst.type = Type::ptr();
+  inst.operands = {base, index};
+  inst.imm = elem_size;
+  inst.name = std::move(name);
+  return Value::inst(emit(std::move(inst)));
+}
+
+void IRBuilder::memcpy_(Value dst, Value src, uint64_t bytes) {
+  Instruction inst;
+  inst.op = Opcode::Memcpy;
+  inst.type = Type::void_();
+  inst.operands = {dst, src};
+  inst.imm = bytes;
+  emit(std::move(inst));
+}
+
+void IRBuilder::br(uint32_t dest) {
+  Instruction inst;
+  inst.op = Opcode::Br;
+  inst.type = Type::void_();
+  inst.succ[0] = dest;
+  emit(std::move(inst));
+}
+
+void IRBuilder::cond_br(Value cond, uint32_t if_true, uint32_t if_false) {
+  Instruction inst;
+  inst.op = Opcode::CondBr;
+  inst.type = Type::void_();
+  inst.operands = {cond};
+  inst.succ[0] = if_true;
+  inst.succ[1] = if_false;
+  emit(std::move(inst));
+}
+
+void IRBuilder::ret() {
+  Instruction inst;
+  inst.op = Opcode::Ret;
+  inst.type = Type::void_();
+  emit(std::move(inst));
+}
+
+void IRBuilder::ret(Value v) {
+  Instruction inst;
+  inst.op = Opcode::Ret;
+  inst.type = Type::void_();
+  inst.operands = {v};
+  emit(std::move(inst));
+}
+
+Value IRBuilder::call(uint32_t callee, std::vector<Value> args,
+                      std::string name) {
+  Instruction inst;
+  inst.op = Opcode::Call;
+  inst.type = module_.function(callee).ret;
+  inst.callee = callee;
+  inst.operands = std::move(args);
+  inst.name = std::move(name);
+  const auto id = emit(std::move(inst));
+  return func().inst(id).has_result() ? Value::inst(id) : Value::none();
+}
+
+Value IRBuilder::phi(Type type, std::string name) {
+  Instruction inst;
+  inst.op = Opcode::Phi;
+  inst.type = type;
+  inst.name = std::move(name);
+  return Value::inst(emit(std::move(inst)));
+}
+
+void IRBuilder::add_phi_incoming(Value phi_value, Value incoming,
+                                 uint32_t from_block) {
+  assert(phi_value.is_inst());
+  auto& inst = func().inst(phi_value.index);
+  assert(inst.op == Opcode::Phi);
+  inst.operands.push_back(incoming);
+  inst.incoming.push_back(from_block);
+}
+
+Value IRBuilder::select(Value cond, Value if_true, Value if_false,
+                        std::string name) {
+  Instruction inst;
+  inst.op = Opcode::Select;
+  inst.type = func().value_type(if_true);
+  inst.operands = {cond, if_true, if_false};
+  inst.name = std::move(name);
+  return Value::inst(emit(std::move(inst)));
+}
+
+namespace {
+Instruction make_print(Value v, PrintSpec spec) {
+  Instruction inst;
+  inst.op = Opcode::Print;
+  inst.type = Type::void_();
+  inst.operands = {v};
+  inst.imm = spec.pack();
+  return inst;
+}
+}  // namespace
+
+void IRBuilder::print_int(Value v, bool is_output) {
+  emit(make_print(v, {PrintSpec::Kind::Int, 0, is_output}));
+}
+
+void IRBuilder::print_uint(Value v, bool is_output) {
+  emit(make_print(v, {PrintSpec::Kind::Uint, 0, is_output}));
+}
+
+void IRBuilder::print_float(Value v, unsigned precision, bool is_output) {
+  emit(make_print(
+      v, {PrintSpec::Kind::Float, static_cast<uint8_t>(precision), is_output}));
+}
+
+void IRBuilder::print_char(Value v, bool is_output) {
+  emit(make_print(v, {PrintSpec::Kind::Char, 0, is_output}));
+}
+
+void IRBuilder::detect(Value cond) {
+  Instruction inst;
+  inst.op = Opcode::Detect;
+  inst.type = Type::void_();
+  inst.operands = {cond};
+  emit(std::move(inst));
+}
+
+}  // namespace trident::ir

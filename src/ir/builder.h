@@ -1,0 +1,135 @@
+// IRBuilder: the authoring API for constructing modules.
+//
+// Usage pattern (see examples/quickstart.cpp and src/workloads/*):
+//
+//   ir::Module m;
+//   ir::IRBuilder b(m);
+//   b.begin_function("main", {}, ir::Type::void_());
+//   auto entry = b.block("entry");
+//   b.set_block(entry);
+//   ...
+//   b.ret();
+//   b.end_function();
+//
+// The builder deduplicates constants per function and patches phi nodes
+// after the fact (add_phi_incoming), since loop headers reference blocks
+// that do not exist yet when the phi is created.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ir/module.h"
+
+namespace trident::ir {
+
+class IRBuilder {
+ public:
+  explicit IRBuilder(Module& module) : module_(module) {}
+
+  // -- Function management ------------------------------------------------
+  /// Starts a new function; returns its module index. The entry block is
+  /// NOT created implicitly — create it with block() and set_block().
+  uint32_t begin_function(std::string name, std::vector<Type> params,
+                          Type ret);
+  /// Finishes the current function (asserts one was begun).
+  void end_function();
+  /// Index of the function currently under construction.
+  uint32_t current_function() const { return func_; }
+  Function& func();
+
+  // -- Blocks --------------------------------------------------------------
+  uint32_t block(std::string name);
+  void set_block(uint32_t bb) { bb_ = bb; }
+  uint32_t current_block() const { return bb_; }
+
+  // -- Constants (deduplicated per function) -------------------------------
+  Value const_int(Type type, uint64_t raw);
+  Value i1(bool v) { return const_int(Type::i1(), v ? 1 : 0); }
+  Value i8(uint8_t v) { return const_int(Type::i8(), v); }
+  Value i32(int32_t v) {
+    return const_int(Type::i32(), static_cast<uint32_t>(v));
+  }
+  Value i64(int64_t v) {
+    return const_int(Type::i64(), static_cast<uint64_t>(v));
+  }
+  Value f32(float v);
+  Value f64(double v);
+  Value arg(uint32_t index) { return Value::arg(index); }
+  Value global(uint32_t index) { return Value::global(index); }
+
+  // -- Arithmetic / bitwise -------------------------------------------------
+  Value binop(Opcode op, Value a, Value b, std::string name = "");
+  Value add(Value a, Value b, std::string n = "") { return binop(Opcode::Add, a, b, std::move(n)); }
+  Value sub(Value a, Value b, std::string n = "") { return binop(Opcode::Sub, a, b, std::move(n)); }
+  Value mul(Value a, Value b, std::string n = "") { return binop(Opcode::Mul, a, b, std::move(n)); }
+  Value sdiv(Value a, Value b, std::string n = "") { return binop(Opcode::SDiv, a, b, std::move(n)); }
+  Value udiv(Value a, Value b, std::string n = "") { return binop(Opcode::UDiv, a, b, std::move(n)); }
+  Value srem(Value a, Value b, std::string n = "") { return binop(Opcode::SRem, a, b, std::move(n)); }
+  Value urem(Value a, Value b, std::string n = "") { return binop(Opcode::URem, a, b, std::move(n)); }
+  Value and_(Value a, Value b, std::string n = "") { return binop(Opcode::And, a, b, std::move(n)); }
+  Value or_(Value a, Value b, std::string n = "") { return binop(Opcode::Or, a, b, std::move(n)); }
+  Value xor_(Value a, Value b, std::string n = "") { return binop(Opcode::Xor, a, b, std::move(n)); }
+  Value shl(Value a, Value b, std::string n = "") { return binop(Opcode::Shl, a, b, std::move(n)); }
+  Value lshr(Value a, Value b, std::string n = "") { return binop(Opcode::LShr, a, b, std::move(n)); }
+  Value ashr(Value a, Value b, std::string n = "") { return binop(Opcode::AShr, a, b, std::move(n)); }
+  Value fadd(Value a, Value b, std::string n = "") { return binop(Opcode::FAdd, a, b, std::move(n)); }
+  Value fsub(Value a, Value b, std::string n = "") { return binop(Opcode::FSub, a, b, std::move(n)); }
+  Value fmul(Value a, Value b, std::string n = "") { return binop(Opcode::FMul, a, b, std::move(n)); }
+  Value fdiv(Value a, Value b, std::string n = "") { return binop(Opcode::FDiv, a, b, std::move(n)); }
+
+  // -- Comparisons ----------------------------------------------------------
+  Value icmp(CmpPred pred, Value a, Value b, std::string name = "");
+  Value fcmp(CmpPred pred, Value a, Value b, std::string name = "");
+
+  // -- Casts ----------------------------------------------------------------
+  Value cast(Opcode op, Value v, Type to, std::string name = "");
+  Value trunc(Value v, Type to) { return cast(Opcode::Trunc, v, to); }
+  Value zext(Value v, Type to) { return cast(Opcode::ZExt, v, to); }
+  Value sext(Value v, Type to) { return cast(Opcode::SExt, v, to); }
+  Value fptrunc(Value v) { return cast(Opcode::FPTrunc, v, Type::f32()); }
+  Value fpext(Value v) { return cast(Opcode::FPExt, v, Type::f64()); }
+  Value fptosi(Value v, Type to) { return cast(Opcode::FPToSI, v, to); }
+  Value sitofp(Value v, Type to) { return cast(Opcode::SIToFP, v, to); }
+  Value bitcast(Value v, Type to) { return cast(Opcode::Bitcast, v, to); }
+
+  // -- Memory ---------------------------------------------------------------
+  Value alloca_(uint64_t bytes, std::string name = "");
+  Value load(Type type, Value ptr, std::string name = "");
+  void store(Value value, Value ptr);
+  Value gep(Value base, Value index, uint64_t elem_size,
+            std::string name = "");
+  void memcpy_(Value dst, Value src, uint64_t bytes);
+
+  // -- Control flow -----------------------------------------------------------
+  void br(uint32_t dest);
+  void cond_br(Value cond, uint32_t if_true, uint32_t if_false);
+  void ret();
+  void ret(Value v);
+  Value call(uint32_t callee, std::vector<Value> args, std::string name = "");
+  /// Creates a phi; incoming edges are added later via add_phi_incoming.
+  Value phi(Type type, std::string name = "");
+  void add_phi_incoming(Value phi_value, Value incoming, uint32_t from_block);
+  Value select(Value cond, Value if_true, Value if_false,
+               std::string name = "");
+
+  // -- Output / detection ------------------------------------------------------
+  void print_int(Value v, bool is_output = true);
+  void print_uint(Value v, bool is_output = true);
+  void print_float(Value v, unsigned precision = 6, bool is_output = true);
+  void print_char(Value v, bool is_output = true);
+  void detect(Value cond);
+
+ private:
+  uint32_t emit(Instruction inst);
+
+  Module& module_;
+  uint32_t func_ = kNoFunc;
+  uint32_t bb_ = kNoBlock;
+  // Constant dedup for the current function.
+  std::map<std::pair<uint64_t, uint64_t>, uint32_t> const_cache_;
+};
+
+}  // namespace trident::ir

@@ -1,0 +1,52 @@
+// Shared scalar evaluation of comparison predicates, used by both the
+// interpreter and the fs tuple model (which re-evaluates comparisons
+// under hypothetical bit flips).
+#pragma once
+
+#include <cstdint>
+
+#include "ir/instruction.h"
+#include "support/bits.h"
+
+namespace trident::ir {
+
+inline bool eval_icmp(CmpPred pred, unsigned width, uint64_t a, uint64_t b) {
+  const int64_t sa = support::sign_extend(a, width);
+  const int64_t sb = support::sign_extend(b, width);
+  const uint64_t ua = a & support::low_mask(width);
+  const uint64_t ub = b & support::low_mask(width);
+  switch (pred) {
+    case CmpPred::Eq: return ua == ub;
+    case CmpPred::Ne: return ua != ub;
+    case CmpPred::SLt: return sa < sb;
+    case CmpPred::SLe: return sa <= sb;
+    case CmpPred::SGt: return sa > sb;
+    case CmpPred::SGe: return sa >= sb;
+    case CmpPred::ULt: return ua < ub;
+    case CmpPred::ULe: return ua <= ub;
+    case CmpPred::UGt: return ua > ub;
+    case CmpPred::UGe: return ua >= ub;
+    case CmpPred::None: break;
+  }
+  return false;
+}
+
+/// Ordered float comparison: any NaN operand yields false.
+inline bool eval_fcmp(CmpPred pred, unsigned width, uint64_t a, uint64_t b) {
+  const double fa =
+      width == 32 ? support::bits_to_f32(a) : support::bits_to_f64(a);
+  const double fb =
+      width == 32 ? support::bits_to_f32(b) : support::bits_to_f64(b);
+  switch (pred) {
+    case CmpPred::Eq: return fa == fb;
+    case CmpPred::Ne: return fa < fb || fa > fb;
+    case CmpPred::SLt: return fa < fb;
+    case CmpPred::SLe: return fa <= fb;
+    case CmpPred::SGt: return fa > fb;
+    case CmpPred::SGe: return fa >= fb;
+    default: break;
+  }
+  return false;
+}
+
+}  // namespace trident::ir

@@ -1,0 +1,42 @@
+#include "ir/function.h"
+
+#include <cassert>
+
+namespace trident::ir {
+
+uint32_t Function::add_block(std::string block_name) {
+  blocks.push_back(BasicBlock{std::move(block_name), {}});
+  return static_cast<uint32_t>(blocks.size() - 1);
+}
+
+uint32_t Function::append(uint32_t bb, Instruction inst) {
+  assert(bb < blocks.size());
+  inst.block = bb;
+  const auto id = static_cast<uint32_t>(insts.size());
+  insts.push_back(std::move(inst));
+  blocks[bb].insts.push_back(id);
+  return id;
+}
+
+uint32_t Function::add_constant(Constant c) {
+  constants.push_back(c);
+  return static_cast<uint32_t>(constants.size() - 1);
+}
+
+Type Function::value_type(const Value& v) const {
+  switch (v.kind) {
+    case Value::Kind::None:
+      return Type::void_();
+    case Value::Kind::Inst:
+      return insts[v.index].type;
+    case Value::Kind::Arg:
+      return params[v.index];
+    case Value::Kind::Const:
+      return constants[v.index].type;
+    case Value::Kind::Global:
+      return Type::ptr();
+  }
+  return Type::void_();
+}
+
+}  // namespace trident::ir

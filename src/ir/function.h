@@ -1,0 +1,70 @@
+// Functions and basic blocks.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/instruction.h"
+
+namespace trident::ir {
+
+struct Module;
+
+struct BasicBlock {
+  std::string name;
+  std::vector<uint32_t> insts;  // instruction ids, in program order
+};
+
+/// A function owns its instructions (indexed by id), basic blocks
+/// (block 0 is the entry) and a constant pool. Instructions never move
+/// once created, so ids are stable handles used throughout the analyses,
+/// the profiler, the fault injector and the model.
+struct Function {
+  std::string name;
+  std::vector<Type> params;
+  Type ret = Type::void_();
+  std::vector<BasicBlock> blocks;
+  std::vector<Instruction> insts;
+  std::vector<Constant> constants;
+
+  uint32_t add_block(std::string block_name);
+
+  /// Appends `inst` to block `bb` and returns its id.
+  uint32_t append(uint32_t bb, Instruction inst);
+
+  /// Adds a constant (no dedup; the builder deduplicates).
+  uint32_t add_constant(Constant c);
+
+  const Instruction& inst(uint32_t id) const { return insts[id]; }
+  Instruction& inst(uint32_t id) { return insts[id]; }
+
+  /// Terminator instruction id of a block (kNoBlock-safe: requires the
+  /// block to be non-empty and well-formed).
+  uint32_t terminator(uint32_t bb) const { return blocks[bb].insts.back(); }
+
+  /// Resolves the type of an operand in the context of this function.
+  /// Global operands are pointers; `module` supplies nothing today but is
+  /// kept for symmetry and future global typing.
+  Type value_type(const Value& v) const;
+
+  size_t num_insts() const { return insts.size(); }
+  size_t num_blocks() const { return blocks.size(); }
+};
+
+/// Identifies a static instruction across the whole module.
+struct InstRef {
+  uint32_t func = kNoFunc;
+  uint32_t inst = 0;
+
+  bool operator==(const InstRef&) const = default;
+  bool valid() const { return func != kNoFunc; }
+};
+
+struct InstRefHash {
+  size_t operator()(const InstRef& r) const {
+    return (static_cast<size_t>(r.func) << 32) ^ r.inst;
+  }
+};
+
+}  // namespace trident::ir

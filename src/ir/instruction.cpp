@@ -1,0 +1,82 @@
+#include "ir/instruction.h"
+
+namespace trident::ir {
+
+uint64_t PrintSpec::pack() const {
+  return static_cast<uint64_t>(kind) |
+         (static_cast<uint64_t>(precision) << 8) |
+         (static_cast<uint64_t>(is_output ? 1 : 0) << 16);
+}
+
+PrintSpec PrintSpec::unpack(uint64_t imm) {
+  PrintSpec spec;
+  spec.kind = static_cast<Kind>(imm & 0xff);
+  spec.precision = static_cast<uint8_t>((imm >> 8) & 0xff);
+  spec.is_output = ((imm >> 16) & 1) != 0;
+  return spec;
+}
+
+const char* opcode_name(Opcode op) {
+  switch (op) {
+    case Opcode::Add: return "add";
+    case Opcode::Sub: return "sub";
+    case Opcode::Mul: return "mul";
+    case Opcode::SDiv: return "sdiv";
+    case Opcode::UDiv: return "udiv";
+    case Opcode::SRem: return "srem";
+    case Opcode::URem: return "urem";
+    case Opcode::And: return "and";
+    case Opcode::Or: return "or";
+    case Opcode::Xor: return "xor";
+    case Opcode::Shl: return "shl";
+    case Opcode::LShr: return "lshr";
+    case Opcode::AShr: return "ashr";
+    case Opcode::FAdd: return "fadd";
+    case Opcode::FSub: return "fsub";
+    case Opcode::FMul: return "fmul";
+    case Opcode::FDiv: return "fdiv";
+    case Opcode::ICmp: return "icmp";
+    case Opcode::FCmp: return "fcmp";
+    case Opcode::Trunc: return "trunc";
+    case Opcode::ZExt: return "zext";
+    case Opcode::SExt: return "sext";
+    case Opcode::FPTrunc: return "fptrunc";
+    case Opcode::FPExt: return "fpext";
+    case Opcode::FPToSI: return "fptosi";
+    case Opcode::SIToFP: return "sitofp";
+    case Opcode::Bitcast: return "bitcast";
+    case Opcode::Alloca: return "alloca";
+    case Opcode::Load: return "load";
+    case Opcode::Store: return "store";
+    case Opcode::Gep: return "gep";
+    case Opcode::Br: return "br";
+    case Opcode::CondBr: return "condbr";
+    case Opcode::Ret: return "ret";
+    case Opcode::Call: return "call";
+    case Opcode::Phi: return "phi";
+    case Opcode::Select: return "select";
+    case Opcode::Memcpy: return "memcpy";
+    case Opcode::Print: return "print";
+    case Opcode::Detect: return "detect";
+  }
+  return "?";
+}
+
+const char* pred_name(CmpPred pred) {
+  switch (pred) {
+    case CmpPred::None: return "none";
+    case CmpPred::Eq: return "eq";
+    case CmpPred::Ne: return "ne";
+    case CmpPred::SLt: return "slt";
+    case CmpPred::SLe: return "sle";
+    case CmpPred::SGt: return "sgt";
+    case CmpPred::SGe: return "sge";
+    case CmpPred::ULt: return "ult";
+    case CmpPred::ULe: return "ule";
+    case CmpPred::UGt: return "ugt";
+    case CmpPred::UGe: return "uge";
+  }
+  return "?";
+}
+
+}  // namespace trident::ir

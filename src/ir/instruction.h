@@ -1,0 +1,145 @@
+// Instruction set of the TRIDENT IR.
+//
+// One struct covers all opcodes; the rarely-used fields (succ, callee,
+// incoming, imm) are meaningful only for the opcodes documented below.
+// This keeps instructions value-typed and cheap to clone, which the
+// selective-duplication pass relies on.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/value.h"
+
+namespace trident::ir {
+
+inline constexpr uint32_t kNoBlock = ~0u;
+inline constexpr uint32_t kNoFunc = ~0u;
+
+enum class Opcode : uint8_t {
+  // Integer arithmetic. Operands and result share an integer type.
+  Add,
+  Sub,
+  Mul,
+  SDiv,  // traps (Crash) on division by zero or INT_MIN / -1
+  UDiv,  // traps on division by zero
+  SRem,
+  URem,
+  // Bitwise / shifts. Shift amounts are taken modulo the width.
+  And,
+  Or,
+  Xor,
+  Shl,
+  LShr,
+  AShr,
+  // Floating-point arithmetic.
+  FAdd,
+  FSub,
+  FMul,
+  FDiv,
+  // Comparisons: result is i1; `pred` selects the predicate.
+  ICmp,
+  FCmp,
+  // Casts.
+  Trunc,    // int -> narrower int
+  ZExt,     // int -> wider int, zero-extend
+  SExt,     // int -> wider int, sign-extend
+  FPTrunc,  // f64 -> f32
+  FPExt,    // f32 -> f64
+  FPToSI,   // float -> signed int
+  SIToFP,   // signed int -> float
+  Bitcast,  // same-width reinterpret (int<->float, int64<->ptr)
+  // Memory. Alloca: imm = byte size, result ptr (fresh per execution).
+  // Load: operand[0] = ptr, result = `type`. Store: operand[0] = value,
+  // operand[1] = ptr, no result. Gep: operand[0] = base ptr,
+  // operand[1] = integer index, imm = element byte size; result ptr.
+  Alloca,
+  Load,
+  Store,
+  Gep,
+  // Control flow. Br: succ[0]. CondBr: operand[0] = i1, succ[0] = taken
+  // (true), succ[1] = fallthrough (false). Ret: optional operand[0].
+  // Call: operands = args, `callee` = function index, result = callee ret.
+  // Phi: operands parallel to `incoming` predecessor block ids.
+  // Select: operand[0] = i1 cond, operand[1] = true val, operand[2] = false.
+  Br,
+  CondBr,
+  Ret,
+  Call,
+  Phi,
+  Select,
+  // Memcpy: bulk copy (the paper's §VII-A "Memory Copy" case):
+  // operand[0] = dst ptr, operand[1] = src ptr, imm = byte count. The
+  // profiler propagates byte writers through it, so memory-dependence
+  // tracking sees THROUGH bulk copies.
+  Memcpy,
+  // Print: emits operand[0] to the program output stream; `imm` packs a
+  // PrintSpec (format kind, precision, output marker). The output stream
+  // is what SDC classification compares, mirroring the paper's
+  // "instructions considered as program output".
+  Print,
+  // Detect: duplication-pass detector. If operand[0] (i1) is true the run
+  // halts with outcome Detected (error caught before reaching output).
+  Detect,
+};
+
+/// Comparison predicates shared by ICmp (integer, signed/unsigned) and
+/// FCmp (ordered float comparisons; any NaN operand yields false).
+enum class CmpPred : uint8_t {
+  None,
+  Eq,
+  Ne,
+  SLt,
+  SLe,
+  SGt,
+  SGe,
+  ULt,
+  ULe,
+  UGt,
+  UGe,
+};
+
+/// Formatting of a Print instruction, packed into Instruction::imm.
+struct PrintSpec {
+  enum class Kind : uint8_t { Int, Uint, Float, Char };
+  Kind kind = Kind::Int;
+  // Number of significant decimal digits printed for Float (like %.*g).
+  // The paper's floating-point masking rule (§IV-E) keys off this.
+  uint8_t precision = 6;
+  // Whether this print participates in SDC classification (paper: the
+  // user may exclude e.g. debug/statistics prints).
+  bool is_output = true;
+
+  uint64_t pack() const;
+  static PrintSpec unpack(uint64_t imm);
+};
+
+struct Instruction {
+  Opcode op = Opcode::Ret;
+  Type type;                 // result type; Void if no result
+  CmpPred pred = CmpPred::None;
+  uint32_t block = kNoBlock;  // owning basic block
+  uint32_t succ[2] = {kNoBlock, kNoBlock};
+  uint32_t callee = kNoFunc;
+  uint64_t imm = 0;
+  std::vector<Value> operands;
+  std::vector<uint32_t> incoming;  // Phi predecessor blocks
+  std::string name;                // optional debug name
+
+  bool has_result() const { return !type.is_void(); }
+  bool is_terminator() const {
+    return op == Opcode::Br || op == Opcode::CondBr || op == Opcode::Ret;
+  }
+  bool is_cmp() const { return op == Opcode::ICmp || op == Opcode::FCmp; }
+  bool is_cast() const {
+    return op >= Opcode::Trunc && op <= Opcode::Bitcast;
+  }
+};
+
+/// Human-readable opcode mnemonic ("add", "icmp", ...).
+const char* opcode_name(Opcode op);
+/// Predicate mnemonic ("eq", "slt", ...).
+const char* pred_name(CmpPred pred);
+
+}  // namespace trident::ir

@@ -1,0 +1,28 @@
+#include "ir/module.h"
+
+namespace trident::ir {
+
+uint32_t Module::add_function(Function f) {
+  functions.push_back(std::move(f));
+  return static_cast<uint32_t>(functions.size() - 1);
+}
+
+uint32_t Module::add_global(Global g) {
+  globals.push_back(std::move(g));
+  return static_cast<uint32_t>(globals.size() - 1);
+}
+
+std::optional<uint32_t> Module::find_function(const std::string& fname) const {
+  for (uint32_t i = 0; i < functions.size(); ++i) {
+    if (functions[i].name == fname) return i;
+  }
+  return std::nullopt;
+}
+
+size_t Module::num_insts() const {
+  size_t n = 0;
+  for (const auto& f : functions) n += f.insts.size();
+  return n;
+}
+
+}  // namespace trident::ir

@@ -1,0 +1,41 @@
+// Module: the unit the model, profiler and injector operate on.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ir/function.h"
+
+namespace trident::ir {
+
+/// A module-level global memory object. Globals are addressed via
+/// Value::global(i), which evaluates to the base address assigned by the
+/// interpreter's memory model. `init` (if shorter than `size`) is
+/// zero-padded.
+struct Global {
+  std::string name;
+  uint64_t size = 0;  // bytes
+  std::vector<uint8_t> init;
+};
+
+struct Module {
+  std::string name;
+  std::vector<Function> functions;
+  std::vector<Global> globals;
+
+  uint32_t add_function(Function f);
+  uint32_t add_global(Global g);
+
+  const Function& function(uint32_t id) const { return functions[id]; }
+  Function& function(uint32_t id) { return functions[id]; }
+
+  /// Index of the function with the given name, if any.
+  std::optional<uint32_t> find_function(const std::string& fname) const;
+
+  /// Total static instruction count across all functions.
+  size_t num_insts() const;
+};
+
+}  // namespace trident::ir

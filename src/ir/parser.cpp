@@ -1,0 +1,501 @@
+#include "ir/parser.h"
+
+#include <cstdlib>
+#include <map>
+#include <vector>
+
+#include "support/bits.h"
+#include "support/str.h"
+
+namespace trident::ir {
+
+namespace {
+
+// A lightweight cursor over one line of text.
+class Cursor {
+ public:
+  explicit Cursor(std::string_view s) : s_(s) {}
+
+  void skip_ws() {
+    while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\t')) ++pos_;
+  }
+
+  bool done() {
+    skip_ws();
+    return pos_ >= s_.size();
+  }
+
+  bool consume(std::string_view token) {
+    skip_ws();
+    if (s_.substr(pos_, token.size()) == token) {
+      pos_ += token.size();
+      return true;
+    }
+    return false;
+  }
+
+  // Reads a word up to whitespace, ',', brackets or end.
+  std::string_view word() {
+    skip_ws();
+    const size_t start = pos_;
+    while (pos_ < s_.size() && s_[pos_] != ' ' && s_[pos_] != '\t' &&
+           s_[pos_] != ',' && s_[pos_] != '[' && s_[pos_] != ']') {
+      ++pos_;
+    }
+    return s_.substr(start, pos_ - start);
+  }
+
+  std::string_view rest() const { return s_.substr(pos_); }
+
+  // First character after whitespace (0 at end of line).
+  char peek() {
+    skip_ws();
+    return pos_ < s_.size() ? s_[pos_] : '\0';
+  }
+
+ private:
+  std::string_view s_;
+  size_t pos_ = 0;
+};
+
+std::optional<Opcode> opcode_from_name(std::string_view name) {
+  static const std::map<std::string_view, Opcode> kOps = {
+      {"add", Opcode::Add},         {"sub", Opcode::Sub},
+      {"mul", Opcode::Mul},         {"sdiv", Opcode::SDiv},
+      {"udiv", Opcode::UDiv},       {"srem", Opcode::SRem},
+      {"urem", Opcode::URem},       {"and", Opcode::And},
+      {"or", Opcode::Or},           {"xor", Opcode::Xor},
+      {"shl", Opcode::Shl},         {"lshr", Opcode::LShr},
+      {"ashr", Opcode::AShr},       {"fadd", Opcode::FAdd},
+      {"fsub", Opcode::FSub},       {"fmul", Opcode::FMul},
+      {"fdiv", Opcode::FDiv},       {"icmp", Opcode::ICmp},
+      {"fcmp", Opcode::FCmp},       {"trunc", Opcode::Trunc},
+      {"zext", Opcode::ZExt},       {"sext", Opcode::SExt},
+      {"fptrunc", Opcode::FPTrunc}, {"fpext", Opcode::FPExt},
+      {"fptosi", Opcode::FPToSI},   {"sitofp", Opcode::SIToFP},
+      {"bitcast", Opcode::Bitcast}, {"alloca", Opcode::Alloca},
+      {"load", Opcode::Load},       {"store", Opcode::Store},
+      {"gep", Opcode::Gep},         {"br", Opcode::Br},
+      {"memcpy", Opcode::Memcpy},
+      {"condbr", Opcode::CondBr},   {"ret", Opcode::Ret},
+      {"call", Opcode::Call},       {"phi", Opcode::Phi},
+      {"select", Opcode::Select},   {"print", Opcode::Print},
+      {"detect", Opcode::Detect},
+  };
+  const auto it = kOps.find(name);
+  if (it == kOps.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<CmpPred> pred_from_name(std::string_view name) {
+  static const std::map<std::string_view, CmpPred> kPreds = {
+      {"eq", CmpPred::Eq},   {"ne", CmpPred::Ne},   {"slt", CmpPred::SLt},
+      {"sle", CmpPred::SLe}, {"sgt", CmpPred::SGt}, {"sge", CmpPred::SGe},
+      {"ult", CmpPred::ULt}, {"ule", CmpPred::ULe}, {"ugt", CmpPred::UGt},
+      {"uge", CmpPred::UGe},
+  };
+  const auto it = kPreds.find(name);
+  if (it == kPreds.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<Type> type_from_name(std::string_view name) {
+  if (name == "void") return Type::void_();
+  if (name == "ptr") return Type::ptr();
+  if (name == "f32") return Type::f32();
+  if (name == "f64") return Type::f64();
+  if (name.size() >= 2 && name[0] == 'i') {
+    const int bits = std::atoi(std::string(name.substr(1)).c_str());
+    if (bits >= 1 && bits <= 64) return Type::i(static_cast<unsigned>(bits));
+  }
+  return std::nullopt;
+}
+
+// The per-function parsing context.
+struct FunctionParser {
+  Function func;
+  // constant (type kind<<8|bits, raw) -> pool index
+  std::map<std::pair<uint64_t, uint64_t>, uint32_t> const_cache;
+  // Parsed instructions, in textual order, with their declared result id
+  // (~0u when the instruction has no result).
+  struct Proto {
+    Instruction inst;
+    uint32_t result_id = ~0u;
+    uint32_t block = 0;
+  };
+  std::vector<Proto> protos;
+
+  Value intern_constant(Type type, uint64_t raw) {
+    const auto key = std::make_pair(
+        (static_cast<uint64_t>(type.kind) << 8) | type.bits, raw);
+    auto [it, inserted] = const_cache.try_emplace(key, 0);
+    if (inserted) it->second = func.add_constant(Constant{type, raw});
+    return Value::constant(it->second);
+  }
+};
+
+bool parse_uint(std::string_view s, uint64_t& out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  const std::string buf(s);
+  out = std::strtoull(buf.c_str(), &end, 10);
+  return end == buf.c_str() + buf.size();
+}
+
+// Parses one operand: "%N", "%argN", "@gN" or "<type> <literal>".
+bool parse_operand(Cursor& cur, FunctionParser& fp, Value& out) {
+  cur.skip_ws();
+  const auto w = cur.word();
+  if (w.empty()) return false;
+  uint64_t n = 0;
+  if (w.substr(0, 4) == "%arg") {
+    if (!parse_uint(w.substr(4), n)) return false;
+    out = Value::arg(static_cast<uint32_t>(n));
+    return true;
+  }
+  if (w[0] == '%') {
+    if (!parse_uint(w.substr(1), n)) return false;
+    out = Value::inst(static_cast<uint32_t>(n));
+    return true;
+  }
+  if (w.substr(0, 2) == "@g") {
+    if (!parse_uint(w.substr(2), n)) return false;
+    out = Value::global(static_cast<uint32_t>(n));
+    return true;
+  }
+  // Typed constant.
+  const auto type = type_from_name(w);
+  if (!type || type->is_void()) return false;
+  const auto lit = cur.word();
+  if (lit.empty()) return false;
+  const std::string buf(lit);
+  if (type->is_float()) {
+    char* end = nullptr;
+    const double d = std::strtod(buf.c_str(), &end);
+    if (end != buf.c_str() + buf.size()) return false;
+    out = fp.intern_constant(
+        *type, type->width() == 32
+                   ? support::f32_to_bits(static_cast<float>(d))
+                   : support::f64_to_bits(d));
+    return true;
+  }
+  char* end = nullptr;
+  const auto v = std::strtoll(buf.c_str(), &end, 10);
+  if (end != buf.c_str() + buf.size()) return false;
+  out = fp.intern_constant(
+      *type, static_cast<uint64_t>(v) & support::low_mask(type->width()));
+  return true;
+}
+
+bool parse_block_ref(Cursor& cur, uint32_t& out) {
+  const auto w = cur.word();
+  uint64_t n = 0;
+  if (w.substr(0, 2) != "bb" || !parse_uint(w.substr(2), n)) return false;
+  out = static_cast<uint32_t>(n);
+  return true;
+}
+
+}  // namespace
+
+std::optional<Module> parse_module(std::string_view text, ParseError* error) {
+  const auto fail = [&](uint32_t line, std::string message)
+      -> std::optional<Module> {
+    if (error != nullptr) *error = {line, std::move(message)};
+    return std::nullopt;
+  };
+
+  // Split lines, separating trailing "  ; name" comments (the printer
+  // renders instruction/block names that way; they are preserved so
+  // printed text is a parse/print fixed point).
+  std::vector<std::string> lines;
+  std::vector<std::string> names;
+  {
+    size_t start = 0;
+    while (start <= text.size()) {
+      size_t nl = text.find('\n', start);
+      if (nl == std::string_view::npos) nl = text.size();
+      std::string line(text.substr(start, nl - start));
+      std::string name;
+      if (const auto c = line.find("  ; "); c != std::string::npos) {
+        name = line.substr(c + 4);
+        line.resize(c);
+      }
+      while (!line.empty() && (line.back() == ' ' || line.back() == '\r')) {
+        line.pop_back();
+      }
+      lines.push_back(std::move(line));
+      names.push_back(std::move(name));
+      start = nl + 1;
+    }
+  }
+
+  Module module;
+
+  // Pass 1: globals and function signatures (so calls resolve by name).
+  std::map<std::string, uint32_t> func_ids;
+  for (uint32_t li = 0; li < lines.size(); ++li) {
+    Cursor cur(lines[li]);
+    if (cur.consume("@g")) {
+      // @gN = global "name" size M
+      cur.word();  // the index (positional; we trust file order)
+      if (!cur.consume("= global")) return fail(li + 1, "bad global");
+      cur.skip_ws();
+      auto rest = std::string(cur.rest());
+      const auto q1 = rest.find('"');
+      const auto q2 = rest.find('"', q1 + 1);
+      if (q1 == std::string::npos || q2 == std::string::npos) {
+        return fail(li + 1, "bad global name");
+      }
+      Global g;
+      g.name = rest.substr(q1 + 1, q2 - q1 - 1);
+      Cursor tail(std::string_view(rest).substr(q2 + 1));
+      if (!tail.consume("size")) return fail(li + 1, "bad global size");
+      uint64_t size = 0;
+      if (!parse_uint(tail.word(), size)) return fail(li + 1, "bad size");
+      g.size = size;
+      module.add_global(std::move(g));
+      continue;
+    }
+    if (cur.consume("func @")) {
+      const auto rest = std::string(lines[li]);
+      const auto at = rest.find('@');
+      const auto paren = rest.find('(', at);
+      if (paren == std::string::npos) return fail(li + 1, "bad func header");
+      Function f;
+      f.name = rest.substr(at + 1, paren - at - 1);
+      const auto close = rest.find(')', paren);
+      if (close == std::string::npos) return fail(li + 1, "bad func header");
+      // Parameters: "i32 %arg0, f64 %arg1"
+      Cursor params(std::string_view(rest).substr(paren + 1,
+                                                  close - paren - 1));
+      while (!params.done()) {
+        params.consume(",");
+        if (params.done()) break;
+        const auto t = type_from_name(params.word());
+        if (!t) return fail(li + 1, "bad parameter type");
+        params.word();  // %argN
+        f.params.push_back(*t);
+      }
+      Cursor tail(std::string_view(rest).substr(close + 1));
+      if (!tail.consume("->")) return fail(li + 1, "missing return type");
+      const auto rt = type_from_name(tail.word());
+      if (!rt) return fail(li + 1, "bad return type");
+      f.ret = *rt;
+      const std::string fname = f.name;  // add_function moves f out
+      func_ids[fname] = module.add_function(std::move(f));
+    }
+  }
+
+  // Pass 2: function bodies.
+  uint32_t current = kNoFunc;
+  std::optional<FunctionParser> fp;
+  const auto finalize = [&]() -> bool {
+    if (!fp) return true;
+    // Result instructions keep their printed ids; result-less ones fill
+    // the gaps in textual order (references never name them).
+    const auto total = static_cast<uint32_t>(fp->protos.size());
+    std::vector<bool> used(total, false);
+    for (const auto& proto : fp->protos) {
+      if (proto.result_id != ~0u) {
+        if (proto.result_id >= total || used[proto.result_id]) return false;
+        used[proto.result_id] = true;
+      }
+    }
+    uint32_t next_free = 0;
+    fp->func.insts.assign(total, Instruction{});
+    for (auto& proto : fp->protos) {
+      uint32_t id = proto.result_id;
+      if (id == ~0u) {
+        while (next_free < total && used[next_free]) ++next_free;
+        if (next_free >= total) return false;
+        id = next_free;
+        used[id] = true;
+      }
+      proto.inst.block = proto.block;
+      fp->func.insts[id] = std::move(proto.inst);
+      fp->func.blocks[proto.block].insts.push_back(id);
+    }
+    module.functions[current] = std::move(fp->func);
+    fp.reset();
+    return true;
+  };
+
+  uint32_t block = kNoBlock;
+  for (uint32_t li = 0; li < lines.size(); ++li) {
+    const auto& line = lines[li];
+    if (line.empty()) continue;
+    Cursor cur(line);
+    if (cur.consume("@g")) continue;  // globals done in pass 1
+    if (cur.consume("func @")) {
+      if (!finalize()) return fail(li + 1, "duplicate instruction id");
+      const auto rest = line;
+      const auto at = rest.find('@');
+      const auto paren = rest.find('(', at);
+      const auto name = rest.substr(at + 1, paren - at - 1);
+      current = func_ids.at(name);
+      fp.emplace();
+      fp->func.name = name;
+      fp->func.params = module.functions[current].params;
+      fp->func.ret = module.functions[current].ret;
+      block = kNoBlock;
+      continue;
+    }
+    if (line == "}") continue;
+    if (!fp) return fail(li + 1, "instruction outside a function");
+    // Block label: "bbN:"
+    if (line.substr(0, 2) == "bb" && line.back() == ':') {
+      uint64_t n = 0;
+      if (!parse_uint(std::string_view(line).substr(2, line.size() - 3), n)) {
+        return fail(li + 1, "bad block label");
+      }
+      while (fp->func.blocks.size() <= n) fp->func.add_block("");
+      block = static_cast<uint32_t>(n);
+      fp->func.blocks[block].name = names[li];
+      continue;
+    }
+    if (block == kNoBlock) return fail(li + 1, "instruction outside block");
+
+    // Instruction: ["%N = "] opcode ...
+    FunctionParser::Proto proto;
+    proto.block = block;
+    Cursor icur(line);
+    icur.skip_ws();
+    if (icur.consume("%")) {
+      uint64_t id = 0;
+      if (!parse_uint(icur.word(), id)) return fail(li + 1, "bad result id");
+      proto.result_id = static_cast<uint32_t>(id);
+      if (!icur.consume("=")) return fail(li + 1, "missing '='");
+    }
+    const auto opname = icur.word();
+    const auto op = opcode_from_name(opname);
+    if (!op) return fail(li + 1, "unknown opcode '" + std::string(opname) + "'");
+    Instruction& inst = proto.inst;
+    inst.op = *op;
+    inst.type = Type::void_();
+
+    if (inst.op == Opcode::ICmp || inst.op == Opcode::FCmp) {
+      const auto pred = pred_from_name(icur.word());
+      if (!pred) return fail(li + 1, "bad predicate");
+      inst.pred = *pred;
+    }
+
+    // Result type (printed when non-void). Ret/store/print/br/detect
+    // never have one; everything with a result id does.
+    if (proto.result_id != ~0u) {
+      const auto t = type_from_name(icur.word());
+      if (!t) return fail(li + 1, "bad result type");
+      inst.type = *t;
+    }
+
+    switch (inst.op) {
+      case Opcode::Br: {
+        uint32_t dest = 0;
+        if (!parse_block_ref(icur, dest)) return fail(li + 1, "bad br");
+        inst.succ[0] = dest;
+        break;
+      }
+      case Opcode::CondBr: {
+        Value cond;
+        if (!parse_operand(icur, *fp, cond)) return fail(li + 1, "bad cond");
+        inst.operands.push_back(cond);
+        icur.consume(",");
+        uint32_t t = 0, f = 0;
+        if (!parse_block_ref(icur, t)) return fail(li + 1, "bad succ");
+        icur.consume(",");
+        if (!parse_block_ref(icur, f)) return fail(li + 1, "bad succ");
+        inst.succ[0] = t;
+        inst.succ[1] = f;
+        break;
+      }
+      case Opcode::Alloca: {
+        if (!icur.consume("size")) return fail(li + 1, "alloca needs size");
+        uint64_t size = 0;
+        if (!parse_uint(icur.word(), size)) return fail(li + 1, "bad size");
+        inst.imm = size;
+        break;
+      }
+      case Opcode::Phi: {
+        // operands, then "[bbN]" per incoming.
+        while (!icur.done() && icur.peek() != '[') {
+          icur.consume(",");
+          if (icur.done() || icur.peek() == '[') break;
+          Value v;
+          if (!parse_operand(icur, *fp, v)) return fail(li + 1, "bad phi");
+          inst.operands.push_back(v);
+        }
+        while (icur.consume("[")) {
+          uint32_t bb = 0;
+          if (!parse_block_ref(icur, bb)) return fail(li + 1, "bad phi bb");
+          if (!icur.consume("]")) return fail(li + 1, "bad phi bb");
+          inst.incoming.push_back(bb);
+        }
+        if (inst.incoming.size() != inst.operands.size()) {
+          return fail(li + 1, "phi operand/incoming mismatch");
+        }
+        break;
+      }
+      case Opcode::Print: {
+        Value v;
+        if (!parse_operand(icur, *fp, v)) return fail(li + 1, "bad print");
+        inst.operands.push_back(v);
+        PrintSpec spec;
+        if (!icur.consume("fmt=")) return fail(li + 1, "print needs fmt");
+        const auto kind = icur.word();
+        spec.kind = kind == "int"     ? PrintSpec::Kind::Int
+                    : kind == "uint"  ? PrintSpec::Kind::Uint
+                    : kind == "float" ? PrintSpec::Kind::Float
+                                      : PrintSpec::Kind::Char;
+        if (!icur.consume("prec=")) return fail(li + 1, "print needs prec");
+        uint64_t prec = 0;
+        if (!parse_uint(icur.word(), prec)) return fail(li + 1, "bad prec");
+        spec.precision = static_cast<uint8_t>(prec);
+        spec.is_output = !icur.consume("(debug)");
+        inst.imm = spec.pack();
+        break;
+      }
+      default: {
+        // Comma-separated operands, then opcode-specific suffixes.
+        while (!icur.done()) {
+          if (icur.consume("elem") || icur.consume("bytes")) {
+            uint64_t imm = 0;
+            if (!parse_uint(icur.word(), imm)) return fail(li + 1, "bad imm");
+            inst.imm = imm;
+            break;
+          }
+          if (icur.peek() == '@') {
+            // "@gN" is a global operand; any other "@name" is a callee.
+            const auto w = icur.word();
+            uint64_t n = 0;
+            if (w.substr(0, 2) == "@g" && parse_uint(w.substr(2), n)) {
+              inst.operands.push_back(
+                  Value::global(static_cast<uint32_t>(n)));
+              continue;
+            }
+            const auto it = func_ids.find(std::string(w.substr(1)));
+            if (it == func_ids.end()) return fail(li + 1, "unknown callee");
+            inst.callee = it->second;
+            break;
+          }
+          icur.consume(",");
+          if (icur.done()) break;
+          Value v;
+          if (!parse_operand(icur, *fp, v)) {
+            return fail(li + 1, "bad operand in '" + line + "'");
+          }
+          inst.operands.push_back(v);
+        }
+        if (inst.op == Opcode::Call && inst.callee == kNoFunc) {
+          return fail(li + 1, "call without callee");
+        }
+        break;
+      }
+    }
+    proto.inst.name = names[li];
+    fp->protos.push_back(std::move(proto));
+  }
+  if (!finalize()) return fail(static_cast<uint32_t>(lines.size()),
+                               "duplicate instruction id");
+  return module;
+}
+
+}  // namespace trident::ir

@@ -1,0 +1,26 @@
+// Textual IR parser: reads the format produced by ir/printer.h, so
+// modules round-trip through text (print -> parse -> print is a fixed
+// point). This is what lets workloads and regression cases live in .tir
+// files and lets the CLI analyze programs without recompiling.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "ir/module.h"
+
+namespace trident::ir {
+
+struct ParseError {
+  uint32_t line = 0;  // 1-based line number in the input
+  std::string message;
+};
+
+/// Parses a whole module from text. On failure returns std::nullopt and
+/// fills `error` (if non-null) with the first problem found. The result
+/// is structurally parsed but NOT verified — run ir::verify() on it.
+std::optional<Module> parse_module(std::string_view text,
+                                   ParseError* error = nullptr);
+
+}  // namespace trident::ir

@@ -1,0 +1,131 @@
+#include "ir/printer.h"
+
+#include "support/bits.h"
+#include "support/str.h"
+
+namespace trident::ir {
+
+namespace {
+
+using support::format;
+
+std::string value_str(const Function& func, const Value& v) {
+  switch (v.kind) {
+    case Value::Kind::None:
+      return "<none>";
+    case Value::Kind::Inst:
+      return format("%%%u", v.index);
+    case Value::Kind::Arg:
+      return format("%%arg%u", v.index);
+    case Value::Kind::Const: {
+      const auto& c = func.constants[v.index];
+      if (c.type.is_float()) {
+        // Hexfloat renders exactly, so printed modules re-parse to the
+        // same bit patterns.
+        const double d = c.type.width() == 32 ? support::bits_to_f32(c.raw)
+                                              : support::bits_to_f64(c.raw);
+        return format("%s %a", c.type.str().c_str(), d);
+      }
+      return format("%s %lld", c.type.str().c_str(),
+                    static_cast<long long>(support::sign_extend(
+                        c.raw, c.type.width() ? c.type.width() : 64)));
+    }
+    case Value::Kind::Global:
+      return format("@g%u", v.index);
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string print_inst(const Module& module, const Function& func,
+                       uint32_t inst_id) {
+  const auto& inst = func.inst(inst_id);
+  std::string s;
+  if (inst.has_result()) {
+    s += format("%%%u = ", inst_id);
+  }
+  s += opcode_name(inst.op);
+  if (inst.is_cmp()) s += format(" %s", pred_name(inst.pred));
+  if (!inst.type.is_void()) s += " " + inst.type.str();
+  std::vector<std::string> parts;
+  for (const auto& v : inst.operands) parts.push_back(value_str(func, v));
+  if (!parts.empty()) s += " " + support::join(parts, ", ");
+  switch (inst.op) {
+    case Opcode::Alloca:
+      s += format(" size %llu", static_cast<unsigned long long>(inst.imm));
+      break;
+    case Opcode::Gep:
+      s += format(" elem %llu", static_cast<unsigned long long>(inst.imm));
+      break;
+    case Opcode::Memcpy:
+      s += format(" bytes %llu", static_cast<unsigned long long>(inst.imm));
+      break;
+    case Opcode::Br:
+      s += format(" bb%u", inst.succ[0]);
+      break;
+    case Opcode::CondBr:
+      s += format(", bb%u, bb%u", inst.succ[0], inst.succ[1]);
+      break;
+    case Opcode::Call:
+      if (inst.callee < module.functions.size()) {
+        s += format(" @%s", module.functions[inst.callee].name.c_str());
+      }
+      break;
+    case Opcode::Phi:
+      for (uint32_t i = 0; i < inst.incoming.size(); ++i) {
+        s += format(" [bb%u]", inst.incoming[i]);
+      }
+      break;
+    case Opcode::Print: {
+      const auto spec = PrintSpec::unpack(inst.imm);
+      const char* kind = spec.kind == PrintSpec::Kind::Int     ? "int"
+                         : spec.kind == PrintSpec::Kind::Uint  ? "uint"
+                         : spec.kind == PrintSpec::Kind::Float ? "float"
+                                                               : "char";
+      s += format(" fmt=%s prec=%u%s", kind,
+                  static_cast<unsigned>(spec.precision),
+                  spec.is_output ? "" : " (debug)");
+      break;
+    }
+    default:
+      break;
+  }
+  if (!inst.name.empty()) s += format("  ; %s", inst.name.c_str());
+  return s;
+}
+
+std::string print_function(const Module& module, const Function& func) {
+  std::string s = format("func @%s(", func.name.c_str());
+  std::vector<std::string> params;
+  for (uint32_t i = 0; i < func.params.size(); ++i) {
+    params.push_back(format("%s %%arg%u", func.params[i].str().c_str(), i));
+  }
+  s += support::join(params, ", ");
+  s += format(") -> %s {\n", func.ret.str().c_str());
+  for (uint32_t bb = 0; bb < func.blocks.size(); ++bb) {
+    s += format("bb%u:%s%s\n", bb, func.blocks[bb].name.empty() ? "" : "  ; ",
+                func.blocks[bb].name.c_str());
+    for (const auto id : func.blocks[bb].insts) {
+      s += "  " + print_inst(module, func, id) + "\n";
+    }
+  }
+  s += "}\n";
+  return s;
+}
+
+std::string print_module(const Module& module) {
+  std::string s;
+  for (uint32_t g = 0; g < module.globals.size(); ++g) {
+    s += format("@g%u = global \"%s\" size %llu\n", g,
+                module.globals[g].name.c_str(),
+                static_cast<unsigned long long>(module.globals[g].size));
+  }
+  if (!module.globals.empty()) s += "\n";
+  for (const auto& func : module.functions) {
+    s += print_function(module, func) + "\n";
+  }
+  return s;
+}
+
+}  // namespace trident::ir

@@ -1,0 +1,18 @@
+// Textual dump of modules/functions, for debugging, test diagnostics and
+// the examples. The format is LLVM-flavoured but not round-trippable.
+#pragma once
+
+#include <string>
+
+#include "ir/module.h"
+
+namespace trident::ir {
+
+std::string print_function(const Module& module, const Function& func);
+std::string print_module(const Module& module);
+
+/// One-line rendering of a single instruction ("%3 = add i32 %1, %2").
+std::string print_inst(const Module& module, const Function& func,
+                       uint32_t inst_id);
+
+}  // namespace trident::ir

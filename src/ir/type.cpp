@@ -1,0 +1,42 @@
+#include "ir/type.h"
+
+#include <cassert>
+
+#include "support/str.h"
+
+namespace trident::ir {
+
+Type Type::i(unsigned bits) {
+  assert(bits >= 1 && bits <= 64 && "integer width out of range");
+  return {TypeKind::Int, static_cast<uint8_t>(bits)};
+}
+
+unsigned Type::store_size() const {
+  switch (kind) {
+    case TypeKind::Void:
+      return 0;
+    case TypeKind::Int:
+      return bits <= 8 ? 1 : bits <= 16 ? 2 : bits <= 32 ? 4 : 8;
+    case TypeKind::Float:
+      return bits / 8;
+    case TypeKind::Ptr:
+      return 8;
+  }
+  return 0;
+}
+
+std::string Type::str() const {
+  switch (kind) {
+    case TypeKind::Void:
+      return "void";
+    case TypeKind::Int:
+      return support::format("i%u", static_cast<unsigned>(bits));
+    case TypeKind::Float:
+      return bits == 32 ? "f32" : "f64";
+    case TypeKind::Ptr:
+      return "ptr";
+  }
+  return "?";
+}
+
+}  // namespace trident::ir

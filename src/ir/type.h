@@ -1,0 +1,46 @@
+// Type system for the TRIDENT IR.
+//
+// The IR mirrors the fragment of LLVM IR that the TRIDENT model consumes:
+// fixed-width integers (i1..i64), IEEE floats (f32/f64), an opaque 64-bit
+// pointer type, and void for result-less instructions. Aggregates are not
+// first-class; arrays live in memory and are addressed through Gep.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace trident::ir {
+
+enum class TypeKind : uint8_t { Void, Int, Float, Ptr };
+
+struct Type {
+  TypeKind kind = TypeKind::Void;
+  uint8_t bits = 0;  // Int: 1..64, Float: 32|64, Ptr: 64, Void: 0
+
+  static Type void_() { return {TypeKind::Void, 0}; }
+  static Type i(unsigned bits);
+  static Type i1() { return i(1); }
+  static Type i8() { return i(8); }
+  static Type i16() { return i(16); }
+  static Type i32() { return i(32); }
+  static Type i64() { return i(64); }
+  static Type f32() { return {TypeKind::Float, 32}; }
+  static Type f64() { return {TypeKind::Float, 64}; }
+  static Type ptr() { return {TypeKind::Ptr, 64}; }
+
+  bool is_void() const { return kind == TypeKind::Void; }
+  bool is_int() const { return kind == TypeKind::Int; }
+  bool is_float() const { return kind == TypeKind::Float; }
+  bool is_ptr() const { return kind == TypeKind::Ptr; }
+
+  /// Width in bits of a register of this type (0 for void).
+  unsigned width() const { return bits; }
+  /// Size in bytes when stored to memory (i1 stores as one byte).
+  unsigned store_size() const;
+
+  bool operator==(const Type&) const = default;
+
+  std::string str() const;
+};
+
+}  // namespace trident::ir

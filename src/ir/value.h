@@ -1,0 +1,47 @@
+// Operand references and constants.
+//
+// A Value is a lightweight tagged reference: it names an instruction
+// result, a function argument, a per-function constant-pool entry, or a
+// module global (whose value is its address). Values are resolved against
+// the owning Function/Module; they carry no pointers, which keeps
+// functions trivially copyable for the duplication pass.
+#pragma once
+
+#include <cstdint>
+
+#include "ir/type.h"
+
+namespace trident::ir {
+
+struct Value {
+  enum class Kind : uint8_t { None, Inst, Arg, Const, Global };
+
+  Kind kind = Kind::None;
+  uint32_t index = 0;
+
+  static Value none() { return {}; }
+  static Value inst(uint32_t id) { return {Kind::Inst, id}; }
+  static Value arg(uint32_t id) { return {Kind::Arg, id}; }
+  static Value constant(uint32_t id) { return {Kind::Const, id}; }
+  static Value global(uint32_t id) { return {Kind::Global, id}; }
+
+  bool is_none() const { return kind == Kind::None; }
+  bool is_inst() const { return kind == Kind::Inst; }
+  bool is_arg() const { return kind == Kind::Arg; }
+  bool is_const() const { return kind == Kind::Const; }
+  bool is_global() const { return kind == Kind::Global; }
+
+  bool operator==(const Value&) const = default;
+};
+
+/// A typed constant stored in a function's constant pool. `raw` holds the
+/// bit pattern: integers are zero-extended to 64 bits, floats are their
+/// IEEE-754 encoding (f32 in the low 32 bits).
+struct Constant {
+  Type type;
+  uint64_t raw = 0;
+
+  bool operator==(const Constant&) const = default;
+};
+
+}  // namespace trident::ir

@@ -1,0 +1,421 @@
+#include "ir/verifier.h"
+
+#include <algorithm>
+#include <optional>
+
+#include "analysis/cfg.h"
+#include "analysis/dominators.h"
+#include "support/str.h"
+
+namespace trident::ir {
+
+namespace {
+
+using support::format;
+
+class FunctionVerifier {
+ public:
+  FunctionVerifier(const Module& module, uint32_t func_id,
+                   std::vector<VerifyError>& errors)
+      : module_(module),
+        func_(module.functions[func_id]),
+        func_id_(func_id),
+        errors_(errors) {}
+
+  void run() {
+    check_structure();
+    if (structure_ok_) {
+      build_positions();
+      check_instructions();
+    }
+  }
+
+ private:
+  void error(uint32_t inst, std::string message) {
+    errors_.push_back({func_id_, inst, std::move(message)});
+  }
+  void ferror(std::string message) {
+    errors_.push_back({func_id_, kNoBlock, std::move(message)});
+  }
+
+  void check_structure() {
+    if (func_.blocks.empty()) {
+      ferror("function has no blocks");
+      structure_ok_ = false;
+      return;
+    }
+    for (uint32_t bb = 0; bb < func_.blocks.size(); ++bb) {
+      const auto& block = func_.blocks[bb];
+      if (block.insts.empty()) {
+        ferror(format("block %u (%s) is empty", bb, block.name.c_str()));
+        structure_ok_ = false;
+        continue;
+      }
+      bool seen_non_phi = false;
+      for (uint32_t i = 0; i < block.insts.size(); ++i) {
+        const auto id = block.insts[i];
+        if (id >= func_.insts.size()) {
+          ferror(format("block %u references invalid instruction %u", bb, id));
+          structure_ok_ = false;
+          continue;
+        }
+        const auto& inst = func_.insts[id];
+        if (inst.block != bb) {
+          error(id, format("instruction's block field is %u, expected %u",
+                           inst.block, bb));
+        }
+        const bool is_last = i + 1 == block.insts.size();
+        if (inst.is_terminator() != is_last) {
+          error(id, inst.is_terminator()
+                        ? "terminator in the middle of a block"
+                        : "block does not end with a terminator");
+          structure_ok_ = false;
+        }
+        if (inst.op == Opcode::Phi) {
+          if (seen_non_phi) error(id, "phi after non-phi instruction");
+        } else {
+          seen_non_phi = true;
+        }
+        for (int s = 0; s < 2; ++s) {
+          if (inst.succ[s] != kNoBlock && inst.succ[s] >= func_.blocks.size()) {
+            error(id, format("invalid successor block %u", inst.succ[s]));
+            structure_ok_ = false;
+          }
+        }
+      }
+    }
+  }
+
+  void build_positions() {
+    position_.assign(func_.insts.size(), 0);
+    for (const auto& block : func_.blocks) {
+      for (uint32_t i = 0; i < block.insts.size(); ++i) {
+        position_[block.insts[i]] = i;
+      }
+    }
+    cfg_.emplace(func_);
+    dom_.emplace(analysis::DomTree::dominators(*cfg_));
+  }
+
+  bool value_valid(const Value& v) const {
+    switch (v.kind) {
+      case Value::Kind::None:
+        return false;
+      case Value::Kind::Inst:
+        return v.index < func_.insts.size() &&
+               func_.insts[v.index].has_result();
+      case Value::Kind::Arg:
+        return v.index < func_.params.size();
+      case Value::Kind::Const:
+        return v.index < func_.constants.size();
+      case Value::Kind::Global:
+        return v.index < module_.globals.size();
+    }
+    return false;
+  }
+
+  // Def must dominate use. For phis the def must dominate the terminator
+  // of the corresponding incoming block.
+  void check_dominance(uint32_t user, const Value& v, uint32_t use_block,
+                       bool at_block_end) {
+    if (!v.is_inst()) return;
+    const auto def = v.index;
+    const auto def_block = func_.insts[def].block;
+    if (!cfg_->reachable(use_block)) return;  // dead code: skip
+    if (def_block == use_block) {
+      if (!at_block_end && position_[def] >= position_[user] &&
+          func_.insts[user].op != Opcode::Phi) {
+        error(user, format("operand %%%u does not precede its use", def));
+      }
+      return;
+    }
+    if (!dom_->dominates(def_block, use_block)) {
+      error(user, format("operand %%%u (block %u) does not dominate use "
+                         "(block %u)",
+                         def, def_block, use_block));
+    }
+  }
+
+  void check_instructions() {
+    for (uint32_t id = 0; id < func_.insts.size(); ++id) {
+      const auto& inst = func_.insts[id];
+      for (const auto& v : inst.operands) {
+        if (!value_valid(v)) {
+          error(id, "invalid operand reference");
+        }
+      }
+      if (std::any_of(inst.operands.begin(), inst.operands.end(),
+                      [&](const Value& v) { return !value_valid(v); })) {
+        continue;  // typing checks below would read out of range
+      }
+      if (inst.op == Opcode::Phi) {
+        check_phi(id, inst);
+      } else {
+        for (const auto& v : inst.operands) {
+          check_dominance(id, v, inst.block, /*at_block_end=*/false);
+        }
+      }
+      check_types(id, inst);
+    }
+  }
+
+  void check_phi(uint32_t id, const Instruction& inst) {
+    if (inst.operands.size() != inst.incoming.size()) {
+      error(id, "phi operand/incoming count mismatch");
+      return;
+    }
+    const auto& preds = cfg_->preds(inst.block);
+    if (cfg_->reachable(inst.block) &&
+        inst.incoming.size() != preds.size()) {
+      error(id, format("phi has %zu incoming values but block has %zu "
+                       "predecessors",
+                       inst.incoming.size(), preds.size()));
+    }
+    for (uint32_t i = 0; i < inst.incoming.size(); ++i) {
+      const auto from = inst.incoming[i];
+      if (from >= func_.blocks.size()) {
+        error(id, format("phi incoming block %u invalid", from));
+        continue;
+      }
+      if (cfg_->reachable(inst.block) &&
+          std::find(preds.begin(), preds.end(), from) == preds.end()) {
+        error(id, format("phi incoming block %u is not a predecessor", from));
+      }
+      check_dominance(id, inst.operands[i], from, /*at_block_end=*/true);
+      if (func_.value_type(inst.operands[i]) != inst.type) {
+        error(id, "phi incoming value type mismatch");
+      }
+    }
+  }
+
+  Type ty(const Value& v) const { return func_.value_type(v); }
+
+  void check_types(uint32_t id, const Instruction& inst) {
+    const auto expect = [&](bool cond, const char* what) {
+      if (!cond) error(id, what);
+    };
+    switch (inst.op) {
+      case Opcode::Add:
+      case Opcode::Sub:
+      case Opcode::Mul:
+      case Opcode::SDiv:
+      case Opcode::UDiv:
+      case Opcode::SRem:
+      case Opcode::URem:
+      case Opcode::And:
+      case Opcode::Or:
+      case Opcode::Xor:
+      case Opcode::Shl:
+      case Opcode::LShr:
+      case Opcode::AShr:
+        expect(inst.operands.size() == 2, "binop needs two operands");
+        if (inst.operands.size() == 2) {
+          expect(inst.type.is_int(), "integer binop result must be int");
+          expect(ty(inst.operands[0]) == inst.type &&
+                     ty(inst.operands[1]) == inst.type,
+                 "integer binop operand type mismatch");
+        }
+        break;
+      case Opcode::FAdd:
+      case Opcode::FSub:
+      case Opcode::FMul:
+      case Opcode::FDiv:
+        expect(inst.operands.size() == 2, "binop needs two operands");
+        if (inst.operands.size() == 2) {
+          expect(inst.type.is_float(), "float binop result must be float");
+          expect(ty(inst.operands[0]) == inst.type &&
+                     ty(inst.operands[1]) == inst.type,
+                 "float binop operand type mismatch");
+        }
+        break;
+      case Opcode::ICmp:
+        expect(inst.operands.size() == 2 && inst.type == Type::i1(),
+               "icmp must produce i1 from two operands");
+        if (inst.operands.size() == 2) {
+          const auto t = ty(inst.operands[0]);
+          expect((t.is_int() || t.is_ptr()) && t == ty(inst.operands[1]),
+                 "icmp operands must be matching int/ptr");
+        }
+        expect(inst.pred != CmpPred::None, "icmp needs a predicate");
+        break;
+      case Opcode::FCmp:
+        expect(inst.operands.size() == 2 && inst.type == Type::i1(),
+               "fcmp must produce i1 from two operands");
+        if (inst.operands.size() == 2) {
+          const auto t = ty(inst.operands[0]);
+          expect(t.is_float() && t == ty(inst.operands[1]),
+                 "fcmp operands must be matching floats");
+        }
+        expect(inst.pred >= CmpPred::Eq && inst.pred <= CmpPred::SGe,
+               "fcmp predicate must be ordered (eq/ne/slt/sle/sgt/sge)");
+        break;
+      case Opcode::Trunc:
+        expect(inst.operands.size() == 1 && inst.type.is_int() &&
+                   ty(inst.operands[0]).is_int() &&
+                   ty(inst.operands[0]).width() > inst.type.width(),
+               "trunc must narrow an integer");
+        break;
+      case Opcode::ZExt:
+      case Opcode::SExt:
+        expect(inst.operands.size() == 1 && inst.type.is_int() &&
+                   ty(inst.operands[0]).is_int() &&
+                   ty(inst.operands[0]).width() < inst.type.width(),
+               "ext must widen an integer");
+        break;
+      case Opcode::FPTrunc:
+        expect(inst.operands.size() == 1 && inst.type == Type::f32() &&
+                   ty(inst.operands[0]) == Type::f64(),
+               "fptrunc must be f64 -> f32");
+        break;
+      case Opcode::FPExt:
+        expect(inst.operands.size() == 1 && inst.type == Type::f64() &&
+                   ty(inst.operands[0]) == Type::f32(),
+               "fpext must be f32 -> f64");
+        break;
+      case Opcode::FPToSI:
+        expect(inst.operands.size() == 1 && inst.type.is_int() &&
+                   ty(inst.operands[0]).is_float(),
+               "fptosi must be float -> int");
+        break;
+      case Opcode::SIToFP:
+        expect(inst.operands.size() == 1 && inst.type.is_float() &&
+                   ty(inst.operands[0]).is_int(),
+               "sitofp must be int -> float");
+        break;
+      case Opcode::Bitcast:
+        expect(inst.operands.size() == 1 &&
+                   ty(inst.operands[0]).width() == inst.type.width() &&
+                   !inst.type.is_void(),
+               "bitcast must preserve width");
+        break;
+      case Opcode::Alloca:
+        expect(inst.type.is_ptr() && inst.imm > 0,
+               "alloca must produce ptr with positive size");
+        break;
+      case Opcode::Load:
+        expect(inst.operands.size() == 1 && ty(inst.operands[0]).is_ptr() &&
+                   !inst.type.is_void(),
+               "load needs a ptr operand and non-void result");
+        break;
+      case Opcode::Store:
+        expect(inst.operands.size() == 2 && ty(inst.operands[1]).is_ptr() &&
+                   !ty(inst.operands[0]).is_void() && inst.type.is_void(),
+               "store needs (value, ptr) and no result");
+        break;
+      case Opcode::Gep:
+        expect(inst.operands.size() == 2 && ty(inst.operands[0]).is_ptr() &&
+                   ty(inst.operands[1]).is_int() && inst.type.is_ptr() &&
+                   inst.imm > 0,
+               "gep needs (ptr, int) with positive element size");
+        break;
+      case Opcode::Br:
+        expect(inst.operands.empty() && inst.succ[0] != kNoBlock,
+               "br needs a successor and no operands");
+        break;
+      case Opcode::CondBr:
+        expect(inst.operands.size() == 1 &&
+                   ty(inst.operands[0]) == Type::i1() &&
+                   inst.succ[0] != kNoBlock && inst.succ[1] != kNoBlock,
+               "condbr needs an i1 operand and two successors");
+        break;
+      case Opcode::Ret:
+        if (func_.ret.is_void()) {
+          expect(inst.operands.empty(), "ret in void function has operand");
+        } else {
+          expect(inst.operands.size() == 1 &&
+                     ty(inst.operands[0]) == func_.ret,
+                 "ret value type mismatch");
+        }
+        break;
+      case Opcode::Call: {
+        if (inst.callee >= module_.functions.size()) {
+          error(id, "call to invalid function");
+          break;
+        }
+        const auto& callee = module_.functions[inst.callee];
+        expect(inst.type == callee.ret, "call result type mismatch");
+        if (inst.operands.size() != callee.params.size()) {
+          error(id, "call argument count mismatch");
+        } else {
+          for (uint32_t i = 0; i < inst.operands.size(); ++i) {
+            expect(ty(inst.operands[i]) == callee.params[i],
+                   "call argument type mismatch");
+          }
+        }
+        break;
+      }
+      case Opcode::Phi:
+        expect(!inst.type.is_void(), "phi must produce a value");
+        break;
+      case Opcode::Select:
+        expect(inst.operands.size() == 3 &&
+                   ty(inst.operands[0]) == Type::i1() &&
+                   ty(inst.operands[1]) == inst.type &&
+                   ty(inst.operands[2]) == inst.type,
+               "select needs (i1, T, T) -> T");
+        break;
+      case Opcode::Memcpy:
+        expect(inst.operands.size() == 2 && ty(inst.operands[0]).is_ptr() &&
+                   ty(inst.operands[1]).is_ptr() && inst.type.is_void() &&
+                   inst.imm > 0,
+               "memcpy needs (dst ptr, src ptr) and positive byte count");
+        break;
+      case Opcode::Print: {
+        expect(inst.operands.size() == 1 && inst.type.is_void(),
+               "print needs one operand, no result");
+        if (inst.operands.size() == 1) {
+          const auto spec = PrintSpec::unpack(inst.imm);
+          const auto t = ty(inst.operands[0]);
+          if (spec.kind == PrintSpec::Kind::Float) {
+            expect(t.is_float(), "print float expects a float operand");
+          } else {
+            expect(t.is_int(), "print int/uint/char expects an int operand");
+          }
+        }
+        break;
+      }
+      case Opcode::Detect:
+        expect(inst.operands.size() == 1 &&
+                   ty(inst.operands[0]) == Type::i1() && inst.type.is_void(),
+               "detect needs an i1 operand and no result");
+        break;
+    }
+  }
+
+  const Module& module_;
+  const Function& func_;
+  uint32_t func_id_;
+  std::vector<VerifyError>& errors_;
+  bool structure_ok_ = true;
+  std::vector<uint32_t> position_;
+  std::optional<analysis::CFG> cfg_;
+  std::optional<analysis::DomTree> dom_;
+};
+
+}  // namespace
+
+std::vector<VerifyError> verify(const Module& module) {
+  std::vector<VerifyError> errors;
+  for (uint32_t f = 0; f < module.functions.size(); ++f) {
+    FunctionVerifier(module, f, errors).run();
+  }
+  return errors;
+}
+
+std::string verify_to_string(const Module& module) {
+  std::string out;
+  for (const auto& e : verify(module)) {
+    const auto& fname = e.func < module.functions.size()
+                            ? module.functions[e.func].name
+                            : std::string("?");
+    if (e.inst == kNoBlock) {
+      out += support::format("%s: %s\n", fname.c_str(), e.message.c_str());
+    } else {
+      out += support::format("%s:%%%u: %s\n", fname.c_str(), e.inst,
+                             e.message.c_str());
+    }
+  }
+  return out;
+}
+
+}  // namespace trident::ir

@@ -1,0 +1,38 @@
+// Structural and type verification of modules.
+//
+// The verifier catches authoring mistakes in workloads/tests and defends
+// the transformation passes (notably selective duplication): every pass in
+// the repository verifies its output in tests.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/module.h"
+
+namespace trident::ir {
+
+struct VerifyError {
+  uint32_t func = kNoFunc;
+  uint32_t inst = kNoBlock;  // kNoBlock when the error is function-level
+  std::string message;
+};
+
+/// Returns all verification errors (empty = valid). Checked properties:
+///  - every block is non-empty and ends with exactly one terminator,
+///    terminators appear only at block ends;
+///  - branch successors are valid block ids;
+///  - operand references are in range; instruction operands are defined
+///    before use in a conservative ordering sense (defs must appear in a
+///    block that can reach the use, approximated by id order within a
+///    block and def-block != use-block otherwise), except phi inputs;
+///  - phi nodes have one incoming value per predecessor and appear at the
+///    start of their block;
+///  - operand/result types obey the opcode's typing rules;
+///  - calls match the callee signature; rets match the function type.
+std::vector<VerifyError> verify(const Module& module);
+
+/// Convenience: formats errors into one string (empty = valid).
+std::string verify_to_string(const Module& module);
+
+}  // namespace trident::ir

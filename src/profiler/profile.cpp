@@ -1,0 +1,47 @@
+#include "profiler/profile.h"
+
+#include <algorithm>
+
+namespace trident::prof {
+
+double Profile::branch_prob_taken(ir::InstRef ref) const {
+  const auto& b = funcs[ref.func].branch[ref.inst];
+  const uint64_t total = b[0] + b[1];
+  if (total == 0) return 0.5;
+  return static_cast<double>(b[0]) / static_cast<double>(total);
+}
+
+double Profile::silent_store_rate(ir::InstRef ref) const {
+  const auto execs = funcs[ref.func].exec[ref.inst];
+  if (execs == 0) return 0.0;
+  return static_cast<double>(funcs[ref.func].silent[ref.inst]) / execs;
+}
+
+std::vector<const MemDepEdge*> Profile::edges_from_store(
+    ir::InstRef store) const {
+  std::vector<const MemDepEdge*> out;
+  for (const auto& e : mem_edges) {
+    if (e.store == store) out.push_back(&e);
+  }
+  return out;
+}
+
+double Profile::pruning_ratio() const {
+  if (dynamic_mem_deps == 0) return 0.0;
+  return 1.0 - static_cast<double>(mem_edges.size()) /
+                   static_cast<double>(dynamic_mem_deps);
+}
+
+bool Profile::address_valid(uint64_t addr, unsigned bytes) const {
+  // segments is sorted by base; find the last segment with base <= addr.
+  auto it = std::upper_bound(
+      segments.begin(), segments.end(), addr,
+      [](uint64_t a, const std::pair<uint64_t, uint64_t>& s) {
+        return a < s.first;
+      });
+  if (it == segments.begin()) return false;
+  --it;
+  return addr - it->first + bytes <= it->second;
+}
+
+}  // namespace trident::prof

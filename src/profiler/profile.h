@@ -1,0 +1,85 @@
+// Profile: everything TRIDENT's inferencing phase needs from the single
+// profiling run (paper §IV-A): execution counts, branch probabilities,
+// operand-value samples for the fs tuples, the aggregated (pruned) memory
+// dependence graph for fm, and the memory segment map for the crash model.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ir/module.h"
+
+namespace trident::prof {
+
+/// Packs an InstRef into a map key.
+inline uint64_t pack(ir::InstRef ref) {
+  return (static_cast<uint64_t>(ref.func) << 32) | ref.inst;
+}
+inline ir::InstRef unpack(uint64_t key) {
+  return {static_cast<uint32_t>(key >> 32), static_cast<uint32_t>(key)};
+}
+
+struct FuncProfile {
+  std::vector<uint64_t> exec;  // per-instruction execution count
+  // Per-instruction count of silent stores (value written == value
+  // already present): the §VII-A "coincidentally correct" statistic.
+  std::vector<uint64_t> silent;
+  // Per-instruction conditional-branch outcome counts: [taken, fallthru].
+  std::vector<std::array<uint64_t, 2>> branch;
+  // Per-instruction reservoir of operand-value vectors (raw payloads),
+  // only kept for opcodes whose fs tuple depends on runtime values.
+  std::vector<std::vector<std::vector<uint64_t>>> operand_samples;
+};
+
+/// Aggregated static store→load dependence edge with observed dynamic
+/// count. Aggregating by static (store, load) pair is the paper's
+/// symmetric-loop pruning: all dynamic iterations collapse to one edge.
+struct MemDepEdge {
+  ir::InstRef store;
+  ir::InstRef load;
+  uint64_t count = 0;
+};
+
+struct Profile {
+  std::vector<FuncProfile> funcs;
+
+  /// Pruned memory dependence graph.
+  std::vector<MemDepEdge> mem_edges;
+  /// Number of dynamic store→load dependencies observed before pruning.
+  uint64_t dynamic_mem_deps = 0;
+
+  /// Union of all memory segments live at any point of the run, as
+  /// (base, size), ascending and disjoint. Backs the crash model.
+  std::vector<std::pair<uint64_t, uint64_t>> segments;
+
+  uint64_t total_dynamic = 0;   // all executed instructions
+  uint64_t total_results = 0;   // executed result-producing instructions
+  std::string golden_output;    // fault-free program output
+
+  // ---- Convenience accessors -------------------------------------------
+  uint64_t exec(ir::InstRef ref) const {
+    return funcs[ref.func].exec[ref.inst];
+  }
+  /// Probability the conditional branch `ref` takes its true successor.
+  /// Returns 0.5 when the branch never executed.
+  double branch_prob_taken(ir::InstRef ref) const;
+
+  /// Fraction of the store's executions that were silent (wrote the value
+  /// already present). 0 when it never executed.
+  double silent_store_rate(ir::InstRef ref) const;
+
+  /// Edges out of a given static store.
+  std::vector<const MemDepEdge*> edges_from_store(ir::InstRef store) const;
+
+  /// Fraction of dynamic dependencies removed by static aggregation
+  /// (the paper reports 61.87% on average, §V-C).
+  double pruning_ratio() const;
+
+  /// Whether [addr, addr+bytes) lies within a profiled segment.
+  bool address_valid(uint64_t addr, unsigned bytes) const;
+};
+
+}  // namespace trident::prof

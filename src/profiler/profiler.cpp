@@ -1,0 +1,165 @@
+#include "profiler/profiler.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace trident::prof {
+
+Profiler::Profiler(const ir::Module& module, uint64_t seed,
+                   uint32_t max_samples)
+    : module_(module), rng_(seed), max_samples_(max_samples) {
+  profile_.funcs.resize(module.functions.size());
+  sample_seen_.resize(module.functions.size());
+  for (uint32_t f = 0; f < module.functions.size(); ++f) {
+    const auto n = module.functions[f].insts.size();
+    profile_.funcs[f].exec.assign(n, 0);
+    profile_.funcs[f].silent.assign(n, 0);
+    profile_.funcs[f].branch.assign(n, {0, 0});
+    profile_.funcs[f].operand_samples.resize(n);
+    sample_seen_[f].assign(n, 0);
+  }
+}
+
+bool Profiler::samples_operands(ir::Opcode op) {
+  using ir::Opcode;
+  switch (op) {
+    // Opcodes whose fs tuple depends on profiled operand values
+    // (comparisons, logic ops, shifts: masking; loads/stores: address
+    // crash model; divisions: crash model).
+    case Opcode::ICmp:
+    case Opcode::FCmp:
+    case Opcode::And:
+    case Opcode::Or:
+    case Opcode::Xor:
+    case Opcode::Shl:
+    case Opcode::LShr:
+    case Opcode::AShr:
+    case Opcode::Load:
+    case Opcode::Store:
+    case Opcode::Memcpy:
+    case Opcode::SDiv:
+    case Opcode::UDiv:
+    case Opcode::SRem:
+    case Opcode::URem:
+    case Opcode::Select:
+    // Float arithmetic absorbs upsets below the result's ulp (a small
+    // operand added into a large accumulator), which the tuple model
+    // evaluates exactly from sampled operands.
+    case Opcode::FAdd:
+    case Opcode::FSub:
+    case Opcode::FMul:
+    case Opcode::FDiv:
+      return true;
+    default:
+      return false;
+  }
+}
+
+void Profiler::on_result(ir::InstRef, uint64_t, uint64_t&) {}
+
+void Profiler::on_exec(ir::InstRef ref, std::span<const uint64_t> operands) {
+  auto& fp = profile_.funcs[ref.func];
+  ++fp.exec[ref.inst];
+  const auto& inst = module_.functions[ref.func].insts[ref.inst];
+  if (!samples_operands(inst.op)) return;
+
+  // Reservoir sampling of operand vectors: keeps an unbiased sample of
+  // the instruction's runtime operand values across the whole run.
+  auto& seen = sample_seen_[ref.func][ref.inst];
+  auto& samples = fp.operand_samples[ref.inst];
+  ++seen;
+  if (samples.size() < max_samples_) {
+    samples.emplace_back(operands.begin(), operands.end());
+  } else {
+    const uint64_t slot = rng_.next_below(seen);
+    if (slot < max_samples_) {
+      samples[slot].assign(operands.begin(), operands.end());
+    }
+  }
+}
+
+void Profiler::on_branch(ir::InstRef ref, bool taken) {
+  ++profile_.funcs[ref.func].branch[ref.inst][taken ? 0 : 1];
+}
+
+void Profiler::on_store(ir::InstRef ref, uint64_t addr, unsigned bytes,
+                        bool silent) {
+  if (silent) ++profile_.funcs[ref.func].silent[ref.inst];
+  const uint64_t packed = pack(ref);
+  for (unsigned i = 0; i < bytes; ++i) last_writer_[addr + i] = packed;
+}
+
+void Profiler::on_load(ir::InstRef ref, uint64_t addr, unsigned bytes) {
+  // Record one dependence per distinct writing store among the loaded
+  // bytes (usually exactly one).
+  uint64_t seen_writers[8];
+  unsigned n_writers = 0;
+  for (unsigned i = 0; i < bytes; ++i) {
+    const auto it = last_writer_.find(addr + i);
+    if (it == last_writer_.end()) continue;  // reading initial data
+    const uint64_t w = it->second;
+    bool dup = false;
+    for (unsigned k = 0; k < n_writers; ++k) dup |= (seen_writers[k] == w);
+    if (!dup) seen_writers[n_writers++] = w;
+  }
+  const uint64_t packed_load = pack(ref);
+  for (unsigned k = 0; k < n_writers; ++k) {
+    ++edges_[{seen_writers[k], packed_load}];
+    ++profile_.dynamic_mem_deps;
+  }
+}
+
+void Profiler::on_alloc(uint64_t base, uint64_t size) {
+  alloc_segments_.emplace_back(base, size);
+}
+
+void Profiler::on_memcpy(ir::InstRef, uint64_t dst, uint64_t src,
+                         uint64_t bytes) {
+  // Bulk copies are transparent to the dependence graph: the ORIGINAL
+  // writer of each source byte becomes the writer of the destination
+  // byte, so a later load of the copy still depends on the store that
+  // produced the data (fixing the paper's §VII-A memcpy blind spot).
+  for (uint64_t i = 0; i < bytes; ++i) {
+    const auto it = last_writer_.find(src + i);
+    if (it != last_writer_.end()) {
+      last_writer_[dst + i] = it->second;
+    } else {
+      last_writer_.erase(dst + i);
+    }
+  }
+}
+
+Profile Profiler::take(const interp::Interpreter& interp,
+                       const interp::RunResult& golden) {
+  Profile out = std::move(profile_);
+  for (const auto& [key, count] : edges_) {
+    out.mem_edges.push_back({unpack(key.first), unpack(key.second), count});
+  }
+  // Segment map: globals (still live) plus every alloca ever observed.
+  out.segments = interp.memory().segments();
+  out.segments.insert(out.segments.end(), alloc_segments_.begin(),
+                      alloc_segments_.end());
+  std::sort(out.segments.begin(), out.segments.end());
+  out.segments.erase(
+      std::unique(out.segments.begin(), out.segments.end()),
+      out.segments.end());
+  out.total_dynamic = golden.dynamic_insts;
+  out.total_results = golden.dynamic_results;
+  out.golden_output = golden.output;
+  return out;
+}
+
+Profile collect_profile(const ir::Module& module,
+                        const ProfileOptions& options) {
+  interp::Interpreter interp(module);
+  Profiler profiler(module, options.seed, options.max_value_samples);
+  interp::RunOptions run_options;
+  run_options.fuel = options.fuel;
+  run_options.hooks = &profiler;
+  const auto golden = interp.run_main(run_options);
+  assert(golden.outcome == interp::Outcome::Ok &&
+         "golden run must complete cleanly");
+  return profiler.take(interp, golden);
+}
+
+}  // namespace trident::prof

@@ -1,0 +1,63 @@
+// The profiling phase of TRIDENT (paper §IV-A): one instrumented run of
+// the program collects everything the inferencing phase needs.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+
+#include "interp/interpreter.h"
+#include "profiler/profile.h"
+#include "support/rng.h"
+
+namespace trident::prof {
+
+struct ProfileOptions {
+  uint64_t seed = 7;               // reservoir-sampling stream
+  uint32_t max_value_samples = 32; // operand reservoir size per instruction
+  uint64_t fuel = 500'000'000;
+};
+
+/// Runs `main` of `module` once under instrumentation and returns the
+/// profile. Asserts the golden run completes with outcome Ok.
+Profile collect_profile(const ir::Module& module,
+                        const ProfileOptions& options = {});
+
+/// The hook implementation, exposed for tests and custom drivers.
+class Profiler final : public interp::ExecHooks {
+ public:
+  Profiler(const ir::Module& module, uint64_t seed, uint32_t max_samples);
+
+  void on_result(ir::InstRef ref, uint64_t dyn_index,
+                 uint64_t& bits) override;
+  void on_exec(ir::InstRef ref, std::span<const uint64_t> operands) override;
+  void on_branch(ir::InstRef ref, bool taken) override;
+  void on_load(ir::InstRef ref, uint64_t addr, unsigned bytes) override;
+  void on_store(ir::InstRef ref, uint64_t addr, unsigned bytes,
+                bool silent) override;
+  void on_alloc(uint64_t base, uint64_t size) override;
+  void on_memcpy(ir::InstRef ref, uint64_t dst, uint64_t src,
+                 uint64_t bytes) override;
+
+  /// Finalizes and returns the profile. `interp` supplies the global
+  /// segment map; `golden` the fault-free run result.
+  Profile take(const interp::Interpreter& interp,
+               const interp::RunResult& golden);
+
+ private:
+  static bool samples_operands(ir::Opcode op);
+
+  const ir::Module& module_;
+  Profile profile_;
+  support::Rng rng_;
+  uint32_t max_samples_;
+  // Per-instruction number of operand-sample candidates seen (reservoir).
+  std::vector<std::vector<uint64_t>> sample_seen_;
+  // Byte address -> packed InstRef of the last store writing it.
+  std::unordered_map<uint64_t, uint64_t> last_writer_;
+  // (packed store, packed load) -> dynamic dependence count.
+  std::map<std::pair<uint64_t, uint64_t>, uint64_t> edges_;
+  std::vector<std::pair<uint64_t, uint64_t>> alloc_segments_;
+};
+
+}  // namespace trident::prof

@@ -1,0 +1,217 @@
+#include "protect/duplication.h"
+
+#include <algorithm>
+
+#include "analysis/def_use.h"
+#include "profiler/profile.h"
+
+namespace trident::protect {
+
+bool is_duplicable(const ir::Instruction& inst) {
+  switch (inst.op) {
+    case ir::Opcode::Store:
+    case ir::Opcode::Memcpy:
+    case ir::Opcode::Br:
+    case ir::Opcode::CondBr:
+    case ir::Opcode::Ret:
+    case ir::Opcode::Call:     // side effects; duplicating re-executes them
+    case ir::Opcode::Alloca:   // the clone would define a different address
+    case ir::Opcode::Print:
+    case ir::Opcode::Detect:
+      return false;
+    default:
+      return inst.has_result();
+  }
+}
+
+namespace {
+
+enum class Kind : uint8_t { Orig, Dup, CastA, CastB, Cmp, Det };
+
+struct Entry {
+  Kind kind;
+  uint32_t old_id;
+};
+
+// Transforms one function. `prot` flags the protected (and duplicable)
+// instructions of this function.
+void transform_function(const ir::Function& src, uint32_t func_id,
+                        const std::vector<bool>& prot,
+                        DuplicationResult& result) {
+  const analysis::DefUse def_use(src);
+
+  // A protected instruction ends its protected chain when no user
+  // continues the chain; that is where the comparison goes.
+  const auto chain_end = [&](uint32_t id) {
+    for (const auto& use : def_use.users_of_inst(id)) {
+      if (prot[use.user]) return false;
+    }
+    return true;
+  };
+
+  // Pass 1: lay out the new instruction order and assign ids.
+  std::vector<std::vector<Entry>> layout(src.blocks.size());
+  for (uint32_t bb = 0; bb < src.blocks.size(); ++bb) {
+    auto& entries = layout[bb];
+    const auto& insts = src.blocks[bb].insts;
+    size_t n_phis = 0;
+    while (n_phis < insts.size() &&
+           src.insts[insts[n_phis]].op == ir::Opcode::Phi) {
+      ++n_phis;
+    }
+    const auto emit_detection = [&](uint32_t id) {
+      if (src.insts[id].type.is_float()) {
+        entries.push_back({Kind::CastA, id});
+        entries.push_back({Kind::CastB, id});
+      }
+      entries.push_back({Kind::Cmp, id});
+      entries.push_back({Kind::Det, id});
+    };
+    // Keep the phi group contiguous: originals, then duplicated phis,
+    // then any detections for chain-ending phis.
+    for (size_t i = 0; i < n_phis; ++i) entries.push_back({Kind::Orig, insts[i]});
+    for (size_t i = 0; i < n_phis; ++i) {
+      if (prot[insts[i]]) entries.push_back({Kind::Dup, insts[i]});
+    }
+    for (size_t i = 0; i < n_phis; ++i) {
+      if (prot[insts[i]] && chain_end(insts[i])) emit_detection(insts[i]);
+    }
+    for (size_t i = n_phis; i < insts.size(); ++i) {
+      const uint32_t id = insts[i];
+      entries.push_back({Kind::Orig, id});
+      if (prot[id]) {
+        entries.push_back({Kind::Dup, id});
+        if (chain_end(id)) emit_detection(id);
+      }
+    }
+  }
+
+  constexpr uint32_t kNone = ~0u;
+  std::vector<uint32_t> orig_new(src.insts.size(), kNone);
+  std::vector<uint32_t> dup_new(src.insts.size(), kNone);
+  std::vector<uint32_t> cast_a(src.insts.size(), kNone);
+  std::vector<uint32_t> cast_b(src.insts.size(), kNone);
+  std::vector<uint32_t> cmp_new(src.insts.size(), kNone);
+  uint32_t next_id = 0;
+  for (const auto& entries : layout) {
+    for (const auto& e : entries) {
+      switch (e.kind) {
+        case Kind::Orig: orig_new[e.old_id] = next_id; break;
+        case Kind::Dup: dup_new[e.old_id] = next_id; break;
+        case Kind::CastA: cast_a[e.old_id] = next_id; break;
+        case Kind::CastB: cast_b[e.old_id] = next_id; break;
+        case Kind::Cmp: cmp_new[e.old_id] = next_id; break;
+        case Kind::Det: break;
+      }
+      ++next_id;
+    }
+  }
+
+  const auto remap = [&](const ir::Value& v, bool prefer_dup) {
+    if (!v.is_inst()) return v;
+    if (prefer_dup && dup_new[v.index] != kNone) {
+      return ir::Value::inst(dup_new[v.index]);
+    }
+    return ir::Value::inst(orig_new[v.index]);
+  };
+
+  // Pass 2: materialize.
+  ir::Function out;
+  out.name = src.name;
+  out.params = src.params;
+  out.ret = src.ret;
+  out.constants = src.constants;
+  out.insts.reserve(next_id);
+  for (uint32_t bb = 0; bb < src.blocks.size(); ++bb) {
+    out.add_block(src.blocks[bb].name);
+    for (const auto& e : layout[bb]) {
+      ir::Instruction inst;
+      const auto& old = src.insts[e.old_id];
+      switch (e.kind) {
+        case Kind::Orig:
+        case Kind::Dup: {
+          inst = old;
+          const bool dup = e.kind == Kind::Dup;
+          for (auto& v : inst.operands) v = remap(v, dup);
+          if (dup) inst.name = old.name.empty() ? "dup" : old.name + ".dup";
+          break;
+        }
+        case Kind::CastA:
+        case Kind::CastB: {
+          inst.op = ir::Opcode::Bitcast;
+          inst.type = ir::Type::i(old.type.width());
+          inst.operands = {ir::Value::inst(e.kind == Kind::CastA
+                                               ? orig_new[e.old_id]
+                                               : dup_new[e.old_id])};
+          break;
+        }
+        case Kind::Cmp: {
+          inst.op = ir::Opcode::ICmp;
+          inst.type = ir::Type::i1();
+          inst.pred = ir::CmpPred::Ne;
+          if (old.type.is_float()) {
+            inst.operands = {ir::Value::inst(cast_a[e.old_id]),
+                             ir::Value::inst(cast_b[e.old_id])};
+          } else {
+            inst.operands = {ir::Value::inst(orig_new[e.old_id]),
+                             ir::Value::inst(dup_new[e.old_id])};
+          }
+          inst.name = "chk";
+          break;
+        }
+        case Kind::Det: {
+          inst.op = ir::Opcode::Detect;
+          inst.type = ir::Type::void_();
+          inst.operands = {ir::Value::inst(cmp_new[e.old_id])};
+          break;
+        }
+      }
+      const uint32_t new_id = out.append(bb, std::move(inst));
+      if (e.kind == Kind::Orig) {
+        result.inst_map[prof::pack({func_id, e.old_id})] =
+            prof::pack({func_id, new_id});
+      }
+    }
+  }
+
+  result.added_insts += out.insts.size() - src.insts.size();
+  for (uint32_t id = 0; id < src.insts.size(); ++id) {
+    if (prot[id]) ++result.duplicated;
+  }
+  result.module.functions.push_back(std::move(out));
+}
+
+}  // namespace
+
+DuplicationResult duplicate_instructions(
+    const ir::Module& module, const std::vector<ir::InstRef>& selection) {
+  DuplicationResult result;
+  result.module.name = module.name + ".protected";
+  result.module.globals = module.globals;
+
+  std::vector<std::vector<bool>> prot(module.functions.size());
+  for (uint32_t f = 0; f < module.functions.size(); ++f) {
+    prot[f].assign(module.functions[f].insts.size(), false);
+  }
+  for (const auto& ref : selection) {
+    const auto& inst = module.functions[ref.func].insts[ref.inst];
+    if (is_duplicable(inst)) prot[ref.func][ref.inst] = true;
+  }
+  for (uint32_t f = 0; f < module.functions.size(); ++f) {
+    transform_function(module.functions[f], f, prot[f], result);
+  }
+  return result;
+}
+
+DuplicationResult duplicate_all(const ir::Module& module) {
+  std::vector<ir::InstRef> all;
+  for (uint32_t f = 0; f < module.functions.size(); ++f) {
+    const auto& func = module.functions[f];
+    for (uint32_t i = 0; i < func.insts.size(); ++i) {
+      if (is_duplicable(func.insts[i])) all.push_back({f, i});
+    }
+  }
+  return duplicate_instructions(module, all);
+}
+
+}  // namespace trident::protect

@@ -1,0 +1,39 @@
+// Selective instruction duplication (paper §VI): clones the selected
+// instructions, redirects cloned operands to cloned producers within a
+// protected chain, and inserts one comparison + detector at each chain
+// end ("if protected instructions are data dependent ... we only place
+// one comparison instruction at the latter protected instruction").
+// A detected mismatch halts the run with outcome Detected.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "ir/module.h"
+
+namespace trident::protect {
+
+/// Whether the pass can duplicate this instruction. Side-effecting or
+/// address-defining instructions (stores, calls, allocas, terminators,
+/// prints) are not duplicable.
+bool is_duplicable(const ir::Instruction& inst);
+
+struct DuplicationResult {
+  ir::Module module;
+  /// Packed original InstRef -> packed InstRef in the new module.
+  std::unordered_map<uint64_t, uint64_t> inst_map;
+  /// Static instructions added (duplicates + comparisons + detectors).
+  uint64_t added_insts = 0;
+  /// Instructions actually duplicated (non-duplicable ones are skipped).
+  uint64_t duplicated = 0;
+};
+
+/// Returns a transformed copy of `module` with `selection` duplicated.
+DuplicationResult duplicate_instructions(
+    const ir::Module& module, const std::vector<ir::InstRef>& selection);
+
+/// Convenience: protects every duplicable instruction (the paper's
+/// full-duplication overhead baseline).
+DuplicationResult duplicate_all(const ir::Module& module);
+
+}  // namespace trident::protect

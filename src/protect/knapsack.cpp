@@ -1,0 +1,53 @@
+#include "protect/knapsack.h"
+
+#include <algorithm>
+
+namespace trident::protect {
+
+std::vector<uint32_t> knapsack_select(std::span<const KnapsackItem> items,
+                                      uint64_t capacity,
+                                      uint32_t max_buckets) {
+  const auto n = static_cast<uint32_t>(items.size());
+  if (n == 0 || capacity == 0) return {};
+
+  // Scale weights so the DP axis has at most max_buckets cells. Ceil
+  // scaling keeps every selection feasible at the original weights.
+  const uint64_t scale =
+      std::max<uint64_t>(1, (capacity + max_buckets - 1) / max_buckets);
+  const auto buckets = static_cast<uint32_t>(capacity / scale);
+
+  std::vector<uint32_t> w(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    w[i] = static_cast<uint32_t>((items[i].weight + scale - 1) / scale);
+  }
+
+  std::vector<double> dp(buckets + 1, 0.0);
+  // take[i] records, per capacity cell, whether item i was taken.
+  std::vector<std::vector<bool>> take(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    take[i].assign(buckets + 1, false);
+    if (items[i].profit <= 0) continue;
+    if (w[i] > buckets) continue;
+    for (uint32_t b = buckets; b + 1 > w[i]; --b) {
+      const double candidate = dp[b - w[i]] + items[i].profit;
+      if (candidate > dp[b]) {
+        dp[b] = candidate;
+        take[i][b] = true;
+      }
+    }
+  }
+
+  // Backtrack from the full capacity.
+  std::vector<uint32_t> selected;
+  uint32_t b = buckets;
+  for (uint32_t i = n; i-- > 0;) {
+    if (take[i][b]) {
+      selected.push_back(i);
+      b -= w[i];
+    }
+  }
+  std::reverse(selected.begin(), selected.end());
+  return selected;
+}
+
+}  // namespace trident::protect

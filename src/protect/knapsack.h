@@ -1,0 +1,25 @@
+// 0-1 knapsack (paper §VI): objects are instructions, profits are
+// estimated SDC contributions, costs are dynamic execution counts, and
+// the capacity is the allowed performance overhead. Solved with the
+// classical dynamic program over a scaled weight axis.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace trident::protect {
+
+struct KnapsackItem {
+  double profit = 0;
+  uint64_t weight = 0;
+};
+
+/// Returns the indices of the selected items. Weights are scaled down to
+/// at most `max_buckets` DP cells (ceil-scaling, so the capacity is never
+/// exceeded); with small totals the DP is exact.
+std::vector<uint32_t> knapsack_select(std::span<const KnapsackItem> items,
+                                      uint64_t capacity,
+                                      uint32_t max_buckets = 20000);
+
+}  // namespace trident::protect

@@ -1,0 +1,66 @@
+#include "protect/selector.h"
+
+#include <cmath>
+
+#include "protect/duplication.h"
+#include "protect/knapsack.h"
+
+namespace trident::protect {
+
+namespace {
+
+std::vector<ir::InstRef> duplicable_executed(const ir::Module& module,
+                                             const prof::Profile& profile) {
+  std::vector<ir::InstRef> out;
+  for (uint32_t f = 0; f < module.functions.size(); ++f) {
+    const auto& func = module.functions[f];
+    for (uint32_t i = 0; i < func.insts.size(); ++i) {
+      if (is_duplicable(func.insts[i]) && profile.exec({f, i}) > 0) {
+        out.push_back({f, i});
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+uint64_t full_duplication_cost(const ir::Module& module,
+                               const prof::Profile& profile) {
+  uint64_t total = 0;
+  for (const auto& ref : duplicable_executed(module, profile)) {
+    total += profile.exec(ref);
+  }
+  return total;
+}
+
+ProtectionPlan select_for_duplication(
+    const ir::Module& module, const prof::Profile& profile,
+    const std::function<double(ir::InstRef)>& sdc_of,
+    double overhead_fraction) {
+  const auto candidates = duplicable_executed(module, profile);
+
+  std::vector<KnapsackItem> items;
+  items.reserve(candidates.size());
+  for (const auto& ref : candidates) {
+    const auto exec = static_cast<double>(profile.exec(ref));
+    // Profit: the instruction's expected contribution to the program's
+    // SDC probability (its SDC probability weighted by how often faults
+    // land on it). Cost: its dynamic execution count, the proxy for the
+    // duplication overhead.
+    items.push_back({sdc_of(ref) * exec, profile.exec(ref)});
+  }
+
+  ProtectionPlan plan;
+  plan.capacity = static_cast<uint64_t>(
+      std::llround(overhead_fraction *
+                   static_cast<double>(full_duplication_cost(module, profile))));
+  for (const auto idx : knapsack_select(items, plan.capacity)) {
+    plan.selected.push_back(candidates[idx]);
+    plan.cost += items[idx].weight;
+    plan.expected_covered += items[idx].profit;
+  }
+  return plan;
+}
+
+}  // namespace trident::protect

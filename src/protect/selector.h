@@ -1,0 +1,34 @@
+// Selection policy (paper §VI): given per-instruction SDC estimates from
+// any model, choose the instructions to duplicate under a dynamic-
+// instruction overhead budget via the 0-1 knapsack formulation.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "ir/module.h"
+#include "profiler/profile.h"
+
+namespace trident::protect {
+
+struct ProtectionPlan {
+  std::vector<ir::InstRef> selected;
+  uint64_t cost = 0;        // sum of selected dynamic execution counts
+  uint64_t capacity = 0;    // the budget the knapsack ran with
+  double expected_covered = 0;  // sum of selected profits
+};
+
+/// `sdc_of` maps an instruction to its estimated SDC probability.
+/// `overhead_fraction` is relative to the cost of duplicating every
+/// duplicable instruction (the paper's full-duplication baseline), e.g.
+/// 1.0/3 and 2.0/3 for the paper's two protection levels.
+ProtectionPlan select_for_duplication(
+    const ir::Module& module, const prof::Profile& profile,
+    const std::function<double(ir::InstRef)>& sdc_of,
+    double overhead_fraction);
+
+/// Total dynamic cost of full duplication (the knapsack baseline).
+uint64_t full_duplication_cost(const ir::Module& module,
+                               const prof::Profile& profile);
+
+}  // namespace trident::protect

@@ -1,0 +1,57 @@
+#include "stats/stats.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace trident::stats {
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0;
+  for (const auto x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double stddev(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double ss = 0;
+  for (const auto x : xs) ss += (x - m) * (x - m);
+  return std::sqrt(ss / static_cast<double>(xs.size() - 1));
+}
+
+double mean_absolute_error(std::span<const double> a,
+                           std::span<const double> b) {
+  assert(a.size() == b.size());
+  if (a.empty()) return 0.0;
+  double s = 0;
+  for (size_t i = 0; i < a.size(); ++i) s += std::abs(a[i] - b[i]);
+  return s / static_cast<double>(a.size());
+}
+
+double proportion_ci95(double p, uint64_t n) {
+  if (n == 0) return 0.0;
+  return 1.96 * std::sqrt(p * (1.0 - p) / static_cast<double>(n));
+}
+
+LinearFit linear_fit(std::span<const double> x, std::span<const double> y) {
+  assert(x.size() == y.size());
+  LinearFit fit;
+  const auto n = static_cast<double>(x.size());
+  if (x.size() < 2) return fit;
+  const double mx = mean(x), my = mean(y);
+  double sxx = 0, sxy = 0, syy = 0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    sxx += (x[i] - mx) * (x[i] - mx);
+    sxy += (x[i] - mx) * (y[i] - my);
+    syy += (y[i] - my) * (y[i] - my);
+  }
+  (void)n;
+  if (sxx == 0) return fit;
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  fit.r2 = syy == 0 ? 1.0 : (sxy * sxy) / (sxx * syy);
+  return fit;
+}
+
+}  // namespace trident::stats

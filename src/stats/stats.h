@@ -1,0 +1,29 @@
+// Descriptive statistics used across the evaluation harnesses.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace trident::stats {
+
+double mean(std::span<const double> xs);
+/// Sample standard deviation (n-1 denominator); 0 for n < 2.
+double stddev(std::span<const double> xs);
+
+/// Mean absolute error between paired series (asserts equal size).
+double mean_absolute_error(std::span<const double> a,
+                           std::span<const double> b);
+
+/// Half-width of the 95% normal-approximation CI for a proportion p
+/// estimated from n Bernoulli trials.
+double proportion_ci95(double p, uint64_t n);
+
+/// Ordinary least squares fit y = slope*x + intercept.
+struct LinearFit {
+  double slope = 0;
+  double intercept = 0;
+  double r2 = 0;
+};
+LinearFit linear_fit(std::span<const double> x, std::span<const double> y);
+
+}  // namespace trident::stats

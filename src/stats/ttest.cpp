@@ -1,0 +1,102 @@
+#include "stats/ttest.h"
+
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+#include "stats/stats.h"
+
+namespace trident::stats {
+
+namespace {
+
+// Continued-fraction kernel for the incomplete beta (Numerical Recipes
+// betacf, modified Lentz).
+double betacf(double a, double b, double x) {
+  constexpr int kMaxIter = 200;
+  constexpr double kEps = 3e-14;
+  constexpr double kFpMin = 1e-300;
+
+  const double qab = a + b;
+  const double qap = a + 1.0;
+  const double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::fabs(d) < kFpMin) d = kFpMin;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIter; ++m) {
+    const int m2 = 2 * m;
+    double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < kEps) break;
+  }
+  return h;
+}
+
+}  // namespace
+
+double incomplete_beta(double a, double b, double x) {
+  assert(a > 0 && b > 0);
+  if (x <= 0.0) return 0.0;
+  if (x >= 1.0) return 1.0;
+  const double ln_front = std::lgamma(a + b) - std::lgamma(a) -
+                          std::lgamma(b) + a * std::log(x) +
+                          b * std::log(1.0 - x);
+  const double front = std::exp(ln_front);
+  // Use the symmetry relation to keep the continued fraction convergent.
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return front * betacf(a, b, x) / a;
+  }
+  return 1.0 - front * betacf(b, a, 1.0 - x) / b;
+}
+
+double t_two_tailed_p(double t, double df) {
+  assert(df > 0);
+  const double x = df / (df + t * t);
+  return incomplete_beta(df / 2.0, 0.5, x);
+}
+
+PairedTTest paired_ttest(std::span<const double> a,
+                         std::span<const double> b) {
+  assert(a.size() == b.size() && !a.empty());
+  std::vector<double> diff(a.size());
+  for (size_t i = 0; i < a.size(); ++i) diff[i] = a[i] - b[i];
+
+  PairedTTest result;
+  result.df = static_cast<double>(a.size() - 1);
+  result.mean_diff = mean(diff);
+  const double sd = stddev(diff);
+  if (sd == 0.0) {
+    // All differences identical. If they are all zero the series agree
+    // perfectly (p = 1); otherwise the test is ill-posed but the shift is
+    // systematic, so report p = 0 unless the shift itself is zero.
+    result.degenerate = true;
+    result.p = result.mean_diff == 0.0 ? 1.0 : 0.0;
+    result.t = result.mean_diff == 0.0 ? 0.0 : INFINITY;
+    return result;
+  }
+  result.t =
+      result.mean_diff / (sd / std::sqrt(static_cast<double>(a.size())));
+  if (result.df < 1) {
+    result.p = 1.0;
+    return result;
+  }
+  result.p = t_two_tailed_p(result.t, result.df);
+  return result;
+}
+
+}  // namespace trident::stats

@@ -1,0 +1,30 @@
+// Paired Student t-test, as used in the paper's accuracy evaluation
+// (§V-B): the null hypothesis is that FI-measured and model-predicted SDC
+// probabilities do not differ. p > 0.05 means the model is statistically
+// indistinguishable from FI.
+#pragma once
+
+#include <span>
+
+namespace trident::stats {
+
+/// Regularized incomplete beta function I_x(a, b) via the Lentz continued
+/// fraction (a, b > 0; x in [0,1]). Exposed for tests.
+double incomplete_beta(double a, double b, double x);
+
+/// Two-tailed p-value of a t statistic with `df` degrees of freedom.
+double t_two_tailed_p(double t, double df);
+
+struct PairedTTest {
+  double t = 0;
+  double df = 0;
+  double p = 1.0;       // two-tailed
+  double mean_diff = 0;
+  /// True when every pair is identical (t undefined; reported as p = 1).
+  bool degenerate = false;
+};
+
+/// Paired t-test of a vs b (asserts equal, nonzero sizes; df = n-1).
+PairedTTest paired_ttest(std::span<const double> a, std::span<const double> b);
+
+}  // namespace trident::stats

@@ -1,0 +1,56 @@
+#include "support/bits.h"
+
+#include <bit>
+#include <cstring>
+
+namespace trident::support {
+
+uint64_t low_mask(unsigned bits) {
+  return bits >= 64 ? ~0ULL : ((1ULL << bits) - 1);
+}
+
+uint64_t flip_bit(uint64_t value, unsigned bit, unsigned bits) {
+  return (value ^ (1ULL << bit)) & low_mask(bits);
+}
+
+int64_t sign_extend(uint64_t value, unsigned bits) {
+  if (bits >= 64) return static_cast<int64_t>(value);
+  const uint64_t m = 1ULL << (bits - 1);
+  value &= low_mask(bits);
+  return static_cast<int64_t>((value ^ m) - m);
+}
+
+uint64_t truncate(uint64_t value, unsigned bits) {
+  return value & low_mask(bits);
+}
+
+unsigned popcount_low(uint64_t value, unsigned bits) {
+  return static_cast<unsigned>(std::popcount(value & low_mask(bits)));
+}
+
+double bits_to_f64(uint64_t raw) {
+  double v;
+  std::memcpy(&v, &raw, sizeof v);
+  return v;
+}
+
+uint64_t f64_to_bits(double v) {
+  uint64_t raw;
+  std::memcpy(&raw, &v, sizeof v);
+  return raw;
+}
+
+float bits_to_f32(uint64_t raw) {
+  const auto r32 = static_cast<uint32_t>(raw);
+  float v;
+  std::memcpy(&v, &r32, sizeof v);
+  return v;
+}
+
+uint64_t f32_to_bits(float v) {
+  uint32_t raw;
+  std::memcpy(&raw, &v, sizeof v);
+  return raw;
+}
+
+}  // namespace trident::support

@@ -1,0 +1,31 @@
+// Bit-level helpers shared by the fault injector and the fs sub-model.
+// All register values in the interpreter are stored as raw 64-bit
+// payloads; these utilities manipulate them at a declared bit width.
+#pragma once
+
+#include <cstdint>
+
+namespace trident::support {
+
+/// Mask covering the low `bits` bits (bits in [1,64]).
+uint64_t low_mask(unsigned bits);
+
+/// Flip bit `bit` of `value`, keeping only `bits` significant bits.
+uint64_t flip_bit(uint64_t value, unsigned bit, unsigned bits);
+
+/// Sign-extend the low `bits` bits of `value` to 64 bits.
+int64_t sign_extend(uint64_t value, unsigned bits);
+
+/// Truncate to `bits` bits (zero high bits).
+uint64_t truncate(uint64_t value, unsigned bits);
+
+/// Number of set bits among the low `bits` bits.
+unsigned popcount_low(uint64_t value, unsigned bits);
+
+/// Reinterpret helpers between raw payloads and IEEE floats.
+double bits_to_f64(uint64_t raw);
+uint64_t f64_to_bits(double v);
+float bits_to_f32(uint64_t raw);
+uint64_t f32_to_bits(float v);
+
+}  // namespace trident::support

@@ -1,0 +1,53 @@
+// Deterministic pseudo-random number generation for reproducible
+// experiments. All randomized components (fault-site sampling, bit
+// selection, workload data generation, reservoir sampling) take an
+// explicit Rng so that every campaign is replayable from a seed.
+#pragma once
+
+#include <cstdint>
+
+namespace trident::support {
+
+/// SplitMix64: used to seed and to derive independent streams.
+/// Reference: Steele, Lea & Flood, "Fast splittable pseudorandom number
+/// generators", OOPSLA 2014.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  uint64_t next();
+
+ private:
+  uint64_t state_;
+};
+
+/// Xoshiro256**: the workhorse generator. Small, fast, and good enough
+/// statistical quality for Monte-Carlo fault sampling.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  /// Uniform over all 64-bit values.
+  uint64_t next_u64();
+
+  /// Uniform over [0, bound). bound must be nonzero. Uses rejection
+  /// sampling (Lemire) to avoid modulo bias.
+  uint64_t next_below(uint64_t bound);
+
+  /// Uniform over [lo, hi] inclusive. Requires lo <= hi.
+  int64_t next_range(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Bernoulli trial with probability p (clamped to [0,1]).
+  bool next_bool(double p);
+
+  /// Derive an independent child stream; deterministic in (this, tag).
+  Rng fork(uint64_t tag);
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace trident::support

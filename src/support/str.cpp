@@ -1,0 +1,46 @@
+#include "support/str.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace trident::support {
+
+std::string format(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list copy;
+  va_copy(copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, copy);
+  va_end(copy);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<size_t>(needed));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args);
+  }
+  va_end(args);
+  return out;
+}
+
+std::string pct(double p) { return format("%.2f%%", p * 100.0); }
+
+std::string pad_right(const std::string& s, size_t width) {
+  if (s.size() >= width) return s.substr(0, width);
+  return s + std::string(width - s.size(), ' ');
+}
+
+std::string pad_left(const std::string& s, size_t width) {
+  if (s.size() >= width) return s.substr(0, width);
+  return std::string(width - s.size(), ' ') + s;
+}
+
+std::string join(const std::vector<std::string>& parts,
+                 const std::string& sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+}  // namespace trident::support

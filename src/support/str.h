@@ -1,0 +1,23 @@
+// Small string/formatting helpers used by the IR printer and the
+// benchmark harnesses (fixed-width tables, percentage formatting).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace trident::support {
+
+/// printf-style formatting into a std::string.
+std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Format a probability as a percentage with two decimals, e.g. "13.59%".
+std::string pct(double p);
+
+/// Left-pad/right-pad to a column width (truncates if longer).
+std::string pad_right(const std::string& s, size_t width);
+std::string pad_left(const std::string& s, size_t width);
+
+/// Join strings with a separator.
+std::string join(const std::vector<std::string>& parts, const std::string& sep);
+
+}  // namespace trident::support

@@ -1,0 +1,101 @@
+// bfs (Parboil): queue-based breadth-first search over a fixed-degree
+// CSR graph. The worklist loop is a memory-driven while loop (head/tail
+// cursors), the visited check is the classic data-dependent branch, and
+// levels propagate through memory — the structure that makes BFS a
+// control-flow-divergence stress test in the paper.
+#include "workloads/common.h"
+#include "workloads/workloads.h"
+
+namespace trident::workloads {
+
+ir::Module build_bfs_parboil_seeded(int32_t input_seed) {
+  constexpr int32_t kNodes = 192;
+  constexpr int32_t kDegree = 4;
+
+  ir::Module m;
+  m.name = "bfs_parboil";
+  const uint32_t g_col = m.add_global({"col", kNodes * kDegree * 4, {}});
+  const uint32_t g_level = m.add_global({"level", kNodes * 4, {}});
+  const uint32_t g_queue = m.add_global({"queue", kNodes * 4, {}});
+
+  ir::IRBuilder b(m);
+  b.begin_function("main", {}, ir::Type::void_());
+  b.set_block(b.block("entry"));
+  const ir::Value col = b.global(g_col);
+  const ir::Value level = b.global(g_level);
+  const ir::Value queue = b.global(g_queue);
+
+  // Edges: one ring edge for connectivity plus random chords.
+  lcg_fill_i32(b, col, kNodes * kDegree, input_seed, kNodes);
+  counted_loop(b, 0, kNodes, 1, [&](ir::Value u) {
+    const ir::Value succ = b.urem(b.add(u, b.i32(1)), b.i32(kNodes));
+    b.store(succ, b.gep(col, b.mul(u, b.i32(kDegree)), 4));
+    b.store(b.i32(-1), b.gep(level, u, 4));
+  });
+
+  const ir::Value head = b.alloca_(4, "head");
+  const ir::Value tail = b.alloca_(4, "tail");
+  b.store(b.i32(0), head);
+  b.store(b.i32(1), tail);
+  b.store(b.i32(0), b.gep(level, b.i32(0), 4));  // level[0] = 0
+  b.store(b.i32(0), b.gep(queue, b.i32(0), 4));  // queue[0] = node 0
+
+  // Worklist loop: while (head < tail).
+  const uint32_t header = b.block("bfs.header");
+  const uint32_t body = b.block("bfs.body");
+  const uint32_t done = b.block("bfs.done");
+  b.br(header);
+  b.set_block(header);
+  {
+    const ir::Value h = b.load(ir::Type::i32(), head, "h");
+    const ir::Value t = b.load(ir::Type::i32(), tail, "t");
+    b.cond_br(b.icmp(ir::CmpPred::SLt, h, t), body, done);
+  }
+  b.set_block(body);
+  {
+    const ir::Value h = b.load(ir::Type::i32(), head);
+    const ir::Value u = b.load(ir::Type::i32(), b.gep(queue, h, 4), "u");
+    b.store(b.add(h, b.i32(1)), head);
+    const ir::Value lu =
+        b.load(ir::Type::i32(), b.gep(level, u, 4), "lu");
+    counted_loop(b, 0, kDegree, 1, [&](ir::Value e) {
+      const ir::Value slot = b.add(b.mul(u, b.i32(kDegree)), e);
+      const ir::Value v = b.load(ir::Type::i32(), b.gep(col, slot, 4), "v");
+      const ir::Value lv = b.load(ir::Type::i32(), b.gep(level, v, 4));
+      const ir::Value unvisited =
+          b.icmp(ir::CmpPred::SLt, lv, b.i32(0), "unvisited");
+      if_then(b, unvisited, [&] {
+        b.store(b.add(lu, b.i32(1)), b.gep(level, v, 4));
+        const ir::Value t = b.load(ir::Type::i32(), tail);
+        b.store(v, b.gep(queue, t, 4));
+        b.store(b.add(t, b.i32(1)), tail);
+      });
+    });
+    b.br(header);
+  }
+  b.set_block(done);
+
+  // Output: level checksum, deepest level, visited count.
+  const ir::Value sum = b.alloca_(4, "sum");
+  const ir::Value deepest = b.alloca_(4, "deepest");
+  b.store(b.i32(0), sum);
+  b.store(b.i32(0), deepest);
+  counted_loop(b, 0, kNodes, 1, [&](ir::Value u) {
+    const ir::Value l = b.load(ir::Type::i32(), b.gep(level, u, 4));
+    b.store(b.add(b.load(ir::Type::i32(), sum), l), sum);
+    const ir::Value deeper =
+        b.icmp(ir::CmpPred::SGt, l, b.load(ir::Type::i32(), deepest));
+    if_then(b, deeper,
+            [&] { b.store(l, deepest); });
+  });
+  b.print_int(b.load(ir::Type::i32(), sum));
+  b.print_int(b.load(ir::Type::i32(), deepest));
+  b.print_int(b.load(ir::Type::i32(), tail));
+  b.ret();
+  b.end_function();
+  return m;
+}
+
+ir::Module build_bfs_parboil() { return build_bfs_parboil_seeded(31415); }
+
+}  // namespace trident::workloads

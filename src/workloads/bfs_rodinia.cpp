@@ -1,0 +1,131 @@
+// bfs (Rodinia): the mask-based BFS variant — per-level sweeps over
+// frontier/updating/visited bit arrays with a do-while outer loop whose
+// termination is data-dependent through memory ("stop" flag), the shape
+// Rodinia uses to mimic its GPU kernels on CPUs.
+#include "workloads/common.h"
+#include "workloads/workloads.h"
+
+namespace trident::workloads {
+
+ir::Module build_bfs_rodinia() {
+  constexpr int32_t kNodes = 160;
+  constexpr int32_t kDegree = 3;
+  constexpr int32_t kMaxLevels = 64;
+
+  ir::Module m;
+  m.name = "bfs_rodinia";
+  const uint32_t g_col = m.add_global({"col", kNodes * kDegree * 4, {}});
+  const uint32_t g_mask = m.add_global({"mask", kNodes * 4, {}});
+  const uint32_t g_updating = m.add_global({"updating", kNodes * 4, {}});
+  const uint32_t g_visited = m.add_global({"visited", kNodes * 4, {}});
+  const uint32_t g_cost = m.add_global({"cost", kNodes * 4, {}});
+
+  ir::IRBuilder b(m);
+  b.begin_function("main", {}, ir::Type::void_());
+  b.set_block(b.block("entry"));
+  const ir::Value col = b.global(g_col);
+  const ir::Value mask = b.global(g_mask);
+  const ir::Value updating = b.global(g_updating);
+  const ir::Value visited = b.global(g_visited);
+  const ir::Value cost = b.global(g_cost);
+
+  lcg_fill_i32(b, col, kNodes * kDegree, 16161, kNodes);
+  counted_loop(b, 0, kNodes, 1, [&](ir::Value u) {
+    // Ring edge for connectivity, as in graph4096.txt's giant component.
+    b.store(b.urem(b.add(u, b.i32(1)), b.i32(kNodes)),
+            b.gep(col, b.mul(u, b.i32(kDegree)), 4));
+    b.store(b.i32(0), b.gep(mask, u, 4));
+    b.store(b.i32(0), b.gep(updating, u, 4));
+    b.store(b.i32(0), b.gep(visited, u, 4));
+    b.store(b.i32(-1), b.gep(cost, u, 4));
+  });
+  b.store(b.i32(1), b.gep(mask, b.i32(0), 4));
+  b.store(b.i32(1), b.gep(visited, b.i32(0), 4));
+  b.store(b.i32(0), b.gep(cost, b.i32(0), 4));
+
+  const ir::Value stop = b.alloca_(4, "stop");
+  const ir::Value keep_going = b.alloca_(4, "keep_going");
+  const ir::Value levels = b.alloca_(4, "levels");
+  b.store(b.i32(0), levels);
+  b.store(b.i32(1), keep_going);
+
+  // do { sweep } while (frontier changed && level cap not hit) — the
+  // data-dependent loop-terminating branch Rodinia's BFS is known for.
+  const uint32_t header = b.block("sweep.header");
+  const uint32_t body = b.block("sweep.body");
+  const uint32_t done = b.block("sweep.done");
+  b.br(header);
+  b.set_block(header);
+  {
+    const ir::Value more = b.icmp(
+        ir::CmpPred::Ne, b.load(ir::Type::i32(), keep_going), b.i32(0));
+    const ir::Value under_cap =
+        b.icmp(ir::CmpPred::SLt, b.load(ir::Type::i32(), levels),
+               b.i32(kMaxLevels));
+    b.cond_br(b.and_(more, under_cap), body, done);
+  }
+  b.set_block(body);
+  {
+    b.store(b.i32(1), stop);
+    // Kernel 1: expand the frontier into `updating`.
+    counted_loop(b, 0, kNodes, 1, [&](ir::Value u) {
+      const ir::Value in_frontier = b.icmp(
+          ir::CmpPred::Ne,
+          b.load(ir::Type::i32(), b.gep(mask, u, 4)), b.i32(0));
+      if_then(b, in_frontier, [&] {
+        b.store(b.i32(0), b.gep(mask, u, 4));
+        const ir::Value cu = b.load(ir::Type::i32(), b.gep(cost, u, 4));
+        counted_loop(b, 0, kDegree, 1, [&](ir::Value e) {
+          const ir::Value v = b.load(
+              ir::Type::i32(),
+              b.gep(col, b.add(b.mul(u, b.i32(kDegree)), e), 4), "v");
+          const ir::Value fresh = b.icmp(
+              ir::CmpPred::Eq,
+              b.load(ir::Type::i32(), b.gep(visited, v, 4)), b.i32(0));
+          if_then(b, fresh, [&] {
+            b.store(b.add(cu, b.i32(1)), b.gep(cost, v, 4));
+            b.store(b.i32(1), b.gep(updating, v, 4));
+          });
+        });
+      });
+    });
+    // Kernel 2: commit `updating` into the next frontier.
+    counted_loop(b, 0, kNodes, 1, [&](ir::Value u) {
+      const ir::Value pending = b.icmp(
+          ir::CmpPred::Ne,
+          b.load(ir::Type::i32(), b.gep(updating, u, 4)), b.i32(0));
+      if_then(b, pending, [&] {
+        b.store(b.i32(1), b.gep(mask, u, 4));
+        b.store(b.i32(1), b.gep(visited, u, 4));
+        b.store(b.i32(0), b.gep(updating, u, 4));
+        b.store(b.i32(0), stop);
+      });
+    });
+    const ir::Value go_on = b.icmp(
+        ir::CmpPred::Eq, b.load(ir::Type::i32(), stop), b.i32(0));
+    b.store(b.zext(go_on, ir::Type::i32()), keep_going);
+    b.store(b.add(b.load(ir::Type::i32(), levels), b.i32(1)), levels);
+    b.br(header);
+  }
+  b.set_block(done);
+
+  // Output: cost checksum, number of BFS levels, visited count.
+  const ir::Value sum = b.alloca_(4, "sum");
+  const ir::Value seen = b.alloca_(4, "seen");
+  b.store(b.i32(0), sum);
+  b.store(b.i32(0), seen);
+  counted_loop(b, 0, kNodes, 1, [&](ir::Value u) {
+    const ir::Value c = b.load(ir::Type::i32(), b.gep(cost, u, 4));
+    b.store(b.add(b.load(ir::Type::i32(), sum), c), sum);
+    const ir::Value vis = b.load(ir::Type::i32(), b.gep(visited, u, 4));
+    b.store(b.add(b.load(ir::Type::i32(), seen), vis), seen);
+  });
+  b.print_int(b.load(ir::Type::i32(), sum));
+  b.print_int(b.load(ir::Type::i32(), levels));
+  b.print_int(b.load(ir::Type::i32(), seen));
+  b.ret();
+  b.end_function();
+  return m;
+}
+
+}  // namespace trident::workloads

@@ -1,0 +1,180 @@
+// blackscholes (Parsec): Black-Scholes option pricing with the classic
+// CNDF polynomial structure. Transcendentals are replaced by short
+// rational/Newton approximations implemented as separate IR functions
+// (exercising interprocedural propagation through calls and returns);
+// the control and data-flow skeleton — per-option straight-line float
+// chains feeding a threshold branch, formatted float output — matches
+// the original.
+#include "workloads/common.h"
+#include "workloads/workloads.h"
+
+namespace trident::workloads {
+
+namespace {
+
+// float sqrt_approx(float a): 6 Newton iterations from a/2 + 0.5.
+uint32_t emit_sqrt(ir::IRBuilder& b) {
+  const auto f = b.begin_function("sqrt_approx", {ir::Type::f32()},
+                                  ir::Type::f32());
+  b.set_block(b.block("entry"));
+  const ir::Value a = b.arg(0);
+  const ir::Value x0 =
+      b.fadd(b.fmul(a, b.f32(0.5f)), b.f32(0.5f), "x0");
+  ir::Value x = x0;
+  for (int i = 0; i < 6; ++i) {
+    // x = 0.5 * (x + a / x)
+    x = b.fmul(b.f32(0.5f), b.fadd(x, b.fdiv(a, x)));
+  }
+  b.ret(x);
+  b.end_function();
+  return f;
+}
+
+// float exp_neg(float y): e^-y ~= 1 / (1 + y + y^2/2 + y^3/6 + y^4/24),
+// adequate for the y >= 0 range this kernel produces.
+uint32_t emit_exp_neg(ir::IRBuilder& b) {
+  const auto f =
+      b.begin_function("exp_neg", {ir::Type::f32()}, ir::Type::f32());
+  b.set_block(b.block("entry"));
+  const ir::Value y = b.arg(0);
+  const ir::Value y2 = b.fmul(y, y);
+  const ir::Value y3 = b.fmul(y2, y);
+  const ir::Value y4 = b.fmul(y2, y2);
+  ir::Value denom = b.fadd(b.f32(1.0f), y);
+  denom = b.fadd(denom, b.fmul(y2, b.f32(0.5f)));
+  denom = b.fadd(denom, b.fmul(y3, b.f32(1.0f / 6.0f)));
+  denom = b.fadd(denom, b.fmul(y4, b.f32(1.0f / 24.0f)));
+  b.ret(b.fdiv(b.f32(1.0f), denom));
+  b.end_function();
+  return f;
+}
+
+// float ln_approx(float z): 2*(w + w^3/3 + w^5/5), w = (z-1)/(z+1).
+uint32_t emit_ln(ir::IRBuilder& b) {
+  const auto f =
+      b.begin_function("ln_approx", {ir::Type::f32()}, ir::Type::f32());
+  b.set_block(b.block("entry"));
+  const ir::Value z = b.arg(0);
+  const ir::Value w =
+      b.fdiv(b.fsub(z, b.f32(1.0f)), b.fadd(z, b.f32(1.0f)), "w");
+  const ir::Value w2 = b.fmul(w, w);
+  const ir::Value w3 = b.fmul(w2, w);
+  const ir::Value w5 = b.fmul(w3, w2);
+  ir::Value s = w;
+  s = b.fadd(s, b.fmul(w3, b.f32(1.0f / 3.0f)));
+  s = b.fadd(s, b.fmul(w5, b.f32(0.2f)));
+  b.ret(b.fmul(s, b.f32(2.0f)));
+  b.end_function();
+  return f;
+}
+
+// float cndf(float x): Abramowitz-Stegun cumulative normal with the
+// |x| fold and the 1-y complement branch, as in Parsec's CNDF.
+uint32_t emit_cndf(ir::IRBuilder& b, uint32_t exp_neg) {
+  const auto f =
+      b.begin_function("cndf", {ir::Type::f32()}, ir::Type::f32());
+  b.set_block(b.block("entry"));
+  const ir::Value x = b.arg(0);
+  const ir::Value neg = b.fcmp(ir::CmpPred::SLt, x, b.f32(0.0f), "neg");
+  const ir::Value ax = b.select(neg, b.fsub(b.f32(0.0f), x), x, "ax");
+  const ir::Value k = b.fdiv(
+      b.f32(1.0f),
+      b.fadd(b.f32(1.0f), b.fmul(b.f32(0.2316419f), ax)), "k");
+  // Horner evaluation of the 5-term polynomial.
+  ir::Value poly = b.f32(1.330274429f);
+  poly = b.fadd(b.fmul(poly, k), b.f32(-1.821255978f));
+  poly = b.fadd(b.fmul(poly, k), b.f32(1.781477937f));
+  poly = b.fadd(b.fmul(poly, k), b.f32(-0.356563782f));
+  poly = b.fadd(b.fmul(poly, k), b.f32(0.319381530f));
+  poly = b.fmul(poly, k);
+  const ir::Value half_x2 = b.fmul(b.fmul(x, x), b.f32(0.5f));
+  const ir::Value gauss =
+      b.fmul(b.f32(0.39894228f), b.call(exp_neg, {half_x2}, "e"));
+  const ir::Value y = b.fsub(b.f32(1.0f), b.fmul(gauss, poly), "y");
+  b.ret(b.select(neg, b.fsub(b.f32(1.0f), y), y));
+  b.end_function();
+  return f;
+}
+
+}  // namespace
+
+ir::Module build_blackscholes() {
+  constexpr int32_t kOptions = 192;
+
+  ir::Module m;
+  m.name = "blackscholes";
+  const uint32_t g_spot = m.add_global({"spot", kOptions * 4, {}});
+  const uint32_t g_strike = m.add_global({"strike", kOptions * 4, {}});
+  const uint32_t g_time = m.add_global({"time", kOptions * 4, {}});
+
+  ir::IRBuilder b(m);
+  const uint32_t f_sqrt = emit_sqrt(b);
+  const uint32_t f_exp = emit_exp_neg(b);
+  const uint32_t f_ln = emit_ln(b);
+  const uint32_t f_cndf = emit_cndf(b, f_exp);
+
+  b.begin_function("main", {}, ir::Type::void_());
+  b.set_block(b.block("entry"));
+  const ir::Value spot = b.global(g_spot);
+  const ir::Value strike = b.global(g_strike);
+  const ir::Value time = b.global(g_time);
+  lcg_fill_i32(b, spot, kOptions, 777, 100);    // 0..99 -> $50..$149
+  lcg_fill_i32(b, strike, kOptions, 888, 100);  // 0..99 -> $60..$159
+  lcg_fill_i32(b, time, kOptions, 999, 20);     // 0..19 -> 0.25..5 years
+
+  const ir::Value sum = b.alloca_(4, "sum");
+  const ir::Value in_money = b.alloca_(4, "in_money");
+  b.store(b.f32(0.0f), sum);
+  b.store(b.i32(0), in_money);
+
+  const ir::Value rate = b.f32(0.02f);
+  const ir::Value vol = b.f32(0.30f);
+
+  counted_loop(b, 0, kOptions, 1, [&](ir::Value i) {
+    const auto loadf = [&](ir::Value base, float offset, float scale) {
+      const ir::Value raw = b.load(ir::Type::i32(), b.gep(base, i, 4));
+      return b.fadd(b.fmul(b.sitofp(raw, ir::Type::f32()), b.f32(scale)),
+                    b.f32(offset));
+    };
+    const ir::Value s = loadf(spot, 50.0f, 1.0f);
+    const ir::Value k = loadf(strike, 60.0f, 1.0f);
+    const ir::Value t = loadf(time, 0.25f, 0.25f);
+
+    const ir::Value sqrt_t = b.call(f_sqrt, {t}, "sqrt_t");
+    const ir::Value log_sk = b.call(f_ln, {b.fdiv(s, k)}, "log_sk");
+    const ir::Value vol_sqrt_t = b.fmul(vol, sqrt_t);
+    const ir::Value drift =
+        b.fadd(rate, b.fmul(b.fmul(vol, vol), b.f32(0.5f)));
+    const ir::Value d1 =
+        b.fdiv(b.fadd(log_sk, b.fmul(drift, t)), vol_sqrt_t, "d1");
+    const ir::Value d2 = b.fsub(d1, vol_sqrt_t, "d2");
+
+    const ir::Value n_d1 = b.call(f_cndf, {d1}, "n_d1");
+    const ir::Value n_d2 = b.call(f_cndf, {d2}, "n_d2");
+    const ir::Value disc = b.call(f_exp, {b.fmul(rate, t)}, "disc");
+    const ir::Value price = b.fsub(b.fmul(s, n_d1),
+                                   b.fmul(b.fmul(k, disc), n_d2), "price");
+
+    b.store(b.fadd(b.load(ir::Type::f32(), sum), price), sum);
+    // Threshold branch: data-dependent NLT divergence point.
+    const ir::Value deep =
+        b.fcmp(ir::CmpPred::SGt, price, b.f32(25.0f), "deep");
+    if_then(b, deep, [&] {
+      b.store(b.add(b.load(ir::Type::i32(), in_money), b.i32(1)), in_money);
+    });
+    // Every 32nd price goes to output at 2 significant digits — the
+    // paper's floating-point format-masking scenario (§IV-E).
+    const ir::Value sampled = b.icmp(
+        ir::CmpPred::Eq, b.and_(i, b.i32(31)), b.i32(0));
+    if_then(b, sampled,
+            [&] { b.print_float(price, /*precision=*/2); });
+  });
+
+  b.print_float(b.load(ir::Type::f32(), sum), /*precision=*/6);
+  b.print_int(b.load(ir::Type::i32(), in_money));
+  b.ret();
+  b.end_function();
+  return m;
+}
+
+}  // namespace trident::workloads

@@ -1,0 +1,103 @@
+// Shared IR-authoring helpers for the benchmark workloads: counted loops
+// (which produce exactly the loop-terminating branch shape fc models),
+// if-then regions (non-loop-terminating, data-dependent branches), and a
+// deterministic in-IR LCG for input-data generation — the programs
+// generate their own inputs, mirroring the paper's fixed benchmark inputs.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "ir/builder.h"
+
+namespace trident::workloads {
+
+/// Emits `for (i32 i = begin; i < end; i += step) body(i)`.
+/// The callback runs with the builder positioned in the loop body and may
+/// create additional blocks, as long as control falls out of the block
+/// the builder ends in. After return, the builder is in the exit block.
+inline void counted_loop(ir::IRBuilder& b, ir::Value begin, ir::Value end,
+                         int32_t step,
+                         const std::function<void(ir::Value)>& body) {
+  const uint32_t pre = b.current_block();
+  const uint32_t header = b.block("loop.header");
+  const uint32_t body_bb = b.block("loop.body");
+  const uint32_t exit_bb = b.block("loop.exit");
+  b.br(header);
+
+  b.set_block(header);
+  const ir::Value iv = b.phi(ir::Type::i32(), "iv");
+  b.add_phi_incoming(iv, begin, pre);
+  const ir::Value cond = b.icmp(ir::CmpPred::SLt, iv, end);
+  b.cond_br(cond, body_bb, exit_bb);
+
+  b.set_block(body_bb);
+  body(iv);
+  const ir::Value next = b.add(iv, b.i32(step));
+  const uint32_t latch = b.current_block();
+  b.br(header);
+  b.add_phi_incoming(iv, next, latch);
+
+  b.set_block(exit_bb);
+}
+
+inline void counted_loop(ir::IRBuilder& b, int32_t begin, int32_t end,
+                         int32_t step,
+                         const std::function<void(ir::Value)>& body) {
+  counted_loop(b, b.i32(begin), b.i32(end), step, body);
+}
+
+/// Emits `if (cond) then()`; values escaping the region must go through
+/// memory or Select. Leaves the builder in the continuation block.
+inline void if_then(ir::IRBuilder& b, ir::Value cond,
+                    const std::function<void()>& then) {
+  const uint32_t then_bb = b.block("if.then");
+  const uint32_t cont_bb = b.block("if.cont");
+  b.cond_br(cond, then_bb, cont_bb);
+  b.set_block(then_bb);
+  then();
+  b.br(cont_bb);
+  b.set_block(cont_bb);
+}
+
+/// Emits `if (cond) then(); else otherwise();`.
+inline void if_then_else(ir::IRBuilder& b, ir::Value cond,
+                         const std::function<void()>& then,
+                         const std::function<void()>& otherwise) {
+  const uint32_t then_bb = b.block("if.then");
+  const uint32_t else_bb = b.block("if.else");
+  const uint32_t cont_bb = b.block("if.cont");
+  b.cond_br(cond, then_bb, else_bb);
+  b.set_block(then_bb);
+  then();
+  b.br(cont_bb);
+  b.set_block(else_bb);
+  otherwise();
+  b.br(cont_bb);
+  b.set_block(cont_bb);
+}
+
+/// One step of a 32-bit LCG (Numerical Recipes constants), in IR.
+inline ir::Value lcg_next(ir::IRBuilder& b, ir::Value x) {
+  return b.add(b.mul(x, b.i32(1664525)), b.i32(1013904223), "lcg");
+}
+
+/// Fills `count` i32 elements at `base` with LCG values reduced to
+/// [0, modulo) (or raw if modulo == 0), starting from `seed`.
+inline void lcg_fill_i32(ir::IRBuilder& b, ir::Value base, int32_t count,
+                         int32_t seed, int32_t modulo) {
+  const ir::Value cell = b.alloca_(4, "lcg.state");
+  b.store(b.i32(seed), cell);
+  counted_loop(b, 0, count, 1, [&](ir::Value i) {
+    const ir::Value x0 = b.load(ir::Type::i32(), cell);
+    const ir::Value x1 = lcg_next(b, x0);
+    b.store(x1, cell);
+    ir::Value v = x1;
+    if (modulo != 0) {
+      v = b.urem(b.lshr(x1, b.i32(8)), b.i32(modulo));
+    }
+    b.store(v, b.gep(base, i, 4));
+  });
+}
+
+}  // namespace trident::workloads

@@ -1,0 +1,91 @@
+// hercules (CMU): earthquake ground-motion simulation skeleton — an
+// explicit second-order wave-equation stencil over a 1D domain with
+// absorbing clamps, rotating three state arrays per timestep. The
+// rotation copy loops create exactly the symmetric store/load loop pairs
+// that fm's dependence pruning targets (paper Fig. 2/4).
+#include "workloads/common.h"
+#include "workloads/workloads.h"
+
+namespace trident::workloads {
+
+ir::Module build_hercules() {
+  constexpr int32_t kN = 80;
+  constexpr int32_t kSteps = 40;
+
+  ir::Module m;
+  m.name = "hercules";
+  const uint32_t g_prev = m.add_global({"u_prev", kN * 4, {}});
+  const uint32_t g_cur = m.add_global({"u_cur", kN * 4, {}});
+  const uint32_t g_next = m.add_global({"u_next", kN * 4, {}});
+
+  ir::IRBuilder b(m);
+  b.begin_function("main", {}, ir::Type::void_());
+  b.set_block(b.block("entry"));
+  const ir::Value up = b.global(g_prev);
+  const ir::Value uc = b.global(g_cur);
+  const ir::Value un = b.global(g_next);
+
+  // Initial displacement: a rough pulse from LCG noise, same in prev/cur.
+  const ir::Value state = b.alloca_(4, "rng");
+  b.store(b.i32(5150), state);
+  counted_loop(b, 0, kN, 1, [&](ir::Value i) {
+    const ir::Value x0 = b.load(ir::Type::i32(), state);
+    const ir::Value x1 = lcg_next(b, x0);
+    b.store(x1, state);
+    const ir::Value noise = b.urem(b.lshr(x1, b.i32(8)), b.i32(100));
+    const ir::Value v = b.fmul(b.sitofp(noise, ir::Type::f32()),
+                               b.f32(0.001f));
+    // Pulse near the middle third of the domain.
+    const ir::Value mid = b.and_(
+        b.icmp(ir::CmpPred::SGt, i, b.i32(kN / 3)),
+        b.icmp(ir::CmpPred::SLt, i, b.i32(2 * kN / 3)));
+    const ir::Value amp = b.select(mid, b.fadd(v, b.f32(1.0f)), v);
+    b.store(amp, b.gep(uc, i, 4));
+    b.store(amp, b.gep(up, i, 4));
+    b.store(b.f32(0.0f), b.gep(un, i, 4));
+  });
+
+  const ir::Value courant2 = b.f32(0.25f);
+  counted_loop(b, 0, kSteps, 1, [&](ir::Value) {
+    counted_loop(b, 1, kN - 1, 1, [&](ir::Value i) {
+      const ir::Value c = b.load(ir::Type::f32(), b.gep(uc, i, 4), "c");
+      const ir::Value l = b.load(ir::Type::f32(),
+                                 b.gep(uc, b.sub(i, b.i32(1)), 4), "l");
+      const ir::Value r = b.load(ir::Type::f32(),
+                                 b.gep(uc, b.add(i, b.i32(1)), 4), "r");
+      const ir::Value p = b.load(ir::Type::f32(), b.gep(up, i, 4), "p");
+      const ir::Value lap =
+          b.fadd(b.fsub(l, b.fmul(c, b.f32(2.0f))), r, "lap");
+      ir::Value nv = b.fsub(b.fmul(c, b.f32(2.0f)), p);
+      nv = b.fadd(nv, b.fmul(courant2, lap), "nv");
+      // Absorbing clamp: data-dependent divergence.
+      const ir::Value hot =
+          b.fcmp(ir::CmpPred::SGt, nv, b.f32(4.0f), "hot");
+      const ir::Value clamped = b.select(hot, b.f32(4.0f), nv);
+      b.store(clamped, b.gep(un, i, 4));
+    });
+    // Rotate state arrays: prev <- cur, cur <- next (symmetric loops).
+    counted_loop(b, 0, kN, 1, [&](ir::Value i) {
+      b.store(b.load(ir::Type::f32(), b.gep(uc, i, 4)), b.gep(up, i, 4));
+    });
+    counted_loop(b, 1, kN - 1, 1, [&](ir::Value i) {
+      b.store(b.load(ir::Type::f32(), b.gep(un, i, 4)), b.gep(uc, i, 4));
+    });
+  });
+
+  // Output: total "seismic energy" and the center-point displacement.
+  const ir::Value energy = b.alloca_(4, "energy");
+  b.store(b.f32(0.0f), energy);
+  counted_loop(b, 0, kN, 1, [&](ir::Value i) {
+    const ir::Value v = b.load(ir::Type::f32(), b.gep(uc, i, 4));
+    b.store(b.fadd(b.load(ir::Type::f32(), energy), b.fmul(v, v)), energy);
+  });
+  b.print_float(b.load(ir::Type::f32(), energy), /*precision=*/5);
+  b.print_float(b.load(ir::Type::f32(), b.gep(uc, b.i32(kN / 2), 4)),
+                /*precision=*/3);
+  b.ret();
+  b.end_function();
+  return m;
+}
+
+}  // namespace trident::workloads

@@ -1,0 +1,104 @@
+// hotspot (Rodinia): thermal simulation — a 2D five-point stencil over
+// temperature with a power source term, f32 state, and low-precision %g
+// formatted output (the paper's motivating case for the floating-point
+// format-masking rule, §IV-E).
+#include "workloads/common.h"
+#include "workloads/workloads.h"
+
+namespace trident::workloads {
+
+ir::Module build_hotspot_seeded(int32_t input_seed) {
+  constexpr int32_t kDim = 12;
+  constexpr int32_t kSteps = 20;
+
+  ir::Module m;
+  m.name = "hotspot";
+  const uint32_t g_temp = m.add_global({"temp", kDim * kDim * 4, {}});
+  const uint32_t g_power = m.add_global({"power", kDim * kDim * 4, {}});
+  const uint32_t g_next = m.add_global({"temp_next", kDim * kDim * 4, {}});
+
+  ir::IRBuilder b(m);
+  b.begin_function("main", {}, ir::Type::void_());
+  b.set_block(b.block("entry"));
+  const ir::Value temp = b.global(g_temp);
+  const ir::Value power = b.global(g_power);
+  const ir::Value next = b.global(g_next);
+
+  // temp_64 / power_64 inputs: ambient + LCG-distributed power density.
+  const ir::Value state = b.alloca_(4, "rng");
+  b.store(b.i32(input_seed), state);
+  counted_loop(b, 0, kDim * kDim, 1, [&](ir::Value i) {
+    const ir::Value x0 = b.load(ir::Type::i32(), state);
+    const ir::Value x1 = lcg_next(b, x0);
+    b.store(x1, state);
+    const ir::Value r = b.urem(b.lshr(x1, b.i32(8)), b.i32(100));
+    b.store(b.f32(45.0f), b.gep(temp, i, 4));
+    b.store(b.fmul(b.sitofp(r, ir::Type::f32()), b.f32(0.003f)),
+            b.gep(power, i, 4));
+  });
+
+  const ir::Value k_diff = b.f32(0.18f);
+  counted_loop(b, 0, kSteps, 1, [&](ir::Value) {
+    counted_loop(b, 0, kDim, 1, [&](ir::Value y) {
+      counted_loop(b, 0, kDim, 1, [&](ir::Value x) {
+        // Clamped neighbour coordinates (adiabatic boundaries).
+        const auto clamp_lo = [&](ir::Value v) {
+          return b.select(b.icmp(ir::CmpPred::SGt, v, b.i32(0)),
+                          b.sub(v, b.i32(1)), v);
+        };
+        const auto clamp_hi = [&](ir::Value v) {
+          return b.select(b.icmp(ir::CmpPred::SLt, v, b.i32(kDim - 1)),
+                          b.add(v, b.i32(1)), v);
+        };
+        const auto at = [&](ir::Value yy, ir::Value xx) {
+          return b.load(ir::Type::f32(),
+                        b.gep(temp, b.add(b.mul(yy, b.i32(kDim)), xx), 4));
+        };
+        const ir::Value idx = b.add(b.mul(y, b.i32(kDim)), x);
+        const ir::Value c = at(y, x);
+        const ir::Value sum = b.fadd(
+            b.fadd(at(clamp_lo(y), x), at(clamp_hi(y), x)),
+            b.fadd(at(y, clamp_lo(x)), at(y, clamp_hi(x))));
+        const ir::Value lap =
+            b.fsub(sum, b.fmul(c, b.f32(4.0f)), "lap");
+        const ir::Value p = b.load(ir::Type::f32(), b.gep(power, idx, 4));
+        const ir::Value t_new =
+            b.fadd(c, b.fadd(b.fmul(k_diff, lap), p), "t_new");
+        b.store(t_new, b.gep(next, idx, 4));
+      });
+    });
+    counted_loop(b, 0, kDim * kDim, 1, [&](ir::Value i) {
+      b.store(b.load(ir::Type::f32(), b.gep(next, i, 4)),
+              b.gep(temp, i, 4));
+    });
+  });
+
+  // Output: hotspot temperature map summary at 2 significant digits (the
+  // "%g" low-precision output) plus a full-precision average.
+  const ir::Value total = b.alloca_(4, "total");
+  b.store(b.f32(0.0f), total);
+  counted_loop(b, 0, kDim * kDim, 1, [&](ir::Value i) {
+    b.store(b.fadd(b.load(ir::Type::f32(), total),
+                   b.load(ir::Type::f32(), b.gep(temp, i, 4))),
+            total);
+  });
+  const auto corner = [&](int32_t idx) {
+    b.print_float(b.load(ir::Type::f32(), b.gep(temp, b.i32(idx), 4)),
+                  /*precision=*/2);
+  };
+  corner(0);
+  corner(kDim - 1);
+  corner(kDim * kDim - kDim);
+  corner(kDim * kDim - 1);
+  corner(kDim * kDim / 2);
+  b.print_float(
+      b.fdiv(b.load(ir::Type::f32(), total), b.f32(float(kDim * kDim))),
+      /*precision=*/6);
+  b.ret();
+  b.end_function();
+  return m;
+}
+
+ir::Module build_hotspot() { return build_hotspot_seeded(64641); }
+
+}  // namespace trident::workloads

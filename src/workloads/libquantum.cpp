@@ -1,0 +1,76 @@
+// libquantum (SPEC): quantum-register simulation skeleton. A register of
+// amplitude counters is repeatedly transformed by conditional "gate"
+// updates keyed off state-index bits (the same bit-test/branch/update
+// structure as libquantum's toffoli/sigma gates), then "measured" by an
+// argmax + checksum scan.
+#include "workloads/common.h"
+#include "workloads/workloads.h"
+
+namespace trident::workloads {
+
+ir::Module build_libquantum() {
+  constexpr int32_t kStates = 64;
+  constexpr int32_t kSteps = 48;
+
+  ir::Module m;
+  m.name = "libquantum";
+  const uint32_t g_amp = m.add_global({"amp", kStates * 4, {}});
+
+  ir::IRBuilder b(m);
+  b.begin_function("main", {}, ir::Type::void_());
+  b.set_block(b.block("entry"));
+
+  const ir::Value amp = b.global(g_amp);
+  lcg_fill_i32(b, amp, kStates, 12345, 1024);
+
+  // Gate sweep: per step, a bit-controlled amplitude rotation.
+  counted_loop(b, 0, kSteps, 1, [&](ir::Value step) {
+    const ir::Value bit = b.urem(step, b.i32(6));
+    counted_loop(b, 0, kStates, 1, [&](ir::Value s) {
+      const ir::Value p = b.gep(amp, s, 4);
+      const ir::Value a = b.load(ir::Type::i32(), p, "a");
+      const ir::Value ctrl =
+          b.and_(b.lshr(s, bit), b.i32(1), "ctrl");
+      const ir::Value is_set = b.icmp(ir::CmpPred::Ne, ctrl, b.i32(0));
+      // "Controlled" branch: data-dependent, non-loop-terminating.
+      if_then_else(
+          b, is_set,
+          [&] {
+            const ir::Value rot = b.sub(a, b.ashr(a, b.i32(2)));
+            b.store(b.add(rot, step), p);
+          },
+          [&] {
+            const ir::Value damp = b.add(a, b.ashr(a, b.i32(3)));
+            b.store(b.xor_(damp, b.i32(5)), p);
+          });
+    });
+  });
+
+  // Measurement: argmax amplitude plus a rolling checksum.
+  const ir::Value best = b.alloca_(4, "best");
+  const ir::Value best_idx = b.alloca_(4, "best_idx");
+  const ir::Value checksum = b.alloca_(4, "checksum");
+  b.store(b.i32(-0x7fffffff), best);
+  b.store(b.i32(0), best_idx);
+  b.store(b.i32(0), checksum);
+  counted_loop(b, 0, kStates, 1, [&](ir::Value s) {
+    const ir::Value a = b.load(ir::Type::i32(), b.gep(amp, s, 4));
+    const ir::Value c = b.load(ir::Type::i32(), checksum);
+    b.store(b.xor_(b.mul(c, b.i32(31)), b.add(a, s)), checksum);
+    const ir::Value cur_best = b.load(ir::Type::i32(), best);
+    const ir::Value better = b.icmp(ir::CmpPred::SGt, a, cur_best);
+    if_then(b, better, [&] {
+      b.store(a, best);
+      b.store(s, best_idx);
+    });
+  });
+
+  b.print_int(b.load(ir::Type::i32(), checksum));
+  b.print_int(b.load(ir::Type::i32(), best_idx));
+  b.print_int(b.load(ir::Type::i32(), best));
+  b.ret();
+  b.end_function();
+  return m;
+}
+
+}  // namespace trident::workloads

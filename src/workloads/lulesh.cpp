@@ -1,0 +1,111 @@
+// lulesh (LLNL): hydrodynamics mini-app skeleton — per-zone equation of
+// state with volume clamping and artificial-viscosity branches, energy
+// accumulation in f64, and a periodic debug print that is excluded from
+// the SDC output set (exercising the paper's "instructions considered as
+// program output" input).
+#include "workloads/common.h"
+#include "workloads/workloads.h"
+
+namespace trident::workloads {
+
+ir::Module build_lulesh() {
+  constexpr int32_t kZones = 64;
+  constexpr int32_t kSteps = 40;
+
+  ir::Module m;
+  m.name = "lulesh";
+  const uint32_t g_vol = m.add_global({"vol", kZones * 8, {}});
+  const uint32_t g_energy = m.add_global({"energy", kZones * 8, {}});
+  const uint32_t g_pressure = m.add_global({"pressure", kZones * 8, {}});
+
+  ir::IRBuilder b(m);
+  b.begin_function("main", {}, ir::Type::void_());
+  b.set_block(b.block("entry"));
+  const ir::Value vol = b.global(g_vol);
+  const ir::Value energy = b.global(g_energy);
+  const ir::Value pressure = b.global(g_pressure);
+
+  const ir::Value state = b.alloca_(4, "rng");
+  b.store(b.i32(90210), state);
+  counted_loop(b, 0, kZones, 1, [&](ir::Value i) {
+    const ir::Value x0 = b.load(ir::Type::i32(), state);
+    const ir::Value x1 = lcg_next(b, x0);
+    b.store(x1, state);
+    const ir::Value r = b.urem(b.lshr(x1, b.i32(8)), b.i32(100));
+    const ir::Value v = b.fadd(
+        b.fmul(b.sitofp(r, ir::Type::f64()), b.f64(0.005)), b.f64(0.75));
+    b.store(v, b.gep(vol, i, 8));
+    b.store(b.f64(1.0), b.gep(energy, i, 8));
+    b.store(b.f64(0.0), b.gep(pressure, i, 8));
+  });
+
+  const ir::Value gamma1 = b.f64(0.4);  // gamma - 1
+  const ir::Value dt = b.f64(0.01);
+  const ir::Value vmin = b.f64(0.1);
+
+  counted_loop(b, 0, kSteps, 1, [&](ir::Value step) {
+    counted_loop(b, 1, kZones - 1, 1, [&](ir::Value i) {
+      const ir::Value vl = b.load(ir::Type::f64(),
+                                  b.gep(vol, b.sub(i, b.i32(1)), 8), "vl");
+      const ir::Value vr = b.load(ir::Type::f64(),
+                                  b.gep(vol, b.add(i, b.i32(1)), 8), "vr");
+      const ir::Value vc = b.load(ir::Type::f64(), b.gep(vol, i, 8), "vc");
+      const ir::Value e = b.load(ir::Type::f64(), b.gep(energy, i, 8), "e");
+
+      // EOS: p = (gamma - 1) * e / v, with a compression floor.
+      const ir::Value grad = b.fsub(vr, vl, "grad");
+      ir::Value vnew = b.fadd(vc, b.fmul(dt, grad), "vnew");
+      const ir::Value too_small =
+          b.fcmp(ir::CmpPred::SLt, vnew, vmin, "too_small");
+      vnew = b.select(too_small, vmin, vnew);
+      const ir::Value p = b.fdiv(b.fmul(gamma1, e), vnew, "p");
+
+      // Artificial viscosity only on compression: NLT divergence.
+      const ir::Value compressing =
+          b.fcmp(ir::CmpPred::SLt, grad, b.f64(0.0), "compressing");
+      if_then_else(
+          b, compressing,
+          [&] {
+            const ir::Value q = b.fmul(b.fmul(grad, grad), b.f64(2.0));
+            const ir::Value work =
+                b.fmul(b.fadd(p, q), b.fmul(dt, grad));
+            b.store(b.fsub(e, work), b.gep(energy, i, 8));
+          },
+          [&] {
+            const ir::Value work = b.fmul(p, b.fmul(dt, grad));
+            b.store(b.fsub(e, work), b.gep(energy, i, 8));
+          });
+      b.store(p, b.gep(pressure, i, 8));
+      b.store(vnew, b.gep(vol, i, 8));
+    });
+    // Courant-style diagnostic every 10 steps: debug print, excluded
+    // from the SDC-defining output set.
+    const ir::Value diag = b.icmp(
+        ir::CmpPred::Eq, b.urem(step, b.i32(10)), b.i32(0));
+    if_then(b, diag, [&] {
+      b.print_float(b.load(ir::Type::f64(), b.gep(energy, b.i32(1), 8)),
+                    /*precision=*/6, /*is_output=*/false);
+    });
+  });
+
+  // Final outputs: total energy and peak pressure.
+  const ir::Value etot = b.alloca_(8, "etot");
+  const ir::Value pmax = b.alloca_(8, "pmax");
+  b.store(b.f64(0.0), etot);
+  b.store(b.f64(0.0), pmax);
+  counted_loop(b, 0, kZones, 1, [&](ir::Value i) {
+    const ir::Value e = b.load(ir::Type::f64(), b.gep(energy, i, 8));
+    b.store(b.fadd(b.load(ir::Type::f64(), etot), e), etot);
+    const ir::Value p = b.load(ir::Type::f64(), b.gep(pressure, i, 8));
+    const ir::Value bigger =
+        b.fcmp(ir::CmpPred::SGt, p, b.load(ir::Type::f64(), pmax));
+    if_then(b, bigger, [&] { b.store(p, pmax); });
+  });
+  b.print_float(b.load(ir::Type::f64(), etot), /*precision=*/8);
+  b.print_float(b.load(ir::Type::f64(), pmax), /*precision=*/4);
+  b.ret();
+  b.end_function();
+  return m;
+}
+
+}  // namespace trident::workloads

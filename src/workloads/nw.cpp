@@ -1,0 +1,84 @@
+// nw (Rodinia): Needleman-Wunsch global sequence alignment — the
+// dynamic-programming recurrence with two max comparisons per cell and a
+// data-dependent match/mismatch branch, over a 48x48 score grid.
+#include "workloads/common.h"
+#include "workloads/workloads.h"
+
+namespace trident::workloads {
+
+ir::Module build_nw() {
+  constexpr int32_t kLen = 48;
+  constexpr int32_t kDim = kLen + 1;
+  constexpr int32_t kGap = 2;
+
+  ir::Module m;
+  m.name = "nw";
+  const uint32_t g_a = m.add_global({"seq_a", kLen * 4, {}});
+  const uint32_t g_b = m.add_global({"seq_b", kLen * 4, {}});
+  const uint32_t g_dp = m.add_global({"dp", kDim * kDim * 4, {}});
+
+  ir::IRBuilder b(m);
+  b.begin_function("main", {}, ir::Type::void_());
+  b.set_block(b.block("entry"));
+  const ir::Value seq_a = b.global(g_a);
+  const ir::Value seq_b = b.global(g_b);
+  const ir::Value dp = b.global(g_dp);
+  lcg_fill_i32(b, seq_a, kLen, 111, 4);  // 4-letter alphabet
+  lcg_fill_i32(b, seq_b, kLen, 222, 4);
+
+  // DP boundary: dp[i][0] = -gap*i, dp[0][j] = -gap*j.
+  counted_loop(b, 0, kDim, 1, [&](ir::Value i) {
+    const ir::Value pen = b.mul(i, b.i32(-kGap));
+    b.store(pen, b.gep(dp, b.mul(i, b.i32(kDim)), 4));
+    b.store(pen, b.gep(dp, i, 4));
+  });
+
+  counted_loop(b, 1, kDim, 1, [&](ir::Value i) {
+    counted_loop(b, 1, kDim, 1, [&](ir::Value j) {
+      const ir::Value ca = b.load(
+          ir::Type::i32(), b.gep(seq_a, b.sub(i, b.i32(1)), 4), "ca");
+      const ir::Value cb = b.load(
+          ir::Type::i32(), b.gep(seq_b, b.sub(j, b.i32(1)), 4), "cb");
+      const ir::Value match = b.icmp(ir::CmpPred::Eq, ca, cb, "match");
+      const ir::Value sim = b.select(match, b.i32(3), b.i32(-1), "sim");
+
+      const ir::Value row = b.mul(i, b.i32(kDim));
+      const ir::Value prow = b.mul(b.sub(i, b.i32(1)), b.i32(kDim));
+      const ir::Value diag = b.load(
+          ir::Type::i32(), b.gep(dp, b.add(prow, b.sub(j, b.i32(1))), 4));
+      const ir::Value up =
+          b.load(ir::Type::i32(), b.gep(dp, b.add(prow, j), 4));
+      const ir::Value left = b.load(
+          ir::Type::i32(), b.gep(dp, b.add(row, b.sub(j, b.i32(1))), 4));
+
+      const ir::Value s_diag = b.add(diag, sim);
+      const ir::Value s_up = b.sub(up, b.i32(kGap));
+      const ir::Value s_left = b.sub(left, b.i32(kGap));
+      const ir::Value m1 = b.select(
+          b.icmp(ir::CmpPred::SGt, s_diag, s_up), s_diag, s_up, "m1");
+      const ir::Value m2 = b.select(
+          b.icmp(ir::CmpPred::SGt, m1, s_left), m1, s_left, "m2");
+      b.store(m2, b.gep(dp, b.add(row, j), 4));
+    });
+  });
+
+  // Outputs: the alignment score and an anti-diagonal checksum.
+  b.print_int(b.load(
+      ir::Type::i32(), b.gep(dp, b.i32(kDim * kDim - 1), 4)));
+  const ir::Value chk = b.alloca_(4, "chk");
+  b.store(b.i32(0), chk);
+  counted_loop(b, 0, kDim, 1, [&](ir::Value i) {
+    const ir::Value cell = b.load(
+        ir::Type::i32(),
+        b.gep(dp, b.add(b.mul(i, b.i32(kDim)), b.sub(b.i32(kDim - 1), i)),
+              4));
+    b.store(b.add(b.mul(b.load(ir::Type::i32(), chk), b.i32(7)), cell),
+            chk);
+  });
+  b.print_int(b.load(ir::Type::i32(), chk));
+  b.ret();
+  b.end_function();
+  return m;
+}
+
+}  // namespace trident::workloads

@@ -1,0 +1,82 @@
+// pathfinder (Rodinia): row-by-row shortest-path dynamic programming —
+// the paper's own running example (Fig. 2). Each row update reads the
+// previous row (min of three neighbours via data-dependent branches) and
+// the row copy-back creates the symmetric store/load loop pair of Fig. 4.
+#include "workloads/common.h"
+#include "workloads/workloads.h"
+
+namespace trident::workloads {
+
+ir::Module build_pathfinder_seeded(int32_t input_seed) {
+  constexpr int32_t kCols = 96;
+  constexpr int32_t kRows = 12;
+
+  ir::Module m;
+  m.name = "pathfinder";
+  const uint32_t g_cost = m.add_global({"cost", kCols * kRows * 4, {}});
+  const uint32_t g_src = m.add_global({"src", kCols * 4, {}});
+  const uint32_t g_dst = m.add_global({"dst", kCols * 4, {}});
+
+  ir::IRBuilder b(m);
+  b.begin_function("main", {}, ir::Type::void_());
+  b.set_block(b.block("entry"));
+  const ir::Value cost = b.global(g_cost);
+  const ir::Value src = b.global(g_src);
+  const ir::Value dst = b.global(g_dst);
+  lcg_fill_i32(b, cost, kCols * kRows, input_seed, 10);
+
+  // First DP row is the first cost row.
+  counted_loop(b, 0, kCols, 1, [&](ir::Value j) {
+    b.store(b.load(ir::Type::i32(), b.gep(cost, j, 4)), b.gep(src, j, 4));
+  });
+
+  counted_loop(b, 1, kRows, 1, [&](ir::Value i) {
+    counted_loop(b, 0, kCols, 1, [&](ir::Value j) {
+      // Clamped neighbour indices (boundary selects).
+      const ir::Value jl = b.select(
+          b.icmp(ir::CmpPred::SGt, j, b.i32(0)), b.sub(j, b.i32(1)), j);
+      const ir::Value jr =
+          b.select(b.icmp(ir::CmpPred::SLt, j, b.i32(kCols - 1)),
+                   b.add(j, b.i32(1)), j);
+      const ir::Value left = b.load(ir::Type::i32(), b.gep(src, jl, 4));
+      const ir::Value mid = b.load(ir::Type::i32(), b.gep(src, j, 4));
+      const ir::Value right = b.load(ir::Type::i32(), b.gep(src, jr, 4));
+      const ir::Value m1 = b.select(
+          b.icmp(ir::CmpPred::SLt, left, mid), left, mid, "m1");
+      const ir::Value m2 = b.select(
+          b.icmp(ir::CmpPred::SLt, m1, right), m1, right, "m2");
+      const ir::Value c = b.load(
+          ir::Type::i32(), b.gep(cost, b.add(b.mul(i, b.i32(kCols)), j), 4));
+      b.store(b.add(m2, c), b.gep(dst, j, 4));
+    });
+    // Copy dst back to src: the symmetric update/reload loop pair.
+    counted_loop(b, 0, kCols, 1, [&](ir::Value j) {
+      b.store(b.load(ir::Type::i32(), b.gep(dst, j, 4)),
+              b.gep(src, j, 4));
+    });
+  });
+
+  // Output: minimum path cost and its column.
+  const ir::Value best = b.alloca_(4, "best");
+  const ir::Value best_col = b.alloca_(4, "best_col");
+  b.store(b.i32(0x7fffffff), best);
+  b.store(b.i32(-1), best_col);
+  counted_loop(b, 0, kCols, 1, [&](ir::Value j) {
+    const ir::Value v = b.load(ir::Type::i32(), b.gep(src, j, 4));
+    const ir::Value better =
+        b.icmp(ir::CmpPred::SLt, v, b.load(ir::Type::i32(), best));
+    if_then(b, better, [&] {
+      b.store(v, best);
+      b.store(j, best_col);
+    });
+  });
+  b.print_int(b.load(ir::Type::i32(), best));
+  b.print_int(b.load(ir::Type::i32(), best_col));
+  b.ret();
+  b.end_function();
+  return m;
+}
+
+ir::Module build_pathfinder() { return build_pathfinder_seeded(1000); }
+
+}  // namespace trident::workloads

@@ -1,0 +1,136 @@
+// puremd (Purdue): reactive molecular dynamics skeleton — pairwise
+// short-range force computation with a cutoff branch (the archetypal
+// data-dependent divergence in MD codes), followed by velocity-Verlet
+// style integration. f64 throughout, as in the original.
+#include "workloads/common.h"
+#include "workloads/workloads.h"
+
+namespace trident::workloads {
+
+ir::Module build_puremd() {
+  constexpr int32_t kAtoms = 16;
+  constexpr int32_t kSteps = 20;
+
+  ir::Module m;
+  m.name = "puremd";
+  const uint32_t g_px = m.add_global({"px", kAtoms * 8, {}});
+  const uint32_t g_py = m.add_global({"py", kAtoms * 8, {}});
+  const uint32_t g_vx = m.add_global({"vx", kAtoms * 8, {}});
+  const uint32_t g_vy = m.add_global({"vy", kAtoms * 8, {}});
+  const uint32_t g_fx = m.add_global({"fx", kAtoms * 8, {}});
+  const uint32_t g_fy = m.add_global({"fy", kAtoms * 8, {}});
+
+  ir::IRBuilder b(m);
+  b.begin_function("main", {}, ir::Type::void_());
+  b.set_block(b.block("entry"));
+  const ir::Value px = b.global(g_px);
+  const ir::Value py = b.global(g_py);
+  const ir::Value vx = b.global(g_vx);
+  const ir::Value vy = b.global(g_vy);
+  const ir::Value fx = b.global(g_fx);
+  const ir::Value fy = b.global(g_fy);
+
+  // Positions from the "geo" input: LCG lattice jitter.
+  const ir::Value state = b.alloca_(4, "rng");
+  b.store(b.i32(60601), state);
+  counted_loop(b, 0, kAtoms, 1, [&](ir::Value i) {
+    const ir::Value x0 = b.load(ir::Type::i32(), state);
+    const ir::Value x1 = lcg_next(b, x0);
+    b.store(x1, state);
+    const ir::Value jitter = b.urem(b.lshr(x1, b.i32(8)), b.i32(50));
+    const ir::Value grid_x = b.urem(i, b.i32(4));
+    const ir::Value grid_y = b.sdiv(i, b.i32(4));
+    const ir::Value jx = b.fmul(b.sitofp(jitter, ir::Type::f64()),
+                                b.f64(0.004));
+    b.store(b.fadd(b.fmul(b.sitofp(grid_x, ir::Type::f64()), b.f64(1.2)),
+                   jx),
+            b.gep(px, i, 8));
+    b.store(b.fadd(b.fmul(b.sitofp(grid_y, ir::Type::f64()), b.f64(1.2)),
+                   b.fmul(jx, b.f64(0.5))),
+            b.gep(py, i, 8));
+    b.store(b.f64(0.0), b.gep(vx, i, 8));
+    b.store(b.f64(0.0), b.gep(vy, i, 8));
+  });
+
+  const ir::Value dt = b.f64(0.005);
+  const ir::Value cutoff2 = b.f64(2.25);  // (1.5 Angstrom)^2
+
+  counted_loop(b, 0, kSteps, 1, [&](ir::Value) {
+    counted_loop(b, 0, kAtoms, 1, [&](ir::Value i) {
+      b.store(b.f64(0.0), b.gep(fx, i, 8));
+      b.store(b.f64(0.0), b.gep(fy, i, 8));
+    });
+    counted_loop(b, 0, kAtoms, 1, [&](ir::Value i) {
+      counted_loop(b, b.add(i, b.i32(1)), b.i32(kAtoms), 1, [&](ir::Value j) {
+        const ir::Value dx = b.fsub(
+            b.load(ir::Type::f64(), b.gep(px, i, 8)),
+            b.load(ir::Type::f64(), b.gep(px, j, 8)), "dx");
+        const ir::Value dy = b.fsub(
+            b.load(ir::Type::f64(), b.gep(py, i, 8)),
+            b.load(ir::Type::f64(), b.gep(py, j, 8)), "dy");
+        const ir::Value r2 =
+            b.fadd(b.fmul(dx, dx), b.fmul(dy, dy), "r2");
+        const ir::Value near =
+            b.fcmp(ir::CmpPred::SLt, r2, cutoff2, "near");
+        if_then(b, near, [&] {
+          // Lennard-Jones-ish short-range term on r^-2.
+          const ir::Value inv = b.fdiv(b.f64(1.0),
+                                       b.fadd(r2, b.f64(0.01)), "inv");
+          const ir::Value inv2 = b.fmul(inv, inv);
+          const ir::Value mag =
+              b.fsub(inv2, b.fmul(inv, b.f64(0.5)), "mag");
+          const auto bump = [&](ir::Value arr, ir::Value idx,
+                                ir::Value delta, bool subtract) {
+            const ir::Value p = b.gep(arr, idx, 8);
+            const ir::Value old = b.load(ir::Type::f64(), p);
+            b.store(subtract ? b.fsub(old, delta) : b.fadd(old, delta), p);
+          };
+          const ir::Value dfx = b.fmul(mag, dx);
+          const ir::Value dfy = b.fmul(mag, dy);
+          bump(fx, i, dfx, false);
+          bump(fy, i, dfy, false);
+          bump(fx, j, dfx, true);
+          bump(fy, j, dfy, true);
+        });
+      });
+    });
+    // Integrate.
+    counted_loop(b, 0, kAtoms, 1, [&](ir::Value i) {
+      const auto axis = [&](ir::Value f, ir::Value v, ir::Value p) {
+        const ir::Value vn = b.fadd(
+            b.load(ir::Type::f64(), b.gep(v, i, 8)),
+            b.fmul(b.load(ir::Type::f64(), b.gep(f, i, 8)), dt));
+        b.store(vn, b.gep(v, i, 8));
+        b.store(b.fadd(b.load(ir::Type::f64(), b.gep(p, i, 8)),
+                       b.fmul(vn, dt)),
+                b.gep(p, i, 8));
+      };
+      axis(fx, vx, px);
+      axis(fy, vy, py);
+    });
+  });
+
+  // Outputs: kinetic energy and a position checksum.
+  const ir::Value ke = b.alloca_(8, "ke");
+  const ir::Value chk = b.alloca_(8, "chk");
+  b.store(b.f64(0.0), ke);
+  b.store(b.f64(0.0), chk);
+  counted_loop(b, 0, kAtoms, 1, [&](ir::Value i) {
+    const ir::Value vxi = b.load(ir::Type::f64(), b.gep(vx, i, 8));
+    const ir::Value vyi = b.load(ir::Type::f64(), b.gep(vy, i, 8));
+    b.store(b.fadd(b.load(ir::Type::f64(), ke),
+                   b.fadd(b.fmul(vxi, vxi), b.fmul(vyi, vyi))),
+            ke);
+    b.store(b.fadd(b.load(ir::Type::f64(), chk),
+                   b.fadd(b.load(ir::Type::f64(), b.gep(px, i, 8)),
+                          b.load(ir::Type::f64(), b.gep(py, i, 8)))),
+            chk);
+  });
+  b.print_float(b.load(ir::Type::f64(), ke), /*precision=*/6);
+  b.print_float(b.load(ir::Type::f64(), chk), /*precision=*/8);
+  b.ret();
+  b.end_function();
+  return m;
+}
+
+}  // namespace trident::workloads

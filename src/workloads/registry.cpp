@@ -1,0 +1,44 @@
+#include "workloads/workloads.h"
+
+#include <cassert>
+
+namespace trident::workloads {
+
+const std::vector<Workload>& all_workloads() {
+  static const std::vector<Workload> kWorkloads = {
+      {"libquantum", "SPEC", "Quantum computing", "64 states, 48 gate steps",
+       build_libquantum},
+      {"blackscholes", "Parsec", "Finance", "192 options",
+       build_blackscholes},
+      {"sad", "Parboil", "Video encoding", "8x8 block, 16x16 window",
+       build_sad},
+      {"bfs_parboil", "Parboil", "Graph traversal", "192 nodes, deg 4",
+       build_bfs_parboil},
+      {"hercules", "CMU", "Earthquake simulation", "80 points, 40 steps",
+       build_hercules},
+      {"lulesh", "LLNL", "Hydrodynamics", "64 zones, 40 steps",
+       build_lulesh},
+      {"puremd", "Purdue", "Molecular dynamics", "16 atoms, 20 steps",
+       build_puremd},
+      {"nw", "Rodinia", "DNA sequence alignment", "48x48 grid",
+       build_nw},
+      {"pathfinder", "Rodinia", "Dynamic programming", "96 cols, 12 rows",
+       build_pathfinder},
+      {"hotspot", "Rodinia", "Thermal simulation", "12x12 grid, 20 steps",
+       build_hotspot},
+      {"bfs_rodinia", "Rodinia", "Graph traversal", "160 nodes, masks",
+       build_bfs_rodinia},
+  };
+  return kWorkloads;
+}
+
+const Workload& find_workload(const std::string& name) {
+  for (const auto& w : all_workloads()) {
+    if (w.name == name) return w;
+  }
+  assert(false && "unknown workload");
+  static const Workload kNone{};
+  return kNone;
+}
+
+}  // namespace trident::workloads

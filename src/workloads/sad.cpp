@@ -1,0 +1,74 @@
+// sad (Parboil): sum-of-absolute-differences block matching, the inner
+// kernel of video encoding. An 8x8 current block is matched against all
+// 8x8 positions of a 16x16 reference window; abs() is the branch-free
+// select form and the running-minimum tracking is a data-dependent branch
+// (both common shapes in the original kernel).
+#include "workloads/common.h"
+#include "workloads/workloads.h"
+
+namespace trident::workloads {
+
+ir::Module build_sad() {
+  constexpr int32_t kBlock = 8;
+  constexpr int32_t kRef = 16;
+  constexpr int32_t kSearch = kRef - kBlock;  // 12x12 candidate offsets
+
+  ir::Module m;
+  m.name = "sad";
+  const uint32_t g_cur = m.add_global({"cur", kBlock * kBlock * 4, {}});
+  const uint32_t g_ref = m.add_global({"ref", kRef * kRef * 4, {}});
+
+  ir::IRBuilder b(m);
+  b.begin_function("main", {}, ir::Type::void_());
+  b.set_block(b.block("entry"));
+  const ir::Value cur = b.global(g_cur);
+  const ir::Value ref = b.global(g_ref);
+  lcg_fill_i32(b, cur, kBlock * kBlock, 4242, 256);
+  lcg_fill_i32(b, ref, kRef * kRef, 2424, 256);
+
+  const ir::Value best_sad = b.alloca_(4, "best_sad");
+  const ir::Value best_pos = b.alloca_(4, "best_pos");
+  const ir::Value acc = b.alloca_(4, "acc");
+  b.store(b.i32(0x7fffffff), best_sad);
+  b.store(b.i32(-1), best_pos);
+
+  counted_loop(b, 0, kSearch, 1, [&](ir::Value dy) {
+    counted_loop(b, 0, kSearch, 1, [&](ir::Value dx) {
+      b.store(b.i32(0), acc);
+      counted_loop(b, 0, kBlock, 1, [&](ir::Value y) {
+        counted_loop(b, 0, kBlock, 1, [&](ir::Value x) {
+          const ir::Value c = b.load(
+              ir::Type::i32(),
+              b.gep(cur, b.add(b.mul(y, b.i32(kBlock)), x), 4), "c");
+          const ir::Value ry = b.add(y, dy);
+          const ir::Value rx = b.add(x, dx);
+          const ir::Value r = b.load(
+              ir::Type::i32(),
+              b.gep(ref, b.add(b.mul(ry, b.i32(kRef)), rx), 4), "r");
+          const ir::Value diff = b.sub(c, r, "diff");
+          const ir::Value neg =
+              b.icmp(ir::CmpPred::SLt, diff, b.i32(0), "neg");
+          const ir::Value ad =
+              b.select(neg, b.sub(b.i32(0), diff), diff, "ad");
+          b.store(b.add(b.load(ir::Type::i32(), acc), ad), acc);
+        });
+      });
+      const ir::Value sad = b.load(ir::Type::i32(), acc, "sad");
+      const ir::Value best = b.load(ir::Type::i32(), best_sad);
+      const ir::Value improves =
+          b.icmp(ir::CmpPred::SLt, sad, best, "improves");
+      if_then(b, improves, [&] {
+        b.store(sad, best_sad);
+        b.store(b.add(b.mul(dy, b.i32(kSearch)), dx), best_pos);
+      });
+    });
+  });
+
+  b.print_int(b.load(ir::Type::i32(), best_sad));
+  b.print_int(b.load(ir::Type::i32(), best_pos));
+  b.ret();
+  b.end_function();
+  return m;
+}
+
+}  // namespace trident::workloads

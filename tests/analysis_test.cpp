@@ -1,0 +1,285 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "analysis/cfg.h"
+#include "analysis/control_dependence.h"
+#include "analysis/def_use.h"
+#include "analysis/dominators.h"
+#include "analysis/loops.h"
+#include "ir/builder.h"
+
+namespace trident::analysis {
+namespace {
+
+using ir::CmpPred;
+using ir::IRBuilder;
+using ir::Module;
+using ir::Type;
+using ir::Value;
+
+// Diamond: entry -> {left, right} -> join -> exit(ret).
+struct Diamond {
+  Module m;
+  uint32_t entry, left, right, join;
+};
+
+Diamond make_diamond() {
+  Diamond d;
+  IRBuilder b(d.m);
+  b.begin_function("f", {Type::i1()}, Type::void_());
+  d.entry = b.block("entry");
+  d.left = b.block("left");
+  d.right = b.block("right");
+  d.join = b.block("join");
+  b.set_block(d.entry);
+  b.cond_br(b.arg(0), d.left, d.right);
+  b.set_block(d.left);
+  b.br(d.join);
+  b.set_block(d.right);
+  b.br(d.join);
+  b.set_block(d.join);
+  b.ret();
+  b.end_function();
+  return d;
+}
+
+// Loop: entry -> header; header -> {body, exit}; body -> header.
+struct LoopCfg {
+  Module m;
+  uint32_t entry, header, body, exit;
+};
+
+LoopCfg make_loop() {
+  LoopCfg l;
+  IRBuilder b(l.m);
+  b.begin_function("f", {}, Type::void_());
+  l.entry = b.block("entry");
+  l.header = b.block("header");
+  l.body = b.block("body");
+  l.exit = b.block("exit");
+  b.set_block(l.entry);
+  b.br(l.header);
+  b.set_block(l.header);
+  const Value iv = b.phi(Type::i32(), "iv");
+  b.add_phi_incoming(iv, b.i32(0), l.entry);
+  const Value c = b.icmp(CmpPred::SLt, iv, b.i32(10));
+  b.cond_br(c, l.body, l.exit);
+  b.set_block(l.body);
+  const Value next = b.add(iv, b.i32(1));
+  b.br(l.header);
+  b.add_phi_incoming(iv, next, l.body);
+  b.set_block(l.exit);
+  b.ret();
+  b.end_function();
+  return l;
+}
+
+TEST(CFG, DiamondEdges) {
+  const auto d = make_diamond();
+  const CFG cfg(d.m.functions[0]);
+  EXPECT_EQ(cfg.succs(d.entry).size(), 2u);
+  EXPECT_EQ(cfg.preds(d.join).size(), 2u);
+  EXPECT_EQ(cfg.succs(d.join).size(), 0u);
+  ASSERT_EQ(cfg.exit_blocks().size(), 1u);
+  EXPECT_EQ(cfg.exit_blocks()[0], d.join);
+}
+
+TEST(CFG, RpoVisitsEntryFirst) {
+  const auto d = make_diamond();
+  const CFG cfg(d.m.functions[0]);
+  ASSERT_EQ(cfg.rpo().size(), 4u);
+  EXPECT_EQ(cfg.rpo()[0], d.entry);
+  EXPECT_EQ(cfg.rpo().back(), d.join);
+  for (uint32_t bb = 0; bb < 4; ++bb) EXPECT_TRUE(cfg.reachable(bb));
+}
+
+TEST(CFG, UnreachableBlockDetected) {
+  auto d = make_diamond();
+  IRBuilder b(d.m);
+  // Append a dangling block by hand.
+  auto& f = d.m.functions[0];
+  const auto dead = f.add_block("dead");
+  ir::Instruction ret;
+  ret.op = ir::Opcode::Ret;
+  f.append(dead, ret);
+  const CFG cfg(f);
+  EXPECT_FALSE(cfg.reachable(dead));
+}
+
+TEST(Dominators, Diamond) {
+  const auto d = make_diamond();
+  const CFG cfg(d.m.functions[0]);
+  const auto dom = DomTree::dominators(cfg);
+  EXPECT_EQ(dom.idom(d.left), d.entry);
+  EXPECT_EQ(dom.idom(d.right), d.entry);
+  EXPECT_EQ(dom.idom(d.join), d.entry);
+  EXPECT_TRUE(dom.dominates(d.entry, d.join));
+  EXPECT_FALSE(dom.dominates(d.left, d.join));
+  EXPECT_TRUE(dom.dominates(d.join, d.join));  // reflexive
+}
+
+TEST(Dominators, PostDominatorsDiamond) {
+  const auto d = make_diamond();
+  const CFG cfg(d.m.functions[0]);
+  const auto pdom = DomTree::post_dominators(cfg);
+  EXPECT_TRUE(pdom.dominates(d.join, d.entry));
+  EXPECT_TRUE(pdom.dominates(d.join, d.left));
+  EXPECT_FALSE(pdom.dominates(d.left, d.entry));
+  EXPECT_EQ(pdom.idom(d.left), d.join);
+}
+
+TEST(Dominators, LoopHeaderDominatesBody) {
+  const auto l = make_loop();
+  const CFG cfg(l.m.functions[0]);
+  const auto dom = DomTree::dominators(cfg);
+  EXPECT_TRUE(dom.dominates(l.header, l.body));
+  EXPECT_TRUE(dom.dominates(l.header, l.exit));
+  EXPECT_FALSE(dom.dominates(l.body, l.exit));
+}
+
+TEST(Loops, DetectsNaturalLoop) {
+  const auto l = make_loop();
+  const CFG cfg(l.m.functions[0]);
+  const auto dom = DomTree::dominators(cfg);
+  const LoopInfo loops(cfg, dom);
+  ASSERT_EQ(loops.loops().size(), 1u);
+  const auto& loop = loops.loops()[0];
+  EXPECT_EQ(loop.header, l.header);
+  ASSERT_EQ(loop.latches.size(), 1u);
+  EXPECT_EQ(loop.latches[0], l.body);
+  EXPECT_TRUE(loops.is_back_edge(l.body, l.header));
+  EXPECT_FALSE(loops.is_back_edge(l.entry, l.header));
+}
+
+TEST(Loops, ExitingBranchIsLoopTerminating) {
+  const auto l = make_loop();
+  const CFG cfg(l.m.functions[0]);
+  const auto dom = DomTree::dominators(cfg);
+  const LoopInfo loops(cfg, dom);
+  // header's branch has one successor outside the loop.
+  EXPECT_NE(loops.exiting_loop(l.header, {l.body, l.exit}), ~0u);
+  // body's branch (unconditional to header) stays inside.
+  EXPECT_EQ(loops.exiting_loop(l.body, {l.header}), ~0u);
+}
+
+TEST(Loops, NoLoopInDiamond) {
+  const auto d = make_diamond();
+  const CFG cfg(d.m.functions[0]);
+  const auto dom = DomTree::dominators(cfg);
+  const LoopInfo loops(cfg, dom);
+  EXPECT_TRUE(loops.loops().empty());
+}
+
+TEST(Loops, NestedLoopsInnermost) {
+  Module m;
+  IRBuilder b(m);
+  b.begin_function("f", {}, Type::void_());
+  const auto entry = b.block("entry");
+  const auto oh = b.block("outer.header");
+  const auto ih = b.block("inner.header");
+  const auto ib = b.block("inner.body");
+  const auto ol = b.block("outer.latch");
+  const auto exit = b.block("exit");
+  b.set_block(entry);
+  b.br(oh);
+  b.set_block(oh);
+  const Value oc = b.phi(Type::i1());
+  b.add_phi_incoming(oc, b.i1(true), entry);
+  b.cond_br(oc, ih, exit);
+  b.set_block(ih);
+  const Value ic = b.phi(Type::i1());
+  b.add_phi_incoming(ic, b.i1(true), oh);
+  b.cond_br(ic, ib, ol);
+  b.set_block(ib);
+  b.br(ih);
+  b.add_phi_incoming(ic, b.i1(false), ib);
+  b.set_block(ol);
+  b.br(oh);
+  b.add_phi_incoming(oc, b.i1(false), ol);
+  b.set_block(exit);
+  b.ret();
+  b.end_function();
+
+  const CFG cfg(m.functions[0]);
+  const auto dom = DomTree::dominators(cfg);
+  const LoopInfo loops(cfg, dom);
+  ASSERT_EQ(loops.loops().size(), 2u);
+  // The inner body's innermost loop is the smaller one.
+  const auto inner = loops.innermost_loop(ib);
+  ASSERT_NE(inner, ~0u);
+  EXPECT_EQ(loops.loops()[inner].header, ih);
+  EXPECT_EQ(loops.loops_containing(ib).size(), 2u);
+  EXPECT_EQ(loops.loops_containing(ol).size(), 1u);
+}
+
+TEST(ControlDependence, DiamondArms) {
+  const auto d = make_diamond();
+  const CFG cfg(d.m.functions[0]);
+  const auto pdom = DomTree::post_dominators(cfg);
+  const ControlDependence cd(cfg, pdom);
+  const auto on_true = cd.dependent_on_edge(d.entry, d.left);
+  const auto on_false = cd.dependent_on_edge(d.entry, d.right);
+  EXPECT_EQ(on_true, std::vector<uint32_t>{d.left});
+  EXPECT_EQ(on_false, std::vector<uint32_t>{d.right});
+  const auto all = cd.dependent_on_branch(d.entry);
+  EXPECT_EQ(all.size(), 2u);
+  // join post-dominates the branch: not control-dependent.
+  EXPECT_EQ(std::find(all.begin(), all.end(), d.join), all.end());
+}
+
+TEST(ControlDependence, LoopBodyDependsOnHeaderBranch) {
+  const auto l = make_loop();
+  const CFG cfg(l.m.functions[0]);
+  const auto pdom = DomTree::post_dominators(cfg);
+  const ControlDependence cd(cfg, pdom);
+  const auto deps = cd.dependent_on_branch(l.header);
+  EXPECT_NE(std::find(deps.begin(), deps.end(), l.body), deps.end());
+  // The header controls its own re-execution.
+  EXPECT_NE(std::find(deps.begin(), deps.end(), l.header), deps.end());
+  EXPECT_EQ(std::find(deps.begin(), deps.end(), l.exit), deps.end());
+}
+
+TEST(DefUse, TracksUsers) {
+  Module m;
+  IRBuilder b(m);
+  b.begin_function("f", {Type::i32()}, Type::i32());
+  b.set_block(b.block("entry"));
+  const Value x = b.add(b.arg(0), b.i32(1));
+  const Value y = b.mul(x, x);
+  b.ret(y);
+  b.end_function();
+
+  const DefUse du(m.functions[0]);
+  const auto& uses = du.users_of_inst(x.index);
+  ASSERT_EQ(uses.size(), 2u);  // both operands of the mul
+  EXPECT_EQ(uses[0].user, y.index);
+  EXPECT_EQ(uses[0].operand, 0u);
+  EXPECT_EQ(uses[1].operand, 1u);
+  const auto& arg_uses = du.users_of_arg(0);
+  ASSERT_EQ(arg_uses.size(), 1u);
+  EXPECT_EQ(arg_uses[0].user, x.index);
+}
+
+TEST(CallGraph, TracksCallSites) {
+  Module m;
+  IRBuilder b(m);
+  const auto callee = b.begin_function("callee", {}, Type::void_());
+  b.set_block(b.block("entry"));
+  b.ret();
+  b.end_function();
+  b.begin_function("main", {}, Type::void_());
+  b.set_block(b.block("entry"));
+  b.call(callee, {});
+  b.call(callee, {});
+  b.ret();
+  b.end_function();
+
+  const CallGraph cg(m);
+  EXPECT_EQ(cg.callers_of(callee).size(), 2u);
+  EXPECT_EQ(cg.callers_of(1).size(), 0u);  // nobody calls main
+  EXPECT_EQ(cg.callers_of(callee)[0].caller, 1u);
+}
+
+}  // namespace
+}  // namespace trident::analysis

@@ -1,0 +1,277 @@
+// Tests for the repository's documented extensions over the paper:
+// relative-magnitude attenuation tracking (the generalized §IV-E rule),
+// in-bounds store-address corruption, and guard damping — plus the
+// paper-faithful configuration that disables them.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/trident.h"
+#include "ir/builder.h"
+#include "profiler/profiler.h"
+#include "workloads/common.h"
+#include "workloads/workloads.h"
+
+namespace trident::core {
+namespace {
+
+using ir::CmpPred;
+using ir::IRBuilder;
+using ir::Module;
+using ir::Type;
+using ir::Value;
+
+TEST(Attenuation, SurvivalToBits) {
+  EXPECT_DOUBLE_EQ(surv_to_atten_bits(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(surv_to_atten_bits(0.25), 2.0);
+  EXPECT_DOUBLE_EQ(surv_to_atten_bits(2.0), -1.0);  // amplification
+  // Extreme values stay finite.
+  EXPECT_TRUE(std::isfinite(surv_to_atten_bits(0.0)));
+  EXPECT_TRUE(std::isfinite(surv_to_atten_bits(1e300)));
+}
+
+TEST(Attenuation, GeneralizedRuleMatchesPaperAtZero) {
+  // The paper's formula is the zero-attenuation special case.
+  for (const unsigned width : {32u, 64u}) {
+    for (const unsigned prec : {1u, 2u, 4u, 6u}) {
+      EXPECT_NEAR(
+          TupleModel::fp_format_propagation_attenuated(width, prec, 0.0),
+          TupleModel::fp_format_propagation(width, prec), 0.02)
+          << width << " prec " << prec;
+    }
+  }
+}
+
+TEST(Attenuation, GeneralizedRuleMonotoneInAttenuation) {
+  double prev = 2.0;
+  for (const double atten : {0.0, 5.0, 10.0, 20.0, 60.0}) {
+    const double f =
+        TupleModel::fp_format_propagation_attenuated(64, 8, atten);
+    EXPECT_LE(f, prev);
+    prev = f;
+  }
+  // Fully attenuated: only exponent/sign bits survive.
+  EXPECT_NEAR(TupleModel::fp_format_propagation_attenuated(64, 8, 1000),
+              12.0 / 64, 1e-9);
+  // Amplification cannot exceed full visibility.
+  EXPECT_LE(TupleModel::fp_format_propagation_attenuated(64, 16, -50), 1.0);
+}
+
+TEST(Attenuation, FaddIntoLargeAccumulatorHasPositiveAtten) {
+  Module m;
+  IRBuilder b(m);
+  b.begin_function("main", {}, Type::void_());
+  b.set_block(b.block("entry"));
+  workloads::counted_loop(b, 0, 8, 1, [&](Value) {
+    // small (~1.0) + large (~1e6): the small operand attenuates ~20 bits.
+    b.fadd(b.f64(1e6), b.fadd(b.f64(1.0), b.f64(0.0)));
+  });
+  b.print_int(b.i32(0));
+  b.ret();
+  b.end_function();
+  const auto profile = prof::collect_profile(m);
+  const TupleModel tuples(m, profile);
+  uint32_t outer = ~0u;
+  int seen = 0;
+  for (uint32_t i = 0; i < m.functions[0].insts.size(); ++i) {
+    if (m.functions[0].insts[i].op == ir::Opcode::FAdd && seen++ == 1) {
+      outer = i;
+    }
+  }
+  ASSERT_NE(outer, ~0u);
+  EXPECT_NEAR(tuples.tuple({0, outer}, 1).atten, std::log2(1e6), 0.5);
+  EXPECT_NEAR(tuples.tuple({0, outer}, 0).atten, 0.0, 0.1);
+}
+
+TEST(Attenuation, FsubCancellationAmplifies) {
+  Module m;
+  IRBuilder b(m);
+  b.begin_function("main", {}, Type::void_());
+  b.set_block(b.block("entry"));
+  workloads::counted_loop(b, 0, 8, 1, [&](Value) {
+    // 1000.5 - 1000.0: the output is ~2000x smaller than the inputs.
+    b.fsub(b.fadd(b.f64(1000.5), b.f64(0.0)), b.f64(1000.0));
+  });
+  b.print_int(b.i32(0));
+  b.ret();
+  b.end_function();
+  const auto profile = prof::collect_profile(m);
+  const TupleModel tuples(m, profile);
+  uint32_t fsub = ~0u;
+  for (uint32_t i = 0; i < m.functions[0].insts.size(); ++i) {
+    if (m.functions[0].insts[i].op == ir::Opcode::FSub) fsub = i;
+  }
+  ASSERT_NE(fsub, ~0u);
+  EXPECT_LT(tuples.tuple({0, fsub}, 0).atten, -5.0);  // amplification
+}
+
+// A float value scaled way down before being accumulated and printed:
+// the attenuation-aware model must predict much lower SDC for it than
+// the paper-faithful configuration.
+TEST(Attenuation, EndToEndScaledContribution) {
+  Module m;
+  IRBuilder b(m);
+  b.begin_function("main", {}, Type::void_());
+  b.set_block(b.block("entry"));
+  const Value acc = b.alloca_(8, "acc");
+  b.store(b.f64(1000.0), acc);
+  workloads::counted_loop(b, 0, 32, 1, [&](Value i) {
+    const Value x = b.sitofp(i, Type::f64());
+    const Value tiny = b.fmul(x, b.f64(1e-9), "tiny");
+    b.store(b.fadd(b.load(Type::f64(), acc), tiny), acc);
+  });
+  b.print_float(b.load(Type::f64(), acc), /*precision=*/6);
+  b.ret();
+  b.end_function();
+  const auto profile = prof::collect_profile(m);
+
+  ModelConfig with;  // extensions on by default
+  ModelConfig without;
+  without.trace.track_attenuation = false;
+  const Trident attenuated(m, profile, with);
+  const Trident paper(m, profile, without);
+
+  // The fmul result feeds the accumulator with a ~1e-12 relative
+  // contribution: invisible at 6 significant digits.
+  uint32_t fmul = ~0u;
+  for (uint32_t i = 0; i < m.functions[0].insts.size(); ++i) {
+    if (m.functions[0].insts[i].op == ir::Opcode::FMul) fmul = i;
+  }
+  ASSERT_NE(fmul, ~0u);
+  EXPECT_LT(attenuated.predict({0, fmul}).sdc, 0.35);
+  EXPECT_GT(paper.predict({0, fmul}).sdc,
+            attenuated.predict({0, fmul}).sdc);
+}
+
+TEST(Attenuation, IdentityChainsDoNotAttenuate) {
+  // An accumulator's own path (acc = acc + small) keeps the corrupted
+  // accumulator fully visible: best-path survival must stay ~1.
+  Module m;
+  IRBuilder b(m);
+  b.begin_function("main", {}, Type::void_());
+  b.set_block(b.block("entry"));
+  const Value acc = b.alloca_(8, "acc");
+  b.store(b.f64(100.0), acc);
+  workloads::counted_loop(b, 0, 40, 1, [&](Value) {
+    b.store(b.fadd(b.load(Type::f64(), acc), b.f64(0.125)), acc);
+  });
+  b.print_float(b.load(Type::f64(), acc), /*precision=*/8);
+  b.ret();
+  b.end_function();
+  const auto profile = prof::collect_profile(m);
+  const Trident model(m, profile);
+  // Fault in the loaded accumulator value: persists to the output.
+  uint32_t load = ~0u;
+  for (uint32_t i = 0; i < m.functions[0].insts.size(); ++i) {
+    const auto& inst = m.functions[0].insts[i];
+    if (inst.op == ir::Opcode::Load && inst.type == Type::f64() &&
+        profile.exec({0, i}) == 40) {
+      load = i;
+    }
+  }
+  ASSERT_NE(load, ~0u);
+  EXPECT_GT(model.predict({0, load}).sdc, 0.5);
+}
+
+TEST(Extensions, StoreAddrTrackingToggle) {
+  // A wrong-but-in-bounds store address corrupts the array; the
+  // paper-faithful mode does not track it.
+  Module m;
+  const auto g = m.add_global({"arr", 4096, {}});
+  IRBuilder b(m);
+  b.begin_function("main", {}, Type::void_());
+  b.set_block(b.block("entry"));
+  const Value arr = b.global(g);
+  workloads::counted_loop(b, 0, 512, 1, [&](Value i) {
+    const Value idx = b.urem(i, b.i32(1024));
+    b.store(i, b.gep(arr, idx, 4));
+  });
+  const Value chk = b.alloca_(4);
+  b.store(b.i32(0), chk);
+  workloads::counted_loop(b, 0, 1024, 1, [&](Value i) {
+    b.store(b.add(b.load(Type::i32(), chk),
+                  b.load(Type::i32(), b.gep(arr, i, 4))),
+            chk);
+  });
+  b.print_int(b.load(Type::i32(), chk));
+  b.ret();
+  b.end_function();
+  const auto profile = prof::collect_profile(m);
+
+  ModelConfig with;
+  ModelConfig without;
+  without.trace.track_store_addr = false;
+  const Trident tracking(m, profile, with);
+  const Trident paper(m, profile, without);
+  // Fault in the index feeding the gep: with tracking it can corrupt the
+  // array (SDC); without, only the crash fraction registers.
+  uint32_t urem = ~0u;
+  for (uint32_t i = 0; i < m.functions[0].insts.size(); ++i) {
+    if (m.functions[0].insts[i].op == ir::Opcode::URem) urem = i;
+  }
+  ASSERT_NE(urem, ~0u);
+  EXPECT_GT(tracking.predict({0, urem}).sdc, paper.predict({0, urem}).sdc);
+}
+
+TEST(Extensions, GuardDampingToggle) {
+  // The induction-variable pattern: with guard damping the crash mass is
+  // reduced by the branch-flip probability; without it the raw address
+  // crash dominates.
+  Module m;
+  const auto g = m.add_global({"arr", 128 * 4, {}});
+  IRBuilder b(m);
+  b.begin_function("main", {}, Type::void_());
+  b.set_block(b.block("entry"));
+  const Value arr = b.global(g);
+  workloads::counted_loop(b, 0, 128, 1, [&](Value i) {
+    b.store(i, b.gep(arr, i, 4));
+  });
+  b.print_int(b.load(Type::i32(), b.gep(arr, b.i32(5), 4)));
+  b.ret();
+  b.end_function();
+  const auto profile = prof::collect_profile(m);
+
+  ModelConfig with;
+  ModelConfig without;
+  without.trace.guard_damping = false;
+  const Trident damped(m, profile, with);
+  const Trident undamped(m, profile, without);
+  uint32_t phi = ~0u;
+  for (uint32_t i = 0; i < m.functions[0].insts.size(); ++i) {
+    if (m.functions[0].insts[i].op == ir::Opcode::Phi) phi = i;
+  }
+  ASSERT_NE(phi, ~0u);
+  EXPECT_LT(damped.predict({0, phi}).crash,
+            undamped.predict({0, phi}).crash);
+}
+
+// Property sweep: extensions off (paper-faithful) still yields valid
+// probabilities on every workload, and never predicts less than ... the
+// ordering is workload-dependent, so only validity is asserted.
+class PaperFaithful : public ::testing::TestWithParam<workloads::Workload> {};
+
+TEST_P(PaperFaithful, ValidProbabilities) {
+  const auto m = GetParam().build();
+  const auto profile = prof::collect_profile(m);
+  ModelConfig config;
+  config.trace.track_attenuation = false;
+  config.trace.track_store_addr = false;
+  config.trace.guard_damping = false;
+  const Trident model(m, profile, config);
+  const double overall = model.overall_sdc_exact();
+  EXPECT_GE(overall, 0.0);
+  EXPECT_LE(overall, 1.0);
+  for (const auto& ref : model.injectable_instructions()) {
+    const auto pred = model.predict(ref);
+    EXPECT_GE(pred.sdc, 0.0);
+    EXPECT_LE(pred.sdc + pred.crash, 1.0 + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, PaperFaithful,
+    ::testing::ValuesIn(workloads::all_workloads()),
+    [](const auto& info) { return info.param.name; });
+
+}  // namespace
+}  // namespace trident::core

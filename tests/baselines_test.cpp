@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include "baselines/epvf.h"
+#include "baselines/pvf.h"
+#include "core/trident.h"
+#include "ir/builder.h"
+#include "profiler/profiler.h"
+#include "workloads/workloads.h"
+
+namespace trident::baselines {
+namespace {
+
+using ir::IRBuilder;
+using ir::Module;
+using ir::Type;
+using ir::Value;
+
+TEST(Pvf, ConsumedValueIsAce) {
+  Module m;
+  IRBuilder b(m);
+  b.begin_function("main", {}, Type::void_());
+  b.set_block(b.block("entry"));
+  const Value x = b.add(b.i32(1), b.i32(2));
+  b.print_int(x);
+  b.ret();
+  b.end_function();
+  const auto profile = prof::collect_profile(m);
+  const PvfModel pvf(m, profile);
+  EXPECT_DOUBLE_EQ(pvf.pvf({0, x.index}), 1.0);
+}
+
+TEST(Pvf, DeadValueIsUnAce) {
+  Module m;
+  IRBuilder b(m);
+  b.begin_function("main", {}, Type::void_());
+  b.set_block(b.block("entry"));
+  const Value x = b.add(b.i32(1), b.i32(2));  // unused
+  b.print_int(b.i32(0));
+  b.ret();
+  b.end_function();
+  const auto profile = prof::collect_profile(m);
+  const PvfModel pvf(m, profile);
+  EXPECT_DOUBLE_EQ(pvf.pvf({0, x.index}), 0.0);
+}
+
+TEST(Pvf, DebugPrintOnlyValueIsUnAce) {
+  Module m;
+  IRBuilder b(m);
+  b.begin_function("main", {}, Type::void_());
+  b.set_block(b.block("entry"));
+  const Value x = b.add(b.i32(1), b.i32(2));
+  b.print_int(x, /*is_output=*/false);
+  b.print_int(b.i32(0));
+  b.ret();
+  b.end_function();
+  const auto profile = prof::collect_profile(m);
+  const PvfModel pvf(m, profile);
+  EXPECT_DOUBLE_EQ(pvf.pvf({0, x.index}), 0.0);
+}
+
+TEST(Pvf, TransitiveChainIsAce) {
+  Module m;
+  IRBuilder b(m);
+  b.begin_function("main", {}, Type::void_());
+  b.set_block(b.block("entry"));
+  Value x = b.add(b.i32(1), b.i32(2));
+  for (int i = 0; i < 5; ++i) x = b.mul(x, b.i32(3));
+  const Value p = b.alloca_(4);
+  b.store(x, p);
+  b.print_int(b.i32(0));
+  b.ret();
+  b.end_function();
+  const auto profile = prof::collect_profile(m);
+  const PvfModel pvf(m, profile);
+  // The first add reaches memory through the muls: ACE, even though the
+  // stored value is never reloaded (PVF does not track that).
+  EXPECT_DOUBLE_EQ(pvf.pvf({0, 0}), 1.0);
+}
+
+TEST(Pvf, NoMaskingNoCrashDiscrimination) {
+  // PVF counts crash-causing faults as vulnerabilities too: it is an
+  // upper bound on the other models by construction on ACE values.
+  const auto m = workloads::find_workload("pathfinder").build();
+  const auto profile = prof::collect_profile(m);
+  const PvfModel pvf(m, profile);
+  const core::Trident trident(m, profile);
+  EXPECT_GT(pvf.overall(), trident.overall_sdc_exact());
+}
+
+TEST(Epvf, SubtractsCrashes) {
+  const auto m = workloads::find_workload("bfs_parboil").build();
+  const auto profile = prof::collect_profile(m);
+  const EpvfModel epvf(m, profile);
+  EXPECT_LE(epvf.overall(), epvf.pvf().overall());
+  EXPECT_GE(epvf.overall(), 0.0);
+}
+
+TEST(Epvf, MeasuredCrashVariantClamps) {
+  const auto m = workloads::find_workload("nw").build();
+  const auto profile = prof::collect_profile(m);
+  const EpvfModel epvf(m, profile);
+  const double pvf_total = epvf.pvf().overall();
+  EXPECT_DOUBLE_EQ(epvf.overall_with_measured_crashes(0.0), pvf_total);
+  EXPECT_NEAR(epvf.overall_with_measured_crashes(0.1), pvf_total - 0.1,
+              1e-12);
+  EXPECT_DOUBLE_EQ(epvf.overall_with_measured_crashes(1.0), 0.0);
+}
+
+TEST(Epvf, PerInstructionBounds) {
+  const auto m = workloads::find_workload("hotspot").build();
+  const auto profile = prof::collect_profile(m);
+  const EpvfModel epvf(m, profile);
+  for (uint32_t i = 0; i < m.functions[0].insts.size(); ++i) {
+    if (!m.functions[0].insts[i].has_result()) continue;
+    const double e = epvf.epvf({0, i});
+    EXPECT_GE(e, 0.0);
+    EXPECT_LE(e, 1.0);
+    EXPECT_LE(e, epvf.pvf().pvf({0, i}) + 1e-12);
+  }
+}
+
+// The paper's Fig. 9 ordering: PVF >= ePVF >= TRIDENT on every workload
+// (PVF cannot discriminate benign faults or crashes; ePVF only crashes).
+class BaselineOrdering
+    : public ::testing::TestWithParam<workloads::Workload> {};
+
+TEST_P(BaselineOrdering, PvfDominatesEpvfDominatesNothingNegative) {
+  const auto m = GetParam().build();
+  const auto profile = prof::collect_profile(m);
+  const EpvfModel epvf(m, profile);
+  const double pvf_overall = epvf.pvf().overall();
+  const double epvf_overall = epvf.overall();
+  EXPECT_GE(pvf_overall, epvf_overall);
+  EXPECT_GE(epvf_overall, 0.0);
+  EXPECT_LE(pvf_overall, 1.0);
+  // PVF is very high on real kernels (the paper reports ~90%).
+  EXPECT_GT(pvf_overall, 0.4) << GetParam().name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, BaselineOrdering,
+    ::testing::ValuesIn(workloads::all_workloads()),
+    [](const auto& info) { return info.param.name; });
+
+}  // namespace
+}  // namespace trident::baselines

@@ -1,0 +1,243 @@
+#include <gtest/gtest.h>
+
+#include "fi/campaign.h"
+#include "ir/builder.h"
+#include "ir/verifier.h"
+#include "profiler/profiler.h"
+#include "protect/duplication.h"
+#include "protect/selector.h"
+#include "workloads/common.h"
+#include "workloads/workloads.h"
+
+namespace trident::protect {
+namespace {
+
+using ir::IRBuilder;
+using ir::Module;
+using ir::Type;
+using ir::Value;
+
+Module make_sum_kernel() {
+  Module m;
+  const auto g = m.add_global({"arr", 32 * 4, {}});
+  IRBuilder b(m);
+  b.begin_function("main", {}, Type::void_());
+  b.set_block(b.block("entry"));
+  const Value arr = b.global(g);
+  workloads::lcg_fill_i32(b, arr, 32, 99, 50);
+  const Value sum = b.alloca_(4);
+  b.store(b.i32(0), sum);
+  workloads::counted_loop(b, 0, 32, 1, [&](Value i) {
+    const Value v = b.load(Type::i32(), b.gep(arr, i, 4));
+    b.store(b.add(b.load(Type::i32(), sum), b.mul(v, v)), sum);
+  });
+  b.print_int(b.load(Type::i32(), sum));
+  b.ret();
+  b.end_function();
+  return m;
+}
+
+TEST(Duplication, IsDuplicablePolicy) {
+  ir::Instruction inst;
+  inst.op = ir::Opcode::Add;
+  inst.type = Type::i32();
+  EXPECT_TRUE(is_duplicable(inst));
+  inst.op = ir::Opcode::Store;
+  inst.type = Type::void_();
+  EXPECT_FALSE(is_duplicable(inst));
+  inst.op = ir::Opcode::Alloca;
+  inst.type = Type::ptr();
+  EXPECT_FALSE(is_duplicable(inst));
+  inst.op = ir::Opcode::Call;
+  inst.type = Type::i32();
+  EXPECT_FALSE(is_duplicable(inst));
+  inst.op = ir::Opcode::Load;
+  EXPECT_TRUE(is_duplicable(inst));
+  inst.op = ir::Opcode::Phi;
+  EXPECT_TRUE(is_duplicable(inst));
+}
+
+TEST(Duplication, OutputVerifiesAndPreservesBehaviour) {
+  const auto m = make_sum_kernel();
+  const auto original = interp::Interpreter(m).run_main({});
+  const auto result = duplicate_all(m);
+  ASSERT_TRUE(ir::verify(result.module).empty())
+      << ir::verify_to_string(result.module);
+  EXPECT_GT(result.added_insts, 0u);
+  EXPECT_GT(result.duplicated, 0u);
+  const auto protected_run = interp::Interpreter(result.module).run_main({});
+  EXPECT_EQ(protected_run.outcome, interp::Outcome::Ok);
+  EXPECT_EQ(protected_run.output, original.output);
+  EXPECT_GT(protected_run.dynamic_insts, original.dynamic_insts);
+}
+
+TEST(Duplication, EmptySelectionIsIdentity) {
+  const auto m = make_sum_kernel();
+  const auto result = duplicate_instructions(m, {});
+  EXPECT_EQ(result.added_insts, 0u);
+  EXPECT_EQ(result.duplicated, 0u);
+  EXPECT_EQ(result.module.num_insts(), m.num_insts());
+  const auto a = interp::Interpreter(m).run_main({});
+  const auto b = interp::Interpreter(result.module).run_main({});
+  EXPECT_EQ(a.output, b.output);
+  EXPECT_EQ(a.dynamic_insts, b.dynamic_insts);
+}
+
+TEST(Duplication, InstMapTracksOriginals) {
+  const auto m = make_sum_kernel();
+  std::vector<ir::InstRef> selection;
+  for (uint32_t i = 0; i < m.functions[0].insts.size(); ++i) {
+    if (m.functions[0].insts[i].op == ir::Opcode::Mul) {
+      selection.push_back({0, i});
+    }
+  }
+  ASSERT_FALSE(selection.empty());
+  const auto result = duplicate_instructions(m, selection);
+  for (uint32_t i = 0; i < m.functions[0].insts.size(); ++i) {
+    const auto it = result.inst_map.find(prof::pack({0, i}));
+    ASSERT_NE(it, result.inst_map.end());
+    const auto mapped = prof::unpack(it->second);
+    EXPECT_EQ(result.module.functions[mapped.func].insts[mapped.inst].op,
+              m.functions[0].insts[i].op);
+  }
+}
+
+TEST(Duplication, ChainGetsSingleComparison) {
+  // Protecting a straight chain a->b->c must clone 3 instructions and
+  // insert exactly one cmp + one detect (at the chain end).
+  Module m;
+  IRBuilder b(m);
+  b.begin_function("main", {}, Type::void_());
+  b.set_block(b.block("entry"));
+  const Value a = b.add(b.i32(1), b.i32(2));
+  const Value bb = b.mul(a, b.i32(3));
+  const Value c = b.sub(bb, b.i32(4));
+  b.print_int(c);
+  b.ret();
+  b.end_function();
+  const auto result = duplicate_instructions(
+      m, {{0, a.index}, {0, bb.index}, {0, c.index}});
+  ASSERT_TRUE(ir::verify(result.module).empty());
+  // 3 dups + 1 icmp + 1 detect.
+  EXPECT_EQ(result.added_insts, 5u);
+  uint32_t detects = 0;
+  for (const auto& inst : result.module.functions[0].insts) {
+    detects += inst.op == ir::Opcode::Detect;
+  }
+  EXPECT_EQ(detects, 1u);
+}
+
+TEST(Duplication, FloatComparisonGoesThroughBitcast) {
+  Module m;
+  IRBuilder b(m);
+  b.begin_function("main", {}, Type::void_());
+  b.set_block(b.block("entry"));
+  const Value x = b.fadd(b.f32(1.0f), b.f32(2.0f));
+  b.print_float(x);
+  b.ret();
+  b.end_function();
+  const auto result = duplicate_instructions(m, {{0, x.index}});
+  ASSERT_TRUE(ir::verify(result.module).empty())
+      << ir::verify_to_string(result.module);
+  uint32_t bitcasts = 0;
+  for (const auto& inst : result.module.functions[0].insts) {
+    bitcasts += inst.op == ir::Opcode::Bitcast;
+  }
+  EXPECT_EQ(bitcasts, 2u);
+  const auto run = interp::Interpreter(result.module).run_main({});
+  EXPECT_EQ(run.outcome, interp::Outcome::Ok);
+}
+
+TEST(Duplication, PhiDuplicationKeepsGroupContiguous) {
+  const auto m = make_sum_kernel();
+  std::vector<ir::InstRef> phis;
+  for (uint32_t i = 0; i < m.functions[0].insts.size(); ++i) {
+    if (m.functions[0].insts[i].op == ir::Opcode::Phi) phis.push_back({0, i});
+  }
+  ASSERT_FALSE(phis.empty());
+  const auto result = duplicate_instructions(m, phis);
+  ASSERT_TRUE(ir::verify(result.module).empty())
+      << ir::verify_to_string(result.module);
+  const auto run = interp::Interpreter(result.module).run_main({});
+  EXPECT_EQ(run.outcome, interp::Outcome::Ok);
+}
+
+TEST(Duplication, ProtectedChainDetectsInjectedFault) {
+  const auto m = make_sum_kernel();
+  const auto result = duplicate_all(m);
+  const auto profile = prof::collect_profile(result.module);
+  // Campaign on the fully protected program: detections must appear and
+  // SDCs must be rarer than on the original.
+  fi::CampaignOptions options;
+  options.trials = 400;
+  const auto protected_campaign =
+      fi::run_overall_campaign(result.module, profile, options);
+  EXPECT_GT(protected_campaign.detected, 0u);
+
+  const auto orig_profile = prof::collect_profile(m);
+  const auto orig_campaign = fi::run_overall_campaign(m, orig_profile, options);
+  EXPECT_LT(protected_campaign.sdc_prob(), orig_campaign.sdc_prob());
+}
+
+TEST(Selector, BudgetRespected) {
+  const auto m = make_sum_kernel();
+  const auto profile = prof::collect_profile(m);
+  const auto plan = select_for_duplication(
+      m, profile, [](ir::InstRef) { return 0.5; }, 1.0 / 3);
+  EXPECT_LE(plan.cost, plan.capacity);
+  EXPECT_FALSE(plan.selected.empty());
+  EXPECT_LT(plan.cost, full_duplication_cost(m, profile));
+}
+
+TEST(Selector, FullBudgetSelectsEverything) {
+  const auto m = make_sum_kernel();
+  const auto profile = prof::collect_profile(m);
+  const auto plan = select_for_duplication(
+      m, profile, [](ir::InstRef) { return 0.5; }, 1.0);
+  EXPECT_EQ(plan.cost, full_duplication_cost(m, profile));
+}
+
+TEST(Selector, PrefersHighSdcInstructions) {
+  const auto m = make_sum_kernel();
+  const auto profile = prof::collect_profile(m);
+  // Mark exactly one hot instruction as SDC-prone.
+  uint32_t mul_id = ~0u;
+  for (uint32_t i = 0; i < m.functions[0].insts.size(); ++i) {
+    if (m.functions[0].insts[i].op == ir::Opcode::Mul &&
+        profile.exec({0, i}) > 1) {
+      mul_id = i;
+    }
+  }
+  ASSERT_NE(mul_id, ~0u);
+  const auto plan = select_for_duplication(
+      m, profile,
+      [&](ir::InstRef ref) { return ref.inst == mul_id ? 1.0 : 0.001; },
+      0.5);
+  bool picked = false;
+  for (const auto& ref : plan.selected) picked |= ref.inst == mul_id;
+  EXPECT_TRUE(picked);
+}
+
+// The whole protection pipeline must keep every workload's golden
+// behaviour intact at full duplication.
+class DuplicationOnWorkload
+    : public ::testing::TestWithParam<workloads::Workload> {};
+
+TEST_P(DuplicationOnWorkload, FullDuplicationPreservesOutput) {
+  const auto m = GetParam().build();
+  const auto original = interp::Interpreter(m).run_main({});
+  const auto result = duplicate_all(m);
+  ASSERT_TRUE(ir::verify(result.module).empty())
+      << ir::verify_to_string(result.module);
+  const auto protected_run = interp::Interpreter(result.module).run_main({});
+  EXPECT_EQ(protected_run.outcome, interp::Outcome::Ok);
+  EXPECT_EQ(protected_run.output, original.output);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, DuplicationOnWorkload,
+    ::testing::ValuesIn(workloads::all_workloads()),
+    [](const auto& info) { return info.param.name; });
+
+}  // namespace
+}  // namespace trident::protect

@@ -1,0 +1,252 @@
+#include <gtest/gtest.h>
+
+#include "core/fc_model.h"
+#include "ir/builder.h"
+#include "profiler/profiler.h"
+#include "workloads/common.h"
+#include "workloads/workloads.h"
+
+namespace trident::core {
+namespace {
+
+using ir::CmpPred;
+using ir::IRBuilder;
+using ir::Module;
+using ir::Type;
+using ir::Value;
+
+uint32_t find_condbr(const Module& m, int skip = 0) {
+  for (uint32_t i = 0; i < m.functions[0].insts.size(); ++i) {
+    if (m.functions[0].insts[i].op == ir::Opcode::CondBr && skip-- == 0) {
+      return i;
+    }
+  }
+  ADD_FAILURE() << "condbr not found";
+  return ~0u;
+}
+
+uint32_t find_store_of(const Module& m, uint32_t start) {
+  for (uint32_t i = start; i < m.functions[0].insts.size(); ++i) {
+    if (m.functions[0].insts[i].op == ir::Opcode::Store) return i;
+  }
+  ADD_FAILURE() << "store not found";
+  return ~0u;
+}
+
+// if (i % 5 < k) store, inside a loop of 100: the data branch is NLT,
+// the loop-header branch is LT.
+Module make_branchy(int taken_of_five) {
+  Module m;
+  const auto g = m.add_global({"sink", 4, {}});
+  IRBuilder b(m);
+  b.begin_function("main", {}, Type::void_());
+  b.set_block(b.block("entry"));
+  const Value sink = b.global(g);
+  workloads::counted_loop(b, 0, 100, 1, [&](Value i) {
+    const Value c = b.icmp(CmpPred::SLt, b.urem(i, b.i32(5)),
+                           b.i32(taken_of_five));
+    workloads::if_then(b, c, [&] { b.store(i, sink); });
+  });
+  b.print_int(b.load(Type::i32(), sink));
+  b.ret();
+  b.end_function();
+  return m;
+}
+
+TEST(FcModel, ClassifiesLtAndNlt) {
+  const auto m = make_branchy(2);
+  const auto profile = prof::collect_profile(m);
+  const FcModel fc(m, profile);
+  const auto loop_br = find_condbr(m, 0);   // loop header: LT
+  const auto data_br = find_condbr(m, 1);   // if.then guard: NLT
+  EXPECT_TRUE(fc.is_loop_terminating({0, loop_br}));
+  EXPECT_FALSE(fc.is_loop_terminating({0, data_br}));
+}
+
+TEST(FcModel, NltEquationPePd) {
+  // Paper Eq. 1: Pc = Pe / Pd. With the store immediately dominated by
+  // the branch, Pe equals the taken probability and Pd = Pe, so Pc = 1
+  // (the paper's Fig. 2 note: "if the branch immediately dominates the
+  // store ... the probability of the store being corrupted is 1").
+  const auto m = make_branchy(2);
+  const auto profile = prof::collect_profile(m);
+  const FcModel fc(m, profile, /*lucky_stores=*/false);
+  const auto data_br = find_condbr(m, 1);
+  const auto corrupted = fc.corrupted_stores({0, data_br});
+  ASSERT_FALSE(corrupted.empty());
+  bool found_sink_store = false;
+  for (const auto& cs : corrupted) {
+    if (m.functions[0].insts[cs.store.inst].op == ir::Opcode::Store) {
+      found_sink_store = true;
+      EXPECT_NEAR(cs.prob, 1.0, 1e-9);
+    }
+  }
+  EXPECT_TRUE(found_sink_store);
+}
+
+TEST(FcModel, LtStoreCorruptionTracksPerIterationFrequency) {
+  // Paper Eq. 2: Pc = Pb * Pe, which equals the store's per-branch
+  // execution frequency. The store runs on 2 of 5 iterations -> ~0.4.
+  const auto m = make_branchy(2);
+  const auto profile = prof::collect_profile(m);
+  const FcModel fc(m, profile, /*lucky_stores=*/false);
+  const auto loop_br = find_condbr(m, 0);
+  const auto corrupted = fc.corrupted_stores({0, loop_br});
+  ASSERT_FALSE(corrupted.empty());
+  double sink_prob = -1;
+  const auto sink_store = find_store_of(m, find_condbr(m, 1));
+  for (const auto& cs : corrupted) {
+    if (cs.store.inst == sink_store) sink_prob = cs.prob;
+  }
+  ASSERT_GE(sink_prob, 0.0) << "store not in the LT branch's corruption set";
+  EXPECT_NEAR(sink_prob, 0.4, 0.05);
+}
+
+TEST(FcModel, CorruptionScalesWithBranchBias) {
+  // More biased data branch -> lower Pe for the guarded store, but the
+  // NLT equation divides by Pd: with immediate dominance, Pc stays 1.
+  // The LT corruption probability, by contrast, scales with frequency.
+  for (const int k : {1, 2, 4}) {
+    const auto m = make_branchy(k);
+    const auto profile = prof::collect_profile(m);
+    const FcModel fc(m, profile, /*lucky_stores=*/false);
+    const auto loop_br = find_condbr(m, 0);
+    const auto sink_store = find_store_of(m, find_condbr(m, 1));
+    for (const auto& cs : fc.corrupted_stores({0, loop_br})) {
+      if (cs.store.inst == sink_store) {
+        EXPECT_NEAR(cs.prob, k / 5.0, 0.06) << "k=" << k;
+      }
+    }
+  }
+}
+
+TEST(FcModel, StoresOutsideControlDependenceExcluded) {
+  // A store that post-dominates the branch (runs either way) must not be
+  // in the corrupted set of the data branch.
+  Module m;
+  const auto g = m.add_global({"sink", 8, {}});
+  IRBuilder b(m);
+  b.begin_function("main", {}, Type::void_());
+  b.set_block(b.block("entry"));
+  const Value sink = b.global(g);
+  workloads::counted_loop(b, 0, 50, 1, [&](Value i) {
+    const Value c = b.icmp(CmpPred::SLt, b.urem(i, b.i32(2)), b.i32(1));
+    workloads::if_then(b, c, [&] { b.store(i, sink); });
+    // Unconditional store: executes on every iteration.
+    b.store(i, b.gep(sink, b.i32(1), 4));
+  });
+  b.print_int(b.load(Type::i32(), sink));
+  b.ret();
+  b.end_function();
+  const auto profile = prof::collect_profile(m);
+  const FcModel fc(m, profile);
+  const auto data_br = find_condbr(m, 1);
+  const auto guarded_store = find_store_of(m, data_br);
+  for (const auto& cs : fc.corrupted_stores({0, data_br})) {
+    EXPECT_EQ(cs.store.inst, guarded_store)
+        << "unconditional store wrongly marked corrupted";
+  }
+}
+
+TEST(FcModel, UnexecutedBranchYieldsNothing) {
+  Module m;
+  const auto g = m.add_global({"sink", 4, {}});
+  IRBuilder b(m);
+  b.begin_function("main", {}, Type::void_());
+  const auto entry = b.block("entry");
+  const auto dead = b.block("dead");
+  const auto dead2 = b.block("dead2");
+  const auto out = b.block("out");
+  b.set_block(entry);
+  b.br(out);
+  b.set_block(dead);
+  const Value c = b.icmp(CmpPred::Eq, b.i32(0), b.i32(0));
+  b.cond_br(c, dead2, out);
+  b.set_block(dead2);
+  b.store(b.i32(1), b.global(g));
+  b.br(out);
+  b.set_block(out);
+  b.ret();
+  b.end_function();
+  const auto profile = prof::collect_profile(m);
+  const FcModel fc(m, profile);
+  const auto br = find_condbr(m);
+  EXPECT_TRUE(fc.corrupted_stores({0, br}).empty());
+}
+
+TEST(FcModel, ResultsAreMemoized) {
+  const auto m = make_branchy(3);
+  const auto profile = prof::collect_profile(m);
+  const FcModel fc(m, profile);
+  const auto br = find_condbr(m, 1);
+  const auto& a = fc.corrupted_stores({0, br});
+  const auto& b2 = fc.corrupted_stores({0, br});
+  EXPECT_EQ(&a, &b2);  // same cached vector
+}
+
+TEST(FcModel, ProbabilitiesAreValidOnAllWorkloads) {
+  for (const auto& w : workloads::all_workloads()) {
+    const auto m = w.build();
+    const auto profile = prof::collect_profile(m);
+    const FcModel fc(m, profile);
+    for (uint32_t f = 0; f < m.functions.size(); ++f) {
+      for (uint32_t i = 0; i < m.functions[f].insts.size(); ++i) {
+        if (m.functions[f].insts[i].op != ir::Opcode::CondBr) continue;
+        if (profile.exec({f, i}) == 0) continue;
+        for (const auto& cs : fc.corrupted_stores({f, i})) {
+          EXPECT_GT(cs.prob, 0.0) << w.name;
+          EXPECT_LE(cs.prob, 1.0) << w.name;
+          EXPECT_EQ(m.functions[cs.store.func].insts[cs.store.inst].op,
+                    ir::Opcode::Store)
+              << w.name;
+        }
+      }
+    }
+  }
+}
+
+TEST(FcModel, LuckyStoreDiscountAppliesSilentRate) {
+  // A store that always rewrites the value already present (silent rate
+  // 1) cannot be corrupted by control divergence: the refinement zeroes
+  // its Pc, while the paper-faithful mode keeps it at 1.
+  Module m;
+  const auto g = m.add_global({"sink", 4, {}});
+  IRBuilder b(m);
+  b.begin_function("main", {}, Type::void_());
+  b.set_block(b.block("entry"));
+  const Value sink = b.global(g);
+  workloads::counted_loop(b, 0, 40, 1, [&](Value i) {
+    const Value c = b.icmp(CmpPred::SLt, b.urem(i, b.i32(2)), b.i32(1));
+    // The store always writes 0 over 0: perfectly silent.
+    workloads::if_then(b, c, [&] { b.store(b.i32(0), sink); });
+  });
+  b.print_int(b.load(Type::i32(), sink));
+  b.ret();
+  b.end_function();
+  const auto profile = prof::collect_profile(m);
+  uint32_t store_id = ~0u;
+  for (uint32_t i = 0; i < m.functions[0].insts.size(); ++i) {
+    if (m.functions[0].insts[i].op == ir::Opcode::Store &&
+        profile.exec({0, i}) == 20) {
+      store_id = i;
+    }
+  }
+  ASSERT_NE(store_id, ~0u);
+  EXPECT_DOUBLE_EQ(profile.silent_store_rate({0, store_id}), 1.0);
+
+  const FcModel lucky(m, profile, /*lucky_stores=*/true);
+  const FcModel paper(m, profile, /*lucky_stores=*/false);
+  const auto data_br = find_condbr(m, 1);
+  bool lucky_has = false, paper_has = false;
+  for (const auto& cs : lucky.corrupted_stores({0, data_br})) {
+    lucky_has |= cs.store.inst == store_id;
+  }
+  for (const auto& cs : paper.corrupted_stores({0, data_br})) {
+    paper_has |= cs.store.inst == store_id;
+  }
+  EXPECT_FALSE(lucky_has);  // silent store filtered out
+  EXPECT_TRUE(paper_has);   // conservatively kept, as in the paper
+}
+
+}  // namespace
+}  // namespace trident::core

@@ -1,0 +1,344 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fi/accelerated.h"
+#include "fi/campaign.h"
+#include "ir/builder.h"
+#include "profiler/profiler.h"
+#include "workloads/common.h"
+
+namespace trident::fi {
+namespace {
+
+using ir::CmpPred;
+using ir::IRBuilder;
+using ir::Module;
+using ir::Type;
+using ir::Value;
+
+// Straight-line program whose single output depends on every value:
+// almost any flipped bit is an SDC.
+Module make_fragile() {
+  Module m;
+  IRBuilder b(m);
+  b.begin_function("main", {}, Type::void_());
+  b.set_block(b.block("entry"));
+  Value acc = b.i64(1);
+  for (int i = 0; i < 8; ++i) acc = b.add(acc, acc);
+  b.print_uint(acc);
+  b.ret();
+  b.end_function();
+  return m;
+}
+
+// Program whose computed values never reach the output: all faults in
+// them are benign.
+Module make_masked() {
+  Module m;
+  IRBuilder b(m);
+  b.begin_function("main", {}, Type::void_());
+  b.set_block(b.block("entry"));
+  Value acc = b.i64(1);
+  for (int i = 0; i < 8; ++i) acc = b.add(acc, acc);
+  b.and_(acc, b.i64(0));  // discarded
+  b.print_uint(b.i64(7));
+  b.ret();
+  b.end_function();
+  return m;
+}
+
+TEST(Injector, FlipsExactlyOneBitAtSite) {
+  const auto m = make_fragile();
+  InjectionSite site;
+  site.mode = InjectionSite::Mode::DynIndex;
+  site.dyn_index = 3;
+  site.bit_entropy = 0;  // lowest bit
+  interp::Interpreter interp(m);
+  Injector injector(m, site);
+  interp::RunOptions options;
+  options.hooks = &injector;
+  interp.run_main(options);
+  EXPECT_TRUE(injector.fired());
+  EXPECT_EQ(injector.bit(), 0u);
+  EXPECT_TRUE(injector.target().valid());
+}
+
+TEST(Injector, OccurrenceModeTargetsNthExecution) {
+  Module m;
+  IRBuilder b(m);
+  b.begin_function("main", {}, Type::void_());
+  b.set_block(b.block("entry"));
+  const Value cell = b.alloca_(8, "acc");
+  b.store(b.i64(0), cell);
+  workloads::counted_loop(b, 0, 10, 1, [&](Value) {
+    const Value v = b.load(Type::i64(), cell);
+    b.store(b.add(v, b.i64(1)), cell);
+  });
+  b.print_uint(b.load(Type::i64(), cell));
+  b.ret();
+  b.end_function();
+
+  // Find the inner add.
+  uint32_t add_id = ~0u;
+  for (uint32_t i = 0; i < m.functions[0].insts.size(); ++i) {
+    const auto& inst = m.functions[0].insts[i];
+    if (inst.op == ir::Opcode::Add && inst.type == Type::i64()) add_id = i;
+  }
+  ASSERT_NE(add_id, ~0u);
+
+  // Flip bit 1 (value +2 or -2) of occurrence 4: final count differs.
+  InjectionSite site;
+  site.mode = InjectionSite::Mode::Occurrence;
+  site.inst = {0, add_id};
+  site.occurrence = 4;
+  site.bit_entropy = (1ull << 63) / 32;  // maps to bit 1 of 64
+  interp::Interpreter interp(m);
+  Injector injector(m, site);
+  interp::RunOptions options;
+  options.hooks = &injector;
+  const auto res = interp.run_main(options);
+  EXPECT_TRUE(injector.fired());
+  EXPECT_EQ(injector.target().inst, add_id);
+  EXPECT_NE(res.output, "10\n");
+}
+
+TEST(Injector, DoesNotFireBeyondExecution) {
+  const auto m = make_fragile();
+  InjectionSite site;
+  site.dyn_index = 1'000'000;  // beyond the run's dynamic count
+  interp::Interpreter interp(m);
+  Injector injector(m, site);
+  interp::RunOptions options;
+  options.hooks = &injector;
+  const auto res = interp.run_main(options);
+  EXPECT_FALSE(injector.fired());
+  EXPECT_EQ(res.outcome, interp::Outcome::Ok);
+}
+
+TEST(Campaign, FragileProgramIsMostlySdc) {
+  const auto m = make_fragile();
+  const auto profile = prof::collect_profile(m);
+  CampaignOptions options;
+  options.trials = 300;
+  const auto result = run_overall_campaign(m, profile, options);
+  EXPECT_EQ(result.total(), 300u);
+  EXPECT_GT(result.sdc_prob(), 0.9);
+  EXPECT_EQ(result.sdc + result.benign + result.crash + result.hang +
+                result.detected,
+            result.total());
+}
+
+TEST(Campaign, MaskedProgramIsMostlyBenign) {
+  const auto m = make_masked();
+  const auto profile = prof::collect_profile(m);
+  CampaignOptions options;
+  options.trials = 300;
+  const auto result = run_overall_campaign(m, profile, options);
+  // The print of a constant is the only SDC-visible value.
+  EXPECT_LT(result.sdc_prob(), 0.25);
+  EXPECT_GT(static_cast<double>(result.benign) / result.total(), 0.7);
+}
+
+TEST(Campaign, DeterministicForFixedSeed) {
+  const auto m = make_fragile();
+  const auto profile = prof::collect_profile(m);
+  CampaignOptions options;
+  options.trials = 100;
+  options.seed = 77;
+  const auto a = run_overall_campaign(m, profile, options);
+  const auto b = run_overall_campaign(m, profile, options);
+  EXPECT_EQ(a.sdc, b.sdc);
+  EXPECT_EQ(a.crash, b.crash);
+  for (size_t i = 0; i < a.trials.size(); ++i) {
+    EXPECT_EQ(a.trials[i].target, b.trials[i].target);
+    EXPECT_EQ(a.trials[i].bit, b.trials[i].bit);
+    EXPECT_EQ(a.trials[i].outcome, b.trials[i].outcome);
+  }
+}
+
+TEST(Campaign, SeedChangesSamples) {
+  const auto m = make_fragile();
+  const auto profile = prof::collect_profile(m);
+  CampaignOptions a_opt;
+  a_opt.trials = 50;
+  a_opt.seed = 1;
+  CampaignOptions b_opt = a_opt;
+  b_opt.seed = 2;
+  const auto a = run_overall_campaign(m, profile, a_opt);
+  const auto b = run_overall_campaign(m, profile, b_opt);
+  int same = 0;
+  for (size_t i = 0; i < a.trials.size(); ++i) {
+    same += a.trials[i].target == b.trials[i].target &&
+            a.trials[i].bit == b.trials[i].bit;
+  }
+  EXPECT_LT(same, 25);
+}
+
+TEST(Campaign, Ci95ShrinksWithTrials) {
+  const auto m = make_masked();
+  const auto profile = prof::collect_profile(m);
+  CampaignOptions small;
+  small.trials = 50;
+  CampaignOptions large;
+  large.trials = 800;
+  const auto s = run_overall_campaign(m, profile, small);
+  const auto l = run_overall_campaign(m, profile, large);
+  if (s.sdc > 0 && l.sdc > 0) {
+    EXPECT_LT(l.sdc_ci95(), s.sdc_ci95());
+  }
+  EXPECT_LE(l.sdc_ci95(), 1.96 * 0.5 / std::sqrt(800.0) + 1e-9);
+}
+
+TEST(Campaign, PerInstructionTargetsOnlyThatInstruction) {
+  const auto m = make_fragile();
+  const auto profile = prof::collect_profile(m);
+  // Instruction 2 is one of the adds.
+  const ir::InstRef target{0, 2};
+  ASSERT_GT(profile.exec(target), 0u);
+  CampaignOptions options;
+  options.trials = 60;
+  const auto result = run_instruction_campaign(m, profile, target, options);
+  for (const auto& trial : result.trials) {
+    EXPECT_EQ(trial.target, target);
+  }
+  EXPECT_GT(result.sdc_prob(), 0.9);  // every add feeds the output
+}
+
+TEST(Campaign, CrashDetectedOnAddressCorruption) {
+  // Store through a pointer derived from a loaded index: address bit
+  // flips produce out-of-bounds accesses.
+  Module m;
+  const auto g = m.add_global({"arr", 64, {}});
+  IRBuilder b(m);
+  b.begin_function("main", {}, Type::void_());
+  b.set_block(b.block("entry"));
+  const Value arr = b.global(g);
+  workloads::counted_loop(b, 0, 16, 1, [&](Value i) {
+    const Value p = b.gep(arr, i, 4);
+    b.store(i, p);
+  });
+  b.print_int(b.load(Type::i32(), b.gep(arr, b.i32(7), 4)));
+  b.ret();
+  b.end_function();
+  const auto profile = prof::collect_profile(m);
+  CampaignOptions options;
+  options.trials = 400;
+  const auto result = run_overall_campaign(m, profile, options);
+  EXPECT_GT(result.crash, 0u);  // gep faults must trap sometimes
+}
+
+TEST(Injector, MultiBitBurstFlipsAdjacentBits) {
+  const auto m = make_fragile();
+  InjectionSite site;
+  site.mode = InjectionSite::Mode::DynIndex;
+  site.dyn_index = 2;
+  site.bit_entropy = 0;  // start at bit 0
+  site.num_bits = 3;
+  interp::Interpreter interp(m);
+  Injector injector(m, site);
+  interp::RunOptions options;
+  options.hooks = &injector;
+  interp.run_main(options);
+  ASSERT_TRUE(injector.fired());
+  // The add at dyn index 2 computes 8; flipping bits 0..2 gives 8^7 = 15.
+  EXPECT_EQ(injector.original_bits(), 8u);
+}
+
+TEST(Campaign, MultiBitOptionChangesOutcomes) {
+  const auto m = make_fragile();
+  const auto profile = prof::collect_profile(m);
+  CampaignOptions one;
+  one.trials = 200;
+  CampaignOptions burst = one;
+  burst.num_bits = 4;
+  const auto r1 = run_overall_campaign(m, profile, one);
+  const auto r4 = run_overall_campaign(m, profile, burst);
+  // Same seeds, same sites; the classification stays exhaustive and the
+  // campaigns remain deterministic under the burst model.
+  EXPECT_EQ(r1.total(), r4.total());
+  EXPECT_EQ(r4.sdc + r4.benign + r4.crash + r4.hang + r4.detected,
+            r4.total());
+}
+
+TEST(Campaign, ThreadCountDoesNotChangeResults) {
+  const auto m = make_fragile();
+  const auto profile = prof::collect_profile(m);
+  CampaignOptions serial;
+  serial.trials = 150;
+  serial.seed = 31;
+  CampaignOptions parallel = serial;
+  parallel.threads = 4;
+  const auto a = run_overall_campaign(m, profile, serial);
+  const auto b = run_overall_campaign(m, profile, parallel);
+  ASSERT_EQ(a.total(), b.total());
+  EXPECT_EQ(a.sdc, b.sdc);
+  EXPECT_EQ(a.crash, b.crash);
+  for (size_t i = 0; i < a.trials.size(); ++i) {
+    EXPECT_EQ(a.trials[i].target, b.trials[i].target);
+    EXPECT_EQ(a.trials[i].outcome, b.trials[i].outcome);
+  }
+}
+
+TEST(Stratified, CoversEveryExecutedSite) {
+  const auto m = make_fragile();
+  const auto profile = prof::collect_profile(m);
+  StratifiedOptions options;
+  options.trials_per_site = 3;
+  const auto result = run_stratified_campaign(m, profile, options);
+  // 8 adds, each executed once: 8 strata, 3 trials each.
+  EXPECT_EQ(result.sites.size(), 8u);
+  EXPECT_EQ(result.total_trials, 24u);
+  for (const auto& site : result.sites) {
+    EXPECT_EQ(site.trials, 3u);
+    EXPECT_GT(site.exec, 0u);
+  }
+}
+
+TEST(Stratified, MatchesPlainCampaignOnFragileKernel) {
+  const auto m = make_fragile();
+  const auto profile = prof::collect_profile(m);
+  StratifiedOptions options;
+  options.trials_per_site = 8;
+  const auto strat = run_stratified_campaign(m, profile, options);
+  CampaignOptions plain_options;
+  plain_options.trials = 400;
+  const auto plain = run_overall_campaign(m, profile, plain_options);
+  EXPECT_NEAR(strat.sdc_prob(), plain.sdc_prob(), 0.12);
+  EXPECT_GE(strat.sdc_prob(), 0.0);
+  EXPECT_LE(strat.sdc_prob(), 1.0);
+}
+
+TEST(Stratified, DeterministicPerSeed) {
+  const auto m = make_masked();
+  const auto profile = prof::collect_profile(m);
+  StratifiedOptions options;
+  options.seed = 5;
+  const auto a = run_stratified_campaign(m, profile, options);
+  const auto b = run_stratified_campaign(m, profile, options);
+  EXPECT_DOUBLE_EQ(a.sdc_prob(), b.sdc_prob());
+  EXPECT_EQ(a.total_trials, b.total_trials);
+}
+
+TEST(Stratified, CiShrinksWithMoreTrialsPerSite) {
+  const auto m = make_fragile();
+  const auto profile = prof::collect_profile(m);
+  StratifiedOptions small;
+  small.trials_per_site = 2;
+  StratifiedOptions large;
+  large.trials_per_site = 16;
+  const auto a = run_stratified_campaign(m, profile, small);
+  const auto b = run_stratified_campaign(m, profile, large);
+  EXPECT_LT(b.sdc_ci95(), a.sdc_ci95());
+}
+
+TEST(Campaign, OutcomeNamesStable) {
+  EXPECT_STREQ(fi_outcome_name(FIOutcome::SDC), "sdc");
+  EXPECT_STREQ(fi_outcome_name(FIOutcome::Benign), "benign");
+  EXPECT_STREQ(fi_outcome_name(FIOutcome::Crash), "crash");
+  EXPECT_STREQ(fi_outcome_name(FIOutcome::Hang), "hang");
+  EXPECT_STREQ(fi_outcome_name(FIOutcome::Detected), "detected");
+}
+
+}  // namespace
+}  // namespace trident::fi

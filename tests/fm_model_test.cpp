@@ -1,0 +1,267 @@
+#include <gtest/gtest.h>
+
+#include "core/fm_model.h"
+#include "ir/builder.h"
+#include "profiler/profiler.h"
+#include "workloads/common.h"
+#include "workloads/workloads.h"
+
+namespace trident::core {
+namespace {
+
+using ir::CmpPred;
+using ir::IRBuilder;
+using ir::Module;
+using ir::Type;
+using ir::Value;
+
+struct Built {
+  Module m;
+  prof::Profile profile;
+};
+
+struct Models {
+  explicit Models(const Built& built)
+      : tracer(built.m, built.profile),
+        fc(built.m, built.profile),
+        fm(built.m, built.profile, tracer, fc) {}
+  SequenceTracer tracer;
+  FcModel fc;
+  FmModel fm;
+};
+
+uint32_t find_store(const Module& m, int skip = 0) {
+  for (uint32_t i = 0; i < m.functions[0].insts.size(); ++i) {
+    if (m.functions[0].insts[i].op == ir::Opcode::Store && skip-- == 0) {
+      return i;
+    }
+  }
+  ADD_FAILURE() << "store not found";
+  return ~0u;
+}
+
+Built build(Module m) {
+  auto profile = prof::collect_profile(m);
+  return {std::move(m), std::move(profile)};
+}
+
+TEST(FmModel, StoreToPrintIsCertainPropagation) {
+  Module m;
+  IRBuilder b(m);
+  b.begin_function("main", {}, Type::void_());
+  b.set_block(b.block("entry"));
+  const Value p = b.alloca_(4);
+  b.store(b.i32(42), p);
+  b.print_int(b.load(Type::i32(), p));
+  b.ret();
+  b.end_function();
+  const auto built = build(std::move(m));
+  Models models(built);
+  EXPECT_DOUBLE_EQ(models.fm.store_to_output({0, find_store(built.m)}), 1.0);
+}
+
+TEST(FmModel, NeverReloadedStoreIsMasked) {
+  Module m;
+  IRBuilder b(m);
+  b.begin_function("main", {}, Type::void_());
+  b.set_block(b.block("entry"));
+  const Value p = b.alloca_(4);
+  b.store(b.i32(42), p);  // dead store
+  b.print_int(b.i32(7));
+  b.ret();
+  b.end_function();
+  const auto built = build(std::move(m));
+  Models models(built);
+  EXPECT_DOUBLE_EQ(models.fm.store_to_output({0, find_store(built.m)}), 0.0);
+}
+
+TEST(FmModel, OverwrittenStorePartiallyMasked) {
+  // Two stores to the same cell before one load: only the second one is
+  // live; the first store's fault never reaches the load.
+  Module m;
+  IRBuilder b(m);
+  b.begin_function("main", {}, Type::void_());
+  b.set_block(b.block("entry"));
+  const Value p = b.alloca_(4);
+  b.store(b.i32(1), p);
+  b.store(b.i32(2), p);
+  b.print_int(b.load(Type::i32(), p));
+  b.ret();
+  b.end_function();
+  const auto built = build(std::move(m));
+  Models models(built);
+  EXPECT_DOUBLE_EQ(models.fm.store_to_output({0, find_store(built.m, 0)}),
+                   0.0);
+  EXPECT_DOUBLE_EQ(models.fm.store_to_output({0, find_store(built.m, 1)}),
+                   1.0);
+}
+
+TEST(FmModel, AccumulatorCycleConvergesToOne) {
+  // The quickstart pattern: a memory accumulator updated every
+  // iteration and printed once. Fault in any dynamic store of the sum
+  // survives the remaining iterations -> probability ~1, which requires
+  // the fixed-point treatment of the store->load->store cycle.
+  Module m;
+  IRBuilder b(m);
+  b.begin_function("main", {}, Type::void_());
+  b.set_block(b.block("entry"));
+  const Value sum = b.alloca_(4);
+  b.store(b.i32(0), sum);
+  workloads::counted_loop(b, 0, 64, 1, [&](Value i) {
+    b.store(b.add(b.load(Type::i32(), sum), i), sum);
+  });
+  b.print_int(b.load(Type::i32(), sum));
+  b.ret();
+  b.end_function();
+  const auto built = build(std::move(m));
+  Models models(built);
+  // The in-loop store of the accumulator.
+  uint32_t acc_store = ~0u;
+  for (uint32_t i = 0; i < built.m.functions[0].insts.size(); ++i) {
+    const auto& inst = built.m.functions[0].insts[i];
+    if (inst.op == ir::Opcode::Store &&
+        built.profile.exec({0, i}) == 64) {
+      acc_store = i;
+    }
+  }
+  ASSERT_NE(acc_store, ~0u);
+  EXPECT_GT(models.fm.store_to_output({0, acc_store}), 0.95);
+  EXPECT_GT(models.fm.solver_iterations(), 1u);
+}
+
+TEST(FmModel, Fig4DivergenceWeighting) {
+  // The paper's Fig. 4: stores reloaded by a loop whose print runs on a
+  // 60/40 branch -> propagation ~0.6 with the NULL placeholder carrying
+  // the masked 0.4.
+  Module m;
+  const auto g = m.add_global({"arr", 10 * 4, {}});
+  IRBuilder b(m);
+  b.begin_function("main", {}, Type::void_());
+  b.set_block(b.block("entry"));
+  const Value arr = b.global(g);
+  workloads::counted_loop(b, 0, 10, 1, [&](Value i) {
+    b.store(b.add(i, b.i32(100)), b.gep(arr, i, 4));
+  });
+  workloads::counted_loop(b, 0, 10, 1, [&](Value i) {
+    const Value v = b.load(Type::i32(), b.gep(arr, i, 4));
+    const Value c = b.icmp(CmpPred::SLt, b.urem(i, b.i32(10)), b.i32(6));
+    workloads::if_then(b, c, [&] { b.print_int(v); });
+  });
+  b.ret();
+  b.end_function();
+  const auto built = build(std::move(m));
+  Models models(built);
+  const auto p =
+      models.fm.store_to_output({0, find_store(built.m)});
+  EXPECT_NEAR(p, 0.6, 0.05);
+}
+
+TEST(FmModel, ChainOfCopiesPreservesPropagation) {
+  // a -> b -> c -> print: symmetric copy loops; fault in the first
+  // array's store must survive the whole chain.
+  Module m;
+  const auto ga = m.add_global({"a", 16 * 4, {}});
+  const auto gb = m.add_global({"b", 16 * 4, {}});
+  const auto gc = m.add_global({"c", 16 * 4, {}});
+  IRBuilder b(m);
+  b.begin_function("main", {}, Type::void_());
+  b.set_block(b.block("entry"));
+  const Value a = b.global(ga);
+  const Value bb = b.global(gb);
+  const Value c = b.global(gc);
+  workloads::counted_loop(b, 0, 16, 1, [&](Value i) {
+    b.store(b.mul(i, i), b.gep(a, i, 4));
+  });
+  workloads::counted_loop(b, 0, 16, 1, [&](Value i) {
+    b.store(b.load(Type::i32(), b.gep(a, i, 4)), b.gep(bb, i, 4));
+  });
+  workloads::counted_loop(b, 0, 16, 1, [&](Value i) {
+    b.store(b.load(Type::i32(), b.gep(bb, i, 4)), b.gep(c, i, 4));
+  });
+  const Value chk = b.alloca_(4);
+  b.store(b.i32(0), chk);
+  workloads::counted_loop(b, 0, 16, 1, [&](Value i) {
+    const Value v = b.load(Type::i32(), b.gep(c, i, 4));
+    b.store(b.add(b.load(Type::i32(), chk), v), chk);
+  });
+  b.print_int(b.load(Type::i32(), chk));
+  b.ret();
+  b.end_function();
+  const auto built = build(std::move(m));
+  Models models(built);
+  EXPECT_GT(models.fm.store_to_output({0, find_store(built.m)}), 0.9);
+}
+
+TEST(FmModel, BranchToOutputCombinesFcAndFm) {
+  // Corrupted branch guards a store whose value is printed: the branch's
+  // output probability must be ~ Pc * fm(store).
+  Module m;
+  const auto g = m.add_global({"sink", 4, {}});
+  IRBuilder b(m);
+  b.begin_function("main", {}, Type::void_());
+  b.set_block(b.block("entry"));
+  const Value sink = b.global(g);
+  workloads::counted_loop(b, 0, 40, 1, [&](Value i) {
+    const Value c = b.icmp(CmpPred::SLt, b.urem(i, b.i32(2)), b.i32(1));
+    workloads::if_then(b, c, [&] { b.store(i, sink); });
+  });
+  b.print_int(b.load(Type::i32(), sink));
+  b.ret();
+  b.end_function();
+  const auto built = build(std::move(m));
+  Models models(built);
+  uint32_t data_br = ~0u;
+  int seen = 0;
+  for (uint32_t i = 0; i < built.m.functions[0].insts.size(); ++i) {
+    if (built.m.functions[0].insts[i].op == ir::Opcode::CondBr &&
+        seen++ == 1) {
+      data_br = i;
+    }
+  }
+  ASSERT_NE(data_br, ~0u);
+  const double p = models.fm.branch_to_output({0, data_br});
+  EXPECT_GT(p, 0.0);
+  EXPECT_LE(p, 1.0);
+}
+
+TEST(FmModel, ValuesAreProbabilitiesOnAllWorkloads) {
+  for (const auto& w : workloads::all_workloads()) {
+    const auto built = build(w.build());
+    Models models(built);
+    for (const auto& edge : built.profile.mem_edges) {
+      const double p = models.fm.store_to_output(edge.store);
+      EXPECT_GE(p, 0.0) << w.name;
+      EXPECT_LE(p, 1.0) << w.name;
+    }
+  }
+}
+
+TEST(FmModel, DisabledFcIgnoresBranchTerminals) {
+  Module m;
+  const auto g = m.add_global({"sink", 4, {}});
+  IRBuilder b(m);
+  b.begin_function("main", {}, Type::void_());
+  b.set_block(b.block("entry"));
+  const Value sink = b.global(g);
+  // store -> load -> cmp -> branch-guarded print: with fc disabled the
+  // only path from the store to the output goes dark.
+  b.store(b.i32(5), sink);
+  const Value v = b.load(Type::i32(), sink);
+  const Value c = b.icmp(CmpPred::SGt, v, b.i32(3));
+  workloads::if_then(b, c, [&] { b.print_int(b.i32(1)); });
+  b.ret();
+  b.end_function();
+  const auto built = build(std::move(m));
+  SequenceTracer tracer(built.m, built.profile);
+  FcModel fc(built.m, built.profile);
+  FmModel with_fc(built.m, built.profile, tracer, fc,
+                  FmConfig{.enable_fc = true});
+  FmModel without_fc(built.m, built.profile, tracer, fc,
+                     FmConfig{.enable_fc = false});
+  const ir::InstRef store{0, find_store(built.m)};
+  EXPECT_GT(with_fc.store_to_output(store), 0.0);
+  EXPECT_DOUBLE_EQ(without_fc.store_to_output(store), 0.0);
+}
+
+}  // namespace
+}  // namespace trident::core

@@ -1,0 +1,176 @@
+// End-to-end integration: the full paper pipeline on selected workloads —
+// profile -> model -> FI ground truth -> selective protection -> FI again.
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "baselines/epvf.h"
+#include "core/trident.h"
+#include "fi/campaign.h"
+#include "ir/verifier.h"
+#include "profiler/profiler.h"
+#include "protect/duplication.h"
+#include "protect/selector.h"
+#include "stats/ttest.h"
+#include "workloads/workloads.h"
+
+namespace trident {
+namespace {
+
+TEST(Integration, ModelTracksFiOnHotspot) {
+  const auto m = workloads::find_workload("hotspot").build();
+  const auto profile = prof::collect_profile(m);
+  const core::Trident model(m, profile);
+  fi::CampaignOptions options;
+  options.trials = 600;
+  const auto campaign = fi::run_overall_campaign(m, profile, options);
+  // Agreement within 15 percentage points on this workload (the paper's
+  // per-benchmark differences range up to ~14 points).
+  EXPECT_NEAR(model.overall_sdc_exact(), campaign.sdc_prob(), 0.15);
+}
+
+TEST(Integration, TridentCloserToFiThanBaselinesOnAverage) {
+  // Paper Figs. 5 & 9 shape: averaged across workloads, TRIDENT's error
+  // against FI is smaller than fs+fc's and far smaller than PVF's.
+  double trident_err = 0, fsfc_err = 0, pvf_err = 0;
+  const std::vector<std::string> names{"sad", "bfs_parboil", "hotspot",
+                                       "hercules", "nw"};
+  for (const auto& name : names) {
+    const auto m = workloads::find_workload(name).build();
+    const auto profile = prof::collect_profile(m);
+    fi::CampaignOptions options;
+    options.trials = 400;
+    const auto campaign = fi::run_overall_campaign(m, profile, options);
+    const double fi_sdc = campaign.sdc_prob();
+    const core::Trident full(m, profile, core::ModelConfig::full());
+    const core::Trident fsfc(m, profile, core::ModelConfig::fs_fc());
+    const baselines::PvfModel pvf(m, profile);
+    trident_err += std::abs(full.overall_sdc_exact() - fi_sdc);
+    fsfc_err += std::abs(fsfc.overall_sdc_exact() - fi_sdc);
+    pvf_err += std::abs(pvf.overall() - fi_sdc);
+  }
+  EXPECT_LT(trident_err, fsfc_err);
+  EXPECT_LT(trident_err, pvf_err);
+}
+
+TEST(Integration, PerInstructionPredictionCorrelatesWithFi) {
+  // On the hottest instructions of sad, the model must separate the
+  // near-certain-SDC instructions from the near-never ones.
+  const auto m = workloads::find_workload("sad").build();
+  const auto profile = prof::collect_profile(m);
+  const core::Trident model(m, profile);
+  auto insts = model.injectable_instructions();
+  std::sort(insts.begin(), insts.end(),
+            [&](const ir::InstRef& a, const ir::InstRef& b) {
+              return profile.exec(a) > profile.exec(b);
+            });
+  insts.resize(std::min<size_t>(insts.size(), 12));
+
+  std::vector<double> fi_vals, model_vals;
+  for (const auto& ref : insts) {
+    fi::CampaignOptions options;
+    options.trials = 60;
+    options.seed = 1000 + ref.inst;
+    fi_vals.push_back(
+        fi::run_instruction_campaign(m, profile, ref, options).sdc_prob());
+    model_vals.push_back(model.predict(ref).sdc);
+  }
+  // Rank agreement: the model's top prediction should not be one of the
+  // measured-lowest, and vice versa. Use a loose correlation bound.
+  double mean_fi = 0, mean_model = 0;
+  for (size_t i = 0; i < fi_vals.size(); ++i) {
+    mean_fi += fi_vals[i];
+    mean_model += model_vals[i];
+  }
+  mean_fi /= fi_vals.size();
+  mean_model /= model_vals.size();
+  double cov = 0, var_a = 0, var_b = 0;
+  for (size_t i = 0; i < fi_vals.size(); ++i) {
+    cov += (fi_vals[i] - mean_fi) * (model_vals[i] - mean_model);
+    var_a += (fi_vals[i] - mean_fi) * (fi_vals[i] - mean_fi);
+    var_b += (model_vals[i] - mean_model) * (model_vals[i] - mean_model);
+  }
+  if (var_a > 0 && var_b > 0) {
+    EXPECT_GT(cov / std::sqrt(var_a * var_b), 0.3);
+  }
+}
+
+TEST(Integration, SelectiveProtectionReducesSdc) {
+  // §VI end to end on pathfinder at the 1/3 budget.
+  const auto m = workloads::find_workload("pathfinder").build();
+  const auto profile = prof::collect_profile(m);
+  const core::Trident model(m, profile);
+  const auto plan = protect::select_for_duplication(
+      m, profile,
+      [&](ir::InstRef ref) { return model.predict(ref).sdc; }, 1.0 / 3);
+  ASSERT_FALSE(plan.selected.empty());
+
+  const auto result = protect::duplicate_instructions(m, plan.selected);
+  ASSERT_TRUE(ir::verify(result.module).empty());
+
+  const auto prot_profile = prof::collect_profile(result.module);
+  fi::CampaignOptions options;
+  options.trials = 800;
+  const auto before = fi::run_overall_campaign(m, profile, options);
+  const auto after =
+      fi::run_overall_campaign(result.module, prot_profile, options);
+  EXPECT_LT(after.sdc_prob(), before.sdc_prob());
+  EXPECT_GT(after.detected, 0u);
+  // Overhead proxy: selected duplication must cost less than full
+  // duplication's dynamic overhead.
+  const double overhead =
+      static_cast<double>(prot_profile.total_dynamic) /
+          profile.total_dynamic -
+      1.0;
+  const auto full = protect::duplicate_all(m);
+  const auto full_profile = prof::collect_profile(full.module);
+  const double full_overhead =
+      static_cast<double>(full_profile.total_dynamic) /
+          profile.total_dynamic -
+      1.0;
+  EXPECT_LT(overhead, full_overhead);
+}
+
+TEST(Integration, HigherBudgetGivesMoreProtection) {
+  const auto m = workloads::find_workload("nw").build();
+  const auto profile = prof::collect_profile(m);
+  const core::Trident model(m, profile);
+  const auto sdc_of = [&](ir::InstRef ref) { return model.predict(ref).sdc; };
+  const auto small =
+      protect::select_for_duplication(m, profile, sdc_of, 1.0 / 3);
+  const auto large =
+      protect::select_for_duplication(m, profile, sdc_of, 2.0 / 3);
+  EXPECT_GE(large.selected.size(), small.selected.size());
+  EXPECT_GE(large.expected_covered, small.expected_covered);
+}
+
+TEST(Integration, PaperOrderingOfModels) {
+  // Fig. 9: PVF >= ePVF (conservative crash removal) and both well above
+  // FI; TRIDENT in between FI and ePVF.
+  const auto m = workloads::find_workload("hercules").build();
+  const auto profile = prof::collect_profile(m);
+  fi::CampaignOptions options;
+  options.trials = 400;
+  const auto campaign = fi::run_overall_campaign(m, profile, options);
+  const core::Trident trident(m, profile);
+  const baselines::EpvfModel epvf(m, profile);
+  const double pvf_v = epvf.pvf().overall();
+  const double epvf_v =
+      epvf.overall_with_measured_crashes(campaign.crash_prob());
+  EXPECT_GE(pvf_v, epvf_v);
+  EXPECT_GT(pvf_v, campaign.sdc_prob());
+  EXPECT_GT(pvf_v, trident.overall_sdc_exact());
+}
+
+TEST(Integration, ModelIsDeterministicEndToEnd) {
+  const auto run_once = [] {
+    const auto m = workloads::find_workload("libquantum").build();
+    const auto profile = prof::collect_profile(m);
+    const core::Trident model(m, profile);
+    return model.overall_sdc_exact();
+  };
+  EXPECT_DOUBLE_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace trident

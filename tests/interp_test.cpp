@@ -1,0 +1,538 @@
+#include <gtest/gtest.h>
+
+#include "interp/interpreter.h"
+#include "ir/builder.h"
+#include "support/bits.h"
+
+namespace trident::interp {
+namespace {
+
+using ir::CmpPred;
+using ir::IRBuilder;
+using ir::Module;
+using ir::Opcode;
+using ir::Type;
+using ir::Value;
+
+TEST(Memory, AllocateLoadStore) {
+  Memory mem;
+  const auto base = mem.allocate(16);
+  EXPECT_TRUE(mem.store(base, 4, 0xdeadbeef));
+  uint64_t v = 0;
+  EXPECT_TRUE(mem.load(base, 4, v));
+  EXPECT_EQ(v, 0xdeadbeefull);
+}
+
+TEST(Memory, LittleEndianLayout) {
+  Memory mem;
+  const auto base = mem.allocate(8);
+  mem.store(base, 4, 0x04030201);
+  uint64_t b0 = 0;
+  mem.load(base, 1, b0);
+  EXPECT_EQ(b0, 0x01ull);
+  uint64_t b3 = 0;
+  mem.load(base + 3, 1, b3);
+  EXPECT_EQ(b3, 0x04ull);
+}
+
+TEST(Memory, OutOfBoundsRejected) {
+  Memory mem;
+  const auto base = mem.allocate(8);
+  uint64_t v;
+  EXPECT_FALSE(mem.load(base + 8, 1, v));
+  EXPECT_FALSE(mem.load(base - 1, 1, v));
+  EXPECT_FALSE(mem.store(base + 5, 4, 0));  // straddles the end
+  EXPECT_TRUE(mem.store(base + 4, 4, 0));
+}
+
+TEST(Memory, FreedSegmentInvalid) {
+  Memory mem;
+  const auto base = mem.allocate(8);
+  mem.free(base);
+  uint64_t v;
+  EXPECT_FALSE(mem.load(base, 1, v));
+  EXPECT_EQ(mem.bytes_live(), 0u);
+}
+
+TEST(Memory, SegmentsDisjoint) {
+  Memory mem;
+  const auto a = mem.allocate(64);
+  const auto b = mem.allocate(64);
+  EXPECT_NE(a, b);
+  // The guard gap between segments is not addressable.
+  uint64_t v;
+  EXPECT_FALSE(mem.load(a + 64, 1, v));
+  EXPECT_EQ(mem.segments().size(), 2u);
+}
+
+// -- Interpreter semantics ---------------------------------------------------
+
+// Runs a single-function module that prints one value and returns it.
+RunResult run_module(const Module& m) {
+  Interpreter interp(m);
+  return interp.run_main({});
+}
+
+TEST(Interp, ArithmeticAndOutput) {
+  Module m;
+  IRBuilder b(m);
+  b.begin_function("main", {}, Type::i32());
+  b.set_block(b.block("entry"));
+  const Value v = b.mul(b.add(b.i32(2), b.i32(3)), b.i32(4));
+  b.print_int(v);
+  b.ret(v);
+  b.end_function();
+  const auto res = run_module(m);
+  EXPECT_EQ(res.outcome, Outcome::Ok);
+  EXPECT_EQ(res.output, "20\n");
+  EXPECT_EQ(res.ret_raw, 20u);
+}
+
+TEST(Interp, WrapAroundAtWidth) {
+  Module m;
+  IRBuilder b(m);
+  b.begin_function("main", {}, Type::i8());
+  b.set_block(b.block("entry"));
+  b.ret(b.add(b.i8(200), b.i8(100)));  // 300 mod 256 = 44
+  b.end_function();
+  EXPECT_EQ(run_module(m).ret_raw, 44u);
+}
+
+TEST(Interp, SignedDivisionAndRemainder) {
+  Module m;
+  IRBuilder b(m);
+  b.begin_function("main", {}, Type::i32());
+  b.set_block(b.block("entry"));
+  const Value q = b.sdiv(b.i32(-7), b.i32(2));
+  const Value r = b.srem(b.i32(-7), b.i32(2));
+  b.ret(b.add(b.mul(q, b.i32(100)), r));
+  b.end_function();
+  // -3 * 100 + -1 = -301 (C semantics).
+  EXPECT_EQ(support::sign_extend(run_module(m).ret_raw, 32), -301);
+}
+
+TEST(Interp, DivisionByZeroCrashes) {
+  Module m;
+  IRBuilder b(m);
+  b.begin_function("main", {}, Type::void_());
+  b.set_block(b.block("entry"));
+  const Value p = b.alloca_(4);
+  b.store(b.i32(0), p);
+  const Value zero = b.load(Type::i32(), p);
+  b.sdiv(b.i32(1), zero);
+  b.ret();
+  b.end_function();
+  const auto res = run_module(m);
+  EXPECT_EQ(res.outcome, Outcome::Crash);
+  EXPECT_NE(res.crash_reason.find("division"), std::string::npos);
+}
+
+TEST(Interp, SignedOverflowDivCrashes) {
+  Module m;
+  IRBuilder b(m);
+  b.begin_function("main", {}, Type::i64());
+  b.set_block(b.block("entry"));
+  b.ret(b.sdiv(b.i64(INT64_MIN), b.i64(-1)));
+  b.end_function();
+  EXPECT_EQ(run_module(m).outcome, Outcome::Crash);
+}
+
+TEST(Interp, ShiftsAndBitwise) {
+  Module m;
+  IRBuilder b(m);
+  b.begin_function("main", {}, Type::i32());
+  b.set_block(b.block("entry"));
+  const Value shl = b.shl(b.i32(1), b.i32(4));            // 16
+  const Value lshr = b.lshr(b.i32(0x80000000), b.i32(4)); // 0x08000000
+  const Value ashr = b.ashr(b.i32(0x80000000), b.i32(4)); // 0xF8000000
+  const Value x = b.xor_(lshr, ashr);                     // 0xF0000000
+  b.ret(b.or_(b.and_(x, b.i32(0xF0000000)), shl));
+  b.end_function();
+  EXPECT_EQ(run_module(m).ret_raw, 0xF0000010ull);
+}
+
+TEST(Interp, CastsRoundTrip) {
+  Module m;
+  IRBuilder b(m);
+  b.begin_function("main", {}, Type::i64());
+  b.set_block(b.block("entry"));
+  const Value t = b.trunc(b.i64(0x1ff), Type::i8());       // 0xff
+  const Value s = b.sext(t, Type::i32());                  // -1
+  const Value z = b.zext(t, Type::i32());                  // 255
+  const Value f = b.sitofp(s, Type::f64());                // -1.0
+  const Value back = b.fptosi(f, Type::i32());             // -1
+  const Value sum = b.add(b.add(z, back), b.i32(0));       // 254
+  b.ret(b.zext(sum, Type::i64()));
+  b.end_function();
+  EXPECT_EQ(run_module(m).ret_raw, 254u);
+}
+
+TEST(Interp, FloatArithmeticF32) {
+  Module m;
+  IRBuilder b(m);
+  b.begin_function("main", {}, Type::void_());
+  b.set_block(b.block("entry"));
+  const Value v =
+      b.fdiv(b.fmul(b.fadd(b.f32(1.5f), b.f32(2.5f)), b.f32(2.0f)),
+             b.f32(4.0f));
+  b.print_float(v, 6);
+  b.ret();
+  b.end_function();
+  EXPECT_EQ(run_module(m).output, "2\n");
+}
+
+TEST(Interp, FloatPrintPrecision) {
+  Module m;
+  IRBuilder b(m);
+  b.begin_function("main", {}, Type::void_());
+  b.set_block(b.block("entry"));
+  b.print_float(b.f64(3.14159265), 3);
+  b.print_float(b.f64(3.14159265), 8);
+  b.ret();
+  b.end_function();
+  EXPECT_EQ(run_module(m).output, "3.14\n3.1415927\n");
+}
+
+TEST(Interp, FpToSiSaturatesInsteadOfUb) {
+  Module m;
+  IRBuilder b(m);
+  b.begin_function("main", {}, Type::i32());
+  b.set_block(b.block("entry"));
+  b.ret(b.fptosi(b.f64(1e30), Type::i32()));
+  b.end_function();
+  const auto res = run_module(m);
+  EXPECT_EQ(res.outcome, Outcome::Ok);
+  EXPECT_EQ(support::sign_extend(res.ret_raw, 32), 2147483647);
+}
+
+TEST(Interp, GlobalsInitialized) {
+  Module m;
+  ir::Global g;
+  g.name = "data";
+  g.size = 8;
+  g.init = {1, 0, 0, 0, 2, 0, 0, 0};  // two i32: 1, 2
+  const auto gid = m.add_global(std::move(g));
+  IRBuilder b(m);
+  b.begin_function("main", {}, Type::i32());
+  b.set_block(b.block("entry"));
+  const Value base = b.global(gid);
+  const Value a = b.load(Type::i32(), base);
+  const Value c = b.load(Type::i32(), b.gep(base, b.i32(1), 4));
+  b.ret(b.add(a, c));
+  b.end_function();
+  EXPECT_EQ(run_module(m).ret_raw, 3u);
+}
+
+TEST(Interp, OutOfBoundsLoadCrashes) {
+  Module m;
+  IRBuilder b(m);
+  b.begin_function("main", {}, Type::void_());
+  b.set_block(b.block("entry"));
+  const Value p = b.alloca_(4);
+  b.load(Type::i32(), b.gep(p, b.i32(100), 4));
+  b.ret();
+  b.end_function();
+  const auto res = run_module(m);
+  EXPECT_EQ(res.outcome, Outcome::Crash);
+  EXPECT_NE(res.crash_reason.find("load"), std::string::npos);
+}
+
+TEST(Interp, LoopWithPhi) {
+  // sum 0..9 via a register loop (phi-carried accumulator).
+  Module m;
+  IRBuilder b(m);
+  b.begin_function("main", {}, Type::i32());
+  const auto entry = b.block("entry");
+  const auto header = b.block("header");
+  const auto body = b.block("body");
+  const auto exit = b.block("exit");
+  b.set_block(entry);
+  b.br(header);
+  b.set_block(header);
+  const Value iv = b.phi(Type::i32(), "iv");
+  const Value acc = b.phi(Type::i32(), "acc");
+  b.add_phi_incoming(iv, b.i32(0), entry);
+  b.add_phi_incoming(acc, b.i32(0), entry);
+  b.cond_br(b.icmp(CmpPred::SLt, iv, b.i32(10)), body, exit);
+  b.set_block(body);
+  const Value acc2 = b.add(acc, iv);
+  const Value iv2 = b.add(iv, b.i32(1));
+  b.br(header);
+  b.add_phi_incoming(iv, iv2, body);
+  b.add_phi_incoming(acc, acc2, body);
+  b.set_block(exit);
+  b.ret(acc);
+  b.end_function();
+  EXPECT_EQ(run_module(m).ret_raw, 45u);
+}
+
+TEST(Interp, CallsAndReturns) {
+  Module m;
+  IRBuilder b(m);
+  const auto sq = b.begin_function("square", {Type::i32()}, Type::i32());
+  b.set_block(b.block("entry"));
+  b.ret(b.mul(b.arg(0), b.arg(0)));
+  b.end_function();
+  b.begin_function("main", {}, Type::i32());
+  b.set_block(b.block("entry"));
+  const Value r = b.call(sq, {b.i32(9)});
+  b.ret(r);
+  b.end_function();
+  EXPECT_EQ(run_module(m).ret_raw, 81u);
+}
+
+TEST(Interp, RecursionDepthLimitCrashes) {
+  Module m;
+  IRBuilder b(m);
+  const auto f = b.begin_function("rec", {}, Type::void_());
+  b.set_block(b.block("entry"));
+  b.call(f, {});
+  b.ret();
+  b.end_function();
+  b.begin_function("main", {}, Type::void_());
+  b.set_block(b.block("entry"));
+  b.call(f, {});
+  b.ret();
+  b.end_function();
+  Interpreter interp(m);
+  RunOptions options;
+  options.fuel = 10'000'000;
+  const auto res = interp.run_main(options);
+  EXPECT_EQ(res.outcome, Outcome::Crash);
+  EXPECT_NE(res.crash_reason.find("stack"), std::string::npos);
+}
+
+TEST(Interp, FuelExhaustionIsHang) {
+  Module m;
+  IRBuilder b(m);
+  b.begin_function("main", {}, Type::void_());
+  const auto entry = b.block("entry");
+  const auto spin = b.block("spin");
+  b.set_block(entry);
+  b.br(spin);
+  b.set_block(spin);
+  b.br(spin);
+  b.end_function();
+  Interpreter interp(m);
+  RunOptions options;
+  options.fuel = 1000;
+  EXPECT_EQ(interp.run_main(options).outcome, Outcome::Hang);
+}
+
+TEST(Interp, SelectPicksByCondition) {
+  Module m;
+  IRBuilder b(m);
+  b.begin_function("main", {}, Type::i32());
+  b.set_block(b.block("entry"));
+  const Value c = b.icmp(CmpPred::SLt, b.i32(3), b.i32(5));
+  b.ret(b.select(c, b.i32(10), b.i32(20)));
+  b.end_function();
+  EXPECT_EQ(run_module(m).ret_raw, 10u);
+}
+
+TEST(Interp, DetectHaltsRun) {
+  Module m;
+  IRBuilder b(m);
+  b.begin_function("main", {}, Type::void_());
+  b.set_block(b.block("entry"));
+  b.detect(b.i1(true));
+  b.print_int(b.i32(1));
+  b.ret();
+  b.end_function();
+  const auto res = run_module(m);
+  EXPECT_EQ(res.outcome, Outcome::Detected);
+  EXPECT_TRUE(res.output.empty());  // halted before the print
+}
+
+TEST(Interp, DetectFalseIsNoOp) {
+  Module m;
+  IRBuilder b(m);
+  b.begin_function("main", {}, Type::void_());
+  b.set_block(b.block("entry"));
+  b.detect(b.i1(false));
+  b.print_int(b.i32(1));
+  b.ret();
+  b.end_function();
+  const auto res = run_module(m);
+  EXPECT_EQ(res.outcome, Outcome::Ok);
+  EXPECT_EQ(res.output, "1\n");
+}
+
+TEST(Interp, DebugPrintsSeparated) {
+  Module m;
+  IRBuilder b(m);
+  b.begin_function("main", {}, Type::void_());
+  b.set_block(b.block("entry"));
+  b.print_int(b.i32(1), /*is_output=*/true);
+  b.print_int(b.i32(2), /*is_output=*/false);
+  b.ret();
+  b.end_function();
+  const auto res = run_module(m);
+  EXPECT_EQ(res.output, "1\n");
+  EXPECT_EQ(res.debug_output, "2\n");
+}
+
+TEST(Interp, DynamicCountsTrackResults) {
+  Module m;
+  IRBuilder b(m);
+  b.begin_function("main", {}, Type::void_());
+  b.set_block(b.block("entry"));
+  b.add(b.i32(1), b.i32(2));  // result
+  b.print_int(b.i32(3));      // no result
+  b.ret();                    // no result
+  b.end_function();
+  const auto res = run_module(m);
+  EXPECT_EQ(res.dynamic_insts, 3u);
+  EXPECT_EQ(res.dynamic_results, 1u);
+}
+
+TEST(Interp, DeterministicAcrossRuns) {
+  Module m;
+  IRBuilder b(m);
+  b.begin_function("main", {}, Type::void_());
+  b.set_block(b.block("entry"));
+  const Value p = b.alloca_(4);
+  b.store(b.i32(99), p);
+  b.print_int(b.load(Type::i32(), p));
+  b.ret();
+  b.end_function();
+  Interpreter interp(m);
+  const auto r1 = interp.run_main({});
+  const auto r2 = interp.run_main({});
+  EXPECT_EQ(r1.output, r2.output);
+  EXPECT_EQ(r1.dynamic_insts, r2.dynamic_insts);
+}
+
+// Hook that flips one bit: the injector's primitive, tested at the
+// interpreter boundary.
+class FlipHook final : public ExecHooks {
+ public:
+  explicit FlipHook(uint64_t target) : target_(target) {}
+  void on_result(ir::InstRef, uint64_t index, uint64_t& bits) override {
+    if (index == target_) bits ^= 1;
+  }
+
+ private:
+  uint64_t target_;
+};
+
+TEST(Interp, HooksCanPerturbResults) {
+  Module m;
+  IRBuilder b(m);
+  b.begin_function("main", {}, Type::i32());
+  b.set_block(b.block("entry"));
+  b.ret(b.add(b.i32(10), b.i32(20)));
+  b.end_function();
+  Interpreter interp(m);
+  FlipHook hook(0);
+  RunOptions options;
+  options.hooks = &hook;
+  EXPECT_EQ(interp.run(0, {}, options).ret_raw, 31u);
+}
+
+TEST(Interp, UnsignedRemainderAndDivision) {
+  Module m;
+  IRBuilder b(m);
+  b.begin_function("main", {}, Type::i32());
+  b.set_block(b.block("entry"));
+  const Value q = b.udiv(b.i32(-1), b.i32(16));  // 0xFFFFFFFF / 16
+  const Value r = b.urem(b.i32(-1), b.i32(16));
+  b.ret(b.add(q, r));
+  b.end_function();
+  // 0xFFFFFFFF / 16 = 0x0FFFFFFF, remainder 15.
+  EXPECT_EQ(run_module(m).ret_raw, 0x0FFFFFFFu + 15);
+}
+
+TEST(Interp, FloatWidthConversions) {
+  Module m;
+  IRBuilder b(m);
+  b.begin_function("main", {}, Type::void_());
+  b.set_block(b.block("entry"));
+  const Value wide = b.fpext(b.f32(1.5f));
+  const Value narrow = b.fptrunc(b.fadd(wide, b.f64(0.25)));
+  b.print_float(narrow, 6);
+  b.ret();
+  b.end_function();
+  EXPECT_EQ(run_module(m).output, "1.75\n");
+}
+
+TEST(Interp, CharPrinting) {
+  Module m;
+  IRBuilder b(m);
+  b.begin_function("main", {}, Type::void_());
+  b.set_block(b.block("entry"));
+  b.print_char(b.i8('h'));
+  b.print_char(b.i8('i'));
+  b.print_char(b.i8('\n'));
+  b.ret();
+  b.end_function();
+  EXPECT_EQ(run_module(m).output, "hi\n");
+}
+
+TEST(Interp, BitcastRoundTripsFloatBits) {
+  Module m;
+  IRBuilder b(m);
+  b.begin_function("main", {}, Type::i32());
+  b.set_block(b.block("entry"));
+  const Value as_int = b.bitcast(b.f32(1.0f), Type::i32());
+  b.ret(as_int);
+  b.end_function();
+  EXPECT_EQ(run_module(m).ret_raw, 0x3f800000u);
+}
+
+TEST(Interp, AllocaPerExecutionInLoop) {
+  // An alloca inside a loop yields a fresh address each iteration and is
+  // freed only at function return; no crash, distinct addresses.
+  Module m;
+  IRBuilder b(m);
+  b.begin_function("main", {}, Type::void_());
+  const auto entry = b.block("entry");
+  const auto header = b.block("header");
+  const auto body = b.block("body");
+  const auto exit = b.block("exit");
+  b.set_block(entry);
+  const Value first = b.alloca_(8, "probe");
+  b.br(header);
+  b.set_block(header);
+  const Value iv = b.phi(Type::i32(), "iv");
+  b.add_phi_incoming(iv, b.i32(0), entry);
+  b.cond_br(b.icmp(CmpPred::SLt, iv, b.i32(4)), body, exit);
+  b.set_block(body);
+  const Value fresh = b.alloca_(8);
+  b.store(iv, fresh);  // each write goes to its own slot
+  const Value next = b.add(iv, b.i32(1));
+  b.br(header);
+  b.add_phi_incoming(iv, next, body);
+  b.set_block(exit);
+  const Value differs = b.icmp(CmpPred::Ne, first, fresh);
+  b.print_int(b.zext(differs, Type::i32()));
+  b.ret();
+  b.end_function();
+  const auto res = run_module(m);
+  EXPECT_EQ(res.outcome, Outcome::Ok);
+  EXPECT_EQ(res.output, "1\n");
+}
+
+TEST(Interp, HangFuelCountsPhis) {
+  // A tight phi-loop must still exhaust fuel (phis are charged).
+  Module m;
+  IRBuilder b(m);
+  b.begin_function("main", {}, Type::void_());
+  const auto entry = b.block("entry");
+  const auto spin = b.block("spin");
+  b.set_block(entry);
+  b.br(spin);
+  b.set_block(spin);
+  const Value iv = b.phi(Type::i32());
+  b.add_phi_incoming(iv, b.i32(0), entry);
+  b.add_phi_incoming(iv, iv, spin);
+  b.br(spin);
+  b.end_function();
+  Interpreter interp(m);
+  RunOptions options;
+  options.fuel = 500;
+  EXPECT_EQ(interp.run_main(options).outcome, Outcome::Hang);
+}
+
+}  // namespace
+}  // namespace trident::interp

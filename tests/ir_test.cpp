@@ -1,0 +1,233 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ir/builder.h"
+#include "ir/eval.h"
+#include "ir/printer.h"
+
+namespace trident::ir {
+namespace {
+
+TEST(Type, Widths) {
+  EXPECT_EQ(Type::i1().width(), 1u);
+  EXPECT_EQ(Type::i32().width(), 32u);
+  EXPECT_EQ(Type::f64().width(), 64u);
+  EXPECT_EQ(Type::ptr().width(), 64u);
+  EXPECT_EQ(Type::void_().width(), 0u);
+}
+
+TEST(Type, StoreSizes) {
+  EXPECT_EQ(Type::i1().store_size(), 1u);
+  EXPECT_EQ(Type::i8().store_size(), 1u);
+  EXPECT_EQ(Type::i16().store_size(), 2u);
+  EXPECT_EQ(Type::i32().store_size(), 4u);
+  EXPECT_EQ(Type::i64().store_size(), 8u);
+  EXPECT_EQ(Type::f32().store_size(), 4u);
+  EXPECT_EQ(Type::f64().store_size(), 8u);
+  EXPECT_EQ(Type::ptr().store_size(), 8u);
+}
+
+TEST(Type, Names) {
+  EXPECT_EQ(Type::i32().str(), "i32");
+  EXPECT_EQ(Type::f32().str(), "f32");
+  EXPECT_EQ(Type::ptr().str(), "ptr");
+  EXPECT_EQ(Type::void_().str(), "void");
+}
+
+TEST(Value, Accessors) {
+  EXPECT_TRUE(Value::none().is_none());
+  EXPECT_TRUE(Value::inst(3).is_inst());
+  EXPECT_TRUE(Value::arg(0).is_arg());
+  EXPECT_TRUE(Value::constant(1).is_const());
+  EXPECT_TRUE(Value::global(2).is_global());
+  EXPECT_EQ(Value::inst(3), Value::inst(3));
+  EXPECT_NE(Value::inst(3), Value::arg(3));
+}
+
+TEST(PrintSpec, PackUnpack) {
+  PrintSpec spec{PrintSpec::Kind::Float, 7, false};
+  const auto round = PrintSpec::unpack(spec.pack());
+  EXPECT_EQ(round.kind, PrintSpec::Kind::Float);
+  EXPECT_EQ(round.precision, 7);
+  EXPECT_FALSE(round.is_output);
+}
+
+TEST(Builder, ConstantsDeduplicated) {
+  Module m;
+  IRBuilder b(m);
+  b.begin_function("f", {}, Type::void_());
+  b.set_block(b.block("entry"));
+  const Value a = b.i32(42);
+  const Value c = b.i32(42);
+  const Value d = b.i32(43);
+  EXPECT_EQ(a, c);
+  EXPECT_NE(a, d);
+  // Same payload, different type: distinct constants.
+  const Value e = b.i64(42);
+  EXPECT_NE(a, e);
+  b.ret();
+  b.end_function();
+  EXPECT_EQ(m.functions[0].constants.size(), 3u);
+}
+
+TEST(Builder, FloatConstants) {
+  Module m;
+  IRBuilder b(m);
+  b.begin_function("f", {}, Type::void_());
+  b.set_block(b.block("entry"));
+  const Value a = b.f32(1.5f);
+  const Value c = b.f32(1.5f);
+  EXPECT_EQ(a, c);
+  const auto& cst = m.functions[0].constants[a.index];
+  EXPECT_EQ(cst.type, Type::f32());
+  b.ret();
+  b.end_function();
+}
+
+TEST(Builder, InstructionShapes) {
+  Module m;
+  IRBuilder b(m);
+  b.begin_function("f", {Type::i32()}, Type::i32());
+  b.set_block(b.block("entry"));
+  const Value sum = b.add(b.arg(0), b.i32(1), "sum");
+  const Value cmp = b.icmp(CmpPred::SGt, sum, b.i32(0));
+  const Value sel = b.select(cmp, sum, b.i32(0));
+  b.ret(sel);
+  b.end_function();
+
+  const auto& f = m.functions[0];
+  EXPECT_EQ(f.insts[sum.index].op, Opcode::Add);
+  EXPECT_EQ(f.insts[sum.index].name, "sum");
+  EXPECT_EQ(f.insts[cmp.index].type, Type::i1());
+  EXPECT_EQ(f.insts[cmp.index].pred, CmpPred::SGt);
+  EXPECT_EQ(f.insts[sel.index].operands.size(), 3u);
+  EXPECT_EQ(f.value_type(sel), Type::i32());
+}
+
+TEST(Builder, PhiIncoming) {
+  Module m;
+  IRBuilder b(m);
+  b.begin_function("f", {}, Type::void_());
+  const auto entry = b.block("entry");
+  const auto header = b.block("header");
+  const auto exit = b.block("exit");
+  b.set_block(entry);
+  b.br(header);
+  b.set_block(header);
+  const Value iv = b.phi(Type::i32(), "iv");
+  b.add_phi_incoming(iv, b.i32(0), entry);
+  const Value next = b.add(iv, b.i32(1));
+  const Value done = b.icmp(CmpPred::SGe, next, b.i32(10));
+  b.cond_br(done, exit, header);
+  b.add_phi_incoming(iv, next, header);
+  b.set_block(exit);
+  b.ret();
+  b.end_function();
+
+  const auto& phi = m.functions[0].insts[iv.index];
+  ASSERT_EQ(phi.incoming.size(), 2u);
+  EXPECT_EQ(phi.incoming[0], entry);
+  EXPECT_EQ(phi.incoming[1], header);
+}
+
+TEST(Builder, CallResultTypeFollowsCallee) {
+  Module m;
+  IRBuilder b(m);
+  const auto callee =
+      b.begin_function("callee", {Type::i32()}, Type::i32());
+  b.set_block(b.block("entry"));
+  b.ret(b.arg(0));
+  b.end_function();
+
+  b.begin_function("main", {}, Type::void_());
+  b.set_block(b.block("entry"));
+  const Value r = b.call(callee, {b.i32(7)});
+  EXPECT_TRUE(r.is_inst());
+  EXPECT_EQ(m.functions[1].value_type(r), Type::i32());
+  b.ret();
+  b.end_function();
+}
+
+TEST(Builder, VoidCallReturnsNone) {
+  Module m;
+  IRBuilder b(m);
+  const auto callee = b.begin_function("callee", {}, Type::void_());
+  b.set_block(b.block("entry"));
+  b.ret();
+  b.end_function();
+
+  b.begin_function("main", {}, Type::void_());
+  b.set_block(b.block("entry"));
+  EXPECT_TRUE(b.call(callee, {}).is_none());
+  b.ret();
+  b.end_function();
+}
+
+TEST(Module, FindFunction) {
+  Module m;
+  IRBuilder b(m);
+  b.begin_function("alpha", {}, Type::void_());
+  b.set_block(b.block("entry"));
+  b.ret();
+  b.end_function();
+  EXPECT_EQ(m.find_function("alpha"), std::optional<uint32_t>(0));
+  EXPECT_FALSE(m.find_function("beta").has_value());
+}
+
+TEST(Instruction, Predicates) {
+  Instruction inst;
+  inst.op = Opcode::Br;
+  EXPECT_TRUE(inst.is_terminator());
+  inst.op = Opcode::ICmp;
+  EXPECT_TRUE(inst.is_cmp());
+  inst.op = Opcode::Trunc;
+  EXPECT_TRUE(inst.is_cast());
+  inst.op = Opcode::Add;
+  EXPECT_FALSE(inst.is_terminator());
+  EXPECT_FALSE(inst.is_cmp());
+  EXPECT_FALSE(inst.is_cast());
+}
+
+TEST(Eval, ICmpPredicates) {
+  // signed: -1 < 1 at width 8 (0xff is -1).
+  EXPECT_TRUE(eval_icmp(CmpPred::SLt, 8, 0xff, 1));
+  EXPECT_FALSE(eval_icmp(CmpPred::ULt, 8, 0xff, 1));
+  EXPECT_TRUE(eval_icmp(CmpPred::Eq, 32, 5, 5));
+  EXPECT_TRUE(eval_icmp(CmpPred::Ne, 32, 5, 6));
+  EXPECT_TRUE(eval_icmp(CmpPred::SGe, 32, 5, 5));
+  EXPECT_TRUE(eval_icmp(CmpPred::UGt, 32, 6, 5));
+}
+
+TEST(Eval, FCmpNaNIsFalse) {
+  const uint64_t nan = support::f64_to_bits(std::nan(""));
+  const uint64_t one = support::f64_to_bits(1.0);
+  for (const auto pred : {CmpPred::Eq, CmpPred::Ne, CmpPred::SLt,
+                          CmpPred::SGt, CmpPred::SLe, CmpPred::SGe}) {
+    EXPECT_FALSE(eval_fcmp(pred, 64, nan, one));
+  }
+}
+
+TEST(Eval, FCmpF32) {
+  const uint64_t a = support::f32_to_bits(1.5f);
+  const uint64_t b = support::f32_to_bits(2.5f);
+  EXPECT_TRUE(eval_fcmp(CmpPred::SLt, 32, a, b));
+  EXPECT_FALSE(eval_fcmp(CmpPred::SGt, 32, a, b));
+}
+
+TEST(Printer, RendersInstructions) {
+  Module m;
+  IRBuilder b(m);
+  b.begin_function("f", {Type::i32()}, Type::void_());
+  b.set_block(b.block("entry"));
+  b.add(b.arg(0), b.i32(1), "inc");
+  b.ret();
+  b.end_function();
+  const auto text = print_module(m);
+  EXPECT_NE(text.find("func @f"), std::string::npos);
+  EXPECT_NE(text.find("add i32"), std::string::npos);
+  EXPECT_NE(text.find("; inc"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace trident::ir

@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "protect/knapsack.h"
+#include "support/rng.h"
+
+namespace trident::protect {
+namespace {
+
+double total_profit(const std::vector<KnapsackItem>& items,
+                    const std::vector<uint32_t>& picked) {
+  double p = 0;
+  for (const auto i : picked) p += items[i].profit;
+  return p;
+}
+
+uint64_t total_weight(const std::vector<KnapsackItem>& items,
+                      const std::vector<uint32_t>& picked) {
+  uint64_t w = 0;
+  for (const auto i : picked) w += items[i].weight;
+  return w;
+}
+
+TEST(Knapsack, EmptyInputs) {
+  EXPECT_TRUE(knapsack_select({}, 100).empty());
+  const std::vector<KnapsackItem> items{{1.0, 1}};
+  EXPECT_TRUE(knapsack_select(items, 0).empty());
+}
+
+TEST(Knapsack, TakesEverythingWhenItFits) {
+  const std::vector<KnapsackItem> items{{1, 2}, {2, 3}, {3, 4}};
+  const auto picked = knapsack_select(items, 100);
+  EXPECT_EQ(picked.size(), 3u);
+}
+
+TEST(Knapsack, ClassicOptimum) {
+  // Textbook instance: weights {1,3,4,5}, profits {1,4,5,7}, cap 7:
+  // optimum is items {1,2} with profit 9.
+  const std::vector<KnapsackItem> items{{1, 1}, {4, 3}, {5, 4}, {7, 5}};
+  const auto picked = knapsack_select(items, 7);
+  EXPECT_DOUBLE_EQ(total_profit(items, picked), 9.0);
+  EXPECT_LE(total_weight(items, picked), 7u);
+}
+
+TEST(Knapsack, PrefersDensityUnderTightBudget) {
+  const std::vector<KnapsackItem> items{
+      {10.0, 100},  // density 0.1
+      {9.0, 10},    // density 0.9
+  };
+  const auto picked = knapsack_select(items, 50);
+  ASSERT_EQ(picked.size(), 1u);
+  EXPECT_EQ(picked[0], 1u);
+}
+
+TEST(Knapsack, IgnoresZeroProfitItems) {
+  const std::vector<KnapsackItem> items{{0.0, 1}, {1.0, 1}};
+  const auto picked = knapsack_select(items, 2);
+  ASSERT_EQ(picked.size(), 1u);
+  EXPECT_EQ(picked[0], 1u);
+}
+
+TEST(Knapsack, OverweightItemNeverPicked) {
+  const std::vector<KnapsackItem> items{{100.0, 1000}, {1.0, 1}};
+  const auto picked = knapsack_select(items, 10);
+  ASSERT_EQ(picked.size(), 1u);
+  EXPECT_EQ(picked[0], 1u);
+}
+
+TEST(Knapsack, CapacityRespectedWithScaling) {
+  // Large weights force bucket scaling; ceil-scaling must never exceed
+  // the true capacity.
+  support::Rng rng(5);
+  std::vector<KnapsackItem> items;
+  for (int i = 0; i < 200; ++i) {
+    items.push_back(
+        {rng.next_double() * 10, 1'000'000 + rng.next_below(5'000'000)});
+  }
+  const uint64_t capacity = 100'000'000;
+  const auto picked = knapsack_select(items, capacity);
+  EXPECT_FALSE(picked.empty());
+  EXPECT_LE(total_weight(items, picked), capacity);
+}
+
+TEST(Knapsack, ScaledSolutionNearExact) {
+  // Small instance solved exactly (no scaling) vs forced coarse
+  // scaling: the scaled profit must be close to the exact optimum.
+  support::Rng rng(9);
+  std::vector<KnapsackItem> items;
+  for (int i = 0; i < 60; ++i) {
+    items.push_back({rng.next_double(), 1 + rng.next_below(50)});
+  }
+  const uint64_t capacity = 400;
+  const auto exact = knapsack_select(items, capacity, 1u << 20);
+  const auto scaled = knapsack_select(items, capacity, 64);
+  EXPECT_GE(total_profit(items, scaled),
+            0.85 * total_profit(items, exact));
+  EXPECT_LE(total_weight(items, scaled), capacity);
+}
+
+TEST(Knapsack, IndicesSortedAndUnique) {
+  const std::vector<KnapsackItem> items{{3, 2}, {2, 2}, {4, 2}, {1, 2}};
+  const auto picked = knapsack_select(items, 6);
+  for (size_t i = 1; i < picked.size(); ++i) {
+    EXPECT_LT(picked[i - 1], picked[i]);
+  }
+}
+
+}  // namespace
+}  // namespace trident::protect

@@ -1,0 +1,200 @@
+#include <gtest/gtest.h>
+
+#include "interp/interpreter.h"
+#include "ir/builder.h"
+#include "ir/parser.h"
+#include "ir/printer.h"
+#include "ir/verifier.h"
+#include "support/bits.h"
+#include "protect/duplication.h"
+#include "workloads/workloads.h"
+
+namespace trident::ir {
+namespace {
+
+std::optional<Module> parse_or_fail(const std::string& text) {
+  ParseError error;
+  auto m = parse_module(text, &error);
+  EXPECT_TRUE(m.has_value())
+      << "line " << error.line << ": " << error.message;
+  return m;
+}
+
+TEST(Parser, MinimalFunction) {
+  const auto m = parse_or_fail(R"(func @main() -> void {
+bb0:
+  %0 = add i32 i32 1, i32 2
+  print %0 fmt=int prec=0
+  ret
+}
+)");
+  ASSERT_TRUE(m);
+  ASSERT_EQ(m->functions.size(), 1u);
+  EXPECT_TRUE(verify(*m).empty()) << verify_to_string(*m);
+  EXPECT_EQ(interp::Interpreter(*m).run_main({}).output, "3\n");
+}
+
+TEST(Parser, GlobalsAndGep) {
+  const auto m = parse_or_fail(R"(@g0 = global "arr" size 16
+
+func @main() -> void {
+bb0:
+  %0 = gep ptr @g0, i32 2 elem 4
+  store i32 7, %0
+  %2 = load i32 %0
+  print %2 fmt=int prec=0
+  ret
+}
+)");
+  ASSERT_TRUE(m);
+  ASSERT_EQ(m->globals.size(), 1u);
+  EXPECT_EQ(m->globals[0].name, "arr");
+  EXPECT_EQ(m->globals[0].size, 16u);
+  EXPECT_EQ(interp::Interpreter(*m).run_main({}).output, "7\n");
+}
+
+TEST(Parser, ControlFlowAndPhi) {
+  const auto m = parse_or_fail(R"(func @main() -> i32 {
+bb0:
+  br bb1
+bb1:
+  %1 = phi i32 i32 0, %4 [bb0] [bb2]
+  %2 = icmp slt i1 %1, i32 5
+  condbr %2, bb2, bb3
+bb2:
+  %4 = add i32 %1, i32 1
+  br bb1
+bb3:
+  ret %1
+}
+)");
+  ASSERT_TRUE(m);
+  EXPECT_TRUE(verify(*m).empty()) << verify_to_string(*m);
+  EXPECT_EQ(interp::Interpreter(*m).run(0, {}, {}).ret_raw, 5u);
+}
+
+TEST(Parser, CallsResolveByName) {
+  const auto m = parse_or_fail(R"(func @twice(i32 %arg0) -> i32 {
+bb0:
+  %0 = mul i32 %arg0, i32 2
+  ret %0
+}
+
+func @main() -> i32 {
+bb0:
+  %0 = call i32 i32 21 @twice
+  ret %0
+}
+)");
+  ASSERT_TRUE(m);
+  EXPECT_TRUE(verify(*m).empty()) << verify_to_string(*m);
+  const auto main_id = m->find_function("main");
+  ASSERT_TRUE(main_id.has_value());
+  EXPECT_EQ(interp::Interpreter(*m).run(*main_id, {}, {}).ret_raw, 42u);
+}
+
+TEST(Parser, FloatHexConstantsExact) {
+  const auto m = parse_or_fail(R"(func @main() -> f64 {
+bb0:
+  %0 = fadd f64 f64 0x1.5555555555555p-2, f64 0x1p-2
+  ret %0
+}
+)");
+  ASSERT_TRUE(m);
+  const double v = trident::support::bits_to_f64(
+      interp::Interpreter(*m).run(0, {}, {}).ret_raw);
+  EXPECT_DOUBLE_EQ(v, 1.0 / 3 + 0.25);
+}
+
+TEST(Parser, DebugPrintMarker) {
+  const auto m = parse_or_fail(R"(func @main() -> void {
+bb0:
+  print i32 1 fmt=int prec=0
+  print i32 2 fmt=int prec=0 (debug)
+  ret
+}
+)");
+  ASSERT_TRUE(m);
+  const auto res = interp::Interpreter(*m).run_main({});
+  EXPECT_EQ(res.output, "1\n");
+  EXPECT_EQ(res.debug_output, "2\n");
+}
+
+TEST(Parser, ReportsErrors) {
+  ParseError error;
+  EXPECT_FALSE(parse_module("func @f() -> void {\nbb0:\n  bogus\n}\n",
+                            &error));
+  EXPECT_EQ(error.line, 3u);
+  EXPECT_NE(error.message.find("bogus"), std::string::npos);
+
+  EXPECT_FALSE(parse_module("  %0 = add i32 i32 1, i32 2\n", &error));
+  EXPECT_FALSE(
+      parse_module("func @f() -> void {\n  ret\n}\n", &error));  // no block
+  EXPECT_FALSE(parse_module(
+      "func @f() -> void {\nbb0:\n  %0 = call i32 @nosuch\n}\n", &error));
+}
+
+TEST(Parser, RejectsDuplicateResultIds) {
+  ParseError error;
+  EXPECT_FALSE(parse_module(R"(func @f() -> void {
+bb0:
+  %0 = add i32 i32 1, i32 2
+  %0 = add i32 i32 3, i32 4
+  ret
+}
+)",
+                            &error));
+}
+
+// The big property: print -> parse -> print is a fixed point, and the
+// reparsed module behaves identically, for every bundled workload.
+class ParserRoundTrip
+    : public ::testing::TestWithParam<workloads::Workload> {};
+
+TEST_P(ParserRoundTrip, TextIsAFixedPoint) {
+  const auto original = GetParam().build();
+  const auto text = print_module(original);
+  ParseError error;
+  const auto reparsed = parse_module(text, &error);
+  ASSERT_TRUE(reparsed.has_value())
+      << GetParam().name << " line " << error.line << ": " << error.message;
+  EXPECT_TRUE(verify(*reparsed).empty()) << verify_to_string(*reparsed);
+  EXPECT_EQ(print_module(*reparsed), text) << GetParam().name;
+}
+
+TEST_P(ParserRoundTrip, ReparsedModuleBehavesIdentically) {
+  const auto original = GetParam().build();
+  const auto reparsed = parse_module(print_module(original));
+  ASSERT_TRUE(reparsed.has_value());
+  const auto a = interp::Interpreter(original).run_main({});
+  const auto b = interp::Interpreter(*reparsed).run_main({});
+  EXPECT_EQ(a.outcome, b.outcome);
+  EXPECT_EQ(a.output, b.output);
+  EXPECT_EQ(a.dynamic_insts, b.dynamic_insts);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, ParserRoundTrip,
+                         ::testing::ValuesIn(workloads::all_workloads()),
+                         [](const auto& info) { return info.param.name; });
+
+TEST(Parser, ProtectedModulesRoundTripToo) {
+  // Output of the duplication pass (dups, detection compares, Detect
+  // instructions, bitcasts for float checks) survives text round-trips.
+  for (const char* name : {"pathfinder", "hotspot", "blackscholes"}) {
+    const auto m = workloads::find_workload(name).build();
+    const auto result = protect::duplicate_all(m);
+    const auto text = print_module(result.module);
+    ParseError error;
+    const auto reparsed = parse_module(text, &error);
+    ASSERT_TRUE(reparsed.has_value())
+        << name << " line " << error.line << ": " << error.message;
+    EXPECT_EQ(print_module(*reparsed), text) << name;
+    const auto a = interp::Interpreter(result.module).run_main({});
+    const auto b = interp::Interpreter(*reparsed).run_main({});
+    EXPECT_EQ(a.output, b.output) << name;
+    EXPECT_EQ(a.outcome, b.outcome) << name;
+  }
+}
+
+}  // namespace
+}  // namespace trident::ir

@@ -1,0 +1,331 @@
+#include <gtest/gtest.h>
+
+#include "core/sequence.h"
+#include "ir/builder.h"
+#include "profiler/profiler.h"
+#include "workloads/common.h"
+
+namespace trident::core {
+namespace {
+
+using ir::CmpPred;
+using ir::IRBuilder;
+using ir::Module;
+using ir::Type;
+using ir::Value;
+
+std::pair<ir::InstRef, double> only_store(const Terminals& t) {
+  EXPECT_EQ(t.stores.size(), 1u);
+  if (t.stores.empty()) return {{}, 0.0};
+  return {t.stores[0].ref, t.stores[0].prob};
+}
+
+TEST(Sequence, StraightLineToOutput) {
+  Module m;
+  IRBuilder b(m);
+  b.begin_function("main", {}, Type::void_());
+  b.set_block(b.block("entry"));
+  const Value x = b.add(b.i32(1), b.i32(2));
+  const Value y = b.mul(x, b.i32(3));
+  b.print_int(y);
+  b.ret();
+  b.end_function();
+  const auto profile = prof::collect_profile(m);
+  const SequenceTracer tracer(m, profile);
+  const auto t = tracer.trace({0, x.index});
+  EXPECT_DOUBLE_EQ(t.output_mass(), 1.0);
+  EXPECT_DOUBLE_EQ(t.crash, 0.0);
+  EXPECT_TRUE(t.stores.empty());
+  EXPECT_TRUE(t.branches.empty());
+}
+
+TEST(Sequence, EndsAtStore) {
+  Module m;
+  IRBuilder b(m);
+  b.begin_function("main", {}, Type::void_());
+  b.set_block(b.block("entry"));
+  const Value p = b.alloca_(4);
+  const Value x = b.add(b.i32(1), b.i32(2));
+  b.store(x, p);
+  b.print_int(b.load(Type::i32(), p));
+  b.ret();
+  b.end_function();
+  const auto profile = prof::collect_profile(m);
+  const SequenceTracer tracer(m, profile);
+  const auto t = tracer.trace({0, x.index});
+  const auto [store, p_store] = only_store(t);
+  EXPECT_DOUBLE_EQ(p_store, 1.0);
+  EXPECT_EQ(m.functions[0].insts[store.inst].op, ir::Opcode::Store);
+  EXPECT_DOUBLE_EQ(t.output_mass(), 0.0);  // fs stops at the store; fm takes over
+}
+
+TEST(Sequence, EndsAtBranchThroughCmp) {
+  Module m;
+  IRBuilder b(m);
+  b.begin_function("main", {}, Type::void_());
+  const auto entry = b.block("entry");
+  const auto t_bb = b.block("t");
+  const auto f_bb = b.block("f");
+  b.set_block(entry);
+  const Value p = b.alloca_(4);
+  b.store(b.i32(5), p);
+  const Value x = b.load(Type::i32(), p);
+  const Value c = b.icmp(CmpPred::SGt, x, b.i32(0));
+  b.cond_br(c, t_bb, f_bb);
+  b.set_block(t_bb);
+  b.print_int(b.i32(1));
+  b.ret();
+  b.set_block(f_bb);
+  b.print_int(b.i32(2));
+  b.ret();
+  b.end_function();
+  const auto profile = prof::collect_profile(m);
+  const SequenceTracer tracer(m, profile);
+  // Fault at the cmp result: reaches the branch with probability 1.
+  const auto t_cmp = tracer.trace({0, c.index});
+  ASSERT_EQ(t_cmp.branches.size(), 1u);
+  EXPECT_DOUBLE_EQ(t_cmp.branches[0].second, 1.0);
+  // Fault at the load: damped by the cmp's masking tuple.
+  const auto t_load = tracer.trace({0, x.index});
+  ASSERT_EQ(t_load.branches.size(), 1u);
+  EXPECT_LE(t_load.branches[0].second, 1.0);
+  EXPECT_GT(t_load.branches[0].second, 0.0);
+}
+
+TEST(Sequence, MaskingTupleDampsPropagation) {
+  Module m;
+  IRBuilder b(m);
+  b.begin_function("main", {}, Type::void_());
+  b.set_block(b.block("entry"));
+  const Value x = b.add(b.i32(1), b.i32(2));
+  const Value masked = b.and_(x, b.i32(0xf));  // 4 of 32 bits survive
+  b.print_int(masked);
+  b.ret();
+  b.end_function();
+  const auto profile = prof::collect_profile(m);
+  const SequenceTracer tracer(m, profile);
+  EXPECT_NEAR(tracer.trace({0, x.index}).output_mass(), 4.0 / 32, 1e-9);
+}
+
+TEST(Sequence, DebugPrintIsNotOutput) {
+  Module m;
+  IRBuilder b(m);
+  b.begin_function("main", {}, Type::void_());
+  b.set_block(b.block("entry"));
+  const Value x = b.add(b.i32(1), b.i32(2));
+  b.print_int(x, /*is_output=*/false);
+  b.ret();
+  b.end_function();
+  const auto profile = prof::collect_profile(m);
+  const SequenceTracer tracer(m, profile);
+  EXPECT_DOUBLE_EQ(tracer.trace({0, x.index}).output_mass(), 0.0);
+}
+
+TEST(Sequence, FloatOutputFormatMasking) {
+  Module m;
+  IRBuilder b(m);
+  b.begin_function("main", {}, Type::void_());
+  b.set_block(b.block("entry"));
+  const Value x = b.fadd(b.f32(1.0f), b.f32(2.0f));
+  b.print_float(x, /*precision=*/2);
+  b.ret();
+  b.end_function();
+  const auto profile = prof::collect_profile(m);
+  const SequenceTracer tracer(m, profile);
+  const auto t = tracer.trace({0, x.index});
+  // The format parameters ride on the output term; resolving the factor
+  // with zero attenuation reproduces the paper's 48.66% number.
+  ASSERT_EQ(t.outputs.size(), 1u);
+  EXPECT_DOUBLE_EQ(t.outputs[0].prob, 1.0);
+  EXPECT_EQ(t.outputs[0].print_width, 32u);
+  EXPECT_DOUBLE_EQ(t.outputs[0].digits, 2.0);
+  EXPECT_NEAR(TupleModel::fp_format_propagation_attenuated(
+                  t.outputs[0].print_width, t.outputs[0].digits,
+                  surv_to_atten_bits(t.outputs[0].surv)),
+              0.4866, 0.01);
+}
+
+TEST(Sequence, MultipleUsersCappedAtOne) {
+  Module m;
+  IRBuilder b(m);
+  b.begin_function("main", {}, Type::void_());
+  b.set_block(b.block("entry"));
+  const Value x = b.add(b.i32(1), b.i32(2));
+  b.print_int(x);
+  b.print_int(x);  // two output users: still a single fault, capped at 1
+  b.ret();
+  b.end_function();
+  const auto profile = prof::collect_profile(m);
+  const SequenceTracer tracer(m, profile);
+  EXPECT_DOUBLE_EQ(tracer.trace({0, x.index}).output_mass(), 1.0);
+}
+
+TEST(Sequence, CrossFunctionThroughCallAndReturn) {
+  Module m;
+  IRBuilder b(m);
+  const auto callee = b.begin_function("sq", {Type::i32()}, Type::i32());
+  b.set_block(b.block("entry"));
+  b.ret(b.mul(b.arg(0), b.arg(0)));
+  b.end_function();
+  b.begin_function("main", {}, Type::void_());
+  b.set_block(b.block("entry"));
+  const Value x = b.add(b.i32(2), b.i32(3));
+  const Value r = b.call(callee, {x});
+  b.print_int(r);
+  b.ret();
+  b.end_function();
+  const auto profile = prof::collect_profile(m);
+  const SequenceTracer tracer(m, profile);
+  // Fault in x: flows into the callee arg, through the mul, back out.
+  EXPECT_DOUBLE_EQ(tracer.trace({1, x.index}).output_mass(), 1.0);
+  // Fault inside the callee's mul: returns to the call site's users.
+  const auto mul_ref = ir::InstRef{callee, 0};
+  EXPECT_DOUBLE_EQ(tracer.trace(mul_ref).output_mass(), 1.0);
+}
+
+TEST(Sequence, ReturnSplitsAcrossCallSites) {
+  Module m;
+  IRBuilder b(m);
+  const auto callee = b.begin_function("id", {Type::i32()}, Type::i32());
+  b.set_block(b.block("entry"));
+  b.ret(b.add(b.arg(0), b.i32(0)));
+  b.end_function();
+  b.begin_function("main", {}, Type::void_());
+  b.set_block(b.block("entry"));
+  const Value a = b.call(callee, {b.i32(1)});
+  const Value bb = b.call(callee, {b.i32(2)});
+  b.print_int(a);        // call site 1 reaches output
+  b.and_(bb, b.i32(0));  // call site 2 is fully masked
+  b.ret();
+  b.end_function();
+  const auto profile = prof::collect_profile(m);
+  const SequenceTracer tracer(m, profile);
+  // A fault in the callee's add reaches the output only via site 1,
+  // and the two sites are equally frequent.
+  EXPECT_NEAR(tracer.trace({callee, 0}).output_mass(), 0.5, 1e-9);
+}
+
+TEST(Sequence, ConditionalUserWeightedByExecution) {
+  // print runs on ~60% of iterations: a corrupted loop value reaches
+  // output with roughly that probability (the paper's Fig. 4 weighting).
+  Module m;
+  IRBuilder b(m);
+  b.begin_function("main", {}, Type::void_());
+  b.set_block(b.block("entry"));
+  workloads::counted_loop(b, 0, 10, 1, [&](Value i) {
+    const Value v = b.add(b.mul(i, b.i32(7)), b.i32(1));
+    const Value c = b.icmp(CmpPred::SLt, b.urem(i, b.i32(10)), b.i32(6));
+    workloads::if_then(b, c, [&] { b.print_int(v); });
+  });
+  b.ret();
+  b.end_function();
+  const auto profile = prof::collect_profile(m);
+  const SequenceTracer tracer(m, profile);
+  uint32_t mul_id = ~0u;
+  for (uint32_t i = 0; i < m.functions[0].insts.size(); ++i) {
+    if (m.functions[0].insts[i].op == ir::Opcode::Mul) mul_id = i;
+  }
+  const auto t = tracer.trace({0, mul_id});
+  EXPECT_NEAR(t.output_mass(), 0.6, 0.05);
+}
+
+TEST(Sequence, GuardDampingOnInductionVariable) {
+  // iv feeds both the exit compare and a store address: the store-side
+  // contributions must be damped by the branch-flip probability.
+  Module m;
+  const auto g = m.add_global({"arr", 256 * 4, {}});
+  IRBuilder b(m);
+  b.begin_function("main", {}, Type::void_());
+  b.set_block(b.block("entry"));
+  const Value arr = b.global(g);
+  workloads::counted_loop(b, 0, 256, 1, [&](Value i) {
+    b.store(i, b.gep(arr, i, 4));
+  });
+  b.print_int(b.load(Type::i32(), b.gep(arr, b.i32(3), 4)));
+  b.ret();
+  b.end_function();
+  const auto profile = prof::collect_profile(m);
+  const SequenceTracer tracer(m, profile);
+  // iv is the phi (first inst of the loop header).
+  uint32_t phi_id = ~0u;
+  for (uint32_t i = 0; i < m.functions[0].insts.size(); ++i) {
+    if (m.functions[0].insts[i].op == ir::Opcode::Phi) phi_id = i;
+  }
+  ASSERT_NE(phi_id, ~0u);
+  const auto t = tracer.trace({0, phi_id});
+  ASSERT_FALSE(t.branches.empty());
+  const double flip = t.branches[0].second;
+  EXPECT_GT(flip, 0.3);  // many iv bits flip `i < 256`
+  // Crash mass from the store address must be well below the raw
+  // address-crash probability (damped by 1 - flip).
+  EXPECT_LT(t.crash, 1.0 - flip + 0.05);
+}
+
+TEST(Sequence, CycleThroughPhiDoesNotDeadlockOrPoison) {
+  Module m;
+  IRBuilder b(m);
+  b.begin_function("main", {}, Type::void_());
+  b.set_block(b.block("entry"));
+  const Value sink = b.alloca_(4);
+  workloads::counted_loop(b, 0, 10, 1, [&](Value i) {
+    b.store(i, sink);
+  });
+  b.print_int(b.load(Type::i32(), sink));
+  b.ret();
+  b.end_function();
+  const auto profile = prof::collect_profile(m);
+  const SequenceTracer tracer(m, profile);
+  uint32_t phi_id = ~0u, add_id = ~0u;
+  for (uint32_t i = 0; i < m.functions[0].insts.size(); ++i) {
+    const auto op = m.functions[0].insts[i].op;
+    if (op == ir::Opcode::Phi) phi_id = i;
+    if (op == ir::Opcode::Add && add_id == ~0u) add_id = i;
+  }
+  // The iv increment feeds only the phi: tracing it must see the phi's
+  // terminals (branch + store), not an empty poisoned memo.
+  const auto t_add = tracer.trace({0, add_id});
+  const auto t_phi = tracer.trace({0, phi_id});
+  EXPECT_FALSE(t_phi.branches.empty());
+  EXPECT_FALSE(t_add.branches.empty());
+}
+
+TEST(Sequence, TerminalsAccumulateHelper) {
+  Terminals a;
+  a.add_output({.prob = 0.5, .surv = 0.25, .digits = 6, .print_width = 64});
+  a.crash = 0.1;
+  a.add_store({0, 1}, 0.3, /*surv=*/1.0);
+  a.add_branch({0, 2}, 0.2);
+  Terminals b;
+  b.accumulate(a, 0.5, /*step_surv=*/0.5);
+  EXPECT_DOUBLE_EQ(b.output_mass(), 0.25);
+  EXPECT_DOUBLE_EQ(b.outputs[0].surv, 0.125);  // 0.25 * the step's 0.5
+  EXPECT_DOUBLE_EQ(b.crash, 0.05);
+  EXPECT_DOUBLE_EQ(b.stores[0].prob, 0.15);
+  EXPECT_DOUBLE_EQ(b.stores[0].surv, 0.5);
+  EXPECT_DOUBLE_EQ(b.branches[0].second, 0.1);
+  // Accumulating again merges by instruction; survival keeps the
+  // best-surviving path.
+  b.accumulate(a, 0.5, 1.0);
+  EXPECT_EQ(b.stores.size(), 1u);
+  EXPECT_DOUBLE_EQ(b.stores[0].prob, 0.3);
+  EXPECT_DOUBLE_EQ(b.stores[0].surv, 1.0);  // max of 0.5 and 1.0
+}
+
+TEST(Sequence, DeadValueHasNoTerminals) {
+  Module m;
+  IRBuilder b(m);
+  b.begin_function("main", {}, Type::void_());
+  b.set_block(b.block("entry"));
+  const Value x = b.add(b.i32(1), b.i32(2));  // never used
+  b.print_int(b.i32(0));
+  b.ret();
+  b.end_function();
+  const auto profile = prof::collect_profile(m);
+  const SequenceTracer tracer(m, profile);
+  const auto t = tracer.trace({0, x.index});
+  EXPECT_DOUBLE_EQ(t.output_mass(), 0.0);
+  EXPECT_TRUE(t.stores.empty());
+}
+
+}  // namespace
+}  // namespace trident::core

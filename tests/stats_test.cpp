@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "stats/stats.h"
+#include "stats/ttest.h"
+
+namespace trident::stats {
+namespace {
+
+TEST(Stats, Mean) {
+  const std::vector<double> xs{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+  EXPECT_DOUBLE_EQ(mean(std::vector<double>{}), 0.0);
+}
+
+TEST(Stats, Stddev) {
+  const std::vector<double> xs{2, 4, 4, 4, 5, 5, 7, 9};
+  // Known sample stddev of this classic data set.
+  EXPECT_NEAR(stddev(xs), 2.13809, 1e-4);
+  EXPECT_DOUBLE_EQ(stddev(std::vector<double>{1.0}), 0.0);
+}
+
+TEST(Stats, MeanAbsoluteError) {
+  const std::vector<double> a{1, 2, 3};
+  const std::vector<double> b{2, 2, 1};
+  EXPECT_DOUBLE_EQ(mean_absolute_error(a, b), 1.0);
+}
+
+TEST(Stats, ProportionCi95) {
+  // p=0.5, n=100: 1.96 * sqrt(0.25/100) = 0.098.
+  EXPECT_NEAR(proportion_ci95(0.5, 100), 0.098, 1e-3);
+  EXPECT_DOUBLE_EQ(proportion_ci95(0.5, 0), 0.0);
+  EXPECT_DOUBLE_EQ(proportion_ci95(0.0, 100), 0.0);
+}
+
+TEST(Stats, LinearFitExact) {
+  const std::vector<double> x{1, 2, 3, 4};
+  const std::vector<double> y{3, 5, 7, 9};  // y = 2x + 1
+  const auto fit = linear_fit(x, y);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+}
+
+TEST(Stats, LinearFitFlat) {
+  const std::vector<double> x{1, 2, 3, 4};
+  const std::vector<double> y{5, 5, 5, 5};
+  const auto fit = linear_fit(x, y);
+  EXPECT_NEAR(fit.slope, 0.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 5.0, 1e-12);
+}
+
+TEST(IncompleteBeta, Boundaries) {
+  EXPECT_DOUBLE_EQ(incomplete_beta(2, 3, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(incomplete_beta(2, 3, 1.0), 1.0);
+}
+
+TEST(IncompleteBeta, KnownValues) {
+  // I_x(1,1) = x (uniform distribution CDF).
+  for (const double x : {0.1, 0.25, 0.5, 0.9}) {
+    EXPECT_NEAR(incomplete_beta(1, 1, x), x, 1e-10);
+  }
+  // I_0.5(a, a) = 0.5 by symmetry.
+  for (const double a : {0.5, 1.0, 2.0, 10.0}) {
+    EXPECT_NEAR(incomplete_beta(a, a, 0.5), 0.5, 1e-10);
+  }
+  // I_x(1, b) = 1 - (1-x)^b.
+  EXPECT_NEAR(incomplete_beta(1, 3, 0.2), 1 - std::pow(0.8, 3), 1e-10);
+}
+
+TEST(TTest, TwoTailedPKnownValues) {
+  // t distribution with 10 df: P(|T| > 2.228) = 0.05 (classic table).
+  EXPECT_NEAR(t_two_tailed_p(2.228, 10), 0.05, 2e-3);
+  // t = 0 gives p = 1.
+  EXPECT_NEAR(t_two_tailed_p(0.0, 5), 1.0, 1e-12);
+  // Symmetric in t.
+  EXPECT_NEAR(t_two_tailed_p(-2.228, 10), t_two_tailed_p(2.228, 10), 1e-12);
+  // Large |t| gives tiny p.
+  EXPECT_LT(t_two_tailed_p(50, 10), 1e-8);
+}
+
+TEST(TTest, PairedIdenticalSeries) {
+  const std::vector<double> a{1, 2, 3, 4, 5};
+  const auto r = paired_ttest(a, a);
+  EXPECT_TRUE(r.degenerate);
+  EXPECT_DOUBLE_EQ(r.p, 1.0);
+}
+
+TEST(TTest, PairedConstantShift) {
+  const std::vector<double> a{1, 2, 3, 4, 5};
+  std::vector<double> b = a;
+  for (auto& v : b) v += 2;
+  const auto r = paired_ttest(a, b);
+  EXPECT_TRUE(r.degenerate);
+  EXPECT_DOUBLE_EQ(r.p, 0.0);
+}
+
+TEST(TTest, PairedCloseSeriesNotRejected) {
+  const std::vector<double> a{0.10, 0.20, 0.30, 0.40, 0.50, 0.25};
+  const std::vector<double> b{0.11, 0.19, 0.31, 0.38, 0.52, 0.24};
+  const auto r = paired_ttest(a, b);
+  EXPECT_GT(r.p, 0.05);  // statistically indistinguishable
+}
+
+TEST(TTest, PairedSystematicBiasRejected) {
+  std::vector<double> a, b;
+  for (int i = 0; i < 12; ++i) {
+    a.push_back(0.1 + 0.01 * i);
+    b.push_back(0.3 + 0.011 * i);  // consistent +0.2 shift with jitter
+  }
+  const auto r = paired_ttest(a, b);
+  EXPECT_LT(r.p, 0.05);
+}
+
+TEST(TTest, MatchesKnownExample) {
+  // Classic paired example: d = {1, 2, 1, 0, 2, 1}, mean 7/6,
+  // sd = 0.752773, t = 3.796, df = 5 -> p ~ 0.0127.
+  const std::vector<double> before{10, 12, 9, 11, 8, 13};
+  const std::vector<double> after{9, 10, 8, 11, 6, 12};
+  const auto r = paired_ttest(before, after);
+  EXPECT_NEAR(r.t, 3.796, 5e-3);
+  EXPECT_NEAR(r.p, 0.0127, 1e-3);
+}
+
+}  // namespace
+}  // namespace trident::stats

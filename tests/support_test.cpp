@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <set>
+
+#include "support/bits.h"
+#include "support/rng.h"
+#include "support/str.h"
+
+namespace trident::support {
+namespace {
+
+TEST(Rng, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next_u64() == b.next_u64();
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng rng(7);
+  for (uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.next_below(bound), bound);
+  }
+}
+
+TEST(Rng, NextBelowCoversAllValues) {
+  Rng rng(11);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.next_below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, NextBelowRoughlyUniform) {
+  Rng rng(13);
+  std::array<int, 4> counts{};
+  constexpr int kTrials = 40000;
+  for (int i = 0; i < kTrials; ++i) ++counts[rng.next_below(4)];
+  for (const auto c : counts) {
+    EXPECT_NEAR(c, kTrials / 4, kTrials / 40);  // within 10%
+  }
+}
+
+TEST(Rng, NextRangeInclusive) {
+  Rng rng(3);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.next_range(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= v == -2;
+    saw_hi |= v == 2;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(5);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, NextBoolEdgeCases) {
+  Rng rng(9);
+  EXPECT_FALSE(rng.next_bool(0.0));
+  EXPECT_TRUE(rng.next_bool(1.0));
+  EXPECT_FALSE(rng.next_bool(-1.0));
+  EXPECT_TRUE(rng.next_bool(2.0));
+}
+
+TEST(Rng, ForkDecorrelates) {
+  Rng parent(21);
+  Rng c1 = parent.fork(1);
+  Rng c2 = parent.fork(1);  // same tag, later stream state: still distinct
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += c1.next_u64() == c2.next_u64();
+  EXPECT_LT(same, 2);
+}
+
+TEST(Bits, LowMask) {
+  EXPECT_EQ(low_mask(1), 1ull);
+  EXPECT_EQ(low_mask(8), 0xffull);
+  EXPECT_EQ(low_mask(32), 0xffffffffull);
+  EXPECT_EQ(low_mask(64), ~0ull);
+}
+
+TEST(Bits, FlipBit) {
+  EXPECT_EQ(flip_bit(0, 0, 32), 1ull);
+  EXPECT_EQ(flip_bit(1, 0, 32), 0ull);
+  EXPECT_EQ(flip_bit(0, 31, 32), 0x80000000ull);
+  // Flip masks the result to the declared width.
+  EXPECT_EQ(flip_bit(0xffffffffull, 31, 32), 0x7fffffffull);
+}
+
+TEST(Bits, SignExtend) {
+  EXPECT_EQ(sign_extend(0xff, 8), -1);
+  EXPECT_EQ(sign_extend(0x7f, 8), 127);
+  EXPECT_EQ(sign_extend(0x80, 8), -128);
+  EXPECT_EQ(sign_extend(0xffffffff, 32), -1);
+  EXPECT_EQ(sign_extend(1, 1), -1);
+  EXPECT_EQ(sign_extend(0xdeadbeefcafebabe, 64),
+            static_cast<int64_t>(0xdeadbeefcafebabe));
+}
+
+TEST(Bits, Truncate) {
+  EXPECT_EQ(truncate(0x1ff, 8), 0xffull);
+  EXPECT_EQ(truncate(0x100, 8), 0ull);
+}
+
+TEST(Bits, PopcountLow) {
+  EXPECT_EQ(popcount_low(0xff, 4), 4u);
+  EXPECT_EQ(popcount_low(0xff, 8), 8u);
+  EXPECT_EQ(popcount_low(0, 32), 0u);
+}
+
+TEST(Bits, FloatRoundTrip) {
+  for (const double v : {0.0, 1.5, -3.25, 1e300, -1e-300}) {
+    EXPECT_EQ(bits_to_f64(f64_to_bits(v)), v);
+  }
+  for (const float v : {0.0f, 1.5f, -3.25f, 1e30f}) {
+    EXPECT_EQ(bits_to_f32(f32_to_bits(v)), v);
+  }
+}
+
+TEST(Str, Format) {
+  EXPECT_EQ(format("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(format("empty"), "empty");
+}
+
+TEST(Str, Pct) { EXPECT_EQ(pct(0.1359), "13.59%"); }
+
+TEST(Str, Padding) {
+  EXPECT_EQ(pad_right("ab", 4), "ab  ");
+  EXPECT_EQ(pad_left("ab", 4), "  ab");
+  EXPECT_EQ(pad_right("abcdef", 4), "abcd");
+}
+
+TEST(Str, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+}
+
+}  // namespace
+}  // namespace trident::support

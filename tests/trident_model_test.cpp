@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include "core/trident.h"
+#include "ir/builder.h"
+#include "profiler/profiler.h"
+#include "workloads/common.h"
+#include "workloads/workloads.h"
+
+namespace trident::core {
+namespace {
+
+using ir::CmpPred;
+using ir::IRBuilder;
+using ir::Module;
+using ir::Type;
+using ir::Value;
+
+TEST(Trident, PredictionsAreProbabilities) {
+  const auto m = workloads::find_workload("pathfinder").build();
+  const auto profile = prof::collect_profile(m);
+  const Trident model(m, profile);
+  for (const auto& ref : model.injectable_instructions()) {
+    const auto pred = model.predict(ref);
+    EXPECT_GE(pred.sdc, 0.0);
+    EXPECT_LE(pred.sdc, 1.0);
+    EXPECT_GE(pred.crash, 0.0);
+    EXPECT_LE(pred.crash, 1.0);
+    EXPECT_LE(pred.sdc + pred.crash, 1.0 + 1e-9);
+  }
+}
+
+TEST(Trident, UnexecutedInstructionPredictsZero) {
+  Module m;
+  IRBuilder b(m);
+  b.begin_function("main", {}, Type::void_());
+  const auto entry = b.block("entry");
+  const auto dead = b.block("dead");
+  const auto out = b.block("out");
+  b.set_block(entry);
+  b.br(out);
+  b.set_block(dead);
+  const Value x = b.add(b.i32(1), b.i32(2));
+  b.print_int(x);
+  b.br(out);
+  b.set_block(out);
+  b.print_int(b.i32(0));
+  b.ret();
+  b.end_function();
+  const auto profile = prof::collect_profile(m);
+  const Trident model(m, profile);
+  EXPECT_DOUBLE_EQ(model.predict({0, x.index}).sdc, 0.0);
+}
+
+TEST(Trident, DirectOutputValueIsCertainSdc) {
+  Module m;
+  IRBuilder b(m);
+  b.begin_function("main", {}, Type::void_());
+  b.set_block(b.block("entry"));
+  const Value x = b.add(b.i32(1), b.i32(2));
+  b.print_int(x);
+  b.ret();
+  b.end_function();
+  const auto profile = prof::collect_profile(m);
+  const Trident model(m, profile);
+  EXPECT_DOUBLE_EQ(model.predict({0, x.index}).sdc, 1.0);
+}
+
+TEST(Trident, OverallMatchesExactOnUniformProgram) {
+  const auto m = workloads::find_workload("nw").build();
+  const auto profile = prof::collect_profile(m);
+  const Trident model(m, profile);
+  const double exact = model.overall_sdc_exact();
+  const double sampled = model.overall_sdc(5000, 7);
+  EXPECT_NEAR(sampled, exact, 0.03);
+}
+
+TEST(Trident, OverallSamplingDeterministicPerSeed) {
+  const auto m = workloads::find_workload("pathfinder").build();
+  const auto profile = prof::collect_profile(m);
+  const Trident model(m, profile);
+  EXPECT_DOUBLE_EQ(model.overall_sdc(500, 3), model.overall_sdc(500, 3));
+}
+
+TEST(Trident, InjectableMatchesProfiledResults) {
+  const auto m = workloads::find_workload("sad").build();
+  const auto profile = prof::collect_profile(m);
+  const Trident model(m, profile);
+  uint64_t total = 0;
+  for (const auto& ref : model.injectable_instructions()) {
+    const auto& inst = m.functions[ref.func].insts[ref.inst];
+    EXPECT_TRUE(inst.has_result());
+    EXPECT_GT(profile.exec(ref), 0u);
+    total += profile.exec(ref);
+  }
+  EXPECT_EQ(total, profile.total_results);
+}
+
+TEST(Trident, AblationOrderingOnStoreHeavyKernel) {
+  // For a kernel whose stores rarely reach the output, the full model
+  // must predict no more than fs+fc (which assumes store == SDC).
+  const auto m = workloads::find_workload("sad").build();
+  const auto profile = prof::collect_profile(m);
+  const Trident full(m, profile, ModelConfig::full());
+  const Trident fs_fc(m, profile, ModelConfig::fs_fc());
+  EXPECT_LE(full.overall_sdc_exact(), fs_fc.overall_sdc_exact() + 1e-9);
+}
+
+TEST(Trident, FsOnlyIgnoresControlFlowDivergence) {
+  // A value whose only path to the output is through a branch: the fs
+  // model must predict 0 for it, the full model more.
+  Module m;
+  const auto g = m.add_global({"sink", 4, {}});
+  IRBuilder b(m);
+  b.begin_function("main", {}, Type::void_());
+  b.set_block(b.block("entry"));
+  const Value sink = b.global(g);
+  workloads::counted_loop(b, 0, 20, 1, [&](Value i) {
+    const Value c = b.icmp(CmpPred::SLt, b.urem(i, b.i32(4)), b.i32(2));
+    workloads::if_then(b, c, [&] { b.store(i, sink); });
+  });
+  b.print_int(b.load(Type::i32(), sink));
+  b.ret();
+  b.end_function();
+  const auto profile = prof::collect_profile(m);
+  const Trident full(m, profile, ModelConfig::full());
+  const Trident fs(m, profile, ModelConfig::fs_only());
+  // The cmp's only consumer is the branch.
+  uint32_t cmp_id = ~0u;
+  int seen = 0;
+  for (uint32_t i = 0; i < m.functions[0].insts.size(); ++i) {
+    if (m.functions[0].insts[i].op == ir::Opcode::ICmp && seen++ == 1) {
+      cmp_id = i;
+    }
+  }
+  ASSERT_NE(cmp_id, ~0u);
+  EXPECT_DOUBLE_EQ(fs.predict({0, cmp_id}).sdc, 0.0);
+  EXPECT_GT(full.predict({0, cmp_id}).sdc, 0.0);
+}
+
+TEST(Trident, PredictMemoized) {
+  const auto m = workloads::find_workload("hotspot").build();
+  const auto profile = prof::collect_profile(m);
+  const Trident model(m, profile);
+  const auto refs = model.injectable_instructions();
+  // First full pass may be slow; the second must be nearly free and
+  // identical.
+  std::vector<double> first, second;
+  for (const auto& ref : refs) first.push_back(model.predict(ref).sdc);
+  for (const auto& ref : refs) second.push_back(model.predict(ref).sdc);
+  EXPECT_EQ(first, second);
+}
+
+// Property sweep: on every workload, every model variant yields valid
+// probabilities and the configured sub-models change predictions.
+class ModelOnWorkload
+    : public ::testing::TestWithParam<workloads::Workload> {};
+
+TEST_P(ModelOnWorkload, VariantsProduceValidOverallSdc) {
+  const auto m = GetParam().build();
+  const auto profile = prof::collect_profile(m);
+  for (const auto& config : {ModelConfig::full(), ModelConfig::fs_fc(),
+                             ModelConfig::fs_only()}) {
+    const Trident model(m, profile, config);
+    const double overall = model.overall_sdc_exact();
+    EXPECT_GE(overall, 0.0) << GetParam().name;
+    EXPECT_LE(overall, 1.0) << GetParam().name;
+  }
+}
+
+TEST_P(ModelOnWorkload, FullNeverExceedsFsFc) {
+  // fm can only discount store terminals (store_weight <= 1), so the
+  // full model is bounded by fs+fc.
+  const auto m = GetParam().build();
+  const auto profile = prof::collect_profile(m);
+  const Trident full(m, profile, ModelConfig::full());
+  const Trident fs_fc(m, profile, ModelConfig::fs_fc());
+  for (const auto& ref : full.injectable_instructions()) {
+    EXPECT_LE(full.predict(ref).sdc, fs_fc.predict(ref).sdc + 1e-9)
+        << GetParam().name << " inst " << ref.inst;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, ModelOnWorkload,
+    ::testing::ValuesIn(workloads::all_workloads()),
+    [](const auto& info) { return info.param.name; });
+
+}  // namespace
+}  // namespace trident::core

@@ -1,0 +1,277 @@
+#include <gtest/gtest.h>
+
+#include "core/tuples.h"
+#include "ir/builder.h"
+#include "profiler/profiler.h"
+#include "workloads/common.h"
+#include "workloads/workloads.h"
+
+namespace trident::core {
+namespace {
+
+using ir::CmpPred;
+using ir::IRBuilder;
+using ir::Module;
+using ir::Type;
+using ir::Value;
+
+// Builds a loop running `n` times whose body is produced by `body`,
+// profiles it, and returns (module, profile).
+template <typename Fn>
+std::pair<Module, prof::Profile> profiled(int n, Fn&& body) {
+  Module m;
+  IRBuilder b(m);
+  b.begin_function("main", {}, Type::void_());
+  b.set_block(b.block("entry"));
+  workloads::counted_loop(b, 0, n, 1,
+                          [&](Value i) { body(b, i); });
+  b.print_int(b.i32(0));
+  b.ret();
+  b.end_function();
+  auto profile = prof::collect_profile(m);
+  return {std::move(m), std::move(profile)};
+}
+
+uint32_t find_op(const Module& m, ir::Opcode op, int skip = 0) {
+  for (uint32_t i = 0; i < m.functions[0].insts.size(); ++i) {
+    if (m.functions[0].insts[i].op == op && skip-- == 0) return i;
+  }
+  ADD_FAILURE() << "opcode not found";
+  return ~0u;
+}
+
+void expect_tuple_sums_to_one(const Tuple& t) {
+  EXPECT_NEAR(t.propagate + t.mask + t.crash, 1.0, 1e-9);
+  EXPECT_GE(t.propagate, 0.0);
+  EXPECT_GE(t.mask, 0.0);
+  EXPECT_GE(t.crash, 0.0);
+}
+
+TEST(Tuples, DefaultOpcodesPropagateFully) {
+  auto [m, profile] = profiled(8, [](IRBuilder& b, Value i) {
+    b.add(b.mul(i, b.i32(3)), b.i32(1));
+  });
+  const TupleModel tuples(m, profile);
+  for (const auto op : {ir::Opcode::Add, ir::Opcode::Mul}) {
+    const auto t = tuples.tuple({0, find_op(m, op)}, 0);
+    EXPECT_DOUBLE_EQ(t.propagate, 1.0);
+    expect_tuple_sums_to_one(t);
+  }
+}
+
+TEST(Tuples, CmpSignBitExample) {
+  // The paper's §IV-C example: `cmp sgt $1, 0` on values whose sign bit
+  // alone decides the branch -> propagation 1/32.
+  auto [m, profile] = profiled(16, [](IRBuilder& b, Value i) {
+    // values 100..1500: strictly positive, far from zero in magnitude...
+    const Value v = b.add(b.mul(i, b.i32(100)), b.i32(100));
+    b.icmp(CmpPred::SGt, v, b.i32(0));
+  });
+  const TupleModel tuples(m, profile);
+  const auto t = tuples.tuple({0, find_op(m, ir::Opcode::ICmp, 1)}, 0);
+  // Only the sign bit always flips the comparison; a couple of high bits
+  // may matter for some sampled values, but the probability must be near
+  // 1/32 and far from 1.
+  EXPECT_GE(t.propagate, 1.0 / 32 - 1e-9);
+  EXPECT_LE(t.propagate, 4.0 / 32);
+  expect_tuple_sums_to_one(t);
+}
+
+TEST(Tuples, CmpEqualityIsBitSensitive) {
+  // eq comparison against the exact value: every bit flip changes it.
+  auto [m, profile] = profiled(8, [](IRBuilder& b, Value i) {
+    b.icmp(CmpPred::Eq, i, i);
+  });
+  const TupleModel tuples(m, profile);
+  const auto t = tuples.tuple({0, find_op(m, ir::Opcode::ICmp, 1)}, 0);
+  EXPECT_DOUBLE_EQ(t.propagate, 1.0);  // any flip breaks equality
+}
+
+TEST(Tuples, AndMasksByOtherOperand) {
+  auto [m, profile] = profiled(8, [](IRBuilder& b, Value i) {
+    b.and_(i, b.i32(0xff));  // only low 8 of 32 bits live
+  });
+  const TupleModel tuples(m, profile);
+  const auto t = tuples.tuple({0, find_op(m, ir::Opcode::And)}, 0);
+  EXPECT_NEAR(t.propagate, 8.0 / 32, 1e-9);
+  expect_tuple_sums_to_one(t);
+}
+
+TEST(Tuples, OrMasksBySetBits) {
+  auto [m, profile] = profiled(8, [](IRBuilder& b, Value i) {
+    b.or_(i, b.i32(0xff));  // low 8 bits forced to 1: masked
+  });
+  const TupleModel tuples(m, profile);
+  const auto t = tuples.tuple({0, find_op(m, ir::Opcode::Or)}, 0);
+  EXPECT_NEAR(t.propagate, 24.0 / 32, 1e-9);
+}
+
+TEST(Tuples, XorPropagatesFully) {
+  auto [m, profile] = profiled(8, [](IRBuilder& b, Value i) {
+    b.xor_(i, b.i32(0x5a5a5a5a));
+  });
+  const TupleModel tuples(m, profile);
+  EXPECT_DOUBLE_EQ(tuples.tuple({0, find_op(m, ir::Opcode::Xor)}, 0).propagate,
+                   1.0);
+}
+
+TEST(Tuples, ShiftDropsShiftedOutBits) {
+  auto [m, profile] = profiled(8, [](IRBuilder& b, Value i) {
+    b.lshr(i, b.i32(8));
+  });
+  const TupleModel tuples(m, profile);
+  const auto t = tuples.tuple({0, find_op(m, ir::Opcode::LShr)}, 0);
+  EXPECT_NEAR(t.propagate, 24.0 / 32, 1e-9);
+  // Faults in the shift amount always matter.
+  EXPECT_DOUBLE_EQ(tuples.tuple({0, find_op(m, ir::Opcode::LShr)}, 1).propagate,
+                   1.0);
+}
+
+TEST(Tuples, TruncKeepsLowBits) {
+  auto [m, profile] = profiled(4, [](IRBuilder& b, Value i) {
+    b.trunc(b.zext(i, Type::i64()), Type::i16());
+  });
+  const TupleModel tuples(m, profile);
+  const auto t = tuples.tuple({0, find_op(m, ir::Opcode::Trunc)}, 0);
+  EXPECT_NEAR(t.propagate, 16.0 / 64, 1e-9);
+}
+
+TEST(Tuples, DivisorCrashProbability) {
+  // Divisor is always 4 (popcount 1): exactly one bit flip of 32 zeroes
+  // it -> crash probability 1/32.
+  auto [m, profile] = profiled(8, [](IRBuilder& b, Value i) {
+    b.udiv(i, b.add(b.i32(0), b.i32(4)));
+  });
+  const TupleModel tuples(m, profile);
+  const auto t = tuples.tuple({0, find_op(m, ir::Opcode::UDiv)}, 1);
+  EXPECT_NEAR(t.crash, 1.0 / 32, 1e-9);
+  expect_tuple_sums_to_one(t);
+  // Dividend faults propagate fully.
+  EXPECT_DOUBLE_EQ(tuples.tuple({0, find_op(m, ir::Opcode::UDiv)}, 0).propagate,
+                   1.0);
+}
+
+TEST(Tuples, LoadAddressCrash) {
+  Module m;
+  const auto g = m.add_global({"arr", 64, {}});
+  IRBuilder b(m);
+  b.begin_function("main", {}, Type::void_());
+  b.set_block(b.block("entry"));
+  const Value arr = b.global(g);
+  workloads::counted_loop(b, 0, 16, 1, [&](Value i) {
+    b.load(Type::i32(), b.gep(arr, i, 4));
+  });
+  b.print_int(b.i32(0));
+  b.ret();
+  b.end_function();
+  const auto profile = prof::collect_profile(m);
+  const TupleModel tuples(m, profile);
+  const auto load_id = find_op(m, ir::Opcode::Load);
+  const auto t = tuples.tuple({0, load_id}, 0);
+  EXPECT_GT(t.crash, 0.3);  // most index-bit flips leave the 64B array
+  EXPECT_LT(t.crash, 1.0);  // low bits stay inside
+  EXPECT_NEAR(t.propagate, 1.0 - t.crash, 1e-9);
+}
+
+TEST(Tuples, StoreValuePropagatesAddressMostlyCrashes) {
+  Module m;
+  const auto g = m.add_global({"arr", 64, {}});
+  IRBuilder b(m);
+  b.begin_function("main", {}, Type::void_());
+  b.set_block(b.block("entry"));
+  const Value arr = b.global(g);
+  workloads::counted_loop(b, 0, 16, 1, [&](Value i) {
+    b.store(i, b.gep(arr, i, 4));
+  });
+  b.print_int(b.i32(0));
+  b.ret();
+  b.end_function();
+  const auto profile = prof::collect_profile(m);
+  const TupleModel tuples(m, profile);
+  const auto store_id = find_op(m, ir::Opcode::Store);
+  const auto value_t = tuples.tuple({0, store_id}, 0);
+  EXPECT_DOUBLE_EQ(value_t.propagate, 1.0);
+  const auto addr_t = tuples.tuple({0, store_id}, 1);
+  EXPECT_GT(addr_t.crash, 0.3);
+  EXPECT_DOUBLE_EQ(addr_t.propagate, 0.0);  // untracked, per the paper
+}
+
+TEST(Tuples, SelectMinIdiomMasksLosingArm) {
+  // min(i, 1000) where i in [0, 16): the constant arm never wins, and
+  // most single-bit increases of i keep it the minimum.
+  auto [m, profile] = profiled(16, [](IRBuilder& b, Value i) {
+    const Value c = b.icmp(CmpPred::SLt, i, b.i32(1000));
+    b.select(c, i, b.i32(1000));
+  });
+  const TupleModel tuples(m, profile);
+  const auto sel = find_op(m, ir::Opcode::Select);
+  const auto t1 = tuples.tuple({0, sel}, 1);
+  // Flips below bit 10 keep i < 1000 (changed result, kept arm);
+  // flips at bit 10+ push i above 1000 and the clean constant wins.
+  EXPECT_GT(t1.propagate, 0.2);
+  EXPECT_LT(t1.propagate, 0.5);
+  // The never-selected arm only propagates if corruption makes it win:
+  // impossible by increasing 1000, possible by decreasing below i.
+  const auto t2 = tuples.tuple({0, sel}, 2);
+  EXPECT_LT(t2.propagate, t1.propagate);
+}
+
+TEST(Tuples, FloatAbsorptionInBigAccumulator) {
+  // 1.0f added into 1e8f: every mantissa-bit delta of the small operand
+  // is below the sum's ulp and vanishes.
+  auto [m, profile] = profiled(8, [](IRBuilder& b, Value) {
+    b.fadd(b.f32(1e8f), b.fadd(b.f32(1.0f), b.f32(0.0f)));
+  });
+  const TupleModel tuples(m, profile);
+  const auto outer = find_op(m, ir::Opcode::FAdd, 1);
+  const auto t = tuples.tuple({0, outer}, 1);
+  EXPECT_LT(t.propagate, 0.5);  // small-operand bits mostly absorbed
+  const auto t_big = tuples.tuple({0, outer}, 0);
+  EXPECT_GT(t_big.propagate, t.propagate);
+}
+
+TEST(Tuples, FpFormatPropagationRule) {
+  // The paper's computation: f32 printed with %.2g ->
+  // ((32-23) + 23*(2/7)) / 32 = 48.66%.
+  EXPECT_NEAR(TupleModel::fp_format_propagation(32, 2), 0.4866, 1e-3);
+  // Full precision: no masking.
+  EXPECT_DOUBLE_EQ(TupleModel::fp_format_propagation(32, 7), 1.0);
+  EXPECT_DOUBLE_EQ(TupleModel::fp_format_propagation(64, 16), 1.0);
+  // Monotone in precision.
+  EXPECT_LT(TupleModel::fp_format_propagation(64, 2),
+            TupleModel::fp_format_propagation(64, 8));
+}
+
+// Property sweep: tuples are probability triples for every instruction
+// and operand position of every workload.
+class TupleProperties
+    : public ::testing::TestWithParam<workloads::Workload> {};
+
+TEST_P(TupleProperties, AllTuplesAreProbabilityTriples) {
+  const auto m = GetParam().build();
+  const auto profile = prof::collect_profile(m);
+  const TupleModel tuples(m, profile);
+  for (uint32_t f = 0; f < m.functions.size(); ++f) {
+    for (uint32_t i = 0; i < m.functions[f].insts.size(); ++i) {
+      const auto& inst = m.functions[f].insts[i];
+      if (profile.exec({f, i}) == 0) continue;
+      for (uint32_t op = 0; op < inst.operands.size(); ++op) {
+        const auto t = tuples.tuple({f, i}, op);
+        EXPECT_GE(t.propagate, 0.0);
+        EXPECT_LE(t.propagate, 1.0);
+        EXPECT_GE(t.mask, 0.0);
+        EXPECT_GE(t.crash, 0.0);
+        EXPECT_NEAR(t.propagate + t.mask + t.crash, 1.0, 1e-6)
+            << GetParam().name << " f" << f << ":%" << i << " op" << op;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, TupleProperties,
+    ::testing::ValuesIn(workloads::all_workloads()),
+    [](const auto& info) { return info.param.name; });
+
+}  // namespace
+}  // namespace trident::core

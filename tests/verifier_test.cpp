@@ -1,0 +1,321 @@
+#include <gtest/gtest.h>
+
+#include "ir/builder.h"
+#include "ir/verifier.h"
+#include "workloads/workloads.h"
+
+namespace trident::ir {
+namespace {
+
+// Minimal well-formed module the negative tests then break.
+Module valid_module() {
+  Module m;
+  IRBuilder b(m);
+  b.begin_function("main", {}, Type::void_());
+  b.set_block(b.block("entry"));
+  const Value p = b.alloca_(4);
+  b.store(b.i32(1), p);
+  const Value v = b.load(Type::i32(), p);
+  b.print_int(v);
+  b.ret();
+  b.end_function();
+  return m;
+}
+
+TEST(Verifier, AcceptsValidModule) {
+  const auto m = valid_module();
+  EXPECT_TRUE(verify(m).empty()) << verify_to_string(m);
+}
+
+TEST(Verifier, RejectsEmptyBlock) {
+  auto m = valid_module();
+  m.functions[0].blocks.push_back({"empty", {}});
+  EXPECT_FALSE(verify(m).empty());
+}
+
+TEST(Verifier, RejectsMissingTerminator) {
+  auto m = valid_module();
+  m.functions[0].blocks[0].insts.pop_back();  // drop the ret
+  EXPECT_FALSE(verify(m).empty());
+}
+
+TEST(Verifier, RejectsTerminatorMidBlock) {
+  auto m = valid_module();
+  auto& block = m.functions[0].blocks[0];
+  std::swap(block.insts[block.insts.size() - 1],
+            block.insts[block.insts.size() - 2]);
+  EXPECT_FALSE(verify(m).empty());
+}
+
+TEST(Verifier, RejectsInvalidSuccessor) {
+  Module m;
+  IRBuilder b(m);
+  b.begin_function("main", {}, Type::void_());
+  b.set_block(b.block("entry"));
+  b.br(7);  // block 7 does not exist
+  b.end_function();
+  EXPECT_FALSE(verify(m).empty());
+}
+
+TEST(Verifier, RejectsOutOfRangeOperand) {
+  auto m = valid_module();
+  m.functions[0].insts[2].operands[0] = Value::inst(999);
+  EXPECT_FALSE(verify(m).empty());
+}
+
+TEST(Verifier, RejectsUseBeforeDef) {
+  Module m;
+  IRBuilder b(m);
+  b.begin_function("main", {}, Type::void_());
+  b.set_block(b.block("entry"));
+  const Value x = b.add(b.i32(1), b.i32(2));
+  b.ret();
+  b.end_function();
+  // Make the add consume its own (later) result.
+  m.functions[0].insts[x.index].operands[0] = x;
+  EXPECT_FALSE(verify(m).empty());
+}
+
+TEST(Verifier, RejectsNonDominatingDef) {
+  Module m;
+  IRBuilder b(m);
+  b.begin_function("main", {}, Type::void_());
+  const auto entry = b.block("entry");
+  const auto left = b.block("left");
+  const auto right = b.block("right");
+  const auto join = b.block("join");
+  b.set_block(entry);
+  b.cond_br(b.i1(true), left, right);
+  b.set_block(left);
+  const Value x = b.add(b.i32(1), b.i32(2));
+  b.br(join);
+  b.set_block(right);
+  b.br(join);
+  b.set_block(join);
+  b.print_int(x);  // x does not dominate join
+  b.ret();
+  b.end_function();
+  EXPECT_FALSE(verify(m).empty());
+}
+
+TEST(Verifier, AcceptsDominatingDefAcrossBlocks) {
+  Module m;
+  IRBuilder b(m);
+  b.begin_function("main", {}, Type::void_());
+  const auto entry = b.block("entry");
+  const auto next = b.block("next");
+  b.set_block(entry);
+  const Value x = b.add(b.i32(1), b.i32(2));
+  b.br(next);
+  b.set_block(next);
+  b.print_int(x);
+  b.ret();
+  b.end_function();
+  EXPECT_TRUE(verify(m).empty()) << verify_to_string(m);
+}
+
+TEST(Verifier, RejectsBinopTypeMismatch) {
+  Module m;
+  IRBuilder b(m);
+  b.begin_function("main", {}, Type::void_());
+  b.set_block(b.block("entry"));
+  const Value a = b.i32(1);
+  b.add(a, a);
+  b.ret();
+  b.end_function();
+  // Corrupt: make the second operand an i64 constant.
+  auto& f = m.functions[0];
+  const auto c64 = f.add_constant(Constant{Type::i64(), 1});
+  f.insts[0].operands[1] = Value::constant(c64);
+  EXPECT_FALSE(verify(m).empty());
+}
+
+TEST(Verifier, RejectsFloatBinopOnInts) {
+  auto make = [] {
+    Module m;
+    IRBuilder b(m);
+    b.begin_function("main", {}, Type::void_());
+    b.set_block(b.block("entry"));
+    b.fadd(b.i32(1), b.i32(2));
+    b.ret();
+    b.end_function();
+    return m;
+  };
+  EXPECT_FALSE(verify(make()).empty());
+}
+
+TEST(Verifier, RejectsCmpWithoutPredicate) {
+  auto m = valid_module();
+  Instruction cmp;
+  cmp.op = Opcode::ICmp;
+  cmp.type = Type::i1();
+  cmp.operands = {Value::constant(0), Value::constant(0)};
+  cmp.pred = CmpPred::None;
+  auto& f = m.functions[0];
+  // Insert before the terminator.
+  const auto id = static_cast<uint32_t>(f.insts.size());
+  cmp.block = 0;
+  f.insts.push_back(cmp);
+  f.blocks[0].insts.insert(f.blocks[0].insts.end() - 1, id);
+  EXPECT_FALSE(verify(m).empty());
+}
+
+TEST(Verifier, RejectsFcmpUnsignedPredicate) {
+  Module m;
+  IRBuilder b(m);
+  b.begin_function("main", {}, Type::void_());
+  b.set_block(b.block("entry"));
+  b.fcmp(CmpPred::ULt, b.f32(1), b.f32(2));
+  b.ret();
+  b.end_function();
+  EXPECT_FALSE(verify(m).empty());
+}
+
+TEST(Verifier, RejectsBadCasts) {
+  {
+    Module m;
+    IRBuilder b(m);
+    b.begin_function("main", {}, Type::void_());
+    b.set_block(b.block("entry"));
+    b.trunc(b.i32(1), Type::i64());  // widening trunc
+    b.ret();
+    b.end_function();
+    EXPECT_FALSE(verify(m).empty());
+  }
+  {
+    Module m;
+    IRBuilder b(m);
+    b.begin_function("main", {}, Type::void_());
+    b.set_block(b.block("entry"));
+    b.bitcast(b.i32(1), Type::f64());  // width change
+    b.ret();
+    b.end_function();
+    EXPECT_FALSE(verify(m).empty());
+  }
+}
+
+TEST(Verifier, RejectsCondBrOnNonBool) {
+  Module m;
+  IRBuilder b(m);
+  b.begin_function("main", {}, Type::void_());
+  const auto entry = b.block("entry");
+  const auto t = b.block("t");
+  b.set_block(entry);
+  b.cond_br(b.i32(1), t, t);
+  b.set_block(t);
+  b.ret();
+  b.end_function();
+  EXPECT_FALSE(verify(m).empty());
+}
+
+TEST(Verifier, RejectsRetTypeMismatch) {
+  Module m;
+  IRBuilder b(m);
+  b.begin_function("main", {}, Type::i32());
+  b.set_block(b.block("entry"));
+  b.ret(b.i64(0));
+  b.end_function();
+  EXPECT_FALSE(verify(m).empty());
+}
+
+TEST(Verifier, RejectsRetValueInVoidFunction) {
+  Module m;
+  IRBuilder b(m);
+  b.begin_function("main", {}, Type::void_());
+  b.set_block(b.block("entry"));
+  b.ret(b.i32(0));
+  b.end_function();
+  EXPECT_FALSE(verify(m).empty());
+}
+
+TEST(Verifier, RejectsCallArgumentMismatch) {
+  Module m;
+  IRBuilder b(m);
+  const auto callee = b.begin_function("callee", {Type::i32()}, Type::void_());
+  b.set_block(b.block("entry"));
+  b.ret();
+  b.end_function();
+  b.begin_function("main", {}, Type::void_());
+  b.set_block(b.block("entry"));
+  b.call(callee, {b.i64(0)});
+  b.ret();
+  b.end_function();
+  EXPECT_FALSE(verify(m).empty());
+}
+
+TEST(Verifier, RejectsPhiIncomingMismatch) {
+  Module m;
+  IRBuilder b(m);
+  b.begin_function("main", {}, Type::void_());
+  const auto entry = b.block("entry");
+  const auto header = b.block("header");
+  b.set_block(entry);
+  b.br(header);
+  b.set_block(header);
+  const Value iv = b.phi(Type::i32());
+  b.add_phi_incoming(iv, b.i32(0), entry);
+  b.add_phi_incoming(iv, b.i32(1), entry);  // duplicate / wrong count
+  b.ret();
+  b.end_function();
+  EXPECT_FALSE(verify(m).empty());
+}
+
+TEST(Verifier, RejectsPhiAfterNonPhi) {
+  Module m;
+  IRBuilder b(m);
+  b.begin_function("main", {}, Type::void_());
+  const auto entry = b.block("entry");
+  const auto next = b.block("next");
+  b.set_block(entry);
+  b.br(next);
+  b.set_block(next);
+  b.add(b.i32(1), b.i32(2));
+  const Value p = b.phi(Type::i32());
+  b.add_phi_incoming(p, b.i32(0), entry);
+  b.ret();
+  b.end_function();
+  EXPECT_FALSE(verify(m).empty());
+}
+
+TEST(Verifier, RejectsPrintTypeMismatch) {
+  Module m;
+  IRBuilder b(m);
+  b.begin_function("main", {}, Type::void_());
+  b.set_block(b.block("entry"));
+  b.print_float(b.i32(1));  // float print of an int
+  b.ret();
+  b.end_function();
+  EXPECT_FALSE(verify(m).empty());
+}
+
+TEST(Verifier, RejectsZeroSizedAlloca) {
+  Module m;
+  IRBuilder b(m);
+  b.begin_function("main", {}, Type::void_());
+  b.set_block(b.block("entry"));
+  Instruction inst;
+  inst.op = Opcode::Alloca;
+  inst.type = Type::ptr();
+  inst.imm = 0;
+  m.functions[0].append(0, inst);
+  b.ret();
+  b.end_function();
+  EXPECT_FALSE(verify(m).empty());
+}
+
+// Every bundled workload must verify: this is the authoring safety net.
+class WorkloadVerify
+    : public ::testing::TestWithParam<workloads::Workload> {};
+
+TEST_P(WorkloadVerify, Verifies) {
+  const auto m = GetParam().build();
+  EXPECT_TRUE(verify(m).empty()) << verify_to_string(m);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, WorkloadVerify,
+    ::testing::ValuesIn(workloads::all_workloads()),
+    [](const auto& info) { return info.param.name; });
+
+}  // namespace
+}  // namespace trident::ir

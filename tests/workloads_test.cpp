@@ -1,0 +1,221 @@
+#include <gtest/gtest.h>
+
+#include "interp/interpreter.h"
+#include "ir/verifier.h"
+#include "profiler/profiler.h"
+#include "workloads/common.h"
+#include "workloads/workloads.h"
+
+namespace trident::workloads {
+namespace {
+
+TEST(Registry, HasElevenWorkloadsInPaperOrder) {
+  const auto& all = all_workloads();
+  ASSERT_EQ(all.size(), 11u);
+  EXPECT_EQ(all[0].name, "libquantum");
+  EXPECT_EQ(all[1].name, "blackscholes");
+  EXPECT_EQ(all.back().name, "bfs_rodinia");
+}
+
+TEST(Registry, FindByName) {
+  EXPECT_EQ(find_workload("hotspot").suite, "Rodinia");
+  EXPECT_EQ(find_workload("lulesh").suite, "LLNL");
+}
+
+TEST(Helpers, CountedLoopRunsExactTripCount) {
+  ir::Module m;
+  ir::IRBuilder b(m);
+  b.begin_function("main", {}, ir::Type::void_());
+  b.set_block(b.block("entry"));
+  const auto counter = b.alloca_(4);
+  b.store(b.i32(0), counter);
+  counted_loop(b, 3, 17, 2, [&](ir::Value) {
+    b.store(b.add(b.load(ir::Type::i32(), counter), b.i32(1)), counter);
+  });
+  b.print_int(b.load(ir::Type::i32(), counter));
+  b.ret();
+  b.end_function();
+  ASSERT_TRUE(ir::verify(m).empty()) << ir::verify_to_string(m);
+  EXPECT_EQ(interp::Interpreter(m).run_main({}).output, "7\n");
+}
+
+TEST(Helpers, CountedLoopZeroTrips) {
+  ir::Module m;
+  ir::IRBuilder b(m);
+  b.begin_function("main", {}, ir::Type::void_());
+  b.set_block(b.block("entry"));
+  const auto counter = b.alloca_(4);
+  b.store(b.i32(0), counter);
+  counted_loop(b, 5, 5, 1, [&](ir::Value) {
+    b.store(b.i32(1), counter);
+  });
+  b.print_int(b.load(ir::Type::i32(), counter));
+  b.ret();
+  b.end_function();
+  EXPECT_EQ(interp::Interpreter(m).run_main({}).output, "0\n");
+}
+
+TEST(Helpers, IfThenElseBothArms) {
+  ir::Module m;
+  ir::IRBuilder b(m);
+  b.begin_function("main", {}, ir::Type::void_());
+  b.set_block(b.block("entry"));
+  const auto out = b.alloca_(4);
+  if_then_else(
+      b, b.i1(true), [&] { b.store(b.i32(10), out); },
+      [&] { b.store(b.i32(20), out); });
+  if_then(b, b.i1(false), [&] { b.store(b.i32(30), out); });
+  b.print_int(b.load(ir::Type::i32(), out));
+  b.ret();
+  b.end_function();
+  ASSERT_TRUE(ir::verify(m).empty());
+  EXPECT_EQ(interp::Interpreter(m).run_main({}).output, "10\n");
+}
+
+TEST(Helpers, LcgFillDeterministicAndBounded) {
+  ir::Module m;
+  const auto g = m.add_global({"arr", 64 * 4, {}});
+  ir::IRBuilder b(m);
+  b.begin_function("main", {}, ir::Type::void_());
+  b.set_block(b.block("entry"));
+  lcg_fill_i32(b, b.global(g), 64, 123, 100);
+  counted_loop(b, 0, 64, 1, [&](ir::Value i) {
+    b.print_int(b.load(ir::Type::i32(), b.gep(b.global(g), i, 4)));
+  });
+  b.ret();
+  b.end_function();
+  interp::Interpreter interp(m);
+  const auto r1 = interp.run_main({});
+  const auto r2 = interp.run_main({});
+  EXPECT_EQ(r1.output, r2.output);
+  // Every value below the modulus.
+  std::istringstream is(r1.output);
+  int v, count = 0;
+  while (is >> v) {
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 100);
+    ++count;
+  }
+  EXPECT_EQ(count, 64);
+}
+
+struct GoldenExpectation {
+  const char* name;
+  uint64_t min_dynamic;
+  uint64_t max_dynamic;
+  int min_output_lines;
+};
+
+class WorkloadGolden : public ::testing::TestWithParam<Workload> {};
+
+TEST_P(WorkloadGolden, RunsCleanlyAndDeterministically) {
+  const auto m = GetParam().build();
+  ASSERT_TRUE(ir::verify(m).empty()) << ir::verify_to_string(m);
+  interp::Interpreter interp(m);
+  const auto r1 = interp.run_main({});
+  ASSERT_EQ(r1.outcome, interp::Outcome::Ok) << r1.crash_reason;
+  EXPECT_FALSE(r1.output.empty());
+  const auto r2 = interp.run_main({});
+  EXPECT_EQ(r1.output, r2.output);
+  EXPECT_EQ(r1.dynamic_insts, r2.dynamic_insts);
+  // Interpreter-friendly sizes: big enough to be interesting, small
+  // enough for thousands of FI runs.
+  EXPECT_GT(r1.dynamic_insts, 5'000u) << GetParam().name;
+  EXPECT_LT(r1.dynamic_insts, 1'000'000u) << GetParam().name;
+}
+
+TEST_P(WorkloadGolden, ProfileIsConsistentWithRun) {
+  const auto m = GetParam().build();
+  const auto profile = prof::collect_profile(m);
+  const auto run = interp::Interpreter(m).run_main({});
+  EXPECT_EQ(profile.total_dynamic, run.dynamic_insts);
+  EXPECT_EQ(profile.total_results, run.dynamic_results);
+  EXPECT_EQ(profile.golden_output, run.output);
+  // Execution counts must sum to the dynamic total.
+  uint64_t sum = 0;
+  for (const auto& fp : profile.funcs) {
+    for (const auto e : fp.exec) sum += e;
+  }
+  EXPECT_EQ(sum, profile.total_dynamic);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, WorkloadGolden,
+                         ::testing::ValuesIn(all_workloads()),
+                         [](const auto& info) { return info.param.name; });
+
+// Pin a few golden outputs so accidental workload changes are caught
+// (FI classification depends on byte-exact golden output).
+TEST(Golden, PathfinderOutputShape) {
+  const auto m = find_workload("pathfinder").build();
+  const auto run = interp::Interpreter(m).run_main({});
+  // Two integer lines: min cost and its column.
+  int lines = 0;
+  for (const char c : run.output) lines += c == '\n';
+  EXPECT_EQ(lines, 2);
+}
+
+TEST(Golden, LuleshHasDebugAndRealOutput) {
+  const auto m = find_workload("lulesh").build();
+  const auto run = interp::Interpreter(m).run_main({});
+  EXPECT_FALSE(run.output.empty());
+  EXPECT_FALSE(run.debug_output.empty());  // periodic diagnostics
+}
+
+TEST(Golden, HotspotPrintsLowPrecisionCorners) {
+  const auto m = find_workload("hotspot").build();
+  const auto run = interp::Interpreter(m).run_main({});
+  int lines = 0;
+  for (const char c : run.output) lines += c == '\n';
+  EXPECT_EQ(lines, 6);  // 5 cells + average
+}
+
+TEST(Golden, BfsVariantsVisitEveryNode) {
+  for (const char* name : {"bfs_parboil", "bfs_rodinia"}) {
+    const auto m = find_workload(name).build();
+    const auto run = interp::Interpreter(m).run_main({});
+    // Last printed line is the visited count; both graphs are connected
+    // via the ring edge, so every node must be reached.
+    const auto pos = run.output.find_last_of(
+        '\n', run.output.size() - 2);
+    const int visited = std::stoi(run.output.substr(pos + 1));
+    EXPECT_EQ(visited, name == std::string("bfs_parboil") ? 192 : 160)
+        << name;
+  }
+}
+
+TEST(InputVariants, SeedsChangeDataNotStructure) {
+  const auto a = build_pathfinder_seeded(1000);
+  const auto b = build_pathfinder_seeded(31337);
+  // Same program structure...
+  EXPECT_EQ(a.num_insts(), b.num_insts());
+  EXPECT_EQ(a.functions[0].blocks.size(), b.functions[0].blocks.size());
+  // ...different input data, hence different golden outputs.
+  const auto ra = interp::Interpreter(a).run_main({});
+  const auto rb = interp::Interpreter(b).run_main({});
+  EXPECT_EQ(ra.outcome, interp::Outcome::Ok);
+  EXPECT_EQ(rb.outcome, interp::Outcome::Ok);
+  EXPECT_NE(ra.output, rb.output);
+}
+
+TEST(InputVariants, DefaultSeedMatchesRegistry) {
+  const auto reg = find_workload("hotspot").build();
+  const auto seeded = build_hotspot_seeded(64641);
+  EXPECT_EQ(interp::Interpreter(reg).run_main({}).output,
+            interp::Interpreter(seeded).run_main({}).output);
+}
+
+TEST(InputVariants, AllSeededFamiliesRunCleanly) {
+  for (const auto seed : {7, 99, 123456}) {
+    for (const auto& build :
+         {build_pathfinder_seeded, build_hotspot_seeded,
+          build_bfs_parboil_seeded}) {
+      const auto m = build(seed);
+      ASSERT_TRUE(ir::verify(m).empty());
+      EXPECT_EQ(interp::Interpreter(m).run_main({}).outcome,
+                interp::Outcome::Ok);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace trident::workloads

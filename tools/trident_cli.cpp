@@ -1,0 +1,304 @@
+// trident — command-line front end to the library.
+//
+//   trident list
+//   trident dump    <target> [-o out.tir]
+//   trident run     <target>
+//   trident profile <target>
+//   trident predict <target> [--model full|fs_fc|fs|paper] [--per-inst] [--samples N]
+//   trident inject  <target> [--trials N] [--seed S]
+//   trident protect <target> [--budget F] [-o out.tir] [--evaluate]
+//
+// <target> is a bundled workload name (see `trident list`) or a path to a
+// textual IR file (the format of `trident dump`, parseable by ir/parser).
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "baselines/epvf.h"
+#include "core/trident.h"
+#include "fi/campaign.h"
+#include "ir/parser.h"
+#include "ir/printer.h"
+#include "ir/verifier.h"
+#include "profiler/profiler.h"
+#include "protect/duplication.h"
+#include "protect/selector.h"
+#include "workloads/workloads.h"
+
+using namespace trident;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: trident <command> [args]\n"
+               "  list                         list bundled workloads\n"
+               "  dump <target> [-o f.tir]     print the target's IR\n"
+               "  run <target>                 execute and show output\n"
+               "  profile <target>             profiling-phase summary\n"
+               "  predict <target> [--model full|fs_fc|fs|paper]\n"
+               "          [--per-inst] [--samples N]\n"
+               "                               SDC prediction, no FI\n"
+               "  inject <target> [--trials N] [--seed S]\n"
+               "                               fault-injection campaign\n"
+               "  protect <target> [--budget F] [-o f.tir] [--evaluate]\n"
+               "                               selective duplication\n");
+  return 2;
+}
+
+std::optional<ir::Module> load_target(const std::string& target) {
+  for (const auto& w : workloads::all_workloads()) {
+    if (w.name == target) return w.build();
+  }
+  std::ifstream in(target);
+  if (!in) {
+    std::fprintf(stderr, "error: no workload or file named '%s'\n",
+                 target.c_str());
+    return std::nullopt;
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+  ir::ParseError error;
+  auto m = ir::parse_module(buf.str(), &error);
+  if (!m) {
+    std::fprintf(stderr, "%s:%u: parse error: %s\n", target.c_str(),
+                 error.line, error.message.c_str());
+    return std::nullopt;
+  }
+  if (const auto errs = ir::verify_to_string(*m); !errs.empty()) {
+    std::fprintf(stderr, "%s: invalid IR:\n%s", target.c_str(),
+                 errs.c_str());
+    return std::nullopt;
+  }
+  return m;
+}
+
+struct Args {
+  std::string target;
+  std::string out;
+  std::string model = "full";
+  bool per_inst = false;
+  bool evaluate = false;
+  uint64_t trials = 3000;
+  uint64_t samples = 0;  // 0 = exact
+  uint64_t seed = 1234;
+  double budget = 1.0 / 3;
+};
+
+bool parse_args(int argc, char** argv, Args& args) {
+  for (int i = 0; i < argc; ++i) {
+    const std::string a = argv[i];
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (a == "-o") {
+      const char* v = next();
+      if (!v) return false;
+      args.out = v;
+    } else if (a == "--model") {
+      const char* v = next();
+      if (!v) return false;
+      args.model = v;
+    } else if (a == "--per-inst") {
+      args.per_inst = true;
+    } else if (a == "--evaluate") {
+      args.evaluate = true;
+    } else if (a == "--trials") {
+      const char* v = next();
+      if (!v) return false;
+      args.trials = std::strtoull(v, nullptr, 10);
+    } else if (a == "--samples") {
+      const char* v = next();
+      if (!v) return false;
+      args.samples = std::strtoull(v, nullptr, 10);
+    } else if (a == "--seed") {
+      const char* v = next();
+      if (!v) return false;
+      args.seed = std::strtoull(v, nullptr, 10);
+    } else if (a == "--budget") {
+      const char* v = next();
+      if (!v) return false;
+      args.budget = std::strtod(v, nullptr);
+    } else if (args.target.empty() && a[0] != '-') {
+      args.target = a;
+    } else {
+      std::fprintf(stderr, "error: unknown argument '%s'\n", a.c_str());
+      return false;
+    }
+  }
+  return !args.target.empty();
+}
+
+std::optional<core::ModelConfig> model_config(const std::string& name) {
+  if (name == "full") return core::ModelConfig::full();
+  if (name == "fs_fc") return core::ModelConfig::fs_fc();
+  if (name == "fs") return core::ModelConfig::fs_only();
+  if (name == "paper") {
+    core::ModelConfig config;  // full model, extensions disabled
+    config.trace.track_store_addr = false;
+    config.trace.track_attenuation = false;
+    config.trace.guard_damping = false;
+    return config;
+  }
+  std::fprintf(stderr, "error: unknown model '%s'\n", name.c_str());
+  return std::nullopt;
+}
+
+int cmd_list() {
+  std::printf("%-14s %-10s %-28s %s\n", "name", "suite", "area", "input");
+  for (const auto& w : workloads::all_workloads()) {
+    std::printf("%-14s %-10s %-28s %s\n", w.name.c_str(), w.suite.c_str(),
+                w.area.c_str(), w.input.c_str());
+  }
+  return 0;
+}
+
+int cmd_dump(const Args& args, const ir::Module& m) {
+  const auto text = ir::print_module(m);
+  if (args.out.empty()) {
+    std::fputs(text.c_str(), stdout);
+    return 0;
+  }
+  std::ofstream out(args.out);
+  out << text;
+  std::printf("wrote %s (%zu bytes)\n", args.out.c_str(), text.size());
+  return 0;
+}
+
+int cmd_run(const ir::Module& m) {
+  const auto res = interp::Interpreter(m).run_main({});
+  std::printf("outcome: %s\n", interp::outcome_name(res.outcome));
+  if (!res.crash_reason.empty()) {
+    std::printf("crash: %s\n", res.crash_reason.c_str());
+  }
+  std::printf("dynamic instructions: %llu\n",
+              static_cast<unsigned long long>(res.dynamic_insts));
+  std::printf("--- output ---\n%s", res.output.c_str());
+  if (!res.debug_output.empty()) {
+    std::printf("--- debug output ---\n%s", res.debug_output.c_str());
+  }
+  return res.outcome == interp::Outcome::Ok ? 0 : 1;
+}
+
+int cmd_profile(const ir::Module& m) {
+  const auto profile = prof::collect_profile(m);
+  std::printf("static instructions:   %zu\n", m.num_insts());
+  std::printf("dynamic instructions:  %llu\n",
+              static_cast<unsigned long long>(profile.total_dynamic));
+  std::printf("fault-injection sites: %llu\n",
+              static_cast<unsigned long long>(profile.total_results));
+  std::printf("memory dep edges:      %zu static (%llu dynamic, %.2f%% "
+              "pruned)\n",
+              profile.mem_edges.size(),
+              static_cast<unsigned long long>(profile.dynamic_mem_deps),
+              profile.pruning_ratio() * 100);
+  std::printf("memory segments:       %zu\n", profile.segments.size());
+  std::printf("golden output:\n%s", profile.golden_output.c_str());
+  return 0;
+}
+
+int cmd_predict(const Args& args, const ir::Module& m) {
+  const auto config = model_config(args.model);
+  if (!config) return 2;
+  const auto profile = prof::collect_profile(m);
+  const core::Trident model(m, profile, *config);
+  const double overall = args.samples > 0
+                             ? model.overall_sdc(args.samples, args.seed)
+                             : model.overall_sdc_exact();
+  std::printf("model: %s\n", args.model.c_str());
+  std::printf("overall SDC probability: %.2f%%\n", overall * 100);
+  if (args.per_inst) {
+    std::printf("\n%-8s %10s %8s %8s\n", "inst", "exec", "SDC", "crash");
+    for (const auto& ref : model.injectable_instructions()) {
+      const auto pred = model.predict(ref);
+      std::printf("f%u:%%%-5u %10llu %7.2f%% %7.2f%%\n", ref.func, ref.inst,
+                  static_cast<unsigned long long>(profile.exec(ref)),
+                  pred.sdc * 100, pred.crash * 100);
+    }
+  }
+  return 0;
+}
+
+int cmd_inject(const Args& args, const ir::Module& m) {
+  const auto profile = prof::collect_profile(m);
+  fi::CampaignOptions options;
+  options.trials = args.trials;
+  options.seed = args.seed;
+  const auto result = fi::run_overall_campaign(m, profile, options);
+  std::printf("trials:   %llu\n",
+              static_cast<unsigned long long>(result.total()));
+  std::printf("SDC:      %6.2f%% (±%.2f%% at 95%%)\n",
+              result.sdc_prob() * 100, result.sdc_ci95() * 100);
+  std::printf("crash:    %6.2f%%\n", result.crash_prob() * 100);
+  std::printf("detected: %6.2f%%\n", result.detected_prob() * 100);
+  std::printf("benign:   %6.2f%%\n",
+              100.0 * result.benign / result.total());
+  std::printf("hang:     %6.2f%%\n",
+              100.0 * result.hang / result.total());
+  return 0;
+}
+
+int cmd_protect(const Args& args, const ir::Module& m) {
+  const auto profile = prof::collect_profile(m);
+  const core::Trident model(m, profile);
+  const auto plan = protect::select_for_duplication(
+      m, profile, [&](ir::InstRef ref) { return model.predict(ref).sdc; },
+      args.budget);
+  auto result = protect::duplicate_instructions(m, plan.selected);
+  if (const auto errs = ir::verify_to_string(result.module); !errs.empty()) {
+    std::fprintf(stderr, "internal error: protected module invalid:\n%s",
+                 errs.c_str());
+    return 1;
+  }
+  const auto prot_profile = prof::collect_profile(result.module);
+  std::printf("budget: %.1f%% of full duplication\n", args.budget * 100);
+  std::printf("protected %zu instructions (+%llu static)\n",
+              plan.selected.size(),
+              static_cast<unsigned long long>(result.added_insts));
+  std::printf("dynamic overhead: %.2f%%\n",
+              100.0 * (static_cast<double>(prot_profile.total_dynamic) /
+                           profile.total_dynamic -
+                       1.0));
+  if (args.evaluate) {
+    fi::CampaignOptions options;
+    options.trials = args.trials;
+    options.seed = args.seed;
+    const auto before = fi::run_overall_campaign(m, profile, options);
+    const auto after =
+        fi::run_overall_campaign(result.module, prot_profile, options);
+    std::printf("FI SDC before: %.2f%%  after: %.2f%%  (detected %.2f%%)\n",
+                before.sdc_prob() * 100, after.sdc_prob() * 100,
+                after.detected_prob() * 100);
+  }
+  if (!args.out.empty()) {
+    std::ofstream out(args.out);
+    out << ir::print_module(result.module);
+    std::printf("wrote protected module to %s\n", args.out.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  if (cmd == "list") return cmd_list();
+
+  Args args;
+  if (!parse_args(argc - 2, argv + 2, args)) return usage();
+  const auto m = load_target(args.target);
+  if (!m) return 1;
+
+  if (cmd == "dump") return cmd_dump(args, *m);
+  if (cmd == "run") return cmd_run(*m);
+  if (cmd == "profile") return cmd_profile(*m);
+  if (cmd == "predict") return cmd_predict(args, *m);
+  if (cmd == "inject") return cmd_inject(args, *m);
+  if (cmd == "protect") return cmd_protect(args, *m);
+  return usage();
+}
