@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epvf_ddg.dir/epvf_ddg.cpp.o"
+  "CMakeFiles/epvf_ddg.dir/epvf_ddg.cpp.o.d"
+  "epvf_ddg"
+  "epvf_ddg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epvf_ddg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fi_acceleration.dir/fi_acceleration.cpp.o"
+  "CMakeFiles/fi_acceleration.dir/fi_acceleration.cpp.o.d"
+  "fi_acceleration"
+  "fi_acceleration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fi_acceleration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_overall_sdc.dir/fig5_overall_sdc.cpp.o"
+  "CMakeFiles/fig5_overall_sdc.dir/fig5_overall_sdc.cpp.o.d"
+  "fig5_overall_sdc"
+  "fig5_overall_sdc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_overall_sdc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_selective_duplication.dir/fig8_selective_duplication.cpp.o"
+  "CMakeFiles/fig8_selective_duplication.dir/fig8_selective_duplication.cpp.o.d"
+  "fig8_selective_duplication"
+  "fig8_selective_duplication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_selective_duplication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_pvf_epvf.dir/fig9_pvf_epvf.cpp.o"
+  "CMakeFiles/fig9_pvf_epvf.dir/fig9_pvf_epvf.cpp.o.d"
+  "fig9_pvf_epvf"
+  "fig9_pvf_epvf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_pvf_epvf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

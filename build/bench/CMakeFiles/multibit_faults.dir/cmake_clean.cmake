@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multibit_faults.dir/multibit_faults.cpp.o"
+  "CMakeFiles/multibit_faults.dir/multibit_faults.cpp.o.d"
+  "multibit_faults"
+  "multibit_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multibit_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_per_instruction.dir/table2_per_instruction.cpp.o"
+  "CMakeFiles/table2_per_instruction.dir/table2_per_instruction.cpp.o.d"
+  "table2_per_instruction"
+  "table2_per_instruction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_per_instruction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

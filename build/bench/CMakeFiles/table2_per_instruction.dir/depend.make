@@ -1,0 +1,2 @@
+# Empty dependencies file for table2_per_instruction.
+# This may be replaced when dependencies are built.

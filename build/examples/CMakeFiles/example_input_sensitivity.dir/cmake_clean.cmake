@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_input_sensitivity.dir/input_sensitivity.cpp.o"
+  "CMakeFiles/example_input_sensitivity.dir/input_sensitivity.cpp.o.d"
+  "example_input_sensitivity"
+  "example_input_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_input_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

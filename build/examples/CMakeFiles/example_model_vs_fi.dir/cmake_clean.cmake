@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_model_vs_fi.dir/model_vs_fi.cpp.o"
+  "CMakeFiles/example_model_vs_fi.dir/model_vs_fi.cpp.o.d"
+  "example_model_vs_fi"
+  "example_model_vs_fi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_model_vs_fi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_selective_protection.dir/selective_protection.cpp.o"
+  "CMakeFiles/example_selective_protection.dir/selective_protection.cpp.o.d"
+  "example_selective_protection"
+  "example_selective_protection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_selective_protection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

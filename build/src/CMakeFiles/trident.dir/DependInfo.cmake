@@ -1,0 +1,66 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/cfg.cpp" "src/CMakeFiles/trident.dir/analysis/cfg.cpp.o" "gcc" "src/CMakeFiles/trident.dir/analysis/cfg.cpp.o.d"
+  "/root/repo/src/analysis/control_dependence.cpp" "src/CMakeFiles/trident.dir/analysis/control_dependence.cpp.o" "gcc" "src/CMakeFiles/trident.dir/analysis/control_dependence.cpp.o.d"
+  "/root/repo/src/analysis/def_use.cpp" "src/CMakeFiles/trident.dir/analysis/def_use.cpp.o" "gcc" "src/CMakeFiles/trident.dir/analysis/def_use.cpp.o.d"
+  "/root/repo/src/analysis/dominators.cpp" "src/CMakeFiles/trident.dir/analysis/dominators.cpp.o" "gcc" "src/CMakeFiles/trident.dir/analysis/dominators.cpp.o.d"
+  "/root/repo/src/analysis/loops.cpp" "src/CMakeFiles/trident.dir/analysis/loops.cpp.o" "gcc" "src/CMakeFiles/trident.dir/analysis/loops.cpp.o.d"
+  "/root/repo/src/baselines/epvf.cpp" "src/CMakeFiles/trident.dir/baselines/epvf.cpp.o" "gcc" "src/CMakeFiles/trident.dir/baselines/epvf.cpp.o.d"
+  "/root/repo/src/baselines/pvf.cpp" "src/CMakeFiles/trident.dir/baselines/pvf.cpp.o" "gcc" "src/CMakeFiles/trident.dir/baselines/pvf.cpp.o.d"
+  "/root/repo/src/core/fc_model.cpp" "src/CMakeFiles/trident.dir/core/fc_model.cpp.o" "gcc" "src/CMakeFiles/trident.dir/core/fc_model.cpp.o.d"
+  "/root/repo/src/core/fm_model.cpp" "src/CMakeFiles/trident.dir/core/fm_model.cpp.o" "gcc" "src/CMakeFiles/trident.dir/core/fm_model.cpp.o.d"
+  "/root/repo/src/core/sequence.cpp" "src/CMakeFiles/trident.dir/core/sequence.cpp.o" "gcc" "src/CMakeFiles/trident.dir/core/sequence.cpp.o.d"
+  "/root/repo/src/core/trident.cpp" "src/CMakeFiles/trident.dir/core/trident.cpp.o" "gcc" "src/CMakeFiles/trident.dir/core/trident.cpp.o.d"
+  "/root/repo/src/core/tuples.cpp" "src/CMakeFiles/trident.dir/core/tuples.cpp.o" "gcc" "src/CMakeFiles/trident.dir/core/tuples.cpp.o.d"
+  "/root/repo/src/ddg/ddg.cpp" "src/CMakeFiles/trident.dir/ddg/ddg.cpp.o" "gcc" "src/CMakeFiles/trident.dir/ddg/ddg.cpp.o.d"
+  "/root/repo/src/fi/accelerated.cpp" "src/CMakeFiles/trident.dir/fi/accelerated.cpp.o" "gcc" "src/CMakeFiles/trident.dir/fi/accelerated.cpp.o.d"
+  "/root/repo/src/fi/campaign.cpp" "src/CMakeFiles/trident.dir/fi/campaign.cpp.o" "gcc" "src/CMakeFiles/trident.dir/fi/campaign.cpp.o.d"
+  "/root/repo/src/fi/injector.cpp" "src/CMakeFiles/trident.dir/fi/injector.cpp.o" "gcc" "src/CMakeFiles/trident.dir/fi/injector.cpp.o.d"
+  "/root/repo/src/interp/interpreter.cpp" "src/CMakeFiles/trident.dir/interp/interpreter.cpp.o" "gcc" "src/CMakeFiles/trident.dir/interp/interpreter.cpp.o.d"
+  "/root/repo/src/interp/memory.cpp" "src/CMakeFiles/trident.dir/interp/memory.cpp.o" "gcc" "src/CMakeFiles/trident.dir/interp/memory.cpp.o.d"
+  "/root/repo/src/ir/builder.cpp" "src/CMakeFiles/trident.dir/ir/builder.cpp.o" "gcc" "src/CMakeFiles/trident.dir/ir/builder.cpp.o.d"
+  "/root/repo/src/ir/function.cpp" "src/CMakeFiles/trident.dir/ir/function.cpp.o" "gcc" "src/CMakeFiles/trident.dir/ir/function.cpp.o.d"
+  "/root/repo/src/ir/instruction.cpp" "src/CMakeFiles/trident.dir/ir/instruction.cpp.o" "gcc" "src/CMakeFiles/trident.dir/ir/instruction.cpp.o.d"
+  "/root/repo/src/ir/module.cpp" "src/CMakeFiles/trident.dir/ir/module.cpp.o" "gcc" "src/CMakeFiles/trident.dir/ir/module.cpp.o.d"
+  "/root/repo/src/ir/parser.cpp" "src/CMakeFiles/trident.dir/ir/parser.cpp.o" "gcc" "src/CMakeFiles/trident.dir/ir/parser.cpp.o.d"
+  "/root/repo/src/ir/printer.cpp" "src/CMakeFiles/trident.dir/ir/printer.cpp.o" "gcc" "src/CMakeFiles/trident.dir/ir/printer.cpp.o.d"
+  "/root/repo/src/ir/type.cpp" "src/CMakeFiles/trident.dir/ir/type.cpp.o" "gcc" "src/CMakeFiles/trident.dir/ir/type.cpp.o.d"
+  "/root/repo/src/ir/verifier.cpp" "src/CMakeFiles/trident.dir/ir/verifier.cpp.o" "gcc" "src/CMakeFiles/trident.dir/ir/verifier.cpp.o.d"
+  "/root/repo/src/profiler/profile.cpp" "src/CMakeFiles/trident.dir/profiler/profile.cpp.o" "gcc" "src/CMakeFiles/trident.dir/profiler/profile.cpp.o.d"
+  "/root/repo/src/profiler/profiler.cpp" "src/CMakeFiles/trident.dir/profiler/profiler.cpp.o" "gcc" "src/CMakeFiles/trident.dir/profiler/profiler.cpp.o.d"
+  "/root/repo/src/protect/duplication.cpp" "src/CMakeFiles/trident.dir/protect/duplication.cpp.o" "gcc" "src/CMakeFiles/trident.dir/protect/duplication.cpp.o.d"
+  "/root/repo/src/protect/knapsack.cpp" "src/CMakeFiles/trident.dir/protect/knapsack.cpp.o" "gcc" "src/CMakeFiles/trident.dir/protect/knapsack.cpp.o.d"
+  "/root/repo/src/protect/selector.cpp" "src/CMakeFiles/trident.dir/protect/selector.cpp.o" "gcc" "src/CMakeFiles/trident.dir/protect/selector.cpp.o.d"
+  "/root/repo/src/stats/stats.cpp" "src/CMakeFiles/trident.dir/stats/stats.cpp.o" "gcc" "src/CMakeFiles/trident.dir/stats/stats.cpp.o.d"
+  "/root/repo/src/stats/ttest.cpp" "src/CMakeFiles/trident.dir/stats/ttest.cpp.o" "gcc" "src/CMakeFiles/trident.dir/stats/ttest.cpp.o.d"
+  "/root/repo/src/support/bits.cpp" "src/CMakeFiles/trident.dir/support/bits.cpp.o" "gcc" "src/CMakeFiles/trident.dir/support/bits.cpp.o.d"
+  "/root/repo/src/support/rng.cpp" "src/CMakeFiles/trident.dir/support/rng.cpp.o" "gcc" "src/CMakeFiles/trident.dir/support/rng.cpp.o.d"
+  "/root/repo/src/support/str.cpp" "src/CMakeFiles/trident.dir/support/str.cpp.o" "gcc" "src/CMakeFiles/trident.dir/support/str.cpp.o.d"
+  "/root/repo/src/workloads/bfs_parboil.cpp" "src/CMakeFiles/trident.dir/workloads/bfs_parboil.cpp.o" "gcc" "src/CMakeFiles/trident.dir/workloads/bfs_parboil.cpp.o.d"
+  "/root/repo/src/workloads/bfs_rodinia.cpp" "src/CMakeFiles/trident.dir/workloads/bfs_rodinia.cpp.o" "gcc" "src/CMakeFiles/trident.dir/workloads/bfs_rodinia.cpp.o.d"
+  "/root/repo/src/workloads/blackscholes.cpp" "src/CMakeFiles/trident.dir/workloads/blackscholes.cpp.o" "gcc" "src/CMakeFiles/trident.dir/workloads/blackscholes.cpp.o.d"
+  "/root/repo/src/workloads/hercules.cpp" "src/CMakeFiles/trident.dir/workloads/hercules.cpp.o" "gcc" "src/CMakeFiles/trident.dir/workloads/hercules.cpp.o.d"
+  "/root/repo/src/workloads/hotspot.cpp" "src/CMakeFiles/trident.dir/workloads/hotspot.cpp.o" "gcc" "src/CMakeFiles/trident.dir/workloads/hotspot.cpp.o.d"
+  "/root/repo/src/workloads/libquantum.cpp" "src/CMakeFiles/trident.dir/workloads/libquantum.cpp.o" "gcc" "src/CMakeFiles/trident.dir/workloads/libquantum.cpp.o.d"
+  "/root/repo/src/workloads/lulesh.cpp" "src/CMakeFiles/trident.dir/workloads/lulesh.cpp.o" "gcc" "src/CMakeFiles/trident.dir/workloads/lulesh.cpp.o.d"
+  "/root/repo/src/workloads/nw.cpp" "src/CMakeFiles/trident.dir/workloads/nw.cpp.o" "gcc" "src/CMakeFiles/trident.dir/workloads/nw.cpp.o.d"
+  "/root/repo/src/workloads/pathfinder.cpp" "src/CMakeFiles/trident.dir/workloads/pathfinder.cpp.o" "gcc" "src/CMakeFiles/trident.dir/workloads/pathfinder.cpp.o.d"
+  "/root/repo/src/workloads/puremd.cpp" "src/CMakeFiles/trident.dir/workloads/puremd.cpp.o" "gcc" "src/CMakeFiles/trident.dir/workloads/puremd.cpp.o.d"
+  "/root/repo/src/workloads/registry.cpp" "src/CMakeFiles/trident.dir/workloads/registry.cpp.o" "gcc" "src/CMakeFiles/trident.dir/workloads/registry.cpp.o.d"
+  "/root/repo/src/workloads/sad.cpp" "src/CMakeFiles/trident.dir/workloads/sad.cpp.o" "gcc" "src/CMakeFiles/trident.dir/workloads/sad.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analysis_test.cpp" "tests/CMakeFiles/trident_tests.dir/analysis_test.cpp.o" "gcc" "tests/CMakeFiles/trident_tests.dir/analysis_test.cpp.o.d"
+  "/root/repo/tests/attenuation_test.cpp" "tests/CMakeFiles/trident_tests.dir/attenuation_test.cpp.o" "gcc" "tests/CMakeFiles/trident_tests.dir/attenuation_test.cpp.o.d"
+  "/root/repo/tests/baselines_test.cpp" "tests/CMakeFiles/trident_tests.dir/baselines_test.cpp.o" "gcc" "tests/CMakeFiles/trident_tests.dir/baselines_test.cpp.o.d"
+  "/root/repo/tests/ddg_test.cpp" "tests/CMakeFiles/trident_tests.dir/ddg_test.cpp.o" "gcc" "tests/CMakeFiles/trident_tests.dir/ddg_test.cpp.o.d"
+  "/root/repo/tests/duplication_test.cpp" "tests/CMakeFiles/trident_tests.dir/duplication_test.cpp.o" "gcc" "tests/CMakeFiles/trident_tests.dir/duplication_test.cpp.o.d"
+  "/root/repo/tests/fc_model_test.cpp" "tests/CMakeFiles/trident_tests.dir/fc_model_test.cpp.o" "gcc" "tests/CMakeFiles/trident_tests.dir/fc_model_test.cpp.o.d"
+  "/root/repo/tests/fi_test.cpp" "tests/CMakeFiles/trident_tests.dir/fi_test.cpp.o" "gcc" "tests/CMakeFiles/trident_tests.dir/fi_test.cpp.o.d"
+  "/root/repo/tests/fm_model_test.cpp" "tests/CMakeFiles/trident_tests.dir/fm_model_test.cpp.o" "gcc" "tests/CMakeFiles/trident_tests.dir/fm_model_test.cpp.o.d"
+  "/root/repo/tests/integration_test.cpp" "tests/CMakeFiles/trident_tests.dir/integration_test.cpp.o" "gcc" "tests/CMakeFiles/trident_tests.dir/integration_test.cpp.o.d"
+  "/root/repo/tests/interp_test.cpp" "tests/CMakeFiles/trident_tests.dir/interp_test.cpp.o" "gcc" "tests/CMakeFiles/trident_tests.dir/interp_test.cpp.o.d"
+  "/root/repo/tests/ir_test.cpp" "tests/CMakeFiles/trident_tests.dir/ir_test.cpp.o" "gcc" "tests/CMakeFiles/trident_tests.dir/ir_test.cpp.o.d"
+  "/root/repo/tests/knapsack_test.cpp" "tests/CMakeFiles/trident_tests.dir/knapsack_test.cpp.o" "gcc" "tests/CMakeFiles/trident_tests.dir/knapsack_test.cpp.o.d"
+  "/root/repo/tests/memcpy_test.cpp" "tests/CMakeFiles/trident_tests.dir/memcpy_test.cpp.o" "gcc" "tests/CMakeFiles/trident_tests.dir/memcpy_test.cpp.o.d"
+  "/root/repo/tests/parser_test.cpp" "tests/CMakeFiles/trident_tests.dir/parser_test.cpp.o" "gcc" "tests/CMakeFiles/trident_tests.dir/parser_test.cpp.o.d"
+  "/root/repo/tests/profiler_test.cpp" "tests/CMakeFiles/trident_tests.dir/profiler_test.cpp.o" "gcc" "tests/CMakeFiles/trident_tests.dir/profiler_test.cpp.o.d"
+  "/root/repo/tests/sequence_test.cpp" "tests/CMakeFiles/trident_tests.dir/sequence_test.cpp.o" "gcc" "tests/CMakeFiles/trident_tests.dir/sequence_test.cpp.o.d"
+  "/root/repo/tests/stats_test.cpp" "tests/CMakeFiles/trident_tests.dir/stats_test.cpp.o" "gcc" "tests/CMakeFiles/trident_tests.dir/stats_test.cpp.o.d"
+  "/root/repo/tests/support_test.cpp" "tests/CMakeFiles/trident_tests.dir/support_test.cpp.o" "gcc" "tests/CMakeFiles/trident_tests.dir/support_test.cpp.o.d"
+  "/root/repo/tests/trident_model_test.cpp" "tests/CMakeFiles/trident_tests.dir/trident_model_test.cpp.o" "gcc" "tests/CMakeFiles/trident_tests.dir/trident_model_test.cpp.o.d"
+  "/root/repo/tests/tuples_test.cpp" "tests/CMakeFiles/trident_tests.dir/tuples_test.cpp.o" "gcc" "tests/CMakeFiles/trident_tests.dir/tuples_test.cpp.o.d"
+  "/root/repo/tests/verifier_test.cpp" "tests/CMakeFiles/trident_tests.dir/verifier_test.cpp.o" "gcc" "tests/CMakeFiles/trident_tests.dir/verifier_test.cpp.o.d"
+  "/root/repo/tests/workloads_test.cpp" "tests/CMakeFiles/trident_tests.dir/workloads_test.cpp.o" "gcc" "tests/CMakeFiles/trident_tests.dir/workloads_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/trident.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

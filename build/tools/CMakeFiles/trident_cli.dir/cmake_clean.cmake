@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trident_cli.dir/trident_cli.cpp.o"
+  "CMakeFiles/trident_cli.dir/trident_cli.cpp.o.d"
+  "trident"
+  "trident.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trident_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
