@@ -12,8 +12,11 @@
 
 int main() {
   using namespace trident;
+  const uint32_t threads = bench::fi_threads();
   std::printf("Figure 7: per-benchmark time to derive individual "
-              "instruction SDC probabilities\n\n");
+              "instruction SDC probabilities\n(model sweep on %u worker "
+              "threads; set TRIDENT_THREADS to change)\n\n",
+              threads);
   std::printf("%-14s %8s %14s %14s %10s %10s\n", "benchmark", "#insts",
               "TRIDENT (s)", "FI-100 (s)", "speedup", "pruned");
 
@@ -28,7 +31,7 @@ int main() {
       const core::Trident model(p.module, profile);
       const auto insts = model.injectable_instructions();
       n_insts = insts.size();
-      for (const auto& ref : insts) model.predict(ref);
+      model.predict_all(insts, threads);
     });
     const double fi_s = fi_trial_s * 100 * static_cast<double>(n_insts);
 

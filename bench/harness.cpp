@@ -1,10 +1,12 @@
 #include "harness.h"
 
+#include <algorithm>
 #include <cstdlib>
 #include <thread>
 
 #include "fi/campaign.h"
 #include "profiler/profiler.h"
+#include "support/thread_pool.h"
 
 namespace trident::bench {
 
@@ -26,12 +28,15 @@ uint64_t trials_from_env(uint64_t dflt) {
 }
 
 uint32_t fi_threads() {
+  // An explicit TRIDENT_THREADS wins (it also sizes the shared pool via
+  // ThreadPool::default_threads); otherwise cap the harnesses at 8 so
+  // reported numbers are comparable across machines.
   const char* env = std::getenv("TRIDENT_THREADS");
   if (env != nullptr) {
     const auto v = std::strtoul(env, nullptr, 10);
     if (v > 0) return static_cast<uint32_t>(v);
   }
-  return std::min(8u, std::max(1u, std::thread::hardware_concurrency()));
+  return std::min(8u, support::ThreadPool::default_threads());
 }
 
 double time_seconds(const std::function<void()>& fn) {
@@ -45,6 +50,7 @@ double measure_fi_trial_seconds(const Prepared& p, uint32_t trials) {
   fi::CampaignOptions options;
   options.trials = trials;
   options.seed = 42;
+  options.threads = 1;  // per-trial cost must be measured serially
   double seconds = time_seconds(
       [&] { fi::run_overall_campaign(p.module, p.profile, options); });
   return seconds / trials;

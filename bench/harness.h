@@ -27,8 +27,10 @@ std::vector<Prepared> prepare_all();
 /// quick runs); returns `dflt` when unset.
 uint64_t trials_from_env(uint64_t dflt);
 
-/// FI worker threads for the harnesses: TRIDENT_THREADS env var, default
-/// min(8, hardware_concurrency). Campaigns are bit-identical regardless.
+/// Worker threads for the harnesses' parallel stages (FI campaigns and
+/// the per-instruction model sweep): TRIDENT_THREADS env var, default
+/// min(8, hardware_concurrency). All parallel stages are bit-identical
+/// regardless of this value — only wall-clock changes.
 uint32_t fi_threads();
 
 /// Wall-clock seconds of a callable.

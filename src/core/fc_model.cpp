@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <mutex>
 
 namespace trident::core {
 
@@ -25,8 +26,16 @@ bool FcModel::is_loop_terminating(ir::InstRef branch) const {
 
 const FcResult& FcModel::corrupted(ir::InstRef branch) const {
   const uint64_t k = prof::pack(branch);
-  if (const auto it = memo_.find(k); it != memo_.end()) return it->second;
-  return memo_.emplace(k, compute(branch)).first->second;
+  {
+    std::shared_lock lock(memo_mutex_);
+    if (const auto it = memo_.find(k); it != memo_.end()) return it->second;
+  }
+  // Compute outside the lock; concurrent duplicates are identical and
+  // try_emplace keeps whichever landed first (unordered_map references
+  // are node-stable, so the returned ref survives later inserts).
+  FcResult result = compute(branch);
+  std::unique_lock lock(memo_mutex_);
+  return memo_.try_emplace(k, std::move(result)).first->second;
 }
 
 const std::vector<CorruptedStore>& FcModel::corrupted_stores(

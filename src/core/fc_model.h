@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <shared_mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -53,6 +54,10 @@ class FcModel {
   /// wrong direction. Candidate instructions are those in the transitive
   /// control-dependence closure of the branch (the paper's Fig. 3 stores
   /// sit behind nested branches inside the region).
+  ///
+  /// Thread-safe: the memo is a read-mostly shared_mutex cache; entries
+  /// are node-stable, so returned references stay valid for the model's
+  /// lifetime.
   const FcResult& corrupted(ir::InstRef branch) const;
 
   /// Convenience view of corrupted(branch).stores.
@@ -84,6 +89,7 @@ class FcModel {
   const prof::Profile& profile_;
   bool lucky_stores_;
   std::vector<std::unique_ptr<FuncAnalyses>> analyses_;
+  mutable std::shared_mutex memo_mutex_;
   mutable std::unordered_map<uint64_t, FcResult> memo_;
 };
 

@@ -20,9 +20,10 @@ uint32_t FmModel::store_index(ir::InstRef store) const {
 }
 
 void FmModel::solve() const {
-  if (solved_) return;
-  solved_ = true;
+  std::call_once(solve_once_, [this] { solve_impl(); });
+}
 
+void FmModel::solve_impl() const {
   // Universe: every static store that is ever reloaded. Stores outside
   // it have no memory successors, so their output probability is 0.
   for (const auto& edge : profile_.mem_edges) {

@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -82,7 +83,11 @@ class FmModel {
     double exact = 0, flt = 0, surv = 0, digits = 0, width = 0;
   };
 
+  // The whole-graph fixed point is solved once, on first query, under
+  // std::call_once (queries may come from any sweep thread); afterwards
+  // index_/rows_/state_ are read-only, so queries need no lock.
   void solve() const;
+  void solve_impl() const;
   uint32_t store_index(ir::InstRef store) const;
 
   const ir::Module& module_;
@@ -91,7 +96,7 @@ class FmModel {
   const FcModel& fc_;
   FmConfig config_;
 
-  mutable bool solved_ = false;
+  mutable std::once_flag solve_once_;
   mutable std::unordered_map<uint64_t, uint32_t> index_;  // packed -> idx
   mutable std::vector<Row> rows_;
   mutable std::vector<State> state_;

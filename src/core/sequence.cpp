@@ -92,6 +92,7 @@ SequenceTracer::SequenceTracer(const ir::Module& module,
 
 bool SequenceTracer::control_dependent(uint32_t func, uint32_t branch_block,
                                        uint32_t block) const {
+  std::lock_guard lock(analyses_mutex_);
   auto& fa = analyses_[func];
   if (!fa) fa = std::make_unique<FuncAnalyses>(module_.functions[func]);
   auto [it, inserted] = fa->dep_cache.try_emplace(branch_block);
@@ -131,34 +132,47 @@ std::vector<SequenceTracer::Guard> SequenceTracer::find_guards(
 }
 
 Terminals SequenceTracer::trace(ir::InstRef ref) const {
-  return trace_node(ref.func, ref.inst, /*is_arg=*/false);
+  TraceCtx ctx;
+  return trace_node(ref.func, ref.inst, /*is_arg=*/false, ctx);
 }
 
 Terminals SequenceTracer::trace_arg(uint32_t func, uint32_t arg) const {
-  return trace_node(func, arg, /*is_arg=*/true);
+  TraceCtx ctx;
+  return trace_node(func, arg, /*is_arg=*/true, ctx);
 }
 
 Terminals SequenceTracer::trace_node(uint32_t func, uint32_t index,
-                                     bool is_arg, uint32_t depth) const {
+                                     bool is_arg, TraceCtx& ctx,
+                                     uint32_t depth) const {
   const uint64_t k = key(func, index, is_arg);
-  if (const auto it = memo_.find(k); it != memo_.end()) return it->second;
-  if (in_progress_[k] || depth > config_.max_depth) {
+  {
+    std::shared_lock lock(memo_mutex_);
+    if (const auto it = memo_.find(k); it != memo_.end()) return it->second;
+  }
+  if (ctx.stack.count(k) != 0 || depth > config_.max_depth) {
     // Cycle (e.g. loop-carried phi) or depth cap: cut here, and mark the
     // enclosing computations as stack-dependent / truncated so they are
     // not memoized.
-    ++cycle_cuts_;
+    ++ctx.cuts;
+    cycle_cuts_.fetch_add(1, std::memory_order_relaxed);
     return {};
   }
-  in_progress_[k] = true;
-  const uint64_t cuts_before = cycle_cuts_;
-  Terminals result = compute(func, index, is_arg, depth);
-  in_progress_[k] = false;
-  if (cycle_cuts_ == cuts_before) memo_.emplace(k, result);
+  ctx.stack.insert(k);
+  const uint64_t cuts_before = ctx.cuts;
+  Terminals result = compute(func, index, is_arg, ctx, depth);
+  ctx.stack.erase(k);
+  if (ctx.cuts == cuts_before) {
+    // Clean results never depended on the stack, so every thread that
+    // computes this node derives the same value: first insert wins and
+    // any concurrent duplicates are identical.
+    std::unique_lock lock(memo_mutex_);
+    memo_.emplace(k, result);
+  }
   return result;
 }
 
 Terminals SequenceTracer::compute(uint32_t func, uint32_t index, bool is_arg,
-                                  uint32_t depth) const {
+                                  TraceCtx& ctx, uint32_t depth) const {
   Terminals out;
   if (depth > config_.max_depth) return out;
 
@@ -197,7 +211,7 @@ Terminals SequenceTracer::compute(uint32_t func, uint32_t index, bool is_arg,
       }
     }
     if (ratio < config_.prob_cutoff) continue;
-    follow_use(func, use, ratio, depth, out);
+    follow_use(func, use, ratio, ctx, depth, out);
   }
   // Each entry is a probability for this single fault, not an expected
   // count: a value consumed by several users can reach a terminal at
@@ -214,7 +228,7 @@ Terminals SequenceTracer::compute(uint32_t func, uint32_t index, bool is_arg,
 
 void SequenceTracer::follow_use(uint32_t func,
                                 const analysis::DefUse::Use& use,
-                                double ratio, uint32_t depth,
+                                double ratio, TraceCtx& ctx, uint32_t depth,
                                 Terminals& out) const {
   const auto& f = module_.functions[func];
   const auto& user = f.insts[use.user];
@@ -267,7 +281,8 @@ void SequenceTracer::follow_use(uint32_t func,
             static_cast<double>(profile_.exec({site.caller, site.inst})) /
             total;
         if (w < config_.prob_cutoff) continue;
-        const auto rec = trace_node(site.caller, site.inst, false, depth + 1);
+        const auto rec =
+            trace_node(site.caller, site.inst, false, ctx, depth + 1);
         out.accumulate(rec, ratio * w, 1.0);
       }
       return;
@@ -275,7 +290,8 @@ void SequenceTracer::follow_use(uint32_t func,
     case ir::Opcode::Call: {
       // The corrupted value enters the callee as argument `use.operand`.
       if (user.callee >= module_.functions.size()) return;
-      const auto rec = trace_node(user.callee, use.operand, true, depth + 1);
+      const auto rec =
+          trace_node(user.callee, use.operand, true, ctx, depth + 1);
       out.accumulate(rec, ratio, 1.0);
       return;
     }
@@ -286,7 +302,7 @@ void SequenceTracer::follow_use(uint32_t func,
       out.crash += ratio * t.crash;
       const double p = ratio * t.propagate;
       if (p < config_.prob_cutoff || !user.has_result()) return;
-      const auto rec = trace_node(func, use.user, false, depth + 1);
+      const auto rec = trace_node(func, use.user, false, ctx, depth + 1);
       out.accumulate(
           rec, p,
           config_.track_attenuation ? std::exp2(-t.atten) : 1.0);

@@ -6,11 +6,14 @@
 // followed interprocedurally, weighted by profiled call-site frequency.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
-#include <unordered_map>
-#include <vector>
-
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
 
 #include "analysis/cfg.h"
 #include "analysis/control_dependence.h"
@@ -102,6 +105,11 @@ class SequenceTracer {
   /// except for results computed while a def-use cycle was being cut:
   /// those depend on the traversal stack and are recomputed on a clean
   /// stack next time (avoids poisoning the cache with zeroed cycles).
+  ///
+  /// Thread-safe: the traversal stack is per-call, the memo table is a
+  /// read-mostly shared_mutex cache, and only stack-independent (clean)
+  /// results are inserted — so concurrent traces may duplicate work but
+  /// always produce, and cache, identical values.
   Terminals trace(ir::InstRef ref) const;
 
   /// Terminals reachable from a corrupted argument `arg` of `func`
@@ -117,12 +125,22 @@ class SequenceTracer {
            (static_cast<uint64_t>(index) << 1) | (is_arg ? 1 : 0);
   }
 
+  // Per-top-level-call traversal state: the recursion stack (for cycle
+  // cutting) and the number of cuts taken below the current node (for
+  // the "memoize only clean results" rule). Keeping it out of the
+  // object makes concurrent trace() calls independent.
+  struct TraceCtx {
+    std::unordered_set<uint64_t> stack;
+    uint64_t cuts = 0;
+  };
+
   Terminals trace_node(uint32_t func, uint32_t index, bool is_arg,
-                       uint32_t depth = 0) const;
+                       TraceCtx& ctx, uint32_t depth = 0) const;
   Terminals compute(uint32_t func, uint32_t index, bool is_arg,
-                    uint32_t depth) const;
+                    TraceCtx& ctx, uint32_t depth) const;
   void follow_use(uint32_t func, const analysis::DefUse::Use& use,
-                  double exec_ratio, uint32_t depth, Terminals& out) const;
+                  double exec_ratio, TraceCtx& ctx, uint32_t depth,
+                  Terminals& out) const;
 
   // A "guard" is a conditional branch whose direction is data-dependent
   // on the traced value (directly or through one comparison). A fault
@@ -161,10 +179,11 @@ class SequenceTracer {
     // branch block -> blocks control-dependent on it (cached).
     std::unordered_map<uint32_t, std::vector<uint32_t>> dep_cache;
   };
+  mutable std::mutex analyses_mutex_;  // guards analyses_ + dep_cache
   mutable std::vector<std::unique_ptr<FuncAnalyses>> analyses_;
+  mutable std::shared_mutex memo_mutex_;
   mutable std::unordered_map<uint64_t, Terminals> memo_;
-  mutable std::unordered_map<uint64_t, bool> in_progress_;
-  mutable uint64_t cycle_cuts_ = 0;
+  mutable std::atomic<uint64_t> cycle_cuts_{0};
 };
 
 }  // namespace trident::core

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "support/thread_pool.h"
+
 namespace trident::core {
 
 Trident::Trident(const ir::Module& module, const prof::Profile& profile,
@@ -59,7 +61,16 @@ double Trident::branch_weight(ir::InstRef branch) const {
 
 InstPrediction Trident::predict(ir::InstRef ref) const {
   const uint64_t k = prof::pack(ref);
-  if (const auto it = memo_.find(k); it != memo_.end()) return it->second;
+  // Mix the packed key before sharding: func/inst ids are small and
+  // sequential, so low bits alone would pile onto a few shards.
+  MemoShard& shard =
+      memo_[(k ^ (k >> 7) ^ (k >> 29)) % kMemoShards];
+  {
+    std::lock_guard lock(shard.mutex);
+    if (const auto it = shard.map.find(k); it != shard.map.end()) {
+      return it->second;
+    }
+  }
 
   InstPrediction pred;
   const auto& inst = module_.functions[ref.func].insts[ref.inst];
@@ -84,8 +95,30 @@ InstPrediction Trident::predict(ir::InstRef ref) const {
     // mutually exclusive, so crash probability bounds the SDC estimate.
     pred.sdc = std::min(std::min(1.0, sdc), 1.0 - pred.crash);
   }
-  memo_[k] = pred;
+  {
+    std::lock_guard lock(shard.mutex);
+    shard.map.emplace(k, pred);
+  }
   return pred;
+}
+
+std::vector<InstPrediction> Trident::predict_all(
+    const std::vector<ir::InstRef>& refs, uint32_t threads) const {
+  std::vector<InstPrediction> out(refs.size());
+  const uint32_t workers =
+      threads == 0 ? support::ThreadPool::default_threads() : threads;
+  if (workers <= 1) {
+    for (size_t i = 0; i < refs.size(); ++i) out[i] = predict(refs[i]);
+  } else {
+    support::ThreadPool::global().parallel_for(
+        refs.size(), [&](uint64_t i) { out[i] = predict(refs[i]); },
+        workers);
+  }
+  return out;
+}
+
+std::vector<InstPrediction> Trident::predict_all(uint32_t threads) const {
+  return predict_all(injectable_instructions(), threads);
 }
 
 std::vector<ir::InstRef> Trident::injectable_instructions() const {
@@ -101,7 +134,8 @@ std::vector<ir::InstRef> Trident::injectable_instructions() const {
   return out;
 }
 
-double Trident::overall_sdc(uint64_t samples, uint64_t seed) const {
+double Trident::overall_sdc(uint64_t samples, uint64_t seed,
+                            uint32_t threads) const {
   assert(samples > 0);
   // Sample dynamic instructions (each dynamic result-producing execution
   // equally likely), i.e. static instructions weighted by exec count.
@@ -114,15 +148,20 @@ double Trident::overall_sdc(uint64_t samples, uint64_t seed) const {
     total += profile_.exec(ref);
     cumulative.push_back(total);
   }
+  // Draw the sample refs sequentially from the seed, evaluate them in
+  // parallel into per-sample slots, then sum in sample order — the same
+  // floating-point reduction at every thread count.
   support::Rng rng(seed);
-  double sum = 0;
+  std::vector<ir::InstRef> sampled(samples);
   for (uint64_t s = 0; s < samples; ++s) {
     const uint64_t r = rng.next_below(total);
     const auto it =
         std::upper_bound(cumulative.begin(), cumulative.end(), r);
-    const auto idx = static_cast<size_t>(it - cumulative.begin());
-    sum += predict(insts[idx]).sdc;
+    sampled[s] = insts[static_cast<size_t>(it - cumulative.begin())];
   }
+  const auto preds = predict_all(sampled, threads == 0 ? 0 : threads);
+  double sum = 0;
+  for (const auto& pred : preds) sum += pred.sdc;
   return sum / static_cast<double>(samples);
 }
 

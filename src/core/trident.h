@@ -11,9 +11,12 @@
 // is assumed to be an SDC, control-flow divergence untracked).
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <mutex>
 #include <optional>
 #include <unordered_map>
+#include <vector>
 
 #include "core/fc_model.h"
 #include "core/fm_model.h"
@@ -59,13 +62,28 @@ class Trident {
           ModelConfig config = {});
 
   /// SDC probability of a fault activated at `ref` (must produce a
-  /// result; returns 0 for instructions that never execute).
+  /// result; returns 0 for instructions that never execute). Thread-safe
+  /// and deterministic: concurrent callers share the sub-model caches
+  /// (each a read-mostly lock or one-shot solve), so the prediction for
+  /// a given instruction is identical at any thread count.
   InstPrediction predict(ir::InstRef ref) const;
+
+  /// Per-static-instruction sweep: predictions for refs[i] at result[i],
+  /// evaluated on the shared thread pool. `threads` caps concurrency
+  /// (0 = TRIDENT_THREADS env or hardware_concurrency). The returned
+  /// vector is bit-identical for any thread count.
+  std::vector<InstPrediction> predict_all(
+      const std::vector<ir::InstRef>& refs, uint32_t threads = 0) const;
+
+  /// Sweep over every injectable instruction (paper Fig. 6b/7 shape).
+  std::vector<InstPrediction> predict_all(uint32_t threads = 0) const;
 
   /// Overall program SDC probability with `samples` sampled dynamic
   /// instructions (paper's methodology; sampling balances analysis time
-  /// and accuracy).
-  double overall_sdc(uint64_t samples, uint64_t seed) const;
+  /// and accuracy). Samples are drawn sequentially from the seed and
+  /// summed in sample order, so the value does not depend on `threads`.
+  double overall_sdc(uint64_t samples, uint64_t seed,
+                     uint32_t threads = 1) const;
 
   /// Exact execution-count-weighted overall SDC probability.
   double overall_sdc_exact() const;
@@ -89,7 +107,15 @@ class Trident {
   SequenceTracer tracer_;
   FcModel fc_;
   FmModel fm_;
-  mutable std::unordered_map<uint64_t, InstPrediction> memo_;
+  // Prediction memo, sharded by key hash so sweep threads rarely contend
+  // on the same mutex. Values are deterministic, so racing threads that
+  // compute the same key insert identical entries (first wins).
+  struct MemoShard {
+    mutable std::mutex mutex;
+    mutable std::unordered_map<uint64_t, InstPrediction> map;
+  };
+  static constexpr size_t kMemoShards = 16;
+  mutable std::array<MemoShard, kMemoShards> memo_;
 };
 
 }  // namespace trident::core

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "support/thread_pool.h"
+
 namespace trident::fi {
 
 double StratifiedResult::sdc_prob() const {
@@ -47,11 +49,15 @@ StratifiedResult run_stratified_campaign(const ir::Module& module,
                                          const prof::Profile& profile,
                                          const StratifiedOptions& options) {
   assert(options.trials_per_site > 0);
-  support::Rng rng(options.seed);
   const uint64_t fuel =
       profile.total_dynamic * options.fuel_multiplier + 10000;
 
+  // Plan every (stratum, trial) pair up front. Trial t of a site draws
+  // from the counter-based stream (seed, pack(site) * K + t), so the
+  // plan — and hence the whole estimate — is independent of execution
+  // order and thread count.
   StratifiedResult result;
+  std::vector<InjectionSite> plan;
   for (uint32_t f = 0; f < module.functions.size(); ++f) {
     const auto& func = module.functions[f];
     for (uint32_t i = 0; i < func.insts.size(); ++i) {
@@ -59,22 +65,40 @@ StratifiedResult run_stratified_campaign(const ir::Module& module,
       const ir::InstRef ref{f, i};
       const uint64_t exec = profile.exec(ref);
       if (exec == 0) continue;
-      SiteEstimate site{ref, exec, 0, 0, 0};
+      result.sites.push_back({ref, exec, 0, 0, 0});
       for (uint64_t t = 0; t < options.trials_per_site; ++t) {
+        auto rng = support::Rng::stream(
+            options.seed, prof::pack(ref) * options.trials_per_site + t);
         InjectionSite inj;
         inj.mode = InjectionSite::Mode::Occurrence;
         inj.inst = ref;
         inj.occurrence = rng.next_below(exec);
         inj.bit_entropy = rng.next_u64();
-        const auto trial =
-            run_one_trial(module, profile, inj, fuel, ir::kNoFunc);
-        ++site.trials;
-        site.sdc += trial.outcome == FIOutcome::SDC;
-        site.crash += trial.outcome == FIOutcome::Crash;
+        plan.push_back(inj);
       }
-      result.total_trials += site.trials;
-      result.sites.push_back(site);
     }
+  }
+
+  std::vector<Trial> trials(plan.size());
+  const uint32_t workers = options.threads == 0
+                               ? support::ThreadPool::default_threads()
+                               : options.threads;
+  support::ThreadPool::global().parallel_for(
+      plan.size(),
+      [&](uint64_t i) {
+        trials[i] = run_one_trial(module, profile, plan[i], fuel, ir::kNoFunc);
+      },
+      workers);
+
+  for (size_t s = 0; s < result.sites.size(); ++s) {
+    auto& site = result.sites[s];
+    for (uint64_t t = 0; t < options.trials_per_site; ++t) {
+      const auto& trial = trials[s * options.trials_per_site + t];
+      ++site.trials;
+      site.sdc += trial.outcome == FIOutcome::SDC;
+      site.crash += trial.outcome == FIOutcome::Crash;
+    }
+    result.total_trials += site.trials;
   }
   return result;
 }

@@ -21,6 +21,9 @@ struct StratifiedOptions {
   /// Injections per static instruction (stratum).
   uint64_t trials_per_site = 4;
   uint64_t fuel_multiplier = 50;
+  /// Concurrency cap; 0 = TRIDENT_THREADS env or hardware_concurrency.
+  /// Trials use counter-based streams, so results are thread-invariant.
+  uint32_t threads = 0;
 };
 
 struct SiteEstimate {

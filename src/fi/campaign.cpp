@@ -3,7 +3,8 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
-#include <thread>
+
+#include "support/thread_pool.h"
 
 namespace trident::fi {
 
@@ -85,9 +86,9 @@ void tally(CampaignResult& result, Trial trial) {
   result.trials.push_back(trial);
 }
 
-// Runs the pre-planned sites, sharded over options.threads workers.
-// Results land at their plan index, so the outcome is identical for any
-// thread count.
+// Runs the pre-planned sites on the shared work-stealing pool. Each
+// trial is independent and its result lands at its plan index, so the
+// outcome is identical for any thread count or schedule.
 CampaignResult run_planned(const ir::Module& module,
                            const prof::Profile& profile,
                            const std::vector<InjectionSite>& plan,
@@ -95,25 +96,21 @@ CampaignResult run_planned(const ir::Module& module,
   const uint64_t fuel =
       profile.total_dynamic * options.fuel_multiplier + 10000;
   std::vector<Trial> trials(plan.size());
-  const uint32_t workers =
-      std::max<uint32_t>(1, std::min<uint32_t>(options.threads,
-                                               std::thread::hardware_concurrency()));
+  const uint32_t workers = options.threads == 0
+                               ? support::ThreadPool::default_threads()
+                               : options.threads;
   if (workers <= 1) {
     for (size_t i = 0; i < plan.size(); ++i) {
       trials[i] = run_one_trial(module, profile, plan[i], fuel, options.entry);
     }
   } else {
-    std::vector<std::thread> pool;
-    pool.reserve(workers);
-    for (uint32_t w = 0; w < workers; ++w) {
-      pool.emplace_back([&, w] {
-        for (size_t i = w; i < plan.size(); i += workers) {
+    support::ThreadPool::global().parallel_for(
+        plan.size(),
+        [&](uint64_t i) {
           trials[i] =
               run_one_trial(module, profile, plan[i], fuel, options.entry);
-        }
-      });
-    }
-    for (auto& t : pool) t.join();
+        },
+        workers);
   }
   CampaignResult result;
   result.trials.reserve(trials.size());
@@ -127,9 +124,12 @@ CampaignResult run_overall_campaign(const ir::Module& module,
                                     const prof::Profile& profile,
                                     const CampaignOptions& options) {
   assert(profile.total_results > 0);
-  support::Rng rng(options.seed);
+  // Counter-based planning: trial i's site is a pure function of
+  // (seed, i), independent of every other trial.
   std::vector<InjectionSite> plan(options.trials);
-  for (auto& site : plan) {
+  for (uint64_t i = 0; i < plan.size(); ++i) {
+    auto rng = support::Rng::stream(options.seed, i);
+    auto& site = plan[i];
     site.mode = InjectionSite::Mode::DynIndex;
     site.dyn_index = rng.next_below(profile.total_results);
     site.bit_entropy = rng.next_u64();
@@ -144,9 +144,10 @@ CampaignResult run_instruction_campaign(const ir::Module& module,
                                         const CampaignOptions& options) {
   const uint64_t occurrences = profile.exec(target);
   assert(occurrences > 0 && "target never executes");
-  support::Rng rng(options.seed);
   std::vector<InjectionSite> plan(options.trials);
-  for (auto& site : plan) {
+  for (uint64_t i = 0; i < plan.size(); ++i) {
+    auto rng = support::Rng::stream(options.seed, i);
+    auto& site = plan[i];
     site.mode = InjectionSite::Mode::Occurrence;
     site.inst = target;
     site.occurrence = rng.next_below(occurrences);

@@ -46,11 +46,13 @@ struct CampaignOptions {
   /// Bits flipped per injection (1 = the paper's model; >1 = adjacent
   /// burst, for the multi-bit comparison of Sangchoolie et al.).
   uint32_t num_bits = 1;
-  /// Worker threads. Trials are pre-planned from the seed and sharded,
-  /// so results are bit-identical for any thread count (the paper notes
-  /// both FI and TRIDENT parallelize; this keeps campaigns wall-clock
-  /// friendly without changing the statistics).
-  uint32_t threads = 1;
+  /// Concurrency cap for the trial loop; 0 = TRIDENT_THREADS env var or
+  /// hardware_concurrency. Trial i draws its injection site from the
+  /// counter-based stream Rng::stream(seed, i) and writes its outcome to
+  /// slot i, so campaigns are bit-identical for any thread count (the
+  /// paper notes both FI and TRIDENT parallelize; this keeps campaigns
+  /// wall-clock friendly without changing the statistics).
+  uint32_t threads = 0;
   /// Entry function; kNoFunc means "main".
   uint32_t entry = ir::kNoFunc;
 };

@@ -61,6 +61,17 @@ bool Rng::next_bool(double p) {
   return next_double() < p;
 }
 
+Rng Rng::stream(uint64_t seed, uint64_t index) {
+  // Two SplitMix rounds over (seed, index): the first decorrelates the
+  // seed, the second folds in the counter scaled by an odd constant so
+  // adjacent indices land in unrelated states. The Rng constructor runs
+  // a further SplitMix expansion to fill the 256-bit state.
+  SplitMix64 outer(seed);
+  SplitMix64 inner(outer.next() ^
+                   (index * 0xd1342543de82ef95ULL + 0x9e3779b97f4a7c15ULL));
+  return Rng(inner.next());
+}
+
 Rng Rng::fork(uint64_t tag) {
   // Mix the stream state with the tag through SplitMix to decorrelate.
   SplitMix64 sm(next_u64() ^ (tag * 0x9e3779b97f4a7c15ULL));

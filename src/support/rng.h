@@ -46,6 +46,13 @@ class Rng {
   /// Derive an independent child stream; deterministic in (this, tag).
   Rng fork(uint64_t tag);
 
+  /// Counter-based stream derivation: a generator whose state is a pure
+  /// function of (seed, index), with no sequential dependence between
+  /// indices. Parallel stages give work item i the stream (seed, i), so
+  /// the values it draws are identical for any thread count, schedule,
+  /// or work partitioning.
+  static Rng stream(uint64_t seed, uint64_t index);
+
  private:
   uint64_t s_[4];
 };

@@ -1,0 +1,170 @@
+#include "support/thread_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace trident::support {
+
+namespace {
+
+// Identifies the pool (and home queue) of the current thread so nested
+// submits land on the submitting worker's own deque.
+thread_local ThreadPool* tl_pool = nullptr;
+thread_local uint32_t tl_home = 0;
+
+}  // namespace
+
+uint32_t ThreadPool::default_threads() {
+  if (const char* env = std::getenv("TRIDENT_THREADS")) {
+    const auto v = std::strtoul(env, nullptr, 10);
+    if (v > 0) return static_cast<uint32_t>(v);
+  }
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool(default_threads());
+  return pool;
+}
+
+ThreadPool::ThreadPool(uint32_t threads) {
+  const uint32_t n =
+      threads > 0 ? threads : std::max(1u, std::thread::hardware_concurrency());
+  queues_.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) queues_.push_back(std::make_unique<Queue>());
+  workers_.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(sleep_mutex_);
+    stop_.store(true);
+  }
+  wake_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::enqueue(std::function<void()> task) {
+  Queue* queue;
+  if (tl_pool == this) {
+    queue = queues_[tl_home].get();
+  } else {
+    queue = queues_[next_queue_.fetch_add(1, std::memory_order_relaxed) %
+                    queues_.size()]
+                .get();
+  }
+  {
+    std::lock_guard lock(queue->mutex);
+    queue->tasks.push_back(std::move(task));
+  }
+  {
+    // The increment is fenced by sleep_mutex_ so a worker that just saw
+    // pending_ == 0 under the same mutex cannot miss the notify.
+    std::lock_guard lock(sleep_mutex_);
+    pending_.fetch_add(1, std::memory_order_relaxed);
+  }
+  wake_.notify_one();
+}
+
+bool ThreadPool::run_one(uint32_t home) {
+  std::function<void()> task;
+  {
+    Queue& queue = *queues_[home];
+    std::lock_guard lock(queue.mutex);
+    if (!queue.tasks.empty()) {
+      task = std::move(queue.tasks.back());
+      queue.tasks.pop_back();
+    }
+  }
+  for (uint32_t i = 1; !task && i < queues_.size(); ++i) {
+    Queue& victim = *queues_[(home + i) % queues_.size()];
+    std::lock_guard lock(victim.mutex);
+    if (!victim.tasks.empty()) {
+      task = std::move(victim.tasks.front());
+      victim.tasks.pop_front();
+    }
+  }
+  if (!task) return false;
+  pending_.fetch_sub(1, std::memory_order_relaxed);
+  task();
+  return true;
+}
+
+void ThreadPool::worker_loop(uint32_t id) {
+  tl_pool = this;
+  tl_home = id;
+  while (true) {
+    if (run_one(id)) continue;
+    std::unique_lock lock(sleep_mutex_);
+    wake_.wait(lock, [this] {
+      return stop_.load(std::memory_order_relaxed) ||
+             pending_.load(std::memory_order_relaxed) > 0;
+    });
+    if (stop_.load(std::memory_order_relaxed) &&
+        pending_.load(std::memory_order_relaxed) == 0) {
+      return;
+    }
+  }
+}
+
+void ThreadPool::parallel_for(uint64_t n,
+                              const std::function<void(uint64_t)>& body,
+                              uint32_t max_workers, uint64_t grain) {
+  if (n == 0) return;
+  const uint32_t cap = max_workers == 0 ? size() + 1 : max_workers;
+  if (cap <= 1 || n == 1) {
+    for (uint64_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  if (grain == 0) {
+    grain = std::max<uint64_t>(1, n / (static_cast<uint64_t>(cap) * 8));
+  }
+
+  struct State {
+    std::atomic<uint64_t> next{0};
+    std::atomic<uint32_t> helpers{0};
+    std::atomic<bool> failed{false};
+    std::mutex mutex;
+    std::exception_ptr error;
+  };
+  auto state = std::make_shared<State>();
+  const auto work = [state, n, grain, body_ptr = &body] {
+    while (!state->failed.load(std::memory_order_relaxed)) {
+      const uint64_t begin = state->next.fetch_add(grain);
+      if (begin >= n) break;
+      const uint64_t end = std::min(n, begin + grain);
+      try {
+        for (uint64_t i = begin; i < end; ++i) (*body_ptr)(i);
+      } catch (...) {
+        std::lock_guard lock(state->mutex);
+        if (!state->error) state->error = std::current_exception();
+        state->failed.store(true, std::memory_order_relaxed);
+      }
+    }
+  };
+
+  const uint64_t chunks = (n + grain - 1) / grain;
+  const uint32_t spawn = static_cast<uint32_t>(std::min<uint64_t>(
+      {static_cast<uint64_t>(cap) - 1, size(), chunks - 1}));
+  for (uint32_t i = 0; i < spawn; ++i) {
+    state->helpers.fetch_add(1, std::memory_order_relaxed);
+    enqueue([state, work] {
+      work();
+      state->helpers.fetch_sub(1, std::memory_order_release);
+    });
+  }
+  work();  // the calling thread takes chunks too
+  // Helpers still running hold pointers into this frame: wait for them,
+  // but keep draining the pool meanwhile so nested parallel_for calls
+  // (a task spawning its own loop) cannot deadlock.
+  const uint32_t home = tl_pool == this ? tl_home : 0;
+  while (state->helpers.load(std::memory_order_acquire) != 0) {
+    if (!run_one(home)) std::this_thread::yield();
+  }
+  if (state->error) std::rethrow_exception(state->error);
+}
+
+}  // namespace trident::support

@@ -1,0 +1,93 @@
+// Work-stealing thread pool shared by every parallel stage (FI
+// campaigns, the per-instruction TRIDENT sweep, scalability benches).
+//
+// Design constraints, in order:
+//   1. Determinism is the caller's job and the pool must not get in the
+//      way: parallel_for hands out index ranges from an atomic counter
+//      and callers write results to their own slot, so the outcome of a
+//      parallel stage never depends on the schedule.
+//   2. Nested use must not deadlock: a task running on a pool worker may
+//      itself call submit() or parallel_for(). Workers push nested tasks
+//      onto their own deque (LIFO), idle workers steal from the other
+//      end, and a thread waiting inside parallel_for() keeps executing
+//      queued tasks instead of blocking.
+//   3. Exceptions propagate: submit() returns a future that rethrows;
+//      parallel_for() rethrows the first body exception on the calling
+//      thread after the loop quiesces.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace trident::support {
+
+class ThreadPool {
+ public:
+  /// 0 = one worker per hardware thread.
+  explicit ThreadPool(uint32_t threads = 0);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  uint32_t size() const { return static_cast<uint32_t>(workers_.size()); }
+
+  /// Runs `fn` on a worker; the future rethrows anything `fn` throws.
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> future = task->get_future();
+    enqueue([task] { (*task)(); });
+    return future;
+  }
+
+  /// Calls body(i) for every i in [0, n) exactly once. The calling
+  /// thread participates, so `max_workers` is the total concurrency cap
+  /// (0 = pool size + 1). Indices are handed out in chunks of `grain`
+  /// (0 = auto). Blocks until every index ran; rethrows the first body
+  /// exception (remaining chunks are then abandoned, but every chunk
+  /// already started still completes).
+  void parallel_for(uint64_t n, const std::function<void(uint64_t)>& body,
+                    uint32_t max_workers = 0, uint64_t grain = 0);
+
+  /// Process-wide pool, created on first use with default_threads()
+  /// workers. All library-level parallelism (campaigns, sweeps) runs
+  /// here so thread creation is paid once per process.
+  static ThreadPool& global();
+
+  /// Default worker count: TRIDENT_THREADS env var if set and nonzero,
+  /// else hardware_concurrency (at least 1).
+  static uint32_t default_threads();
+
+ private:
+  struct Queue {
+    std::mutex mutex;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void enqueue(std::function<void()> task);
+  /// Runs one queued task if any is available (own deque LIFO first,
+  /// then steals FIFO from the others). Returns false when idle.
+  bool run_one(uint32_t home);
+  void worker_loop(uint32_t id);
+
+  std::vector<std::unique_ptr<Queue>> queues_;
+  std::vector<std::thread> workers_;
+  std::mutex sleep_mutex_;
+  std::condition_variable wake_;
+  std::atomic<uint64_t> pending_{0};
+  std::atomic<uint64_t> next_queue_{0};
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace trident::support

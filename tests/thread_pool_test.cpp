@@ -1,0 +1,191 @@
+#include "support/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include "core/trident.h"
+#include "fi/campaign.h"
+#include "ir/builder.h"
+#include "profiler/profiler.h"
+#include "support/rng.h"
+
+namespace trident {
+namespace {
+
+using support::Rng;
+using support::ThreadPool;
+
+TEST(ThreadPool, SubmitReturnsValue) {
+  ThreadPool pool(2);
+  auto f = pool.submit([] { return 41 + 1; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, SubmitPropagatesException) {
+  ThreadPool pool(2);
+  auto f = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForRunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr uint64_t kN = 10000;
+  std::vector<std::atomic<uint32_t>> hits(kN);
+  pool.parallel_for(kN, [&](uint64_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (uint64_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1u) << i;
+}
+
+TEST(ThreadPool, ParallelForRespectsWorkerCap) {
+  ThreadPool pool(4);
+  std::atomic<uint32_t> active{0};
+  std::atomic<uint32_t> peak{0};
+  pool.parallel_for(
+      200,
+      [&](uint64_t) {
+        const uint32_t now = active.fetch_add(1) + 1;
+        uint32_t seen = peak.load();
+        while (now > seen && !peak.compare_exchange_weak(seen, now)) {
+        }
+        active.fetch_sub(1);
+      },
+      /*max_workers=*/2, /*grain=*/1);
+  EXPECT_LE(peak.load(), 2u);
+}
+
+TEST(ThreadPool, ParallelForPropagatesException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(100,
+                                 [](uint64_t i) {
+                                   if (i == 37) {
+                                     throw std::runtime_error("bad index");
+                                   }
+                                 }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, NestedSubmitFromWorker) {
+  ThreadPool pool(2);
+  auto outer = pool.submit([&pool] {
+    auto inner = pool.submit([] { return 7; });
+    return inner.get() + 1;
+  });
+  EXPECT_EQ(outer.get(), 8);
+}
+
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock) {
+  ThreadPool pool(2);
+  std::atomic<uint64_t> total{0};
+  pool.parallel_for(8, [&](uint64_t) {
+    pool.parallel_for(
+        16, [&](uint64_t) { total.fetch_add(1, std::memory_order_relaxed); });
+  });
+  EXPECT_EQ(total.load(), 8u * 16u);
+}
+
+TEST(ThreadPool, ManySmallTasksAllComplete) {
+  ThreadPool pool(4);
+  std::atomic<uint64_t> ran{0};
+  std::vector<std::future<void>> futures;
+  futures.reserve(500);
+  for (int i = 0; i < 500; ++i) {
+    futures.push_back(pool.submit([&] { ran.fetch_add(1); }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(ran.load(), 500u);
+}
+
+TEST(StreamRng, PureFunctionOfSeedAndIndex) {
+  auto a = Rng::stream(99, 5);
+  auto b = Rng::stream(99, 5);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(StreamRng, AdjacentIndicesDecorrelated) {
+  auto a = Rng::stream(99, 5);
+  auto b = Rng::stream(99, 6);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next_u64() == b.next_u64();
+  EXPECT_EQ(same, 0);
+}
+
+// --- End-to-end determinism: parallel == serial, bit for bit. ---
+
+// A kernel with loops, memory traffic, and output: enough structure that
+// trials exercise every outcome class.
+ir::Module make_kernel() {
+  ir::Module m;
+  ir::IRBuilder b(m);
+  b.begin_function("main", {}, ir::Type::void_());
+  b.set_block(b.block("entry"));
+  const auto buf = b.alloca_(16 * 8);
+  ir::Value acc = b.i64(3);
+  for (int i = 0; i < 16; ++i) {
+    acc = b.add(acc, b.mul(acc, b.i64(5)));
+    b.store(acc, b.gep(buf, b.i64(i % 16), 8));
+  }
+  ir::Value sum = b.i64(0);
+  for (int i = 0; i < 16; ++i) {
+    sum = b.add(sum, b.load(ir::Type::i64(), b.gep(buf, b.i64(i), 8)));
+  }
+  b.print_uint(sum);
+  b.ret();
+  b.end_function();
+  return m;
+}
+
+TEST(ParallelDeterminism, CampaignBitIdenticalAcrossThreadCounts) {
+  const auto m = make_kernel();
+  const auto profile = prof::collect_profile(m);
+  fi::CampaignOptions serial;
+  serial.trials = 200;
+  serial.seed = 17;
+  serial.threads = 1;
+  fi::CampaignOptions parallel = serial;
+  parallel.threads = 8;
+  const auto a = fi::run_overall_campaign(m, profile, serial);
+  const auto b = fi::run_overall_campaign(m, profile, parallel);
+  ASSERT_EQ(a.total(), b.total());
+  EXPECT_EQ(a.sdc, b.sdc);
+  EXPECT_EQ(a.crash, b.crash);
+  EXPECT_EQ(a.benign, b.benign);
+  EXPECT_EQ(a.hang, b.hang);
+  for (size_t i = 0; i < a.trials.size(); ++i) {
+    EXPECT_EQ(a.trials[i].target, b.trials[i].target);
+    EXPECT_EQ(a.trials[i].bit, b.trials[i].bit);
+    EXPECT_EQ(a.trials[i].outcome, b.trials[i].outcome);
+  }
+}
+
+TEST(ParallelDeterminism, PerInstructionSweepBitIdentical) {
+  const auto m = make_kernel();
+  const auto profile = prof::collect_profile(m);
+  // Fresh models so each sweep starts with cold memo caches.
+  const core::Trident serial_model(m, profile);
+  const core::Trident parallel_model(m, profile);
+  const auto insts = serial_model.injectable_instructions();
+  const auto a = serial_model.predict_all(insts, 1);
+  const auto b = parallel_model.predict_all(insts, 8);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    // Bit-identical, not approximately equal: the sweep must not depend
+    // on scheduling.
+    EXPECT_EQ(a[i].sdc, b[i].sdc) << "inst " << i;
+    EXPECT_EQ(a[i].crash, b[i].crash) << "inst " << i;
+  }
+}
+
+TEST(ParallelDeterminism, SampledOverallSdcThreadInvariant) {
+  const auto m = make_kernel();
+  const auto profile = prof::collect_profile(m);
+  const core::Trident one(m, profile);
+  const core::Trident eight(m, profile);
+  EXPECT_EQ(one.overall_sdc(500, 11, 1), eight.overall_sdc(500, 11, 8));
+}
+
+}  // namespace
+}  // namespace trident

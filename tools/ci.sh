@@ -1,0 +1,17 @@
+#!/usr/bin/env sh
+# Tier-1 verification: configure + build + test, exactly what CI runs.
+#
+#   tools/ci.sh            # release preset (build/)
+#   tools/ci.sh asan       # address+UB sanitizer preset (build-asan/)
+#
+# Extra knobs: TRIDENT_THREADS caps worker threads of parallel stages;
+# TRIDENT_TRIALS shrinks FI campaigns in the benches. Neither changes
+# test results (campaigns are bit-identical at any thread count).
+set -eu
+
+preset="${1:-release}"
+cd "$(dirname "$0")/.."
+
+cmake --preset "$preset"
+cmake --build --preset "$preset" -j "$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+ctest --preset "$preset"

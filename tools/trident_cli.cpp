@@ -8,6 +8,11 @@
 //   trident inject  <target> [--trials N] [--seed S]
 //   trident protect <target> [--budget F] [-o out.tir] [--evaluate]
 //
+// `--threads N` caps the worker threads of every parallel stage (FI
+// campaigns, the per-instruction sweep); 0 or unset = TRIDENT_THREADS
+// env var, else hardware_concurrency. Results are bit-identical for any
+// thread count.
+//
 // <target> is a bundled workload name (see `trident list`) or a path to a
 // textual IR file (the format of `trident dump`, parseable by ir/parser).
 #include <cstdio>
@@ -46,7 +51,9 @@ int usage() {
                "  inject <target> [--trials N] [--seed S]\n"
                "                               fault-injection campaign\n"
                "  protect <target> [--budget F] [-o f.tir] [--evaluate]\n"
-               "                               selective duplication\n");
+               "                               selective duplication\n"
+               "common: --threads N            worker threads (0 = auto;\n"
+               "                               results identical for any N)\n");
   return 2;
 }
 
@@ -87,6 +94,7 @@ struct Args {
   uint64_t samples = 0;  // 0 = exact
   uint64_t seed = 1234;
   double budget = 1.0 / 3;
+  uint32_t threads = 0;  // 0 = TRIDENT_THREADS env or hardware
 };
 
 bool parse_args(int argc, char** argv, Args& args) {
@@ -123,6 +131,10 @@ bool parse_args(int argc, char** argv, Args& args) {
       const char* v = next();
       if (!v) return false;
       args.budget = std::strtod(v, nullptr);
+    } else if (a == "--threads") {
+      const char* v = next();
+      if (!v) return false;
+      args.threads = static_cast<uint32_t>(std::strtoul(v, nullptr, 10));
     } else if (args.target.empty() && a[0] != '-') {
       args.target = a;
     } else {
@@ -206,18 +218,21 @@ int cmd_predict(const Args& args, const ir::Module& m) {
   if (!config) return 2;
   const auto profile = prof::collect_profile(m);
   const core::Trident model(m, profile, *config);
-  const double overall = args.samples > 0
-                             ? model.overall_sdc(args.samples, args.seed)
-                             : model.overall_sdc_exact();
+  const double overall =
+      args.samples > 0
+          ? model.overall_sdc(args.samples, args.seed, args.threads)
+          : model.overall_sdc_exact();
   std::printf("model: %s\n", args.model.c_str());
   std::printf("overall SDC probability: %.2f%%\n", overall * 100);
   if (args.per_inst) {
+    const auto insts = model.injectable_instructions();
+    const auto preds = model.predict_all(insts, args.threads);
     std::printf("\n%-8s %10s %8s %8s\n", "inst", "exec", "SDC", "crash");
-    for (const auto& ref : model.injectable_instructions()) {
-      const auto pred = model.predict(ref);
+    for (size_t i = 0; i < insts.size(); ++i) {
+      const auto& ref = insts[i];
       std::printf("f%u:%%%-5u %10llu %7.2f%% %7.2f%%\n", ref.func, ref.inst,
                   static_cast<unsigned long long>(profile.exec(ref)),
-                  pred.sdc * 100, pred.crash * 100);
+                  preds[i].sdc * 100, preds[i].crash * 100);
     }
   }
   return 0;
@@ -228,6 +243,7 @@ int cmd_inject(const Args& args, const ir::Module& m) {
   fi::CampaignOptions options;
   options.trials = args.trials;
   options.seed = args.seed;
+  options.threads = args.threads;
   const auto result = fi::run_overall_campaign(m, profile, options);
   std::printf("trials:   %llu\n",
               static_cast<unsigned long long>(result.total()));
@@ -267,6 +283,7 @@ int cmd_protect(const Args& args, const ir::Module& m) {
     fi::CampaignOptions options;
     options.trials = args.trials;
     options.seed = args.seed;
+    options.threads = args.threads;
     const auto before = fi::run_overall_campaign(m, profile, options);
     const auto after =
         fi::run_overall_campaign(result.module, prot_profile, options);
