@@ -29,6 +29,7 @@ int main() {
     fi::CampaignOptions options;
     options.threads = bench::fi_threads();
     options.trials = trials;
+    options.metrics = &bench::metrics();
     const auto campaign =
         fi::run_overall_campaign(p.module, p.profile, options);
 
@@ -40,6 +41,7 @@ int main() {
     const double t_v = full.overall_sdc(trials, 11);
     const double c_v = fsfc.overall_sdc(trials, 11);
     const double s_v = fs.overall_sdc(trials, 11);
+    full.export_metrics(bench::metrics());
 
     std::printf("%-14s %9.2f%% %7.2f%% %8.2f%% %7.2f%% %7.2f%%\n",
                 p.workload.name.c_str(), campaign.sdc_prob() * 100,
@@ -73,5 +75,6 @@ int main() {
     std::printf("  %-8s p = %.3f%s\n", name, t.p,
                 t.p > 0.05 ? "  (fail to reject H0)" : "  (rejected)");
   }
+  bench::write_metrics_manifest("fig5_overall_sdc");
   return 0;
 }

@@ -1,7 +1,9 @@
 #include "harness.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <thread>
 
 #include "fi/campaign.h"
@@ -11,6 +13,7 @@
 namespace trident::bench {
 
 std::vector<Prepared> prepare_all() {
+  obs::ScopedTimer timer(metrics(), "phase.prepare.seconds");
   std::vector<Prepared> out;
   for (const auto& w : workloads::all_workloads()) {
     Prepared p{w, w.build(), {}};
@@ -54,6 +57,27 @@ double measure_fi_trial_seconds(const Prepared& p, uint32_t trials) {
   double seconds = time_seconds(
       [&] { fi::run_overall_campaign(p.module, p.profile, options); });
   return seconds / trials;
+}
+
+obs::Registry& metrics() {
+  static obs::Registry registry;
+  return registry;
+}
+
+void write_metrics_manifest(const std::string& command) {
+  const char* path = std::getenv("TRIDENT_METRICS_OUT");
+  if (path == nullptr || *path == '\0') return;
+  auto& registry = metrics();
+  registry.set_counter("pool.tasks_run",
+                       support::ThreadPool::global().tasks_run());
+  registry.set_counter("pool.tasks_stolen",
+                       support::ThreadPool::global().tasks_stolen());
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "warning: cannot write metrics to '%s'\n", path);
+    return;
+  }
+  out << obs::manifest_json(registry, {{"command", command}});
 }
 
 }  // namespace trident::bench

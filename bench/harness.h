@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "ir/module.h"
+#include "obs/metrics.h"
 #include "profiler/profile.h"
 #include "workloads/workloads.h"
 
@@ -40,5 +41,15 @@ double time_seconds(const std::function<void()>& fn);
 /// paper projects campaign costs from single-trial measurements, §V-C:
 /// "projected based on the measurement of one FI trial").
 double measure_fi_trial_seconds(const Prepared& p, uint32_t trials = 30);
+
+/// Process-wide run-metrics registry for the harness binaries. Campaign
+/// helpers and benches register their counters here; point
+/// fi::CampaignOptions::metrics at it to capture campaign tallies.
+obs::Registry& metrics();
+
+/// Writes the harness's run manifest (trident-run-metrics/1) to the
+/// path named by TRIDENT_METRICS_OUT; no-op when the variable is unset.
+/// `command` tags the manifest with the producing bench.
+void write_metrics_manifest(const std::string& command);
 
 }  // namespace trident::bench

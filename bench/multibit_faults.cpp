@@ -28,6 +28,7 @@ int main() {
       options.threads = bench::fi_threads();
       options.trials = trials;
       options.num_bits = widths[i];
+      options.metrics = &bench::metrics();
       const auto result =
           fi::run_overall_campaign(p.module, p.profile, options);
       s[i] = result.sdc_prob();
@@ -47,5 +48,6 @@ int main() {
               "single-bit campaigns\ntrack multi-bit SDC probabilities "
               "closely; divergence here would undermine the\nfault "
               "model, not the propagation model.\n");
+  bench::write_metrics_manifest("multibit_faults");
   return 0;
 }

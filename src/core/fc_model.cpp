@@ -26,9 +26,13 @@ bool FcModel::is_loop_terminating(ir::InstRef branch) const {
 
 const FcResult& FcModel::corrupted(ir::InstRef branch) const {
   const uint64_t k = prof::pack(branch);
+  memo_lookups_.fetch_add(1, std::memory_order_relaxed);
   {
     std::shared_lock lock(memo_mutex_);
-    if (const auto it = memo_.find(k); it != memo_.end()) return it->second;
+    if (const auto it = memo_.find(k); it != memo_.end()) {
+      memo_hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
   }
   // Compute outside the lock; concurrent duplicates are identical and
   // try_emplace keeps whichever landed first (unordered_map references

@@ -11,6 +11,7 @@
 // control-dependent on the branch.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <shared_mutex>
@@ -68,6 +69,14 @@ class FcModel {
   /// and the ablation benches).
   bool is_loop_terminating(ir::InstRef branch) const;
 
+  /// Memo-cache statistics over corrupted() calls (for the obs manifest).
+  uint64_t memo_hits() const {
+    return memo_hits_.load(std::memory_order_relaxed);
+  }
+  uint64_t memo_lookups() const {
+    return memo_lookups_.load(std::memory_order_relaxed);
+  }
+
  private:
   struct FuncAnalyses {
     explicit FuncAnalyses(const ir::Function& f)
@@ -91,6 +100,8 @@ class FcModel {
   std::vector<std::unique_ptr<FuncAnalyses>> analyses_;
   mutable std::shared_mutex memo_mutex_;
   mutable std::unordered_map<uint64_t, FcResult> memo_;
+  mutable std::atomic<uint64_t> memo_hits_{0};
+  mutable std::atomic<uint64_t> memo_lookups_{0};
 };
 
 }  // namespace trident::core

@@ -145,9 +145,13 @@ Terminals SequenceTracer::trace_node(uint32_t func, uint32_t index,
                                      bool is_arg, TraceCtx& ctx,
                                      uint32_t depth) const {
   const uint64_t k = key(func, index, is_arg);
+  memo_lookups_.fetch_add(1, std::memory_order_relaxed);
   {
     std::shared_lock lock(memo_mutex_);
-    if (const auto it = memo_.find(k); it != memo_.end()) return it->second;
+    if (const auto it = memo_.find(k); it != memo_.end()) {
+      memo_hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
   }
   if (ctx.stack.count(k) != 0 || depth > config_.max_depth) {
     // Cycle (e.g. loop-carried phi) or depth cap: cut here, and mark the

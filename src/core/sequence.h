@@ -118,6 +118,15 @@ class SequenceTracer {
 
   const TupleModel& tuples() const { return tuples_; }
 
+  /// Memo-cache statistics over trace_node entries (lookups counts every
+  /// entry, hits the ones served from cache). Feed the obs run manifest.
+  uint64_t memo_hits() const {
+    return memo_hits_.load(std::memory_order_relaxed);
+  }
+  uint64_t memo_lookups() const {
+    return memo_lookups_.load(std::memory_order_relaxed);
+  }
+
  private:
   // Node key: function, index, is_arg flag.
   static uint64_t key(uint32_t func, uint32_t index, bool is_arg) {
@@ -184,6 +193,8 @@ class SequenceTracer {
   mutable std::shared_mutex memo_mutex_;
   mutable std::unordered_map<uint64_t, Terminals> memo_;
   mutable std::atomic<uint64_t> cycle_cuts_{0};
+  mutable std::atomic<uint64_t> memo_hits_{0};
+  mutable std::atomic<uint64_t> memo_lookups_{0};
 };
 
 }  // namespace trident::core

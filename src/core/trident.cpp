@@ -65,9 +65,11 @@ InstPrediction Trident::predict(ir::InstRef ref) const {
   // sequential, so low bits alone would pile onto a few shards.
   MemoShard& shard =
       memo_[(k ^ (k >> 7) ^ (k >> 29)) % kMemoShards];
+  memo_lookups_.fetch_add(1, std::memory_order_relaxed);
   {
     std::lock_guard lock(shard.mutex);
     if (const auto it = shard.map.find(k); it != shard.map.end()) {
+      memo_hits_.fetch_add(1, std::memory_order_relaxed);
       return it->second;
     }
   }
@@ -175,6 +177,30 @@ double Trident::overall_sdc_exact() const {
     total += w;
   }
   return total == 0 ? 0.0 : weighted / total;
+}
+
+void Trident::export_metrics(obs::Registry& registry) const {
+  const auto rate = [](uint64_t hits, uint64_t lookups) {
+    return lookups == 0 ? 0.0
+                        : static_cast<double>(hits) /
+                              static_cast<double>(lookups);
+  };
+  registry.add("fm.solver_iterations", fm_.solver_iterations());
+  const uint64_t fs_hits = tracer_.memo_hits();
+  const uint64_t fs_lookups = tracer_.memo_lookups();
+  registry.add("fs.memo.hits", fs_hits);
+  registry.add("fs.memo.lookups", fs_lookups);
+  registry.set("fs.memo.hit_rate", rate(fs_hits, fs_lookups));
+  const uint64_t fc_hits = fc_.memo_hits();
+  const uint64_t fc_lookups = fc_.memo_lookups();
+  registry.add("fc.memo.hits", fc_hits);
+  registry.add("fc.memo.lookups", fc_lookups);
+  registry.set("fc.memo.hit_rate", rate(fc_hits, fc_lookups));
+  const uint64_t hits = memo_hits_.load(std::memory_order_relaxed);
+  const uint64_t lookups = memo_lookups_.load(std::memory_order_relaxed);
+  registry.add("trident.memo.hits", hits);
+  registry.add("trident.memo.lookups", lookups);
+  registry.set("trident.memo.hit_rate", rate(hits, lookups));
 }
 
 }  // namespace trident::core

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <mutex>
 #include <optional>
@@ -22,6 +23,7 @@
 #include "core/fm_model.h"
 #include "core/sequence.h"
 #include "ir/module.h"
+#include "obs/metrics.h"
 #include "profiler/profile.h"
 #include "support/rng.h"
 
@@ -96,6 +98,12 @@ class Trident {
   const ir::Module& module() const { return module_; }
   const ModelConfig& config() const { return config_; }
 
+  /// Snapshots the model's internal instrumentation into `registry`:
+  /// fm solver iterations ("fm.solver_iterations"), fs/fc/prediction
+  /// memo hits+lookups and hit rates ("fs.memo.*", "fc.memo.*",
+  /// "trident.memo.*"). Additive with earlier snapshots (counters add).
+  void export_metrics(obs::Registry& registry) const;
+
  private:
   double store_weight(ir::InstRef store) const;
   double store_term_weight(const StoreTerm& term) const;
@@ -116,6 +124,8 @@ class Trident {
   };
   static constexpr size_t kMemoShards = 16;
   mutable std::array<MemoShard, kMemoShards> memo_;
+  mutable std::atomic<uint64_t> memo_hits_{0};
+  mutable std::atomic<uint64_t> memo_lookups_{0};
 };
 
 }  // namespace trident::core

@@ -1,9 +1,13 @@
 #include "fi/campaign.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <cmath>
+#include <stdexcept>
 
+#include "obs/checkpoint.h"
+#include "stats/stats.h"
 #include "support/thread_pool.h"
 
 namespace trident::fi {
@@ -35,9 +39,23 @@ double CampaignResult::detected_prob() const {
 }
 
 double CampaignResult::sdc_ci95() const {
-  if (trials.empty()) return 0.0;
-  const double p = sdc_prob();
-  return 1.96 * std::sqrt(p * (1.0 - p) / static_cast<double>(trials.size()));
+  return stats::proportion_ci95(sdc_prob(), trials.size());
+}
+
+double CampaignResult::crash_ci95() const {
+  return stats::proportion_ci95(crash_prob(), trials.size());
+}
+
+uint64_t campaign_fuel(const prof::Profile& profile,
+                       uint64_t fuel_multiplier) {
+  uint64_t fuel;
+  if (fuel_multiplier != 0 &&
+      profile.total_dynamic > UINT64_MAX / fuel_multiplier) {
+    return UINT64_MAX;  // saturate: a wrapped product would truncate the
+                        // budget and misclassify long runs as hangs
+  }
+  fuel = profile.total_dynamic * fuel_multiplier;
+  return fuel > UINT64_MAX - 10000 ? UINT64_MAX : fuel + 10000;
 }
 
 Trial run_one_trial(const ir::Module& module, const prof::Profile& profile,
@@ -75,6 +93,29 @@ Trial run_one_trial(const ir::Module& module, const prof::Profile& profile,
 
 namespace {
 
+// One planned trial, with the hang-escalation retry: a budget overrun at
+// the base fuel re-runs once at hang_escalation x fuel to separate
+// slow-but-terminating runs (fuel exhaustion) from genuine infinite
+// loops. Pure function of (plan slot, fuel policy) — identical on every
+// schedule, which resume depends on.
+Trial run_classified_trial(const ir::Module& module,
+                           const prof::Profile& profile,
+                           const InjectionSite& site, uint64_t fuel,
+                           const CampaignOptions& options) {
+  Trial trial = run_one_trial(module, profile, site, fuel, options.entry);
+  if (trial.outcome != FIOutcome::Hang || options.hang_escalation == 0 ||
+      fuel == UINT64_MAX) {
+    return trial;
+  }
+  const uint64_t escalated = fuel > UINT64_MAX / options.hang_escalation
+                                 ? UINT64_MAX
+                                 : fuel * options.hang_escalation;
+  Trial retry = run_one_trial(module, profile, site, escalated, options.entry);
+  if (retry.outcome == FIOutcome::Hang) return trial;  // genuine hang
+  retry.fuel_exhausted = true;
+  return retry;
+}
+
 void tally(CampaignResult& result, Trial trial) {
   switch (trial.outcome) {
     case FIOutcome::Benign: ++result.benign; break;
@@ -83,39 +124,131 @@ void tally(CampaignResult& result, Trial trial) {
     case FIOutcome::Hang: ++result.hang; break;
     case FIOutcome::Detected: ++result.detected; break;
   }
+  if (trial.fuel_exhausted) ++result.fuel_exhausted;
   result.trials.push_back(trial);
 }
 
-// Runs the pre-planned sites on the shared work-stealing pool. Each
-// trial is independent and its result lands at its plan index, so the
-// outcome is identical for any thread count or schedule.
+obs::TrialRecord to_record(uint64_t slot, const Trial& trial) {
+  obs::TrialRecord record;
+  record.index = slot;
+  record.outcome = static_cast<uint32_t>(trial.outcome);
+  record.target_func = trial.target.func;
+  record.target_inst = trial.target.inst;
+  record.bit = trial.bit;
+  record.fuel_exhausted = trial.fuel_exhausted;
+  return record;
+}
+
+Trial from_record(const obs::TrialRecord& record) {
+  Trial trial;
+  trial.outcome = static_cast<FIOutcome>(record.outcome);
+  trial.target = {record.target_func, record.target_inst};
+  trial.bit = record.bit;
+  trial.fuel_exhausted = record.fuel_exhausted;
+  return trial;
+}
+
+void export_metrics(obs::Registry& registry, const CampaignResult& result,
+                    uint64_t ran, double seconds) {
+  registry.add("fi.trials.total", result.total());
+  registry.add("fi.trials.run", ran);
+  registry.add("fi.trials.resumed", result.resumed);
+  registry.add("fi.outcome.sdc", result.sdc);
+  registry.add("fi.outcome.benign", result.benign);
+  registry.add("fi.outcome.crash", result.crash);
+  registry.add("fi.outcome.hang", result.hang);
+  registry.add("fi.outcome.detected", result.detected);
+  registry.add("fi.fuel_exhausted", result.fuel_exhausted);
+  registry.set("fi.campaign.seconds",
+               registry.gauge("fi.campaign.seconds") + seconds);
+  if (seconds > 0) {
+    registry.set("fi.trials_per_sec",
+                 static_cast<double>(ran) / seconds);
+  }
+}
+
+// Runs the pre-planned sites on the shared work-stealing pool, resuming
+// from `header`'s checkpoint log when one is configured. Each trial is
+// independent and its result lands at its plan index, so the outcome is
+// identical for any thread count, schedule, or interruption point.
 CampaignResult run_planned(const ir::Module& module,
                            const prof::Profile& profile,
                            const std::vector<InjectionSite>& plan,
-                           const CampaignOptions& options) {
-  const uint64_t fuel =
-      profile.total_dynamic * options.fuel_multiplier + 10000;
+                           const CampaignOptions& options,
+                           const obs::CheckpointHeader& header) {
+  const double started = obs::now_seconds();
+  const uint64_t fuel = campaign_fuel(profile, options.fuel_multiplier);
   std::vector<Trial> trials(plan.size());
+  std::vector<char> have(plan.size(), 0);
+
+  std::unique_ptr<obs::CheckpointLog> log;
+  uint64_t resumed = 0;
+  if (!options.checkpoint_path.empty()) {
+    std::string error;
+    log = obs::CheckpointLog::open(options.checkpoint_path, header, &error);
+    if (log == nullptr) throw std::runtime_error(error);
+    for (const auto& [slot, record] : log->resumed()) {
+      trials[slot] = from_record(record);
+      have[slot] = 1;
+      ++resumed;
+    }
+  }
+
+  std::vector<uint64_t> todo;
+  todo.reserve(plan.size() - resumed);
+  for (uint64_t i = 0; i < plan.size(); ++i) {
+    if (!have[i]) todo.push_back(i);
+  }
+
+  obs::ProgressLine progress(options.progress, "fi");
+  std::atomic<uint64_t> done{resumed};
+  progress.update(resumed, plan.size());
+  const auto run_slot = [&](uint64_t slot) {
+    const Trial trial =
+        run_classified_trial(module, profile, plan[slot], fuel, options);
+    trials[slot] = trial;
+    if (log) log->append(to_record(slot, trial));
+    progress.update(done.fetch_add(1, std::memory_order_relaxed) + 1,
+                    plan.size());
+  };
+
   const uint32_t workers = options.threads == 0
                                ? support::ThreadPool::default_threads()
                                : options.threads;
   if (workers <= 1) {
-    for (size_t i = 0; i < plan.size(); ++i) {
-      trials[i] = run_one_trial(module, profile, plan[i], fuel, options.entry);
-    }
+    for (const uint64_t slot : todo) run_slot(slot);
   } else {
     support::ThreadPool::global().parallel_for(
-        plan.size(),
-        [&](uint64_t i) {
-          trials[i] =
-              run_one_trial(module, profile, plan[i], fuel, options.entry);
-        },
-        workers);
+        todo.size(), [&](uint64_t i) { run_slot(todo[i]); }, workers);
   }
+  progress.finish(plan.size(), plan.size());
+
   CampaignResult result;
+  result.resumed = resumed;
   result.trials.reserve(trials.size());
   for (const auto& trial : trials) tally(result, trial);
+  if (options.metrics != nullptr) {
+    export_metrics(*options.metrics, result, todo.size(),
+                   obs::now_seconds() - started);
+  }
   return result;
+}
+
+obs::CheckpointHeader make_header(const CampaignOptions& options,
+                                  const char* kind, uint64_t population,
+                                  ir::InstRef target = {}) {
+  obs::CheckpointHeader header;
+  header.kind = kind;
+  header.seed = options.seed;
+  header.trials = options.trials;
+  header.fuel_multiplier = options.fuel_multiplier;
+  header.hang_escalation = options.hang_escalation;
+  header.population = population;
+  header.num_bits = options.num_bits;
+  header.entry = options.entry;
+  header.target_func = target.func;
+  header.target_inst = target.inst;
+  return header;
 }
 
 }  // namespace
@@ -135,7 +268,8 @@ CampaignResult run_overall_campaign(const ir::Module& module,
     site.bit_entropy = rng.next_u64();
     site.num_bits = options.num_bits;
   }
-  return run_planned(module, profile, plan, options);
+  return run_planned(module, profile, plan, options,
+                     make_header(options, "overall", profile.total_results));
 }
 
 CampaignResult run_instruction_campaign(const ir::Module& module,
@@ -154,7 +288,8 @@ CampaignResult run_instruction_campaign(const ir::Module& module,
     site.bit_entropy = rng.next_u64();
     site.num_bits = options.num_bits;
   }
-  return run_planned(module, profile, plan, options);
+  return run_planned(module, profile, plan, options,
+                     make_header(options, "instruction", occurrences, target));
 }
 
 }  // namespace trident::fi

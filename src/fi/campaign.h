@@ -5,12 +5,21 @@
 // probabilities with 95% confidence intervals. SDC probability is defined
 // conditional on fault activation (§II-B), which the injection mechanism
 // enforces by flipping destination registers of executed instructions.
+//
+// Long campaigns are crash-safe: with CampaignOptions::checkpoint_path
+// set, completed trial slots are appended to a versioned JSONL log as
+// workers finish, and a restarted campaign re-derives its plan from the
+// (seed, i) counter-based RNG streams and runs only the missing slots.
+// The resumed CampaignResult is bit-identical to an uninterrupted run at
+// any thread count.
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "fi/injector.h"
+#include "obs/metrics.h"
 #include "profiler/profile.h"
 #include "support/rng.h"
 
@@ -24,25 +33,45 @@ struct Trial {
   FIOutcome outcome = FIOutcome::Benign;
   ir::InstRef target;  // static instruction the fault landed on
   unsigned bit = 0;
+  // The run exceeded the base fuel budget but completed within the
+  // escalated one: a slow-but-terminating run the budget alone would
+  // have misclassified as Hang. `outcome` holds the completed
+  // classification; this flag keeps the budget's effect observable.
+  bool fuel_exhausted = false;
 };
 
 struct CampaignResult {
   std::vector<Trial> trials;
   uint64_t sdc = 0, benign = 0, crash = 0, hang = 0, detected = 0;
+  /// Trials with Trial::fuel_exhausted set (counted in their completed
+  /// outcome above, so the five outcome tallies still sum to total()).
+  uint64_t fuel_exhausted = 0;
+  /// Trials restored from the checkpoint log instead of being re-run.
+  uint64_t resumed = 0;
 
   uint64_t total() const { return trials.size(); }
   double sdc_prob() const;
   double crash_prob() const;
   double detected_prob() const;
-  /// Half-width of the 95% confidence interval on sdc_prob().
+  /// Half-widths of the 95% Wilson score intervals (nonzero even when a
+  /// campaign observes zero events — see stats::proportion_wilson_ci95).
   double sdc_ci95() const;
+  double crash_ci95() const;
 };
 
 struct CampaignOptions {
   uint64_t seed = 1234;
   uint64_t trials = 3000;
   /// Hang budget, as a multiple of the golden dynamic instruction count.
+  /// The product saturates instead of wrapping, so absurd multipliers
+  /// degrade to "effectively unlimited", never to a tiny budget.
   uint64_t fuel_multiplier = 50;
+  /// A trial that hangs at the base budget is re-run once at
+  /// hang_escalation x the budget: if it then completes it is recorded
+  /// with its true outcome and Trial::fuel_exhausted set; only runs that
+  /// exhaust the escalated budget too are classified Hang. 0 disables
+  /// the retry (every budget overrun is a Hang, the old behaviour).
+  uint64_t hang_escalation = 8;
   /// Bits flipped per injection (1 = the paper's model; >1 = adjacent
   /// burst, for the multi-bit comparison of Sangchoolie et al.).
   uint32_t num_bits = 1;
@@ -55,6 +84,15 @@ struct CampaignOptions {
   uint32_t threads = 0;
   /// Entry function; kNoFunc means "main".
   uint32_t entry = ir::kNoFunc;
+  /// Checkpoint log path; empty = no checkpointing. A mismatched or
+  /// corrupt log makes the campaign throw std::runtime_error with a
+  /// clear message rather than silently mixing incompatible trials.
+  std::string checkpoint_path;
+  /// Optional run-metrics sink: outcome tallies, trials/sec, resumed
+  /// and fuel-exhausted counts land under "fi.*" when set.
+  obs::Registry* metrics = nullptr;
+  /// Live progress line on stderr (interactive runs).
+  bool progress = false;
 };
 
 /// Overall campaign: each trial flips one bit in one uniformly-sampled
@@ -75,5 +113,10 @@ CampaignResult run_instruction_campaign(const ir::Module& module,
 Trial run_one_trial(const ir::Module& module, const prof::Profile& profile,
                     const InjectionSite& site, uint64_t fuel,
                     uint32_t entry_func);
+
+/// Base fuel budget of a campaign over `profile`:
+/// total_dynamic * fuel_multiplier + 10000, saturating at UINT64_MAX.
+uint64_t campaign_fuel(const prof::Profile& profile,
+                       uint64_t fuel_multiplier);
 
 }  // namespace trident::fi

@@ -1,5 +1,7 @@
 #include "fi/injector.h"
 
+#include <algorithm>
+
 #include "support/bits.h"
 
 namespace trident::fi {
@@ -15,14 +17,22 @@ void Injector::on_result(ir::InstRef ref, uint64_t dyn_index,
   }
   const auto& inst = module_.functions[ref.func].insts[ref.inst];
   unsigned width = inst.type.width();
+  // Results whose type carries no width (an untyped 64-bit payload, e.g.
+  // a pointer-producing op parsed without a type) occupy the full
+  // register; the fallback is deliberate and covered by tests, not an
+  // accident of flip_bit's masking.
   if (width == 0) width = 64;
   // Map the 64 bits of entropy to a uniform bit position in [0, width).
   bit_ = static_cast<unsigned>(
       (static_cast<__uint128_t>(site_.bit_entropy) * width) >> 64);
   original_ = bits;
   // Burst model: flip num_bits adjacent bits (wrapping within the
-  // register) starting at the chosen position.
-  for (uint32_t k = 0; k < site_.num_bits; ++k) {
+  // register) starting at the chosen position. The burst is clamped to
+  // the register width: with the unclamped wrap, two flips landing on
+  // the same position cancel, making e.g. a 2-bit burst into an i1
+  // result a silent no-op that undercounts corruption on narrow values.
+  flipped_ = std::min<uint32_t>(site_.num_bits, width);
+  for (uint32_t k = 0; k < flipped_; ++k) {
     bits = support::flip_bit(bits, (bit_ + k) % width, width);
   }
   target_ = ref;

@@ -37,6 +37,9 @@ class Injector final : public interp::ExecHooks {
   bool fired() const { return fired_; }
   ir::InstRef target() const { return target_; }
   unsigned bit() const { return bit_; }
+  /// Bits actually flipped: num_bits clamped to the register width (a
+  /// burst wider than the register flips each of its bits once).
+  uint32_t bits_flipped() const { return flipped_; }
   uint64_t original_bits() const { return original_; }
 
  private:
@@ -46,6 +49,7 @@ class Injector final : public interp::ExecHooks {
   bool fired_ = false;
   ir::InstRef target_;
   unsigned bit_ = 0;
+  uint32_t flipped_ = 0;
   uint64_t original_ = 0;
 };
 

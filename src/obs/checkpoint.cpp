@@ -1,0 +1,225 @@
+#include "obs/checkpoint.h"
+
+#include <cinttypes>
+#include <cctype>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+namespace trident::obs {
+
+namespace {
+
+// Minimal field extraction for the flat, library-written JSON lines
+// above. Tolerant of whitespace, intolerant of everything else.
+bool find_u64(const std::string& line, const char* key, uint64_t* out) {
+  const std::string needle = std::string("\"") + key + "\"";
+  size_t pos = line.find(needle);
+  if (pos == std::string::npos) return false;
+  pos = line.find(':', pos + needle.size());
+  if (pos == std::string::npos) return false;
+  ++pos;
+  while (pos < line.size() && std::isspace(static_cast<unsigned char>(line[pos]))) ++pos;
+  if (pos >= line.size() || !std::isdigit(static_cast<unsigned char>(line[pos]))) {
+    return false;
+  }
+  char* end = nullptr;
+  *out = std::strtoull(line.c_str() + pos, &end, 10);
+  return end != line.c_str() + pos;
+}
+
+bool find_string(const std::string& line, const char* key, std::string* out) {
+  const std::string needle = std::string("\"") + key + "\"";
+  size_t pos = line.find(needle);
+  if (pos == std::string::npos) return false;
+  pos = line.find(':', pos + needle.size());
+  if (pos == std::string::npos) return false;
+  pos = line.find('"', pos);
+  if (pos == std::string::npos) return false;
+  const size_t end = line.find('"', pos + 1);
+  if (end == std::string::npos) return false;
+  *out = line.substr(pos + 1, end - pos - 1);
+  return true;
+}
+
+bool parse_record(const std::string& line, TrialRecord* out) {
+  uint64_t i = 0, o = 0, f = 0, n = 0, b = 0, x = 0;
+  if (!find_u64(line, "i", &i) || !find_u64(line, "o", &o) ||
+      !find_u64(line, "f", &f) || !find_u64(line, "n", &n) ||
+      !find_u64(line, "b", &b) || !find_u64(line, "x", &x)) {
+    return false;
+  }
+  out->index = i;
+  out->outcome = static_cast<uint32_t>(o);
+  out->target_func = static_cast<uint32_t>(f);
+  out->target_inst = static_cast<uint32_t>(n);
+  out->bit = static_cast<uint32_t>(b);
+  out->fuel_exhausted = x != 0;
+  return true;
+}
+
+std::string format_record(const TrialRecord& r) {
+  char buf[192];
+  std::snprintf(buf, sizeof buf,
+                "{\"i\": %" PRIu64
+                ", \"o\": %u, \"f\": %u, \"n\": %u, \"b\": %u, \"x\": %u}\n",
+                r.index, r.outcome, r.target_func, r.target_inst, r.bit,
+                r.fuel_exhausted ? 1u : 0u);
+  return buf;
+}
+
+}  // namespace
+
+std::string CheckpointHeader::to_json() const {
+  std::ostringstream out;
+  out << "{\"format\": \"trident-fi-checkpoint\", \"version\": " << version
+      << ", \"kind\": \"" << kind << "\", \"seed\": " << seed
+      << ", \"trials\": " << trials
+      << ", \"fuel_multiplier\": " << fuel_multiplier
+      << ", \"hang_escalation\": " << hang_escalation
+      << ", \"population\": " << population << ", \"num_bits\": " << num_bits
+      << ", \"entry\": " << entry << ", \"target_func\": " << target_func
+      << ", \"target_inst\": " << target_inst << "}";
+  return out.str();
+}
+
+bool CheckpointHeader::parse(const std::string& line, CheckpointHeader* out) {
+  std::string format;
+  if (!find_string(line, "format", &format) ||
+      format != "trident-fi-checkpoint") {
+    return false;
+  }
+  uint64_t version = 0, seed = 0, trials = 0, fuel = 0, esc = 0, pop = 0,
+           num_bits = 0, entry = 0, tf = 0, ti = 0;
+  if (!find_string(line, "kind", &out->kind) ||
+      !find_u64(line, "version", &version) ||
+      !find_u64(line, "seed", &seed) || !find_u64(line, "trials", &trials) ||
+      !find_u64(line, "fuel_multiplier", &fuel) ||
+      !find_u64(line, "hang_escalation", &esc) ||
+      !find_u64(line, "population", &pop) ||
+      !find_u64(line, "num_bits", &num_bits) ||
+      !find_u64(line, "entry", &entry) ||
+      !find_u64(line, "target_func", &tf) ||
+      !find_u64(line, "target_inst", &ti)) {
+    return false;
+  }
+  out->version = static_cast<uint32_t>(version);
+  out->seed = seed;
+  out->trials = trials;
+  out->fuel_multiplier = fuel;
+  out->hang_escalation = esc;
+  out->population = pop;
+  out->num_bits = static_cast<uint32_t>(num_bits);
+  out->entry = static_cast<uint32_t>(entry);
+  out->target_func = static_cast<uint32_t>(tf);
+  out->target_inst = static_cast<uint32_t>(ti);
+  return true;
+}
+
+std::unique_ptr<CheckpointLog> CheckpointLog::open(
+    const std::string& path, const CheckpointHeader& header,
+    std::string* error) {
+  const auto fail = [&](const std::string& msg) {
+    if (error) *error = "checkpoint " + path + ": " + msg;
+    return nullptr;
+  };
+
+  auto log = std::unique_ptr<CheckpointLog>(new CheckpointLog());
+  std::string existing;
+  {
+    std::ifstream in(path, std::ios::binary);
+    if (in) {
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      existing = buf.str();
+    }
+  }
+
+  size_t valid_end = existing.size();
+  if (!existing.empty()) {
+    // Split into lines; a final line without '\n' is a torn append and
+    // is dropped (its slot simply re-runs).
+    size_t pos = 0;
+    size_t line_no = 0;
+    bool header_seen = false;
+    while (pos < existing.size()) {
+      const size_t line_start = pos;
+      const size_t nl = existing.find('\n', pos);
+      const bool complete = nl != std::string::npos;
+      std::string line =
+          existing.substr(pos, complete ? nl - pos : std::string::npos);
+      pos = complete ? nl + 1 : existing.size();
+      ++line_no;
+      if (!header_seen) {
+        CheckpointHeader found;
+        if (!complete || !CheckpointHeader::parse(line, &found)) {
+          return fail("missing or unreadable header line");
+        }
+        if (found.version != header.version) {
+          return fail("version " + std::to_string(found.version) +
+                      " does not match expected " +
+                      std::to_string(header.version));
+        }
+        if (!(found == header)) {
+          return fail(
+              "header does not match this campaign (stale seed, trial "
+              "count, fault model, or target program?)\n  found:    " +
+              found.to_json() + "\n  expected: " + header.to_json());
+        }
+        header_seen = true;
+        continue;
+      }
+      if (!complete) {
+        // Torn tail (crash mid-append): drop the partial line and re-run
+        // its slot, whether or not the fragment happens to parse.
+        valid_end = line_start;
+        break;
+      }
+      TrialRecord record;
+      if (!parse_record(line, &record)) {
+        return fail("corrupt record at line " + std::to_string(line_no));
+      }
+      if (record.index >= header.trials) {
+        return fail("record at line " + std::to_string(line_no) +
+                    " has slot " + std::to_string(record.index) +
+                    " outside the campaign's " +
+                    std::to_string(header.trials) + " trials");
+      }
+      log->resumed_[record.index] = record;
+    }
+  }
+
+  if (valid_end < existing.size()) {
+    // Rewrite only the valid prefix: appending after the torn bytes
+    // would glue the next record onto the fragment and corrupt the line
+    // for every later resume.
+    log->file_ = std::fopen(path.c_str(), "wb");
+    if (log->file_ == nullptr) return fail("cannot open for writing");
+    std::fwrite(existing.data(), 1, valid_end, log->file_);
+    std::fflush(log->file_);
+    return log;
+  }
+
+  // Reopen for appending; write the header when starting fresh.
+  log->file_ = std::fopen(path.c_str(), existing.empty() ? "wb" : "ab");
+  if (log->file_ == nullptr) return fail("cannot open for writing");
+  if (existing.empty()) {
+    const std::string head = header.to_json() + "\n";
+    std::fwrite(head.data(), 1, head.size(), log->file_);
+    std::fflush(log->file_);
+  }
+  return log;
+}
+
+CheckpointLog::~CheckpointLog() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void CheckpointLog::append(const TrialRecord& record) {
+  const std::string line = format_record(record);
+  std::lock_guard lock(mutex_);
+  std::fwrite(line.data(), 1, line.size(), file_);
+  std::fflush(file_);
+}
+
+}  // namespace trident::obs

@@ -1,0 +1,101 @@
+// Crash-safe campaign checkpointing: an append-only JSONL log of
+// completed trial slots.
+//
+// Line 1 is a versioned header capturing the campaign's full identity
+// (kind, seed, trial count, fault model, fuel policy, population size);
+// every later line is one completed trial. Workers append records as
+// trials finish (each line flushed), so an interrupted campaign loses at
+// most the in-flight trials. On resume the plan is re-derived from the
+// (seed, i) counter-based RNG streams and only slots missing from the
+// log run — the merged result is bit-identical to an uninterrupted run
+// at any thread count.
+//
+// Robustness rules:
+//   - header mismatch (stale seed, different trial count / fault model /
+//     module population) or unknown version: open() fails with a clear
+//     error — resuming under different parameters would silently mix
+//     incompatible trials.
+//   - a torn final line (no trailing newline, or unparseable) is the
+//     signature of a crash mid-append: it is dropped and the slot re-run.
+//   - an unparseable line in the middle of the log, or an out-of-range
+//     slot index, means real corruption: open() fails.
+//
+// The record layer is deliberately flat (plain ints) so obs/ has no
+// dependency on fi/; fi::campaign converts to/from its Trial type.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace trident::obs {
+
+inline constexpr uint32_t kCheckpointVersion = 1;
+
+/// One completed trial slot as persisted in the log.
+struct TrialRecord {
+  uint64_t index = 0;          // plan slot
+  uint32_t outcome = 0;        // fi::FIOutcome as an integer
+  uint32_t target_func = 0;    // static instruction the fault landed on
+  uint32_t target_inst = 0;
+  uint32_t bit = 0;            // flipped bit position
+  bool fuel_exhausted = false; // hung at base fuel, completed escalated
+
+  bool operator==(const TrialRecord&) const = default;
+};
+
+/// Campaign identity; every field must match for a resume to be valid.
+struct CheckpointHeader {
+  uint32_t version = kCheckpointVersion;
+  std::string kind;  // "overall" | "instruction"
+  uint64_t seed = 0;
+  uint64_t trials = 0;
+  uint64_t fuel_multiplier = 0;
+  uint64_t hang_escalation = 0;
+  uint64_t population = 0;  // total_results (overall) / occurrences (instr)
+  uint32_t num_bits = 1;
+  uint32_t entry = 0;
+  // Target of an instruction campaign; the default InstRef sentinel
+  // (func = kNoFunc) for overall campaigns.
+  uint32_t target_func = 0;
+  uint32_t target_inst = 0;
+
+  bool operator==(const CheckpointHeader&) const = default;
+
+  std::string to_json() const;
+  static bool parse(const std::string& line, CheckpointHeader* out);
+};
+
+class CheckpointLog {
+ public:
+  /// Opens `path` for resume + append. A missing or empty file is
+  /// created with `header`; an existing one must carry an identical
+  /// header, and its trial records are loaded into resumed(). Returns
+  /// nullptr and fills *error on version/header mismatch or corruption.
+  static std::unique_ptr<CheckpointLog> open(const std::string& path,
+                                             const CheckpointHeader& header,
+                                             std::string* error);
+  ~CheckpointLog();
+  CheckpointLog(const CheckpointLog&) = delete;
+  CheckpointLog& operator=(const CheckpointLog&) = delete;
+
+  /// Slots already completed by a previous run, keyed by plan index.
+  const std::unordered_map<uint64_t, TrialRecord>& resumed() const {
+    return resumed_;
+  }
+
+  /// Appends one completed trial and flushes the line. Thread-safe.
+  void append(const TrialRecord& record);
+
+ private:
+  CheckpointLog() = default;
+
+  std::FILE* file_ = nullptr;
+  std::mutex mutex_;
+  std::unordered_map<uint64_t, TrialRecord> resumed_;
+};
+
+}  // namespace trident::obs

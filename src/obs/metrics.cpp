@@ -1,0 +1,187 @@
+#include "obs/metrics.h"
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+
+#if defined(_WIN32)
+#include <io.h>
+#define TRIDENT_ISATTY _isatty
+#define TRIDENT_FILENO _fileno
+#else
+#include <unistd.h>
+#define TRIDENT_ISATTY isatty
+#define TRIDENT_FILENO fileno
+#endif
+
+namespace trident::obs {
+
+void Registry::add(const std::string& name, uint64_t delta) {
+  std::lock_guard lock(mutex_);
+  counters_[name] += delta;
+}
+
+void Registry::set_counter(const std::string& name, uint64_t value) {
+  std::lock_guard lock(mutex_);
+  counters_[name] = value;
+}
+
+void Registry::set(const std::string& name, double value) {
+  std::lock_guard lock(mutex_);
+  gauges_[name] = value;
+}
+
+uint64_t Registry::counter(const std::string& name) const {
+  std::lock_guard lock(mutex_);
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+double Registry::gauge(const std::string& name) const {
+  std::lock_guard lock(mutex_);
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0.0 : it->second;
+}
+
+bool Registry::has_counter(const std::string& name) const {
+  std::lock_guard lock(mutex_);
+  return counters_.count(name) != 0;
+}
+
+bool Registry::has_gauge(const std::string& name) const {
+  std::lock_guard lock(mutex_);
+  return gauges_.count(name) != 0;
+}
+
+std::vector<std::pair<std::string, uint64_t>> Registry::counters() const {
+  std::lock_guard lock(mutex_);
+  return {counters_.begin(), counters_.end()};
+}
+
+std::vector<std::pair<std::string, double>> Registry::gauges() const {
+  std::lock_guard lock(mutex_);
+  return {gauges_.begin(), gauges_.end()};
+}
+
+namespace {
+
+// Names are dotted identifiers and info values are paths/command words;
+// escape the JSON specials anyway so the manifest always parses.
+void append_json_string(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_double(std::string& out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out += buf;
+}
+
+}  // namespace
+
+std::string Registry::to_json() const {
+  std::lock_guard lock(mutex_);
+  std::string out = "{\"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : counters_) {
+    if (!first) out += ", ";
+    first = false;
+    append_json_string(out, name);
+    out += ": ";
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%" PRIu64, value);
+    out += buf;
+  }
+  out += "}, \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : gauges_) {
+    if (!first) out += ", ";
+    first = false;
+    append_json_string(out, name);
+    out += ": ";
+    append_double(out, value);
+  }
+  out += "}}";
+  return out;
+}
+
+std::string manifest_json(
+    const Registry& registry,
+    const std::vector<std::pair<std::string, std::string>>& info) {
+  std::string out = "{\"schema\": \"trident-run-metrics/1\"";
+  for (const auto& [key, value] : info) {
+    out += ", ";
+    append_json_string(out, key);
+    out += ": ";
+    append_json_string(out, value);
+  }
+  const std::string body = registry.to_json();
+  // Splice the registry object's members into the manifest object.
+  out += ", ";
+  out.append(body, 1, body.size() - 2);
+  out += "}\n";
+  return out;
+}
+
+ScopedTimer::ScopedTimer(Registry& registry, std::string name)
+    : registry_(registry), name_(std::move(name)), start_(now_seconds()) {}
+
+ScopedTimer::~ScopedTimer() {
+  registry_.set(name_, registry_.gauge(name_) + (now_seconds() - start_));
+}
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+bool stderr_is_tty() { return TRIDENT_ISATTY(TRIDENT_FILENO(stderr)) != 0; }
+
+ProgressLine::ProgressLine(bool enabled, std::string label)
+    : enabled_(enabled), label_(std::move(label)), started_(now_seconds()) {}
+
+void ProgressLine::draw(uint64_t done, uint64_t total, bool last) {
+  const double elapsed = now_seconds() - started_;
+  const double rate = elapsed > 0 ? static_cast<double>(done) / elapsed : 0;
+  const double pct =
+      total > 0 ? 100.0 * static_cast<double>(done) / total : 100.0;
+  std::fprintf(stderr,
+               "\r[%s] %" PRIu64 "/%" PRIu64 " trials (%.1f%%) %.1f trials/s%s",
+               label_.c_str(), done, total, pct, rate, last ? "\n" : "");
+  std::fflush(stderr);
+}
+
+void ProgressLine::update(uint64_t done, uint64_t total) {
+  if (!enabled_) return;
+  std::lock_guard lock(mutex_);
+  const double now = now_seconds();
+  if (now - last_draw_ < 0.1 && done != total) return;
+  last_draw_ = now;
+  draw(done, total, /*last=*/false);
+}
+
+void ProgressLine::finish(uint64_t done, uint64_t total) {
+  if (!enabled_) return;
+  std::lock_guard lock(mutex_);
+  draw(done, total, /*last=*/true);
+}
+
+}  // namespace trident::obs

@@ -1,0 +1,99 @@
+// obs: run observability. Lightweight counters/gauges registered under
+// stable dotted names, a scoped phase timer, a rate-limited progress
+// line for interactive runs, and JSON emission of the whole registry as
+// a run manifest (schema "trident-run-metrics/1").
+//
+// Every long-running stage (FI campaigns, model sweeps, benches) reports
+// through a Registry so the trident CLI (--metrics-out) and the bench
+// harness (TRIDENT_METRICS_OUT) can persist one manifest per run; later
+// scaling work (sharded campaigns, multi-process fan-out) aggregates
+// these manifests instead of scraping stdout.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace trident::obs {
+
+/// Thread-safe name -> value store. Counters are monotone uint64 tallies
+/// ("fi.outcome.sdc"); gauges are doubles for rates and durations
+/// ("fi.trials_per_sec", "phase.campaign.seconds"). Ordered maps keep
+/// the JSON key order stable across runs.
+class Registry {
+ public:
+  void add(const std::string& name, uint64_t delta = 1);
+  /// Idempotent counter write (for end-of-run snapshots of atomics).
+  void set_counter(const std::string& name, uint64_t value);
+  void set(const std::string& name, double value);
+
+  uint64_t counter(const std::string& name) const;
+  double gauge(const std::string& name) const;
+  bool has_counter(const std::string& name) const;
+  bool has_gauge(const std::string& name) const;
+
+  std::vector<std::pair<std::string, uint64_t>> counters() const;
+  std::vector<std::pair<std::string, double>> gauges() const;
+
+  /// {"counters": {...}, "gauges": {...}} with sorted, quoted keys.
+  std::string to_json() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, uint64_t> counters_;
+  std::map<std::string, double> gauges_;
+};
+
+/// Full run manifest: registry contents plus string metadata (command,
+/// target, ...) under the versioned schema tag.
+std::string manifest_json(
+    const Registry& registry,
+    const std::vector<std::pair<std::string, std::string>>& info);
+
+/// Accumulates wall-clock seconds into gauge `name` on destruction, so
+/// repeated phases (per-workload campaigns) sum into one figure.
+class ScopedTimer {
+ public:
+  ScopedTimer(Registry& registry, std::string name);
+  ~ScopedTimer();
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Registry& registry_;
+  std::string name_;
+  double start_;
+};
+
+/// Monotonic seconds since an arbitrary epoch (steady clock).
+double now_seconds();
+
+/// Whether stderr is an interactive terminal (progress lines default on
+/// only there, so piped/CI logs stay clean).
+bool stderr_is_tty();
+
+/// One carriage-return progress line on stderr:
+///   [label] 1234/3000 trials (41.1%) 356.2 trials/s
+/// update() is thread-safe and rate-limited to ~10 redraws/sec; finish()
+/// draws the final state and moves to a fresh line. Disabled instances
+/// are free no-ops.
+class ProgressLine {
+ public:
+  ProgressLine(bool enabled, std::string label);
+  void update(uint64_t done, uint64_t total);
+  void finish(uint64_t done, uint64_t total);
+
+ private:
+  void draw(uint64_t done, uint64_t total, bool last);
+
+  bool enabled_;
+  std::string label_;
+  std::mutex mutex_;
+  double started_;
+  double last_draw_ = 0;
+};
+
+}  // namespace trident::obs

@@ -29,9 +29,22 @@ double mean_absolute_error(std::span<const double> a,
   return s / static_cast<double>(a.size());
 }
 
+Interval proportion_wilson_ci95(double p, uint64_t n) {
+  if (n == 0) return {0.0, 1.0};  // no data: the vacuous interval
+  constexpr double z = 1.96;
+  constexpr double z2 = z * z;
+  p = std::min(1.0, std::max(0.0, p));
+  const double nd = static_cast<double>(n);
+  const double denom = 1.0 + z2 / nd;
+  const double center = (p + z2 / (2.0 * nd)) / denom;
+  const double hw =
+      (z / denom) * std::sqrt(p * (1.0 - p) / nd + z2 / (4.0 * nd * nd));
+  return {std::max(0.0, center - hw), std::min(1.0, center + hw)};
+}
+
 double proportion_ci95(double p, uint64_t n) {
   if (n == 0) return 0.0;
-  return 1.96 * std::sqrt(p * (1.0 - p) / static_cast<double>(n));
+  return proportion_wilson_ci95(p, n).half_width();
 }
 
 LinearFit linear_fit(std::span<const double> x, std::span<const double> y) {

@@ -14,8 +14,23 @@ double stddev(std::span<const double> xs);
 double mean_absolute_error(std::span<const double> a,
                            std::span<const double> b);
 
-/// Half-width of the 95% normal-approximation CI for a proportion p
-/// estimated from n Bernoulli trials.
+/// A two-sided confidence interval on a proportion.
+struct Interval {
+  double lo = 0;
+  double hi = 0;
+  double half_width() const { return (hi - lo) / 2; }
+};
+
+/// 95% Wilson score interval for a proportion p estimated from n
+/// Bernoulli trials. Unlike the normal approximation, the interval stays
+/// inside [0,1] and has nonzero width at p=0 and p=1 — the common case
+/// for per-instruction campaigns that observe zero SDCs, where the
+/// normal CI wrongly reports certainty.
+Interval proportion_wilson_ci95(double p, uint64_t n);
+
+/// Half-width of the 95% Wilson score interval (see above). Previously
+/// the normal approximation, whose zero width at p=0/p=1 overstated
+/// confidence exactly where sampling error dominates.
 double proportion_ci95(double p, uint64_t n);
 
 /// Ordinary least squares fit y = slope*x + intercept.

@@ -85,10 +85,12 @@ bool ThreadPool::run_one(uint32_t home) {
     if (!victim.tasks.empty()) {
       task = std::move(victim.tasks.front());
       victim.tasks.pop_front();
+      tasks_stolen_.fetch_add(1, std::memory_order_relaxed);
     }
   }
   if (!task) return false;
   pending_.fetch_sub(1, std::memory_order_relaxed);
+  tasks_run_.fetch_add(1, std::memory_order_relaxed);
   task();
   return true;
 }

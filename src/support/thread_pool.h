@@ -69,6 +69,16 @@ class ThreadPool {
   /// else hardware_concurrency (at least 1).
   static uint32_t default_threads();
 
+  /// Lifetime instrumentation for the obs run manifest: tasks executed
+  /// through run_one, and how many of those were stolen from another
+  /// worker's deque (a load-balance signal for the scaling benches).
+  uint64_t tasks_run() const {
+    return tasks_run_.load(std::memory_order_relaxed);
+  }
+  uint64_t tasks_stolen() const {
+    return tasks_stolen_.load(std::memory_order_relaxed);
+  }
+
  private:
   struct Queue {
     std::mutex mutex;
@@ -87,6 +97,8 @@ class ThreadPool {
   std::condition_variable wake_;
   std::atomic<uint64_t> pending_{0};
   std::atomic<uint64_t> next_queue_{0};
+  std::atomic<uint64_t> tasks_run_{0};
+  std::atomic<uint64_t> tasks_stolen_{0};
   std::atomic<bool> stop_{false};
 };
 

@@ -1,0 +1,313 @@
+// Crash-safety of checkpointed FI campaigns: interrupted logs resume to
+// bit-identical results at any thread count, and incompatible or corrupt
+// logs are rejected loudly instead of silently mixing trials.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "fi/campaign.h"
+#include "ir/builder.h"
+#include "obs/checkpoint.h"
+#include "profiler/profiler.h"
+
+namespace trident::fi {
+namespace {
+
+using ir::IRBuilder;
+using ir::Module;
+using ir::Type;
+using ir::Value;
+
+Module make_fragile() {
+  Module m;
+  IRBuilder b(m);
+  b.begin_function("main", {}, Type::void_());
+  b.set_block(b.block("entry"));
+  Value acc = b.i64(1);
+  for (int i = 0; i < 8; ++i) acc = b.add(acc, acc);
+  b.print_uint(acc);
+  b.ret();
+  b.end_function();
+  return m;
+}
+
+std::string tmp_path(const std::string& name) {
+  const std::string path = ::testing::TempDir() + name;
+  std::remove(path.c_str());  // stale logs from earlier runs are not a resume
+  return path;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  out << content;
+}
+
+// Complete ('\n'-terminated) lines of the log.
+std::vector<std::string> lines_of(const std::string& content) {
+  std::vector<std::string> lines;
+  size_t pos = 0;
+  while (true) {
+    const size_t nl = content.find('\n', pos);
+    if (nl == std::string::npos) break;
+    lines.push_back(content.substr(pos, nl - pos));
+    pos = nl + 1;
+  }
+  return lines;
+}
+
+std::string join(const std::vector<std::string>& lines, size_t count) {
+  std::string out;
+  for (size_t i = 0; i < count; ++i) out += lines[i] + "\n";
+  return out;
+}
+
+void expect_identical(const CampaignResult& a, const CampaignResult& b) {
+  ASSERT_EQ(a.trials.size(), b.trials.size());
+  EXPECT_EQ(a.sdc, b.sdc);
+  EXPECT_EQ(a.benign, b.benign);
+  EXPECT_EQ(a.crash, b.crash);
+  EXPECT_EQ(a.hang, b.hang);
+  EXPECT_EQ(a.detected, b.detected);
+  EXPECT_EQ(a.fuel_exhausted, b.fuel_exhausted);
+  for (size_t i = 0; i < a.trials.size(); ++i) {
+    EXPECT_EQ(a.trials[i].target, b.trials[i].target) << "slot " << i;
+    EXPECT_EQ(a.trials[i].bit, b.trials[i].bit) << "slot " << i;
+    EXPECT_EQ(a.trials[i].outcome, b.trials[i].outcome) << "slot " << i;
+    EXPECT_EQ(a.trials[i].fuel_exhausted, b.trials[i].fuel_exhausted)
+        << "slot " << i;
+  }
+}
+
+CampaignOptions base_options() {
+  CampaignOptions options;
+  options.trials = 60;
+  options.seed = 21;
+  options.threads = 1;
+  return options;
+}
+
+TEST(CheckpointHeader, JsonRoundTrip) {
+  obs::CheckpointHeader h;
+  h.kind = "instruction";
+  h.seed = 987654321;
+  h.trials = 4000;
+  h.fuel_multiplier = 50;
+  h.hang_escalation = 8;
+  h.population = 123456789;
+  h.num_bits = 4;
+  h.entry = 7;
+  h.target_func = 2;
+  h.target_inst = 31;
+  obs::CheckpointHeader parsed;
+  ASSERT_TRUE(obs::CheckpointHeader::parse(h.to_json(), &parsed));
+  EXPECT_EQ(parsed, h);
+}
+
+TEST(Checkpoint, CompletedLogResumesEverythingUnchanged) {
+  const auto m = make_fragile();
+  const auto profile = prof::collect_profile(m);
+  const auto options = base_options();
+  const auto reference = run_overall_campaign(m, profile, options);
+
+  const std::string path = tmp_path("ckpt_complete.jsonl");
+  auto with_log = options;
+  with_log.checkpoint_path = path;
+  const auto first = run_overall_campaign(m, profile, with_log);
+  EXPECT_EQ(first.resumed, 0u);
+  expect_identical(first, reference);
+
+  // A second run over the finished log re-runs nothing.
+  const auto second = run_overall_campaign(m, profile, with_log);
+  EXPECT_EQ(second.resumed, options.trials);
+  expect_identical(second, reference);
+}
+
+TEST(Checkpoint, TruncatedLogResumesBitIdentical) {
+  const auto m = make_fragile();
+  const auto profile = prof::collect_profile(m);
+  const auto options = base_options();
+  const auto reference = run_overall_campaign(m, profile, options);
+
+  const std::string full_path = tmp_path("ckpt_full.jsonl");
+  auto with_log = options;
+  with_log.checkpoint_path = full_path;
+  run_overall_campaign(m, profile, with_log);
+  const auto lines = lines_of(read_file(full_path));
+  ASSERT_EQ(lines.size(), 1 + options.trials);  // header + one per trial
+
+  // Simulate a kill after K completed trials, then resume serially and
+  // on 8 threads; the merged result must be bit-identical either way.
+  for (const size_t completed : {size_t{0}, size_t{1}, size_t{7}, size_t{59}}) {
+    for (const uint32_t threads : {1u, 8u}) {
+      const std::string path = tmp_path("ckpt_cut.jsonl");
+      write_file(path, join(lines, 1 + completed));
+      auto resume = options;
+      resume.checkpoint_path = path;
+      resume.threads = threads;
+      const auto result = run_overall_campaign(m, profile, resume);
+      EXPECT_EQ(result.resumed, completed)
+          << "cut at " << completed << ", threads " << threads;
+      expect_identical(result, reference);
+      // The resumed run re-completes the log: every slot is on disk now.
+      EXPECT_EQ(lines_of(read_file(path)).size(), 1 + options.trials);
+    }
+  }
+}
+
+TEST(Checkpoint, TornFinalLineIsDroppedAndReRun) {
+  const auto m = make_fragile();
+  const auto profile = prof::collect_profile(m);
+  const auto options = base_options();
+  const auto reference = run_overall_campaign(m, profile, options);
+
+  const std::string full_path = tmp_path("ckpt_torn_src.jsonl");
+  auto with_log = options;
+  with_log.checkpoint_path = full_path;
+  run_overall_campaign(m, profile, with_log);
+  const auto lines = lines_of(read_file(full_path));
+
+  // Crash signatures mid-append: an unterminated record (whether the
+  // fragment parses or not) must be dropped and its slot re-run.
+  const std::string parseable_tail = lines[1 + 5];
+  const std::string garbage_tail = "{\"i\": 9, \"o\"";
+  for (const std::string& tail : {parseable_tail, garbage_tail}) {
+    const std::string path = tmp_path("ckpt_torn.jsonl");
+    write_file(path, join(lines, 1 + 5) + tail);
+    auto resume = options;
+    resume.checkpoint_path = path;
+    const auto result = run_overall_campaign(m, profile, resume);
+    EXPECT_EQ(result.resumed, 5u);
+    expect_identical(result, reference);
+    // The torn bytes were truncated, not appended onto: the finished log
+    // parses clean, line for line.
+    const auto healed = lines_of(read_file(path));
+    EXPECT_EQ(healed.size(), 1 + options.trials);
+    const auto again = run_overall_campaign(m, profile, resume);
+    EXPECT_EQ(again.resumed, options.trials);
+    expect_identical(again, reference);
+  }
+}
+
+TEST(Checkpoint, StaleSeedIsRejected) {
+  const auto m = make_fragile();
+  const auto profile = prof::collect_profile(m);
+  const std::string path = tmp_path("ckpt_stale.jsonl");
+  auto options = base_options();
+  options.checkpoint_path = path;
+  run_overall_campaign(m, profile, options);
+
+  auto stale = options;
+  stale.seed = options.seed + 1;
+  try {
+    run_overall_campaign(m, profile, stale);
+    FAIL() << "resume with a different seed must throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("does not match this campaign"),
+              std::string::npos)
+        << e.what();
+  }
+
+  // Same story for a changed fault model (num_bits) and trial count.
+  auto wider = options;
+  wider.num_bits = 2;
+  EXPECT_THROW(run_overall_campaign(m, profile, wider), std::runtime_error);
+  auto longer = options;
+  longer.trials = options.trials + 1;
+  EXPECT_THROW(run_overall_campaign(m, profile, longer), std::runtime_error);
+}
+
+TEST(Checkpoint, CorruptMiddleLineIsRejected) {
+  const auto m = make_fragile();
+  const auto profile = prof::collect_profile(m);
+  const std::string path = tmp_path("ckpt_corrupt.jsonl");
+  auto options = base_options();
+  options.checkpoint_path = path;
+  run_overall_campaign(m, profile, options);
+
+  auto lines = lines_of(read_file(path));
+  lines[3] = "not json at all";
+  write_file(path, join(lines, lines.size()));
+  try {
+    run_overall_campaign(m, profile, options);
+    FAIL() << "corrupt record must throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("corrupt record"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Checkpoint, OutOfRangeSlotIsRejected) {
+  const auto m = make_fragile();
+  const auto profile = prof::collect_profile(m);
+  const std::string path = tmp_path("ckpt_range.jsonl");
+  auto options = base_options();
+  options.checkpoint_path = path;
+  run_overall_campaign(m, profile, options);
+
+  auto lines = lines_of(read_file(path));
+  lines.push_back("{\"i\": 60, \"o\": 0, \"f\": 0, \"n\": 0, \"b\": 0, \"x\": 0}");
+  write_file(path, join(lines, lines.size()));
+  EXPECT_THROW(run_overall_campaign(m, profile, options), std::runtime_error);
+}
+
+TEST(Checkpoint, UnknownVersionIsRejected) {
+  const auto m = make_fragile();
+  const auto profile = prof::collect_profile(m);
+  const std::string path = tmp_path("ckpt_version.jsonl");
+  auto options = base_options();
+  options.checkpoint_path = path;
+  run_overall_campaign(m, profile, options);
+
+  auto content = read_file(path);
+  const std::string tag = "\"version\": 1";
+  const size_t pos = content.find(tag);
+  ASSERT_NE(pos, std::string::npos);
+  content.replace(pos, tag.size(), "\"version\": 99");
+  write_file(path, content);
+  try {
+    run_overall_campaign(m, profile, options);
+    FAIL() << "unknown checkpoint version must throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("version 99"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Checkpoint, InstructionCampaignResumes) {
+  const auto m = make_fragile();
+  const auto profile = prof::collect_profile(m);
+  const ir::InstRef target{0, 2};
+  ASSERT_GT(profile.exec(target), 0u);
+
+  auto options = base_options();
+  const auto reference =
+      run_instruction_campaign(m, profile, target, options);
+
+  const std::string path = tmp_path("ckpt_instr.jsonl");
+  options.checkpoint_path = path;
+  run_instruction_campaign(m, profile, target, options);
+  const auto lines = lines_of(read_file(path));
+  write_file(path, join(lines, 1 + 10));
+  const auto resumed = run_instruction_campaign(m, profile, target, options);
+  EXPECT_EQ(resumed.resumed, 10u);
+  expect_identical(resumed, reference);
+
+  // A per-instruction log never resumes an overall campaign.
+  EXPECT_THROW(run_overall_campaign(m, profile, options),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace trident::fi

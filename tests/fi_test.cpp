@@ -332,6 +332,153 @@ TEST(Stratified, CiShrinksWithMoreTrialsPerSite) {
   EXPECT_LT(b.sdc_ci95(), a.sdc_ci95());
 }
 
+TEST(Injector, BurstClampedToNarrowResult) {
+  // Two-bit burst into an i1 comparison result. Before clamping, both
+  // flips wrapped onto bit 0 and cancelled — a silent no-op that
+  // undercounted corruption on narrow values. Clamped, exactly one bit
+  // flips and the branch inverts.
+  Module m;
+  IRBuilder b(m);
+  b.begin_function("main", {}, Type::void_());
+  const auto entry = b.block("entry");
+  const auto then_bb = b.block("then");
+  const auto else_bb = b.block("else");
+  b.set_block(entry);
+  const Value c = b.icmp(CmpPred::SLt, b.i64(3), b.i64(5));  // true
+  b.cond_br(c, then_bb, else_bb);
+  b.set_block(then_bb);
+  b.print_uint(b.i64(1));
+  b.ret();
+  b.set_block(else_bb);
+  b.print_uint(b.i64(2));
+  b.ret();
+  b.end_function();
+
+  uint32_t icmp_id = ~0u;
+  for (uint32_t i = 0; i < m.functions[0].insts.size(); ++i) {
+    if (m.functions[0].insts[i].op == ir::Opcode::ICmp) icmp_id = i;
+  }
+  ASSERT_NE(icmp_id, ~0u);
+
+  InjectionSite site;
+  site.mode = InjectionSite::Mode::Occurrence;
+  site.inst = {0, icmp_id};
+  site.occurrence = 0;
+  site.bit_entropy = 0;
+  site.num_bits = 2;
+  interp::Interpreter interp(m);
+  Injector injector(m, site);
+  interp::RunOptions options;
+  options.hooks = &injector;
+  const auto res = interp.run_main(options);
+  ASSERT_TRUE(injector.fired());
+  EXPECT_EQ(injector.bits_flipped(), 1u);  // clamped to the i1 width
+  EXPECT_EQ(injector.original_bits(), 1u);
+  EXPECT_EQ(res.output, "2\n");  // condition inverted, not cancelled
+}
+
+TEST(Injector, WidthlessResultFallsBackToFullRegister) {
+  // No IR op produces a typed width-0 result, so force one: the fallback
+  // must treat it as a full 64-bit register, not divide by zero or mask
+  // the flip away.
+  auto m = make_fragile();
+  m.functions[0].insts[1].type = Type::void_();
+  InjectionSite site;
+  site.mode = InjectionSite::Mode::DynIndex;
+  site.dyn_index = 0;
+  site.bit_entropy = UINT64_MAX;  // maps to the top bit of 64
+  Injector injector(m, site);
+  uint64_t bits = 0;
+  injector.on_result({0, 1}, 0, bits);
+  ASSERT_TRUE(injector.fired());
+  EXPECT_EQ(injector.bit(), 63u);
+  EXPECT_EQ(injector.bits_flipped(), 1u);
+  EXPECT_EQ(bits, 1ull << 63);
+}
+
+TEST(Campaign, FuelSaturatesInsteadOfWrapping) {
+  prof::Profile profile;
+  profile.total_dynamic = 100;
+  EXPECT_EQ(campaign_fuel(profile, 50), 100u * 50 + 10000);
+  EXPECT_EQ(campaign_fuel(profile, 0), 10000u);
+  // An overflowing product must saturate: the old wrap truncated the
+  // budget and misclassified long-running trials as hangs.
+  profile.total_dynamic = UINT64_MAX / 2;
+  EXPECT_EQ(campaign_fuel(profile, 50), UINT64_MAX);
+  profile.total_dynamic = UINT64_MAX - 5;
+  EXPECT_EQ(campaign_fuel(profile, 1), UINT64_MAX);  // the +10000 would wrap
+}
+
+// Count-down loop whose trip count is the value loaded each iteration:
+// flipping bit b of the load restarts the countdown near 2^b, so low
+// bits stay benign, mid bits exceed the base budget but terminate, and
+// high bits spin effectively forever.
+Module make_countdown() {
+  Module m;
+  IRBuilder b(m);
+  b.begin_function("main", {}, Type::void_());
+  const auto entry = b.block("entry");
+  const auto header = b.block("header");
+  const auto body = b.block("body");
+  const auto exit = b.block("exit");
+  b.set_block(entry);
+  const Value cell = b.alloca_(8, "cell");
+  b.store(b.i64(12), cell);
+  b.br(header);
+  b.set_block(header);
+  const Value i = b.load(Type::i64(), cell);
+  const Value more = b.icmp(CmpPred::SGt, i, b.i64(0));
+  b.cond_br(more, body, exit);
+  b.set_block(body);
+  b.store(b.sub(i, b.i64(1)), cell);
+  b.br(header);
+  b.set_block(exit);
+  b.print_uint(b.i64(7));
+  b.ret();
+  b.end_function();
+  return m;
+}
+
+TEST(Campaign, HangEscalationSeparatesFuelExhaustionFromHangs) {
+  const auto m = make_countdown();
+  const auto profile = prof::collect_profile(m);
+  uint32_t load_id = ~0u;
+  for (uint32_t i = 0; i < m.functions[0].insts.size(); ++i) {
+    if (m.functions[0].insts[i].op == ir::Opcode::Load) load_id = i;
+  }
+  ASSERT_NE(load_id, ~0u);
+  const ir::InstRef target{0, load_id};
+  ASSERT_GT(profile.exec(target), 0u);
+
+  CampaignOptions no_retry;
+  no_retry.trials = 300;
+  no_retry.seed = 9;
+  no_retry.hang_escalation = 0;
+  CampaignOptions escalated = no_retry;
+  escalated.hang_escalation = 8;
+  const auto r0 = run_instruction_campaign(m, profile, target, no_retry);
+  const auto r8 = run_instruction_campaign(m, profile, target, escalated);
+
+  // Without escalation every budget overrun reads as Hang; with it the
+  // slow-but-terminating runs complete and carry the fuel_exhausted
+  // marker instead. Nothing else about the campaign changes.
+  EXPECT_EQ(r0.fuel_exhausted, 0u);
+  EXPECT_GT(r8.fuel_exhausted, 0u);
+  EXPECT_GT(r8.hang, 0u);  // genuinely unbounded runs stay Hang
+  EXPECT_EQ(r0.hang, r8.hang + r8.fuel_exhausted);
+  EXPECT_EQ(r0.crash, r8.crash);
+  EXPECT_EQ(r8.sdc + r8.benign + r8.crash + r8.hang + r8.detected,
+            r8.total());
+  uint64_t marked = 0;
+  for (const auto& trial : r8.trials) {
+    if (trial.fuel_exhausted) {
+      ++marked;
+      EXPECT_NE(trial.outcome, FIOutcome::Hang);  // it did terminate
+    }
+  }
+  EXPECT_EQ(marked, r8.fuel_exhausted);
+}
+
 TEST(Campaign, OutcomeNamesStable) {
   EXPECT_STREQ(fi_outcome_name(FIOutcome::SDC), "sdc");
   EXPECT_STREQ(fi_outcome_name(FIOutcome::Benign), "benign");

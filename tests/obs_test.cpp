@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/trident.h"
+#include "fi/campaign.h"
+#include "ir/builder.h"
+#include "obs/metrics.h"
+#include "profiler/profiler.h"
+
+namespace trident::obs {
+namespace {
+
+using ir::IRBuilder;
+using ir::Module;
+using ir::Type;
+using ir::Value;
+
+Module make_fragile() {
+  Module m;
+  IRBuilder b(m);
+  b.begin_function("main", {}, Type::void_());
+  b.set_block(b.block("entry"));
+  Value acc = b.i64(1);
+  for (int i = 0; i < 8; ++i) acc = b.add(acc, acc);
+  b.print_uint(acc);
+  b.ret();
+  b.end_function();
+  return m;
+}
+
+TEST(Registry, CountersAccumulate) {
+  Registry r;
+  EXPECT_FALSE(r.has_counter("a"));
+  EXPECT_EQ(r.counter("a"), 0u);
+  r.add("a");
+  r.add("a", 4);
+  EXPECT_TRUE(r.has_counter("a"));
+  EXPECT_EQ(r.counter("a"), 5u);
+  r.set_counter("a", 2);
+  EXPECT_EQ(r.counter("a"), 2u);
+}
+
+TEST(Registry, GaugesOverwrite) {
+  Registry r;
+  EXPECT_FALSE(r.has_gauge("rate"));
+  EXPECT_DOUBLE_EQ(r.gauge("rate"), 0.0);
+  r.set("rate", 1.5);
+  r.set("rate", 2.5);
+  EXPECT_TRUE(r.has_gauge("rate"));
+  EXPECT_DOUBLE_EQ(r.gauge("rate"), 2.5);
+}
+
+TEST(Registry, JsonIsSortedAndComplete) {
+  Registry r;
+  r.add("z.count", 3);
+  r.add("a.count", 1);
+  r.set("m.rate", 0.5);
+  const std::string json = r.to_json();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"a.count\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"z.count\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"m.rate\""), std::string::npos);
+  // Ordered maps: a.count serializes before z.count, every run.
+  EXPECT_LT(json.find("\"a.count\""), json.find("\"z.count\""));
+}
+
+TEST(Manifest, CarriesSchemaAndInfo) {
+  Registry r;
+  r.add("fi.trials.total", 10);
+  const std::string json =
+      manifest_json(r, {{"command", "inject"}, {"target", "5:3"}});
+  EXPECT_NE(json.find("\"schema\": \"trident-run-metrics/1\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"command\": \"inject\""), std::string::npos);
+  EXPECT_NE(json.find("\"target\": \"5:3\""), std::string::npos);
+  EXPECT_NE(json.find("\"fi.trials.total\": 10"), std::string::npos);
+}
+
+TEST(ScopedTimer, AccumulatesAcrossScopes) {
+  Registry r;
+  { ScopedTimer t(r, "phase.x.seconds"); }
+  const double once = r.gauge("phase.x.seconds");
+  EXPECT_TRUE(r.has_gauge("phase.x.seconds"));
+  EXPECT_GE(once, 0.0);
+  { ScopedTimer t(r, "phase.x.seconds"); }
+  EXPECT_GE(r.gauge("phase.x.seconds"), once);  // sums, not overwrites
+}
+
+TEST(ProgressLine, DisabledIsNoOp) {
+  ProgressLine p(false, "fi");
+  p.update(1, 10);
+  p.finish(10, 10);  // must not crash or write
+}
+
+// The acceptance check of the run-metrics subsystem: one registry fed by
+// both a campaign and a model evaluation contains the outcome tallies,
+// the trial rate, the fm solver iteration count and the memo hit rates —
+// and the manifest built from it carries all of them.
+TEST(Manifest, CampaignAndModelMetricsLandInOneManifest) {
+  const auto m = make_fragile();
+  const auto profile = prof::collect_profile(m);
+
+  Registry registry;
+  fi::CampaignOptions options;
+  options.trials = 120;
+  options.metrics = &registry;
+  const auto result = fi::run_overall_campaign(m, profile, options);
+
+  const core::Trident model(m, profile, core::ModelConfig::full());
+  (void)model.overall_sdc(64, 11);
+  model.export_metrics(registry);
+
+  // Outcome tallies match the campaign result exactly.
+  EXPECT_EQ(registry.counter("fi.trials.total"), result.total());
+  EXPECT_EQ(registry.counter("fi.outcome.sdc"), result.sdc);
+  EXPECT_EQ(registry.counter("fi.outcome.benign"), result.benign);
+  EXPECT_EQ(registry.counter("fi.outcome.crash"), result.crash);
+  EXPECT_EQ(registry.counter("fi.outcome.hang"), result.hang);
+  EXPECT_EQ(registry.counter("fi.outcome.detected"), result.detected);
+  EXPECT_EQ(registry.counter("fi.outcome.sdc") +
+                registry.counter("fi.outcome.benign") +
+                registry.counter("fi.outcome.crash") +
+                registry.counter("fi.outcome.hang") +
+                registry.counter("fi.outcome.detected"),
+            registry.counter("fi.trials.total"));
+  EXPECT_TRUE(registry.has_gauge("fi.trials_per_sec"));
+  EXPECT_GT(registry.gauge("fi.trials_per_sec"), 0.0);
+  EXPECT_TRUE(registry.has_gauge("fi.campaign.seconds"));
+
+  // Model instrumentation: the solver ran and the memo caches saw reuse
+  // (overall_sdc samples the same static instructions repeatedly).
+  EXPECT_TRUE(registry.has_counter("fm.solver_iterations"));
+  EXPECT_TRUE(registry.has_gauge("fs.memo.hit_rate"));
+  EXPECT_TRUE(registry.has_gauge("fc.memo.hit_rate"));
+  EXPECT_TRUE(registry.has_gauge("trident.memo.hit_rate"));
+  EXPECT_GT(registry.counter("trident.memo.lookups"), 0u);
+  EXPECT_GT(registry.gauge("trident.memo.hit_rate"), 0.0);
+
+  const std::string manifest = manifest_json(registry, {{"command", "test"}});
+  for (const char* key :
+       {"fi.outcome.sdc", "fi.outcome.benign", "fi.outcome.crash",
+        "fi.outcome.hang", "fi.outcome.detected", "fi.trials.total",
+        "fi.trials_per_sec", "fm.solver_iterations", "fs.memo.hit_rate",
+        "fc.memo.hit_rate", "trident.memo.hit_rate"}) {
+    EXPECT_NE(manifest.find(std::string("\"") + key + "\""),
+              std::string::npos)
+        << "manifest is missing " << key;
+  }
+}
+
+}  // namespace
+}  // namespace trident::obs

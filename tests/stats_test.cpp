@@ -28,11 +28,52 @@ TEST(Stats, MeanAbsoluteError) {
   EXPECT_DOUBLE_EQ(mean_absolute_error(a, b), 1.0);
 }
 
-TEST(Stats, ProportionCi95) {
-  // p=0.5, n=100: 1.96 * sqrt(0.25/100) = 0.098.
-  EXPECT_NEAR(proportion_ci95(0.5, 100), 0.098, 1e-3);
+TEST(Stats, ProportionCi95IsWilsonHalfWidth) {
+  // p=0.5, n=100: Wilson half-width 0.09617 (the normal approximation
+  // gave 0.0980).
+  EXPECT_NEAR(proportion_ci95(0.5, 100), 0.09617, 1e-4);
   EXPECT_DOUBLE_EQ(proportion_ci95(0.5, 0), 0.0);
-  EXPECT_DOUBLE_EQ(proportion_ci95(0.0, 100), 0.0);
+  // The old normal CI collapsed to zero width at p=0 — the bug this
+  // replaces: zero observed SDCs must not read as zero uncertainty.
+  EXPECT_GT(proportion_ci95(0.0, 100), 0.0);
+  EXPECT_GT(proportion_ci95(1.0, 100), 0.0);
+}
+
+TEST(Stats, WilsonKnownValues) {
+  // Classic published Wilson 95% intervals.
+  // 0 successes of 10: [0, 0.2775].
+  const auto z10 = proportion_wilson_ci95(0.0, 10);
+  EXPECT_NEAR(z10.lo, 0.0, 1e-9);
+  EXPECT_NEAR(z10.hi, 0.2775, 1e-3);
+  // 0 successes of 100: [0, 0.0370].
+  const auto z100 = proportion_wilson_ci95(0.0, 100);
+  EXPECT_NEAR(z100.lo, 0.0, 1e-9);
+  EXPECT_NEAR(z100.hi, 0.0370, 1e-3);
+  // 5 of 10: [0.2366, 0.7634].
+  const auto half = proportion_wilson_ci95(0.5, 10);
+  EXPECT_NEAR(half.lo, 0.2366, 1e-3);
+  EXPECT_NEAR(half.hi, 0.7634, 1e-3);
+  // 1 of 1: [0.2065, 1].
+  const auto one = proportion_wilson_ci95(1.0, 1);
+  EXPECT_NEAR(one.lo, 0.2065, 1e-3);
+  EXPECT_NEAR(one.hi, 1.0, 1e-9);
+}
+
+TEST(Stats, WilsonSymmetricAndBounded) {
+  for (const uint64_t n : {1u, 7u, 30u, 3000u}) {
+    for (const double p : {0.0, 0.1, 0.25, 0.5, 0.9, 1.0}) {
+      const auto ci = proportion_wilson_ci95(p, n);
+      EXPECT_GE(ci.lo, 0.0);
+      EXPECT_LE(ci.hi, 1.0);
+      EXPECT_LT(ci.lo, ci.hi);  // never zero-width
+      // Mirror symmetry: interval of 1-p is the reflection of p's.
+      const auto mirror = proportion_wilson_ci95(1.0 - p, n);
+      EXPECT_NEAR(ci.lo, 1.0 - mirror.hi, 1e-12);
+      EXPECT_NEAR(ci.hi, 1.0 - mirror.lo, 1e-12);
+    }
+  }
+  // Width shrinks with n.
+  EXPECT_LT(proportion_ci95(0.2, 3000), proportion_ci95(0.2, 300));
 }
 
 TEST(Stats, LinearFitExact) {

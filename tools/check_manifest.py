@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""CI validator for trident run manifests (schema trident-run-metrics/1).
+
+Usage: check_manifest.py INJECT.json RESUME.json PREDICT.json
+
+INJECT is the manifest of a fresh checkpointed `trident inject` run,
+RESUME the manifest of re-running the same command over the finished
+checkpoint log, and PREDICT the manifest of a `trident predict` run.
+Checks that each parses, carries the schema tag and the expected metric
+families, that the outcome tallies are internally consistent, and that
+the resumed campaign reproduced the fresh run's tallies without
+re-running any trial.
+"""
+import json
+import sys
+
+OUTCOMES = ["sdc", "benign", "crash", "hang", "detected"]
+
+
+def load(path):
+    with open(path) as f:
+        manifest = json.load(f)
+    if manifest.get("schema") != "trident-run-metrics/1":
+        raise SystemExit(f"{path}: bad schema tag {manifest.get('schema')!r}")
+    for section in ("counters", "gauges"):
+        if not isinstance(manifest.get(section), dict):
+            raise SystemExit(f"{path}: missing {section!r} object")
+    return manifest
+
+
+def require(path, manifest, counters=(), gauges=()):
+    for key in counters:
+        if key not in manifest["counters"]:
+            raise SystemExit(f"{path}: missing counter {key!r}")
+    for key in gauges:
+        if key not in manifest["gauges"]:
+            raise SystemExit(f"{path}: missing gauge {key!r}")
+
+
+def check_campaign(path, manifest):
+    require(
+        path,
+        manifest,
+        counters=["fi.trials.total", "fi.trials.run", "fi.trials.resumed",
+                  "fi.fuel_exhausted"]
+        + [f"fi.outcome.{o}" for o in OUTCOMES],
+        gauges=["fi.trials_per_sec", "fi.campaign.seconds",
+                "phase.campaign.seconds"],
+    )
+    c = manifest["counters"]
+    total = c["fi.trials.total"]
+    if total <= 0:
+        raise SystemExit(f"{path}: campaign ran no trials")
+    if sum(c[f"fi.outcome.{o}"] for o in OUTCOMES) != total:
+        raise SystemExit(f"{path}: outcome tallies do not sum to the total")
+    return c
+
+
+def main(argv):
+    if len(argv) != 4:
+        raise SystemExit(__doc__)
+    inject, resume, predict = (load(p) for p in argv[1:4])
+
+    fresh = check_campaign(argv[1], inject)
+    if fresh["fi.trials.resumed"] != 0:
+        raise SystemExit(f"{argv[1]}: fresh run claims resumed trials")
+
+    resumed = check_campaign(argv[2], resume)
+    if resumed["fi.trials.run"] != 0:
+        raise SystemExit(f"{argv[2]}: resume over a finished log re-ran trials")
+    if resumed["fi.trials.resumed"] != fresh["fi.trials.total"]:
+        raise SystemExit(f"{argv[2]}: resume did not restore every trial")
+    for o in OUTCOMES:
+        key = f"fi.outcome.{o}"
+        if resumed[key] != fresh[key]:
+            raise SystemExit(
+                f"{argv[2]}: resumed tally {key} = {resumed[key]} differs "
+                f"from the fresh run's {fresh[key]}")
+
+    require(
+        argv[3],
+        predict,
+        counters=["fm.solver_iterations", "fs.memo.hits", "fs.memo.lookups",
+                  "fc.memo.hits", "fc.memo.lookups", "trident.memo.hits",
+                  "trident.memo.lookups"],
+        gauges=["fs.memo.hit_rate", "fc.memo.hit_rate",
+                "trident.memo.hit_rate", "phase.profile.seconds",
+                "phase.predict.seconds"],
+    )
+    print(f"manifests OK: {fresh['fi.trials.total']} trials fresh, "
+          f"{resumed['fi.trials.resumed']} resumed, predict instrumented")
+
+
+if __name__ == "__main__":
+    main(sys.argv)

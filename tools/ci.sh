@@ -15,3 +15,29 @@ cd "$(dirname "$0")/.."
 cmake --preset "$preset"
 cmake --build --preset "$preset" -j "$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 ctest --preset "$preset"
+
+bindir=build
+if [ "$preset" = "asan" ]; then
+  bindir=build-asan
+  # The checkpoint/resume crash-safety suite exercises concurrent file
+  # appends and torn-log recovery; give it an explicit pass under the
+  # sanitizers on top of the full ctest run above.
+  ctest --preset asan -R 'Checkpoint'
+fi
+
+# CLI smoke: a fresh checkpointed campaign, a resume over its finished
+# log, and a model prediction must all emit parseable run manifests with
+# the expected metric families, and the resume must reproduce the fresh
+# tallies without re-running a single trial.
+smokedir="$(mktemp -d)"
+trap 'rm -rf "$smokedir"' EXIT
+"$bindir/tools/trident" inject pathfinder --trials 60 --threads 4 \
+  --checkpoint "$smokedir/ckpt.jsonl" \
+  --metrics-out "$smokedir/inject.json" --no-progress
+"$bindir/tools/trident" inject pathfinder --trials 60 --threads 4 \
+  --checkpoint "$smokedir/ckpt.jsonl" \
+  --metrics-out "$smokedir/resume.json" --no-progress
+"$bindir/tools/trident" predict pathfinder --samples 60 \
+  --metrics-out "$smokedir/predict.json"
+python3 tools/check_manifest.py \
+  "$smokedir/inject.json" "$smokedir/resume.json" "$smokedir/predict.json"

@@ -5,7 +5,7 @@
 //   trident run     <target>
 //   trident profile <target>
 //   trident predict <target> [--model full|fs_fc|fs|paper] [--per-inst] [--samples N]
-//   trident inject  <target> [--trials N] [--seed S]
+//   trident inject  <target> [--trials N] [--seed S] [--checkpoint f.jsonl]
 //   trident protect <target> [--budget F] [-o out.tir] [--evaluate]
 //
 // `--threads N` caps the worker threads of every parallel stage (FI
@@ -13,10 +13,19 @@
 // env var, else hardware_concurrency. Results are bit-identical for any
 // thread count.
 //
+// `--checkpoint f.jsonl` makes campaigns crash-safe: completed trials
+// are appended to the log as they finish, and re-running the same
+// command resumes from it, producing a result bit-identical to an
+// uninterrupted run. `--metrics-out f.json` writes a run manifest
+// (schema "trident-run-metrics/1": outcome tallies, trials/sec, solver
+// iterations, memo hit rates, per-phase wall time). A progress line is
+// shown on interactive stderr during campaigns (--no-progress disables).
+//
 // <target> is a bundled workload name (see `trident list`) or a path to a
 // textual IR file (the format of `trident dump`, parseable by ir/parser).
 #include <cstdio>
 #include <cstring>
+#include <exception>
 #include <fstream>
 #include <optional>
 #include <sstream>
@@ -29,9 +38,11 @@
 #include "ir/parser.h"
 #include "ir/printer.h"
 #include "ir/verifier.h"
+#include "obs/metrics.h"
 #include "profiler/profiler.h"
 #include "protect/duplication.h"
 #include "protect/selector.h"
+#include "support/thread_pool.h"
 #include "workloads/workloads.h"
 
 using namespace trident;
@@ -53,7 +64,13 @@ int usage() {
                "  protect <target> [--budget F] [-o f.tir] [--evaluate]\n"
                "                               selective duplication\n"
                "common: --threads N            worker threads (0 = auto;\n"
-               "                               results identical for any N)\n");
+               "                               results identical for any N)\n"
+               "        --checkpoint f.jsonl   crash-safe campaigns: append\n"
+               "                               finished trials, resume on\n"
+               "                               re-run (bit-identical result)\n"
+               "        --metrics-out f.json   write the run manifest\n"
+               "                               (trident-run-metrics/1)\n"
+               "        --no-progress          suppress the progress line\n");
   return 2;
 }
 
@@ -88,14 +105,35 @@ struct Args {
   std::string target;
   std::string out;
   std::string model = "full";
+  std::string checkpoint;   // campaign checkpoint log ("" = off)
+  std::string metrics_out;  // run-manifest path ("" = off)
   bool per_inst = false;
   bool evaluate = false;
+  bool no_progress = false;
   uint64_t trials = 3000;
   uint64_t samples = 0;  // 0 = exact
   uint64_t seed = 1234;
   double budget = 1.0 / 3;
   uint32_t threads = 0;  // 0 = TRIDENT_THREADS env or hardware
 };
+
+// One registry per process run; commands add their counters/timers and
+// main() persists the manifest when --metrics-out is given.
+obs::Registry& metrics() {
+  static obs::Registry registry;
+  return registry;
+}
+
+fi::CampaignOptions campaign_options(const Args& args) {
+  fi::CampaignOptions options;
+  options.trials = args.trials;
+  options.seed = args.seed;
+  options.threads = args.threads;
+  options.checkpoint_path = args.checkpoint;
+  options.metrics = &metrics();
+  options.progress = !args.no_progress && obs::stderr_is_tty();
+  return options;
+}
 
 bool parse_args(int argc, char** argv, Args& args) {
   for (int i = 0; i < argc; ++i) {
@@ -135,6 +173,16 @@ bool parse_args(int argc, char** argv, Args& args) {
       const char* v = next();
       if (!v) return false;
       args.threads = static_cast<uint32_t>(std::strtoul(v, nullptr, 10));
+    } else if (a == "--checkpoint") {
+      const char* v = next();
+      if (!v) return false;
+      args.checkpoint = v;
+    } else if (a == "--metrics-out") {
+      const char* v = next();
+      if (!v) return false;
+      args.metrics_out = v;
+    } else if (a == "--no-progress") {
+      args.no_progress = true;
     } else if (args.target.empty() && a[0] != '-') {
       args.target = a;
     } else {
@@ -216,8 +264,13 @@ int cmd_profile(const ir::Module& m) {
 int cmd_predict(const Args& args, const ir::Module& m) {
   const auto config = model_config(args.model);
   if (!config) return 2;
-  const auto profile = prof::collect_profile(m);
+  prof::Profile profile;
+  {
+    obs::ScopedTimer t(metrics(), "phase.profile.seconds");
+    profile = prof::collect_profile(m);
+  }
   const core::Trident model(m, profile, *config);
+  obs::ScopedTimer timer(metrics(), "phase.predict.seconds");
   const double overall =
       args.samples > 0
           ? model.overall_sdc(args.samples, args.seed, args.threads)
@@ -235,31 +288,51 @@ int cmd_predict(const Args& args, const ir::Module& m) {
                   preds[i].sdc * 100, preds[i].crash * 100);
     }
   }
+  model.export_metrics(metrics());
   return 0;
 }
 
 int cmd_inject(const Args& args, const ir::Module& m) {
-  const auto profile = prof::collect_profile(m);
-  fi::CampaignOptions options;
-  options.trials = args.trials;
-  options.seed = args.seed;
-  options.threads = args.threads;
-  const auto result = fi::run_overall_campaign(m, profile, options);
+  prof::Profile profile;
+  {
+    obs::ScopedTimer t(metrics(), "phase.profile.seconds");
+    profile = prof::collect_profile(m);
+  }
+  const auto options = campaign_options(args);
+  fi::CampaignResult result;
+  {
+    obs::ScopedTimer t(metrics(), "phase.campaign.seconds");
+    result = fi::run_overall_campaign(m, profile, options);
+  }
   std::printf("trials:   %llu\n",
               static_cast<unsigned long long>(result.total()));
+  if (result.resumed > 0) {
+    std::printf("resumed:  %llu from %s\n",
+                static_cast<unsigned long long>(result.resumed),
+                args.checkpoint.c_str());
+  }
   std::printf("SDC:      %6.2f%% (±%.2f%% at 95%%)\n",
               result.sdc_prob() * 100, result.sdc_ci95() * 100);
-  std::printf("crash:    %6.2f%%\n", result.crash_prob() * 100);
+  std::printf("crash:    %6.2f%% (±%.2f%% at 95%%)\n",
+              result.crash_prob() * 100, result.crash_ci95() * 100);
   std::printf("detected: %6.2f%%\n", result.detected_prob() * 100);
   std::printf("benign:   %6.2f%%\n",
               100.0 * result.benign / result.total());
   std::printf("hang:     %6.2f%%\n",
               100.0 * result.hang / result.total());
+  if (result.fuel_exhausted > 0) {
+    std::printf("fuel-exhausted (slow but terminating): %llu\n",
+                static_cast<unsigned long long>(result.fuel_exhausted));
+  }
   return 0;
 }
 
 int cmd_protect(const Args& args, const ir::Module& m) {
-  const auto profile = prof::collect_profile(m);
+  prof::Profile profile;
+  {
+    obs::ScopedTimer t(metrics(), "phase.profile.seconds");
+    profile = prof::collect_profile(m);
+  }
   const core::Trident model(m, profile);
   const auto plan = protect::select_for_duplication(
       m, profile, [&](ir::InstRef ref) { return model.predict(ref).sdc; },
@@ -280,10 +353,11 @@ int cmd_protect(const Args& args, const ir::Module& m) {
                            profile.total_dynamic -
                        1.0));
   if (args.evaluate) {
-    fi::CampaignOptions options;
-    options.trials = args.trials;
-    options.seed = args.seed;
-    options.threads = args.threads;
+    obs::ScopedTimer t(metrics(), "phase.campaign.seconds");
+    auto options = campaign_options(args);
+    // The two campaigns sample different populations; one checkpoint
+    // log cannot cover both.
+    options.checkpoint_path.clear();
     const auto before = fi::run_overall_campaign(m, profile, options);
     const auto after =
         fi::run_overall_campaign(result.module, prot_profile, options);
@@ -296,10 +370,33 @@ int cmd_protect(const Args& args, const ir::Module& m) {
     out << ir::print_module(result.module);
     std::printf("wrote protected module to %s\n", args.out.c_str());
   }
+  model.export_metrics(metrics());
   return 0;
 }
 
 }  // namespace
+
+// Persists the run manifest (counters/gauges registered by the command
+// plus process-wide pool instrumentation) to --metrics-out.
+int write_manifest(const Args& args, const std::string& cmd) {
+  if (args.metrics_out.empty()) return 0;
+  auto& registry = metrics();
+  registry.set_counter("pool.tasks_run",
+                       support::ThreadPool::global().tasks_run());
+  registry.set_counter("pool.tasks_stolen",
+                       support::ThreadPool::global().tasks_stolen());
+  const std::string json = obs::manifest_json(
+      registry, {{"command", cmd}, {"target", args.target}});
+  std::ofstream out(args.metrics_out);
+  if (!out) {
+    std::fprintf(stderr, "error: cannot write metrics to '%s'\n",
+                 args.metrics_out.c_str());
+    return 1;
+  }
+  out << json;
+  std::printf("wrote run metrics to %s\n", args.metrics_out.c_str());
+  return 0;
+}
 
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
@@ -311,11 +408,21 @@ int main(int argc, char** argv) {
   const auto m = load_target(args.target);
   if (!m) return 1;
 
-  if (cmd == "dump") return cmd_dump(args, *m);
-  if (cmd == "run") return cmd_run(*m);
-  if (cmd == "profile") return cmd_profile(*m);
-  if (cmd == "predict") return cmd_predict(args, *m);
-  if (cmd == "inject") return cmd_inject(args, *m);
-  if (cmd == "protect") return cmd_protect(args, *m);
-  return usage();
+  int rc;
+  try {
+    if (cmd == "dump") rc = cmd_dump(args, *m);
+    else if (cmd == "run") rc = cmd_run(*m);
+    else if (cmd == "profile") rc = cmd_profile(*m);
+    else if (cmd == "predict") rc = cmd_predict(args, *m);
+    else if (cmd == "inject") rc = cmd_inject(args, *m);
+    else if (cmd == "protect") rc = cmd_protect(args, *m);
+    else return usage();
+  } catch (const std::exception& e) {
+    // Checkpoint mismatches and similar setup failures surface here
+    // with an actionable message instead of a stack-unwound abort.
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  const int manifest_rc = write_manifest(args, cmd);
+  return rc != 0 ? rc : manifest_rc;
 }
