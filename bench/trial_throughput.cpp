@@ -1,0 +1,153 @@
+// Trial-throughput tracker for the FI campaign engine.
+//
+// Runs the same overall campaign per workload twice — snapshots off and
+// snapshots on — on one worker thread, verifies the two CampaignResults
+// are bit-identical (same trials vector, same tallies), and emits
+// BENCH_trial_throughput.json so the perf trajectory of the trial engine
+// is machine-tracked across PRs (acceptance bar: >= 2x median speedup).
+//
+// Knobs: TRIDENT_TRIALS (campaign size; default 500),
+// TRIDENT_BENCH_OUT (output path; default BENCH_trial_throughput.json).
+// Timing includes the instrumented golden run that builds the snapshot
+// set — the speedup reported is the end-to-end campaign speedup, not a
+// per-trial number with setup costs hidden.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "fi/campaign.h"
+#include "harness.h"
+
+namespace {
+
+using namespace trident;
+
+bool same_result(const fi::CampaignResult& a, const fi::CampaignResult& b) {
+  if (a.trials.size() != b.trials.size()) return false;
+  for (size_t i = 0; i < a.trials.size(); ++i) {
+    const auto& x = a.trials[i];
+    const auto& y = b.trials[i];
+    if (x.outcome != y.outcome || x.target != y.target || x.bit != y.bit ||
+        x.fuel_exhausted != y.fuel_exhausted) {
+      return false;
+    }
+  }
+  return a.sdc == b.sdc && a.benign == b.benign && a.crash == b.crash &&
+         a.hang == b.hang && a.detected == b.detected &&
+         a.fuel_exhausted == b.fuel_exhausted;
+}
+
+struct Row {
+  std::string name;
+  double off_trials_per_sec = 0;
+  double on_trials_per_sec = 0;
+  double speedup = 0;
+  bool identical = false;
+  uint64_t snapshot_count = 0;
+  uint64_t snapshot_bytes = 0;
+  uint64_t skipped_insts = 0;
+};
+
+}  // namespace
+
+int main() {
+  const auto prepared = bench::prepare_all();
+  const uint64_t trials = bench::trials_from_env(500);
+
+  std::printf("Trial throughput: overall campaign, %llu trials per "
+              "workload, 1 worker thread\n\n",
+              static_cast<unsigned long long>(trials));
+  std::printf("%-14s %14s %14s %9s %6s %10s\n", "workload", "off (tr/s)",
+              "on (tr/s)", "speedup", "snaps", "snap MiB");
+
+  std::vector<Row> rows;
+  bool all_identical = true;
+  for (const auto& p : prepared) {
+    fi::CampaignOptions options;
+    options.trials = trials;
+    options.seed = 99;
+    options.threads = 1;
+
+    options.max_snapshots = 0;
+    fi::CampaignResult off_result;
+    const double off_s = bench::time_seconds([&] {
+      off_result = fi::run_overall_campaign(p.module, p.profile, options);
+    });
+
+    obs::Registry on_metrics;
+    options.max_snapshots = 64;
+    options.metrics = &on_metrics;
+    fi::CampaignResult on_result;
+    const double on_s = bench::time_seconds([&] {
+      on_result = fi::run_overall_campaign(p.module, p.profile, options);
+    });
+
+    Row row;
+    row.name = p.workload.name;
+    row.off_trials_per_sec = off_s > 0 ? trials / off_s : 0;
+    row.on_trials_per_sec = on_s > 0 ? trials / on_s : 0;
+    row.speedup = on_s > 0 ? off_s / on_s : 0;
+    row.identical = same_result(off_result, on_result);
+    row.snapshot_count = on_metrics.counter("fi.snapshot_count");
+    row.snapshot_bytes = on_metrics.counter("fi.snapshot_bytes");
+    row.skipped_insts = on_metrics.counter("fi.snapshot_skipped_insts");
+    all_identical = all_identical && row.identical;
+
+    std::printf("%-14s %14.1f %14.1f %8.2fx %6llu %10.2f%s\n",
+                row.name.c_str(), row.off_trials_per_sec,
+                row.on_trials_per_sec, row.speedup,
+                static_cast<unsigned long long>(row.snapshot_count),
+                static_cast<double>(row.snapshot_bytes) / (1 << 20),
+                row.identical ? "" : "  RESULT MISMATCH");
+    rows.push_back(std::move(row));
+  }
+
+  std::vector<double> speedups;
+  for (const auto& row : rows) speedups.push_back(row.speedup);
+  std::sort(speedups.begin(), speedups.end());
+  const double median =
+      speedups.empty()
+          ? 0
+          : (speedups.size() % 2 != 0
+                 ? speedups[speedups.size() / 2]
+                 : (speedups[speedups.size() / 2 - 1] +
+                    speedups[speedups.size() / 2]) / 2);
+  std::printf("\nmedian speedup: %.2fx; results bit-identical on vs off: "
+              "%s\n",
+              median, all_identical ? "yes" : "NO");
+
+  const char* out_env = std::getenv("TRIDENT_BENCH_OUT");
+  const std::string out_path =
+      out_env != nullptr && *out_env != '\0' ? out_env
+                                             : "BENCH_trial_throughput.json";
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "error: cannot write '%s'\n", out_path.c_str());
+    return 1;
+  }
+  out << "{\n  \"schema\": \"trident-trial-throughput/1\",\n"
+      << "  \"trials\": " << trials << ",\n  \"threads\": 1,\n"
+      << "  \"median_speedup\": " << median << ",\n"
+      << "  \"identical\": " << (all_identical ? "true" : "false") << ",\n"
+      << "  \"workloads\": [\n";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const auto& row = rows[i];
+    out << "    {\"name\": \"" << row.name << "\", "
+        << "\"trials_per_sec_off\": " << row.off_trials_per_sec << ", "
+        << "\"trials_per_sec_on\": " << row.on_trials_per_sec << ", "
+        << "\"speedup\": " << row.speedup << ", "
+        << "\"identical\": " << (row.identical ? "true" : "false") << ", "
+        << "\"snapshot_count\": " << row.snapshot_count << ", "
+        << "\"snapshot_bytes\": " << row.snapshot_bytes << ", "
+        << "\"snapshot_skipped_insts\": " << row.skipped_insts << "}"
+        << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::printf("wrote %s\n", out_path.c_str());
+
+  bench::write_metrics_manifest("trial_throughput");
+  return all_identical ? 0 : 1;
+}

@@ -4,8 +4,11 @@
 #include <atomic>
 #include <cassert>
 #include <cmath>
+#include <memory>
+#include <mutex>
 #include <stdexcept>
 
+#include "fi/trial_runner.h"
 #include "obs/checkpoint.h"
 #include "stats/stats.h"
 #include "support/thread_pool.h"
@@ -61,34 +64,8 @@ uint64_t campaign_fuel(const prof::Profile& profile,
 Trial run_one_trial(const ir::Module& module, const prof::Profile& profile,
                     const InjectionSite& site, uint64_t fuel,
                     uint32_t entry_func) {
-  interp::Interpreter interp(module);
-  Injector injector(module, site);
-  interp::RunOptions run_options;
-  run_options.fuel = fuel;
-  run_options.hooks = &injector;
-  const auto res = entry_func == ir::kNoFunc
-                       ? interp.run_main(run_options)
-                       : interp.run(entry_func, {}, run_options);
-
-  Trial trial;
-  trial.target = injector.target();
-  trial.bit = injector.bit();
-  switch (res.outcome) {
-    case interp::Outcome::Ok:
-      trial.outcome = res.output == profile.golden_output ? FIOutcome::Benign
-                                                          : FIOutcome::SDC;
-      break;
-    case interp::Outcome::Crash:
-      trial.outcome = FIOutcome::Crash;
-      break;
-    case interp::Outcome::Hang:
-      trial.outcome = FIOutcome::Hang;
-      break;
-    case interp::Outcome::Detected:
-      trial.outcome = FIOutcome::Detected;
-      break;
-  }
-  return trial;
+  TrialRunner runner(module, profile, entry_func, nullptr);
+  return runner.run(site, fuel);
 }
 
 namespace {
@@ -98,11 +75,9 @@ namespace {
 // slow-but-terminating runs (fuel exhaustion) from genuine infinite
 // loops. Pure function of (plan slot, fuel policy) — identical on every
 // schedule, which resume depends on.
-Trial run_classified_trial(const ir::Module& module,
-                           const prof::Profile& profile,
-                           const InjectionSite& site, uint64_t fuel,
-                           const CampaignOptions& options) {
-  Trial trial = run_one_trial(module, profile, site, fuel, options.entry);
+Trial run_classified_trial(TrialRunner& runner, const InjectionSite& site,
+                           uint64_t fuel, const CampaignOptions& options) {
+  Trial trial = runner.run(site, fuel);
   if (trial.outcome != FIOutcome::Hang || options.hang_escalation == 0 ||
       fuel == UINT64_MAX) {
     return trial;
@@ -110,7 +85,7 @@ Trial run_classified_trial(const ir::Module& module,
   const uint64_t escalated = fuel > UINT64_MAX / options.hang_escalation
                                  ? UINT64_MAX
                                  : fuel * options.hang_escalation;
-  Trial retry = run_one_trial(module, profile, site, escalated, options.entry);
+  Trial retry = runner.run(site, escalated);
   if (retry.outcome == FIOutcome::Hang) return trial;  // genuine hang
   retry.fuel_exhausted = true;
   return retry;
@@ -148,8 +123,18 @@ Trial from_record(const obs::TrialRecord& record) {
   return trial;
 }
 
+// Trial-engine observability, aggregated over the campaign's workers.
+struct EngineStats {
+  uint64_t snapshot_count = 0;
+  uint64_t snapshot_bytes = 0;
+  uint64_t skipped_insts = 0;
+  uint64_t resumed_trials = 0;
+  uint64_t memcache_hits = 0;
+  uint64_t memcache_lookups = 0;
+};
+
 void export_metrics(obs::Registry& registry, const CampaignResult& result,
-                    uint64_t ran, double seconds) {
+                    uint64_t ran, double seconds, const EngineStats& engine) {
   registry.add("fi.trials.total", result.total());
   registry.add("fi.trials.run", ran);
   registry.add("fi.trials.resumed", result.resumed);
@@ -159,6 +144,18 @@ void export_metrics(obs::Registry& registry, const CampaignResult& result,
   registry.add("fi.outcome.hang", result.hang);
   registry.add("fi.outcome.detected", result.detected);
   registry.add("fi.fuel_exhausted", result.fuel_exhausted);
+  registry.add("fi.snapshot_count", engine.snapshot_count);
+  registry.add("fi.snapshot_bytes", engine.snapshot_bytes);
+  registry.add("fi.snapshot_skipped_insts", engine.skipped_insts);
+  registry.add("fi.snapshot_resumed_trials", engine.resumed_trials);
+  registry.add("interp.memcache.hits", engine.memcache_hits);
+  registry.add("interp.memcache.lookups", engine.memcache_lookups);
+  const uint64_t lookups = registry.counter("interp.memcache.lookups");
+  if (lookups > 0) {
+    registry.set("interp.memcache.hit_rate",
+                 static_cast<double>(registry.counter("interp.memcache.hits")) /
+                     static_cast<double>(lookups));
+  }
   registry.set("fi.campaign.seconds",
                registry.gauge("fi.campaign.seconds") + seconds);
   if (seconds > 0) {
@@ -200,12 +197,77 @@ CampaignResult run_planned(const ir::Module& module,
     if (!have[i]) todo.push_back(i);
   }
 
+  // Snapshot-and-resume engine: one instrumented golden run captures the
+  // shared snapshot set. Skipped when snapshots are disabled or the
+  // checkpoint log already covers every slot.
+  EngineStats engine;
+  SnapshotPlan snap_plan;
+  if (options.max_snapshots > 0 && !todo.empty()) {
+    const ir::InstRef occ_target =
+        header.kind == "instruction"
+            ? ir::InstRef{header.target_func, header.target_inst}
+            : ir::InstRef{};
+    snap_plan = build_snapshot_plan(module, profile.total_results, fuel,
+                                    options.entry, options.max_snapshots,
+                                    options.snapshot_bytes_budget, occ_target);
+    engine.snapshot_count = snap_plan.snapshots.size();
+    engine.snapshot_bytes = snap_plan.bytes;
+  }
+
+  // Rewrite occurrence sites to their equivalent dynamic-result index
+  // (same instruction hit, same flipped bit) so per-instruction trials
+  // can resume from snapshots too. Out-of-range occurrences (profile
+  // disagreeing with the golden run) stay in occurrence mode and simply
+  // run from scratch.
+  const std::vector<InjectionSite>* sites = &plan;
+  std::vector<InjectionSite> converted;
+  if (!snap_plan.snapshots.empty() && snap_plan.occ_target.valid()) {
+    converted = plan;
+    for (auto& site : converted) {
+      if (site.mode == InjectionSite::Mode::Occurrence &&
+          site.inst == snap_plan.occ_target &&
+          site.occurrence < snap_plan.occurrence_dyn_index.size()) {
+        site.mode = InjectionSite::Mode::DynIndex;
+        site.dyn_index = snap_plan.occurrence_dyn_index[site.occurrence];
+      }
+    }
+    sites = &converted;
+  }
+
+  // Per-worker interpreter reuse: runners are checked out per trial and
+  // returned, so each worker amortizes interpreter construction (global
+  // materialization) and keeps its memory-cache state warm across
+  // trials. The pool mutex is negligible next to a trial's run time.
+  const SnapshotPlan* shared_plan =
+      snap_plan.snapshots.empty() ? nullptr : &snap_plan;
+  std::mutex runners_mutex;
+  std::vector<std::unique_ptr<TrialRunner>> runners;
+  std::vector<TrialRunner*> idle_runners;
+  const auto acquire_runner = [&]() -> TrialRunner* {
+    std::lock_guard<std::mutex> lock(runners_mutex);
+    if (!idle_runners.empty()) {
+      TrialRunner* runner = idle_runners.back();
+      idle_runners.pop_back();
+      return runner;
+    }
+    runners.push_back(std::make_unique<TrialRunner>(module, profile,
+                                                    options.entry,
+                                                    shared_plan));
+    return runners.back().get();
+  };
+  const auto release_runner = [&](TrialRunner* runner) {
+    std::lock_guard<std::mutex> lock(runners_mutex);
+    idle_runners.push_back(runner);
+  };
+
   obs::ProgressLine progress(options.progress, "fi");
   std::atomic<uint64_t> done{resumed};
   progress.update(resumed, plan.size());
   const auto run_slot = [&](uint64_t slot) {
+    TrialRunner* runner = acquire_runner();
     const Trial trial =
-        run_classified_trial(module, profile, plan[slot], fuel, options);
+        run_classified_trial(*runner, (*sites)[slot], fuel, options);
+    release_runner(runner);
     trials[slot] = trial;
     if (log) log->append(to_record(slot, trial));
     progress.update(done.fetch_add(1, std::memory_order_relaxed) + 1,
@@ -223,13 +285,20 @@ CampaignResult run_planned(const ir::Module& module,
   }
   progress.finish(plan.size(), plan.size());
 
+  for (const auto& runner : runners) {
+    engine.skipped_insts += runner->skipped_insts();
+    engine.resumed_trials += runner->resumed_trials();
+    engine.memcache_hits += runner->interp().memory().cache_hits();
+    engine.memcache_lookups += runner->interp().memory().cache_lookups();
+  }
+
   CampaignResult result;
   result.resumed = resumed;
   result.trials.reserve(trials.size());
   for (const auto& trial : trials) tally(result, trial);
   if (options.metrics != nullptr) {
     export_metrics(*options.metrics, result, todo.size(),
-                   obs::now_seconds() - started);
+                   obs::now_seconds() - started, engine);
   }
   return result;
 }

@@ -88,8 +88,24 @@ struct CampaignOptions {
   /// corrupt log makes the campaign throw std::runtime_error with a
   /// clear message rather than silently mixing incompatible trials.
   std::string checkpoint_path;
+  /// Snapshot-and-resume trial execution (docs/MODEL.md, "Trial
+  /// execution engine"): before the trial loop the campaign replays one
+  /// golden run that captures interpreter snapshots, and every trial
+  /// resumes from the latest snapshot at or before its injection site
+  /// instead of re-interpreting the fault-free prefix. Results are
+  /// bit-identical with snapshots on or off, at any thread count, and
+  /// compose with checkpoint resume. At most this many snapshots are
+  /// kept (the capture interval is sized accordingly); 0 disables.
+  uint64_t max_snapshots = 64;
+  /// Memory budget for the retained snapshot set: the set is thinned
+  /// (every other snapshot dropped, doubling the interval) until it
+  /// fits. The retained footprint is reported as fi.snapshot_bytes.
+  uint64_t snapshot_bytes_budget = 256ull << 20;
   /// Optional run-metrics sink: outcome tallies, trials/sec, resumed
-  /// and fuel-exhausted counts land under "fi.*" when set.
+  /// and fuel-exhausted counts land under "fi.*" when set, plus the
+  /// trial-engine counters (fi.snapshot_count, fi.snapshot_bytes,
+  /// fi.snapshot_skipped_insts, fi.snapshot_resumed_trials) and the
+  /// interpreter memory-cache hit rate (interp.memcache.*).
   obs::Registry* metrics = nullptr;
   /// Live progress line on stderr (interactive runs).
   bool progress = false;

@@ -1,0 +1,138 @@
+#include "fi/trial_runner.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "fi/injector.h"
+
+namespace trident::fi {
+
+namespace {
+
+// Records the dynamic-result index of every occurrence of one static
+// instruction during the golden run (the occurrence -> index map that
+// lets per-instruction campaigns resume from snapshots).
+class OccurrenceIndexRecorder final : public interp::ExecHooks {
+ public:
+  explicit OccurrenceIndexRecorder(ir::InstRef target) : target_(target) {}
+
+  void on_result(ir::InstRef ref, uint64_t dyn_index,
+                 uint64_t& bits) override {
+    (void)bits;
+    if (ref == target_) indices_.push_back(dyn_index);
+  }
+
+  std::vector<uint64_t> take() { return std::move(indices_); }
+
+ private:
+  ir::InstRef target_;
+  std::vector<uint64_t> indices_;
+};
+
+}  // namespace
+
+const interp::Snapshot* SnapshotPlan::latest_at_or_before(
+    uint64_t dyn_index) const {
+  // First snapshot strictly past the index, then step back one.
+  const auto it = std::upper_bound(
+      snapshots.begin(), snapshots.end(), dyn_index,
+      [](uint64_t v, const interp::Snapshot& s) { return v < s.dyn_results; });
+  if (it == snapshots.begin()) return nullptr;
+  return &*std::prev(it);
+}
+
+SnapshotPlan build_snapshot_plan(const ir::Module& module,
+                                 uint64_t total_results, uint64_t fuel,
+                                 uint32_t entry, uint64_t max_snapshots,
+                                 uint64_t bytes_budget,
+                                 ir::InstRef occ_target) {
+  SnapshotPlan plan;
+  if (max_snapshots == 0 || total_results == 0) return plan;
+  plan.interval = total_results / (max_snapshots + 1) + 1;
+  plan.occ_target = occ_target;
+
+  interp::Interpreter interp(module);
+  OccurrenceIndexRecorder recorder(occ_target);
+  interp::RunOptions options;
+  options.fuel = fuel;
+  options.snapshot_interval = plan.interval;
+  options.snapshots = &plan.snapshots;
+  if (occ_target.valid()) options.hooks = &recorder;
+  if (entry == ir::kNoFunc) {
+    interp.run_main(options);
+  } else {
+    interp.run(entry, {}, options);
+  }
+  if (occ_target.valid()) plan.occurrence_dyn_index = recorder.take();
+
+  for (const auto& s : plan.snapshots) plan.bytes += s.bytes();
+  // Thin to the byte budget: dropping every other snapshot keeps the
+  // grid uniform, merely coarser. Never silently blow the budget — if
+  // even one snapshot is too big, run without snapshots.
+  while (plan.bytes > bytes_budget && !plan.snapshots.empty()) {
+    std::vector<interp::Snapshot> kept;
+    kept.reserve(plan.snapshots.size() / 2 + 1);
+    for (size_t i = 1; i < plan.snapshots.size(); i += 2) {
+      kept.push_back(std::move(plan.snapshots[i]));
+    }
+    plan.snapshots = std::move(kept);
+    plan.interval *= 2;
+    plan.bytes = 0;
+    for (const auto& s : plan.snapshots) plan.bytes += s.bytes();
+  }
+  return plan;
+}
+
+TrialRunner::TrialRunner(const ir::Module& module,
+                         const prof::Profile& profile, uint32_t entry,
+                         const SnapshotPlan* snapshots)
+    : module_(module),
+      profile_(profile),
+      entry_(entry),
+      snapshots_(snapshots),
+      interp_(module) {}
+
+Trial TrialRunner::run(const InjectionSite& site, uint64_t fuel) {
+  Injector injector(module_, site);
+  interp::RunOptions options;
+  options.fuel = fuel;
+  options.hooks = &injector;
+
+  const interp::Snapshot* snap = nullptr;
+  if (snapshots_ != nullptr && site.mode == InjectionSite::Mode::DynIndex) {
+    snap = snapshots_->latest_at_or_before(site.dyn_index);
+  }
+  interp::RunResult res;
+  if (snap != nullptr) {
+    skipped_insts_ += snap->dyn_insts;
+    ++resumed_trials_;
+    res = interp_.resume(*snap, options);
+  } else if (entry_ == ir::kNoFunc) {
+    res = interp_.run_main(options);
+  } else {
+    res = interp_.run(entry_, {}, options);
+  }
+
+  Trial trial;
+  trial.target = injector.target();
+  trial.bit = injector.bit();
+  switch (res.outcome) {
+    case interp::Outcome::Ok:
+      trial.outcome = res.output == profile_.golden_output
+                          ? FIOutcome::Benign
+                          : FIOutcome::SDC;
+      break;
+    case interp::Outcome::Crash:
+      trial.outcome = FIOutcome::Crash;
+      break;
+    case interp::Outcome::Hang:
+      trial.outcome = FIOutcome::Hang;
+      break;
+    case interp::Outcome::Detected:
+      trial.outcome = FIOutcome::Detected;
+      break;
+  }
+  return trial;
+}
+
+}  // namespace trident::fi

@@ -1,0 +1,96 @@
+// Snapshot-and-resume trial execution engine for FI campaigns.
+//
+// A campaign's trials share one immutable SnapshotPlan: before the trial
+// loop, one instrumented golden run captures interpreter snapshots every
+// `interval` dynamic results (interval sized from the campaign's
+// snapshot budget). Each trial then restores the latest snapshot at or
+// before its injection's dynamic-result index and interprets only the
+// suffix, instead of re-running the fault-free prefix from instruction
+// zero — by construction everything before the injection site is
+// identical to the golden run, so the trial outcome is bit-identical
+// with snapshots on or off (fi/§V ground-truth campaigns run thousands
+// of such trials; this is the single biggest CPU sink in the repo).
+//
+// TrialRunner is the per-worker execution context: it owns a reusable
+// Interpreter (construction materializes all globals — reconstructing
+// per trial paid that twice per trial) and tallies how much interpreted
+// work the snapshots skipped, for the run-metrics manifest.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fi/campaign.h"
+#include "interp/interpreter.h"
+
+namespace trident::fi {
+
+/// The campaign-wide snapshot set: golden-run snapshots ascending by
+/// dyn_results, plus the occurrence -> dynamic-result-index map that
+/// lets per-instruction campaigns use them too. Immutable once built;
+/// shared read-only across worker threads.
+struct SnapshotPlan {
+  std::vector<interp::Snapshot> snapshots;
+  uint64_t interval = 0;  // dynamic results between captures
+  uint64_t bytes = 0;     // retained footprint (sum of Snapshot::bytes)
+
+  /// Occurrence campaigns inject into the k-th dynamic occurrence of one
+  /// static instruction; the injector counts occurrences from run start,
+  /// which a resumed run would miss. The golden run therefore records
+  /// the dynamic-result index of every occurrence of `occ_target`, and
+  /// the campaign rewrites Occurrence sites to equivalent DynIndex sites
+  /// (same instruction, same flipped bit) before the trial loop.
+  ir::InstRef occ_target;
+  std::vector<uint64_t> occurrence_dyn_index;
+
+  /// Latest snapshot with dyn_results <= dyn_index; nullptr when none
+  /// (the trial runs from scratch).
+  const interp::Snapshot* latest_at_or_before(uint64_t dyn_index) const;
+};
+
+/// Builds the snapshot plan with one instrumented golden run of `entry`
+/// (kNoFunc = main). The capture interval targets at most max_snapshots
+/// snapshots over `total_results` injection sites, and the captured set
+/// is thinned (every other snapshot dropped, keeping the grid uniform)
+/// until it fits bytes_budget. max_snapshots == 0 disables snapshots
+/// entirely (empty plan).
+SnapshotPlan build_snapshot_plan(const ir::Module& module,
+                                 uint64_t total_results, uint64_t fuel,
+                                 uint32_t entry, uint64_t max_snapshots,
+                                 uint64_t bytes_budget,
+                                 ir::InstRef occ_target = {});
+
+/// Per-worker trial execution context. Not thread-safe; create one per
+/// worker and reuse it across that worker's trials.
+class TrialRunner {
+ public:
+  /// `snapshots` may be nullptr (every trial runs from scratch) and must
+  /// outlive the runner.
+  TrialRunner(const ir::Module& module, const prof::Profile& profile,
+              uint32_t entry, const SnapshotPlan* snapshots);
+
+  /// Runs one injection trial under `fuel` and classifies it against the
+  /// golden output. DynIndex sites resume from the snapshot plan;
+  /// Occurrence sites always run from scratch (campaigns rewrite them to
+  /// DynIndex sites when a plan is available).
+  Trial run(const InjectionSite& site, uint64_t fuel);
+
+  /// Golden-run dynamic instructions skipped via snapshot resume,
+  /// accumulated across this runner's trials.
+  uint64_t skipped_insts() const { return skipped_insts_; }
+  /// Trials that resumed from a snapshot (vs. ran from scratch).
+  uint64_t resumed_trials() const { return resumed_trials_; }
+
+  const interp::Interpreter& interp() const { return interp_; }
+
+ private:
+  const ir::Module& module_;
+  const prof::Profile& profile_;
+  uint32_t entry_;
+  const SnapshotPlan* snapshots_;
+  interp::Interpreter interp_;
+  uint64_t skipped_insts_ = 0;
+  uint64_t resumed_trials_ = 0;
+};
+
+}  // namespace trident::fi

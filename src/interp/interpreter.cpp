@@ -1,8 +1,10 @@
 #include "interp/interpreter.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <limits>
 
 #include "ir/eval.h"
@@ -28,23 +30,25 @@ const char* outcome_name(Outcome o) {
   return "?";
 }
 
-struct Interpreter::Frame {
-  uint32_t func = 0;
-  std::vector<uint64_t> regs;
-  std::vector<uint64_t> args;
-  uint32_t block = 0;
-  uint32_t prev_block = ir::kNoBlock;
-  uint32_t cursor = 0;
-  std::vector<uint64_t> allocas;
-  uint32_t ret_to_inst = ir::kNoBlock;  // call inst id in the caller
-};
+uint64_t Snapshot::bytes() const {
+  uint64_t b = sizeof(Snapshot) + output.size() + debug_output.size() +
+               global_bases.size() * sizeof(uint64_t);
+  for (const auto& fr : stack) {
+    b += sizeof(Frame) +
+         (fr.regs.size() + fr.args.size() + fr.allocas.size()) *
+             sizeof(uint64_t);
+  }
+  // Segment payloads plus a map-node estimate per segment.
+  b += memory.bytes_live() + memory.segment_count() * 64;
+  return b;
+}
 
 Interpreter::Interpreter(const ir::Module& module) : module_(module) {
   reset_globals();
 }
 
 void Interpreter::reset_globals() {
-  memory_ = Memory();
+  memory_.clear();
   global_bases_.clear();
   global_bases_.reserve(module_.globals.size());
   for (const auto& g : module_.globals) {
@@ -78,13 +82,61 @@ RunResult Interpreter::run_main(const RunOptions& options) {
   return run(*main_id, {}, options);
 }
 
+Snapshot Interpreter::snapshot() const {
+  Snapshot s;
+  if (live_result_ != nullptr) {
+    s.dyn_insts = live_result_->dynamic_insts;
+    s.dyn_results = live_result_->dynamic_results;
+    s.output = live_result_->output;
+    s.debug_output = live_result_->debug_output;
+    s.stack = *live_stack_;
+  }
+  s.memory = memory_;
+  s.global_bases = global_bases_;
+  return s;
+}
+
 RunResult Interpreter::run(uint32_t func_id, std::span<const uint64_t> args,
                            const RunOptions& options) {
-  RunResult res;
-  reset_globals();
-  auto* hooks = options.hooks;
+  // The constructor already materialized the globals; only a previous
+  // run/resume makes the state dirty enough to need a rebuild.
+  if (!pristine_) reset_globals();
+  pristine_ = false;
 
   std::vector<Frame> stack;
+  Frame fr;
+  fr.func = func_id;
+  fr.regs.assign(module_.functions[func_id].insts.size(), 0);
+  fr.args.assign(args.begin(), args.end());
+  stack.push_back(std::move(fr));
+  return run_loop(RunResult{}, std::move(stack), options);
+}
+
+RunResult Interpreter::resume(const Snapshot& s, const RunOptions& options) {
+  RunResult res;
+  res.dynamic_insts = s.dyn_insts;
+  res.dynamic_results = s.dyn_results;
+  res.output = s.output;
+  res.debug_output = s.debug_output;
+  memory_ = s.memory;  // copy-assign keeps this object's cache stats
+  global_bases_ = s.global_bases;
+  pristine_ = false;
+  return run_loop(std::move(res), s.stack, options);
+}
+
+RunResult Interpreter::run_loop(RunResult res, std::vector<Frame> stack,
+                                const RunOptions& options) {
+  auto* hooks = options.hooks;
+  live_result_ = &res;
+  live_stack_ = &stack;
+  struct LiveReset {
+    Interpreter* self;
+    ~LiveReset() {
+      self->live_result_ = nullptr;
+      self->live_stack_ = nullptr;
+    }
+  } live_reset{this};
+
   const auto push_frame = [&](uint32_t f, std::vector<uint64_t> fargs,
                               uint32_t ret_to) {
     Frame fr;
@@ -94,7 +146,6 @@ RunResult Interpreter::run(uint32_t func_id, std::span<const uint64_t> args,
     fr.ret_to_inst = ret_to;
     stack.push_back(std::move(fr));
   };
-  push_frame(func_id, {args.begin(), args.end()}, ir::kNoBlock);
 
   const auto crash = [&](std::string reason) {
     res.outcome = Outcome::Crash;
@@ -155,8 +206,25 @@ RunResult Interpreter::run(uint32_t func_id, std::span<const uint64_t> args,
     return do_phis(fr);
   };
 
+  // Snapshot schedule: capture at the first instruction boundary at or
+  // after every multiple of the interval. Boundaries keep the captured
+  // state trivially consistent (phis of the current block are done, the
+  // cursor names the next instruction to execute).
+  const uint64_t snap_interval =
+      options.snapshots != nullptr ? options.snapshot_interval : 0;
+  uint64_t next_snapshot_at =
+      snap_interval != 0
+          ? (res.dynamic_results / snap_interval + 1) * snap_interval
+          : 0;
+
   std::vector<uint64_t> ops;
   while (!stack.empty()) {
+    if (next_snapshot_at != 0 && res.dynamic_results >= next_snapshot_at) {
+      options.snapshots->push_back(snapshot());
+      next_snapshot_at =
+          (res.dynamic_results / snap_interval + 1) * snap_interval;
+    }
+
     Frame& fr = stack.back();
     const auto& func = module_.functions[fr.func];
     assert(fr.cursor < func.blocks[fr.block].insts.size());
@@ -362,21 +430,40 @@ RunResult Interpreter::run(uint32_t func_id, std::span<const uint64_t> args,
         break;
       }
       case ir::Opcode::Memcpy: {
+        // One range validation per side, then a bulk copy — the per-byte
+        // semantics (each byte: read checked, then write checked; every
+        // byte before the first invalid one is committed; forward copy
+        // order, so an overlapping dst > src copy replicates the prefix)
+        // are preserved exactly, including the crash reason and address
+        // of the first out-of-bounds byte.
         const uint64_t dst = ops[0], src = ops[1];
-        for (uint64_t i = 0; i < inst.imm; ++i) {
-          uint64_t byte = 0;
-          if (!memory_.load(src + i, 1, byte)) {
-            crash(support::format("out-of-bounds memcpy read at 0x%llx",
-                                  static_cast<unsigned long long>(src + i)));
-            return res;
-          }
-          if (!memory_.store(dst + i, 1, byte)) {
-            crash(support::format("out-of-bounds memcpy write at 0x%llx",
-                                  static_cast<unsigned long long>(dst + i)));
-            return res;
+        const uint64_t n = inst.imm;
+        const uint8_t* sp = nullptr;
+        uint8_t* dp = nullptr;
+        const uint64_t s_avail = memory_.span(src, &sp);
+        const uint64_t d_avail = memory_.span(dst, &dp);
+        const uint64_t ok = std::min({n, s_avail, d_avail});
+        if (ok != 0) {
+          const bool overlap = dst < src + ok && src < dst + ok;
+          if (!overlap || dst <= src) {
+            std::memmove(dp, sp, ok);
+          } else {
+            for (uint64_t i = 0; i < ok; ++i) dp[i] = sp[i];
           }
         }
-        if (hooks != nullptr) hooks->on_memcpy(ref, dst, src, inst.imm);
+        if (ok < n) {
+          if (s_avail == ok) {
+            crash(support::format(
+                "out-of-bounds memcpy read at 0x%llx",
+                static_cast<unsigned long long>(src + ok)));
+          } else {
+            crash(support::format(
+                "out-of-bounds memcpy write at 0x%llx",
+                static_cast<unsigned long long>(dst + ok)));
+          }
+          return res;
+        }
+        if (hooks != nullptr) hooks->on_memcpy(ref, dst, src, n);
         break;
       }
       case ir::Opcode::Gep: {

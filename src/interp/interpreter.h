@@ -5,6 +5,15 @@
 // declared width; floats are stored as their IEEE encodings. This uniform
 // representation is what makes single-bit-flip injection (fi/) and
 // bit-level propagation reasoning (core/tuples) exact.
+//
+// Execution state is explicitly serializable: a Snapshot captures the
+// complete mid-run state (frame stack, memory, global bases, output
+// streams, dynamic counters) at an instruction boundary, and resume()
+// continues from it bit-identically to having run straight through. FI
+// campaigns use this to skip the fault-free prefix of every trial
+// (fi/trial_runner); the invariants that make resume exact are that the
+// interpreter is fully deterministic and that RunResult carries no host
+// state (see docs/MODEL.md, "Trial execution engine").
 #pragma once
 
 #include <cstdint>
@@ -89,10 +98,51 @@ class ExecHooks {
   }
 };
 
+class Interpreter;
+
 struct RunOptions {
   uint64_t fuel = 500'000'000;   // dynamic-instruction budget before Hang
   uint32_t max_call_depth = 4096;
   ExecHooks* hooks = nullptr;
+  /// Snapshot recording: when both fields are set, the run appends a
+  /// Snapshot to *snapshots at the first instruction boundary at or
+  /// after every multiple of snapshot_interval dynamic results. The
+  /// recorded snapshots resume bit-identically (same outcome, output,
+  /// counters, crash addresses) to having run straight through.
+  uint64_t snapshot_interval = 0;
+  std::vector<struct Snapshot>* snapshots = nullptr;
+};
+
+/// One call frame of the interpreter, exposed so Snapshot can carry the
+/// whole stack. Plain data; nothing here references host memory.
+struct Frame {
+  uint32_t func = 0;
+  std::vector<uint64_t> regs;
+  std::vector<uint64_t> args;
+  uint32_t block = 0;
+  uint32_t prev_block = ir::kNoBlock;
+  uint32_t cursor = 0;
+  std::vector<uint64_t> allocas;
+  uint32_t ret_to_inst = ir::kNoBlock;  // call inst id in the caller
+};
+
+/// Complete interpreter state at an instruction boundary. Everything a
+/// run can observe is here: the frame stack, the full address space
+/// (including the bump-allocator cursor, so later allocas get identical
+/// bases), the global bases, both output streams and the dynamic
+/// counters. Snapshots are value types — immutable once captured and
+/// safe to share read-only across worker threads.
+struct Snapshot {
+  uint64_t dyn_insts = 0;
+  uint64_t dyn_results = 0;  // next on_result index when resumed
+  std::vector<Frame> stack;
+  Memory memory;
+  std::vector<uint64_t> global_bases;
+  std::string output;
+  std::string debug_output;
+
+  /// Approximate heap footprint, for snapshot-set memory budgeting.
+  uint64_t bytes() const;
 };
 
 class Interpreter {
@@ -106,21 +156,41 @@ class Interpreter {
   /// Convenience: runs the function named "main" with no arguments.
   RunResult run_main(const RunOptions& options = {});
 
+  /// Captures the current state. Before any run this is the pristine
+  /// module state (globals materialized, empty stack); the snapshot
+  /// machinery of RunOptions uses it at instruction boundaries mid-run.
+  Snapshot snapshot() const;
+
+  /// Continues execution from `s` as if the original run had never
+  /// stopped: the returned RunResult (outcome, full output, counters,
+  /// crash reason) is bit-identical to a straight-through run with the
+  /// same options. The snapshot is not consumed — many trials can
+  /// resume from one shared snapshot.
+  RunResult resume(const Snapshot& s, const RunOptions& options);
+
   /// Base address of global `index` (valid after construction; globals
-  /// are materialized once and reset on every run()).
+  /// are materialized once and reset before a run only when a previous
+  /// run or resume dirtied them).
   uint64_t global_base(uint32_t index) const { return global_bases_[index]; }
 
   const Memory& memory() const { return memory_; }
 
  private:
-  struct Frame;
-
   void reset_globals();
+  RunResult run_loop(RunResult res, std::vector<Frame> stack,
+                     const RunOptions& options);
   uint64_t eval(const Frame& frame, const ir::Value& v) const;
 
   const ir::Module& module_;
   Memory memory_;
   std::vector<uint64_t> global_bases_;
+  // Whether memory/globals still hold the untouched post-construction
+  // state; lets the first run() skip the redundant re-materialization.
+  bool pristine_ = true;
+  // Live run state, set for the duration of run_loop so snapshot() can
+  // capture mid-run state at boundaries.
+  const RunResult* live_result_ = nullptr;
+  const std::vector<Frame>* live_stack_ = nullptr;
 };
 
 }  // namespace trident::interp

@@ -1,15 +1,52 @@
 #include "interp/memory.h"
 
 #include <cassert>
+#include <utility>
 
 namespace trident::interp {
 
 namespace {
 constexpr uint64_t kGuardGap = 64;     // bytes of dead space between segments
 constexpr uint64_t kAlignment = 16;
+constexpr uint64_t kFirstBase = 0x10000000;
 }  // namespace
 
 Memory::Memory() = default;
+
+Memory::Memory(const Memory& other)
+    : segments_(other.segments_),
+      next_(other.next_),
+      bytes_live_(other.bytes_live_) {}
+
+Memory::Memory(Memory&& other) noexcept
+    : segments_(std::move(other.segments_)),
+      next_(other.next_),
+      bytes_live_(other.bytes_live_),
+      cache_lookups_(other.cache_lookups_),
+      cache_hits_(other.cache_hits_) {
+  other.cache_seg_ = nullptr;
+}
+
+Memory& Memory::operator=(const Memory& other) {
+  if (this != &other) {
+    segments_ = other.segments_;
+    next_ = other.next_;
+    bytes_live_ = other.bytes_live_;
+    cache_seg_ = nullptr;  // would point into `other`'s map
+  }
+  return *this;
+}
+
+Memory& Memory::operator=(Memory&& other) noexcept {
+  if (this != &other) {
+    segments_ = std::move(other.segments_);
+    next_ = other.next_;
+    bytes_live_ = other.bytes_live_;
+    cache_seg_ = nullptr;
+    other.cache_seg_ = nullptr;
+  }
+  return *this;
+}
 
 uint64_t Memory::allocate(uint64_t size) {
   assert(size > 0);
@@ -26,15 +63,31 @@ void Memory::free(uint64_t base) {
   const auto it = segments_.find(base);
   assert(it != segments_.end() && "freeing unknown segment");
   bytes_live_ -= it->second.size;
+  if (cache_seg_ == &it->second) cache_seg_ = nullptr;
   segments_.erase(it);
 }
 
+void Memory::clear() {
+  segments_.clear();
+  next_ = kFirstBase;
+  bytes_live_ = 0;
+  cache_seg_ = nullptr;
+}
+
 const Memory::Segment* Memory::find(uint64_t addr, uint64_t& offset) const {
+  ++cache_lookups_;
+  if (cache_seg_ != nullptr && addr - cache_base_ < cache_seg_->size) {
+    ++cache_hits_;
+    offset = addr - cache_base_;
+    return cache_seg_;
+  }
   auto it = segments_.upper_bound(addr);
   if (it == segments_.begin()) return nullptr;
   --it;
   if (addr - it->first >= it->second.size) return nullptr;
   offset = addr - it->first;
+  cache_base_ = it->first;
+  cache_seg_ = &it->second;
   return &it->second;
 }
 
@@ -64,6 +117,22 @@ bool Memory::store(uint64_t addr, unsigned bytes, uint64_t value) {
     seg->data[offset + i] = static_cast<uint8_t>(value >> (8 * i));
   }
   return true;
+}
+
+uint64_t Memory::span(uint64_t addr, const uint8_t** ptr) const {
+  uint64_t offset = 0;
+  const auto* seg = find(addr, offset);
+  if (seg == nullptr) return 0;
+  *ptr = seg->data.data() + offset;
+  return seg->size - offset;
+}
+
+uint64_t Memory::span(uint64_t addr, uint8_t** ptr) {
+  uint64_t offset = 0;
+  auto* seg = const_cast<Segment*>(find(addr, offset));
+  if (seg == nullptr) return 0;
+  *ptr = seg->data.data() + offset;
+  return seg->size - offset;
 }
 
 std::vector<std::pair<uint64_t, uint64_t>> Memory::segments() const {

@@ -10,6 +10,11 @@
 // The segment map also backs the profiler's crash-probability estimate
 // for corrupted addresses (paper §IV-C: "profiling memory size allocated
 // for the program").
+//
+// Lookups go through a one-entry most-recently-hit segment cache:
+// programs touch the same array for long stretches, so the cache turns
+// the per-access std::map::upper_bound into two compares on the hot
+// path. Hit statistics are exposed for the run-metrics manifest.
 #pragma once
 
 #include <cstdint>
@@ -21,12 +26,28 @@ namespace trident::interp {
 class Memory {
  public:
   Memory();
+  // Copying is how interpreter snapshots capture and restore the
+  // address space. Cache statistics describe the accesses made THROUGH
+  // a Memory object, not its contents: a copy-constructed Memory starts
+  // its tallies at zero, and copy-assignment replaces the contents but
+  // keeps the assignee's accumulated tallies (so a per-worker
+  // interpreter that restores a snapshot per trial still reports one
+  // coherent hit rate across the whole campaign).
+  Memory(const Memory& other);
+  Memory(Memory&& other) noexcept;
+  Memory& operator=(const Memory& other);
+  Memory& operator=(Memory&& other) noexcept;
 
   /// Allocates a fresh zero-initialized segment; returns its base address.
   uint64_t allocate(uint64_t size);
 
   /// Frees the segment with the given base (asserts it exists).
   void free(uint64_t base);
+
+  /// Drops every segment and rewinds the bump allocator to its initial
+  /// state (cheaper than assigning a fresh Memory, and keeps the cache
+  /// statistics, which belong to the object rather than its contents).
+  void clear();
 
   /// Little-endian load/store of 1/2/4/8 bytes. Returns false on an
   /// access violation (address range not inside one live segment).
@@ -36,11 +57,27 @@ class Memory {
   /// Whether [addr, addr+bytes) lies inside one live segment.
   bool valid(uint64_t addr, unsigned bytes) const;
 
+  /// Contiguous bytes addressable from `addr` to the end of its segment
+  /// (0 when addr is outside every live segment). On success *ptr points
+  /// at addr's byte; the pointer is invalidated by allocate/free/clear/
+  /// assignment. Backs bulk operations (memcpy): one range validation
+  /// per side instead of a map lookup per byte.
+  uint64_t span(uint64_t addr, const uint8_t** ptr) const;
+  uint64_t span(uint64_t addr, uint8_t** ptr);
+
   /// Live segments as (base, size) pairs, ascending by base.
   std::vector<std::pair<uint64_t, uint64_t>> segments() const;
 
   /// Total bytes currently allocated.
   uint64_t bytes_live() const { return bytes_live_; }
+
+  /// Number of live segments.
+  uint64_t segment_count() const { return segments_.size(); }
+
+  /// One-entry lookup-cache statistics (every load/store/valid/span is
+  /// one lookup). Reported as interp.memcache.* in campaign manifests.
+  uint64_t cache_lookups() const { return cache_lookups_; }
+  uint64_t cache_hits() const { return cache_hits_; }
 
  private:
   struct Segment {
@@ -49,12 +86,20 @@ class Memory {
   };
 
   // Locates the segment containing addr; nullptr if none. `offset`
-  // receives addr - base.
+  // receives addr - base. Consults and refills the one-entry cache.
   const Segment* find(uint64_t addr, uint64_t& offset) const;
 
   std::map<uint64_t, Segment> segments_;  // base -> segment
   uint64_t next_ = 0x10000000;
   uint64_t bytes_live_ = 0;
+
+  // Last segment hit (map nodes are pointer-stable; invalidated on
+  // free/clear/assignment). `cache_base_` only has meaning while
+  // `cache_seg_` is non-null.
+  mutable uint64_t cache_base_ = 0;
+  mutable const Segment* cache_seg_ = nullptr;
+  mutable uint64_t cache_lookups_ = 0;
+  mutable uint64_t cache_hits_ = 0;
 };
 
 }  // namespace trident::interp

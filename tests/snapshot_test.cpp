@@ -1,0 +1,512 @@
+// Snapshot-and-resume trial execution: interpreter snapshots must resume
+// bit-identically to running straight through, campaigns with snapshots
+// enabled must produce byte-identical CampaignResults to snapshots-off
+// at any thread count and across checkpoint resume, and the memory
+// fast paths (one-entry segment cache, bulk memcpy) must preserve exact
+// crash and overlap semantics.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "fi/campaign.h"
+#include "fi/injector.h"
+#include "fi/trial_runner.h"
+#include "interp/interpreter.h"
+#include "ir/builder.h"
+#include "profiler/profiler.h"
+#include "support/rng.h"
+#include "workloads/common.h"
+
+namespace trident {
+namespace {
+
+using ir::IRBuilder;
+using ir::Module;
+using ir::Type;
+using ir::Value;
+
+// A module with enough state to make snapshot bugs visible: initialized
+// globals, a helper call, allocas, a memcpy, data-dependent branches and
+// output spread across the whole run.
+Module make_stateful() {
+  Module m;
+  const auto gt = m.add_global({"table", 32 * 4, {}});
+  const auto gs = m.add_global({"shadow", 32 * 4, {}});
+  IRBuilder b(m);
+
+  const auto mix = b.begin_function("mix", {Type::i64()}, Type::i64());
+  b.set_block(b.block("entry"));
+  const Value x = b.arg(0);
+  const Value h =
+      b.mul(b.xor_(x, b.lshr(x, b.i64(3))), b.i64(2654435761ull));
+  b.ret(b.urem(h, b.i64(1000003)));
+  b.end_function();
+
+  b.begin_function("main", {}, Type::void_());
+  b.set_block(b.block("entry"));
+  const Value t = b.global(gt);
+  workloads::lcg_fill_i32(b, t, 32, 7, 977);
+  b.memcpy_(b.global(gs), t, 32 * 4);
+  const Value acc = b.alloca_(8, "acc");
+  b.store(b.i64(1), acc);
+  workloads::counted_loop(b, 0, 40, 1, [&](Value i) {
+    const Value idx = b.urem(i, b.i32(32));
+    const Value cell = b.gep(b.global(gs), idx, 4);
+    const Value v = b.zext(b.load(Type::i32(), cell), Type::i64());
+    const Value a0 = b.load(Type::i64(), acc);
+    const Value a1 = b.call(mix, {b.add(a0, v)});
+    b.store(a1, acc);
+    b.store(b.trunc(a1, Type::i32()), cell);
+    workloads::if_then(b, b.icmp(ir::CmpPred::Eq, b.urem(i, b.i32(8)),
+                                 b.i32(0)),
+                       [&] { b.print_uint(b.load(Type::i64(), acc)); });
+  });
+  b.print_uint(b.load(Type::i64(), acc));
+  b.ret();
+  b.end_function();
+  return m;
+}
+
+void expect_same_run(const interp::RunResult& a, const interp::RunResult& b) {
+  EXPECT_EQ(a.outcome, b.outcome);
+  EXPECT_EQ(a.output, b.output);
+  EXPECT_EQ(a.debug_output, b.debug_output);
+  EXPECT_EQ(a.dynamic_insts, b.dynamic_insts);
+  EXPECT_EQ(a.dynamic_results, b.dynamic_results);
+  EXPECT_EQ(a.ret_raw, b.ret_raw);
+  EXPECT_EQ(a.crash_reason, b.crash_reason);
+}
+
+void expect_identical(const fi::CampaignResult& a,
+                      const fi::CampaignResult& b) {
+  ASSERT_EQ(a.trials.size(), b.trials.size());
+  EXPECT_EQ(a.sdc, b.sdc);
+  EXPECT_EQ(a.benign, b.benign);
+  EXPECT_EQ(a.crash, b.crash);
+  EXPECT_EQ(a.hang, b.hang);
+  EXPECT_EQ(a.detected, b.detected);
+  EXPECT_EQ(a.fuel_exhausted, b.fuel_exhausted);
+  for (size_t i = 0; i < a.trials.size(); ++i) {
+    EXPECT_EQ(a.trials[i].target, b.trials[i].target) << "slot " << i;
+    EXPECT_EQ(a.trials[i].bit, b.trials[i].bit) << "slot " << i;
+    EXPECT_EQ(a.trials[i].outcome, b.trials[i].outcome) << "slot " << i;
+    EXPECT_EQ(a.trials[i].fuel_exhausted, b.trials[i].fuel_exhausted)
+        << "slot " << i;
+  }
+}
+
+TEST(InterpSnapshot, ResumeIsBitIdenticalFromEveryCapturedBoundary) {
+  const auto m = make_stateful();
+  interp::Interpreter golden(m);
+  const auto reference = golden.run_main({});
+  ASSERT_EQ(reference.outcome, interp::Outcome::Ok) << reference.crash_reason;
+  ASSERT_GT(reference.dynamic_results, 100u);
+
+  std::vector<interp::Snapshot> snapshots;
+  interp::RunOptions recording;
+  recording.snapshot_interval = 17;
+  recording.snapshots = &snapshots;
+  interp::Interpreter recorder(m);
+  expect_same_run(recorder.run_main(recording), reference);
+  ASSERT_GT(snapshots.size(), 3u);
+
+  interp::Interpreter resumer(m);
+  for (const auto& s : snapshots) {
+    EXPECT_LE(s.dyn_results, reference.dynamic_results);
+    expect_same_run(resumer.resume(s, {}), reference);
+  }
+  // A snapshot is not consumed: resuming from the same one again, with a
+  // dirty interpreter, is still exact.
+  expect_same_run(resumer.resume(snapshots.front(), {}), reference);
+}
+
+TEST(InterpSnapshot, PristineSnapshotCapturesConstructedState) {
+  const auto m = make_stateful();
+  interp::Interpreter interp(m);
+  const auto pristine = interp.snapshot();
+  EXPECT_EQ(pristine.dyn_insts, 0u);
+  EXPECT_TRUE(pristine.stack.empty());
+  EXPECT_TRUE(pristine.output.empty());
+  EXPECT_EQ(pristine.memory.bytes_live(), interp.memory().bytes_live());
+  EXPECT_EQ(pristine.global_bases.size(), m.globals.size());
+  EXPECT_GT(pristine.bytes(), pristine.memory.bytes_live());
+  // An empty frame stack means "nothing left to execute": resuming it
+  // completes immediately without running any instruction.
+  const auto resumed = interp.resume(pristine, {});
+  EXPECT_EQ(resumed.outcome, interp::Outcome::Ok);
+  EXPECT_EQ(resumed.dynamic_insts, 0u);
+  EXPECT_TRUE(resumed.output.empty());
+}
+
+// Regression for the double global materialization: state must be fully
+// usable right after construction (globals live and initialized, bases
+// valid), and the first run() must not depend on a redundant reset.
+TEST(InterpSnapshot, GlobalsAreMaterializedOnceAtConstruction) {
+  const auto m = make_stateful();
+  interp::Interpreter interp(m);
+  EXPECT_EQ(interp.memory().bytes_live(), 32u * 4 + 32u * 4);
+  EXPECT_EQ(interp.memory().segment_count(), 2u);
+  uint64_t probe = 0;
+  EXPECT_TRUE(interp.memory().load(interp.global_base(0), 4, probe));
+  EXPECT_NE(interp.global_base(0), interp.global_base(1));
+
+  // First run, and a second run over the dirtied state, both match a
+  // fresh interpreter.
+  const auto first = interp.run_main({});
+  const auto second = interp.run_main({});
+  expect_same_run(first, second);
+  expect_same_run(first, interp::Interpreter(m).run_main({}));
+}
+
+TEST(InterpSnapshot, ResumedInjectionMatchesScratchInjection) {
+  const auto m = make_stateful();
+  interp::Interpreter golden(m);
+  const auto reference = golden.run_main({});
+
+  std::vector<interp::Snapshot> snapshots;
+  interp::RunOptions recording;
+  recording.snapshot_interval = 23;
+  recording.snapshots = &snapshots;
+  interp::Interpreter(m).run_main(recording);
+  ASSERT_FALSE(snapshots.empty());
+
+  auto rng = support::Rng::stream(5150, 0);
+  for (int k = 0; k < 40; ++k) {
+    fi::InjectionSite site;
+    site.mode = fi::InjectionSite::Mode::DynIndex;
+    site.dyn_index = rng.next_below(reference.dynamic_results);
+    site.bit_entropy = rng.next_u64();
+
+    fi::Injector scratch_inj(m, site);
+    interp::RunOptions scratch_opts;
+    scratch_opts.hooks = &scratch_inj;
+    interp::Interpreter scratch(m);
+    const auto want = scratch.run_main(scratch_opts);
+
+    const interp::Snapshot* snap = nullptr;
+    for (const auto& s : snapshots) {
+      if (s.dyn_results <= site.dyn_index) snap = &s;
+    }
+    if (snap == nullptr) continue;
+    fi::Injector resumed_inj(m, site);
+    interp::RunOptions resumed_opts;
+    resumed_opts.hooks = &resumed_inj;
+    interp::Interpreter resumer(m);
+    expect_same_run(resumer.resume(*snap, resumed_opts), want);
+    EXPECT_EQ(resumed_inj.target(), scratch_inj.target()) << "site " << k;
+    EXPECT_EQ(resumed_inj.bit(), scratch_inj.bit()) << "site " << k;
+  }
+}
+
+TEST(CampaignSnapshots, RandomIntervalsAreBitIdenticalToSnapshotsOff) {
+  const auto m = make_stateful();
+  const auto profile = prof::collect_profile(m);
+
+  fi::CampaignOptions off;
+  off.trials = 120;
+  off.seed = 33;
+  off.threads = 1;
+  off.max_snapshots = 0;
+  const auto reference = fi::run_overall_campaign(m, profile, off);
+  ASSERT_EQ(reference.total(), 120u);
+
+  auto rng = support::Rng::stream(404, 0);
+  for (int round = 0; round < 6; ++round) {
+    const uint64_t max_snapshots = 1 + rng.next_below(97);
+    for (const uint32_t threads : {1u, 8u}) {
+      auto on = off;
+      on.max_snapshots = max_snapshots;
+      on.threads = threads;
+      obs::Registry metrics;
+      on.metrics = &metrics;
+      const auto got = fi::run_overall_campaign(m, profile, on);
+      expect_identical(got, reference);
+      EXPECT_GT(metrics.counter("fi.snapshot_count"), 0u)
+          << "max_snapshots " << max_snapshots;
+      EXPECT_GT(metrics.counter("fi.snapshot_resumed_trials"), 0u);
+      EXPECT_GT(metrics.counter("fi.snapshot_skipped_insts"), 0u);
+      EXPECT_LE(metrics.counter("fi.snapshot_count"), max_snapshots);
+    }
+  }
+}
+
+TEST(CampaignSnapshots, InstructionCampaignIsBitIdenticalToSnapshotsOff) {
+  const auto m = make_stateful();
+  const auto profile = prof::collect_profile(m);
+  // A store in the main loop body: many dynamic occurrences.
+  ir::InstRef target;
+  uint64_t best = 0;
+  const auto& main_fn = m.functions.back();
+  for (uint32_t i = 0; i < main_fn.num_insts(); ++i) {
+    const ir::InstRef ref{static_cast<uint32_t>(m.functions.size() - 1), i};
+    if (main_fn.inst(i).has_result() && profile.exec(ref) > best) {
+      best = profile.exec(ref);
+      target = ref;
+    }
+  }
+  ASSERT_GT(best, 10u);
+
+  fi::CampaignOptions off;
+  off.trials = 100;
+  off.seed = 77;
+  off.threads = 1;
+  off.max_snapshots = 0;
+  const auto reference = fi::run_instruction_campaign(m, profile, target, off);
+
+  for (const uint32_t threads : {1u, 8u}) {
+    auto on = off;
+    on.max_snapshots = 16;
+    on.threads = threads;
+    obs::Registry metrics;
+    on.metrics = &metrics;
+    const auto got = fi::run_instruction_campaign(m, profile, target, on);
+    expect_identical(got, reference);
+    EXPECT_GT(metrics.counter("fi.snapshot_resumed_trials"), 0u);
+  }
+}
+
+TEST(CampaignSnapshots, ByteBudgetThinsWithinBudgetAndStaysExact) {
+  const auto m = make_stateful();
+  const auto profile = prof::collect_profile(m);
+
+  fi::CampaignOptions off;
+  off.trials = 80;
+  off.seed = 55;
+  off.threads = 1;
+  off.max_snapshots = 0;
+  const auto reference = fi::run_overall_campaign(m, profile, off);
+
+  // Generous, tight (forces thinning), and impossible (drops every
+  // snapshot) budgets: all bit-identical, all within budget.
+  interp::Interpreter probe(m);
+  const uint64_t one_snapshot = probe.snapshot().bytes();
+  for (const uint64_t budget :
+       {uint64_t{256} << 20, one_snapshot * 3, uint64_t{1}}) {
+    auto on = off;
+    on.max_snapshots = 64;
+    on.snapshot_bytes_budget = budget;
+    obs::Registry metrics;
+    on.metrics = &metrics;
+    expect_identical(fi::run_overall_campaign(m, profile, on), reference);
+    EXPECT_LE(metrics.counter("fi.snapshot_bytes"), budget);
+  }
+}
+
+std::string tmp_path(const std::string& name) {
+  const std::string path = ::testing::TempDir() + name;
+  std::remove(path.c_str());
+  return path;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  out << content;
+}
+
+std::vector<std::string> lines_of(const std::string& content) {
+  std::vector<std::string> lines;
+  size_t pos = 0;
+  while (true) {
+    const size_t nl = content.find('\n', pos);
+    if (nl == std::string::npos) break;
+    lines.push_back(content.substr(pos, nl - pos));
+    pos = nl + 1;
+  }
+  return lines;
+}
+
+TEST(CampaignSnapshots, ComposesWithCheckpointResumeAcrossIntervals) {
+  const auto m = make_stateful();
+  const auto profile = prof::collect_profile(m);
+
+  fi::CampaignOptions off;
+  off.trials = 90;
+  off.seed = 13;
+  off.threads = 1;
+  off.max_snapshots = 0;
+  const auto reference = fi::run_overall_campaign(m, profile, off);
+
+  // Full checkpointed run with one snapshot interval, "killed" after 31
+  // trials, resumed with a different interval (and thread count): the
+  // merged result must match the snapshots-off, checkpoint-free run.
+  const std::string full_path = tmp_path("snap_ckpt_full.jsonl");
+  auto first = off;
+  first.max_snapshots = 32;
+  first.checkpoint_path = full_path;
+  fi::run_overall_campaign(m, profile, first);
+  const auto lines = lines_of(read_file(full_path));
+  ASSERT_EQ(lines.size(), 1 + off.trials);
+
+  std::string cut;
+  for (size_t i = 0; i < 1 + 31; ++i) cut += lines[i] + "\n";
+  for (const uint64_t resumed_snapshots : {uint64_t{0}, uint64_t{5}}) {
+    for (const uint32_t threads : {1u, 8u}) {
+      const std::string path = tmp_path("snap_ckpt_cut.jsonl");
+      write_file(path, cut);
+      auto resume = off;
+      resume.max_snapshots = resumed_snapshots;
+      resume.threads = threads;
+      resume.checkpoint_path = path;
+      const auto merged = fi::run_overall_campaign(m, profile, resume);
+      EXPECT_EQ(merged.resumed, 31u);
+      expect_identical(merged, reference);
+    }
+  }
+}
+
+TEST(MemoryCache, HitsMissesAndFreeInvalidation) {
+  interp::Memory mem;
+  const uint64_t a = mem.allocate(64);
+  const uint64_t b = mem.allocate(64);
+  uint64_t v = 0;
+
+  ASSERT_TRUE(mem.load(a, 8, v));  // miss: fills the cache
+  ASSERT_TRUE(mem.load(a + 8, 8, v));
+  ASSERT_TRUE(mem.load(a + 56, 8, v));
+  EXPECT_EQ(mem.cache_lookups(), 3u);
+  EXPECT_EQ(mem.cache_hits(), 2u);
+
+  ASSERT_TRUE(mem.load(b, 8, v));      // different segment: miss
+  ASSERT_TRUE(mem.store(b + 8, 8, 1));  // hit
+  EXPECT_EQ(mem.cache_hits(), 3u);
+
+  // An address below the cached base must not hit (unsigned wrap check).
+  ASSERT_TRUE(mem.load(a, 8, v));
+  EXPECT_EQ(mem.cache_lookups(), 6u);
+  EXPECT_EQ(mem.cache_hits(), 3u);
+
+  // Freeing the cached segment invalidates the cache: the stale entry
+  // must not satisfy lookups for the dead range.
+  ASSERT_TRUE(mem.load(b, 8, v));  // cache b
+  mem.free(b);
+  EXPECT_FALSE(mem.load(b, 8, v));
+  EXPECT_FALSE(mem.valid(b, 1));
+  ASSERT_TRUE(mem.load(a, 8, v));  // a still fine
+
+  // Copy semantics: a copy starts stats at zero; copy-assignment keeps
+  // the assignee's tallies (per-worker hit rates stay coherent across
+  // snapshot restores).
+  interp::Memory copy(mem);
+  EXPECT_EQ(copy.cache_lookups(), 0u);
+  EXPECT_EQ(copy.bytes_live(), mem.bytes_live());
+  const uint64_t before = mem.cache_lookups();
+  mem = copy;
+  EXPECT_EQ(mem.cache_lookups(), before);
+  ASSERT_TRUE(mem.load(a, 8, v));
+  EXPECT_EQ(mem.cache_lookups(), before + 1);
+}
+
+TEST(MemoryCache, SpanExposesContiguousRange) {
+  interp::Memory mem;
+  const uint64_t a = mem.allocate(32);
+  ASSERT_TRUE(mem.store(a + 4, 4, 0xdeadbeef));
+  const uint8_t* p = nullptr;
+  EXPECT_EQ(mem.span(a, &p), 32u);
+  EXPECT_EQ(mem.span(a + 30, &p), 2u);
+  EXPECT_EQ(mem.span(a + 32, &p), 0u);
+  EXPECT_EQ(mem.span(a - 1, &p), 0u);
+  ASSERT_EQ(mem.span(a + 4, &p), 28u);
+  EXPECT_EQ(p[0], 0xef);
+  EXPECT_EQ(p[3], 0xde);
+}
+
+// Bulk memcpy must keep the per-byte semantics: forward copy order (an
+// overlapping dst > src copy replicates), bytes before the first fault
+// committed, and the exact crash reason/address of the first OOB byte.
+TEST(MemcpyBulk, OverlappingForwardCopyReplicates) {
+  Module m;
+  const auto ga = m.add_global({"a", 16, {}});
+  IRBuilder b(m);
+  b.begin_function("main", {}, Type::void_());
+  b.set_block(b.block("entry"));
+  const Value base = b.global(ga);
+  b.store(b.i8(1), base);
+  b.store(b.i8(2), b.gep(base, b.i32(1), 1));
+  // dst = a+2 overlaps src = a: forward byte order replicates the first
+  // two bytes across the rest of the buffer.
+  b.memcpy_(b.gep(base, b.i32(2), 1), base, 14);
+  workloads::counted_loop(b, 0, 16, 1, [&](Value i) {
+    b.print_uint(b.zext(b.load(Type::i8(), b.gep(base, i, 1)), Type::i64()));
+  });
+  b.ret();
+  b.end_function();
+  const auto res = interp::Interpreter(m).run_main({});
+  ASSERT_EQ(res.outcome, interp::Outcome::Ok) << res.crash_reason;
+  std::string want;
+  for (int i = 0; i < 16; ++i) want += (i % 2 == 0) ? "1\n" : "2\n";
+  EXPECT_EQ(res.output, want);
+}
+
+TEST(MemcpyBulk, CrashReportsFirstOutOfBoundsByteAndKeepsPrefix) {
+  // src has 8 valid bytes, dst 16: the copy must commit exactly 8 bytes
+  // and crash naming the first unreadable source byte.
+  Module m;
+  const auto gsrc = m.add_global({"src", 8, {}});
+  const auto gdst = m.add_global({"dst", 16, {}});
+  IRBuilder b(m);
+  b.begin_function("main", {}, Type::void_());
+  b.set_block(b.block("entry"));
+  workloads::counted_loop(b, 0, 8, 1, [&](Value i) {
+    b.store(b.trunc(b.add(i, b.i32(10)), Type::i8()),
+            b.gep(b.global(gsrc), i, 1));
+  });
+  b.memcpy_(b.global(gdst), b.global(gsrc), 16);
+  b.ret();
+  b.end_function();
+
+  interp::Interpreter interp(m);
+  const uint64_t src_base = interp.global_base(0);
+  const uint64_t dst_base = interp.global_base(1);
+  const auto res = interp.run_main({});
+  ASSERT_EQ(res.outcome, interp::Outcome::Crash);
+  char expect_addr[64];
+  std::snprintf(expect_addr, sizeof expect_addr,
+                "out-of-bounds memcpy read at 0x%llx",
+                static_cast<unsigned long long>(src_base + 8));
+  EXPECT_NE(res.crash_reason.find(expect_addr), std::string::npos)
+      << res.crash_reason;
+  // The 8 in-bounds bytes were committed before the fault.
+  for (uint64_t i = 0; i < 8; ++i) {
+    uint64_t v = 0;
+    ASSERT_TRUE(interp.memory().load(dst_base + i, 1, v));
+    EXPECT_EQ(v, 10 + i) << "byte " << i;
+  }
+}
+
+TEST(MemcpyBulk, CrashReportsFirstUnwritableByte) {
+  // dst shorter than src: fault is a write, at dst_base + dst_size.
+  Module m;
+  const auto gsrc = m.add_global({"src", 16, {}});
+  const auto gdst = m.add_global({"dst", 8, {}});
+  IRBuilder b(m);
+  b.begin_function("main", {}, Type::void_());
+  b.set_block(b.block("entry"));
+  b.memcpy_(b.global(gdst), b.global(gsrc), 16);
+  b.ret();
+  b.end_function();
+
+  interp::Interpreter interp(m);
+  const uint64_t dst_base = interp.global_base(1);
+  const auto res = interp.run_main({});
+  ASSERT_EQ(res.outcome, interp::Outcome::Crash);
+  char expect_addr[64];
+  std::snprintf(expect_addr, sizeof expect_addr,
+                "out-of-bounds memcpy write at 0x%llx",
+                static_cast<unsigned long long>(dst_base + 8));
+  EXPECT_NE(res.crash_reason.find(expect_addr), std::string::npos)
+      << res.crash_reason;
+}
+
+}  // namespace
+}  // namespace trident

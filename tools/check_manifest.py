@@ -42,7 +42,10 @@ def check_campaign(path, manifest):
         path,
         manifest,
         counters=["fi.trials.total", "fi.trials.run", "fi.trials.resumed",
-                  "fi.fuel_exhausted"]
+                  "fi.fuel_exhausted", "fi.snapshot_count",
+                  "fi.snapshot_bytes", "fi.snapshot_skipped_insts",
+                  "fi.snapshot_resumed_trials", "interp.memcache.hits",
+                  "interp.memcache.lookups"]
         + [f"fi.outcome.{o}" for o in OUTCOMES],
         gauges=["fi.trials_per_sec", "fi.campaign.seconds",
                 "phase.campaign.seconds"],
@@ -53,6 +56,18 @@ def check_campaign(path, manifest):
         raise SystemExit(f"{path}: campaign ran no trials")
     if sum(c[f"fi.outcome.{o}"] for o in OUTCOMES) != total:
         raise SystemExit(f"{path}: outcome tallies do not sum to the total")
+    # Snapshot-engine consistency: only run trials can resume from a
+    # snapshot, and a campaign without snapshots cannot skip any work.
+    if c["fi.snapshot_resumed_trials"] > c["fi.trials.run"]:
+        raise SystemExit(
+            f"{path}: more snapshot-resumed trials than trials run")
+    if c["fi.snapshot_count"] == 0 and (
+            c["fi.snapshot_skipped_insts"] != 0
+            or c["fi.snapshot_resumed_trials"] != 0):
+        raise SystemExit(
+            f"{path}: snapshot work reported without any snapshots")
+    if c["interp.memcache.hits"] > c["interp.memcache.lookups"]:
+        raise SystemExit(f"{path}: memory-cache hits exceed lookups")
     return c
 
 

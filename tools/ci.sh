@@ -41,3 +41,9 @@ trap 'rm -rf "$smokedir"' EXIT
   --metrics-out "$smokedir/predict.json"
 python3 tools/check_manifest.py \
   "$smokedir/inject.json" "$smokedir/resume.json" "$smokedir/predict.json"
+
+# Trial-engine throughput smoke: a quick snapshots-on vs snapshots-off
+# campaign per workload. The binary exits nonzero if the two results are
+# not bit-identical, so this doubles as an end-to-end equivalence check.
+TRIDENT_TRIALS=60 TRIDENT_BENCH_OUT="$smokedir/BENCH_trial_throughput.json" \
+  "$bindir/bench/trial_throughput"

@@ -68,6 +68,14 @@ int usage() {
                "        --checkpoint f.jsonl   crash-safe campaigns: append\n"
                "                               finished trials, resume on\n"
                "                               re-run (bit-identical result)\n"
+               "        --max-snapshots N      snapshot-and-resume trial\n"
+               "                               engine: trials resume from\n"
+               "                               <= N golden-run snapshots\n"
+               "                               (default 64; 0 disables;\n"
+               "                               results identical either way)\n"
+               "        --no-snapshots         same as --max-snapshots 0\n"
+               "        --snapshot-budget-mib M  memory cap for the snapshot\n"
+               "                               set (default 256)\n"
                "        --metrics-out f.json   write the run manifest\n"
                "                               (trident-run-metrics/1)\n"
                "        --no-progress          suppress the progress line\n");
@@ -115,6 +123,8 @@ struct Args {
   uint64_t seed = 1234;
   double budget = 1.0 / 3;
   uint32_t threads = 0;  // 0 = TRIDENT_THREADS env or hardware
+  uint64_t max_snapshots = 64;  // snapshot-and-resume engine; 0 = off
+  uint64_t snapshot_budget_mib = 256;
 };
 
 // One registry per process run; commands add their counters/timers and
@@ -130,6 +140,8 @@ fi::CampaignOptions campaign_options(const Args& args) {
   options.seed = args.seed;
   options.threads = args.threads;
   options.checkpoint_path = args.checkpoint;
+  options.max_snapshots = args.max_snapshots;
+  options.snapshot_bytes_budget = args.snapshot_budget_mib << 20;
   options.metrics = &metrics();
   options.progress = !args.no_progress && obs::stderr_is_tty();
   return options;
@@ -173,6 +185,16 @@ bool parse_args(int argc, char** argv, Args& args) {
       const char* v = next();
       if (!v) return false;
       args.threads = static_cast<uint32_t>(std::strtoul(v, nullptr, 10));
+    } else if (a == "--max-snapshots") {
+      const char* v = next();
+      if (!v) return false;
+      args.max_snapshots = std::strtoull(v, nullptr, 10);
+    } else if (a == "--no-snapshots") {
+      args.max_snapshots = 0;
+    } else if (a == "--snapshot-budget-mib") {
+      const char* v = next();
+      if (!v) return false;
+      args.snapshot_budget_mib = std::strtoull(v, nullptr, 10);
     } else if (a == "--checkpoint") {
       const char* v = next();
       if (!v) return false;
