@@ -2,10 +2,33 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
 
 #include "support/thread_pool.h"
 
 namespace trident::core {
+
+std::optional<ModelConfig> model_config_from_name(const std::string& name) {
+  if (name == "full") return ModelConfig::full();
+  if (name == "fs_fc") return ModelConfig::fs_fc();
+  if (name == "fs") return ModelConfig::fs_only();
+  if (name == "paper") return ModelConfig::paper();
+  return std::nullopt;
+}
+
+std::string model_config_fingerprint(const ModelConfig& config) {
+  char buf[192];
+  std::snprintf(buf, sizeof buf,
+                "fc=%d;fm=%d;lucky=%d;depth=%u;cutoff=%.17g;addr=%d;"
+                "atten=%d;guard=%d",
+                config.enable_fc ? 1 : 0, config.enable_fm ? 1 : 0,
+                config.lucky_stores ? 1 : 0, config.trace.max_depth,
+                config.trace.prob_cutoff,
+                config.trace.track_store_addr ? 1 : 0,
+                config.trace.track_attenuation ? 1 : 0,
+                config.trace.guard_damping ? 1 : 0);
+  return buf;
+}
 
 Trident::Trident(const ir::Module& module, const prof::Profile& profile,
                  ModelConfig config)

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <mutex>
 #include <optional>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -49,7 +50,29 @@ struct ModelConfig {
     config.enable_fm = false;
     return config;
   }
+  /// Paper-faithful full model: the §VII extensions (store-address
+  /// tracking, attenuation, guard damping) disabled.
+  static ModelConfig paper() {
+    ModelConfig config;
+    config.trace.track_store_addr = false;
+    config.trace.track_attenuation = false;
+    config.trace.guard_damping = false;
+    return config;
+  }
 };
+
+/// Named configurations as accepted by the CLI's --model flag and the
+/// eval spec's "models" list: "full", "fs_fc", "fs", "paper". Unknown
+/// names yield nullopt.
+std::optional<ModelConfig> model_config_from_name(const std::string& name);
+
+/// Canonical one-line description of every semantically relevant
+/// ModelConfig field, e.g.
+///   "fc=1;fm=1;lucky=1;depth=64;cutoff=9.9999999999999995e-07;..."
+/// Used as the model component of eval cache keys: any change that can
+/// move a prediction changes this string and so invalidates exactly the
+/// model cells.
+std::string model_config_fingerprint(const ModelConfig& config);
 
 /// Per-instruction prediction, conditional on fault activation at the
 /// instruction's destination register.

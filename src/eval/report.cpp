@@ -1,0 +1,336 @@
+#include "eval/report.h"
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <vector>
+
+#include "stats/stats.h"
+#include "support/json.h"
+#include "support/str.h"
+
+namespace trident::eval {
+
+namespace {
+
+namespace json = support::json;
+
+// Per-(workload, model) accuracy derived from the assembled results.
+struct ModelAccuracy {
+  double overall_sdc = 0;
+  double abs_err = 0;       // |overall_sdc - FI sdc_prob|
+  double spearman = 0;      // rank corr on the hottest instructions
+  double per_inst_mae = 0;  // MAE on the hottest instructions
+};
+
+ModelAccuracy accuracy(const WorkloadEval& we, size_t model_idx) {
+  ModelAccuracy acc;
+  acc.overall_sdc = we.model_sdc[model_idx];
+  acc.abs_err = std::abs(acc.overall_sdc - we.fi.sdc_prob());
+  std::vector<double> fi_sdc, model_sdc;
+  for (const auto& row : we.insts) {
+    fi_sdc.push_back(row.fi.sdc_prob());
+    model_sdc.push_back(row.model_sdc[model_idx]);
+  }
+  acc.spearman = stats::spearman_rank_corr(fi_sdc, model_sdc);
+  acc.per_inst_mae = stats::mean_absolute_error(fi_sdc, model_sdc);
+  return acc;
+}
+
+std::string num(double v) { return support::format("%.6f", v); }
+
+}  // namespace
+
+std::string overall_csv(const EvalResults& results) {
+  std::string out = "workload,fi_trials,fi_sdc,fi_sdc_ci95,fi_crash,"
+                    "fi_crash_ci95";
+  for (const auto& m : results.spec.models) {
+    out += "," + m + "_sdc," + m + "_abs_err";
+  }
+  out += "\n";
+  for (const auto& we : results.workloads) {
+    out += we.name + "," + std::to_string(we.fi.trials) + "," +
+           num(we.fi.sdc_prob()) + "," +
+           num(stats::proportion_ci95(we.fi.sdc_prob(), we.fi.trials)) + "," +
+           num(we.fi.crash_prob()) + "," +
+           num(stats::proportion_ci95(we.fi.crash_prob(), we.fi.trials));
+    for (size_t mi = 0; mi < results.spec.models.size(); ++mi) {
+      const auto acc = accuracy(we, mi);
+      out += "," + num(acc.overall_sdc) + "," + num(acc.abs_err);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+std::string per_instruction_csv(const EvalResults& results) {
+  std::string out = "workload,func,inst,exec,fi_trials,fi_sdc";
+  for (const auto& m : results.spec.models) out += "," + m + "_sdc";
+  out += "\n";
+  for (const auto& we : results.workloads) {
+    for (const auto& row : we.insts) {
+      out += we.name + "," + std::to_string(row.ref.func) + "," +
+             std::to_string(row.ref.inst) + "," + std::to_string(row.exec) +
+             "," + std::to_string(row.fi.trials) + "," +
+             num(row.fi.sdc_prob());
+      for (const double sdc : row.model_sdc) out += "," + num(sdc);
+      out += "\n";
+    }
+  }
+  return out;
+}
+
+std::string report_json(const EvalResults& results) {
+  const auto& spec = results.spec;
+  json::Value root = json::Value::object();
+  root.set("schema", json::Value(std::string("trident-eval/1")));
+  root.set("kind", json::Value(std::string("report")));
+
+  json::ParseError perr;
+  auto spec_doc = json::parse(spec.to_json(), &perr);
+  root.set("spec", std::move(*spec_doc));
+
+  // Only the spec-determined cell count belongs in the artifact;
+  // computed/cached/trials-run vary with the store's starting state and
+  // would break byte-equality between a fresh run and a warm re-run.
+  // That accounting lives in the CLI summary and the --metrics-out
+  // manifest instead.
+  json::Value cells = json::Value::object();
+  cells.set("total", json::Value(results.cells_total));
+  root.set("cells", std::move(cells));
+
+  std::vector<double> sum_abs_err(spec.models.size(), 0.0);
+  std::vector<double> sum_spearman(spec.models.size(), 0.0);
+
+  json::Value workloads = json::Value::array();
+  for (const auto& we : results.workloads) {
+    json::Value w = json::Value::object();
+    w.set("name", json::Value(we.name));
+    w.set("suite", json::Value(we.suite));
+    w.set("input", json::Value(we.input));
+    w.set("static_insts", json::Value(we.static_insts));
+    w.set("dynamic_insts", json::Value(we.dynamic_insts));
+    w.set("population", json::Value(we.population));
+
+    json::Value fi = json::Value::object();
+    fi.set("trials", json::Value(we.fi.trials));
+    fi.set("sdc", json::Value(we.fi.sdc));
+    fi.set("benign", json::Value(we.fi.benign));
+    fi.set("crash", json::Value(we.fi.crash));
+    fi.set("hang", json::Value(we.fi.hang));
+    fi.set("detected", json::Value(we.fi.detected));
+    fi.set("fuel_exhausted", json::Value(we.fi.fuel_exhausted));
+    fi.set("sdc_prob", json::Value(we.fi.sdc_prob()));
+    fi.set("sdc_ci95", json::Value(stats::proportion_ci95(we.fi.sdc_prob(),
+                                                          we.fi.trials)));
+    fi.set("crash_prob", json::Value(we.fi.crash_prob()));
+    fi.set("crash_ci95", json::Value(stats::proportion_ci95(
+                             we.fi.crash_prob(), we.fi.trials)));
+    w.set("fi", std::move(fi));
+
+    json::Value models = json::Value::array();
+    for (size_t mi = 0; mi < spec.models.size(); ++mi) {
+      const auto acc = accuracy(we, mi);
+      sum_abs_err[mi] += acc.abs_err;
+      sum_spearman[mi] += acc.spearman;
+      json::Value m = json::Value::object();
+      m.set("name", json::Value(spec.models[mi]));
+      m.set("overall_sdc", json::Value(acc.overall_sdc));
+      m.set("abs_err", json::Value(acc.abs_err));
+      m.set("spearman", json::Value(acc.spearman));
+      m.set("per_inst_mae", json::Value(acc.per_inst_mae));
+      models.push_back(std::move(m));
+    }
+    w.set("models", std::move(models));
+
+    json::Value insts = json::Value::array();
+    for (const auto& row : we.insts) {
+      json::Value r = json::Value::object();
+      r.set("func", json::Value(static_cast<uint64_t>(row.ref.func)));
+      r.set("inst", json::Value(static_cast<uint64_t>(row.ref.inst)));
+      r.set("exec", json::Value(row.exec));
+      r.set("fi_trials", json::Value(row.fi.trials));
+      r.set("fi_sdc", json::Value(row.fi.sdc_prob()));
+      json::Value per_model = json::Value::object();
+      for (size_t mi = 0; mi < spec.models.size(); ++mi) {
+        per_model.set(spec.models[mi], json::Value(row.model_sdc[mi]));
+      }
+      r.set("models", std::move(per_model));
+      insts.push_back(std::move(r));
+    }
+    w.set("insts", std::move(insts));
+    workloads.push_back(std::move(w));
+  }
+  root.set("workloads", std::move(workloads));
+
+  json::Value summary = json::Value::object();
+  json::Value summary_models = json::Value::array();
+  const double n = results.workloads.empty()
+                       ? 1.0
+                       : static_cast<double>(results.workloads.size());
+  for (size_t mi = 0; mi < spec.models.size(); ++mi) {
+    json::Value m = json::Value::object();
+    m.set("name", json::Value(spec.models[mi]));
+    m.set("mean_abs_err", json::Value(sum_abs_err[mi] / n));
+    m.set("mean_spearman", json::Value(sum_spearman[mi] / n));
+    summary_models.push_back(std::move(m));
+  }
+  summary.set("models", std::move(summary_models));
+  root.set("summary", std::move(summary));
+  return root.write_pretty();
+}
+
+std::string report_markdown(const EvalResults& results) {
+  const auto& spec = results.spec;
+  std::string out;
+  out += "# TRIDENT evaluation report — " + spec.name + "\n\n";
+  out += support::format(
+      "%zu workloads x %zu models x %zu seed(s); %llu overall FI trials "
+      "per workload per seed, %u hottest instructions x %llu trials each.\n\n",
+      results.workloads.size(), spec.models.size(), spec.seeds.size(),
+      static_cast<unsigned long long>(spec.fi.trials), spec.per_inst.top_n,
+      static_cast<unsigned long long>(spec.per_inst.trials));
+  out += support::format(
+      "Cells: %llu (cache accounting lives in the run manifest; this "
+      "file is byte-stable across re-runs).\n\n",
+      static_cast<unsigned long long>(results.cells_total));
+
+  // ---- Fig. 5: overall SDC probability, FI vs every model --------------
+  out += "## Overall SDC probability: FI vs models (paper Fig. 5";
+  for (const auto& m : spec.models) {
+    if (is_baseline_model(m)) {
+      out += " & Fig. 9";
+      break;
+    }
+  }
+  out += ")\n\n";
+  out += "FI is ground truth with 95% Wilson CIs; model columns are "
+         "predicted overall SDC probability.\n\n";
+  out += "| workload | FI SDC | FI 95% CI |";
+  for (const auto& m : spec.models) out += " " + m + " |";
+  out += "\n|---|---|---|";
+  for (size_t mi = 0; mi < spec.models.size(); ++mi) out += "---|";
+  out += "\n";
+  for (const auto& we : results.workloads) {
+    out += support::format(
+        "| %s | %.2f%% | ±%.2f%% |", we.name.c_str(),
+        we.fi.sdc_prob() * 100,
+        stats::proportion_ci95(we.fi.sdc_prob(), we.fi.trials) * 100);
+    for (const double sdc : we.model_sdc) {
+      out += support::format(" %.2f%% |", sdc * 100);
+    }
+    out += "\n";
+  }
+
+  // ---- Ablation / baseline deltas --------------------------------------
+  out += "\n## Model accuracy vs FI (ablations and baselines)\n\n";
+  out += "Mean and maximum absolute error of the overall SDC prediction "
+         "across workloads — the fs / fs+fc rows quantify what the "
+         "control-flow and memory sub-models buy (paper §VI-B), the "
+         "pvf / epvf rows reproduce the baseline gap (paper Fig. 9).\n\n";
+  out += "| model | mean abs err | max abs err | mean signed err |\n";
+  out += "|---|---|---|---|\n";
+  for (size_t mi = 0; mi < spec.models.size(); ++mi) {
+    double sum_abs = 0, max_abs = 0, sum_signed = 0;
+    for (const auto& we : results.workloads) {
+      const double err = we.model_sdc[mi] - we.fi.sdc_prob();
+      sum_abs += std::abs(err);
+      max_abs = std::max(max_abs, std::abs(err));
+      sum_signed += err;
+    }
+    const double n = results.workloads.empty()
+                         ? 1.0
+                         : static_cast<double>(results.workloads.size());
+    out += support::format("| %s | %.2f%% | %.2f%% | %+.2f%% |\n",
+                           spec.models[mi].c_str(), sum_abs / n * 100,
+                           max_abs * 100, sum_signed / n * 100);
+  }
+
+  // ---- Per-instruction rank accuracy -----------------------------------
+  if (spec.per_inst.top_n > 0) {
+    out += support::format(
+        "\n## Per-instruction accuracy (paper Fig. 7 / Table 2)\n\n"
+        "Spearman rank correlation between pooled FI SDC probability and "
+        "each model's prediction over the %u hottest instructions of each "
+        "workload (ties rank-averaged; 0 shown when a series is "
+        "constant).\n\n",
+        spec.per_inst.top_n);
+    out += "| workload | insts |";
+    for (const auto& m : spec.models) out += " " + m + " |";
+    out += "\n|---|---|";
+    for (size_t mi = 0; mi < spec.models.size(); ++mi) out += "---|";
+    out += "\n";
+    std::vector<double> sums(spec.models.size(), 0.0);
+    for (const auto& we : results.workloads) {
+      out += support::format("| %s | %zu |", we.name.c_str(),
+                             we.insts.size());
+      for (size_t mi = 0; mi < spec.models.size(); ++mi) {
+        const auto acc = accuracy(we, mi);
+        sums[mi] += acc.spearman;
+        out += support::format(" %.3f |", acc.spearman);
+      }
+      out += "\n";
+    }
+    if (!results.workloads.empty()) {
+      out += "| **mean** | |";
+      for (const double s : sums) {
+        out += support::format(
+            " %.3f |", s / static_cast<double>(results.workloads.size()));
+      }
+      out += "\n";
+    }
+  }
+
+  // ---- Workload scale / cost context -----------------------------------
+  out += "\n## Workload scale (paper Table I context)\n\n";
+  out += "| workload | suite | static insts | dynamic insts | FI "
+         "population | FI trials |\n";
+  out += "|---|---|---|---|---|---|\n";
+  for (const auto& we : results.workloads) {
+    out += support::format(
+        "| %s | %s | %llu | %llu | %llu | %llu |\n", we.name.c_str(),
+        we.suite.c_str(), static_cast<unsigned long long>(we.static_insts),
+        static_cast<unsigned long long>(we.dynamic_insts),
+        static_cast<unsigned long long>(we.population),
+        static_cast<unsigned long long>(we.fi.trials));
+  }
+  out += "\nWall-clock and scalability figures for this invocation are in "
+         "the run manifest (`--metrics-out`, schema trident-run-metrics/1: "
+         "`phase.eval.*.seconds`, `fi.trials_per_sec`, `pool.*`). They are "
+         "kept out of this report so its bytes are identical at any "
+         "thread count.\n";
+  return out;
+}
+
+ReportPaths write_reports(const EvalResults& results,
+                          const std::string& out_dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(out_dir, ec);
+  if (ec) {
+    throw std::runtime_error("eval report: cannot create directory '" +
+                             out_dir + "': " + ec.message());
+  }
+  const auto write = [&](const std::string& name, const std::string& text) {
+    const std::string path = out_dir + "/" + name;
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      throw std::runtime_error("eval report: cannot write '" + path + "'");
+    }
+    out << text;
+    out.flush();
+    if (!out) {
+      throw std::runtime_error("eval report: short write to '" + path + "'");
+    }
+    return path;
+  };
+  ReportPaths paths;
+  paths.report_csv = write("report.csv", overall_csv(results));
+  paths.per_instruction_csv =
+      write("per_instruction.csv", per_instruction_csv(results));
+  paths.report_json = write("report.json", report_json(results));
+  paths.report_md = write("report.md", report_markdown(results));
+  return paths;
+}
+
+}  // namespace trident::eval

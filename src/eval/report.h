@@ -1,0 +1,44 @@
+// Figure-grade reports over assembled evaluation results.
+//
+// Four artifacts per run, all with deterministic bytes at any thread
+// count (and across re-runs over an unchanged store):
+//   report.csv          one row per workload: FI ground truth with
+//                       Wilson CIs plus every model's overall SDC and
+//                       absolute error (paper Fig. 5 / Fig. 9 data)
+//   per_instruction.csv one row per hottest instruction: pooled FI
+//                       SDC vs every model's prediction (Fig. 7 data)
+//   report.json         everything, machine-readable, under schema
+//                       "trident-eval/1" (kind "report") — the input
+//                       tools/check_manifest.py validates
+//   report.md           the human-readable reproduction of the paper's
+//                       evaluation tables
+// Wall-clock figures are deliberately absent here — they live in the
+// run manifest (--metrics-out, schema trident-run-metrics/1), keeping
+// these artifacts byte-comparable between runs.
+#pragma once
+
+#include <string>
+
+#include "eval/runner.h"
+
+namespace trident::eval {
+
+// String builders (exposed for the determinism tests).
+std::string overall_csv(const EvalResults& results);
+std::string per_instruction_csv(const EvalResults& results);
+std::string report_json(const EvalResults& results);
+std::string report_markdown(const EvalResults& results);
+
+struct ReportPaths {
+  std::string report_csv;
+  std::string per_instruction_csv;
+  std::string report_json;
+  std::string report_md;
+};
+
+/// Writes all four artifacts into `out_dir` (created if missing).
+/// Throws std::runtime_error when a file cannot be written.
+ReportPaths write_reports(const EvalResults& results,
+                          const std::string& out_dir);
+
+}  // namespace trident::eval

@@ -1,0 +1,419 @@
+#include "eval/runner.h"
+
+#include <algorithm>
+#include <atomic>
+#include <filesystem>
+#include <stdexcept>
+
+#include "baselines/epvf.h"
+#include "baselines/pvf.h"
+#include "core/trident.h"
+#include "fi/campaign.h"
+#include "profiler/profiler.h"
+#include "support/thread_pool.h"
+
+namespace trident::eval {
+
+namespace {
+
+namespace json = support::json;
+
+std::string salt_prefix(const ExperimentSpec& spec) {
+  std::string s = std::string("salt=") + kCodeVersionSalt;
+  if (!spec.salt.empty()) s += "+" + spec.salt;
+  return s;
+}
+
+std::string workload_part(const workloads::Workload& workload) {
+  return ";workload=" + workload.name + ";input=" + workload.input;
+}
+
+std::string fault_model_part(const FiSettings& fi, uint64_t trials,
+                             uint64_t seed) {
+  return ";trials=" + std::to_string(trials) +
+         ";seed=" + std::to_string(seed) +
+         ";fuel=" + std::to_string(fi.fuel_multiplier) +
+         ";esc=" + std::to_string(fi.hang_escalation) +
+         ";bits=" + std::to_string(fi.num_bits);
+}
+
+std::string inst_tag(ir::InstRef ref) {
+  return "f" + std::to_string(ref.func) + "i" + std::to_string(ref.inst);
+}
+
+}  // namespace
+
+CellKey fi_overall_key(const ExperimentSpec& spec,
+                       const workloads::Workload& workload, uint64_t seed) {
+  CellKey key;
+  key.slug = "fi-" + workload.name + "-s" + std::to_string(seed);
+  key.canonical = salt_prefix(spec) + ";cell=fi_overall" +
+                  workload_part(workload) +
+                  fault_model_part(spec.fi, spec.fi.trials, seed);
+  return key;
+}
+
+CellKey fi_inst_key(const ExperimentSpec& spec,
+                    const workloads::Workload& workload, ir::InstRef target,
+                    uint64_t seed) {
+  CellKey key;
+  key.slug = "fii-" + workload.name + "-" + inst_tag(target) + "-s" +
+             std::to_string(seed);
+  key.canonical = salt_prefix(spec) + ";cell=fi_inst" +
+                  workload_part(workload) + ";target=" + inst_tag(target) +
+                  fault_model_part(spec.fi, spec.per_inst.trials, seed);
+  return key;
+}
+
+CellKey model_key(const ExperimentSpec& spec,
+                  const workloads::Workload& workload,
+                  const std::string& model) {
+  std::string fingerprint;
+  if (is_baseline_model(model)) {
+    fingerprint = model + "/1";
+  } else {
+    const auto config = core::model_config_from_name(model);
+    fingerprint = config ? core::model_config_fingerprint(*config)
+                         : "unknown";
+  }
+  CellKey key;
+  key.slug = "model-" + workload.name + "-" + model;
+  key.canonical = salt_prefix(spec) + ";cell=model" +
+                  workload_part(workload) + ";model=" + model +
+                  ";cfg=" + fingerprint +
+                  ";top_n=" + std::to_string(spec.per_inst.top_n);
+  return key;
+}
+
+namespace {
+
+struct Cell {
+  enum class Kind { FiOverall, FiInst, Model };
+  Kind kind;
+  size_t workload = 0;   // index into the expanded workload list
+  size_t seed_idx = 0;   // FI cells
+  size_t model_idx = 0;  // model cells
+  ir::InstRef target;    // FiInst
+  CellKey key;
+  json::Value data;      // payload, computed or loaded
+  bool cached = false;
+};
+
+json::Value fi_counts_to_json(const fi::CampaignResult& result) {
+  json::Value d = json::Value::object();
+  d.set("trials", json::Value(result.total()));
+  d.set("sdc", json::Value(result.sdc));
+  d.set("benign", json::Value(result.benign));
+  d.set("crash", json::Value(result.crash));
+  d.set("hang", json::Value(result.hang));
+  d.set("detected", json::Value(result.detected));
+  d.set("fuel_exhausted", json::Value(result.fuel_exhausted));
+  return d;
+}
+
+FiCounts fi_counts_from_json(const json::Value& d, const std::string& what) {
+  FiCounts c;
+  c.trials = d.get_uint("trials", 0);
+  c.sdc = d.get_uint("sdc", 0);
+  c.benign = d.get_uint("benign", 0);
+  c.crash = d.get_uint("crash", 0);
+  c.hang = d.get_uint("hang", 0);
+  c.detected = d.get_uint("detected", 0);
+  c.fuel_exhausted = d.get_uint("fuel_exhausted", 0);
+  if (c.sdc + c.benign + c.crash + c.hang + c.detected != c.trials) {
+    throw std::runtime_error("eval: corrupt cell " + what +
+                             ": outcome tallies do not sum to trials");
+  }
+  return c;
+}
+
+void accumulate(FiCounts& into, const FiCounts& c) {
+  into.trials += c.trials;
+  into.sdc += c.sdc;
+  into.benign += c.benign;
+  into.crash += c.crash;
+  into.hang += c.hang;
+  into.detected += c.detected;
+  into.fuel_exhausted += c.fuel_exhausted;
+}
+
+/// The hottest `top_n` injectable instructions: executed result
+/// producers ordered by execution count descending, ties broken by
+/// (func, inst) ascending so the set is stable across runs.
+std::vector<ir::InstRef> hottest_instructions(const ir::Module& module,
+                                              const prof::Profile& profile,
+                                              uint32_t top_n) {
+  std::vector<ir::InstRef> refs;
+  for (uint32_t f = 0; f < module.functions.size(); ++f) {
+    const auto& func = module.functions[f];
+    for (uint32_t i = 0; i < func.insts.size(); ++i) {
+      if (func.insts[i].has_result() && profile.exec({f, i}) > 0) {
+        refs.push_back({f, i});
+      }
+    }
+  }
+  std::sort(refs.begin(), refs.end(),
+            [&](const ir::InstRef& a, const ir::InstRef& b) {
+              const uint64_t ea = profile.exec(a), eb = profile.exec(b);
+              if (ea != eb) return ea > eb;
+              return std::tie(a.func, a.inst) < std::tie(b.func, b.inst);
+            });
+  if (refs.size() > top_n) refs.resize(top_n);
+  return refs;
+}
+
+}  // namespace
+
+EvalResults run_spec(const ExperimentSpec& spec, const RunOptions& options) {
+  if (const std::string msg = spec.validate(); !msg.empty()) {
+    throw std::runtime_error(msg);
+  }
+  obs::Registry scratch;  // sink when the caller passes no registry
+  obs::Registry& registry =
+      options.metrics != nullptr ? *options.metrics : scratch;
+  obs::ScopedTimer timer(registry, "phase.eval.seconds");
+
+  const ResultStore store(options.out_dir + "/store");
+  const auto names = spec.expanded_workloads();
+
+  // Profiling pass: build every workload module and collect its golden
+  // profile (one fault-free run each). Cells only read these, so the
+  // modules stay alive for the whole evaluation.
+  std::vector<const workloads::Workload*> metas(names.size());
+  std::vector<ir::Module> modules(names.size());
+  std::vector<prof::Profile> profiles(names.size());
+  {
+    obs::ScopedTimer t(registry, "phase.eval.profile.seconds");
+    support::ThreadPool::global().parallel_for(
+        names.size(),
+        [&](uint64_t i) {
+          metas[i] = workloads::lookup_workload(names[i]);
+          modules[i] = metas[i]->build();
+          profiles[i] = prof::collect_profile(modules[i]);
+        },
+        options.threads, /*grain=*/1);
+  }
+
+  std::vector<std::vector<ir::InstRef>> hot(names.size());
+  for (size_t w = 0; w < names.size(); ++w) {
+    hot[w] = hottest_instructions(modules[w], profiles[w],
+                                  spec.per_inst.top_n);
+  }
+
+  // Plan: one flat, deterministically ordered cell list.
+  std::vector<Cell> cells;
+  for (size_t w = 0; w < names.size(); ++w) {
+    for (size_t s = 0; s < spec.seeds.size(); ++s) {
+      Cell cell;
+      cell.kind = Cell::Kind::FiOverall;
+      cell.workload = w;
+      cell.seed_idx = s;
+      cell.key = fi_overall_key(spec, *metas[w], spec.seeds[s]);
+      cells.push_back(std::move(cell));
+      for (const auto ref : hot[w]) {
+        Cell inst_cell;
+        inst_cell.kind = Cell::Kind::FiInst;
+        inst_cell.workload = w;
+        inst_cell.seed_idx = s;
+        inst_cell.target = ref;
+        inst_cell.key = fi_inst_key(spec, *metas[w], ref, spec.seeds[s]);
+        cells.push_back(std::move(inst_cell));
+      }
+    }
+    for (size_t mi = 0; mi < spec.models.size(); ++mi) {
+      Cell cell;
+      cell.kind = Cell::Kind::Model;
+      cell.workload = w;
+      cell.model_idx = mi;
+      cell.key = model_key(spec, *metas[w], spec.models[mi]);
+      cells.push_back(std::move(cell));
+    }
+  }
+
+  std::atomic<uint64_t> computed{0}, cached{0}, trials_run{0}, done{0};
+  obs::ProgressLine progress(options.progress, "eval " + spec.name);
+
+  const auto run_cell = [&](Cell& cell) {
+    if (!options.force) {
+      if (auto hit = store.load(cell.key)) {
+        cell.data = std::move(*hit);
+        cell.cached = true;
+        cached.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+    } else {
+      // A stale mid-campaign checkpoint must not feed a forced re-run.
+      std::error_code ec;
+      std::filesystem::remove(store.checkpoint_path(cell.key), ec);
+    }
+
+    const ir::Module& module = modules[cell.workload];
+    const prof::Profile& profile = profiles[cell.workload];
+    switch (cell.kind) {
+      case Cell::Kind::FiOverall:
+      case Cell::Kind::FiInst: {
+        fi::CampaignOptions campaign;
+        campaign.threads = options.threads;
+        campaign.fuel_multiplier = spec.fi.fuel_multiplier;
+        campaign.hang_escalation = spec.fi.hang_escalation;
+        campaign.num_bits = spec.fi.num_bits;
+        campaign.metrics = options.metrics;
+        campaign.checkpoint_path = store.checkpoint_path(cell.key);
+        fi::CampaignResult result;
+        if (cell.kind == Cell::Kind::FiOverall) {
+          campaign.trials = spec.fi.trials;
+          campaign.seed = spec.seeds[cell.seed_idx];
+          result = fi::run_overall_campaign(module, profile, campaign);
+        } else {
+          campaign.trials = spec.per_inst.trials;
+          // Decorrelate the per-target campaigns: two targets sharing a
+          // spec seed must not draw identical (occurrence, bit) streams.
+          campaign.seed =
+              spec.seeds[cell.seed_idx] ^
+              fnv1a64("inst:" + names[cell.workload] + ":" +
+                      inst_tag(cell.target));
+          result = fi::run_instruction_campaign(module, profile, cell.target,
+                                                campaign);
+        }
+        trials_run.fetch_add(result.total() - result.resumed,
+                             std::memory_order_relaxed);
+        cell.data = fi_counts_to_json(result);
+        break;
+      }
+      case Cell::Kind::Model: {
+        const std::string& model = spec.models[cell.model_idx];
+        json::Value d = json::Value::object();
+        json::Value insts = json::Value::array();
+        const auto add_inst = [&](ir::InstRef ref, double sdc) {
+          json::Value row = json::Value::object();
+          row.set("func", json::Value(static_cast<uint64_t>(ref.func)));
+          row.set("inst", json::Value(static_cast<uint64_t>(ref.inst)));
+          row.set("exec", json::Value(profile.exec(ref)));
+          row.set("sdc", json::Value(sdc));
+          insts.push_back(std::move(row));
+        };
+        if (model == "pvf") {
+          const baselines::PvfModel pvf(module, profile);
+          d.set("overall_sdc", json::Value(pvf.overall()));
+          for (const auto ref : hot[cell.workload]) {
+            add_inst(ref, pvf.pvf(ref));
+          }
+        } else if (model == "epvf") {
+          const baselines::EpvfModel epvf(module, profile);
+          d.set("overall_sdc", json::Value(epvf.overall()));
+          for (const auto ref : hot[cell.workload]) {
+            add_inst(ref, epvf.epvf(ref));
+          }
+        } else {
+          const auto config = core::model_config_from_name(model);
+          const core::Trident trident(module, profile, *config);
+          d.set("overall_sdc", json::Value(trident.overall_sdc_exact()));
+          const auto preds =
+              trident.predict_all(hot[cell.workload], options.threads);
+          for (size_t i = 0; i < hot[cell.workload].size(); ++i) {
+            add_inst(hot[cell.workload][i], preds[i].sdc);
+          }
+          if (options.metrics != nullptr) {
+            trident.export_metrics(*options.metrics);
+          }
+        }
+        d.set("insts", std::move(insts));
+        cell.data = std::move(d);
+        break;
+      }
+    }
+    store.save(cell.key, cell.data);
+    computed.fetch_add(1, std::memory_order_relaxed);
+  };
+
+  {
+    obs::ScopedTimer t(registry, "phase.eval.cells.seconds");
+    support::ThreadPool::global().parallel_for(
+        cells.size(),
+        [&](uint64_t i) {
+          run_cell(cells[i]);
+          progress.update(done.fetch_add(1, std::memory_order_relaxed) + 1,
+                          cells.size());
+        },
+        options.threads, /*grain=*/1);
+  }
+  progress.finish(cells.size(), cells.size());
+
+  // ---- Assembly: fold the cell payloads into per-workload results ----
+  EvalResults results;
+  results.spec = spec;
+  results.cells_total = cells.size();
+  results.cells_computed = computed.load();
+  results.cells_cached = cached.load();
+  results.fi_trials_run = trials_run.load();
+  results.workloads.resize(names.size());
+
+  for (size_t w = 0; w < names.size(); ++w) {
+    WorkloadEval& we = results.workloads[w];
+    we.name = metas[w]->name;
+    we.suite = metas[w]->suite;
+    we.input = metas[w]->input;
+    we.static_insts = modules[w].num_insts();
+    we.dynamic_insts = profiles[w].total_dynamic;
+    we.population = profiles[w].total_results;
+    we.model_sdc.resize(spec.models.size(), 0.0);
+    we.insts.resize(hot[w].size());
+    for (size_t i = 0; i < hot[w].size(); ++i) {
+      we.insts[i].ref = hot[w][i];
+      we.insts[i].exec = profiles[w].exec(hot[w][i]);
+      we.insts[i].model_sdc.resize(spec.models.size(), 0.0);
+    }
+  }
+
+  for (const Cell& cell : cells) {
+    WorkloadEval& we = results.workloads[cell.workload];
+    switch (cell.kind) {
+      case Cell::Kind::FiOverall:
+        accumulate(we.fi, fi_counts_from_json(cell.data, cell.key.slug));
+        break;
+      case Cell::Kind::FiInst: {
+        const auto counts = fi_counts_from_json(cell.data, cell.key.slug);
+        for (auto& row : we.insts) {
+          if (row.ref.func == cell.target.func &&
+              row.ref.inst == cell.target.inst) {
+            accumulate(row.fi, counts);
+            break;
+          }
+        }
+        break;
+      }
+      case Cell::Kind::Model: {
+        we.model_sdc[cell.model_idx] = cell.data.get_double("overall_sdc", 0);
+        const json::Value* insts = cell.data.find("insts");
+        if (insts == nullptr || !insts->is_array() ||
+            insts->items().size() != we.insts.size()) {
+          throw std::runtime_error(
+              "eval: cell " + cell.key.slug +
+              " does not cover the current hottest-instruction set; the "
+              "profile changed without a salt bump — re-run with --force "
+              "or bump the code-version salt");
+        }
+        for (size_t i = 0; i < we.insts.size(); ++i) {
+          const json::Value& row = insts->items()[i];
+          if (row.get_uint("func", ~0ull) != we.insts[i].ref.func ||
+              row.get_uint("inst", ~0ull) != we.insts[i].ref.inst) {
+            throw std::runtime_error(
+                "eval: cell " + cell.key.slug +
+                " targets stale instructions; re-run with --force or bump "
+                "the code-version salt");
+          }
+          we.insts[i].model_sdc[cell.model_idx] = row.get_double("sdc", 0);
+        }
+        break;
+      }
+    }
+  }
+
+  registry.add("eval.cells.total", results.cells_total);
+  registry.add("eval.cells.computed", results.cells_computed);
+  registry.add("eval.cells.cached", results.cells_cached);
+  registry.add("eval.fi.trials_run", results.fi_trials_run);
+  return results;
+}
+
+}  // namespace trident::eval

@@ -1,0 +1,111 @@
+// Planner/orchestrator: expands an ExperimentSpec into cells and runs
+// them to completion, crash-safely, on the shared thread pool.
+//
+// A *cell* is the unit of caching and restart:
+//   fi-<workload>-s<seed>            one overall FI campaign
+//   fii-<workload>-f<f>i<i>-s<seed>  one per-instruction FI campaign
+//   model-<workload>-<model>         one model evaluation (overall SDC
+//                                    plus per-instruction predictions
+//                                    for the hottest top_n instructions)
+// Cells are independent, so the orchestrator simply parallel_for()s
+// over them (grain 1); FI cells additionally parallelize their trial
+// loops on the same pool — the pool supports nesting without deadlock,
+// and every cell's value is bit-identical at any thread count, so the
+// assembled results (and the reports derived from them) are too.
+//
+// Crash safety is layered: a finished cell is persisted to the
+// content-addressed store before the orchestrator moves on, and an
+// unfinished FI cell leaves a fi::campaign checkpoint log next to its
+// future store slot, so a killed run resumes mid-campaign. Re-running
+// a finished spec performs zero FI trials.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "eval/spec.h"
+#include "eval/store.h"
+#include "ir/module.h"
+#include "obs/metrics.h"
+#include "workloads/workloads.h"
+
+namespace trident::eval {
+
+struct RunOptions {
+  /// Artifact directory; the store lives at <out_dir>/store.
+  std::string out_dir = "eval-out";
+  /// Worker cap for every parallel stage (0 = TRIDENT_THREADS env or
+  /// hardware_concurrency). Results are identical for any value.
+  uint32_t threads = 0;
+  /// Recompute every cell, overwriting cached results (and discarding
+  /// any mid-campaign checkpoint logs).
+  bool force = false;
+  /// Live cell-level progress line on stderr.
+  bool progress = false;
+  /// Optional sink for eval.* counters, the aggregated fi.* campaign
+  /// metrics of every computed cell, and phase timers.
+  obs::Registry* metrics = nullptr;
+};
+
+/// Outcome tallies of one or more pooled FI campaigns.
+struct FiCounts {
+  uint64_t trials = 0;
+  uint64_t sdc = 0, benign = 0, crash = 0, hang = 0, detected = 0;
+  uint64_t fuel_exhausted = 0;
+
+  double sdc_prob() const {
+    return trials > 0 ? static_cast<double>(sdc) / trials : 0.0;
+  }
+  double crash_prob() const {
+    return trials > 0 ? static_cast<double>(crash) / trials : 0.0;
+  }
+};
+
+/// One hottest-instruction row: FI ground truth pooled across seeds and
+/// each model's prediction, in the spec's model order.
+struct InstRow {
+  ir::InstRef ref;
+  uint64_t exec = 0;
+  FiCounts fi;
+  std::vector<double> model_sdc;
+};
+
+struct WorkloadEval {
+  std::string name, suite, input;
+  uint64_t static_insts = 0;
+  uint64_t dynamic_insts = 0;
+  /// Dynamic result-producing instructions — the FI population.
+  uint64_t population = 0;
+  FiCounts fi;                    // overall campaigns pooled across seeds
+  std::vector<double> model_sdc;  // overall prediction per spec model
+  std::vector<InstRow> insts;     // hottest top_n, hottest first
+};
+
+struct EvalResults {
+  ExperimentSpec spec;
+  std::vector<WorkloadEval> workloads;  // spec order
+  uint64_t cells_total = 0;
+  uint64_t cells_computed = 0;
+  uint64_t cells_cached = 0;
+  /// FI trials actually executed by this invocation (excludes both
+  /// cached cells and trials restored from mid-campaign checkpoints);
+  /// 0 when every cell was a cache hit.
+  uint64_t fi_trials_run = 0;
+};
+
+/// Runs the spec to completion. Throws std::runtime_error on an invalid
+/// spec or an unwritable store.
+EvalResults run_spec(const ExperimentSpec& spec, const RunOptions& options);
+
+// ---- Cache keys (exposed for tests and tools) --------------------------
+CellKey fi_overall_key(const ExperimentSpec& spec,
+                       const workloads::Workload& workload, uint64_t seed);
+CellKey fi_inst_key(const ExperimentSpec& spec,
+                    const workloads::Workload& workload, ir::InstRef target,
+                    uint64_t seed);
+CellKey model_key(const ExperimentSpec& spec,
+                  const workloads::Workload& workload,
+                  const std::string& model);
+
+}  // namespace trident::eval

@@ -1,0 +1,200 @@
+#include "eval/spec.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "support/json.h"
+#include "support/str.h"
+#include "workloads/workloads.h"
+
+namespace trident::eval {
+
+namespace json = support::json;
+
+const std::vector<std::string>& known_model_names() {
+  static const std::vector<std::string> kNames = {"full", "fs_fc", "fs",
+                                                  "paper", "pvf", "epvf"};
+  return kNames;
+}
+
+bool is_baseline_model(const std::string& name) {
+  return name == "pvf" || name == "epvf";
+}
+
+std::string ExperimentSpec::validate() const {
+  if (name.empty()) return "spec: 'name' must not be empty";
+  if (workloads.empty()) return "spec: 'workloads' must not be empty";
+  for (const auto& w : workloads) {
+    if (w == "*") continue;
+    if (workloads::lookup_workload(w) == nullptr) {
+      return "spec: unknown workload '" + w +
+             "'; registered workloads: " + workloads::workload_names();
+    }
+  }
+  if (models.empty()) return "spec: 'models' must not be empty";
+  for (const auto& m : models) {
+    const auto& known = known_model_names();
+    if (std::find(known.begin(), known.end(), m) == known.end()) {
+      return "spec: unknown model '" + m +
+             "'; known models: " + support::join(known, ", ");
+    }
+  }
+  for (size_t i = 0; i < models.size(); ++i) {
+    for (size_t j = i + 1; j < models.size(); ++j) {
+      if (models[i] == models[j]) {
+        return "spec: duplicate model '" + models[i] + "'";
+      }
+    }
+  }
+  if (seeds.empty()) return "spec: 'seeds' must not be empty";
+  for (size_t i = 0; i < seeds.size(); ++i) {
+    for (size_t j = i + 1; j < seeds.size(); ++j) {
+      if (seeds[i] == seeds[j]) {
+        return "spec: duplicate seed " + std::to_string(seeds[i]);
+      }
+    }
+  }
+  if (fi.trials == 0) return "spec: 'fi.trials' must be positive";
+  if (per_inst.top_n > 0 && per_inst.trials == 0) {
+    return "spec: 'per_instruction.trials' must be positive when "
+           "'per_instruction.top_n' is";
+  }
+  return {};
+}
+
+std::vector<std::string> ExperimentSpec::expanded_workloads() const {
+  std::vector<std::string> out;
+  for (const auto& w : workloads) {
+    if (w != "*") {
+      out.push_back(w);
+      continue;
+    }
+    for (const auto& registered : workloads::all_workloads()) {
+      if (std::find(out.begin(), out.end(), registered.name) == out.end()) {
+        out.push_back(registered.name);
+      }
+    }
+  }
+  return out;
+}
+
+std::string ExperimentSpec::to_json() const {
+  json::Value root = json::Value::object();
+  root.set("schema", json::Value(std::string("trident-eval-spec/1")));
+  root.set("name", json::Value(name));
+  json::Value ws = json::Value::array();
+  for (const auto& w : workloads) ws.push_back(json::Value(w));
+  root.set("workloads", std::move(ws));
+  json::Value ms = json::Value::array();
+  for (const auto& m : models) ms.push_back(json::Value(m));
+  root.set("models", std::move(ms));
+  json::Value ss = json::Value::array();
+  for (const auto s : seeds) ss.push_back(json::Value(s));
+  root.set("seeds", std::move(ss));
+  json::Value f = json::Value::object();
+  f.set("trials", json::Value(fi.trials));
+  f.set("fuel_multiplier", json::Value(fi.fuel_multiplier));
+  f.set("hang_escalation", json::Value(fi.hang_escalation));
+  f.set("num_bits", json::Value(static_cast<uint64_t>(fi.num_bits)));
+  root.set("fi", std::move(f));
+  json::Value p = json::Value::object();
+  p.set("top_n", json::Value(static_cast<uint64_t>(per_inst.top_n)));
+  p.set("trials", json::Value(per_inst.trials));
+  root.set("per_instruction", std::move(p));
+  if (!salt.empty()) root.set("salt", json::Value(salt));
+  return root.write();
+}
+
+bool parse_spec(const std::string& json_text, ExperimentSpec* out,
+                std::string* error) {
+  const auto fail = [&](const std::string& msg) {
+    if (error != nullptr) *error = msg;
+    return false;
+  };
+
+  json::ParseError perr;
+  const auto doc = json::parse(json_text, &perr);
+  if (!doc) {
+    return fail("spec: JSON parse error at byte " +
+                std::to_string(perr.offset) + ": " + perr.message);
+  }
+  if (!doc->is_object()) return fail("spec: top level must be an object");
+  const std::string schema = doc->get_string("schema", "");
+  if (schema != "trident-eval-spec/1") {
+    return fail("spec: schema tag must be \"trident-eval-spec/1\" (got \"" +
+                schema + "\")");
+  }
+
+  ExperimentSpec spec;
+  spec.name = doc->get_string("name", spec.name);
+  spec.salt = doc->get_string("salt", "");
+
+  const auto string_list = [&](const char* key,
+                               std::vector<std::string>* dst) -> bool {
+    const json::Value* v = doc->find(key);
+    if (v == nullptr) return true;  // keep default
+    if (!v->is_array()) return fail(std::string("spec: '") + key +
+                                    "' must be an array of strings");
+    dst->clear();
+    for (const auto& item : v->items()) {
+      if (!item.is_string()) {
+        return fail(std::string("spec: '") + key +
+                    "' must be an array of strings");
+      }
+      dst->push_back(item.as_string());
+    }
+    return true;
+  };
+  if (!string_list("workloads", &spec.workloads)) return false;
+  if (!string_list("models", &spec.models)) return false;
+
+  if (const json::Value* v = doc->find("seeds"); v != nullptr) {
+    if (!v->is_array()) return fail("spec: 'seeds' must be an array");
+    spec.seeds.clear();
+    for (const auto& item : v->items()) {
+      if (!item.is_number()) {
+        return fail("spec: 'seeds' must be an array of integers");
+      }
+      spec.seeds.push_back(item.as_uint());
+    }
+  }
+  if (const json::Value* v = doc->find("fi"); v != nullptr) {
+    if (!v->is_object()) return fail("spec: 'fi' must be an object");
+    spec.fi.trials = v->get_uint("trials", spec.fi.trials);
+    spec.fi.fuel_multiplier =
+        v->get_uint("fuel_multiplier", spec.fi.fuel_multiplier);
+    spec.fi.hang_escalation =
+        v->get_uint("hang_escalation", spec.fi.hang_escalation);
+    spec.fi.num_bits =
+        static_cast<uint32_t>(v->get_uint("num_bits", spec.fi.num_bits));
+  }
+  if (const json::Value* v = doc->find("per_instruction"); v != nullptr) {
+    if (!v->is_object()) {
+      return fail("spec: 'per_instruction' must be an object");
+    }
+    spec.per_inst.top_n =
+        static_cast<uint32_t>(v->get_uint("top_n", spec.per_inst.top_n));
+    spec.per_inst.trials = v->get_uint("trials", spec.per_inst.trials);
+  }
+
+  if (const std::string msg = spec.validate(); !msg.empty()) {
+    return fail(msg);
+  }
+  *out = std::move(spec);
+  return true;
+}
+
+bool load_spec_file(const std::string& path, ExperimentSpec* out,
+                    std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    if (error != nullptr) *error = "spec: cannot read '" + path + "'";
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_spec(buf.str(), out, error);
+}
+
+}  // namespace trident::eval

@@ -1,0 +1,82 @@
+// Declarative experiment specifications (docs/EVAL.md).
+//
+// An ExperimentSpec names the full evaluation grid the paper's Section
+// VI walks: workloads × model configurations (TRIDENT and the fs/fs+fc
+// ablations plus the PVF/ePVF baselines) × FI campaign settings ×
+// seeds. Specs are plain JSON on disk (schema "trident-eval-spec/1")
+// and plain structs in C++, so tests and tools can construct them
+// either way. The planner (eval/runner.h) expands a spec into cells;
+// each cell's identity — and therefore its slot in the
+// content-addressed result store — is a pure function of the spec
+// fields here plus the workload's registered input description.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace trident::eval {
+
+/// Fault-model settings shared by every FI cell of a spec. The fields
+/// mirror fi::CampaignOptions and all enter the cache key: changing any
+/// of them re-runs exactly the FI cells, never the model cells.
+struct FiSettings {
+  uint64_t trials = 2000;       // overall-campaign trials per seed
+  uint64_t fuel_multiplier = 50;
+  uint64_t hang_escalation = 8;
+  uint32_t num_bits = 1;        // 1 = the paper's single-bit model
+};
+
+/// Per-instruction accuracy settings (paper Fig. 7 / Table 2 shape):
+/// the `top_n` hottest injectable instructions of each workload get a
+/// dedicated FI campaign of `trials` injections per seed, compared
+/// against each model's per-instruction prediction by Spearman rank
+/// correlation and mean absolute error.
+struct PerInstSettings {
+  uint32_t top_n = 10;
+  uint64_t trials = 100;
+};
+
+/// The names accepted in ExperimentSpec::models. "full", "fs_fc", "fs"
+/// and "paper" are TRIDENT configurations (core::ModelConfig); "pvf"
+/// and "epvf" are the baselines of §VII-C.
+const std::vector<std::string>& known_model_names();
+bool is_baseline_model(const std::string& name);
+
+struct ExperimentSpec {
+  std::string name = "experiment";
+  /// Registry workload names; the single entry "*" expands to all.
+  std::vector<std::string> workloads;
+  std::vector<std::string> models = {"full", "fs_fc", "fs", "pvf", "epvf"};
+  /// Campaign seeds; FI cells exist per (workload, seed) and their
+  /// counts are pooled for reporting, so adding a seed refines the
+  /// ground truth without invalidating earlier seeds' cells.
+  std::vector<uint64_t> seeds = {1};
+  FiSettings fi;
+  PerInstSettings per_inst;
+  /// Extra user salt folded into every cache key (e.g. to segregate
+  /// results produced by a locally patched build).
+  std::string salt;
+
+  /// Empty when the spec is well-formed; otherwise a message naming the
+  /// offending field, including the full list of registered workloads /
+  /// known models for the unknown-name cases.
+  std::string validate() const;
+
+  /// Workloads with "*" expanded, in registry order.
+  std::vector<std::string> expanded_workloads() const;
+
+  /// Canonical JSON round-trip (echoed into report.json).
+  std::string to_json() const;
+};
+
+/// Parses schema "trident-eval-spec/1" JSON. On failure returns an
+/// empty optional-like flag via *error (non-empty message).
+bool parse_spec(const std::string& json_text, ExperimentSpec* out,
+                std::string* error);
+
+/// Reads and parses a spec file.
+bool load_spec_file(const std::string& path, ExperimentSpec* out,
+                    std::string* error);
+
+}  // namespace trident::eval

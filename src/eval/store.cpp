@@ -1,0 +1,96 @@
+#include "eval/store.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace trident::eval {
+
+namespace fs = std::filesystem;
+namespace json = support::json;
+
+uint64_t fnv1a64(const std::string& s) {
+  uint64_t h = 14695981039346656037ull;
+  for (const unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::string CellKey::hash_hex() const {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(fnv1a64(canonical)));
+  return buf;
+}
+
+ResultStore::ResultStore(std::string dir) : dir_(std::move(dir)) {
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec) {
+    throw std::runtime_error("eval store: cannot create directory '" + dir_ +
+                             "': " + ec.message());
+  }
+}
+
+std::string ResultStore::cell_path(const CellKey& key) const {
+  return dir_ + "/" + key.slug + "-" + key.hash_hex() + ".json";
+}
+
+std::string ResultStore::checkpoint_path(const CellKey& key) const {
+  return dir_ + "/" + key.slug + "-" + key.hash_hex() + ".ckpt.jsonl";
+}
+
+std::optional<json::Value> ResultStore::load(const CellKey& key) const {
+  std::ifstream in(cell_path(key), std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  json::ParseError perr;
+  auto doc = json::parse(buf.str(), &perr);
+  if (!doc || !doc->is_object()) return std::nullopt;
+  if (doc->get_string("schema", "") != "trident-eval/1") return std::nullopt;
+  if (doc->get_string("kind", "") != "cell") return std::nullopt;
+  // The canonical key inside the file must match exactly: a mismatch is
+  // a hash collision or a stale/edited file, both of which must re-run.
+  if (doc->get_string("key", "") != key.canonical) return std::nullopt;
+  const json::Value* data = doc->find("data");
+  if (data == nullptr || !data->is_object()) return std::nullopt;
+  return *data;
+}
+
+void ResultStore::save(const CellKey& key, json::Value data) const {
+  json::Value cell = json::Value::object();
+  cell.set("schema", json::Value(std::string("trident-eval/1")));
+  cell.set("kind", json::Value(std::string("cell")));
+  cell.set("slug", json::Value(key.slug));
+  cell.set("key", json::Value(key.canonical));
+  cell.set("data", std::move(data));
+  const std::string text = cell.write_pretty();
+
+  const std::string path = cell_path(key);
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      throw std::runtime_error("eval store: cannot write '" + tmp + "'");
+    }
+    out << text;
+    out.flush();
+    if (!out) {
+      throw std::runtime_error("eval store: short write to '" + tmp + "'");
+    }
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    throw std::runtime_error("eval store: cannot rename '" + tmp + "' to '" +
+                             path + "': " + ec.message());
+  }
+  fs::remove(checkpoint_path(key), ec);  // best-effort sidecar cleanup
+}
+
+}  // namespace trident::eval

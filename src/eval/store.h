@@ -1,0 +1,70 @@
+// Content-addressed result store for evaluation cells (docs/EVAL.md).
+//
+// Every cell — one FI campaign or one model evaluation — is keyed by a
+// canonical string naming everything its result depends on: the code-
+// version salt, the workload and its input description, the model
+// fingerprint or fault-model settings, the seed, and the target
+// instruction for per-instruction campaigns. The key is FNV-1a-hashed
+// into the file name `<slug>-<hash16>.json`; the canonical string is
+// echoed inside the file and re-checked on load, so a hash collision or
+// a hand-edited file degrades to a cache miss, never to silently wrong
+// data. Writes go through a temp file + rename, so a crash mid-write
+// leaves either the old cell or none — the orchestrator's crash-safety
+// rests on that plus the per-cell fi::campaign checkpoint logs that
+// live alongside unfinished FI cells.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "support/json.h"
+
+namespace trident::eval {
+
+/// The code-version salt folded into every cache key. Bump the trailing
+/// number whenever the semantics of the model, the fault injector, the
+/// interpreter, or a workload kernel change in a way that can move a
+/// result: every cell of every store then recomputes on next use.
+inline constexpr const char* kCodeVersionSalt = "trident-eval-salt/1";
+
+/// Identity of one cell. `canonical` is the full dependency string,
+/// `slug` a short human-readable file-name prefix ("fi-pathfinder-s1").
+struct CellKey {
+  std::string slug;
+  std::string canonical;
+
+  /// FNV-1a 64-bit hash of `canonical`, as 16 lowercase hex digits.
+  std::string hash_hex() const;
+};
+
+/// FNV-1a 64-bit (the repo-standard cheap stable hash).
+uint64_t fnv1a64(const std::string& s);
+
+class ResultStore {
+ public:
+  /// Opens (and creates, recursively) the store directory.
+  explicit ResultStore(std::string dir);
+
+  const std::string& dir() const { return dir_; }
+
+  std::string cell_path(const CellKey& key) const;
+  /// Sidecar fi::campaign checkpoint log for an in-progress FI cell;
+  /// deleted once the cell itself is persisted.
+  std::string checkpoint_path(const CellKey& key) const;
+
+  /// Loads a cell: present, parseable, schema-tagged "trident-eval/1",
+  /// and carrying exactly `key.canonical` — anything else is a miss.
+  std::optional<support::json::Value> load(const CellKey& key) const;
+
+  /// Persists `data` (the cell payload) under `key` atomically, wrapped
+  /// in the cell envelope {schema, kind, slug, key, data}, and removes
+  /// the cell's checkpoint sidecar. Throws std::runtime_error when the
+  /// store directory is not writable.
+  void save(const CellKey& key, support::json::Value data) const;
+
+ private:
+  std::string dir_;
+};
+
+}  // namespace trident::eval

@@ -1,7 +1,9 @@
 #include "stats/stats.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <vector>
 
 namespace trident::stats {
 
@@ -27,6 +29,49 @@ double mean_absolute_error(std::span<const double> a,
   double s = 0;
   for (size_t i = 0; i < a.size(); ++i) s += std::abs(a[i] - b[i]);
   return s / static_cast<double>(a.size());
+}
+
+namespace {
+
+// Average (fractional) ranks, 1-based: tied values all receive the mean
+// of the rank positions they span.
+std::vector<double> average_ranks(std::span<const double> xs) {
+  const size_t n = xs.size();
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return xs[a] < xs[b]; });
+  std::vector<double> ranks(n, 0.0);
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n && xs[order[j + 1]] == xs[order[i]]) ++j;
+    // Positions i..j (0-based) share the average 1-based rank.
+    const double rank = (static_cast<double>(i) + static_cast<double>(j)) / 2 + 1;
+    for (size_t k = i; k <= j; ++k) ranks[order[k]] = rank;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+}  // namespace
+
+double spearman_rank_corr(std::span<const double> a,
+                          std::span<const double> b) {
+  assert(a.size() == b.size());
+  if (a.size() < 2) return 0.0;
+  const auto ra = average_ranks(a);
+  const auto rb = average_ranks(b);
+  const double ma = mean(ra), mb = mean(rb);
+  double saa = 0, sbb = 0, sab = 0;
+  for (size_t i = 0; i < ra.size(); ++i) {
+    const double da = ra[i] - ma, db = rb[i] - mb;
+    saa += da * da;
+    sbb += db * db;
+    sab += da * db;
+  }
+  if (saa == 0 || sbb == 0) return 0.0;  // constant series: undefined
+  return sab / std::sqrt(saa * sbb);
 }
 
 Interval proportion_wilson_ci95(double p, uint64_t n) {

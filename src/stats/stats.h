@@ -14,6 +14,15 @@ double stddev(std::span<const double> xs);
 double mean_absolute_error(std::span<const double> a,
                            std::span<const double> b);
 
+/// Spearman rank correlation between paired series (asserts equal
+/// size): the Pearson correlation of average (fractional) ranks, which
+/// handles ties exactly — the per-instruction accuracy report hits
+/// ties constantly (many instructions share an SDC probability of 0 or
+/// 1). Returns 0 for the undefined cases: fewer than 2 pairs, or
+/// either series constant (zero rank variance).
+double spearman_rank_corr(std::span<const double> a,
+                          std::span<const double> b);
+
 /// A two-sided confidence interval on a proportion.
 struct Interval {
   double lo = 0;

@@ -1,0 +1,119 @@
+// Minimal JSON: a recursive Value type, a strict parser, and a
+// deterministic writer.
+//
+// The eval subsystem reads experiment specs and result-store cells and
+// must emit byte-identical artifacts at any thread count, so the writer
+// preserves object-member insertion order, prints doubles with %.17g
+// (round-trip exact), and never emits locale-dependent formatting. The
+// parser is strict UTF-8-agnostic RFC-ish JSON: it rejects trailing
+// garbage, unterminated strings, and bad escapes, and reports the byte
+// offset of the first error. No dependencies beyond the standard
+// library — this repo builds against a bare toolchain.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace trident::support::json {
+
+class Value;
+using Member = std::pair<std::string, Value>;
+
+/// A parsed JSON document node. Objects keep members in insertion
+/// order (writer determinism) and are looked up linearly — specs and
+/// cells have a handful of keys, so O(n) is the simple right choice.
+class Value {
+ public:
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  Value() : kind_(Kind::Null) {}
+  explicit Value(bool b) : kind_(Kind::Bool), bool_(b) {}
+  explicit Value(double n) : kind_(Kind::Number), num_(n) {}
+  explicit Value(uint64_t n)
+      : kind_(Kind::Number), num_(static_cast<double>(n)), uint_(n),
+        has_uint_(true) {}
+  explicit Value(std::string s) : kind_(Kind::String), str_(std::move(s)) {}
+
+  static Value array() {
+    Value v;
+    v.kind_ = Kind::Array;
+    return v;
+  }
+  static Value object() {
+    Value v;
+    v.kind_ = Kind::Object;
+    return v;
+  }
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::Null; }
+  bool is_bool() const { return kind_ == Kind::Bool; }
+  bool is_number() const { return kind_ == Kind::Number; }
+  bool is_string() const { return kind_ == Kind::String; }
+  bool is_array() const { return kind_ == Kind::Array; }
+  bool is_object() const { return kind_ == Kind::Object; }
+
+  bool as_bool() const { return bool_; }
+  double as_double() const { return num_; }
+  /// Exact unsigned value when the literal was a plain integer (no
+  /// sign, fraction, or exponent); otherwise a truncation of the
+  /// double. Counters (trial tallies, seeds) round-trip exactly.
+  uint64_t as_uint() const {
+    if (has_uint_) return uint_;
+    return num_ > 0 ? static_cast<uint64_t>(num_) : 0;
+  }
+  /// True when the literal was a plain unsigned integer.
+  bool is_exact_uint() const { return has_uint_; }
+  const std::string& as_string() const { return str_; }
+  const std::vector<Value>& items() const { return items_; }
+  const std::vector<Member>& members() const { return members_; }
+
+  /// Object member by key; nullptr when absent or not an object.
+  const Value* find(const std::string& key) const;
+
+  // ---- Mutation (document construction) ------------------------------
+  void push_back(Value v) { items_.push_back(std::move(v)); }
+  void set(const std::string& key, Value v);
+
+  // Typed convenience getters: member `key` coerced, or `fallback`.
+  uint64_t get_uint(const std::string& key, uint64_t fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  bool get_bool(const std::string& key, bool fallback) const;
+  std::string get_string(const std::string& key,
+                         const std::string& fallback) const;
+
+  /// Compact single-line serialization (deterministic bytes).
+  std::string write() const;
+  /// Pretty serialization with two-space indentation (deterministic
+  /// bytes); report artifacts use this so diffs stay readable.
+  std::string write_pretty() const;
+
+ private:
+  void write_to(std::string& out, int indent, int depth) const;
+
+  Kind kind_;
+  bool bool_ = false;
+  double num_ = 0;
+  uint64_t uint_ = 0;
+  bool has_uint_ = false;
+  std::string str_;
+  std::vector<Value> items_;
+  std::vector<Member> members_;
+};
+
+struct ParseError {
+  size_t offset = 0;
+  std::string message;
+};
+
+/// Parses one JSON document; trailing non-whitespace is an error.
+std::optional<Value> parse(const std::string& text, ParseError* error);
+
+/// Appends `s` as a quoted JSON string with the mandatory escapes.
+void append_quoted(std::string& out, const std::string& s);
+
+}  // namespace trident::support::json

@@ -1,6 +1,6 @@
 #include "workloads/workloads.h"
 
-#include <cassert>
+#include <stdexcept>
 
 namespace trident::workloads {
 
@@ -32,13 +32,26 @@ const std::vector<Workload>& all_workloads() {
   return kWorkloads;
 }
 
-const Workload& find_workload(const std::string& name) {
+const Workload* lookup_workload(const std::string& name) {
   for (const auto& w : all_workloads()) {
-    if (w.name == name) return w;
+    if (w.name == name) return &w;
   }
-  assert(false && "unknown workload");
-  static const Workload kNone{};
-  return kNone;
+  return nullptr;
+}
+
+std::string workload_names() {
+  std::string out;
+  for (const auto& w : all_workloads()) {
+    if (!out.empty()) out += ", ";
+    out += w.name;
+  }
+  return out;
+}
+
+const Workload& find_workload(const std::string& name) {
+  if (const Workload* w = lookup_workload(name); w != nullptr) return *w;
+  throw std::runtime_error("unknown workload '" + name +
+                           "'; registered workloads: " + workload_names());
 }
 
 }  // namespace trident::workloads

@@ -22,7 +22,16 @@ struct Workload {
 /// All workloads, in the paper's Table I order.
 const std::vector<Workload>& all_workloads();
 
-/// Lookup by name; asserts the workload exists.
+/// Lookup by name; nullptr when no workload is registered under it.
+const Workload* lookup_workload(const std::string& name);
+
+/// Comma-separated registered names, in registry order — the standard
+/// suffix of every unknown-workload diagnostic.
+std::string workload_names();
+
+/// Lookup by name; throws std::runtime_error naming the unknown
+/// workload and listing every registered name. Use lookup_workload for
+/// a non-throwing probe.
 const Workload& find_workload(const std::string& name);
 
 // Input-parameterized builders (the paper's §IX future work: SDC

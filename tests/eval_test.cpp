@@ -1,0 +1,391 @@
+// Evaluation-subsystem tests: the JSON layer, the spec grammar, the
+// content-addressed store, and the two end-to-end guarantees the
+// subsystem is built around — byte-identical report artifacts at any
+// thread count, and cell-granular resume (delete one cell, re-run,
+// only that cell recomputes).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "eval/report.h"
+#include "eval/runner.h"
+#include "eval/spec.h"
+#include "eval/store.h"
+#include "support/json.h"
+#include "workloads/workloads.h"
+
+namespace trident::eval {
+namespace {
+
+namespace fs = std::filesystem;
+namespace json = support::json;
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+std::string fresh_dir(const std::string& name) {
+  const std::string path = ::testing::TempDir() + name;
+  fs::remove_all(path);
+  return path;
+}
+
+// ---- support::json -----------------------------------------------------
+
+TEST(Json, ParseRoundTripPreservesOrderAndIntegers) {
+  const std::string text =
+      R"({"zebra":1,"alpha":{"b":[1,2,3],"a":true},"n":18446744073709551615})";
+  json::ParseError err;
+  const auto v = json::parse(text, &err);
+  ASSERT_TRUE(v.has_value()) << err.message;
+  // Insertion order survives the round trip — writer determinism (the
+  // writer's single-line form puts a space after ':' and ',').
+  EXPECT_EQ(v->write(),
+            R"({"zebra": 1, "alpha": {"b": [1, 2, 3], "a": true}, )"
+            R"("n": 18446744073709551615})");
+  // uint64 max round-trips exactly (no double truncation).
+  const auto* n = v->find("n");
+  ASSERT_NE(n, nullptr);
+  EXPECT_TRUE(n->is_exact_uint());
+  EXPECT_EQ(n->as_uint(), 18446744073709551615ull);
+}
+
+TEST(Json, ParseRejectsGarbage) {
+  json::ParseError err;
+  EXPECT_FALSE(json::parse("{\"a\":1} trailing", &err).has_value());
+  EXPECT_FALSE(json::parse("{\"a\":}", &err).has_value());
+  EXPECT_FALSE(json::parse("\"unterminated", &err).has_value());
+  EXPECT_FALSE(json::parse("{\"a\" 1}", &err).has_value());
+  EXPECT_FALSE(json::parse("", &err).has_value());
+  EXPECT_FALSE(json::parse("nul", &err).has_value());
+  // The error carries a byte offset at or just past the offending byte.
+  err = {};
+  EXPECT_FALSE(json::parse("[1, 2, x]", &err).has_value());
+  EXPECT_GE(err.offset, 7u);
+  EXPECT_LE(err.offset, 8u);
+}
+
+TEST(Json, StringEscapes) {
+  json::ParseError err;
+  const auto v = json::parse(R"(["a\"b\\c\n\tA"])", &err);
+  ASSERT_TRUE(v.has_value()) << err.message;
+  EXPECT_EQ(v->items()[0].as_string(), "a\"b\\c\n\tA");
+  // Writer escapes control characters and quotes on the way out.
+  std::string out;
+  json::append_quoted(out, "x\"y\nz");
+  EXPECT_EQ(out, R"("x\"y\nz")");
+}
+
+TEST(Json, TypedGettersWithFallbacks) {
+  json::ParseError err;
+  const auto v = json::parse(R"({"u":7,"d":0.5,"b":true,"s":"hi"})", &err);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->get_uint("u", 0), 7u);
+  EXPECT_DOUBLE_EQ(v->get_double("d", 0), 0.5);
+  EXPECT_TRUE(v->get_bool("b", false));
+  EXPECT_EQ(v->get_string("s", ""), "hi");
+  EXPECT_EQ(v->get_uint("missing", 42), 42u);
+  EXPECT_EQ(v->find("missing"), nullptr);
+}
+
+// ---- ExperimentSpec ----------------------------------------------------
+
+ExperimentSpec tiny_spec() {
+  ExperimentSpec spec;
+  spec.name = "tiny";
+  spec.workloads = {"pathfinder", "hotspot"};
+  spec.models = {"full", "fs", "pvf"};
+  spec.seeds = {1};
+  spec.fi.trials = 30;
+  spec.per_inst.top_n = 2;
+  spec.per_inst.trials = 10;
+  return spec;
+}
+
+TEST(Spec, ParseAcceptsMinimalDocument) {
+  ExperimentSpec spec;
+  std::string error;
+  ASSERT_TRUE(parse_spec(
+      R"({"schema":"trident-eval-spec/1","name":"t",
+          "workloads":["pathfinder"]})",
+      &spec, &error))
+      << error;
+  EXPECT_EQ(spec.name, "t");
+  ASSERT_EQ(spec.workloads.size(), 1u);
+  // Defaults fill the rest.
+  EXPECT_EQ(spec.fi.trials, 2000u);
+  EXPECT_EQ(spec.models.size(), 5u);
+  EXPECT_TRUE(spec.validate().empty()) << spec.validate();
+}
+
+TEST(Spec, ParseRejectsWrongSchemaAndBadJson) {
+  ExperimentSpec spec;
+  std::string error;
+  EXPECT_FALSE(parse_spec(R"({"schema":"bogus/1","workloads":["x"]})",
+                          &spec, &error));
+  EXPECT_NE(error.find("schema"), std::string::npos) << error;
+  EXPECT_FALSE(parse_spec("{not json", &spec, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(Spec, ValidateUnknownWorkloadListsRegisteredNames) {
+  auto spec = tiny_spec();
+  spec.workloads = {"pathfinder", "nosuchworkload"};
+  const auto msg = spec.validate();
+  ASSERT_FALSE(msg.empty());
+  EXPECT_NE(msg.find("nosuchworkload"), std::string::npos) << msg;
+  for (const auto& w : workloads::all_workloads()) {
+    EXPECT_NE(msg.find(w.name), std::string::npos) << msg;
+  }
+}
+
+TEST(Spec, ValidateUnknownModelListsKnownNames) {
+  auto spec = tiny_spec();
+  spec.models = {"full", "nosuchmodel"};
+  const auto msg = spec.validate();
+  ASSERT_FALSE(msg.empty());
+  EXPECT_NE(msg.find("nosuchmodel"), std::string::npos) << msg;
+  for (const auto& m : known_model_names()) {
+    EXPECT_NE(msg.find(m), std::string::npos) << msg;
+  }
+}
+
+TEST(Spec, ValidateRejectsEmptyAndDegenerate) {
+  auto spec = tiny_spec();
+  spec.workloads.clear();
+  EXPECT_FALSE(spec.validate().empty());
+  spec = tiny_spec();
+  spec.seeds.clear();
+  EXPECT_FALSE(spec.validate().empty());
+  spec = tiny_spec();
+  spec.fi.trials = 0;
+  EXPECT_FALSE(spec.validate().empty());
+  spec = tiny_spec();
+  spec.models = {"full", "full"};
+  EXPECT_FALSE(spec.validate().empty());
+}
+
+TEST(Spec, StarExpandsToRegistryOrder) {
+  auto spec = tiny_spec();
+  spec.workloads = {"*"};
+  const auto expanded = spec.expanded_workloads();
+  const auto& all = workloads::all_workloads();
+  ASSERT_EQ(expanded.size(), all.size());
+  for (size_t i = 0; i < all.size(); ++i) {
+    EXPECT_EQ(expanded[i], all[i].name);
+  }
+}
+
+TEST(Spec, JsonRoundTrip) {
+  auto spec = tiny_spec();
+  spec.salt = "local-patch";
+  ExperimentSpec back;
+  std::string error;
+  ASSERT_TRUE(parse_spec(spec.to_json(), &back, &error)) << error;
+  EXPECT_EQ(back.to_json(), spec.to_json());
+  EXPECT_EQ(back.salt, "local-patch");
+  EXPECT_EQ(back.per_inst.top_n, 2u);
+}
+
+// ---- ResultStore -------------------------------------------------------
+
+TEST(Store, SaveThenLoadHits) {
+  ResultStore store(fresh_dir("eval_store_hit"));
+  const CellKey key{"fi-demo-s1", "salt|demo|fi|s=1"};
+  auto data = json::Value::object();
+  data.set("trials", json::Value(uint64_t{30}));
+  data.set("sdc", json::Value(uint64_t{7}));
+  store.save(key, std::move(data));
+  const auto loaded = store.load(key);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->get_uint("trials", 0), 30u);
+  EXPECT_EQ(loaded->get_uint("sdc", 0), 7u);
+}
+
+TEST(Store, CanonicalMismatchIsAMiss) {
+  ResultStore store(fresh_dir("eval_store_mismatch"));
+  const CellKey key{"cell", "deps/v1"};
+  store.save(key, json::Value::object());
+  EXPECT_TRUE(store.load(key).has_value());
+  // Same slug, different dependency string: different file name, miss.
+  EXPECT_FALSE(store.load(CellKey{"cell", "deps/v2"}).has_value());
+  // A colliding file whose embedded key disagrees is also a miss, not
+  // silently wrong data: simulate by editing the canonical key in situ.
+  const auto path = store.cell_path(key);
+  auto text = read_file(path);
+  const auto pos = text.find("deps/v1");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 7, "deps/vX");
+  std::ofstream(path, std::ios::binary) << text;
+  EXPECT_FALSE(store.load(key).has_value());
+}
+
+TEST(Store, CorruptFileIsAMiss) {
+  ResultStore store(fresh_dir("eval_store_corrupt"));
+  const CellKey key{"cell", "deps"};
+  store.save(key, json::Value::object());
+  std::ofstream(store.cell_path(key), std::ios::binary) << "{torn write";
+  EXPECT_FALSE(store.load(key).has_value());
+}
+
+TEST(Store, SaveRemovesCheckpointSidecar) {
+  ResultStore store(fresh_dir("eval_store_sidecar"));
+  const CellKey key{"fi-x-s1", "deps"};
+  std::ofstream(store.checkpoint_path(key)) << "{}\n";
+  ASSERT_TRUE(fs::exists(store.checkpoint_path(key)));
+  store.save(key, json::Value::object());
+  EXPECT_FALSE(fs::exists(store.checkpoint_path(key)));
+}
+
+TEST(Store, KeyHashIsStable) {
+  // Pin the FNV-1a vectors so a silent hash change (which would orphan
+  // every existing store) fails loudly.
+  EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ull);
+  EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cull);
+  const CellKey key{"slug", "a"};
+  EXPECT_EQ(key.hash_hex(), "af63dc4c8601ec8c");
+}
+
+TEST(Store, KeysSeparateEveryDimension) {
+  const auto spec = tiny_spec();
+  const auto& w1 = workloads::find_workload("pathfinder");
+  const auto& w2 = workloads::find_workload("hotspot");
+  std::vector<std::string> canon{
+      fi_overall_key(spec, w1, 1).canonical,
+      fi_overall_key(spec, w1, 2).canonical,   // seed
+      fi_overall_key(spec, w2, 1).canonical,   // workload
+      model_key(spec, w1, "full").canonical,
+      model_key(spec, w1, "fs").canonical,     // model config
+      model_key(spec, w1, "pvf").canonical,    // baseline
+      fi_inst_key(spec, w1, ir::InstRef{0, 1}, 1).canonical,
+      fi_inst_key(spec, w1, ir::InstRef{0, 2}, 1).canonical,  // target
+  };
+  for (size_t i = 0; i < canon.size(); ++i) {
+    EXPECT_NE(canon[i].find(kCodeVersionSalt), std::string::npos);
+    for (size_t j = i + 1; j < canon.size(); ++j) {
+      EXPECT_NE(canon[i], canon[j]) << i << " vs " << j;
+    }
+  }
+  // The user salt feeds the key too.
+  auto salted = spec;
+  salted.salt = "patched";
+  EXPECT_NE(fi_overall_key(salted, w1, 1).canonical,
+            fi_overall_key(spec, w1, 1).canonical);
+  // FI settings invalidate FI cells but not model cells.
+  auto more_trials = spec;
+  more_trials.fi.trials = 60;
+  EXPECT_NE(fi_overall_key(more_trials, w1, 1).canonical,
+            fi_overall_key(spec, w1, 1).canonical);
+  EXPECT_EQ(model_key(more_trials, w1, "full").canonical,
+            model_key(spec, w1, "full").canonical);
+}
+
+// ---- End-to-end: determinism and resume --------------------------------
+
+struct Artifacts {
+  std::string csv, per_inst_csv, json_text, md;
+};
+
+Artifacts run_tiny(const std::string& out_dir, uint32_t threads) {
+  auto spec = tiny_spec();
+  RunOptions options;
+  options.out_dir = out_dir;
+  options.threads = threads;
+  const auto results = run_spec(spec, options);
+  const auto paths = write_reports(results, out_dir);
+  return {read_file(paths.report_csv), read_file(paths.per_instruction_csv),
+          read_file(paths.report_json), read_file(paths.report_md)};
+}
+
+TEST(EvalGolden, ReportsAreByteIdenticalAcrossThreadCounts) {
+  const auto a = run_tiny(fresh_dir("eval_golden_t1"), 1);
+  const auto b = run_tiny(fresh_dir("eval_golden_t8"), 8);
+  EXPECT_EQ(a.csv, b.csv);
+  EXPECT_EQ(a.per_inst_csv, b.per_inst_csv);
+  EXPECT_EQ(a.json_text, b.json_text);
+  EXPECT_EQ(a.md, b.md);
+  // Sanity: the artifacts carry real content, not matching emptiness.
+  EXPECT_NE(a.csv.find("pathfinder"), std::string::npos);
+  EXPECT_NE(a.csv.find("hotspot"), std::string::npos);
+  EXPECT_NE(a.json_text.find("\"schema\": \"trident-eval/1\""),
+            std::string::npos);
+  EXPECT_NE(a.md.find("Wilson"), std::string::npos);
+}
+
+TEST(EvalGolden, RerunOverWarmStoreRunsZeroTrials) {
+  const auto out = fresh_dir("eval_warm");
+  auto spec = tiny_spec();
+  RunOptions options;
+  options.out_dir = out;
+  const auto fresh = run_spec(spec, options);
+  EXPECT_EQ(fresh.cells_computed, fresh.cells_total);
+  EXPECT_EQ(fresh.cells_cached, 0u);
+  EXPECT_GT(fresh.fi_trials_run, 0u);
+
+  const auto warm = run_spec(spec, options);
+  EXPECT_EQ(warm.cells_total, fresh.cells_total);
+  EXPECT_EQ(warm.cells_computed, 0u);
+  EXPECT_EQ(warm.cells_cached, warm.cells_total);
+  EXPECT_EQ(warm.fi_trials_run, 0u);
+  // The warm run assembles the same report bytes.
+  EXPECT_EQ(report_json(warm), report_json(fresh));
+  EXPECT_EQ(overall_csv(warm), overall_csv(fresh));
+}
+
+TEST(EvalGolden, DeletedCellIsTheOnlyThingRecomputed) {
+  const auto out = fresh_dir("eval_resume");
+  auto spec = tiny_spec();
+  RunOptions options;
+  options.out_dir = out;
+  const auto fresh = run_spec(spec, options);
+
+  // Delete exactly one FI cell.
+  ResultStore store(out + "/store");
+  const auto key =
+      fi_overall_key(spec, workloads::find_workload("hotspot"), 1);
+  ASSERT_TRUE(fs::exists(store.cell_path(key)));
+  fs::remove(store.cell_path(key));
+
+  const auto resumed = run_spec(spec, options);
+  EXPECT_EQ(resumed.cells_computed, 1u);
+  EXPECT_EQ(resumed.cells_cached, resumed.cells_total - 1);
+  // Only that cell's campaign ran: exactly fi.trials injections.
+  EXPECT_EQ(resumed.fi_trials_run, spec.fi.trials);
+  // And the recomputed cell reproduces the original tallies (campaigns
+  // are seeded, so the report is unchanged).
+  EXPECT_EQ(report_json(resumed), report_json(fresh));
+}
+
+TEST(EvalGolden, ForceRecomputesEverything) {
+  const auto out = fresh_dir("eval_force");
+  auto spec = tiny_spec();
+  spec.workloads = {"pathfinder"};
+  RunOptions options;
+  options.out_dir = out;
+  const auto fresh = run_spec(spec, options);
+  options.force = true;
+  const auto forced = run_spec(spec, options);
+  EXPECT_EQ(forced.cells_computed, forced.cells_total);
+  EXPECT_EQ(forced.cells_cached, 0u);
+  EXPECT_EQ(report_json(forced), report_json(fresh));
+}
+
+TEST(EvalGolden, InvalidSpecThrows) {
+  auto spec = tiny_spec();
+  spec.workloads = {"nosuchworkload"};
+  RunOptions options;
+  options.out_dir = fresh_dir("eval_invalid");
+  EXPECT_THROW(run_spec(spec, options), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace trident::eval

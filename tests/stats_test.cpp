@@ -28,6 +28,70 @@ TEST(Stats, MeanAbsoluteError) {
   EXPECT_DOUBLE_EQ(mean_absolute_error(a, b), 1.0);
 }
 
+TEST(Stats, MeanAbsoluteErrorIdenticalAndEmpty) {
+  const std::vector<double> a{0.25, 0.5, 0.75};
+  EXPECT_DOUBLE_EQ(mean_absolute_error(a, a), 0.0);
+  EXPECT_DOUBLE_EQ(
+      mean_absolute_error(std::vector<double>{}, std::vector<double>{}), 0.0);
+}
+
+TEST(Spearman, PerfectMonotone) {
+  const std::vector<double> a{1, 2, 3, 4, 5};
+  // Any monotone transform has rank correlation exactly 1.
+  const std::vector<double> b{0.01, 0.1, 1, 10, 100};
+  EXPECT_DOUBLE_EQ(spearman_rank_corr(a, b), 1.0);
+  std::vector<double> rev(b.rbegin(), b.rend());
+  EXPECT_DOUBLE_EQ(spearman_rank_corr(a, rev), -1.0);
+}
+
+TEST(Spearman, KnownValueNoTies) {
+  // Classic textbook pairs: rho = 1 - 6*sum(d^2)/(n(n^2-1)).
+  const std::vector<double> a{1, 2, 3, 4, 5};
+  const std::vector<double> b{2, 1, 4, 3, 5};
+  // d = {1,-1,1,-1,0}, sum d^2 = 4, rho = 1 - 24/120 = 0.8.
+  EXPECT_NEAR(spearman_rank_corr(a, b), 0.8, 1e-12);
+}
+
+TEST(Spearman, TiesUseAverageRanks) {
+  // a has a two-way tie (average rank 1.5 for both 1s); with average
+  // ranks rho is still exactly 1 against a series tied the same way.
+  const std::vector<double> a{1, 1, 2, 3};
+  const std::vector<double> b{5, 5, 6, 7};
+  EXPECT_NEAR(spearman_rank_corr(a, b), 1.0, 1e-12);
+  // Ties on one side only: hand-computed Pearson over average ranks.
+  // ranks(a) = {1.5, 1.5, 3, 4}, ranks(c) = {1, 2, 3, 4} -> rho =
+  // 0.9486832980505138 (= 3/sqrt(10)).
+  const std::vector<double> c{10, 20, 30, 40};
+  EXPECT_NEAR(spearman_rank_corr(a, c), 3.0 / std::sqrt(10.0), 1e-12);
+}
+
+TEST(Spearman, DegenerateInputsReturnZero) {
+  // The per-instruction report hits these constantly: a model that
+  // predicts the same SDC for every instruction carries no ranking
+  // information, so the correlation is defined as 0, not NaN.
+  const std::vector<double> constant{0.5, 0.5, 0.5};
+  const std::vector<double> varied{0.1, 0.2, 0.3};
+  EXPECT_DOUBLE_EQ(spearman_rank_corr(constant, varied), 0.0);
+  EXPECT_DOUBLE_EQ(spearman_rank_corr(varied, constant), 0.0);
+  EXPECT_DOUBLE_EQ(spearman_rank_corr(constant, constant), 0.0);
+  // Fewer than two pairs.
+  const std::vector<double> one{1.0};
+  EXPECT_DOUBLE_EQ(spearman_rank_corr(one, one), 0.0);
+  EXPECT_DOUBLE_EQ(
+      spearman_rank_corr(std::vector<double>{}, std::vector<double>{}), 0.0);
+}
+
+TEST(Spearman, BoundedOnNoisyData) {
+  std::vector<double> a, b;
+  for (int i = 0; i < 50; ++i) {
+    a.push_back((i * 7919) % 101);
+    b.push_back((i * 104729) % 97);
+  }
+  const double rho = spearman_rank_corr(a, b);
+  EXPECT_GE(rho, -1.0);
+  EXPECT_LE(rho, 1.0);
+}
+
 TEST(Stats, ProportionCi95IsWilsonHalfWidth) {
   // p=0.5, n=100: Wilson half-width 0.09617 (the normal approximation
   // gave 0.0980).

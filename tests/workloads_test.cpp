@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "interp/interpreter.h"
 #include "ir/verifier.h"
 #include "profiler/profiler.h"
@@ -20,6 +22,26 @@ TEST(Registry, HasElevenWorkloadsInPaperOrder) {
 TEST(Registry, FindByName) {
   EXPECT_EQ(find_workload("hotspot").suite, "Rodinia");
   EXPECT_EQ(find_workload("lulesh").suite, "LLNL");
+}
+
+TEST(Registry, LookupReturnsNullForUnknown) {
+  EXPECT_NE(lookup_workload("hotspot"), nullptr);
+  EXPECT_EQ(lookup_workload("nosuchworkload"), nullptr);
+}
+
+TEST(Registry, FindUnknownThrowsListingAllNames) {
+  try {
+    find_workload("nosuchworkload");
+    FAIL() << "find_workload accepted an unknown name";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("nosuchworkload"), std::string::npos) << msg;
+    // The message must list every registered workload so a CLI typo is
+    // self-correcting.
+    for (const auto& w : all_workloads()) {
+      EXPECT_NE(msg.find(w.name), std::string::npos) << msg;
+    }
+  }
 }
 
 TEST(Helpers, CountedLoopRunsExactTripCount) {

@@ -1,40 +1,60 @@
 #!/usr/bin/env python3
-"""CI validator for trident run manifests (schema trident-run-metrics/1).
+"""CI validator for trident JSON artifacts.
 
-Usage: check_manifest.py INJECT.json RESUME.json PREDICT.json
+Modes:
+  check_manifest.py run INJECT.json RESUME.json PREDICT.json
+      Validate run manifests (schema trident-run-metrics/1): INJECT is a
+      fresh checkpointed `trident inject` run, RESUME re-runs the same
+      command over the finished log, PREDICT is a `trident predict` run.
+      Checks schema tags, metric families, internal consistency, and
+      that the resume restored every trial without re-running any.
 
-INJECT is the manifest of a fresh checkpointed `trident inject` run,
-RESUME the manifest of re-running the same command over the finished
-checkpoint log, and PREDICT the manifest of a `trident predict` run.
-Checks that each parses, carries the schema tag and the expected metric
-families, that the outcome tallies are internally consistent, and that
-the resumed campaign reproduced the fresh run's tallies without
-re-running any trial.
+  check_manifest.py eval REPORT.json [STORE_DIR]
+      Validate an evaluation report (schema trident-eval/1, kind
+      "report"): spec echo, cell accounting, per-workload FI tallies,
+      Wilson CIs, model accuracy columns, per-instruction rows. With
+      STORE_DIR, additionally validate every result-store cell file.
+
+  check_manifest.py selftest
+      Validate the committed fixture tools/fixtures/eval_report_tiny.json
+      and verify that representative corruptions are rejected.
+
+Legacy: three positional manifests (no mode word) mean `run`.
 """
+import copy
 import json
+import os
 import sys
 
 OUTCOMES = ["sdc", "benign", "crash", "hang", "detected"]
 
 
+def bail(msg):
+    raise SystemExit(msg)
+
+
+# ---------------------------------------------------------------------------
+# trident-run-metrics/1
+# ---------------------------------------------------------------------------
+
 def load(path):
     with open(path) as f:
         manifest = json.load(f)
     if manifest.get("schema") != "trident-run-metrics/1":
-        raise SystemExit(f"{path}: bad schema tag {manifest.get('schema')!r}")
+        bail(f"{path}: bad schema tag {manifest.get('schema')!r}")
     for section in ("counters", "gauges"):
         if not isinstance(manifest.get(section), dict):
-            raise SystemExit(f"{path}: missing {section!r} object")
+            bail(f"{path}: missing {section!r} object")
     return manifest
 
 
 def require(path, manifest, counters=(), gauges=()):
     for key in counters:
         if key not in manifest["counters"]:
-            raise SystemExit(f"{path}: missing counter {key!r}")
+            bail(f"{path}: missing counter {key!r}")
     for key in gauges:
         if key not in manifest["gauges"]:
-            raise SystemExit(f"{path}: missing gauge {key!r}")
+            bail(f"{path}: missing gauge {key!r}")
 
 
 def check_campaign(path, manifest):
@@ -53,47 +73,44 @@ def check_campaign(path, manifest):
     c = manifest["counters"]
     total = c["fi.trials.total"]
     if total <= 0:
-        raise SystemExit(f"{path}: campaign ran no trials")
+        bail(f"{path}: campaign ran no trials")
     if sum(c[f"fi.outcome.{o}"] for o in OUTCOMES) != total:
-        raise SystemExit(f"{path}: outcome tallies do not sum to the total")
+        bail(f"{path}: outcome tallies do not sum to the total")
     # Snapshot-engine consistency: only run trials can resume from a
     # snapshot, and a campaign without snapshots cannot skip any work.
     if c["fi.snapshot_resumed_trials"] > c["fi.trials.run"]:
-        raise SystemExit(
-            f"{path}: more snapshot-resumed trials than trials run")
+        bail(f"{path}: more snapshot-resumed trials than trials run")
     if c["fi.snapshot_count"] == 0 and (
             c["fi.snapshot_skipped_insts"] != 0
             or c["fi.snapshot_resumed_trials"] != 0):
-        raise SystemExit(
-            f"{path}: snapshot work reported without any snapshots")
+        bail(f"{path}: snapshot work reported without any snapshots")
     if c["interp.memcache.hits"] > c["interp.memcache.lookups"]:
-        raise SystemExit(f"{path}: memory-cache hits exceed lookups")
+        bail(f"{path}: memory-cache hits exceed lookups")
     return c
 
 
-def main(argv):
-    if len(argv) != 4:
-        raise SystemExit(__doc__)
-    inject, resume, predict = (load(p) for p in argv[1:4])
+def mode_run(argv):
+    if len(argv) != 3:
+        bail(__doc__)
+    inject, resume, predict = (load(p) for p in argv)
 
-    fresh = check_campaign(argv[1], inject)
+    fresh = check_campaign(argv[0], inject)
     if fresh["fi.trials.resumed"] != 0:
-        raise SystemExit(f"{argv[1]}: fresh run claims resumed trials")
+        bail(f"{argv[0]}: fresh run claims resumed trials")
 
-    resumed = check_campaign(argv[2], resume)
+    resumed = check_campaign(argv[1], resume)
     if resumed["fi.trials.run"] != 0:
-        raise SystemExit(f"{argv[2]}: resume over a finished log re-ran trials")
+        bail(f"{argv[1]}: resume over a finished log re-ran trials")
     if resumed["fi.trials.resumed"] != fresh["fi.trials.total"]:
-        raise SystemExit(f"{argv[2]}: resume did not restore every trial")
+        bail(f"{argv[1]}: resume did not restore every trial")
     for o in OUTCOMES:
         key = f"fi.outcome.{o}"
         if resumed[key] != fresh[key]:
-            raise SystemExit(
-                f"{argv[2]}: resumed tally {key} = {resumed[key]} differs "
-                f"from the fresh run's {fresh[key]}")
+            bail(f"{argv[1]}: resumed tally {key} = {resumed[key]} differs "
+                 f"from the fresh run's {fresh[key]}")
 
     require(
-        argv[3],
+        argv[2],
         predict,
         counters=["fm.solver_iterations", "fs.memo.hits", "fs.memo.lookups",
                   "fc.memo.hits", "fc.memo.lookups", "trident.memo.hits",
@@ -104,6 +121,189 @@ def main(argv):
     )
     print(f"manifests OK: {fresh['fi.trials.total']} trials fresh, "
           f"{resumed['fi.trials.resumed']} resumed, predict instrumented")
+
+
+# ---------------------------------------------------------------------------
+# trident-eval/1
+# ---------------------------------------------------------------------------
+
+def _prob(path, what, value):
+    if not isinstance(value, (int, float)) or not 0.0 <= value <= 1.0:
+        bail(f"{path}: {what} = {value!r} is not a probability")
+
+
+def check_eval_report(path, report):
+    if report.get("schema") != "trident-eval/1":
+        bail(f"{path}: bad schema tag {report.get('schema')!r}")
+    if report.get("kind") != "report":
+        bail(f"{path}: kind {report.get('kind')!r}, expected 'report'")
+
+    spec = report.get("spec")
+    if not isinstance(spec, dict) or \
+            spec.get("schema") != "trident-eval-spec/1":
+        bail(f"{path}: missing or untagged spec echo")
+    models = spec.get("models")
+    if not isinstance(models, list) or not models:
+        bail(f"{path}: spec echo has no models")
+    top_n = spec.get("per_instruction", {}).get("top_n", 0)
+
+    # The report deliberately carries only the spec-determined cell
+    # count; computed/cached accounting lives in the run manifest so the
+    # report stays byte-stable across re-runs.
+    cells = report.get("cells")
+    if not isinstance(cells, dict) or \
+            not isinstance(cells.get("total"), int) or cells["total"] <= 0:
+        bail(f"{path}: cells.total missing or non-positive")
+
+    workloads = report.get("workloads")
+    if not isinstance(workloads, list) or not workloads:
+        bail(f"{path}: missing workloads array")
+    for w in workloads:
+        name = w.get("name", "<unnamed>")
+        fi = w.get("fi")
+        if not isinstance(fi, dict):
+            bail(f"{path}: workload {name}: missing fi object")
+        trials = fi.get("trials", 0)
+        if trials <= 0:
+            bail(f"{path}: workload {name}: no FI trials")
+        if sum(fi.get(o, 0) for o in OUTCOMES) != trials:
+            bail(f"{path}: workload {name}: FI tallies do not sum to trials")
+        _prob(path, f"workload {name} fi.sdc_prob", fi.get("sdc_prob"))
+        if abs(fi["sdc_prob"] - fi["sdc"] / trials) > 1e-9:
+            bail(f"{path}: workload {name}: sdc_prob inconsistent with "
+                 f"tallies")
+        if not 0.0 < fi.get("sdc_ci95", -1) <= 1.0:
+            # Wilson CIs have nonzero width even at p = 0 or 1.
+            bail(f"{path}: workload {name}: sdc_ci95 out of range")
+
+        wmodels = w.get("models")
+        if not isinstance(wmodels, list) or \
+                [m.get("name") for m in wmodels] != models:
+            bail(f"{path}: workload {name}: model rows do not match the "
+                 f"spec's models")
+        for m in wmodels:
+            _prob(path, f"{name}/{m['name']} overall_sdc",
+                  m.get("overall_sdc"))
+            expected = abs(m["overall_sdc"] - fi["sdc_prob"])
+            if abs(m.get("abs_err", -1) - expected) > 1e-9:
+                bail(f"{path}: workload {name}: {m['name']} abs_err "
+                     f"inconsistent")
+            if not -1.0 <= m.get("spearman", -2) <= 1.0:
+                bail(f"{path}: workload {name}: {m['name']} spearman out "
+                     f"of [-1, 1]")
+
+        insts = w.get("insts", [])
+        if len(insts) > top_n:
+            bail(f"{path}: workload {name}: more per-instruction rows than "
+                 f"per_instruction.top_n")
+        for row in insts:
+            _prob(path, f"workload {name} inst fi_sdc", row.get("fi_sdc"))
+            row_models = row.get("models", {})
+            if sorted(row_models) != sorted(models):
+                bail(f"{path}: workload {name}: per-inst row model set "
+                     f"mismatch")
+            for mname, sdc in row_models.items():
+                _prob(path, f"{name} inst {mname} sdc", sdc)
+
+    summary = report.get("summary", {}).get("models")
+    if not isinstance(summary, list) or \
+            [m.get("name") for m in summary] != models:
+        bail(f"{path}: summary.models does not match the spec's models")
+    for mi, m in enumerate(summary):
+        mean = sum(w["models"][mi]["abs_err"] for w in workloads) \
+            / len(workloads)
+        if abs(m.get("mean_abs_err", -1) - mean) > 1e-9:
+            bail(f"{path}: summary mean_abs_err for {m['name']} "
+                 f"inconsistent")
+    return len(workloads)
+
+
+def check_eval_store(store_dir, expected_cells):
+    names = sorted(n for n in os.listdir(store_dir) if n.endswith(".json"))
+    for name in names:
+        path = os.path.join(store_dir, name)
+        with open(path) as f:
+            cell = json.load(f)
+        if cell.get("schema") != "trident-eval/1":
+            bail(f"{path}: bad schema tag {cell.get('schema')!r}")
+        if cell.get("kind") != "cell":
+            bail(f"{path}: kind {cell.get('kind')!r}, expected 'cell'")
+        if not cell.get("key"):
+            bail(f"{path}: missing canonical key echo")
+        data = cell.get("data")
+        if not isinstance(data, dict):
+            bail(f"{path}: missing data payload")
+        if name.startswith(("fi-", "fii-")):
+            trials = data.get("trials", 0)
+            if trials <= 0:
+                bail(f"{path}: FI cell with no trials")
+            if sum(data.get(o, 0) for o in OUTCOMES) != trials:
+                bail(f"{path}: FI cell tallies do not sum to trials")
+        elif name.startswith("model-"):
+            if "overall_sdc" not in data or "insts" not in data:
+                bail(f"{path}: model cell missing overall_sdc/insts")
+    if len(names) < expected_cells:
+        bail(f"{store_dir}: {len(names)} cells on disk but the report "
+             f"accounts for {expected_cells}")
+    return len(names)
+
+
+def mode_eval(argv):
+    if len(argv) not in (1, 2):
+        bail(__doc__)
+    with open(argv[0]) as f:
+        report = json.load(f)
+    nworkloads = check_eval_report(argv[0], report)
+    msg = f"eval report OK: {nworkloads} workloads"
+    if len(argv) == 2:
+        ncells = check_eval_store(argv[1], report["cells"]["total"])
+        msg += f", {ncells} store cells OK"
+    print(msg)
+
+
+def mode_selftest(argv):
+    if argv:
+        bail(__doc__)
+    fixture = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                           "fixtures", "eval_report_tiny.json")
+    with open(fixture) as f:
+        good = json.load(f)
+    check_eval_report(fixture, good)
+
+    # Representative corruptions must be rejected.
+    corruptions = [
+        ("schema tag", lambda r: r.update(schema="bogus/9")),
+        ("cell accounting", lambda r: r["cells"].update(total=0)),
+        ("FI tallies",
+         lambda r: r["workloads"][0]["fi"].update(
+             sdc=r["workloads"][0]["fi"]["sdc"] + 1)),
+        ("abs_err consistency",
+         lambda r: r["workloads"][0]["models"][0].update(abs_err=0.5)),
+        ("spearman range",
+         lambda r: r["workloads"][0]["models"][0].update(spearman=1.5)),
+        ("zero-width CI",
+         lambda r: r["workloads"][0]["fi"].update(sdc_ci95=0.0)),
+    ]
+    for label, corrupt in corruptions:
+        bad = copy.deepcopy(good)
+        corrupt(bad)
+        try:
+            check_eval_report(f"<{label}>", bad)
+        except SystemExit:
+            continue
+        bail(f"selftest: corruption {label!r} was not detected")
+    print(f"selftest OK: fixture valid, {len(corruptions)} corruptions "
+          f"detected")
+
+
+def main(argv):
+    if len(argv) >= 2 and argv[1] in ("run", "eval", "selftest"):
+        mode, rest = argv[1], argv[2:]
+    elif len(argv) == 4:
+        mode, rest = "run", argv[1:]  # legacy positional form
+    else:
+        bail(__doc__)
+    {"run": mode_run, "eval": mode_eval, "selftest": mode_selftest}[mode](rest)
 
 
 if __name__ == "__main__":

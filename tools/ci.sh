@@ -42,6 +42,20 @@ trap 'rm -rf "$smokedir"' EXIT
 python3 tools/check_manifest.py \
   "$smokedir/inject.json" "$smokedir/resume.json" "$smokedir/predict.json"
 
+# Evaluation-subsystem smoke: run the tiny committed spec end to end
+# (~240 FI trials), validate the report and every result-store cell,
+# then re-run against the same store and require a 100% cache hit —
+# zero FI trials executed the second time.
+python3 tools/check_manifest.py selftest
+"$bindir/tools/trident" eval examples/specs/ci_smoke.json \
+  --out-dir "$smokedir/eval" --threads 4 --no-progress
+python3 tools/check_manifest.py eval \
+  "$smokedir/eval/report.json" "$smokedir/eval/store"
+"$bindir/tools/trident" eval examples/specs/ci_smoke.json \
+  --out-dir "$smokedir/eval" --threads 4 --no-progress \
+  | grep -q ' 0 computed' \
+  || { echo "eval re-run was not a full cache hit" >&2; exit 1; }
+
 # Trial-engine throughput smoke: a quick snapshots-on vs snapshots-off
 # campaign per workload. The binary exits nonzero if the two results are
 # not bit-identical, so this doubles as an end-to-end equivalence check.

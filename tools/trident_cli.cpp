@@ -34,6 +34,9 @@
 
 #include "baselines/epvf.h"
 #include "core/trident.h"
+#include "eval/report.h"
+#include "eval/runner.h"
+#include "eval/spec.h"
 #include "fi/campaign.h"
 #include "ir/parser.h"
 #include "ir/printer.h"
@@ -42,6 +45,7 @@
 #include "profiler/profiler.h"
 #include "protect/duplication.h"
 #include "protect/selector.h"
+#include "stats/stats.h"
 #include "support/thread_pool.h"
 #include "workloads/workloads.h"
 
@@ -63,6 +67,15 @@ int usage() {
                "                               fault-injection campaign\n"
                "  protect <target> [--budget F] [-o f.tir] [--evaluate]\n"
                "                               selective duplication\n"
+               "  eval <spec.json> [--out-dir D] [--force]\n"
+               "                               paper-scale evaluation: run\n"
+               "                               the spec's workload x model x\n"
+               "                               seed grid over the content-\n"
+               "                               addressed store in D/store,\n"
+               "                               write report.{md,csv,json} +\n"
+               "                               per_instruction.csv to D\n"
+               "                               (--force recomputes cached\n"
+               "                               cells; see docs/EVAL.md)\n"
                "common: --threads N            worker threads (0 = auto;\n"
                "                               results identical for any N)\n"
                "        --checkpoint f.jsonl   crash-safe campaigns: append\n"
@@ -88,8 +101,10 @@ std::optional<ir::Module> load_target(const std::string& target) {
   }
   std::ifstream in(target);
   if (!in) {
-    std::fprintf(stderr, "error: no workload or file named '%s'\n",
-                 target.c_str());
+    std::fprintf(stderr,
+                 "error: no workload or file named '%s'\n"
+                 "registered workloads: %s\n",
+                 target.c_str(), workloads::workload_names().c_str());
     return std::nullopt;
   }
   std::stringstream buf;
@@ -115,8 +130,10 @@ struct Args {
   std::string model = "full";
   std::string checkpoint;   // campaign checkpoint log ("" = off)
   std::string metrics_out;  // run-manifest path ("" = off)
+  std::string out_dir;      // eval artifact directory ("" = derived)
   bool per_inst = false;
   bool evaluate = false;
+  bool force = false;  // eval: recompute cached cells
   bool no_progress = false;
   uint64_t trials = 3000;
   uint64_t samples = 0;  // 0 = exact
@@ -165,6 +182,12 @@ bool parse_args(int argc, char** argv, Args& args) {
       args.per_inst = true;
     } else if (a == "--evaluate") {
       args.evaluate = true;
+    } else if (a == "--force") {
+      args.force = true;
+    } else if (a == "--out-dir") {
+      const char* v = next();
+      if (!v) return false;
+      args.out_dir = v;
     } else if (a == "--trials") {
       const char* v = next();
       if (!v) return false;
@@ -216,18 +239,9 @@ bool parse_args(int argc, char** argv, Args& args) {
 }
 
 std::optional<core::ModelConfig> model_config(const std::string& name) {
-  if (name == "full") return core::ModelConfig::full();
-  if (name == "fs_fc") return core::ModelConfig::fs_fc();
-  if (name == "fs") return core::ModelConfig::fs_only();
-  if (name == "paper") {
-    core::ModelConfig config;  // full model, extensions disabled
-    config.trace.track_store_addr = false;
-    config.trace.track_attenuation = false;
-    config.trace.guard_damping = false;
-    return config;
-  }
-  std::fprintf(stderr, "error: unknown model '%s'\n", name.c_str());
-  return std::nullopt;
+  const auto config = core::model_config_from_name(name);
+  if (!config) std::fprintf(stderr, "error: unknown model '%s'\n", name.c_str());
+  return config;
 }
 
 int cmd_list() {
@@ -396,6 +410,49 @@ int cmd_protect(const Args& args, const ir::Module& m) {
   return 0;
 }
 
+int cmd_eval(const Args& args) {
+  eval::ExperimentSpec spec;
+  std::string error;
+  if (!eval::load_spec_file(args.target, &spec, &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 2;
+  }
+  eval::RunOptions options;
+  options.out_dir =
+      args.out_dir.empty() ? "eval-out/" + spec.name : args.out_dir;
+  options.threads = args.threads;
+  options.force = args.force;
+  options.progress = !args.no_progress && obs::stderr_is_tty();
+  options.metrics = &metrics();
+
+  const auto results = eval::run_spec(spec, options);
+  const auto paths = eval::write_reports(results, options.out_dir);
+
+  std::printf("spec:     %s (%zu workloads, %zu models, %zu seeds)\n",
+              spec.name.c_str(), results.workloads.size(),
+              spec.models.size(), spec.seeds.size());
+  std::printf("cells:    %llu total, %llu computed, %llu cached\n",
+              static_cast<unsigned long long>(results.cells_total),
+              static_cast<unsigned long long>(results.cells_computed),
+              static_cast<unsigned long long>(results.cells_cached));
+  std::printf("FI trials executed this run: %llu\n",
+              static_cast<unsigned long long>(results.fi_trials_run));
+  std::printf("\n%-14s %9s %9s", "workload", "FI SDC", "±95%");
+  for (const auto& m : spec.models) std::printf(" %9s", m.c_str());
+  std::printf("\n");
+  for (const auto& we : results.workloads) {
+    std::printf("%-14s %8.2f%% %8.2f%%", we.name.c_str(),
+                we.fi.sdc_prob() * 100,
+                stats::proportion_ci95(we.fi.sdc_prob(), we.fi.trials) * 100);
+    for (const double sdc : we.model_sdc) std::printf(" %8.2f%%", sdc * 100);
+    std::printf("\n");
+  }
+  std::printf("\nwrote %s\n      %s\n      %s\n      %s\n",
+              paths.report_md.c_str(), paths.report_csv.c_str(),
+              paths.per_instruction_csv.c_str(), paths.report_json.c_str());
+  return 0;
+}
+
 }  // namespace
 
 // Persists the run manifest (counters/gauges registered by the command
@@ -427,18 +484,23 @@ int main(int argc, char** argv) {
 
   Args args;
   if (!parse_args(argc - 2, argv + 2, args)) return usage();
-  const auto m = load_target(args.target);
-  if (!m) return 1;
 
   int rc;
   try {
-    if (cmd == "dump") rc = cmd_dump(args, *m);
-    else if (cmd == "run") rc = cmd_run(*m);
-    else if (cmd == "profile") rc = cmd_profile(*m);
-    else if (cmd == "predict") rc = cmd_predict(args, *m);
-    else if (cmd == "inject") rc = cmd_inject(args, *m);
-    else if (cmd == "protect") rc = cmd_protect(args, *m);
-    else return usage();
+    if (cmd == "eval") {
+      // The target is a spec file, not a workload/IR module.
+      rc = cmd_eval(args);
+    } else {
+      const auto m = load_target(args.target);
+      if (!m) return 1;
+      if (cmd == "dump") rc = cmd_dump(args, *m);
+      else if (cmd == "run") rc = cmd_run(*m);
+      else if (cmd == "profile") rc = cmd_profile(*m);
+      else if (cmd == "predict") rc = cmd_predict(args, *m);
+      else if (cmd == "inject") rc = cmd_inject(args, *m);
+      else if (cmd == "protect") rc = cmd_protect(args, *m);
+      else return usage();
+    }
   } catch (const std::exception& e) {
     // Checkpoint mismatches and similar setup failures surface here
     // with an actionable message instead of a stack-unwound abort.
