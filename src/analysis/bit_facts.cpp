@@ -1,0 +1,70 @@
+#include "analysis/bit_facts.h"
+
+#include "analysis/cfg.h"
+#include "analysis/def_use.h"
+#include "analysis/demanded_bits.h"
+#include "support/bits.h"
+#include "support/thread_pool.h"
+
+namespace trident::analysis {
+
+BitFacts::BitFacts(const ir::Module& module, uint32_t threads)
+    : module_(module), funcs_(module.functions.size()) {
+  const auto solve_one = [&](uint64_t f) {
+    const auto& func = module.functions[f];
+    auto& facts = funcs_[f];
+    const CFG cfg(func);
+    const DefUse def_use(func);
+    KnownBitsAnalysis known(func, cfg, def_use, &facts.stats);
+    DemandedBitsAnalysis demanded(func, cfg, def_use, known, &facts.stats);
+    facts.known.resize(func.num_insts());
+    facts.demanded.resize(func.num_insts());
+    for (uint32_t id = 0; id < func.num_insts(); ++id) {
+      facts.known[id] = known.of_inst(id);
+      facts.demanded[id] = demanded.of_inst(id);
+    }
+    facts.arg_demanded.resize(func.params.size());
+    for (uint32_t a = 0; a < func.params.size(); ++a) {
+      facts.arg_demanded[a] = demanded.of_arg(a);
+    }
+    for (uint32_t id = 0; id < func.num_insts(); ++id) {
+      const auto& inst = func.insts[id];
+      if (!inst.has_result() || !cfg.reachable(inst.block)) continue;
+      const unsigned w = inst.type.width();
+      facts.stats.masked_bits_total +=
+          w - support::popcount_low(facts.demanded[id], w);
+    }
+  };
+
+  const uint32_t workers =
+      threads == 0 ? support::ThreadPool::default_threads() : threads;
+  if (workers <= 1 || funcs_.size() <= 1) {
+    for (uint64_t f = 0; f < funcs_.size(); ++f) solve_one(f);
+  } else {
+    support::ThreadPool::global().parallel_for(funcs_.size(), solve_one,
+                                               workers);
+  }
+}
+
+unsigned BitFacts::masked_bits(ir::InstRef ref) const {
+  const auto& inst = module_.functions[ref.func].insts[ref.inst];
+  if (!inst.has_result()) return 0;
+  const unsigned w = inst.type.width();
+  return w - support::popcount_low(demanded(ref), w);
+}
+
+double BitFacts::influence_fraction(ir::InstRef ref) const {
+  const auto& inst = module_.functions[ref.func].insts[ref.inst];
+  if (!inst.has_result()) return 1.0;
+  const unsigned w = inst.type.width();
+  if (w == 0) return 1.0;
+  return static_cast<double>(support::popcount_low(demanded(ref), w)) / w;
+}
+
+DataflowStats BitFacts::stats() const {
+  DataflowStats total;
+  for (const auto& f : funcs_) total += f.stats;
+  return total;
+}
+
+}  // namespace trident::analysis

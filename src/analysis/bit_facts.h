@@ -1,0 +1,60 @@
+// Module-level bit-fact bundle: known bits + demanded bits for every
+// function, solved independently per function (and therefore safely in
+// parallel) with deterministic results at any thread count.
+//
+// This is the interface the model layer consumes: `influence_fraction`
+// bounds the probability that a uniformly chosen bit flip in a result
+// register can influence any store/branch/output, which the
+// `trident_bits` ModelConfig uses as a sound cap on predicted SDC.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/dataflow.h"
+#include "analysis/known_bits.h"
+#include "ir/module.h"
+
+namespace trident::analysis {
+
+class BitFacts {
+ public:
+  struct FunctionFacts {
+    std::vector<KnownBits> known;    // per instruction result
+    std::vector<uint64_t> demanded;  // per instruction result
+    std::vector<uint64_t> arg_demanded;
+    DataflowStats stats;
+  };
+
+  /// Solves every function. `threads` caps concurrency (0 = pool
+  /// default); results are identical for any value.
+  explicit BitFacts(const ir::Module& module, uint32_t threads = 0);
+
+  const FunctionFacts& func(uint32_t f) const { return funcs_[f]; }
+
+  const KnownBits& known(ir::InstRef ref) const {
+    return funcs_[ref.func].known[ref.inst];
+  }
+  uint64_t demanded(ir::InstRef ref) const {
+    return funcs_[ref.func].demanded[ref.inst];
+  }
+
+  /// Number of result bits of `ref` that provably cannot influence any
+  /// root (0 for instructions without a result).
+  unsigned masked_bits(ir::InstRef ref) const;
+
+  /// Fraction of result bits that CAN influence a root: an upper bound
+  /// on the probability that a uniform single-bit flip of the result
+  /// matters. 1.0 when nothing is known, 0.0 for fully dead values.
+  double influence_fraction(ir::InstRef ref) const;
+
+  /// Aggregate solver cost over all functions (masked_bits_total counts
+  /// the statically masked result bits found module-wide).
+  DataflowStats stats() const;
+
+ private:
+  const ir::Module& module_;
+  std::vector<FunctionFacts> funcs_;
+};
+
+}  // namespace trident::analysis

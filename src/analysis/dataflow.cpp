@@ -1,0 +1,24 @@
+#include "analysis/dataflow.h"
+
+namespace trident::analysis {
+
+Worklist::Worklist(std::vector<uint32_t> priorities)
+    : priorities_(std::move(priorities)),
+      queued_(priorities_.size(), 0) {}
+
+void Worklist::push(uint32_t item) {
+  if (queued_[item]) return;
+  queued_[item] = 1;
+  queue_.emplace(priorities_[item], item);
+}
+
+bool Worklist::pop(uint32_t& item) {
+  if (queue_.empty()) return false;
+  const auto it = queue_.begin();
+  item = it->second;
+  queue_.erase(it);
+  queued_[item] = 0;
+  return true;
+}
+
+}  // namespace trident::analysis

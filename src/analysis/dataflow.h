@@ -1,0 +1,161 @@
+// Generic worklist dataflow engine.
+//
+// Two layers share one deterministic priority worklist:
+//
+//  * solve_block_dataflow: the classic per-block in/out fixpoint over a
+//    `BlockProblem` (a C++20 concept below). Forward problems iterate in
+//    reverse post-order, backward problems in post-order, so each SCC of
+//    the CFG is visited contiguously and acyclic regions converge in one
+//    pass.
+//  * Worklist: the ordered worklist itself, reused by the sparse per-SSA-
+//    value solvers (known bits, demanded bits) which key work items by
+//    instruction id with an RPO-derived priority.
+//
+// All iteration orders are fully determined by (priority, item id), so a
+// solve is bit-identical across runs and thread counts; parallelism comes
+// from running independent per-function solves concurrently (bit_facts).
+#pragma once
+
+#include <algorithm>
+#include <concepts>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "analysis/cfg.h"
+
+namespace trident::analysis {
+
+/// Cost counters of one or more dataflow solves. Aggregated per function
+/// and per module; exported as the obs `analysis.*` counters so eval
+/// manifests record what static analysis cost.
+struct DataflowStats {
+  uint64_t blocks_visited = 0;      // block transfer evaluations
+  uint64_t fixpoint_iterations = 0; // worklist pops (block + sparse)
+  uint64_t masked_bits_total = 0;   // statically-masked result bits found
+
+  DataflowStats& operator+=(const DataflowStats& o) {
+    blocks_visited += o.blocks_visited;
+    fixpoint_iterations += o.fixpoint_iterations;
+    masked_bits_total += o.masked_bits_total;
+    return *this;
+  }
+};
+
+/// Deterministic priority worklist over dense uint32 items: pops the
+/// pending item with the smallest (priority, item) pair; re-pushing a
+/// queued item is a no-op. Iteration count is exactly the number of pops.
+class Worklist {
+ public:
+  /// `priorities[i]` orders item i; items with equal priority pop in item
+  /// order. Size fixes the item universe [0, priorities.size()).
+  explicit Worklist(std::vector<uint32_t> priorities);
+
+  void push(uint32_t item);
+  /// Pops the smallest pending item into `item`; false when empty.
+  bool pop(uint32_t& item);
+  bool empty() const { return queue_.empty(); }
+
+ private:
+  std::vector<uint32_t> priorities_;
+  std::vector<uint8_t> queued_;
+  std::set<std::pair<uint32_t, uint32_t>> queue_;  // (priority, item)
+};
+
+/// A joinable dataflow value: merge returns true iff the destination
+/// changed (i.e. the lattice point moved).
+template <typename P, typename S>
+concept LatticeOps = requires(const P& p, S& dst, const S& src) {
+  { p.merge(dst, src) } -> std::same_as<bool>;
+};
+
+/// A block-level dataflow problem. `State` flows along CFG edges:
+/// forward problems map in -> out per block, backward problems map
+/// out -> in (the engine handles edge orientation).
+template <typename P>
+concept BlockProblem =
+    requires(const P& p, uint32_t bb, const typename P::State& s) {
+      typename P::State;
+      { P::kForward } -> std::convertible_to<bool>;
+      /// State at the boundary (entry block for forward, exit blocks for
+      /// backward).
+      { p.boundary() } -> std::same_as<typename P::State>;
+      /// Identity of merge: the initial state of every block.
+      { p.top() } -> std::same_as<typename P::State>;
+      /// Transfer across block `bb`.
+      { p.transfer(bb, s) } -> std::same_as<typename P::State>;
+    } && LatticeOps<P, typename P::State>;
+
+/// Per-block fixpoint solution: `in[bb]` is the state entering the block,
+/// `out[bb]` the state leaving it (program order; for backward problems
+/// `out` is what the transfer consumed and `in` what it produced).
+template <typename State>
+struct BlockStates {
+  std::vector<State> in;
+  std::vector<State> out;
+};
+
+/// Runs `problem` to a fixpoint over `cfg` and returns the per-block
+/// states. Unreachable blocks keep top(). Deterministic for any problem
+/// whose transfer/merge are pure functions of their inputs.
+template <BlockProblem P>
+BlockStates<typename P::State> solve_block_dataflow(const CFG& cfg,
+                                                    const P& problem,
+                                                    DataflowStats* stats) {
+  using State = typename P::State;
+  const auto n = static_cast<uint32_t>(cfg.num_blocks());
+  BlockStates<State> bs;
+  bs.in.assign(n, problem.top());
+  bs.out.assign(n, problem.top());
+
+  // Priority = position in the direction-appropriate order: RPO for
+  // forward (defs before uses of the state), post-order for backward.
+  std::vector<uint32_t> prio(n, ~0u);
+  const auto& rpo = cfg.rpo();
+  for (uint32_t i = 0; i < rpo.size(); ++i) {
+    prio[rpo[i]] =
+        P::kForward ? i : static_cast<uint32_t>(rpo.size()) - 1 - i;
+  }
+  Worklist wl(std::move(prio));
+  for (const uint32_t bb : rpo) wl.push(bb);
+
+  const auto edge_sources = [&](uint32_t bb) -> const std::vector<uint32_t>& {
+    return P::kForward ? cfg.preds(bb) : cfg.succs(bb);
+  };
+  const auto edge_targets = [&](uint32_t bb) -> const std::vector<uint32_t>& {
+    return P::kForward ? cfg.succs(bb) : cfg.preds(bb);
+  };
+
+  uint32_t bb = 0;
+  while (wl.pop(bb)) {
+    if (stats != nullptr) {
+      ++stats->fixpoint_iterations;
+      ++stats->blocks_visited;
+    }
+    // Confluence: join the flow-in state over incoming edges.
+    State entry = problem.top();
+    bool is_boundary = P::kForward ? bb == 0 : false;
+    if (!P::kForward) {
+      const auto& exits = cfg.exit_blocks();
+      is_boundary = std::find(exits.begin(), exits.end(), bb) != exits.end();
+    }
+    if (is_boundary) problem.merge(entry, problem.boundary());
+    for (const uint32_t src : edge_sources(bb)) {
+      if (!cfg.reachable(src)) continue;
+      problem.merge(entry, P::kForward ? bs.out[src] : bs.in[src]);
+    }
+    const State exit = problem.transfer(bb, entry);
+    (P::kForward ? bs.in : bs.out)[bb] = std::move(entry);
+    // Every reachable block is seeded in the worklist, so dependents only
+    // need a re-visit when this block's flow-out state actually moved.
+    State& slot = (P::kForward ? bs.out : bs.in)[bb];
+    if (problem.merge(slot, exit)) {
+      for (const uint32_t t : edge_targets(bb)) {
+        if (cfg.reachable(t)) wl.push(t);
+      }
+    }
+  }
+  return bs;
+}
+
+}  // namespace trident::analysis

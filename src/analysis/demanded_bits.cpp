@@ -1,0 +1,194 @@
+#include "analysis/demanded_bits.h"
+
+#include <bit>
+
+#include "support/bits.h"
+
+namespace trident::analysis {
+
+using support::low_mask;
+
+namespace {
+
+uint64_t full_mask(unsigned width) { return low_mask(width == 0 ? 64 : width); }
+
+// Demanded bits that can carry into any bit at or below the highest
+// demanded result bit (add/sub/mul/gep-index: carries go upward only).
+uint64_t upward_carry_demand(uint64_t demanded) {
+  return demanded == 0 ? 0 : low_mask(std::bit_width(demanded));
+}
+
+// Bits of a shift amount that can change the effective (mod width)
+// shift: log2(width) bits for power-of-two widths, everything otherwise.
+uint64_t amount_demand(unsigned width, unsigned amount_width) {
+  if (!std::has_single_bit(static_cast<uint64_t>(width))) {
+    return full_mask(amount_width);
+  }
+  const unsigned bits = std::countr_zero(static_cast<uint64_t>(width));
+  return bits == 0 ? 0 : low_mask(bits) & full_mask(amount_width);
+}
+
+}  // namespace
+
+uint64_t demanded_operand_bits(const ir::Function& func,
+                               const ir::Instruction& user,
+                               uint32_t operand_index, uint64_t demanded,
+                               const KnownBitsAnalysis& known) {
+  const auto& v = user.operands[operand_index];
+  const unsigned vw = func.value_type(v).width();
+  const uint64_t full = full_mask(vw);
+  const uint64_t d = demanded;
+  switch (user.op) {
+    // Roots: these demand their operands no matter what downstream does.
+    case ir::Opcode::Store:
+    case ir::Opcode::CondBr:
+    case ir::Opcode::Ret:
+    case ir::Opcode::Call:
+    case ir::Opcode::Print:
+    case ir::Opcode::Detect:
+    case ir::Opcode::Memcpy:
+    case ir::Opcode::Load:  // operand is the (trap-capable) address
+      return full;
+    // Divisions trap on bad operand values, which is observable even
+    // when the quotient itself is dead.
+    case ir::Opcode::SDiv:
+    case ir::Opcode::UDiv:
+    case ir::Opcode::SRem:
+    case ir::Opcode::URem:
+      return full;
+
+    case ir::Opcode::And: {
+      const KnownBits other =
+          known.of_value(user.operands[1 - operand_index]);
+      return d & ~other.zeros;
+    }
+    case ir::Opcode::Or: {
+      const KnownBits other =
+          known.of_value(user.operands[1 - operand_index]);
+      return d & ~other.ones;
+    }
+    case ir::Opcode::Xor:
+      return d;
+    case ir::Opcode::Add:
+    case ir::Opcode::Sub:
+    case ir::Opcode::Mul:
+      return upward_carry_demand(d);
+    case ir::Opcode::Shl: {
+      const unsigned w = user.type.width();
+      if (operand_index == 1) return d == 0 ? 0 : amount_demand(w, vw);
+      const KnownBits amount = known.of_value(user.operands[1]);
+      if (amount.fully_known()) {
+        return d >> (amount.value() % w);
+      }
+      return upward_carry_demand(d);
+    }
+    case ir::Opcode::LShr:
+    case ir::Opcode::AShr: {
+      const unsigned w = user.type.width();
+      if (operand_index == 1) return d == 0 ? 0 : amount_demand(w, vw);
+      const uint64_t sign = 1ULL << (w - 1);
+      const KnownBits amount = known.of_value(user.operands[1]);
+      if (amount.fully_known()) {
+        const unsigned s = static_cast<unsigned>(amount.value() % w);
+        uint64_t r = (d << s) & full;
+        if (user.op == ir::Opcode::AShr && s > 0 &&
+            (d & (low_mask(s) << (w - s))) != 0) {
+          r |= sign;  // the shifted-in copies of the sign bit
+        }
+        return r;
+      }
+      // Unknown amount: a demanded bit could come from any position at
+      // or above the lowest demanded bit (plus the ashr sign fill).
+      if (d == 0) return 0;
+      const unsigned lsb = static_cast<unsigned>(std::countr_zero(d));
+      uint64_t r = full & ~(lsb == 0 ? 0 : low_mask(lsb));
+      if (user.op == ir::Opcode::AShr) r |= sign;
+      return r;
+    }
+    case ir::Opcode::Trunc:
+      return d;  // high source bits are dropped, never demanded here
+    case ir::Opcode::ZExt:
+      return d & full;
+    case ir::Opcode::SExt: {
+      uint64_t r = d & full;
+      if ((d & ~full) != 0) r |= 1ULL << (vw - 1);  // the replicated sign
+      return r;
+    }
+    case ir::Opcode::Bitcast:
+      return d;
+    case ir::Opcode::ICmp:
+    case ir::Opcode::FCmp:
+      return d == 0 ? 0 : full;
+    case ir::Opcode::Select:
+      if (operand_index == 0) return d == 0 ? 0 : 1;
+      return d;
+    case ir::Opcode::Phi:
+      return d;
+    case ir::Opcode::Gep:
+      // Address arithmetic: base + index * elem_size. Loads/stores demand
+      // the whole address, so in practice this passes `full` through.
+      if (operand_index == 0) return d == 0 ? 0 : full;
+      return upward_carry_demand(d);
+    default:
+      // Float arithmetic and float<->int casts: any operand bit can move
+      // the result (no bit-level structure worth modeling).
+      return d == 0 ? 0 : full;
+  }
+}
+
+DemandedBitsAnalysis::DemandedBitsAnalysis(const ir::Function& func,
+                                           const CFG& cfg,
+                                           const DefUse& def_use,
+                                           const KnownBitsAnalysis& known,
+                                           DataflowStats* stats)
+    : inst_(func.num_insts(), 0), arg_(func.params.size(), 0) {
+  (void)def_use;
+  // Backward priority: later program positions (in RPO block order) pop
+  // first, so demands flow def-ward with few revisits.
+  std::vector<uint32_t> prio(func.num_insts(), ~0u);
+  uint32_t pos = 0;
+  std::vector<uint32_t> order;
+  order.reserve(func.num_insts());
+  for (const uint32_t bb : cfg.rpo()) {
+    for (const uint32_t id : func.blocks[bb].insts) order.push_back(id);
+    if (stats != nullptr) ++stats->blocks_visited;
+  }
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    prio[*it] = pos++;
+  }
+  Worklist wl(std::move(prio));
+
+  const auto process = [&](uint32_t user) {
+    const auto& inst = func.insts[user];
+    const uint64_t d = inst_[user];
+    for (uint32_t p = 0; p < inst.operands.size(); ++p) {
+      const auto& v = inst.operands[p];
+      if (!v.is_inst() && !v.is_arg()) continue;
+      const uint64_t bits = demanded_operand_bits(func, inst, p, d, known);
+      if (bits == 0) continue;
+      if (v.is_arg()) {
+        arg_[v.index] |= bits;
+        continue;
+      }
+      const uint64_t merged = inst_[v.index] | bits;
+      if (merged != inst_[v.index]) {
+        inst_[v.index] = merged;
+        wl.push(v.index);
+      }
+    }
+  };
+
+  // Seed pass: every reachable instruction contributes its root demands
+  // (and nothing else yet, as all demanded masks start at zero).
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    if (stats != nullptr) ++stats->fixpoint_iterations;
+    process(*it);
+  }
+  uint32_t id = 0;
+  while (wl.pop(id)) {
+    if (stats != nullptr) ++stats->fixpoint_iterations;
+    process(id);
+  }
+}
+
+}  // namespace trident::analysis

@@ -1,0 +1,51 @@
+// Backward demanded-bits dataflow (sparse, per SSA value).
+//
+// A bit of a value is *demanded* when flipping it could influence a
+// root: a store (value or address), a conditional branch, a program
+// output, a call/return boundary, a detector, or a memory address. Bits
+// never demanded anywhere downstream are statically masked — a fault in
+// them provably cannot reach program output, which is the guarantee the
+// `trident_bits` model refinement keys off (see docs/ANALYSIS.md).
+//
+// Demanded masks start empty and only grow (a join-semilattice on set
+// union), so the worklist converges in at most `width` steps per value.
+// Transfers consult the forward known-bits facts: e.g. `and x, y` does
+// not demand bits of x where y is provably zero.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/cfg.h"
+#include "analysis/dataflow.h"
+#include "analysis/def_use.h"
+#include "analysis/known_bits.h"
+#include "ir/function.h"
+
+namespace trident::analysis {
+
+/// Demanded bits of one user's operand, given `demanded` bits of the
+/// user's own result. Exposed for unit tests.
+uint64_t demanded_operand_bits(const ir::Function& func,
+                               const ir::Instruction& user,
+                               uint32_t operand_index, uint64_t demanded,
+                               const KnownBitsAnalysis& known);
+
+/// Sparse backward solve over one function.
+class DemandedBitsAnalysis {
+ public:
+  DemandedBitsAnalysis(const ir::Function& func, const CFG& cfg,
+                       const DefUse& def_use, const KnownBitsAnalysis& known,
+                       DataflowStats* stats = nullptr);
+
+  /// Bits of instruction `id`'s result that can influence any root.
+  uint64_t of_inst(uint32_t id) const { return inst_[id]; }
+  /// Bits of argument `index` that can influence any root.
+  uint64_t of_arg(uint32_t index) const { return arg_[index]; }
+
+ private:
+  std::vector<uint64_t> inst_;
+  std::vector<uint64_t> arg_;
+};
+
+}  // namespace trident::analysis

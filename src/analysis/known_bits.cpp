@@ -1,0 +1,427 @@
+#include "analysis/known_bits.h"
+
+#include <bit>
+
+#include "ir/eval.h"
+#include "support/bits.h"
+
+namespace trident::analysis {
+
+using support::low_mask;
+
+KnownBits KnownBits::unknown(unsigned w) {
+  KnownBits kb;
+  kb.width = static_cast<uint8_t>(w);
+  kb.defined = true;
+  return kb;
+}
+
+KnownBits KnownBits::constant(uint64_t value, unsigned w) {
+  KnownBits kb;
+  kb.width = static_cast<uint8_t>(w);
+  kb.defined = true;
+  kb.ones = value & low_mask(w);
+  kb.zeros = ~value & low_mask(w);
+  return kb;
+}
+
+uint64_t KnownBits::mask() const { return width == 0 ? 0 : low_mask(width); }
+
+bool KnownBits::fully_known() const {
+  return defined && width > 0 && known() == mask();
+}
+
+uint64_t KnownBits::umax() const { return ~zeros & mask(); }
+
+int64_t KnownBits::smin() const {
+  // Minimize: set an unknown sign bit, clear unknown magnitude bits.
+  const uint64_t sign = width == 0 ? 0 : 1ULL << (width - 1);
+  const uint64_t unknown_bits = ~known() & mask();
+  return support::sign_extend(ones | (unknown_bits & sign), width);
+}
+
+int64_t KnownBits::smax() const {
+  // Maximize: clear an unknown sign bit, set unknown magnitude bits.
+  const uint64_t sign = width == 0 ? 0 : 1ULL << (width - 1);
+  const uint64_t unknown_bits = ~known() & mask();
+  return support::sign_extend(ones | (unknown_bits & ~sign), width);
+}
+
+KnownBits kb_and(const KnownBits& a, const KnownBits& b) {
+  KnownBits r = KnownBits::unknown(a.width);
+  r.ones = a.ones & b.ones;
+  r.zeros = (a.zeros | b.zeros) & r.mask();
+  return r;
+}
+
+KnownBits kb_or(const KnownBits& a, const KnownBits& b) {
+  KnownBits r = KnownBits::unknown(a.width);
+  r.ones = a.ones | b.ones;
+  r.zeros = a.zeros & b.zeros;
+  return r;
+}
+
+KnownBits kb_xor(const KnownBits& a, const KnownBits& b) {
+  KnownBits r = KnownBits::unknown(a.width);
+  const uint64_t both = a.known() & b.known();
+  const uint64_t v = a.ones ^ b.ones;
+  r.ones = v & both;
+  r.zeros = ~v & both & r.mask();
+  return r;
+}
+
+KnownBits kb_not(const KnownBits& a) {
+  KnownBits r = a;
+  std::swap(r.zeros, r.ones);
+  return r;
+}
+
+KnownBits kb_add(const KnownBits& a, const KnownBits& b, bool carry_in) {
+  KnownBits r = KnownBits::unknown(a.width);
+  // Per bit, track the set of possible (a_bit + b_bit + carry) sums as a
+  // 2-bit possibility mask over {0, 1} for each of a, b, carry.
+  uint8_t carry = carry_in ? 0b10 : 0b01;  // bit0: carry 0 possible, bit1: 1
+  for (unsigned i = 0; i < a.width; ++i) {
+    const uint64_t bit = 1ULL << i;
+    const uint8_t pa = a.ones & bit ? 0b10 : a.zeros & bit ? 0b01 : 0b11;
+    const uint8_t pb = b.ones & bit ? 0b10 : b.zeros & bit ? 0b01 : 0b11;
+    uint8_t sum_possible = 0;   // possibility mask over result bit {0,1}
+    uint8_t carry_possible = 0; // possibility mask over carry-out {0,1}
+    for (unsigned va = 0; va < 2; ++va) {
+      if (!(pa & (1 << va))) continue;
+      for (unsigned vb = 0; vb < 2; ++vb) {
+        if (!(pb & (1 << vb))) continue;
+        for (unsigned vc = 0; vc < 2; ++vc) {
+          if (!(carry & (1 << vc))) continue;
+          const unsigned s = va + vb + vc;
+          sum_possible |= 1 << (s & 1);
+          carry_possible |= 1 << (s >> 1);
+        }
+      }
+    }
+    if (sum_possible == 0b01) r.zeros |= bit;
+    if (sum_possible == 0b10) r.ones |= bit;
+    carry = carry_possible;
+  }
+  return r;
+}
+
+KnownBits kb_sub(const KnownBits& a, const KnownBits& b) {
+  return kb_add(a, kb_not(b), /*carry_in=*/true);
+}
+
+KnownBits kb_mul(const KnownBits& a, const KnownBits& b) {
+  KnownBits r = KnownBits::unknown(a.width);
+  if (a.fully_known() && b.fully_known()) {
+    return KnownBits::constant(a.value() * b.value(), a.width);
+  }
+  // Trailing zeros add: the product has at least tz(a) + tz(b) of them.
+  const auto tz = [](const KnownBits& kb) {
+    unsigned n = 0;
+    while (n < kb.width && (kb.zeros >> n) & 1) ++n;
+    return n;
+  };
+  const unsigned z = std::min<unsigned>(a.width, tz(a) + tz(b));
+  if (z > 0) r.zeros = low_mask(z);
+  return r;
+}
+
+// Shift amounts are taken modulo the width (IR semantics), so a fully
+// known amount shifts the masks; an unknown amount leaves only what is
+// invariant under every possible shift.
+KnownBits kb_shl(const KnownBits& a, const KnownBits& amount) {
+  KnownBits r = KnownBits::unknown(a.width);
+  if (amount.fully_known()) {
+    const unsigned s = static_cast<unsigned>(amount.value() % a.width);
+    r.ones = (a.ones << s) & r.mask();
+    r.zeros = ((a.zeros << s) | (s == 0 ? 0 : low_mask(s))) & r.mask();
+    return r;
+  }
+  // Any shift preserves (and can only grow) the run of trailing zeros.
+  unsigned tz = 0;
+  while (tz < a.width && (a.zeros >> tz) & 1) ++tz;
+  if (tz > 0) r.zeros = low_mask(tz);
+  return r;
+}
+
+KnownBits kb_lshr(const KnownBits& a, const KnownBits& amount) {
+  KnownBits r = KnownBits::unknown(a.width);
+  if (amount.fully_known()) {
+    const unsigned s = static_cast<unsigned>(amount.value() % a.width);
+    r.ones = (a.ones & a.mask()) >> s;
+    r.zeros = (((a.zeros & a.mask()) >> s) |
+               (s == 0 ? 0 : low_mask(s) << (a.width - s))) &
+              r.mask();
+    return r;
+  }
+  // Any shift preserves the run of leading zeros.
+  unsigned lz = 0;
+  while (lz < a.width && (a.zeros >> (a.width - 1 - lz)) & 1) ++lz;
+  if (lz > 0) r.zeros = low_mask(lz) << (a.width - lz);
+  return r;
+}
+
+KnownBits kb_ashr(const KnownBits& a, const KnownBits& amount) {
+  KnownBits r = KnownBits::unknown(a.width);
+  if (!amount.fully_known()) {
+    // The sign bit's knowledge survives every arithmetic shift.
+    const uint64_t sign = 1ULL << (a.width - 1);
+    if (a.zeros & sign) r.zeros = sign;
+    if (a.ones & sign) r.ones = sign;
+    return r;
+  }
+  const unsigned s = static_cast<unsigned>(amount.value() % a.width);
+  const uint64_t sign = 1ULL << (a.width - 1);
+  const uint64_t fill = s == 0 ? 0 : low_mask(s) << (a.width - s);
+  r.ones = (a.ones & a.mask()) >> s;
+  r.zeros = ((a.zeros & a.mask()) >> s) & r.mask();
+  if (a.ones & sign) r.ones |= fill;
+  if (a.zeros & sign) r.zeros |= fill;
+  return r;
+}
+
+KnownBits kb_trunc(const KnownBits& a, unsigned to_width) {
+  KnownBits r = KnownBits::unknown(to_width);
+  r.ones = a.ones & r.mask();
+  r.zeros = a.zeros & r.mask();
+  return r;
+}
+
+KnownBits kb_zext(const KnownBits& a, unsigned to_width) {
+  KnownBits r = KnownBits::unknown(to_width);
+  r.ones = a.ones;
+  r.zeros = (a.zeros & a.mask()) | (r.mask() & ~a.mask());
+  return r;
+}
+
+KnownBits kb_sext(const KnownBits& a, unsigned to_width) {
+  KnownBits r = KnownBits::unknown(to_width);
+  const uint64_t sign = 1ULL << (a.width - 1);
+  const uint64_t high = r.mask() & ~a.mask();
+  r.ones = a.ones & a.mask();
+  r.zeros = a.zeros & a.mask();
+  if (a.ones & sign) r.ones |= high;
+  if (a.zeros & sign) r.zeros |= high;
+  return r;
+}
+
+KnownBits kb_join(const KnownBits& a, const KnownBits& b) {
+  if (!a.defined) return b;
+  if (!b.defined) return a;
+  KnownBits r = KnownBits::unknown(a.width);
+  r.ones = a.ones & b.ones;
+  r.zeros = a.zeros & b.zeros;
+  return r;
+}
+
+namespace {
+
+// Attempts to decide an icmp from the operands' known bits; returns -1
+// when undecidable, else 0/1.
+int fold_icmp(ir::CmpPred pred, const KnownBits& a, const KnownBits& b) {
+  if (a.fully_known() && b.fully_known()) {
+    return ir::eval_icmp(pred, a.width, a.value(), b.value()) ? 1 : 0;
+  }
+  // Bit conflicts decide equality without full knowledge.
+  const bool conflict = (a.ones & b.zeros) != 0 || (a.zeros & b.ones) != 0;
+  switch (pred) {
+    case ir::CmpPred::Eq:
+      if (conflict) return 0;
+      break;
+    case ir::CmpPred::Ne:
+      if (conflict) return 1;
+      break;
+    case ir::CmpPred::ULt:
+      if (a.umax() < b.umin()) return 1;
+      if (a.umin() >= b.umax()) return 0;
+      break;
+    case ir::CmpPred::ULe:
+      if (a.umax() <= b.umin()) return 1;
+      if (a.umin() > b.umax()) return 0;
+      break;
+    case ir::CmpPred::UGt:
+      if (a.umin() > b.umax()) return 1;
+      if (a.umax() <= b.umin()) return 0;
+      break;
+    case ir::CmpPred::UGe:
+      if (a.umin() >= b.umax()) return 1;
+      if (a.umax() < b.umin()) return 0;
+      break;
+    case ir::CmpPred::SLt:
+      if (a.smax() < b.smin()) return 1;
+      if (a.smin() >= b.smax()) return 0;
+      break;
+    case ir::CmpPred::SLe:
+      if (a.smax() <= b.smin()) return 1;
+      if (a.smin() > b.smax()) return 0;
+      break;
+    case ir::CmpPred::SGt:
+      if (a.smin() > b.smax()) return 1;
+      if (a.smax() <= b.smin()) return 0;
+      break;
+    case ir::CmpPred::SGe:
+      if (a.smin() >= b.smax()) return 1;
+      if (a.smax() < b.smin()) return 0;
+      break;
+    default:
+      break;
+  }
+  return -1;
+}
+
+}  // namespace
+
+KnownBits KnownBitsAnalysis::of_value(const ir::Value& v) const {
+  const unsigned w = func_.value_type(v).width();
+  switch (v.kind) {
+    case ir::Value::Kind::Inst:
+      return inst_[v.index];
+    case ir::Value::Kind::Const: {
+      const auto& c = func_.constants[v.index];
+      return KnownBits::constant(c.raw, c.type.width());
+    }
+    case ir::Value::Kind::Arg:
+    case ir::Value::Kind::Global:
+    case ir::Value::Kind::None:
+      return KnownBits::unknown(w == 0 ? 64 : w);
+  }
+  return KnownBits::unknown(w);
+}
+
+KnownBits KnownBitsAnalysis::transfer(uint32_t id) const {
+  const auto& inst = func_.insts[id];
+  const unsigned w = inst.type.width();
+  const auto op = [&](uint32_t i) { return of_value(inst.operands[i]); };
+  switch (inst.op) {
+    case ir::Opcode::And: return kb_and(op(0), op(1));
+    case ir::Opcode::Or: return kb_or(op(0), op(1));
+    case ir::Opcode::Xor: return kb_xor(op(0), op(1));
+    case ir::Opcode::Add: return kb_add(op(0), op(1), false);
+    case ir::Opcode::Sub: return kb_sub(op(0), op(1));
+    case ir::Opcode::Mul: return kb_mul(op(0), op(1));
+    case ir::Opcode::Shl: return kb_shl(op(0), op(1));
+    case ir::Opcode::LShr: return kb_lshr(op(0), op(1));
+    case ir::Opcode::AShr: return kb_ashr(op(0), op(1));
+    case ir::Opcode::Trunc: return kb_trunc(op(0), w);
+    case ir::Opcode::ZExt: return kb_zext(op(0), w);
+    case ir::Opcode::SExt: return kb_sext(op(0), w);
+    case ir::Opcode::Bitcast: {
+      // Same-width reinterpret: the raw bit pattern carries over.
+      KnownBits a = op(0);
+      a.width = static_cast<uint8_t>(w);
+      return a;
+    }
+    case ir::Opcode::UDiv: {
+      const KnownBits a = op(0), b = op(1);
+      if (a.fully_known() && b.fully_known() && b.value() != 0) {
+        return KnownBits::constant((a.value() & a.mask()) /
+                                       (b.value() & b.mask()),
+                                   w);
+      }
+      // Quotient never exceeds the dividend: leading zeros carry over.
+      KnownBits r = KnownBits::unknown(w);
+      unsigned lz = 0;
+      while (lz < a.width && (a.zeros >> (a.width - 1 - lz)) & 1) ++lz;
+      if (lz > 0) r.zeros = low_mask(lz) << (w - lz);
+      return r;
+    }
+    case ir::Opcode::URem: {
+      const KnownBits a = op(0), b = op(1);
+      if (a.fully_known() && b.fully_known() && b.value() != 0) {
+        return KnownBits::constant((a.value() & a.mask()) %
+                                       (b.value() & b.mask()),
+                                   w);
+      }
+      return KnownBits::unknown(w);
+    }
+    case ir::Opcode::ICmp: {
+      const KnownBits a = op(0), b = op(1);
+      if (!a.defined || !b.defined) {
+        KnownBits r;
+        r.width = 1;
+        return r;  // optimistic: wait for the operands
+      }
+      const int folded = fold_icmp(inst.pred, a, b);
+      if (folded >= 0) {
+        return KnownBits::constant(static_cast<uint64_t>(folded), 1);
+      }
+      return KnownBits::unknown(1);
+    }
+    case ir::Opcode::Select: {
+      const KnownBits c = op(0);
+      if (c.fully_known()) return c.value() & 1 ? op(1) : op(2);
+      return kb_join(op(1), op(2));
+    }
+    case ir::Opcode::Phi: {
+      KnownBits r;  // undefined: identity of the optimistic join
+      r.width = static_cast<uint8_t>(w);
+      for (uint32_t i = 0; i < inst.operands.size(); ++i) {
+        // Skip edges from unreachable predecessors entirely.
+        if (inst.incoming[i] < func_.blocks.size() &&
+            !cfg_.reachable(inst.incoming[i])) {
+          continue;
+        }
+        r = kb_join(r, of_value(inst.operands[i]));
+      }
+      return r;
+    }
+    default:
+      // Loads, calls, float ops, divisions with signs, pointers: nothing
+      // is statically known about the bit pattern.
+      return KnownBits::unknown(w == 0 ? 0 : w);
+  }
+}
+
+KnownBitsAnalysis::KnownBitsAnalysis(const ir::Function& func, const CFG& cfg,
+                                     const DefUse& def_use,
+                                     DataflowStats* stats)
+    : func_(func), cfg_(cfg) {
+  inst_.resize(func.num_insts());
+  for (uint32_t id = 0; id < func.num_insts(); ++id) {
+    inst_[id].width = static_cast<uint8_t>(func.insts[id].type.width());
+  }
+
+  // Priority = program position in RPO block order, so defs are normally
+  // computed before their uses and loop bodies iterate locally.
+  std::vector<uint32_t> prio(func.num_insts(), ~0u);
+  uint32_t next = 0;
+  for (const uint32_t bb : cfg.rpo()) {
+    for (const uint32_t id : func.blocks[bb].insts) prio[id] = next++;
+  }
+  Worklist wl(std::move(prio));
+  for (const uint32_t bb : cfg.rpo()) {
+    for (const uint32_t id : func.blocks[bb].insts) {
+      if (func.insts[id].has_result()) wl.push(id);
+    }
+    if (stats != nullptr) ++stats->blocks_visited;
+  }
+
+  uint32_t id = 0;
+  while (wl.pop(id)) {
+    if (stats != nullptr) ++stats->fixpoint_iterations;
+    const KnownBits computed = transfer(id);
+    KnownBits& slot = inst_[id];
+    KnownBits next_state = slot;
+    if (!slot.defined) {
+      next_state = computed;
+    } else if (computed.defined) {
+      // Monotone descent: keep only the knowledge both rounds agree on,
+      // which bounds each value to width+1 lattice moves.
+      next_state = kb_join(slot, computed);
+    }
+    if (next_state != slot) {
+      slot = next_state;
+      for (const auto& use : def_use.users_of_inst(id)) {
+        if (func.insts[use.user].has_result()) wl.push(use.user);
+      }
+    }
+  }
+
+  // Anything still undefined (unreachable code, cyclic phis with no
+  // defined input) degrades to defined-unknown for downstream clients.
+  for (auto& kb : inst_) {
+    if (!kb.defined) kb = KnownBits::unknown(kb.width);
+  }
+}
+
+}  // namespace trident::analysis

@@ -1,0 +1,88 @@
+// Forward known-bits dataflow (sparse, per SSA value).
+//
+// For every instruction result the analysis computes two bit masks —
+// bits provably zero and bits provably one on every execution — seeded
+// by IR constants only (profile-free, in contrast to the fs tuple
+// model's sampled operands). Phi joins are optimistic (SCCP-style): an
+// input whose def has not been visited yet is skipped, and knowledge
+// only ever shrinks afterwards, which guarantees a fixpoint in at most
+// width+1 lattice steps per value even around loops.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/cfg.h"
+#include "analysis/dataflow.h"
+#include "analysis/def_use.h"
+#include "ir/function.h"
+
+namespace trident::analysis {
+
+/// Knowledge about the bits of one value. `width` is the register width
+/// (1..64; 0 for void). `defined` distinguishes "nothing known" from
+/// "not yet computed" (the optimistic bottom used while iterating).
+struct KnownBits {
+  uint64_t zeros = 0;  // bits provably 0
+  uint64_t ones = 0;   // bits provably 1
+  uint8_t width = 0;
+  bool defined = false;
+
+  static KnownBits unknown(unsigned w);
+  static KnownBits constant(uint64_t value, unsigned w);
+
+  uint64_t mask() const;                      // low `width` bits
+  uint64_t known() const { return zeros | ones; }
+  bool fully_known() const;
+  uint64_t value() const { return ones; }     // valid iff fully_known()
+
+  /// Unsigned / signed range bounds implied by the known bits.
+  uint64_t umin() const { return ones; }
+  uint64_t umax() const;
+  int64_t smin() const;
+  int64_t smax() const;
+
+  bool operator==(const KnownBits&) const = default;
+};
+
+/// Transfer functions, exposed for direct unit testing. All inputs must
+/// share the result width except where noted.
+KnownBits kb_and(const KnownBits& a, const KnownBits& b);
+KnownBits kb_or(const KnownBits& a, const KnownBits& b);
+KnownBits kb_xor(const KnownBits& a, const KnownBits& b);
+KnownBits kb_not(const KnownBits& a);
+/// Add with an initial carry possibility ({0} normally, {1} for a-b via
+/// a + ~b + 1): per-bit propagation of the possible-carry set.
+KnownBits kb_add(const KnownBits& a, const KnownBits& b, bool carry_in);
+KnownBits kb_sub(const KnownBits& a, const KnownBits& b);
+KnownBits kb_mul(const KnownBits& a, const KnownBits& b);
+KnownBits kb_shl(const KnownBits& a, const KnownBits& amount);
+KnownBits kb_lshr(const KnownBits& a, const KnownBits& amount);
+KnownBits kb_ashr(const KnownBits& a, const KnownBits& amount);
+KnownBits kb_trunc(const KnownBits& a, unsigned to_width);
+KnownBits kb_zext(const KnownBits& a, unsigned to_width);
+KnownBits kb_sext(const KnownBits& a, unsigned to_width);
+/// Join: keeps only the bits both sides agree on. An undefined side is
+/// the identity (optimistic).
+KnownBits kb_join(const KnownBits& a, const KnownBits& b);
+
+/// Sparse forward solve over one function. Results for instructions in
+/// unreachable blocks (and non-integer results) are defined-but-unknown.
+class KnownBitsAnalysis {
+ public:
+  KnownBitsAnalysis(const ir::Function& func, const CFG& cfg,
+                    const DefUse& def_use, DataflowStats* stats = nullptr);
+
+  const KnownBits& of_inst(uint32_t id) const { return inst_[id]; }
+  /// Resolves any operand: constants are exact, args/globals unknown.
+  KnownBits of_value(const ir::Value& v) const;
+
+ private:
+  KnownBits transfer(uint32_t id) const;
+
+  const ir::Function& func_;
+  const CFG& cfg_;
+  std::vector<KnownBits> inst_;
+};
+
+}  // namespace trident::analysis

@@ -1,0 +1,342 @@
+#include "analysis/lint.h"
+
+#include <algorithm>
+
+#include "analysis/bit_facts.h"
+#include "analysis/cfg.h"
+#include "analysis/def_use.h"
+#include "analysis/demanded_bits.h"
+#include "analysis/known_bits.h"
+#include "support/bits.h"
+#include "support/str.h"
+#include "support/thread_pool.h"
+
+namespace trident::analysis {
+
+using support::format;
+
+const char* severity_name(Diagnostic::Severity severity) {
+  switch (severity) {
+    case Diagnostic::Severity::Error: return "error";
+    case Diagnostic::Severity::Warning: return "warning";
+    case Diagnostic::Severity::Info: return "info";
+  }
+  return "info";
+}
+
+namespace {
+
+// ---- Dead-store detection: backward liveness over local allocas ------
+//
+// Tracked allocas are those whose address never escapes: every use of
+// the alloca (or a Gep chain rooted at it) is a load, a store *to* it,
+// or another Gep. Anything else (call argument, stored as a value,
+// pointer arithmetic feeding a phi/select/compare, memcpy) marks the
+// alloca escaping and it is never reported.
+struct AllocaInfo {
+  std::vector<uint32_t> tracked;        // alloca inst ids, ascending
+  std::vector<uint32_t> slot_of_inst;   // inst id -> tracked slot or ~0u
+  std::vector<uint32_t> root_of_value;  // inst id -> rooting alloca or ~0u
+};
+
+AllocaInfo collect_allocas(const ir::Function& func) {
+  AllocaInfo info;
+  info.slot_of_inst.assign(func.num_insts(), ~0u);
+  info.root_of_value.assign(func.num_insts(), ~0u);
+  std::vector<uint8_t> escaped(func.num_insts(), 0);
+
+  for (uint32_t id = 0; id < func.num_insts(); ++id) {
+    if (func.insts[id].op == ir::Opcode::Alloca) {
+      info.root_of_value[id] = id;
+    }
+  }
+  // Instruction ids are topological within a block and Gep bases must
+  // dominate, so a forward sweep resolves Gep chains; repeat once to
+  // cover cross-block orderings conservatively.
+  for (int pass = 0; pass < 2; ++pass) {
+    for (uint32_t id = 0; id < func.num_insts(); ++id) {
+      const auto& inst = func.insts[id];
+      if (inst.op == ir::Opcode::Gep && inst.operands[0].is_inst()) {
+        info.root_of_value[id] =
+            info.root_of_value[inst.operands[0].index];
+      }
+    }
+  }
+  const auto root = [&](const ir::Value& v) -> uint32_t {
+    return v.is_inst() ? info.root_of_value[v.index] : ~0u;
+  };
+  for (uint32_t id = 0; id < func.num_insts(); ++id) {
+    const auto& inst = func.insts[id];
+    for (uint32_t p = 0; p < inst.operands.size(); ++p) {
+      const uint32_t a = root(inst.operands[p]);
+      if (a == ~0u) continue;
+      const bool benign =
+          (inst.op == ir::Opcode::Load && p == 0) ||
+          (inst.op == ir::Opcode::Store && p == 1) ||
+          (inst.op == ir::Opcode::Gep && p == 0);
+      if (!benign) escaped[a] = 1;
+    }
+  }
+  for (uint32_t id = 0; id < func.num_insts(); ++id) {
+    if (info.root_of_value[id] == id && !escaped[id]) {
+      info.slot_of_inst[id] = static_cast<uint32_t>(info.tracked.size());
+      info.tracked.push_back(id);
+    }
+  }
+  return info;
+}
+
+// Block-level liveness problem over the tracked allocas, solved on the
+// generic engine. State bit = "some later read of this alloca may see
+// the bytes currently in it".
+struct AllocaLiveness {
+  using State = std::vector<uint8_t>;
+  static constexpr bool kForward = false;
+
+  const ir::Function& func;
+  const AllocaInfo& allocas;
+
+  State top() const { return State(allocas.tracked.size(), 0); }
+  State boundary() const { return top(); }  // locals die at function exit
+  bool merge(State& dst, const State& src) const {
+    bool changed = false;
+    for (size_t i = 0; i < dst.size(); ++i) {
+      if (src[i] && !dst[i]) {
+        dst[i] = 1;
+        changed = true;
+      }
+    }
+    return changed;
+  }
+
+  // True when `inst` fully overwrites tracked slot `slot` (a direct
+  // store of the alloca's whole byte size).
+  bool kills(const ir::Instruction& inst, uint32_t& slot) const {
+    if (inst.op != ir::Opcode::Store || !inst.operands[1].is_inst()) {
+      return false;
+    }
+    const uint32_t target = inst.operands[1].index;
+    slot = allocas.slot_of_inst[target];
+    if (slot == ~0u) return false;
+    const auto& alloca = func.insts[target];
+    return func.value_type(inst.operands[0]).store_size() == alloca.imm;
+  }
+  // True when `inst` may read tracked slot `slot`.
+  bool reads(const ir::Instruction& inst, uint32_t& slot) const {
+    if (inst.op != ir::Opcode::Load || !inst.operands[0].is_inst()) {
+      return false;
+    }
+    const uint32_t a = allocas.root_of_value[inst.operands[0].index];
+    if (a == ~0u) return false;
+    slot = allocas.slot_of_inst[a];
+    return slot != ~0u;
+  }
+
+  State transfer(uint32_t bb, const State& out) const {
+    State live = out;
+    const auto& insts = func.blocks[bb].insts;
+    for (auto it = insts.rbegin(); it != insts.rend(); ++it) {
+      const auto& inst = func.insts[*it];
+      uint32_t slot = ~0u;
+      if (kills(inst, slot)) {
+        live[slot] = 0;
+      } else if (reads(inst, slot)) {
+        live[slot] = 1;
+      }
+    }
+    return live;
+  }
+};
+
+void lint_function(const ir::Module& module, uint32_t f, FunctionLint& out) {
+  const auto& func = module.functions[f];
+  out.index = f;
+  out.name = func.name;
+  out.blocks = func.num_blocks();
+  out.insts = func.num_insts();
+
+  const CFG cfg(func);
+  const DefUse def_use(func);
+  for (uint32_t bb = 0; bb < func.num_blocks(); ++bb) {
+    if (cfg.reachable(bb)) ++out.reachable_blocks;
+  }
+
+  // unreachable-block: by block id.
+  for (uint32_t bb = 0; bb < func.num_blocks(); ++bb) {
+    if (cfg.reachable(bb)) continue;
+    out.diagnostics.push_back(
+        {Diagnostic::Severity::Warning, "unreachable-block", bb, ~0u,
+         format("block %u (%s) is unreachable from the entry", bb,
+                func.blocks[bb].name.c_str())});
+  }
+
+  // undef-use: by instruction id (reachable code only; unreachable code
+  // is already flagged wholesale above).
+  for (uint32_t id = 0; id < func.num_insts(); ++id) {
+    const auto& inst = func.insts[id];
+    if (!cfg.reachable(inst.block)) continue;
+    for (uint32_t p = 0; p < inst.operands.size(); ++p) {
+      if (inst.operands[p].is_none()) {
+        out.diagnostics.push_back(
+            {Diagnostic::Severity::Error, "undef-use", inst.block, id,
+             format("operand %u of %s has no value", p,
+                    ir::opcode_name(inst.op))});
+      }
+    }
+  }
+
+  // Bit-level facts: dead values, dead bit ranges, masked-bit counts.
+  KnownBitsAnalysis known(func, cfg, def_use, &out.stats);
+  DemandedBitsAnalysis demanded(func, cfg, def_use, known, &out.stats);
+  for (uint32_t id = 0; id < func.num_insts(); ++id) {
+    const auto& inst = func.insts[id];
+    if (!inst.has_result() || !cfg.reachable(inst.block)) continue;
+    const unsigned w = inst.type.width();
+    const uint64_t live = demanded.of_inst(id) & support::low_mask(w);
+    const unsigned masked = w - support::popcount_low(live, w);
+    if (masked == 0) continue;
+    out.masked_bits += masked;
+    out.masked_bits_per_inst.emplace_back(id, masked);
+    if (live == 0) {
+      out.diagnostics.push_back(
+          {Diagnostic::Severity::Warning, "dead-value", inst.block, id,
+           format("%s result is never demanded by any store, branch or "
+                  "output",
+                  ir::opcode_name(inst.op))});
+    } else {
+      // Describe the dead bits as closed ranges, e.g. "8-31".
+      std::string ranges;
+      for (unsigned bit = 0; bit < w;) {
+        if ((live >> bit) & 1) {
+          ++bit;
+          continue;
+        }
+        unsigned end = bit;
+        while (end + 1 < w && !((live >> (end + 1)) & 1)) ++end;
+        if (!ranges.empty()) ranges += ",";
+        ranges += bit == end ? format("%u", bit) : format("%u-%u", bit, end);
+        bit = end + 1;
+      }
+      out.diagnostics.push_back(
+          {Diagnostic::Severity::Info, "dead-bits", inst.block, id,
+           format("%s result bits %s are never demanded",
+                  ir::opcode_name(inst.op), ranges.c_str())});
+    }
+  }
+  out.stats.masked_bits_total += out.masked_bits;
+
+  // dead-store: block liveness over non-escaping allocas, then a
+  // backward in-block scan from each block's live-out state.
+  const AllocaInfo allocas = collect_allocas(func);
+  if (!allocas.tracked.empty()) {
+    const AllocaLiveness problem{func, allocas};
+    const auto states = solve_block_dataflow(cfg, problem, &out.stats);
+    for (const uint32_t bb : cfg.rpo()) {
+      auto live = states.out[bb];
+      const auto& insts = func.blocks[bb].insts;
+      std::vector<Diagnostic> block_diags;
+      for (auto it = insts.rbegin(); it != insts.rend(); ++it) {
+        const auto& inst = func.insts[*it];
+        uint32_t slot = ~0u;
+        if (problem.kills(inst, slot)) {
+          if (!live[slot]) {
+            block_diags.push_back(
+                {Diagnostic::Severity::Warning, "dead-store", bb, *it,
+                 format("store to %%%u is overwritten or never read",
+                        allocas.tracked[slot])});
+          }
+          live[slot] = 0;
+        } else if (problem.reads(inst, slot)) {
+          live[slot] = 1;
+        }
+      }
+      // The scan ran backward; report in program order.
+      out.diagnostics.insert(out.diagnostics.end(), block_diags.rbegin(),
+                             block_diags.rend());
+    }
+  }
+}
+
+}  // namespace
+
+LintResult lint_module(const ir::Module& module, uint32_t threads) {
+  LintResult result;
+  result.functions.resize(module.functions.size());
+  const auto run_one = [&](uint64_t f) {
+    lint_function(module, static_cast<uint32_t>(f), result.functions[f]);
+  };
+  const uint32_t workers =
+      threads == 0 ? support::ThreadPool::default_threads() : threads;
+  if (workers <= 1 || module.functions.size() <= 1) {
+    for (uint64_t f = 0; f < module.functions.size(); ++f) run_one(f);
+  } else {
+    support::ThreadPool::global().parallel_for(module.functions.size(),
+                                               run_one, workers);
+  }
+  for (const auto& fl : result.functions) {
+    result.stats += fl.stats;
+    for (const auto& d : fl.diagnostics) {
+      switch (d.severity) {
+        case Diagnostic::Severity::Error: ++result.errors; break;
+        case Diagnostic::Severity::Warning: ++result.warnings; break;
+        case Diagnostic::Severity::Info: ++result.infos; break;
+      }
+    }
+  }
+  return result;
+}
+
+support::json::Value lint_to_json(const LintResult& result,
+                                  const std::string& target) {
+  using support::json::Value;
+  Value doc = Value::object();
+  doc.set("schema", Value(std::string("trident-analyze/1")));
+  doc.set("target", Value(target));
+  Value functions = Value::array();
+  for (const auto& fl : result.functions) {
+    Value fn = Value::object();
+    fn.set("index", Value(static_cast<uint64_t>(fl.index)));
+    fn.set("name", Value(fl.name));
+    Value stats = Value::object();
+    stats.set("blocks", Value(fl.blocks));
+    stats.set("reachable_blocks", Value(fl.reachable_blocks));
+    stats.set("insts", Value(fl.insts));
+    stats.set("masked_bits", Value(fl.masked_bits));
+    stats.set("blocks_visited", Value(fl.stats.blocks_visited));
+    stats.set("fixpoint_iterations", Value(fl.stats.fixpoint_iterations));
+    fn.set("stats", stats);
+    Value diags = Value::array();
+    for (const auto& d : fl.diagnostics) {
+      Value dv = Value::object();
+      dv.set("severity", Value(std::string(severity_name(d.severity))));
+      dv.set("kind", Value(d.kind));
+      if (d.block != ~0u) dv.set("block", Value(static_cast<uint64_t>(d.block)));
+      if (d.inst != ~0u) dv.set("inst", Value(static_cast<uint64_t>(d.inst)));
+      dv.set("message", Value(d.message));
+      diags.push_back(std::move(dv));
+    }
+    fn.set("diagnostics", std::move(diags));
+    Value masked = Value::array();
+    for (const auto& [id, bits] : fl.masked_bits_per_inst) {
+      Value pair = Value::array();
+      pair.push_back(Value(static_cast<uint64_t>(id)));
+      pair.push_back(Value(static_cast<uint64_t>(bits)));
+      masked.push_back(std::move(pair));
+    }
+    fn.set("masked_bits_per_inst", std::move(masked));
+    functions.push_back(std::move(fn));
+  }
+  doc.set("functions", std::move(functions));
+  Value totals = Value::object();
+  totals.set("functions", Value(static_cast<uint64_t>(result.functions.size())));
+  totals.set("errors", Value(result.errors));
+  totals.set("warnings", Value(result.warnings));
+  totals.set("infos", Value(result.infos));
+  totals.set("masked_bits_total", Value(result.stats.masked_bits_total));
+  totals.set("blocks_visited", Value(result.stats.blocks_visited));
+  totals.set("fixpoint_iterations", Value(result.stats.fixpoint_iterations));
+  doc.set("totals", totals);
+  return doc;
+}
+
+}  // namespace trident::analysis

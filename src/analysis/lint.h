@@ -1,0 +1,67 @@
+// Static lint driver over the dataflow stack (`trident analyze`).
+//
+// Per function it reports:
+//   error    undef-use           an operand slot holds no value
+//   warning  unreachable-block   block not reachable from the entry
+//   warning  dead-store          a full store to a local overwritten or
+//                                never read (block liveness dataflow)
+//   warning  dead-value          a result no store/branch/output demands
+//   info     dead-bits           partially dead bit ranges of a result
+// plus per-instruction statically-masked-bit counts and the dataflow
+// cost counters. Output is deterministic: per-function results are
+// independent (safe to solve in parallel) and serialized in function
+// order, so the JSON (schema trident-analyze/1) is byte-identical at
+// any thread count.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/dataflow.h"
+#include "ir/module.h"
+#include "support/json.h"
+
+namespace trident::analysis {
+
+struct Diagnostic {
+  enum class Severity : uint8_t { Error, Warning, Info };
+  Severity severity = Severity::Info;
+  std::string kind;
+  uint32_t block = ~0u;  // ~0u when not block-scoped
+  uint32_t inst = ~0u;   // ~0u when not instruction-scoped
+  std::string message;
+};
+
+const char* severity_name(Diagnostic::Severity severity);
+
+struct FunctionLint {
+  uint32_t index = 0;
+  std::string name;
+  std::vector<Diagnostic> diagnostics;
+  uint64_t blocks = 0;
+  uint64_t reachable_blocks = 0;
+  uint64_t insts = 0;
+  uint64_t masked_bits = 0;
+  // (instruction id, statically masked result bits), masked > 0 only.
+  std::vector<std::pair<uint32_t, uint32_t>> masked_bits_per_inst;
+  DataflowStats stats;
+};
+
+struct LintResult {
+  std::vector<FunctionLint> functions;
+  uint64_t errors = 0;
+  uint64_t warnings = 0;
+  uint64_t infos = 0;
+  DataflowStats stats;
+};
+
+/// Lints every function of `module`. `threads` caps concurrency (0 =
+/// pool default); the result is identical for any value.
+LintResult lint_module(const ir::Module& module, uint32_t threads = 0);
+
+/// Serializes to the deterministic trident-analyze/1 JSON document.
+support::json::Value lint_to_json(const LintResult& result,
+                                  const std::string& target);
+
+}  // namespace trident::analysis

@@ -79,10 +79,11 @@ void Terminals::accumulate(const Terminals& other, double scale,
 
 SequenceTracer::SequenceTracer(const ir::Module& module,
                                const prof::Profile& profile,
-                               TraceConfig config)
+                               TraceConfig config,
+                               const analysis::BitFacts* bits)
     : module_(module),
       profile_(profile),
-      tuples_(module, profile),
+      tuples_(module, profile, bits),
       config_(config),
       call_graph_(module) {
   def_use_.reserve(module.functions.size());

@@ -15,6 +15,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "analysis/bit_facts.h"
 #include "analysis/cfg.h"
 #include "analysis/control_dependence.h"
 #include "analysis/def_use.h"
@@ -98,8 +99,11 @@ struct TraceConfig {
 
 class SequenceTracer {
  public:
+  /// `bits` (optional, must outlive the tracer) enables the known-bits
+  /// sharpening of logic-op tuples (ModelConfig::bit_refine).
   SequenceTracer(const ir::Module& module, const prof::Profile& profile,
-                 TraceConfig config = {});
+                 TraceConfig config = {},
+                 const analysis::BitFacts* bits = nullptr);
 
   /// Terminals reachable from a corrupted result of `ref`. Memoized,
   /// except for results computed while a def-use cycle was being cut:

@@ -13,6 +13,7 @@ std::optional<ModelConfig> model_config_from_name(const std::string& name) {
   if (name == "fs_fc") return ModelConfig::fs_fc();
   if (name == "fs") return ModelConfig::fs_only();
   if (name == "paper") return ModelConfig::paper();
+  if (name == "trident_bits") return ModelConfig::bits();
   return std::nullopt;
 }
 
@@ -20,13 +21,14 @@ std::string model_config_fingerprint(const ModelConfig& config) {
   char buf[192];
   std::snprintf(buf, sizeof buf,
                 "fc=%d;fm=%d;lucky=%d;depth=%u;cutoff=%.17g;addr=%d;"
-                "atten=%d;guard=%d",
+                "atten=%d;guard=%d;bits=%d",
                 config.enable_fc ? 1 : 0, config.enable_fm ? 1 : 0,
                 config.lucky_stores ? 1 : 0, config.trace.max_depth,
                 config.trace.prob_cutoff,
                 config.trace.track_store_addr ? 1 : 0,
                 config.trace.track_attenuation ? 1 : 0,
-                config.trace.guard_damping ? 1 : 0);
+                config.trace.guard_damping ? 1 : 0,
+                config.bit_refine ? 1 : 0);
   return buf;
 }
 
@@ -35,7 +37,9 @@ Trident::Trident(const ir::Module& module, const prof::Profile& profile,
     : module_(module),
       profile_(profile),
       config_(config),
-      tracer_(module, profile, config.trace),
+      bits_(config.bit_refine ? std::make_unique<analysis::BitFacts>(module)
+                              : nullptr),
+      tracer_(module, profile, config.trace, bits_.get()),
       fc_(module, profile, config.lucky_stores),
       fm_(module, profile, tracer_, fc_, FmConfig{.enable_fc = config.enable_fc}) {}
 
@@ -119,6 +123,14 @@ InstPrediction Trident::predict(ir::InstRef ref) const {
     // A fault cannot both crash and silently corrupt: the outcomes are
     // mutually exclusive, so crash probability bounds the SDC estimate.
     pred.sdc = std::min(std::min(1.0, sdc), 1.0 - pred.crash);
+    // Bit-level refinement: a uniform single-bit flip lands in a bit
+    // that can influence any store/branch/output with at most the
+    // demanded-bits influence fraction — a sound cap (min, not a
+    // product) that cannot double-count the masking the traced tuple
+    // chain already modeled.
+    if (bits_ != nullptr) {
+      pred.sdc = std::min(pred.sdc, bits_->influence_fraction(ref));
+    }
   }
   {
     std::lock_guard lock(shard.mutex);
@@ -224,6 +236,12 @@ void Trident::export_metrics(obs::Registry& registry) const {
   registry.add("trident.memo.hits", hits);
   registry.add("trident.memo.lookups", lookups);
   registry.set("trident.memo.hit_rate", rate(hits, lookups));
+  if (bits_ != nullptr) {
+    const auto stats = bits_->stats();
+    registry.add("analysis.blocks_visited", stats.blocks_visited);
+    registry.add("analysis.fixpoint_iterations", stats.fixpoint_iterations);
+    registry.add("analysis.masked_bits_total", stats.masked_bits_total);
+  }
 }
 
 }  // namespace trident::core

@@ -14,12 +14,14 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "analysis/bit_facts.h"
 #include "core/fc_model.h"
 #include "core/fm_model.h"
 #include "core/sequence.h"
@@ -36,6 +38,11 @@ struct ModelConfig {
   // §VII-A refinement: discount control-corrupted stores by their silent
   // (coincidentally correct) rate. Off = paper-faithful conservatism.
   bool lucky_stores = true;
+  // Bit-level static refinement (docs/ANALYSIS.md): cap per-instruction
+  // SDC by the demanded-bits influence fraction and sharpen logic-op
+  // tuples with known-bits masks. Profile-free and sound (caps, not
+  // products), so it can only lower predictions.
+  bool bit_refine = false;
   TraceConfig trace;
 
   static ModelConfig full() { return {}; }
@@ -50,6 +57,12 @@ struct ModelConfig {
     config.enable_fm = false;
     return config;
   }
+  /// Full model plus the bit-level static refinement ("trident_bits").
+  static ModelConfig bits() {
+    ModelConfig config;
+    config.bit_refine = true;
+    return config;
+  }
   /// Paper-faithful full model: the §VII extensions (store-address
   /// tracking, attenuation, guard damping) disabled.
   static ModelConfig paper() {
@@ -62,8 +75,8 @@ struct ModelConfig {
 };
 
 /// Named configurations as accepted by the CLI's --model flag and the
-/// eval spec's "models" list: "full", "fs_fc", "fs", "paper". Unknown
-/// names yield nullopt.
+/// eval spec's "models" list: "full", "fs_fc", "fs", "paper",
+/// "trident_bits". Unknown names yield nullopt.
 std::optional<ModelConfig> model_config_from_name(const std::string& name);
 
 /// Canonical one-line description of every semantically relevant
@@ -135,6 +148,9 @@ class Trident {
   const ir::Module& module_;
   const prof::Profile& profile_;
   ModelConfig config_;
+  // Built only under config.bit_refine; must outlive tracer_ (the tuple
+  // model keeps a pointer).
+  std::unique_ptr<analysis::BitFacts> bits_;
   SequenceTracer tracer_;
   FcModel fc_;
   FmModel fm_;

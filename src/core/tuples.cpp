@@ -140,6 +140,29 @@ double float_op_prob(ir::Opcode op, unsigned width,
 
 }  // namespace
 
+double TupleModel::static_logic_bound(ir::InstRef ref,
+                                      uint32_t operand_index) const {
+  const auto& func = module_.functions[ref.func];
+  const auto& inst = func.insts[ref.inst];
+  const unsigned w = inst.type.width();
+  if (w == 0) return 1.0;
+  const auto& other = inst.operands[1 - operand_index];
+  // Bits of the other operand that provably force the result bit —
+  // zeros for AND, ones for OR — mask a flip in this operand.
+  uint64_t forced = 0;
+  if (other.is_const()) {
+    const uint64_t raw = func.constants[other.index].raw;
+    forced = inst.op == ir::Opcode::And ? ~raw : raw;
+  } else if (bits_ != nullptr && other.is_inst()) {
+    const auto& kb = bits_->known({ref.func, other.index});
+    forced = inst.op == ir::Opcode::And ? kb.zeros : kb.ones;
+  } else {
+    return 1.0;
+  }
+  const unsigned live = w - support::popcount_low(forced, w);
+  return static_cast<double>(live) / w;
+}
+
 double TupleModel::address_crash_prob(ir::InstRef ref,
                                       uint32_t addr_operand) const {
   const auto& func = module_.functions[ref.func];
@@ -229,11 +252,17 @@ Tuple TupleModel::tuple(ir::InstRef ref, uint32_t operand_index) const {
       break;
     }
     case ir::Opcode::And:
-    case ir::Opcode::Or:
-      t.propagate = bitwise_prob(inst.op, inst.type.width(), samples,
-                                 operand_index);
+    case ir::Opcode::Or: {
+      // Profiled estimate, capped by what the other operand's bits force
+      // statically: a constant (or known-bits, under bit_refine) mask
+      // applies on every execution, even with an empty profile.
+      const double profiled =
+          bitwise_prob(inst.op, inst.type.width(), samples, operand_index);
+      const double bound = static_logic_bound(ref, operand_index);
+      t.propagate = samples.empty() ? bound : std::min(profiled, bound);
       t.mask = 1.0 - t.propagate;
       break;
+    }
     case ir::Opcode::Xor:
       break;  // xor moves every bit: (1, 0, 0)
     case ir::Opcode::FAdd:
@@ -276,6 +305,14 @@ Tuple TupleModel::tuple(ir::InstRef ref, uint32_t operand_index) const {
     case ir::Opcode::AShr:
       if (operand_index == 0) {
         t.propagate = shift_value_prob(inst.type.width(), samples);
+        // A constant shift amount discards exactly s of the w value
+        // bits on every execution, profile or not.
+        if (inst.operands[1].is_const()) {
+          const unsigned w = inst.type.width();
+          const unsigned s = static_cast<unsigned>(
+              func.constants[inst.operands[1].index].raw % w);
+          t.propagate = static_cast<double>(w - s) / w;
+        }
         t.mask = 1.0 - t.propagate;
       }
       // Errors in the shift amount always change the result: (1, 0, 0).

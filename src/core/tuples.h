@@ -8,6 +8,7 @@
 
 #include <cstdint>
 
+#include "analysis/bit_facts.h"
 #include "ir/module.h"
 #include "profiler/profile.h"
 
@@ -28,8 +29,15 @@ struct Tuple {
 
 class TupleModel {
  public:
-  TupleModel(const ir::Module& module, const prof::Profile& profile)
-      : module_(module), profile_(profile) {}
+  /// `bits` (optional, must outlive the model) supplies known-bits
+  /// facts that sharpen logic-op and shift tuples beyond what the
+  /// profile shows (the BitMaskRefinement of ModelConfig::bit_refine).
+  /// Independently of `bits`, a logic op with an IR-*constant* operand
+  /// is always masked by the constant's bits — even with an empty
+  /// profile.
+  TupleModel(const ir::Module& module, const prof::Profile& profile,
+             const analysis::BitFacts* bits = nullptr)
+      : module_(module), profile_(profile), bits_(bits) {}
 
   /// Tuple of instruction `ref` for an error arriving in operand
   /// `operand_index`. Deterministic; cheap enough to call repeatedly
@@ -58,8 +66,13 @@ class TupleModel {
                                                  double atten_bits);
 
  private:
+  /// Fraction of value bits that can survive the and/or at `ref` given
+  /// the other operand's statically known bits (1.0 if nothing known).
+  double static_logic_bound(ir::InstRef ref, uint32_t operand_index) const;
+
   const ir::Module& module_;
   const prof::Profile& profile_;
+  const analysis::BitFacts* bits_ = nullptr;
 };
 
 }  // namespace trident::core

@@ -13,8 +13,8 @@ namespace trident::eval {
 namespace json = support::json;
 
 const std::vector<std::string>& known_model_names() {
-  static const std::vector<std::string> kNames = {"full", "fs_fc", "fs",
-                                                  "paper", "pvf", "epvf"};
+  static const std::vector<std::string> kNames = {
+      "full", "fs_fc", "fs", "paper", "trident_bits", "pvf", "epvf"};
   return kNames;
 }
 

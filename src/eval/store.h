@@ -26,7 +26,7 @@ namespace trident::eval {
 /// number whenever the semantics of the model, the fault injector, the
 /// interpreter, or a workload kernel change in a way that can move a
 /// result: every cell of every store then recomputes on next use.
-inline constexpr const char* kCodeVersionSalt = "trident-eval-salt/1";
+inline constexpr const char* kCodeVersionSalt = "trident-eval-salt/2";
 
 /// Identity of one cell. `canonical` is the full dependency string,
 /// `slug` a short human-readable file-name prefix ("fi-pathfinder-s1").

@@ -26,6 +26,7 @@ class FunctionVerifier {
     check_structure();
     if (structure_ok_) {
       build_positions();
+      check_reachability();
       check_instructions();
     }
   }
@@ -95,6 +96,19 @@ class FunctionVerifier {
     }
     cfg_.emplace(func_);
     dom_.emplace(analysis::DomTree::dominators(*cfg_));
+  }
+
+  // Every block must be reachable from the entry. Dead blocks are
+  // always authoring bugs here (no pass legitimately produces them),
+  // and downstream analyses (dominators, the dataflow solvers, the
+  // profile) all assume reachability.
+  void check_reachability() {
+    for (uint32_t bb = 0; bb < func_.blocks.size(); ++bb) {
+      if (!cfg_->reachable(bb)) {
+        ferror(format("block %u (%s) is unreachable from entry", bb,
+                      func_.blocks[bb].name.c_str()));
+      }
+    }
   }
 
   bool value_valid(const Value& v) const {

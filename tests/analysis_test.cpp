@@ -75,6 +75,81 @@ LoopCfg make_loop() {
   return l;
 }
 
+// Nested loops: entry -> outer.header -> inner.header -> inner.body ->
+// inner.header; inner.header -> outer.latch -> outer.header; outer exits.
+struct NestedLoops {
+  Module m;
+  uint32_t entry, outer_header, inner_header, inner_body, outer_latch, exit;
+};
+
+NestedLoops make_nested_loops() {
+  NestedLoops n;
+  IRBuilder b(n.m);
+  b.begin_function("f", {}, Type::void_());
+  n.entry = b.block("entry");
+  n.outer_header = b.block("outer.header");
+  n.inner_header = b.block("inner.header");
+  n.inner_body = b.block("inner.body");
+  n.outer_latch = b.block("outer.latch");
+  n.exit = b.block("exit");
+  b.set_block(n.entry);
+  b.br(n.outer_header);
+  b.set_block(n.outer_header);
+  const Value oc = b.phi(Type::i1());
+  b.add_phi_incoming(oc, b.i1(true), n.entry);
+  b.cond_br(oc, n.inner_header, n.exit);
+  b.set_block(n.inner_header);
+  const Value ic = b.phi(Type::i1());
+  b.add_phi_incoming(ic, b.i1(true), n.outer_header);
+  b.cond_br(ic, n.inner_body, n.outer_latch);
+  b.set_block(n.inner_body);
+  b.br(n.inner_header);
+  b.add_phi_incoming(ic, b.i1(false), n.inner_body);
+  b.set_block(n.outer_latch);
+  b.br(n.outer_header);
+  b.add_phi_incoming(oc, b.i1(false), n.outer_latch);
+  b.set_block(n.exit);
+  b.ret();
+  b.end_function();
+  return n;
+}
+
+// A loop with a break: the body can leave through a second exit block,
+// so the function has two ret blocks (multi-exit CFG).
+struct MultiExit {
+  Module m;
+  uint32_t entry, header, body, latch, exit_normal, exit_break;
+};
+
+MultiExit make_multi_exit() {
+  MultiExit x;
+  IRBuilder b(x.m);
+  b.begin_function("f", {Type::i1()}, Type::void_());
+  x.entry = b.block("entry");
+  x.header = b.block("header");
+  x.body = b.block("body");
+  x.latch = b.block("latch");
+  x.exit_normal = b.block("exit.normal");
+  x.exit_break = b.block("exit.break");
+  b.set_block(x.entry);
+  b.br(x.header);
+  b.set_block(x.header);
+  const Value c = b.phi(Type::i1());
+  b.add_phi_incoming(c, b.i1(true), x.entry);
+  b.cond_br(c, x.body, x.exit_normal);
+  b.set_block(x.body);
+  b.cond_br(b.arg(0), x.latch, x.exit_break);
+  b.set_block(x.latch);
+  b.br(x.header);
+  b.add_phi_incoming(c, b.i1(false), x.latch);
+  b.set_block(x.exit_normal);
+  b.ret();
+  b.set_block(x.exit_break);
+  b.ret();
+  b.end_function();
+  return x;
+}
+
 TEST(CFG, DiamondEdges) {
   const auto d = make_diamond();
   const CFG cfg(d.m.functions[0]);
@@ -172,45 +247,50 @@ TEST(Loops, NoLoopInDiamond) {
 }
 
 TEST(Loops, NestedLoopsInnermost) {
-  Module m;
-  IRBuilder b(m);
-  b.begin_function("f", {}, Type::void_());
-  const auto entry = b.block("entry");
-  const auto oh = b.block("outer.header");
-  const auto ih = b.block("inner.header");
-  const auto ib = b.block("inner.body");
-  const auto ol = b.block("outer.latch");
-  const auto exit = b.block("exit");
-  b.set_block(entry);
-  b.br(oh);
-  b.set_block(oh);
-  const Value oc = b.phi(Type::i1());
-  b.add_phi_incoming(oc, b.i1(true), entry);
-  b.cond_br(oc, ih, exit);
-  b.set_block(ih);
-  const Value ic = b.phi(Type::i1());
-  b.add_phi_incoming(ic, b.i1(true), oh);
-  b.cond_br(ic, ib, ol);
-  b.set_block(ib);
-  b.br(ih);
-  b.add_phi_incoming(ic, b.i1(false), ib);
-  b.set_block(ol);
-  b.br(oh);
-  b.add_phi_incoming(oc, b.i1(false), ol);
-  b.set_block(exit);
-  b.ret();
-  b.end_function();
-
-  const CFG cfg(m.functions[0]);
+  const auto n = make_nested_loops();
+  const CFG cfg(n.m.functions[0]);
   const auto dom = DomTree::dominators(cfg);
   const LoopInfo loops(cfg, dom);
   ASSERT_EQ(loops.loops().size(), 2u);
   // The inner body's innermost loop is the smaller one.
-  const auto inner = loops.innermost_loop(ib);
+  const auto inner = loops.innermost_loop(n.inner_body);
   ASSERT_NE(inner, ~0u);
-  EXPECT_EQ(loops.loops()[inner].header, ih);
-  EXPECT_EQ(loops.loops_containing(ib).size(), 2u);
-  EXPECT_EQ(loops.loops_containing(ol).size(), 1u);
+  EXPECT_EQ(loops.loops()[inner].header, n.inner_header);
+  EXPECT_EQ(loops.loops_containing(n.inner_body).size(), 2u);
+  EXPECT_EQ(loops.loops_containing(n.outer_latch).size(), 1u);
+}
+
+TEST(Loops, NestedLoopExitsTargetTheRightLoop) {
+  const auto n = make_nested_loops();
+  const CFG cfg(n.m.functions[0]);
+  const auto dom = DomTree::dominators(cfg);
+  const LoopInfo loops(cfg, dom);
+  // The inner header's branch leaves the inner loop only (to the outer
+  // latch); the outer header's branch leaves the outer loop.
+  EXPECT_NE(loops.exiting_loop(n.inner_header,
+                               {n.inner_body, n.outer_latch}),
+            ~0u);
+  EXPECT_NE(loops.exiting_loop(n.outer_header, {n.inner_header, n.exit}),
+            ~0u);
+  // The outer latch's unconditional branch stays inside the outer loop.
+  EXPECT_EQ(loops.exiting_loop(n.outer_latch, {n.outer_header}), ~0u);
+  EXPECT_TRUE(loops.is_back_edge(n.inner_body, n.inner_header));
+  EXPECT_TRUE(loops.is_back_edge(n.outer_latch, n.outer_header));
+  EXPECT_FALSE(loops.is_back_edge(n.inner_header, n.outer_latch));
+}
+
+TEST(Loops, MultiExitLoopHasBothExitingBlocks) {
+  const auto x = make_multi_exit();
+  const CFG cfg(x.m.functions[0]);
+  ASSERT_EQ(cfg.exit_blocks().size(), 2u);
+  const auto dom = DomTree::dominators(cfg);
+  const LoopInfo loops(cfg, dom);
+  ASSERT_EQ(loops.loops().size(), 1u);
+  // Both the header and the breaking body exit the same loop.
+  EXPECT_NE(loops.exiting_loop(x.header, {x.body, x.exit_normal}), ~0u);
+  EXPECT_NE(loops.exiting_loop(x.body, {x.latch, x.exit_break}), ~0u);
+  EXPECT_EQ(loops.exiting_loop(x.latch, {x.header}), ~0u);
+  EXPECT_EQ(loops.innermost_loop(x.exit_break), ~0u);
 }
 
 TEST(ControlDependence, DiamondArms) {
@@ -238,6 +318,46 @@ TEST(ControlDependence, LoopBodyDependsOnHeaderBranch) {
   // The header controls its own re-execution.
   EXPECT_NE(std::find(deps.begin(), deps.end(), l.header), deps.end());
   EXPECT_EQ(std::find(deps.begin(), deps.end(), l.exit), deps.end());
+}
+
+TEST(ControlDependence, NestedLoopBodyDependsOnBothHeaders) {
+  const auto n = make_nested_loops();
+  const CFG cfg(n.m.functions[0]);
+  const auto pdom = DomTree::post_dominators(cfg);
+  const ControlDependence cd(cfg, pdom);
+  const auto contains = [](const std::vector<uint32_t>& v, uint32_t bb) {
+    return std::find(v.begin(), v.end(), bb) != v.end();
+  };
+  // The inner body is (directly) control-dependent on the inner header
+  // only; the outer header decides the inner HEADER and the latch, and
+  // the dependence on the body is transitive, not direct (Ferrante CD).
+  EXPECT_TRUE(contains(cd.dependent_on_branch(n.inner_header), n.inner_body));
+  EXPECT_TRUE(contains(cd.dependent_on_branch(n.inner_header),
+                       n.inner_header));  // self: loop re-execution
+  EXPECT_FALSE(contains(cd.dependent_on_branch(n.outer_header), n.inner_body));
+  EXPECT_TRUE(contains(cd.dependent_on_branch(n.outer_header), n.inner_header));
+  EXPECT_TRUE(contains(cd.dependent_on_branch(n.outer_header), n.outer_latch));
+  // The exit post-dominates everything: dependent on no branch.
+  EXPECT_FALSE(contains(cd.dependent_on_branch(n.outer_header), n.exit));
+  EXPECT_FALSE(contains(cd.dependent_on_branch(n.inner_header), n.exit));
+}
+
+TEST(ControlDependence, MultiExitBreakSplitsDependence) {
+  const auto x = make_multi_exit();
+  const CFG cfg(x.m.functions[0]);
+  const auto pdom = DomTree::post_dominators(cfg);
+  const ControlDependence cd(cfg, pdom);
+  const auto contains = [](const std::vector<uint32_t>& v, uint32_t bb) {
+    return std::find(v.begin(), v.end(), bb) != v.end();
+  };
+  // With two rets neither exit post-dominates the branches that reach
+  // it, so BOTH exits are control-dependent on the header and body
+  // branches.
+  EXPECT_TRUE(contains(cd.dependent_on_branch(x.header), x.exit_normal));
+  EXPECT_TRUE(contains(cd.dependent_on_branch(x.body), x.exit_break));
+  EXPECT_TRUE(contains(cd.dependent_on_branch(x.body), x.latch));
+  // The break decision cannot influence whether the body itself ran.
+  EXPECT_FALSE(contains(cd.dependent_on_branch(x.body), x.body));
 }
 
 TEST(DefUse, TracksUsers) {

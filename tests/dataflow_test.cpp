@@ -1,0 +1,393 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "analysis/bit_facts.h"
+#include "analysis/cfg.h"
+#include "analysis/dataflow.h"
+#include "analysis/def_use.h"
+#include "analysis/demanded_bits.h"
+#include "analysis/known_bits.h"
+#include "analysis/lint.h"
+#include "ir/builder.h"
+#include "workloads/workloads.h"
+
+namespace trident::analysis {
+namespace {
+
+using ir::CmpPred;
+using ir::IRBuilder;
+using ir::Module;
+using ir::Opcode;
+using ir::Type;
+using ir::Value;
+
+uint32_t find_op(const ir::Function& f, Opcode op, int skip = 0) {
+  for (uint32_t i = 0; i < f.insts.size(); ++i) {
+    if (f.insts[i].op == op && skip-- == 0) return i;
+  }
+  ADD_FAILURE() << "opcode not found";
+  return ~0u;
+}
+
+// ---------------------------------------------------------------------
+// KnownBits transfer functions (pure unit tests).
+
+TEST(KnownBits, ConstantsFoldThroughArithmetic) {
+  const auto a = KnownBits::constant(0x0F, 32);
+  const auto b = KnownBits::constant(0x35, 32);
+  EXPECT_EQ(kb_and(a, b).value(), 0x05u);
+  EXPECT_EQ(kb_or(a, b).value(), 0x3Fu);
+  EXPECT_EQ(kb_xor(a, b).value(), 0x3Au);
+  EXPECT_EQ(kb_add(a, b, false).value(), 0x44u);
+  EXPECT_EQ(kb_sub(b, a).value(), 0x26u);
+  EXPECT_EQ(kb_mul(a, b).value(), 0x0Fu * 0x35u);
+  EXPECT_TRUE(kb_add(a, b, false).fully_known());
+}
+
+TEST(KnownBits, AndWithConstantClearsHighBits) {
+  // x & 0xFF: bits 8..31 provably zero even though x is unknown.
+  const auto x = KnownBits::unknown(32);
+  const auto mask = KnownBits::constant(0xFF, 32);
+  const auto r = kb_and(x, mask);
+  EXPECT_EQ(r.zeros, 0xFFFFFF00u);
+  EXPECT_EQ(r.ones, 0u);
+}
+
+TEST(KnownBits, OrWithConstantSetsBits) {
+  const auto x = KnownBits::unknown(32);
+  const auto r = kb_or(x, KnownBits::constant(0x80000000u, 32));
+  EXPECT_EQ(r.ones, 0x80000000u);
+  EXPECT_EQ(r.zeros, 0u);
+}
+
+TEST(KnownBits, AddPreservesKnownParity) {
+  // even + even = even: bit 0 stays known-zero through the carry logic.
+  auto even = KnownBits::unknown(32);
+  even.zeros = 1;  // bit 0 known zero
+  const auto r = kb_add(even, even, false);
+  EXPECT_TRUE(r.zeros & 1u);
+  EXPECT_FALSE(r.ones & 1u);
+}
+
+TEST(KnownBits, ShiftsByConstantAmounts) {
+  const auto x = KnownBits::unknown(32);
+  const auto four = KnownBits::constant(4, 32);
+  EXPECT_EQ(kb_shl(x, four).zeros & 0xFu, 0xFu);  // low 4 bits zero
+  EXPECT_EQ(kb_lshr(x, four).zeros & 0xF0000000u, 0xF0000000u);
+  const auto c = KnownBits::constant(0x80, 32);
+  EXPECT_EQ(kb_shl(c, four).value(), 0x800u);
+  EXPECT_EQ(kb_lshr(c, four).value(), 0x8u);
+}
+
+TEST(KnownBits, CastsMapBitRanges) {
+  const auto c = KnownBits::constant(0xAB, 32);
+  EXPECT_EQ(kb_trunc(c, 8).value(), 0xABu);
+  EXPECT_EQ(kb_zext(kb_trunc(c, 8), 32).zeros, 0xFFFFFF00u | 0x54u);
+  // sext replicates a known sign bit.
+  const auto neg = KnownBits::constant(0x80, 8);
+  const auto wide = kb_sext(neg, 32);
+  EXPECT_EQ(wide.ones, 0xFFFFFF80u);
+}
+
+TEST(KnownBits, JoinKeepsAgreedBitsOnly) {
+  const auto a = KnownBits::constant(0x0F, 32);
+  const auto b = KnownBits::constant(0x0D, 32);
+  const auto j = kb_join(a, b);
+  EXPECT_EQ(j.ones, 0x0Du);                 // bits set in both
+  EXPECT_EQ(j.zeros & 0x2u, 0u);            // bit 1 disagrees: unknown
+  EXPECT_EQ(j.zeros & 0xFFFFFFF0u, 0xFFFFFFF0u);
+  // Undefined is the identity.
+  EXPECT_EQ(kb_join(KnownBits{}, a), a);
+}
+
+// ---------------------------------------------------------------------
+// KnownBitsAnalysis over whole functions.
+
+TEST(KnownBitsAnalysis, SeedsFromConstantsAndFolds) {
+  Module m;
+  IRBuilder b(m);
+  b.begin_function("f", {Type::i32()}, Type::void_());
+  b.set_block(b.block("entry"));
+  const Value sum = b.add(b.i32(3), b.i32(4));
+  const Value masked = b.and_(b.arg(0), b.i32(0xFF));
+  b.print_int(sum);
+  b.print_int(masked);
+  b.ret();
+  b.end_function();
+
+  const auto& f = m.functions[0];
+  const CFG cfg(f);
+  const DefUse du(f);
+  const KnownBitsAnalysis kb(f, cfg, du);
+  EXPECT_TRUE(kb.of_inst(sum.index).fully_known());
+  EXPECT_EQ(kb.of_inst(sum.index).value(), 7u);
+  EXPECT_EQ(kb.of_inst(masked.index).zeros, 0xFFFFFF00u);
+}
+
+TEST(KnownBitsAnalysis, LoopPhiConvergesToInvariant) {
+  // iv = phi [0, iv + 2]: always even. The fixpoint must find the
+  // parity invariant and must terminate (knowledge shrinks to it).
+  Module m;
+  IRBuilder b(m);
+  b.begin_function("f", {}, Type::void_());
+  const auto entry = b.block("entry");
+  const auto header = b.block("header");
+  const auto body = b.block("body");
+  const auto exit = b.block("exit");
+  b.set_block(entry);
+  b.br(header);
+  b.set_block(header);
+  const Value iv = b.phi(Type::i32(), "iv");
+  b.add_phi_incoming(iv, b.i32(0), entry);
+  const Value c = b.icmp(CmpPred::SLt, iv, b.i32(10));
+  b.cond_br(c, body, exit);
+  b.set_block(body);
+  const Value next = b.add(iv, b.i32(2));
+  b.br(header);
+  b.add_phi_incoming(iv, next, body);
+  b.set_block(exit);
+  b.print_int(iv);
+  b.ret();
+  b.end_function();
+
+  const auto& f = m.functions[0];
+  const CFG cfg(f);
+  const DefUse du(f);
+  DataflowStats stats;
+  const KnownBitsAnalysis kb(f, cfg, du, &stats);
+  EXPECT_TRUE(kb.of_inst(iv.index).zeros & 1u) << "iv must be even";
+  EXPECT_FALSE(kb.of_inst(iv.index).fully_known());
+  EXPECT_GT(stats.fixpoint_iterations, 0u);
+  // Termination bound: a value changes at most width+1 times.
+  EXPECT_LT(stats.fixpoint_iterations, f.insts.size() * 66u);
+}
+
+// ---------------------------------------------------------------------
+// Demanded bits.
+
+TEST(DemandedBits, LogicAndCastTransfers) {
+  Module m;
+  IRBuilder b(m);
+  b.begin_function("f", {Type::i32()}, Type::void_());
+  b.set_block(b.block("entry"));
+  const Value x = b.add(b.arg(0), b.i32(1));
+  const Value masked = b.and_(x, b.i32(0xFF));
+  const Value narrow = b.trunc(x, Type::i8());
+  const Value shifted = b.shl(b.i32(1), x);
+  (void)masked;
+  (void)narrow;
+  (void)shifted;
+  b.ret();
+  b.end_function();
+
+  const auto& f = m.functions[0];
+  const CFG cfg(f);
+  const DefUse du(f);
+  const KnownBitsAnalysis kb(f, cfg, du);
+  const uint64_t full = 0xFFFFFFFFu;
+  // and x, 0xFF demands only the low byte of x.
+  EXPECT_EQ(demanded_operand_bits(f, f.insts[masked.index], 0, full, kb),
+            0xFFu);
+  // trunc to i8 demands the low byte.
+  EXPECT_EQ(demanded_operand_bits(f, f.insts[narrow.index], 0, 0xFFu, kb),
+            0xFFu);
+  // a shift amount is taken mod 32: only 5 bits demanded.
+  EXPECT_EQ(demanded_operand_bits(f, f.insts[shifted.index], 1, full, kb),
+            0x1Fu);
+  // add: demanded bits reach only downward (carries go up), so full
+  // demand on the result demands everything of each addend...
+  EXPECT_EQ(demanded_operand_bits(f, f.insts[x.index], 0, full, kb), full);
+  // ...but demand of only the low byte never demands high addend bits.
+  EXPECT_EQ(demanded_operand_bits(f, f.insts[x.index], 0, 0xFFu, kb), 0xFFu);
+}
+
+TEST(DemandedBitsAnalysis, TruncatedChainDemandsLowBitsOnly) {
+  // y = a + b; store (trunc y to i8): only y's low byte is demanded, so
+  // 24 of its 32 bits are statically masked.
+  Module m;
+  IRBuilder b(m);
+  b.begin_function("f", {Type::i32(), Type::i32()}, Type::void_());
+  b.set_block(b.block("entry"));
+  const Value y = b.add(b.arg(0), b.arg(1));
+  const Value t = b.trunc(y, Type::i8());
+  const Value p = b.alloca_(1);
+  b.store(t, p);
+  b.ret();
+  b.end_function();
+
+  const auto& f = m.functions[0];
+  const CFG cfg(f);
+  const DefUse du(f);
+  const KnownBitsAnalysis kb(f, cfg, du);
+  const DemandedBitsAnalysis db(f, cfg, du, kb);
+  EXPECT_EQ(db.of_inst(y.index), 0xFFu);
+  EXPECT_EQ(db.of_inst(t.index), 0xFFu);
+  EXPECT_EQ(db.of_arg(0), 0xFFu);
+  EXPECT_EQ(db.of_arg(1), 0xFFu);
+}
+
+TEST(DemandedBitsAnalysis, BranchAndDivisionAreRoots) {
+  // Even a dead quotient demands its operands: division can trap.
+  Module m;
+  IRBuilder b(m);
+  b.begin_function("f", {Type::i32()}, Type::void_());
+  const auto entry = b.block("entry");
+  const auto t = b.block("t");
+  b.set_block(entry);
+  const Value q = b.udiv(b.i32(100), b.arg(0));
+  (void)q;
+  const Value c = b.icmp(CmpPred::Eq, b.arg(0), b.i32(0));
+  b.cond_br(c, t, t);
+  b.set_block(t);
+  b.ret();
+  b.end_function();
+
+  const auto& f = m.functions[0];
+  const CFG cfg(f);
+  const DefUse du(f);
+  const KnownBitsAnalysis kb(f, cfg, du);
+  const DemandedBitsAnalysis db(f, cfg, du, kb);
+  EXPECT_EQ(db.of_arg(0), 0xFFFFFFFFu);
+  // The comparison feeds a branch: its (1-bit) result is demanded.
+  EXPECT_EQ(db.of_inst(c.index) & 1u, 1u);
+}
+
+// ---------------------------------------------------------------------
+// Module-level facts: determinism and model-facing accessors.
+
+TEST(BitFacts, InfluenceFractionBoundsMaskedValues) {
+  Module m;
+  IRBuilder b(m);
+  b.begin_function("main", {Type::i32()}, Type::void_());
+  b.set_block(b.block("entry"));
+  const Value y = b.add(b.arg(0), b.i32(1));
+  const Value t = b.trunc(y, Type::i8());
+  const Value z = b.zext(t, Type::i32());
+  b.print_int(z);
+  b.ret();
+  b.end_function();
+
+  const BitFacts facts(m);
+  EXPECT_EQ(facts.masked_bits({0, y.index}), 24u);
+  EXPECT_NEAR(facts.influence_fraction({0, y.index}), 8.0 / 32, 1e-12);
+  // Nothing masked on the print path itself.
+  EXPECT_NEAR(facts.influence_fraction({0, t.index}), 1.0, 1e-12);
+  EXPECT_GE(facts.stats().masked_bits_total, 24u);
+}
+
+TEST(BitFacts, DeterministicAcrossThreadCounts) {
+  const auto m = workloads::find_workload("libquantum").build();
+  const BitFacts one(m, 1);
+  const BitFacts eight(m, 8);
+  ASSERT_EQ(one.stats().masked_bits_total, eight.stats().masked_bits_total);
+  for (uint32_t fi = 0; fi < m.functions.size(); ++fi) {
+    for (uint32_t i = 0; i < m.functions[fi].insts.size(); ++i) {
+      const ir::InstRef ref{fi, i};
+      EXPECT_EQ(one.known(ref), eight.known(ref));
+      EXPECT_EQ(one.demanded(ref), eight.demanded(ref));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Lint driver.
+
+TEST(Lint, CleanFunctionHasNoDiagnostics) {
+  Module m;
+  IRBuilder b(m);
+  b.begin_function("main", {}, Type::void_());
+  b.set_block(b.block("entry"));
+  const Value p = b.alloca_(4);
+  b.store(b.i32(1), p);
+  b.print_int(b.load(Type::i32(), p));
+  b.ret();
+  b.end_function();
+  const auto r = lint_module(m);
+  EXPECT_EQ(r.errors, 0u);
+  EXPECT_EQ(r.warnings, 0u);
+  ASSERT_EQ(r.functions.size(), 1u);
+  EXPECT_TRUE(r.functions[0].diagnostics.empty());
+}
+
+TEST(Lint, FlagsUnreachableBlock) {
+  Module m;
+  IRBuilder b(m);
+  b.begin_function("main", {}, Type::void_());
+  const auto entry = b.block("entry");
+  const auto dead = b.block("dead");
+  const auto exit = b.block("exit");
+  b.set_block(entry);
+  b.br(exit);
+  b.set_block(dead);
+  b.br(exit);
+  b.set_block(exit);
+  b.ret();
+  b.end_function();
+  const auto r = lint_module(m);
+  ASSERT_EQ(r.functions.size(), 1u);
+  bool found = false;
+  for (const auto& d : r.functions[0].diagnostics) {
+    found |= d.kind == "unreachable-block" && d.block == dead;
+  }
+  EXPECT_TRUE(found);
+  EXPECT_EQ(r.functions[0].reachable_blocks, 2u);
+}
+
+TEST(Lint, FlagsOverwrittenStore) {
+  // Two full stores to a local with no read in between: the first is
+  // dead (found by the generic backward block-liveness dataflow).
+  Module m;
+  IRBuilder b(m);
+  b.begin_function("main", {}, Type::void_());
+  b.set_block(b.block("entry"));
+  const Value p = b.alloca_(4);
+  b.store(b.i32(1), p);  // dead
+  b.store(b.i32(2), p);
+  b.print_int(b.load(Type::i32(), p));
+  b.ret();
+  b.end_function();
+  const auto r = lint_module(m);
+  ASSERT_EQ(r.functions.size(), 1u);
+  const auto dead_store = find_op(m.functions[0], Opcode::Store, 0);
+  bool found = false;
+  for (const auto& d : r.functions[0].diagnostics) {
+    found |= d.kind == "dead-store" && d.inst == dead_store;
+  }
+  EXPECT_TRUE(found) << "first store must be flagged";
+}
+
+TEST(Lint, FlagsUndefOperandAsError) {
+  Module m;
+  IRBuilder b(m);
+  b.begin_function("main", {}, Type::void_());
+  b.set_block(b.block("entry"));
+  const Value x = b.add(b.i32(1), b.i32(2));
+  b.print_int(x);
+  b.ret();
+  b.end_function();
+  m.functions[0].insts[x.index].operands[1] = ir::Value();  // undef slot
+  const auto r = lint_module(m);
+  EXPECT_GE(r.errors, 1u);
+}
+
+TEST(Lint, JsonIsByteIdenticalAcrossThreadCounts) {
+  const auto m = workloads::find_workload("libquantum").build();
+  const auto a = lint_to_json(lint_module(m, 1), "libquantum");
+  const auto b = lint_to_json(lint_module(m, 8), "libquantum");
+  const auto c = lint_to_json(lint_module(m, 8), "libquantum");
+  EXPECT_EQ(a.write_pretty(), b.write_pretty());
+  EXPECT_EQ(b.write_pretty(), c.write_pretty());
+  EXPECT_NE(a.write_pretty().find("\"schema\": \"trident-analyze/1\""),
+            std::string::npos);
+}
+
+TEST(Lint, AllWorkloadsAreErrorFree) {
+  for (const auto& w : workloads::all_workloads()) {
+    const auto r = lint_module(w.build());
+    EXPECT_EQ(r.errors, 0u) << w.name;
+  }
+}
+
+}  // namespace
+}  // namespace trident::analysis

@@ -32,6 +32,21 @@ std::pair<Module, prof::Profile> profiled(int n, Fn&& body) {
   return {std::move(m), std::move(profile)};
 }
 
+// A profile with zero samples everywhere (but correctly sized): what the
+// model sees for code that was never executed under the profiler.
+prof::Profile empty_profile(const Module& m) {
+  prof::Profile p;
+  p.funcs.resize(m.functions.size());
+  for (uint32_t f = 0; f < m.functions.size(); ++f) {
+    const auto n = m.functions[f].insts.size();
+    p.funcs[f].exec.assign(n, 0);
+    p.funcs[f].silent.assign(n, 0);
+    p.funcs[f].branch.assign(n, {0, 0});
+    p.funcs[f].operand_samples.resize(n);
+  }
+  return p;
+}
+
 uint32_t find_op(const Module& m, ir::Opcode op, int skip = 0) {
   for (uint32_t i = 0; i < m.functions[0].insts.size(); ++i) {
     if (m.functions[0].insts[i].op == op && skip-- == 0) return i;
@@ -104,6 +119,72 @@ TEST(Tuples, OrMasksBySetBits) {
   const TupleModel tuples(m, profile);
   const auto t = tuples.tuple({0, find_op(m, ir::Opcode::Or)}, 0);
   EXPECT_NEAR(t.propagate, 24.0 / 32, 1e-9);
+}
+
+TEST(Tuples, AndConstantMasksWithEmptyProfile) {
+  // `and x, 0xFF` masks the high 24 bits regardless of profiling: the
+  // IR constant alone bounds propagation, so an EMPTY profile (no
+  // sampled operands at all) must still yield 8/32, not 1.
+  Module m;
+  IRBuilder b(m);
+  b.begin_function("main", {Type::i32()}, Type::void_());
+  b.set_block(b.block("entry"));
+  b.print_int(b.and_(b.arg(0), b.i32(0xff)));
+  b.print_int(b.or_(b.arg(0), b.i32(0xff)));
+  b.ret();
+  b.end_function();
+  const prof::Profile empty = empty_profile(m);
+  const TupleModel tuples(m, empty);
+  EXPECT_NEAR(tuples.tuple({0, find_op(m, ir::Opcode::And)}, 0).propagate,
+              8.0 / 32, 1e-9);
+  EXPECT_NEAR(tuples.tuple({0, find_op(m, ir::Opcode::Or)}, 0).propagate,
+              24.0 / 32, 1e-9);
+}
+
+TEST(Tuples, ConstantBoundCapsOptimisticProfile) {
+  // Even with a profile, the static constant bound caps the estimate:
+  // the profiled bitwise estimate can never exceed it.
+  auto [m, profile] = profiled(8, [](IRBuilder& b, Value i) {
+    b.and_(i, b.i32(0xf));
+  });
+  const TupleModel tuples(m, profile);
+  EXPECT_LE(tuples.tuple({0, find_op(m, ir::Opcode::And)}, 0).propagate,
+            4.0 / 32 + 1e-9);
+}
+
+TEST(Tuples, ConstantShiftExactWithEmptyProfile) {
+  Module m;
+  IRBuilder b(m);
+  b.begin_function("main", {Type::i32()}, Type::void_());
+  b.set_block(b.block("entry"));
+  b.print_int(b.lshr(b.arg(0), b.i32(8)));
+  b.ret();
+  b.end_function();
+  const prof::Profile empty = empty_profile(m);
+  const TupleModel tuples(m, empty);
+  EXPECT_NEAR(tuples.tuple({0, find_op(m, ir::Opcode::LShr)}, 0).propagate,
+              24.0 / 32, 1e-9);
+}
+
+TEST(Tuples, KnownBitsRefinementSharpensLogicOps) {
+  // y = zext(trunc x) has 24 statically known-zero high bits; under the
+  // bit_refine facts `and z, y` masks those bits of z even though y is
+  // not an IR constant.
+  Module m;
+  IRBuilder b(m);
+  b.begin_function("main", {Type::i32(), Type::i32()}, Type::void_());
+  b.set_block(b.block("entry"));
+  const Value y = b.zext(b.trunc(b.arg(0), Type::i8()), Type::i32());
+  b.print_int(b.and_(b.arg(1), y));
+  b.ret();
+  b.end_function();
+  const prof::Profile empty = empty_profile(m);
+  const analysis::BitFacts facts(m);
+  const TupleModel plain(m, empty);
+  const TupleModel refined(m, empty, &facts);
+  const uint32_t and_id = find_op(m, ir::Opcode::And);
+  EXPECT_DOUBLE_EQ(plain.tuple({0, and_id}, 0).propagate, 1.0);
+  EXPECT_NEAR(refined.tuple({0, and_id}, 0).propagate, 8.0 / 32, 1e-9);
 }
 
 TEST(Tuples, XorPropagatesFully) {

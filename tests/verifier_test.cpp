@@ -114,6 +114,51 @@ TEST(Verifier, AcceptsDominatingDefAcrossBlocks) {
   EXPECT_TRUE(verify(m).empty()) << verify_to_string(m);
 }
 
+TEST(Verifier, RejectsUnreachableBlock) {
+  Module m;
+  IRBuilder b(m);
+  b.begin_function("main", {}, Type::void_());
+  const auto entry = b.block("entry");
+  const auto dead = b.block("dead");
+  const auto exit = b.block("exit");
+  b.set_block(entry);
+  b.br(exit);
+  b.set_block(dead);  // well-formed but no predecessor
+  b.br(exit);
+  b.set_block(exit);
+  b.ret();
+  b.end_function();
+  const auto errors = verify(m);
+  ASSERT_FALSE(errors.empty());
+  EXPECT_NE(errors[0].message.find("unreachable"), std::string::npos)
+      << verify_to_string(m);
+}
+
+TEST(Verifier, RejectsNonDominatingUseAcrossLoopBackedge) {
+  Module m;
+  IRBuilder b(m);
+  b.begin_function("main", {}, Type::void_());
+  const auto entry = b.block("entry");
+  const auto header = b.block("header");
+  const auto body = b.block("body");
+  const auto exit = b.block("exit");
+  b.set_block(entry);
+  b.br(header);
+  b.set_block(body);
+  const Value x = b.add(b.i32(1), b.i32(2));
+  b.br(header);
+  b.set_block(header);
+  // x is defined in the loop body, which does not dominate the header
+  // (the entry edge bypasses it): must be rejected, not merely flagged
+  // on the first iteration.
+  b.print_int(x);
+  b.cond_br(b.i1(true), body, exit);
+  b.set_block(exit);
+  b.ret();
+  b.end_function();
+  EXPECT_FALSE(verify(m).empty());
+}
+
 TEST(Verifier, RejectsBinopTypeMismatch) {
   Module m;
   IRBuilder b(m);

@@ -15,9 +15,15 @@ Modes:
       Wilson CIs, model accuracy columns, per-instruction rows. With
       STORE_DIR, additionally validate every result-store cell file.
 
+  check_manifest.py analyze REPORT.json
+      Validate a `trident analyze --json` document (schema
+      trident-analyze/1): per-function stats, diagnostic severities,
+      masked-bit accounting, and the totals roll-up.
+
   check_manifest.py selftest
-      Validate the committed fixture tools/fixtures/eval_report_tiny.json
-      and verify that representative corruptions are rejected.
+      Validate the committed fixtures (tools/fixtures/
+      eval_report_tiny.json and analyze_tiny.json) and verify that
+      representative corruptions of each are rejected.
 
 Legacy: three positional manifests (no mode word) mean `run`.
 """
@@ -261,6 +267,97 @@ def mode_eval(argv):
     print(msg)
 
 
+# ---------------------------------------------------------------------------
+# trident-analyze/1
+# ---------------------------------------------------------------------------
+
+SEVERITIES = ["error", "warning", "info"]
+
+
+def check_analyze_report(path, report):
+    if report.get("schema") != "trident-analyze/1":
+        bail(f"{path}: bad schema tag {report.get('schema')!r}")
+    if not report.get("target"):
+        bail(f"{path}: missing target name")
+
+    functions = report.get("functions")
+    if not isinstance(functions, list):
+        bail(f"{path}: missing functions array")
+    tally = {s: 0 for s in SEVERITIES}
+    sums = {"masked_bits_total": 0, "blocks_visited": 0,
+            "fixpoint_iterations": 0}
+    for pos, fn in enumerate(functions):
+        name = fn.get("name", "<unnamed>")
+        if fn.get("index") != pos:
+            bail(f"{path}: function {name}: index {fn.get('index')!r} does "
+                 f"not match position {pos}")
+        stats = fn.get("stats")
+        if not isinstance(stats, dict):
+            bail(f"{path}: function {name}: missing stats object")
+        for key in ("blocks", "reachable_blocks", "insts", "masked_bits",
+                    "blocks_visited", "fixpoint_iterations"):
+            if not isinstance(stats.get(key), int) or stats[key] < 0:
+                bail(f"{path}: function {name}: stats.{key} missing or "
+                     f"negative")
+        if stats["reachable_blocks"] > stats["blocks"]:
+            bail(f"{path}: function {name}: more reachable blocks than "
+                 f"blocks")
+
+        for d in fn.get("diagnostics", []):
+            if d.get("severity") not in SEVERITIES:
+                bail(f"{path}: function {name}: bad severity "
+                     f"{d.get('severity')!r}")
+            if not d.get("kind") or not d.get("message"):
+                bail(f"{path}: function {name}: diagnostic without "
+                     f"kind/message")
+            tally[d["severity"]] += 1
+
+        per_inst = fn.get("masked_bits_per_inst", [])
+        masked = 0
+        for entry in per_inst:
+            if not (isinstance(entry, list) and len(entry) == 2 and
+                    all(isinstance(x, int) for x in entry)):
+                bail(f"{path}: function {name}: malformed masked-bits entry")
+            inst, bits = entry
+            if not 0 <= inst < stats["insts"] or bits <= 0:
+                bail(f"{path}: function {name}: masked-bits entry "
+                     f"[{inst}, {bits}] out of range")
+            masked += bits
+        if masked != stats["masked_bits"]:
+            bail(f"{path}: function {name}: per-inst masked bits sum to "
+                 f"{masked}, stats say {stats['masked_bits']}")
+        sums["masked_bits_total"] += stats["masked_bits"]
+        sums["blocks_visited"] += stats["blocks_visited"]
+        sums["fixpoint_iterations"] += stats["fixpoint_iterations"]
+
+    totals = report.get("totals")
+    if not isinstance(totals, dict):
+        bail(f"{path}: missing totals object")
+    if totals.get("functions") != len(functions):
+        bail(f"{path}: totals.functions does not match the functions array")
+    for sev, plural in (("error", "errors"), ("warning", "warnings"),
+                        ("info", "infos")):
+        if totals.get(plural) != tally[sev]:
+            bail(f"{path}: totals.{plural} = {totals.get(plural)!r} but "
+                 f"{tally[sev]} {sev}-severity diagnostics are present")
+    for key, value in sums.items():
+        if totals.get(key) != value:
+            bail(f"{path}: totals.{key} = {totals.get(key)!r}, per-function "
+                 f"sum is {value}")
+    return totals
+
+
+def mode_analyze(argv):
+    if len(argv) != 1:
+        bail(__doc__)
+    with open(argv[0]) as f:
+        report = json.load(f)
+    totals = check_analyze_report(argv[0], report)
+    print(f"analyze report OK: {totals['functions']} functions, "
+          f"{totals['errors']} errors, {totals['warnings']} warnings, "
+          f"{totals['masked_bits_total']} masked bits")
+
+
 def mode_selftest(argv):
     if argv:
         bail(__doc__)
@@ -292,18 +389,49 @@ def mode_selftest(argv):
         except SystemExit:
             continue
         bail(f"selftest: corruption {label!r} was not detected")
-    print(f"selftest OK: fixture valid, {len(corruptions)} corruptions "
+
+    analyze_fixture = os.path.join(
+        os.path.dirname(os.path.abspath(__file__)), "fixtures",
+        "analyze_tiny.json")
+    with open(analyze_fixture) as f:
+        analyze_good = json.load(f)
+    check_analyze_report(analyze_fixture, analyze_good)
+    analyze_corruptions = [
+        ("analyze schema tag", lambda r: r.update(schema="bogus/9")),
+        ("severity tally",
+         lambda r: r["totals"].update(infos=r["totals"]["infos"] + 1)),
+        ("masked-bits roll-up",
+         lambda r: r["totals"].update(masked_bits_total=0)),
+        ("per-inst masked sum",
+         lambda r: r["functions"][0]["masked_bits_per_inst"].append([0, 1])),
+        ("diagnostic severity",
+         lambda r: r["functions"][0]["diagnostics"][0].update(
+             severity="fatal")),
+        ("reachability bound",
+         lambda r: r["functions"][0]["stats"].update(reachable_blocks=999)),
+    ]
+    for label, corrupt in analyze_corruptions:
+        bad = copy.deepcopy(analyze_good)
+        corrupt(bad)
+        try:
+            check_analyze_report(f"<{label}>", bad)
+        except SystemExit:
+            continue
+        bail(f"selftest: corruption {label!r} was not detected")
+    print(f"selftest OK: fixtures valid, "
+          f"{len(corruptions) + len(analyze_corruptions)} corruptions "
           f"detected")
 
 
 def main(argv):
-    if len(argv) >= 2 and argv[1] in ("run", "eval", "selftest"):
+    if len(argv) >= 2 and argv[1] in ("run", "eval", "analyze", "selftest"):
         mode, rest = argv[1], argv[2:]
     elif len(argv) == 4:
         mode, rest = "run", argv[1:]  # legacy positional form
     else:
         bail(__doc__)
-    {"run": mode_run, "eval": mode_eval, "selftest": mode_selftest}[mode](rest)
+    {"run": mode_run, "eval": mode_eval, "analyze": mode_analyze,
+     "selftest": mode_selftest}[mode](rest)
 
 
 if __name__ == "__main__":

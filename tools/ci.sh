@@ -42,6 +42,21 @@ trap 'rm -rf "$smokedir"' EXIT
 python3 tools/check_manifest.py \
   "$smokedir/inject.json" "$smokedir/resume.json" "$smokedir/predict.json"
 
+# Static-analysis smoke: `trident analyze` over every registered
+# workload. The CLI exits nonzero on any error-severity diagnostic
+# (bundled workloads must lint clean), and every JSON document must
+# validate against the trident-analyze/1 schema. Run twice at different
+# thread counts and require byte-identical output.
+for w in $("$bindir/tools/trident" list | awk 'NR > 1 {print $1}'); do
+  "$bindir/tools/trident" analyze "$w" --json --threads 1 \
+    -o "$smokedir/analyze-$w.json"
+  "$bindir/tools/trident" analyze "$w" --json --threads 8 \
+    -o "$smokedir/analyze-$w-mt.json"
+  cmp "$smokedir/analyze-$w.json" "$smokedir/analyze-$w-mt.json" \
+    || { echo "analyze $w: thread-count-dependent output" >&2; exit 1; }
+  python3 tools/check_manifest.py analyze "$smokedir/analyze-$w.json"
+done
+
 # Evaluation-subsystem smoke: run the tiny committed spec end to end
 # (~240 FI trials), validate the report and every result-store cell,
 # then re-run against the same store and require a 100% cache hit —

@@ -4,7 +4,9 @@
 //   trident dump    <target> [-o out.tir]
 //   trident run     <target>
 //   trident profile <target>
-//   trident predict <target> [--model full|fs_fc|fs|paper] [--per-inst] [--samples N]
+//   trident predict <target> [--model full|fs_fc|fs|paper|trident_bits]
+//                   [--per-inst] [--samples N]
+//   trident analyze <target> [--json] [-o out.json]
 //   trident inject  <target> [--trials N] [--seed S] [--checkpoint f.jsonl]
 //   trident protect <target> [--budget F] [-o out.tir] [--evaluate]
 //
@@ -32,6 +34,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/lint.h"
 #include "baselines/epvf.h"
 #include "core/trident.h"
 #include "eval/report.h"
@@ -60,9 +63,17 @@ int usage() {
                "  dump <target> [-o f.tir]     print the target's IR\n"
                "  run <target>                 execute and show output\n"
                "  profile <target>             profiling-phase summary\n"
-               "  predict <target> [--model full|fs_fc|fs|paper]\n"
-               "          [--per-inst] [--samples N]\n"
+               "  predict <target> [--model full|fs_fc|fs|paper|\n"
+               "          trident_bits] [--per-inst] [--samples N]\n"
                "                               SDC prediction, no FI\n"
+               "  analyze <target> [--json] [-o f.json]\n"
+               "                               static lint: unreachable\n"
+               "                               blocks, dead stores, dead\n"
+               "                               bit ranges, undef uses,\n"
+               "                               masked-bit counts (--json =\n"
+               "                               trident-analyze/1 schema;\n"
+               "                               exit 1 on error-severity\n"
+               "                               diagnostics)\n"
                "  inject <target> [--trials N] [--seed S]\n"
                "                               fault-injection campaign\n"
                "  protect <target> [--budget F] [-o f.tir] [--evaluate]\n"
@@ -132,6 +143,7 @@ struct Args {
   std::string metrics_out;  // run-manifest path ("" = off)
   std::string out_dir;      // eval artifact directory ("" = derived)
   bool per_inst = false;
+  bool json = false;  // analyze: machine-readable output
   bool evaluate = false;
   bool force = false;  // eval: recompute cached cells
   bool no_progress = false;
@@ -180,6 +192,8 @@ bool parse_args(int argc, char** argv, Args& args) {
       args.model = v;
     } else if (a == "--per-inst") {
       args.per_inst = true;
+    } else if (a == "--json") {
+      args.json = true;
     } else if (a == "--evaluate") {
       args.evaluate = true;
     } else if (a == "--force") {
@@ -410,6 +424,67 @@ int cmd_protect(const Args& args, const ir::Module& m) {
   return 0;
 }
 
+int cmd_analyze(const Args& args, const ir::Module& m) {
+  analysis::LintResult result;
+  {
+    obs::ScopedTimer t(metrics(), "phase.analyze.seconds");
+    result = analysis::lint_module(m, args.threads);
+  }
+  metrics().add("analysis.blocks_visited", result.stats.blocks_visited);
+  metrics().add("analysis.fixpoint_iterations",
+                result.stats.fixpoint_iterations);
+  metrics().add("analysis.masked_bits_total",
+                result.stats.masked_bits_total);
+
+  if (args.json) {
+    const std::string text =
+        analysis::lint_to_json(result, args.target).write_pretty() + "\n";
+    if (args.out.empty()) {
+      std::fputs(text.c_str(), stdout);
+    } else {
+      std::ofstream out(args.out);
+      if (!out) {
+        std::fprintf(stderr, "error: cannot write '%s'\n", args.out.c_str());
+        return 1;
+      }
+      out << text;
+      std::fprintf(stderr, "wrote %s (%zu bytes)\n", args.out.c_str(),
+                   text.size());
+    }
+  } else {
+    for (const auto& fl : result.functions) {
+      std::printf("%s: %llu blocks (%llu reachable), %llu insts, "
+                  "%llu statically masked bits\n",
+                  fl.name.c_str(),
+                  static_cast<unsigned long long>(fl.blocks),
+                  static_cast<unsigned long long>(fl.reachable_blocks),
+                  static_cast<unsigned long long>(fl.insts),
+                  static_cast<unsigned long long>(fl.masked_bits));
+      for (const auto& d : fl.diagnostics) {
+        std::printf("  %-7s %-18s", analysis::severity_name(d.severity),
+                    d.kind.c_str());
+        if (d.inst != ~0u) {
+          std::printf(" %%%-4u", d.inst);
+        } else if (d.block != ~0u) {
+          std::printf(" b%-4u", d.block);
+        } else {
+          std::printf("      ");
+        }
+        std::printf(" %s\n", d.message.c_str());
+      }
+    }
+    std::printf("totals: %llu errors, %llu warnings, %llu infos; "
+                "%llu masked bits, %llu fixpoint iterations\n",
+                static_cast<unsigned long long>(result.errors),
+                static_cast<unsigned long long>(result.warnings),
+                static_cast<unsigned long long>(result.infos),
+                static_cast<unsigned long long>(result.stats.masked_bits_total),
+                static_cast<unsigned long long>(
+                    result.stats.fixpoint_iterations));
+  }
+  return result.errors > 0 ? 1 : 0;
+}
+
 int cmd_eval(const Args& args) {
   eval::ExperimentSpec spec;
   std::string error;
@@ -497,6 +572,7 @@ int main(int argc, char** argv) {
       else if (cmd == "run") rc = cmd_run(*m);
       else if (cmd == "profile") rc = cmd_profile(*m);
       else if (cmd == "predict") rc = cmd_predict(args, *m);
+      else if (cmd == "analyze") rc = cmd_analyze(args, *m);
       else if (cmd == "inject") rc = cmd_inject(args, *m);
       else if (cmd == "protect") rc = cmd_protect(args, *m);
       else return usage();
