@@ -1,16 +1,20 @@
 // Trial-throughput tracker for the FI campaign engine.
 //
-// Runs the same overall campaign per workload twice — snapshots off and
-// snapshots on — on one worker thread, verifies the two CampaignResults
-// are bit-identical (same trials vector, same tallies), and emits
-// BENCH_trial_throughput.json so the perf trajectory of the trial engine
-// is machine-tracked across PRs (acceptance bar: >= 2x median speedup).
+// Runs the same overall campaign per workload three times — interpreter
+// with snapshots off, interpreter with snapshots on, and the
+// direct-threaded engine with snapshots on — on one worker thread,
+// verifies the three CampaignResults are bit-identical (same trials
+// vector, same tallies), and emits BENCH_trial_throughput.json so the
+// perf trajectory of the trial engine is machine-tracked across PRs
+// (acceptance bars: >= 2x median snapshot speedup, >= 1.5x median
+// threaded-vs-interp speedup with snapshots enabled on both).
 //
 // Knobs: TRIDENT_TRIALS (campaign size; default 500),
 // TRIDENT_BENCH_OUT (output path; default BENCH_trial_throughput.json).
 // Timing includes the instrumented golden run that builds the snapshot
-// set — the speedup reported is the end-to-end campaign speedup, not a
-// per-trial number with setup costs hidden.
+// set (and, for the threaded engine, the one-time lowering) — the
+// speedups reported are end-to-end campaign speedups, not per-trial
+// numbers with setup costs hidden.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -44,11 +48,14 @@ struct Row {
   std::string name;
   double off_trials_per_sec = 0;
   double on_trials_per_sec = 0;
-  double speedup = 0;
+  double threaded_trials_per_sec = 0;
+  double speedup = 0;         // interp on vs interp off (snapshot win)
+  double engine_speedup = 0;  // threaded on vs interp on (backend win)
   bool identical = false;
   uint64_t snapshot_count = 0;
   uint64_t snapshot_bytes = 0;
   uint64_t skipped_insts = 0;
+  uint64_t superinstructions = 0;
 };
 
 }  // namespace
@@ -60,8 +67,9 @@ int main() {
   std::printf("Trial throughput: overall campaign, %llu trials per "
               "workload, 1 worker thread\n\n",
               static_cast<unsigned long long>(trials));
-  std::printf("%-14s %14s %14s %9s %6s %10s\n", "workload", "off (tr/s)",
-              "on (tr/s)", "speedup", "snaps", "snap MiB");
+  std::printf("%-14s %13s %13s %13s %8s %8s %6s %9s\n", "workload",
+              "off (tr/s)", "on (tr/s)", "thr (tr/s)", "snap-up", "eng-up",
+              "snaps", "snap MiB");
 
   std::vector<Row> rows;
   bool all_identical = true;
@@ -85,39 +93,58 @@ int main() {
       on_result = fi::run_overall_campaign(p.module, p.profile, options);
     });
 
+    obs::Registry thr_metrics;
+    options.engine = interp::EngineKind::Threaded;
+    options.metrics = &thr_metrics;
+    fi::CampaignResult thr_result;
+    const double thr_s = bench::time_seconds([&] {
+      thr_result = fi::run_overall_campaign(p.module, p.profile, options);
+    });
+    options.engine = interp::EngineKind::Interp;
+    options.metrics = nullptr;
+
     Row row;
     row.name = p.workload.name;
     row.off_trials_per_sec = off_s > 0 ? trials / off_s : 0;
     row.on_trials_per_sec = on_s > 0 ? trials / on_s : 0;
+    row.threaded_trials_per_sec = thr_s > 0 ? trials / thr_s : 0;
     row.speedup = on_s > 0 ? off_s / on_s : 0;
-    row.identical = same_result(off_result, on_result);
+    row.engine_speedup = thr_s > 0 ? on_s / thr_s : 0;
+    row.identical = same_result(off_result, on_result) &&
+                    same_result(on_result, thr_result);
     row.snapshot_count = on_metrics.counter("fi.snapshot_count");
     row.snapshot_bytes = on_metrics.counter("fi.snapshot_bytes");
     row.skipped_insts = on_metrics.counter("fi.snapshot_skipped_insts");
+    row.superinstructions = thr_metrics.counter("engine.superinstructions");
     all_identical = all_identical && row.identical;
 
-    std::printf("%-14s %14.1f %14.1f %8.2fx %6llu %10.2f%s\n",
+    std::printf("%-14s %13.1f %13.1f %13.1f %7.2fx %7.2fx %6llu %9.2f%s\n",
                 row.name.c_str(), row.off_trials_per_sec,
-                row.on_trials_per_sec, row.speedup,
+                row.on_trials_per_sec, row.threaded_trials_per_sec,
+                row.speedup, row.engine_speedup,
                 static_cast<unsigned long long>(row.snapshot_count),
                 static_cast<double>(row.snapshot_bytes) / (1 << 20),
                 row.identical ? "" : "  RESULT MISMATCH");
     rows.push_back(std::move(row));
   }
 
-  std::vector<double> speedups;
-  for (const auto& row : rows) speedups.push_back(row.speedup);
-  std::sort(speedups.begin(), speedups.end());
-  const double median =
-      speedups.empty()
-          ? 0
-          : (speedups.size() % 2 != 0
-                 ? speedups[speedups.size() / 2]
-                 : (speedups[speedups.size() / 2 - 1] +
-                    speedups[speedups.size() / 2]) / 2);
-  std::printf("\nmedian speedup: %.2fx; results bit-identical on vs off: "
-              "%s\n",
-              median, all_identical ? "yes" : "NO");
+  const auto median_of = [](std::vector<double> v) {
+    if (v.empty()) return 0.0;
+    std::sort(v.begin(), v.end());
+    return v.size() % 2 != 0 ? v[v.size() / 2]
+                             : (v[v.size() / 2 - 1] + v[v.size() / 2]) / 2;
+  };
+  std::vector<double> speedups, engine_speedups;
+  for (const auto& row : rows) {
+    speedups.push_back(row.speedup);
+    engine_speedups.push_back(row.engine_speedup);
+  }
+  const double median = median_of(speedups);
+  const double median_engine = median_of(engine_speedups);
+  std::printf("\nmedian snapshot speedup: %.2fx; median engine speedup "
+              "(threaded vs interp, snapshots on): %.2fx; results "
+              "bit-identical across configs: %s\n",
+              median, median_engine, all_identical ? "yes" : "NO");
 
   const char* out_env = std::getenv("TRIDENT_BENCH_OUT");
   const std::string out_path =
@@ -128,9 +155,10 @@ int main() {
     std::fprintf(stderr, "error: cannot write '%s'\n", out_path.c_str());
     return 1;
   }
-  out << "{\n  \"schema\": \"trident-trial-throughput/1\",\n"
+  out << "{\n  \"schema\": \"trident-trial-throughput/2\",\n"
       << "  \"trials\": " << trials << ",\n  \"threads\": 1,\n"
       << "  \"median_speedup\": " << median << ",\n"
+      << "  \"median_engine_speedup\": " << median_engine << ",\n"
       << "  \"identical\": " << (all_identical ? "true" : "false") << ",\n"
       << "  \"workloads\": [\n";
   for (size_t i = 0; i < rows.size(); ++i) {
@@ -138,11 +166,15 @@ int main() {
     out << "    {\"name\": \"" << row.name << "\", "
         << "\"trials_per_sec_off\": " << row.off_trials_per_sec << ", "
         << "\"trials_per_sec_on\": " << row.on_trials_per_sec << ", "
+        << "\"trials_per_sec_threaded\": " << row.threaded_trials_per_sec
+        << ", "
         << "\"speedup\": " << row.speedup << ", "
+        << "\"engine_speedup\": " << row.engine_speedup << ", "
         << "\"identical\": " << (row.identical ? "true" : "false") << ", "
         << "\"snapshot_count\": " << row.snapshot_count << ", "
         << "\"snapshot_bytes\": " << row.snapshot_bytes << ", "
-        << "\"snapshot_skipped_insts\": " << row.skipped_insts << "}"
+        << "\"snapshot_skipped_insts\": " << row.skipped_insts << ", "
+        << "\"superinstructions\": " << row.superinstructions << "}"
         << (i + 1 < rows.size() ? "," : "") << "\n";
   }
   out << "  ]\n}\n";

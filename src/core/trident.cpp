@@ -17,6 +17,11 @@ std::optional<ModelConfig> model_config_from_name(const std::string& name) {
   return std::nullopt;
 }
 
+std::string model_config_names() {
+  // Keep in the order model_config_from_name recognizes them.
+  return "full, fs_fc, fs, paper, trident_bits";
+}
+
 std::string model_config_fingerprint(const ModelConfig& config) {
   char buf[192];
   std::snprintf(buf, sizeof buf,

@@ -79,6 +79,10 @@ struct ModelConfig {
 /// "trident_bits". Unknown names yield nullopt.
 std::optional<ModelConfig> model_config_from_name(const std::string& name);
 
+/// The names model_config_from_name accepts, comma-separated — the
+/// standard suffix of every unknown-model diagnostic.
+std::string model_config_names();
+
 /// Canonical one-line description of every semantically relevant
 /// ModelConfig field, e.g.
 ///   "fc=1;fm=1;lucky=1;depth=64;cutoff=9.9999999999999995e-07;..."

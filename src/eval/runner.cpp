@@ -254,6 +254,7 @@ EvalResults run_spec(const ExperimentSpec& spec, const RunOptions& options) {
       case Cell::Kind::FiInst: {
         fi::CampaignOptions campaign;
         campaign.threads = options.threads;
+        campaign.engine = options.engine;
         campaign.fuel_multiplier = spec.fi.fuel_multiplier;
         campaign.hang_escalation = spec.fi.hang_escalation;
         campaign.num_bits = spec.fi.num_bits;

@@ -26,6 +26,7 @@
 
 #include "eval/spec.h"
 #include "eval/store.h"
+#include "interp/engine.h"
 #include "ir/module.h"
 #include "obs/metrics.h"
 #include "workloads/workloads.h"
@@ -38,6 +39,12 @@ struct RunOptions {
   /// Worker cap for every parallel stage (0 = TRIDENT_THREADS env or
   /// hardware_concurrency). Results are identical for any value.
   uint32_t threads = 0;
+  /// Execution backend for FI campaign cells (docs/ENGINE.md). Cell
+  /// values are bit-identical across backends, so the engine is NOT
+  /// part of any cache key: cells computed under one backend are valid
+  /// cache hits under the other, and a checkpointed campaign may resume
+  /// under either.
+  interp::EngineKind engine = interp::EngineKind::Interp;
   /// Recompute every cell, overwriting cached results (and discarding
   /// any mid-campaign checkpoint logs).
   bool force = false;

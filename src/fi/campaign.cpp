@@ -134,7 +134,8 @@ struct EngineStats {
 };
 
 void export_metrics(obs::Registry& registry, const CampaignResult& result,
-                    uint64_t ran, double seconds, const EngineStats& engine) {
+                    uint64_t ran, double seconds, const EngineStats& engine,
+                    const EngineContext& backend) {
   registry.add("fi.trials.total", result.total());
   registry.add("fi.trials.run", ran);
   registry.add("fi.trials.resumed", result.resumed);
@@ -150,6 +151,16 @@ void export_metrics(obs::Registry& registry, const CampaignResult& result,
   registry.add("fi.snapshot_resumed_trials", engine.resumed_trials);
   registry.add("interp.memcache.hits", engine.memcache_hits);
   registry.add("interp.memcache.lookups", engine.memcache_lookups);
+  // Backend counters come from the campaign's single shared lowering,
+  // not per worker, so they are invariant under the thread count.
+  const bool threaded = backend.kind == interp::EngineKind::Threaded;
+  registry.add("engine.threaded", threaded ? 1 : 0);
+  registry.add("engine.lowered_functions",
+               threaded ? backend.program->funcs.size() : 0);
+  registry.add("engine.lowered_insts",
+               threaded ? backend.program->lowered_insts : 0);
+  registry.add("engine.superinstructions",
+               threaded ? backend.program->superinstructions : 0);
   const uint64_t lookups = registry.counter("interp.memcache.lookups");
   if (lookups > 0) {
     registry.set("interp.memcache.hit_rate",
@@ -175,6 +186,10 @@ CampaignResult run_planned(const ir::Module& module,
                            const obs::CheckpointHeader& header) {
   const double started = obs::now_seconds();
   const uint64_t fuel = campaign_fuel(profile, options.fuel_multiplier);
+  // One lowering per campaign, shared (immutable) by every worker's
+  // engine — lowering cost and the engine.* metrics are independent of
+  // the thread count.
+  const EngineContext backend = make_engine_context(module, options.engine);
   std::vector<Trial> trials(plan.size());
   std::vector<char> have(plan.size(), 0);
 
@@ -209,7 +224,8 @@ CampaignResult run_planned(const ir::Module& module,
             : ir::InstRef{};
     snap_plan = build_snapshot_plan(module, profile.total_results, fuel,
                                     options.entry, options.max_snapshots,
-                                    options.snapshot_bytes_budget, occ_target);
+                                    options.snapshot_bytes_budget, occ_target,
+                                    backend);
     engine.snapshot_count = snap_plan.snapshots.size();
     engine.snapshot_bytes = snap_plan.bytes;
   }
@@ -252,7 +268,7 @@ CampaignResult run_planned(const ir::Module& module,
     }
     runners.push_back(std::make_unique<TrialRunner>(module, profile,
                                                     options.entry,
-                                                    shared_plan));
+                                                    shared_plan, backend));
     return runners.back().get();
   };
   const auto release_runner = [&](TrialRunner* runner) {
@@ -288,8 +304,8 @@ CampaignResult run_planned(const ir::Module& module,
   for (const auto& runner : runners) {
     engine.skipped_insts += runner->skipped_insts();
     engine.resumed_trials += runner->resumed_trials();
-    engine.memcache_hits += runner->interp().memory().cache_hits();
-    engine.memcache_lookups += runner->interp().memory().cache_lookups();
+    engine.memcache_hits += runner->engine().memory().cache_hits();
+    engine.memcache_lookups += runner->engine().memory().cache_lookups();
   }
 
   CampaignResult result;
@@ -298,7 +314,7 @@ CampaignResult run_planned(const ir::Module& module,
   for (const auto& trial : trials) tally(result, trial);
   if (options.metrics != nullptr) {
     export_metrics(*options.metrics, result, todo.size(),
-                   obs::now_seconds() - started, engine);
+                   obs::now_seconds() - started, engine, backend);
   }
   return result;
 }

@@ -101,11 +101,23 @@ struct CampaignOptions {
   /// (every other snapshot dropped, doubling the interval) until it
   /// fits. The retained footprint is reported as fi.snapshot_bytes.
   uint64_t snapshot_bytes_budget = 256ull << 20;
+  /// Execution backend the trials (and the snapshot-recording golden
+  /// run) execute on: the reference interpreter or the pre-lowered
+  /// direct-threaded engine (docs/ENGINE.md). Campaign results —
+  /// golden comparison, fault outcomes, checkpoints, snapshot plans —
+  /// are bit-identical across backends, so the engine is a pure
+  /// performance knob and is deliberately NOT recorded in checkpoint
+  /// headers: a campaign may be checkpointed under one backend and
+  /// resumed under the other.
+  interp::EngineKind engine = interp::EngineKind::Interp;
   /// Optional run-metrics sink: outcome tallies, trials/sec, resumed
   /// and fuel-exhausted counts land under "fi.*" when set, plus the
   /// trial-engine counters (fi.snapshot_count, fi.snapshot_bytes,
-  /// fi.snapshot_skipped_insts, fi.snapshot_resumed_trials) and the
-  /// interpreter memory-cache hit rate (interp.memcache.*).
+  /// fi.snapshot_skipped_insts, fi.snapshot_resumed_trials), the
+  /// interpreter memory-cache hit rate (interp.memcache.*), and the
+  /// execution-backend family (engine.*: engine.threaded,
+  /// engine.lowered_functions, engine.lowered_insts,
+  /// engine.superinstructions).
   obs::Registry* metrics = nullptr;
   /// Live progress line on stderr (interactive runs).
   bool progress = false;

@@ -34,6 +34,11 @@ class Injector final : public interp::ExecHooks {
   void on_result(ir::InstRef ref, uint64_t dyn_index,
                  uint64_t& bits) override;
 
+  /// The injector only perturbs destination registers; advertising that
+  /// lets the threaded engine skip materializing the other callbacks'
+  /// arguments during trials (see ExecHooks::interest).
+  uint32_t interest() const override { return kResult; }
+
   bool fired() const { return fired_; }
   ir::InstRef target() const { return target_; }
   unsigned bit() const { return bit_; }

@@ -31,6 +31,28 @@ class OccurrenceIndexRecorder final : public interp::ExecHooks {
 
 }  // namespace
 
+std::unique_ptr<interp::ExecutionEngine> EngineContext::make(
+    const ir::Module& module) const {
+  if (kind == interp::EngineKind::Threaded) {
+    // Share the campaign's one lowered program; lower privately when the
+    // context was built without one (ad-hoc runners).
+    return program != nullptr
+               ? std::make_unique<interp::ThreadedEngine>(module, program)
+               : std::make_unique<interp::ThreadedEngine>(module);
+  }
+  return std::make_unique<interp::Interpreter>(module);
+}
+
+EngineContext make_engine_context(const ir::Module& module,
+                                  interp::EngineKind kind) {
+  EngineContext ctx;
+  ctx.kind = kind;
+  if (kind == interp::EngineKind::Threaded) {
+    ctx.program = interp::LoweredProgram::lower(module);
+  }
+  return ctx;
+}
+
 const interp::Snapshot* SnapshotPlan::latest_at_or_before(
     uint64_t dyn_index) const {
   // First snapshot strictly past the index, then step back one.
@@ -45,13 +67,18 @@ SnapshotPlan build_snapshot_plan(const ir::Module& module,
                                  uint64_t total_results, uint64_t fuel,
                                  uint32_t entry, uint64_t max_snapshots,
                                  uint64_t bytes_budget,
-                                 ir::InstRef occ_target) {
+                                 ir::InstRef occ_target,
+                                 const EngineContext& engine) {
   SnapshotPlan plan;
   if (max_snapshots == 0 || total_results == 0) return plan;
   plan.interval = total_results / (max_snapshots + 1) + 1;
   plan.occ_target = occ_target;
 
-  interp::Interpreter interp(module);
+  // The recording golden run executes on the campaign's backend too;
+  // snapshots are engine-agnostic value types, so the captured set (and
+  // the occurrence map) is bit-identical on every backend — the parity
+  // suite in tests/engine_test.cpp holds this to account.
+  const auto exec = engine.make(module);
   OccurrenceIndexRecorder recorder(occ_target);
   interp::RunOptions options;
   options.fuel = fuel;
@@ -59,9 +86,9 @@ SnapshotPlan build_snapshot_plan(const ir::Module& module,
   options.snapshots = &plan.snapshots;
   if (occ_target.valid()) options.hooks = &recorder;
   if (entry == ir::kNoFunc) {
-    interp.run_main(options);
+    exec->run_main(options);
   } else {
-    interp.run(entry, {}, options);
+    exec->run(entry, {}, options);
   }
   if (occ_target.valid()) plan.occurrence_dyn_index = recorder.take();
 
@@ -85,12 +112,12 @@ SnapshotPlan build_snapshot_plan(const ir::Module& module,
 
 TrialRunner::TrialRunner(const ir::Module& module,
                          const prof::Profile& profile, uint32_t entry,
-                         const SnapshotPlan* snapshots)
+                         const SnapshotPlan* snapshots, EngineContext engine)
     : module_(module),
       profile_(profile),
       entry_(entry),
       snapshots_(snapshots),
-      interp_(module) {}
+      engine_(engine.make(module)) {}
 
 Trial TrialRunner::run(const InjectionSite& site, uint64_t fuel) {
   Injector injector(module_, site);
@@ -106,11 +133,11 @@ Trial TrialRunner::run(const InjectionSite& site, uint64_t fuel) {
   if (snap != nullptr) {
     skipped_insts_ += snap->dyn_insts;
     ++resumed_trials_;
-    res = interp_.resume(*snap, options);
+    res = engine_->resume(*snap, options);
   } else if (entry_ == ir::kNoFunc) {
-    res = interp_.run_main(options);
+    res = engine_->run_main(options);
   } else {
-    res = interp_.run(entry_, {}, options);
+    res = engine_->run(entry_, {}, options);
   }
 
   Trial trial;

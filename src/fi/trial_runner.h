@@ -12,18 +12,43 @@
 // of such trials; this is the single biggest CPU sink in the repo).
 //
 // TrialRunner is the per-worker execution context: it owns a reusable
-// Interpreter (construction materializes all globals — reconstructing
-// per trial paid that twice per trial) and tallies how much interpreted
-// work the snapshots skipped, for the run-metrics manifest.
+// ExecutionEngine (construction materializes all globals —
+// reconstructing per trial paid that twice per trial) of the campaign's
+// selected backend (CampaignOptions::engine) and tallies how much
+// executed work the snapshots skipped, for the run-metrics manifest.
+// Trials are bit-identical on every backend; see docs/ENGINE.md.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "fi/campaign.h"
+#include "interp/engine.h"
 #include "interp/interpreter.h"
+#include "interp/threaded.h"
 
 namespace trident::fi {
+
+/// Which ExecutionEngine a campaign's runners execute trials on, plus
+/// the module's pre-lowered program when the threaded backend is
+/// selected. The campaign lowers once and shares the immutable program
+/// across all workers, so lowering cost (and the engine.* metrics
+/// derived from it) is independent of the thread count.
+struct EngineContext {
+  interp::EngineKind kind = interp::EngineKind::Interp;
+  std::shared_ptr<const interp::LoweredProgram> program;
+
+  /// Fresh engine over `module` (which must be the module the context
+  /// was made for).
+  std::unique_ptr<interp::ExecutionEngine> make(
+      const ir::Module& module) const;
+};
+
+/// Lowers the module when `kind` needs it; Interp contexts carry no
+/// program.
+EngineContext make_engine_context(const ir::Module& module,
+                                  interp::EngineKind kind);
 
 /// The campaign-wide snapshot set: golden-run snapshots ascending by
 /// dyn_results, plus the occurrence -> dynamic-result-index map that
@@ -58,16 +83,19 @@ SnapshotPlan build_snapshot_plan(const ir::Module& module,
                                  uint64_t total_results, uint64_t fuel,
                                  uint32_t entry, uint64_t max_snapshots,
                                  uint64_t bytes_budget,
-                                 ir::InstRef occ_target = {});
+                                 ir::InstRef occ_target = {},
+                                 const EngineContext& engine = {});
 
 /// Per-worker trial execution context. Not thread-safe; create one per
 /// worker and reuse it across that worker's trials.
 class TrialRunner {
  public:
   /// `snapshots` may be nullptr (every trial runs from scratch) and must
-  /// outlive the runner.
+  /// outlive the runner. `engine` selects the execution backend; trials
+  /// are bit-identical on every backend (docs/ENGINE.md).
   TrialRunner(const ir::Module& module, const prof::Profile& profile,
-              uint32_t entry, const SnapshotPlan* snapshots);
+              uint32_t entry, const SnapshotPlan* snapshots,
+              EngineContext engine = {});
 
   /// Runs one injection trial under `fuel` and classifies it against the
   /// golden output. DynIndex sites resume from the snapshot plan;
@@ -81,14 +109,14 @@ class TrialRunner {
   /// Trials that resumed from a snapshot (vs. ran from scratch).
   uint64_t resumed_trials() const { return resumed_trials_; }
 
-  const interp::Interpreter& interp() const { return interp_; }
+  const interp::ExecutionEngine& engine() const { return *engine_; }
 
  private:
   const ir::Module& module_;
   const prof::Profile& profile_;
   uint32_t entry_;
   const SnapshotPlan* snapshots_;
-  interp::Interpreter interp_;
+  std::unique_ptr<interp::ExecutionEngine> engine_;
   uint64_t skipped_insts_ = 0;
   uint64_t resumed_trials_ = 0;
 };

@@ -1,0 +1,46 @@
+#include "interp/engine.h"
+
+#include <memory>
+
+#include "interp/interpreter.h"
+#include "interp/threaded.h"
+
+namespace trident::interp {
+
+const char* engine_kind_name(EngineKind kind) {
+  switch (kind) {
+    case EngineKind::Interp:
+      return "interp";
+    case EngineKind::Threaded:
+      return "threaded";
+  }
+  return "?";
+}
+
+std::optional<EngineKind> engine_kind_from_name(std::string_view name) {
+  if (name == "interp") return EngineKind::Interp;
+  if (name == "threaded") return EngineKind::Threaded;
+  return std::nullopt;
+}
+
+std::string engine_kind_names() {
+  std::string out;
+  for (const EngineKind kind : {EngineKind::Interp, EngineKind::Threaded}) {
+    if (!out.empty()) out += ", ";
+    out += engine_kind_name(kind);
+  }
+  return out;
+}
+
+std::unique_ptr<ExecutionEngine> make_engine(EngineKind kind,
+                                             const ir::Module& module) {
+  switch (kind) {
+    case EngineKind::Threaded:
+      return std::make_unique<ThreadedEngine>(module);
+    case EngineKind::Interp:
+      break;
+  }
+  return std::make_unique<Interpreter>(module);
+}
+
+}  // namespace trident::interp

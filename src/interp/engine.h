@@ -1,0 +1,92 @@
+// Execution-engine abstraction over the interpreter layer.
+//
+// An ExecutionEngine runs an ir::Module and classifies the outcome; the
+// reference implementation is the tree-walking Interpreter
+// (interp/interpreter.h) and the performance implementation is the
+// pre-lowered direct-threaded backend (interp/threaded.h). Every backend
+// honours the same contract (docs/ENGINE.md, "The bit-identity
+// contract"): given the same module, entry, options and hooks, run(),
+// run_main() and resume() return byte-identical RunResults, invoke the
+// ExecHooks callbacks in the same order with the same arguments, and
+// capture/resume interchangeable Snapshots. FI campaigns and the eval
+// subsystem are therefore engine-agnostic: CampaignOptions::engine (CLI
+// --engine={interp,threaded}) only moves wall-clock, never a result.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace trident::ir {
+struct Module;
+}  // namespace trident::ir
+
+namespace trident::interp {
+
+struct RunResult;
+struct RunOptions;
+struct Snapshot;
+class Memory;
+struct LoweredProgram;
+
+enum class EngineKind : uint8_t {
+  Interp,    // tree-walking reference interpreter
+  Threaded,  // pre-lowered direct-threaded dispatch (interp/threaded.h)
+};
+
+/// Canonical CLI/JSON name of an engine kind ("interp", "threaded").
+const char* engine_kind_name(EngineKind kind);
+
+/// Inverse of engine_kind_name; nullopt for unknown names (callers list
+/// engine_kind_names() in their diagnostic, like find_workload does).
+std::optional<EngineKind> engine_kind_from_name(std::string_view name);
+
+/// Comma-separated valid engine names, in EngineKind order — the
+/// standard suffix of every unknown-engine diagnostic.
+std::string engine_kind_names();
+
+/// Abstract execution substrate. One engine instance is single-threaded
+/// and reusable across runs (construction materializes the module's
+/// globals; a run over dirty state resets them first). See
+/// interp/interpreter.h for the semantics of the individual operations —
+/// the interpreter defines them and every other backend must match it
+/// bit for bit.
+class ExecutionEngine {
+ public:
+  virtual ~ExecutionEngine() = default;
+
+  /// Runs `func_id` with the given raw argument payloads.
+  virtual RunResult run(uint32_t func_id, std::span<const uint64_t> args,
+                        const RunOptions& options) = 0;
+
+  /// Convenience: runs the function named "main" with no arguments.
+  virtual RunResult run_main(const RunOptions& options) = 0;
+
+  /// Captures the current state (pristine before any run; mid-run state
+  /// at instruction boundaries when recording). Snapshots are
+  /// engine-agnostic value types: any backend can resume a snapshot
+  /// captured by any other.
+  virtual Snapshot snapshot() const = 0;
+
+  /// Continues execution from `s` bit-identically to having run straight
+  /// through. The snapshot is not consumed.
+  virtual RunResult resume(const Snapshot& s, const RunOptions& options) = 0;
+
+  virtual const Memory& memory() const = 0;
+
+  virtual EngineKind kind() const = 0;
+
+  const char* name() const { return engine_kind_name(kind()); }
+};
+
+/// Creates a fresh engine of the given kind. The threaded engine lowers
+/// the whole module up front; to share that work across many engines of
+/// one campaign, lower once (LoweredProgram::lower) and construct
+/// ThreadedEngine instances with the shared program instead.
+std::unique_ptr<ExecutionEngine> make_engine(EngineKind kind,
+                                             const ir::Module& module);
+
+}  // namespace trident::interp

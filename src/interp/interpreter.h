@@ -14,6 +14,12 @@
 // (fi/trial_runner); the invariants that make resume exact are that the
 // interpreter is fully deterministic and that RunResult carries no host
 // state (see docs/MODEL.md, "Trial execution engine").
+//
+// The Interpreter is the *reference* ExecutionEngine (interp/engine.h):
+// it defines the semantics — hook order, fuel accounting, crash
+// messages, snapshot boundaries — that every other backend (the
+// direct-threaded engine in interp/threaded.h) must reproduce bit for
+// bit. See docs/ENGINE.md for the contract.
 #pragma once
 
 #include <cstdint>
@@ -22,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "interp/engine.h"
 #include "interp/memory.h"
 #include "ir/module.h"
 
@@ -51,7 +58,31 @@ struct RunResult {
 /// when a hook object is installed, so plain runs stay on the fast path.
 class ExecHooks {
  public:
+  /// Interest mask for the optimizing backends (interp/threaded.h): a
+  /// hook advertises which callbacks it actually observes so the engine
+  /// can skip materializing their arguments (operand spans for on_exec,
+  /// the pre-store read that computes on_store's `silent` flag). The
+  /// reference interpreter ignores the mask and always calls everything;
+  /// skipping is sound because an unobserved callback has no effect on
+  /// execution. Committed results are re-masked whenever a hook object
+  /// is installed, regardless of the mask, so RunResults stay identical.
+  enum : uint32_t {
+    kResult = 1u << 0,
+    kExec = 1u << 1,
+    kBranch = 1u << 2,
+    kLoad = 1u << 3,
+    kStore = 1u << 4,
+    kAlloc = 1u << 5,
+    kMemcpy = 1u << 6,
+    kAll = (1u << 7) - 1,
+  };
+
   virtual ~ExecHooks() = default;
+
+  /// Which callbacks this hook observes; defaults to all of them.
+  /// Override to a narrower mask (fi::Injector is kResult-only) to let
+  /// the threaded engine skip the bookkeeping the others need.
+  virtual uint32_t interest() const { return kAll; }
 
   /// After an instruction computes its result and before it is committed
   /// to the destination register. `dyn_result_index` counts executed
@@ -145,35 +176,37 @@ struct Snapshot {
   uint64_t bytes() const;
 };
 
-class Interpreter {
+class Interpreter final : public ExecutionEngine {
  public:
   explicit Interpreter(const ir::Module& module);
 
   /// Runs `func_id` with the given raw argument payloads.
   RunResult run(uint32_t func_id, std::span<const uint64_t> args,
-                const RunOptions& options);
+                const RunOptions& options) override;
 
   /// Convenience: runs the function named "main" with no arguments.
-  RunResult run_main(const RunOptions& options = {});
+  RunResult run_main(const RunOptions& options = {}) override;
 
   /// Captures the current state. Before any run this is the pristine
   /// module state (globals materialized, empty stack); the snapshot
   /// machinery of RunOptions uses it at instruction boundaries mid-run.
-  Snapshot snapshot() const;
+  Snapshot snapshot() const override;
 
   /// Continues execution from `s` as if the original run had never
   /// stopped: the returned RunResult (outcome, full output, counters,
   /// crash reason) is bit-identical to a straight-through run with the
   /// same options. The snapshot is not consumed — many trials can
   /// resume from one shared snapshot.
-  RunResult resume(const Snapshot& s, const RunOptions& options);
+  RunResult resume(const Snapshot& s, const RunOptions& options) override;
 
   /// Base address of global `index` (valid after construction; globals
   /// are materialized once and reset before a run only when a previous
   /// run or resume dirtied them).
   uint64_t global_base(uint32_t index) const { return global_bases_[index]; }
 
-  const Memory& memory() const { return memory_; }
+  const Memory& memory() const override { return memory_; }
+
+  EngineKind kind() const override { return EngineKind::Interp; }
 
  private:
   void reset_globals();

@@ -1,0 +1,1173 @@
+#include "interp/threaded.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <utility>
+
+#include "ir/eval.h"
+#include "support/bits.h"
+#include "support/str.h"
+
+// Computed-goto dispatch needs the GNU labels-as-values extension; the
+// switch fallback below is semantically identical, just one indirect
+// jump slower per instruction.
+#if defined(__GNUC__) || defined(__clang__)
+#define TRIDENT_COMPUTED_GOTO 1
+#else
+#define TRIDENT_COMPUTED_GOTO 0
+#endif
+
+namespace trident::interp {
+
+using support::bits_to_f32;
+using support::bits_to_f64;
+using support::f32_to_bits;
+using support::f64_to_bits;
+using support::sign_extend;
+
+namespace {
+
+// Same values as support::low_mask for bits in [1,64], but inlinable in
+// the dispatch loop (callers guard bits != 0 themselves).
+inline uint64_t lmask(unsigned bits) {
+  return bits >= 64 ? ~0ull : ((1ull << bits) - 1);
+}
+
+uint32_t encode_operand(const ir::Value& v, uint32_t zero_const) {
+  using K = ir::Value::Kind;
+  switch (v.kind) {
+    case K::Inst:
+      return (kTagReg << kOperandTagShift) | v.index;
+    case K::Arg:
+      return (kTagArg << kOperandTagShift) | v.index;
+    case K::Const:
+      return (kTagConst << kOperandTagShift) | v.index;
+    case K::Global:
+      return (kTagGlobal << kOperandTagShift) | v.index;
+    case K::None:
+      break;
+  }
+  // None evaluates to 0 in the interpreter; point it at the pool's
+  // trailing zero so the fast path needs no extra tag.
+  return (kTagConst << kOperandTagShift) | zero_const;
+}
+
+LIns lower_inst(const ir::Function& func, uint32_t inst_id,
+                uint32_t zero_const, LoweredFunction& lf) {
+  const auto& inst = func.insts[inst_id];
+  LIns L;
+  L.inst = inst_id;
+  L.width = static_cast<uint8_t>(inst.type.width());
+  const uint64_t mask = inst.type.width() ? lmask(inst.type.width()) : 0;
+  const auto enc = [&](size_t i) {
+    return encode_operand(inst.operands[i], zero_const);
+  };
+  const auto opw_of = [&](size_t i) {
+    return static_cast<uint8_t>(func.value_type(inst.operands[i]).width());
+  };
+
+  switch (inst.op) {
+    case ir::Opcode::Add: L.op = LOp::Add; break;
+    case ir::Opcode::Sub: L.op = LOp::Sub; break;
+    case ir::Opcode::Mul: L.op = LOp::Mul; break;
+    case ir::Opcode::SDiv: L.op = LOp::SDiv; break;
+    case ir::Opcode::SRem: L.op = LOp::SRem; break;
+    case ir::Opcode::UDiv: L.op = LOp::UDiv; break;
+    case ir::Opcode::URem: L.op = LOp::URem; break;
+    case ir::Opcode::And: L.op = LOp::And; break;
+    case ir::Opcode::Or: L.op = LOp::Or; break;
+    case ir::Opcode::Xor: L.op = LOp::Xor; break;
+    case ir::Opcode::Shl: L.op = LOp::Shl; break;
+    case ir::Opcode::LShr: L.op = LOp::LShr; break;
+    case ir::Opcode::AShr: L.op = LOp::AShr; break;
+    case ir::Opcode::FAdd: L.op = LOp::FAdd; break;
+    case ir::Opcode::FSub: L.op = LOp::FSub; break;
+    case ir::Opcode::FMul: L.op = LOp::FMul; break;
+    case ir::Opcode::FDiv: L.op = LOp::FDiv; break;
+    case ir::Opcode::ICmp:
+    case ir::Opcode::FCmp:
+      L.op = LOp::Cmp;
+      L.pred = inst.pred;
+      L.opw = opw_of(0);
+      L.c = inst.op == ir::Opcode::FCmp ? 1 : 0;
+      break;
+    case ir::Opcode::Trunc:
+    case ir::Opcode::ZExt:
+    case ir::Opcode::Bitcast:
+      L.op = LOp::MaskCast;
+      L.imm = mask;
+      break;
+    case ir::Opcode::SExt:
+      L.op = LOp::SExt;
+      L.opw = opw_of(0);
+      L.imm = mask;
+      break;
+    case ir::Opcode::FPTrunc: L.op = LOp::FPTrunc; break;
+    case ir::Opcode::FPExt: L.op = LOp::FPExt; break;
+    case ir::Opcode::FPToSI:
+      L.op = LOp::FPToSI;
+      L.opw = opw_of(0);
+      L.imm = mask;
+      break;
+    case ir::Opcode::SIToFP:
+      L.op = LOp::SIToFP;
+      L.opw = opw_of(0);
+      break;
+    case ir::Opcode::Alloca:
+      L.op = LOp::Alloca;
+      L.imm = inst.imm;
+      break;
+    case ir::Opcode::Load:
+      L.op = LOp::Load;
+      L.opw = static_cast<uint8_t>(inst.type.store_size());
+      L.imm = mask;
+      break;
+    case ir::Opcode::Store:
+      L.op = LOp::Store;
+      L.opw = static_cast<uint8_t>(
+          func.value_type(inst.operands[0]).store_size());
+      break;
+    case ir::Opcode::Gep:
+      L.op = LOp::Gep;
+      L.opw = opw_of(1);
+      L.imm = inst.imm;
+      break;
+    case ir::Opcode::Memcpy:
+      L.op = LOp::Memcpy;
+      L.imm = inst.imm;
+      break;
+    case ir::Opcode::Br:
+      L.op = LOp::Br;
+      L.a = inst.succ[0];
+      break;
+    case ir::Opcode::CondBr:
+      L.op = LOp::CondBr;
+      L.a = inst.succ[0];
+      L.b = inst.succ[1];
+      L.c = enc(0);
+      break;
+    case ir::Opcode::Ret:
+      L.op = LOp::Ret;
+      L.b = inst.operands.empty() ? 0 : 1;
+      L.a = inst.operands.empty() ? (kTagConst << kOperandTagShift) | zero_const
+                                  : enc(0);
+      break;
+    case ir::Opcode::Call:
+      L.op = LOp::Call;
+      L.a = static_cast<uint32_t>(lf.extra.size());
+      L.b = static_cast<uint32_t>(inst.operands.size());
+      for (size_t i = 0; i < inst.operands.size(); ++i) {
+        lf.extra.push_back(enc(i));
+      }
+      L.imm = inst.callee;
+      break;
+    case ir::Opcode::Phi:
+      L.op = LOp::Phi;
+      break;
+    case ir::Opcode::Select: L.op = LOp::Select; break;
+    case ir::Opcode::Print:
+      L.op = LOp::Print;
+      L.opw = opw_of(0);
+      L.imm = inst.imm;
+      break;
+    case ir::Opcode::Detect: L.op = LOp::Detect; break;
+  }
+
+  // Default operand wiring for the uniform binary/unary/ternary shapes;
+  // the control-flow and call cases above already claimed their fields.
+  switch (inst.op) {
+    case ir::Opcode::Add: case ir::Opcode::Sub: case ir::Opcode::Mul:
+    case ir::Opcode::SDiv: case ir::Opcode::SRem:
+    case ir::Opcode::UDiv: case ir::Opcode::URem:
+    case ir::Opcode::Shl: case ir::Opcode::LShr: case ir::Opcode::AShr:
+      L.a = enc(0);
+      L.b = enc(1);
+      L.imm = mask;
+      break;
+    case ir::Opcode::And: case ir::Opcode::Or: case ir::Opcode::Xor:
+    case ir::Opcode::FAdd: case ir::Opcode::FSub:
+    case ir::Opcode::FMul: case ir::Opcode::FDiv:
+    case ir::Opcode::ICmp: case ir::Opcode::FCmp:
+    case ir::Opcode::Store: case ir::Opcode::Memcpy:
+    case ir::Opcode::Gep:
+      L.a = enc(0);
+      L.b = inst.operands.size() > 1 ? enc(1) : 0;
+      break;
+    case ir::Opcode::Select:
+      L.a = enc(0);
+      L.b = enc(1);
+      L.c = enc(2);
+      break;
+    case ir::Opcode::Trunc: case ir::Opcode::ZExt: case ir::Opcode::SExt:
+    case ir::Opcode::Bitcast: case ir::Opcode::FPTrunc:
+    case ir::Opcode::FPExt: case ir::Opcode::FPToSI:
+    case ir::Opcode::SIToFP: case ir::Opcode::Load:
+    case ir::Opcode::Print: case ir::Opcode::Detect:
+      L.a = enc(0);
+      break;
+    default:
+      break;
+  }
+  return L;
+}
+
+bool fusable_cmp_br(const ir::Function& func, uint32_t first,
+                    uint32_t second) {
+  const auto& a = func.insts[first];
+  const auto& b = func.insts[second];
+  return a.is_cmp() && b.op == ir::Opcode::CondBr &&
+         b.operands[0].kind == ir::Value::Kind::Inst &&
+         b.operands[0].index == first;
+}
+
+bool fusable_load_cast(const ir::Function& func, uint32_t first,
+                       uint32_t second) {
+  const auto& a = func.insts[first];
+  const auto& b = func.insts[second];
+  const bool int_cast =
+      b.op == ir::Opcode::Trunc || b.op == ir::Opcode::ZExt ||
+      b.op == ir::Opcode::SExt || b.op == ir::Opcode::Bitcast;
+  return a.op == ir::Opcode::Load && int_cast &&
+         b.operands[0].kind == ir::Value::Kind::Inst &&
+         b.operands[0].index == first;
+}
+
+LoweredFunction lower_function(const ir::Function& func,
+                               uint64_t* superinstructions) {
+  LoweredFunction lf;
+  lf.num_insts = static_cast<uint32_t>(func.insts.size());
+  lf.result_width.assign(func.insts.size(), -1);
+  for (size_t i = 0; i < func.insts.size(); ++i) {
+    if (func.insts[i].has_result()) {
+      lf.result_width[i] = static_cast<int16_t>(func.insts[i].type.width());
+    }
+  }
+
+  lf.consts.reserve(func.constants.size() + 1);
+  for (const auto& c : func.constants) lf.consts.push_back(c.raw);
+  const auto zero_const = static_cast<uint32_t>(lf.consts.size());
+  lf.consts.push_back(0);
+
+  // Slot assignment: blocks concatenated in order, one slot per
+  // instruction, so stream offset == block start + cursor.
+  lf.blocks.resize(func.blocks.size());
+  uint32_t off = 0;
+  for (size_t b = 0; b < func.blocks.size(); ++b) {
+    lf.blocks[b].start = off;
+    off += static_cast<uint32_t>(func.blocks[b].insts.size());
+  }
+  lf.code.reserve(off);
+  for (const auto& bb : func.blocks) {
+    for (const uint32_t inst_id : bb.insts) {
+      lf.code.push_back(lower_inst(func, inst_id, zero_const, lf));
+    }
+  }
+
+  // Phi bundles: the leading phis of each block, executed by the branch
+  // handlers on block entry.
+  for (size_t b = 0; b < func.blocks.size(); ++b) {
+    const auto& insts = func.blocks[b].insts;
+    LBlock& blk = lf.blocks[b];
+    while (blk.n_phis < insts.size() &&
+           func.insts[insts[blk.n_phis]].op == ir::Opcode::Phi) {
+      const auto& phi = func.insts[insts[blk.n_phis]];
+      LPhi lp;
+      lp.inst = insts[blk.n_phis];
+      lp.width = static_cast<uint8_t>(phi.type.width());
+      lp.incoming.reserve(phi.incoming.size());
+      for (size_t k = 0; k < phi.incoming.size(); ++k) {
+        lp.incoming.emplace_back(phi.incoming[k],
+                                 encode_operand(phi.operands[k], zero_const));
+      }
+      blk.phis.push_back(std::move(lp));
+      ++blk.n_phis;
+    }
+    blk.entry_ip = blk.start + blk.n_phis;
+  }
+
+  // Superinstruction fusion over the copy. The pair head becomes the
+  // fused op; the second slot keeps its standalone form so a snapshot
+  // resume landing between the two executes it unfused.
+  lf.fused = lf.code;
+  for (size_t b = 0; b < func.blocks.size(); ++b) {
+    const auto& insts = func.blocks[b].insts;
+    if (insts.size() < 2) continue;
+    for (uint32_t k = 0; k + 1 < insts.size(); ++k) {
+      const uint32_t slot = lf.blocks[b].start + k;
+      if (fusable_cmp_br(func, insts[k], insts[k + 1])) {
+        lf.fused[slot].op = LOp::CmpBr;
+      } else if (fusable_load_cast(func, insts[k], insts[k + 1])) {
+        lf.fused[slot].op = LOp::LoadCast;
+      } else {
+        continue;
+      }
+      ++*superinstructions;
+      ++k;  // the consumed slot cannot head another pair
+    }
+  }
+  return lf;
+}
+
+}  // namespace
+
+std::shared_ptr<const LoweredProgram> LoweredProgram::lower(
+    const ir::Module& m) {
+  auto p = std::make_shared<LoweredProgram>();
+  p->funcs.reserve(m.functions.size());
+  for (const auto& func : m.functions) {
+    p->funcs.push_back(lower_function(func, &p->superinstructions));
+    p->lowered_insts += p->funcs.back().code.size();
+  }
+  return p;
+}
+
+ThreadedEngine::ThreadedEngine(const ir::Module& module)
+    : ThreadedEngine(module, LoweredProgram::lower(module)) {}
+
+ThreadedEngine::ThreadedEngine(const ir::Module& module,
+                               std::shared_ptr<const LoweredProgram> program)
+    : module_(module), program_(std::move(program)) {
+  assert(program_ != nullptr &&
+         program_->funcs.size() == module_.functions.size());
+  reset_globals();
+}
+
+void ThreadedEngine::reset_globals() {
+  memory_.clear();
+  global_bases_.clear();
+  global_bases_.reserve(module_.globals.size());
+  for (const auto& g : module_.globals) {
+    const uint64_t base = memory_.allocate(g.size ? g.size : 1);
+    for (size_t i = 0; i < g.init.size() && i < g.size; ++i) {
+      memory_.store(base + i, 1, g.init[i]);
+    }
+    global_bases_.push_back(base);
+  }
+}
+
+Frame ThreadedEngine::to_frame(const TFrame& fr) const {
+  Frame out;
+  out.func = fr.func;
+  out.regs = fr.regs;
+  out.args = fr.args;
+  out.block = fr.block;
+  out.prev_block = fr.prev_block;
+  out.cursor = fr.ip - program_->funcs[fr.func].blocks[fr.block].start;
+  out.allocas = fr.allocas;
+  out.ret_to_inst = fr.ret_to_inst;
+  return out;
+}
+
+ThreadedEngine::TFrame ThreadedEngine::from_frame(const Frame& fr) const {
+  TFrame out;
+  out.func = fr.func;
+  out.regs = fr.regs;
+  out.args = fr.args;
+  out.block = fr.block;
+  out.prev_block = fr.prev_block;
+  out.ip = program_->funcs[fr.func].blocks[fr.block].start + fr.cursor;
+  out.allocas = fr.allocas;
+  out.ret_to_inst = fr.ret_to_inst;
+  return out;
+}
+
+RunResult ThreadedEngine::run_main(const RunOptions& options) {
+  const auto main_id = module_.find_function("main");
+  assert(main_id && "module has no main function");
+  return run(*main_id, {}, options);
+}
+
+Snapshot ThreadedEngine::snapshot() const {
+  Snapshot s;
+  if (live_result_ != nullptr) {
+    s.dyn_insts = live_result_->dynamic_insts;
+    s.dyn_results = live_result_->dynamic_results;
+    s.output = live_result_->output;
+    s.debug_output = live_result_->debug_output;
+    s.stack.reserve(live_stack_->size());
+    for (const auto& fr : *live_stack_) s.stack.push_back(to_frame(fr));
+  }
+  s.memory = memory_;
+  s.global_bases = global_bases_;
+  return s;
+}
+
+RunResult ThreadedEngine::run(uint32_t func_id, std::span<const uint64_t> args,
+                              const RunOptions& options) {
+  if (!pristine_) reset_globals();
+  pristine_ = false;
+
+  std::vector<TFrame> stack;
+  TFrame fr;
+  fr.func = func_id;
+  fr.regs.assign(program_->funcs[func_id].num_insts, 0);
+  fr.args.assign(args.begin(), args.end());
+  fr.ip = program_->funcs[func_id].blocks[0].start;
+  stack.push_back(std::move(fr));
+  return run_loop(RunResult{}, std::move(stack), options);
+}
+
+RunResult ThreadedEngine::resume(const Snapshot& s, const RunOptions& options) {
+  RunResult res;
+  res.dynamic_insts = s.dyn_insts;
+  res.dynamic_results = s.dyn_results;
+  res.output = s.output;
+  res.debug_output = s.debug_output;
+  memory_ = s.memory;  // copy-assign keeps this object's cache stats
+  global_bases_ = s.global_bases;
+  pristine_ = false;
+  std::vector<TFrame> stack;
+  stack.reserve(s.stack.size());
+  for (const auto& fr : s.stack) stack.push_back(from_frame(fr));
+  return run_loop(std::move(res), std::move(stack), options);
+}
+
+RunResult ThreadedEngine::run_loop(RunResult res, std::vector<TFrame> stack,
+                                   const RunOptions& options) {
+  if (stack.empty()) return res;
+
+  ExecHooks* const hooks = options.hooks;
+  const uint32_t want = hooks != nullptr ? hooks->interest() : 0;
+  const bool want_exec = (want & ExecHooks::kExec) != 0;
+  const bool want_branch = (want & ExecHooks::kBranch) != 0;
+  const bool want_load = (want & ExecHooks::kLoad) != 0;
+  const bool want_store = (want & ExecHooks::kStore) != 0;
+  const bool want_alloc = (want & ExecHooks::kAlloc) != 0;
+  const bool want_memcpy = (want & ExecHooks::kMemcpy) != 0;
+
+  live_result_ = &res;
+  live_stack_ = &stack;
+  struct LiveReset {
+    ThreadedEngine* self;
+    ~LiveReset() {
+      self->live_result_ = nullptr;
+      self->live_stack_ = nullptr;
+    }
+  } live_reset{this};
+
+  // Snapshot-recording runs execute the unfused stream so capture
+  // boundaries match the interpreter's one instruction at a time.
+  const uint64_t snap_interval =
+      options.snapshots != nullptr ? options.snapshot_interval : 0;
+  uint64_t next_snapshot_at =
+      snap_interval != 0
+          ? (res.dynamic_results / snap_interval + 1) * snap_interval
+          : 0;
+  const bool recording = snap_interval != 0;
+
+  TFrame* fr = nullptr;
+  const LoweredFunction* lf = nullptr;
+  const LIns* code = nullptr;
+  const auto rebind = [&] {
+    fr = &stack.back();
+    lf = &program_->funcs[fr->func];
+    code = (recording ? lf->code : lf->fused).data();
+  };
+  rebind();
+
+  const auto value_of = [&](uint32_t e) -> uint64_t {
+    const uint32_t i = e & kOperandIndexMask;
+    switch (e >> kOperandTagShift) {
+      case kTagReg: return fr->regs[i];
+      case kTagArg: return fr->args[i];
+      case kTagConst: return lf->consts[i];
+      default: return global_bases_[i];
+    }
+  };
+
+  const auto vm_crash = [&](std::string reason) {
+    res.outcome = Outcome::Crash;
+    res.crash_reason = std::move(reason);
+  };
+
+  // Identical to Interpreter's commit: on_result first (the FI point),
+  // re-mask only when a hook object is installed, then count and write.
+  const auto commit = [&](uint32_t inst_id, unsigned width, uint64_t bits) {
+    if (hooks != nullptr) {
+      hooks->on_result({fr->func, inst_id}, res.dynamic_results, bits);
+      if (width != 0) bits &= lmask(width);
+    }
+    ++res.dynamic_results;
+    fr->regs[inst_id] = bits;
+  };
+
+  // Block entry: parallel-assignment phi execution with the
+  // interpreter's exact fuel/hook/commit behavior per phi. Returns
+  // false on fuel exhaustion (the caller hangs).
+  std::vector<uint64_t> phi_staged;
+  const auto enter_block = [&](uint32_t dest) -> bool {
+    const LBlock& blk = lf->blocks[dest];
+    fr->prev_block = fr->block;
+    fr->block = dest;
+    fr->ip = blk.entry_ip;
+    const uint32_t n = blk.n_phis;
+    if (n == 0) return true;
+    phi_staged.assign(n, 0);
+    for (uint32_t i = 0; i < n; ++i) {
+      for (const auto& [pred, enc] : blk.phis[i].incoming) {
+        if (pred == fr->prev_block) {
+          phi_staged[i] = value_of(enc);
+          break;
+        }
+      }
+    }
+    for (uint32_t i = 0; i < n; ++i) {
+      if (++res.dynamic_insts > options.fuel) return false;
+      if (want_exec) {
+        hooks->on_exec({fr->func, blk.phis[i].inst},
+                       std::span<const uint64_t>(&phi_staged[i], 1));
+      }
+      commit(blk.phis[i].inst, blk.phis[i].width, phi_staged[i]);
+    }
+    return true;
+  };
+
+  const LIns* L = nullptr;
+  uint64_t xb[3];  // scratch operand span for on_exec
+
+#if TRIDENT_COMPUTED_GOTO
+  static const void* const kDispatchTable[] = {
+      &&vm_Add, &&vm_Sub, &&vm_Mul, &&vm_SDiv, &&vm_SRem, &&vm_UDiv,
+      &&vm_URem, &&vm_And, &&vm_Or, &&vm_Xor, &&vm_Shl, &&vm_LShr,
+      &&vm_AShr, &&vm_FAdd, &&vm_FSub, &&vm_FMul, &&vm_FDiv, &&vm_Cmp,
+      &&vm_MaskCast, &&vm_SExt, &&vm_FPTrunc, &&vm_FPExt, &&vm_FPToSI,
+      &&vm_SIToFP, &&vm_Alloca, &&vm_Load, &&vm_Store, &&vm_Gep,
+      &&vm_Memcpy, &&vm_Br, &&vm_CondBr, &&vm_Ret, &&vm_Call, &&vm_Select,
+      &&vm_Print, &&vm_Detect, &&vm_Phi, &&vm_CmpBr, &&vm_LoadCast,
+  };
+  static_assert(sizeof(kDispatchTable) / sizeof(kDispatchTable[0]) ==
+                static_cast<size_t>(LOp::Count));
+#define VM_CASE(name) vm_##name
+#define VM_DISPATCH()                                                     \
+  do {                                                                    \
+    if (next_snapshot_at != 0 &&                                          \
+        res.dynamic_results >= next_snapshot_at) {                        \
+      options.snapshots->push_back(snapshot());                           \
+      next_snapshot_at =                                                  \
+          (res.dynamic_results / snap_interval + 1) * snap_interval;      \
+    }                                                                     \
+    L = &code[fr->ip];                                                    \
+    if (++res.dynamic_insts > options.fuel) goto vm_hang;                 \
+    goto* kDispatchTable[static_cast<size_t>(L->op)];                     \
+  } while (0)
+  VM_DISPATCH();
+#else
+#define VM_CASE(name) case LOp::name
+#define VM_DISPATCH() continue
+  for (;;) {
+    if (next_snapshot_at != 0 && res.dynamic_results >= next_snapshot_at) {
+      options.snapshots->push_back(snapshot());
+      next_snapshot_at =
+          (res.dynamic_results / snap_interval + 1) * snap_interval;
+    }
+    L = &code[fr->ip];
+    if (++res.dynamic_insts > options.fuel) goto vm_hang;
+    switch (L->op) {
+#endif
+
+  VM_CASE(Add) : {
+    const uint64_t a = value_of(L->a), b = value_of(L->b);
+    if (want_exec) {
+      xb[0] = a, xb[1] = b;
+      hooks->on_exec({fr->func, L->inst}, std::span<const uint64_t>(xb, 2));
+    }
+    commit(L->inst, L->width, (a + b) & L->imm);
+    ++fr->ip;
+    VM_DISPATCH();
+  }
+  VM_CASE(Sub) : {
+    const uint64_t a = value_of(L->a), b = value_of(L->b);
+    if (want_exec) {
+      xb[0] = a, xb[1] = b;
+      hooks->on_exec({fr->func, L->inst}, std::span<const uint64_t>(xb, 2));
+    }
+    commit(L->inst, L->width, (a - b) & L->imm);
+    ++fr->ip;
+    VM_DISPATCH();
+  }
+  VM_CASE(Mul) : {
+    const uint64_t a = value_of(L->a), b = value_of(L->b);
+    if (want_exec) {
+      xb[0] = a, xb[1] = b;
+      hooks->on_exec({fr->func, L->inst}, std::span<const uint64_t>(xb, 2));
+    }
+    commit(L->inst, L->width, (a * b) & L->imm);
+    ++fr->ip;
+    VM_DISPATCH();
+  }
+  VM_CASE(SDiv) : {
+    const uint64_t a0 = value_of(L->a), b0 = value_of(L->b);
+    if (want_exec) {
+      xb[0] = a0, xb[1] = b0;
+      hooks->on_exec({fr->func, L->inst}, std::span<const uint64_t>(xb, 2));
+    }
+    const int64_t a = sign_extend(a0, L->width);
+    const int64_t b = sign_extend(b0, L->width);
+    if (b == 0) {
+      vm_crash("integer division by zero");
+      return res;
+    }
+    if (a == std::numeric_limits<int64_t>::min() && b == -1) {
+      vm_crash("signed division overflow");
+      return res;
+    }
+    commit(L->inst, L->width, static_cast<uint64_t>(a / b) & L->imm);
+    ++fr->ip;
+    VM_DISPATCH();
+  }
+  VM_CASE(SRem) : {
+    const uint64_t a0 = value_of(L->a), b0 = value_of(L->b);
+    if (want_exec) {
+      xb[0] = a0, xb[1] = b0;
+      hooks->on_exec({fr->func, L->inst}, std::span<const uint64_t>(xb, 2));
+    }
+    const int64_t a = sign_extend(a0, L->width);
+    const int64_t b = sign_extend(b0, L->width);
+    if (b == 0) {
+      vm_crash("integer division by zero");
+      return res;
+    }
+    if (a == std::numeric_limits<int64_t>::min() && b == -1) {
+      vm_crash("signed division overflow");
+      return res;
+    }
+    commit(L->inst, L->width, static_cast<uint64_t>(a % b) & L->imm);
+    ++fr->ip;
+    VM_DISPATCH();
+  }
+  VM_CASE(UDiv) : {
+    const uint64_t a = value_of(L->a), b = value_of(L->b);
+    if (want_exec) {
+      xb[0] = a, xb[1] = b;
+      hooks->on_exec({fr->func, L->inst}, std::span<const uint64_t>(xb, 2));
+    }
+    if (b == 0) {
+      vm_crash("integer division by zero");
+      return res;
+    }
+    commit(L->inst, L->width, (a / b) & L->imm);
+    ++fr->ip;
+    VM_DISPATCH();
+  }
+  VM_CASE(URem) : {
+    const uint64_t a = value_of(L->a), b = value_of(L->b);
+    if (want_exec) {
+      xb[0] = a, xb[1] = b;
+      hooks->on_exec({fr->func, L->inst}, std::span<const uint64_t>(xb, 2));
+    }
+    if (b == 0) {
+      vm_crash("integer division by zero");
+      return res;
+    }
+    commit(L->inst, L->width, (a % b) & L->imm);
+    ++fr->ip;
+    VM_DISPATCH();
+  }
+  VM_CASE(And) : {
+    const uint64_t a = value_of(L->a), b = value_of(L->b);
+    if (want_exec) {
+      xb[0] = a, xb[1] = b;
+      hooks->on_exec({fr->func, L->inst}, std::span<const uint64_t>(xb, 2));
+    }
+    commit(L->inst, L->width, a & b);
+    ++fr->ip;
+    VM_DISPATCH();
+  }
+  VM_CASE(Or) : {
+    const uint64_t a = value_of(L->a), b = value_of(L->b);
+    if (want_exec) {
+      xb[0] = a, xb[1] = b;
+      hooks->on_exec({fr->func, L->inst}, std::span<const uint64_t>(xb, 2));
+    }
+    commit(L->inst, L->width, a | b);
+    ++fr->ip;
+    VM_DISPATCH();
+  }
+  VM_CASE(Xor) : {
+    const uint64_t a = value_of(L->a), b = value_of(L->b);
+    if (want_exec) {
+      xb[0] = a, xb[1] = b;
+      hooks->on_exec({fr->func, L->inst}, std::span<const uint64_t>(xb, 2));
+    }
+    commit(L->inst, L->width, a ^ b);
+    ++fr->ip;
+    VM_DISPATCH();
+  }
+  VM_CASE(Shl) : {
+    const uint64_t a = value_of(L->a), b = value_of(L->b);
+    if (want_exec) {
+      xb[0] = a, xb[1] = b;
+      hooks->on_exec({fr->func, L->inst}, std::span<const uint64_t>(xb, 2));
+    }
+    commit(L->inst, L->width, (a << (b % L->width)) & L->imm);
+    ++fr->ip;
+    VM_DISPATCH();
+  }
+  VM_CASE(LShr) : {
+    const uint64_t a = value_of(L->a), b = value_of(L->b);
+    if (want_exec) {
+      xb[0] = a, xb[1] = b;
+      hooks->on_exec({fr->func, L->inst}, std::span<const uint64_t>(xb, 2));
+    }
+    commit(L->inst, L->width, (a >> (b % L->width)) & L->imm);
+    ++fr->ip;
+    VM_DISPATCH();
+  }
+  VM_CASE(AShr) : {
+    const uint64_t a = value_of(L->a), b = value_of(L->b);
+    if (want_exec) {
+      xb[0] = a, xb[1] = b;
+      hooks->on_exec({fr->func, L->inst}, std::span<const uint64_t>(xb, 2));
+    }
+    const int64_t sa = sign_extend(a, L->width);
+    commit(L->inst, L->width,
+           static_cast<uint64_t>(sa >> (b % L->width)) & L->imm);
+    ++fr->ip;
+    VM_DISPATCH();
+  }
+  VM_CASE(FAdd) : {
+    const uint64_t a = value_of(L->a), b = value_of(L->b);
+    if (want_exec) {
+      xb[0] = a, xb[1] = b;
+      hooks->on_exec({fr->func, L->inst}, std::span<const uint64_t>(xb, 2));
+    }
+    const uint64_t bits =
+        L->width == 32 ? f32_to_bits(bits_to_f32(a) + bits_to_f32(b))
+                       : f64_to_bits(bits_to_f64(a) + bits_to_f64(b));
+    commit(L->inst, L->width, bits);
+    ++fr->ip;
+    VM_DISPATCH();
+  }
+  VM_CASE(FSub) : {
+    const uint64_t a = value_of(L->a), b = value_of(L->b);
+    if (want_exec) {
+      xb[0] = a, xb[1] = b;
+      hooks->on_exec({fr->func, L->inst}, std::span<const uint64_t>(xb, 2));
+    }
+    const uint64_t bits =
+        L->width == 32 ? f32_to_bits(bits_to_f32(a) - bits_to_f32(b))
+                       : f64_to_bits(bits_to_f64(a) - bits_to_f64(b));
+    commit(L->inst, L->width, bits);
+    ++fr->ip;
+    VM_DISPATCH();
+  }
+  VM_CASE(FMul) : {
+    const uint64_t a = value_of(L->a), b = value_of(L->b);
+    if (want_exec) {
+      xb[0] = a, xb[1] = b;
+      hooks->on_exec({fr->func, L->inst}, std::span<const uint64_t>(xb, 2));
+    }
+    const uint64_t bits =
+        L->width == 32 ? f32_to_bits(bits_to_f32(a) * bits_to_f32(b))
+                       : f64_to_bits(bits_to_f64(a) * bits_to_f64(b));
+    commit(L->inst, L->width, bits);
+    ++fr->ip;
+    VM_DISPATCH();
+  }
+  VM_CASE(FDiv) : {
+    const uint64_t a = value_of(L->a), b = value_of(L->b);
+    if (want_exec) {
+      xb[0] = a, xb[1] = b;
+      hooks->on_exec({fr->func, L->inst}, std::span<const uint64_t>(xb, 2));
+    }
+    const uint64_t bits =
+        L->width == 32 ? f32_to_bits(bits_to_f32(a) / bits_to_f32(b))
+                       : f64_to_bits(bits_to_f64(a) / bits_to_f64(b));
+    commit(L->inst, L->width, bits);
+    ++fr->ip;
+    VM_DISPATCH();
+  }
+  VM_CASE(Cmp) : {
+    const uint64_t a = value_of(L->a), b = value_of(L->b);
+    if (want_exec) {
+      xb[0] = a, xb[1] = b;
+      hooks->on_exec({fr->func, L->inst}, std::span<const uint64_t>(xb, 2));
+    }
+    const bool r = L->c != 0 ? ir::eval_fcmp(L->pred, L->opw, a, b)
+                             : ir::eval_icmp(L->pred, L->opw, a, b);
+    commit(L->inst, L->width, r ? 1 : 0);
+    ++fr->ip;
+    VM_DISPATCH();
+  }
+  VM_CASE(MaskCast) : {
+    const uint64_t a = value_of(L->a);
+    if (want_exec) {
+      hooks->on_exec({fr->func, L->inst}, std::span<const uint64_t>(&a, 1));
+    }
+    commit(L->inst, L->width, a & L->imm);
+    ++fr->ip;
+    VM_DISPATCH();
+  }
+  VM_CASE(SExt) : {
+    const uint64_t a = value_of(L->a);
+    if (want_exec) {
+      hooks->on_exec({fr->func, L->inst}, std::span<const uint64_t>(&a, 1));
+    }
+    commit(L->inst, L->width,
+           static_cast<uint64_t>(sign_extend(a, L->opw)) & L->imm);
+    ++fr->ip;
+    VM_DISPATCH();
+  }
+  VM_CASE(FPTrunc) : {
+    const uint64_t a = value_of(L->a);
+    if (want_exec) {
+      hooks->on_exec({fr->func, L->inst}, std::span<const uint64_t>(&a, 1));
+    }
+    commit(L->inst, L->width,
+           f32_to_bits(static_cast<float>(bits_to_f64(a))));
+    ++fr->ip;
+    VM_DISPATCH();
+  }
+  VM_CASE(FPExt) : {
+    const uint64_t a = value_of(L->a);
+    if (want_exec) {
+      hooks->on_exec({fr->func, L->inst}, std::span<const uint64_t>(&a, 1));
+    }
+    commit(L->inst, L->width,
+           f64_to_bits(static_cast<double>(bits_to_f32(a))));
+    ++fr->ip;
+    VM_DISPATCH();
+  }
+  VM_CASE(FPToSI) : {
+    const uint64_t a = value_of(L->a);
+    if (want_exec) {
+      hooks->on_exec({fr->func, L->inst}, std::span<const uint64_t>(&a, 1));
+    }
+    const double v = L->opw == 32 ? bits_to_f32(a) : bits_to_f64(a);
+    // NaN converts to 0 and out-of-range values saturate; a corrupted
+    // float must not become host UB.
+    int64_t r = 0;
+    if (!std::isnan(v)) {
+      const double lo = static_cast<double>(
+          sign_extend(1ULL << (L->width - 1), L->width));
+      const double hi =
+          static_cast<double>(sign_extend(lmask(L->width) >> 1, L->width));
+      r = v <= lo ? static_cast<int64_t>(lo)
+          : v >= hi ? static_cast<int64_t>(hi)
+                    : static_cast<int64_t>(v);
+    }
+    commit(L->inst, L->width, static_cast<uint64_t>(r) & L->imm);
+    ++fr->ip;
+    VM_DISPATCH();
+  }
+  VM_CASE(SIToFP) : {
+    const uint64_t a = value_of(L->a);
+    if (want_exec) {
+      hooks->on_exec({fr->func, L->inst}, std::span<const uint64_t>(&a, 1));
+    }
+    const auto v = static_cast<double>(sign_extend(a, L->opw));
+    commit(L->inst, L->width,
+           L->width == 32 ? f32_to_bits(static_cast<float>(v))
+                          : f64_to_bits(v));
+    ++fr->ip;
+    VM_DISPATCH();
+  }
+  VM_CASE(Alloca) : {
+    if (want_exec) {
+      hooks->on_exec({fr->func, L->inst}, std::span<const uint64_t>{});
+    }
+    const uint64_t base = memory_.allocate(L->imm);
+    if (want_alloc) hooks->on_alloc(base, L->imm);
+    fr->allocas.push_back(base);
+    commit(L->inst, L->width, base);
+    ++fr->ip;
+    VM_DISPATCH();
+  }
+  VM_CASE(Load) : {
+    const uint64_t addr = value_of(L->a);
+    if (want_exec) {
+      hooks->on_exec({fr->func, L->inst},
+                     std::span<const uint64_t>(&addr, 1));
+    }
+    uint64_t v = 0;
+    if (!memory_.load(addr, L->opw, v)) {
+      vm_crash(support::format("out-of-bounds load at 0x%llx",
+                               static_cast<unsigned long long>(addr)));
+      return res;
+    }
+    if (want_load) hooks->on_load({fr->func, L->inst}, addr, L->opw);
+    commit(L->inst, L->width, v & L->imm);
+    ++fr->ip;
+    VM_DISPATCH();
+  }
+  VM_CASE(Store) : {
+    const uint64_t val = value_of(L->a);
+    const uint64_t addr = value_of(L->b);
+    if (want_exec) {
+      xb[0] = val, xb[1] = addr;
+      hooks->on_exec({fr->func, L->inst}, std::span<const uint64_t>(xb, 2));
+    }
+    // The pre-store read only feeds on_store's `silent` flag; skip it
+    // (and its memcache traffic) when the hook does not observe stores.
+    uint64_t before = 0;
+    const bool had_before =
+        want_store && memory_.load(addr, L->opw, before);
+    if (!memory_.store(addr, L->opw, val)) {
+      vm_crash(support::format("out-of-bounds store at 0x%llx",
+                               static_cast<unsigned long long>(addr)));
+      return res;
+    }
+    if (want_store) {
+      const uint64_t mask_bits = lmask(L->opw * 8u);
+      hooks->on_store({fr->func, L->inst}, addr, L->opw,
+                      had_before && (before & mask_bits) == (val & mask_bits));
+    }
+    ++fr->ip;
+    VM_DISPATCH();
+  }
+  VM_CASE(Gep) : {
+    const uint64_t base = value_of(L->a), index = value_of(L->b);
+    if (want_exec) {
+      xb[0] = base, xb[1] = index;
+      hooks->on_exec({fr->func, L->inst}, std::span<const uint64_t>(xb, 2));
+    }
+    const int64_t idx = sign_extend(index, L->opw);
+    commit(L->inst, L->width,
+           base + static_cast<uint64_t>(idx) * L->imm);
+    ++fr->ip;
+    VM_DISPATCH();
+  }
+  VM_CASE(Memcpy) : {
+    const uint64_t dst = value_of(L->a), src = value_of(L->b);
+    if (want_exec) {
+      xb[0] = dst, xb[1] = src;
+      hooks->on_exec({fr->func, L->inst}, std::span<const uint64_t>(xb, 2));
+    }
+    const uint64_t n = L->imm;
+    const uint8_t* sp = nullptr;
+    uint8_t* dp = nullptr;
+    const uint64_t s_avail = memory_.span(src, &sp);
+    const uint64_t d_avail = memory_.span(dst, &dp);
+    const uint64_t ok = std::min({n, s_avail, d_avail});
+    if (ok != 0) {
+      const bool overlap = dst < src + ok && src < dst + ok;
+      if (!overlap || dst <= src) {
+        std::memmove(dp, sp, ok);
+      } else {
+        for (uint64_t i = 0; i < ok; ++i) dp[i] = sp[i];
+      }
+    }
+    if (ok < n) {
+      if (s_avail == ok) {
+        vm_crash(support::format(
+            "out-of-bounds memcpy read at 0x%llx",
+            static_cast<unsigned long long>(src + ok)));
+      } else {
+        vm_crash(support::format(
+            "out-of-bounds memcpy write at 0x%llx",
+            static_cast<unsigned long long>(dst + ok)));
+      }
+      return res;
+    }
+    if (want_memcpy) hooks->on_memcpy({fr->func, L->inst}, dst, src, n);
+    ++fr->ip;
+    VM_DISPATCH();
+  }
+  VM_CASE(Br) : {
+    if (want_exec) {
+      hooks->on_exec({fr->func, L->inst}, std::span<const uint64_t>{});
+    }
+    if (!enter_block(L->a)) goto vm_hang;
+    VM_DISPATCH();
+  }
+  VM_CASE(CondBr) : {
+    const uint64_t cond = value_of(L->c);
+    if (want_exec) {
+      hooks->on_exec({fr->func, L->inst},
+                     std::span<const uint64_t>(&cond, 1));
+    }
+    const bool taken = (cond & 1) != 0;
+    if (want_branch) hooks->on_branch({fr->func, L->inst}, taken);
+    if (!enter_block(taken ? L->a : L->b)) goto vm_hang;
+    VM_DISPATCH();
+  }
+  VM_CASE(Ret) : {
+    uint64_t rv = 0;
+    if (L->b != 0) {
+      rv = value_of(L->a);
+      if (want_exec) {
+        hooks->on_exec({fr->func, L->inst},
+                       std::span<const uint64_t>(&rv, 1));
+      }
+    } else if (want_exec) {
+      hooks->on_exec({fr->func, L->inst}, std::span<const uint64_t>{});
+    }
+    for (auto it = fr->allocas.rbegin(); it != fr->allocas.rend(); ++it) {
+      memory_.free(*it);
+    }
+    const uint32_t ret_to = fr->ret_to_inst;
+    stack.pop_back();
+    if (stack.empty()) {
+      res.ret_raw = rv;
+      return res;
+    }
+    rebind();
+    if (ret_to != ir::kNoBlock && lf->result_width[ret_to] >= 0) {
+      commit(ret_to, static_cast<unsigned>(lf->result_width[ret_to]), rv);
+    }
+    VM_DISPATCH();
+  }
+  VM_CASE(Call) : {
+    const uint32_t argc = L->b;
+    std::vector<uint64_t> fargs;
+    fargs.reserve(argc);
+    for (uint32_t i = 0; i < argc; ++i) {
+      fargs.push_back(value_of(lf->extra[L->a + i]));
+    }
+    if (want_exec) {
+      hooks->on_exec({fr->func, L->inst},
+                     std::span<const uint64_t>(fargs.data(), fargs.size()));
+    }
+    if (stack.size() >= options.max_call_depth) {
+      vm_crash("call stack overflow");
+      return res;
+    }
+    const auto callee = static_cast<uint32_t>(L->imm);
+    const uint32_t call_inst = L->inst;
+    ++fr->ip;  // resume after the call once the callee returns
+    TFrame nf;
+    nf.func = callee;
+    nf.regs.assign(program_->funcs[callee].num_insts, 0);
+    nf.args = std::move(fargs);
+    nf.ret_to_inst = call_inst;
+    stack.push_back(std::move(nf));
+    rebind();
+    if (!enter_block(0)) goto vm_hang;
+    VM_DISPATCH();
+  }
+  VM_CASE(Select) : {
+    const uint64_t cond = value_of(L->a);
+    const uint64_t tv = value_of(L->b), fv = value_of(L->c);
+    if (want_exec) {
+      xb[0] = cond, xb[1] = tv, xb[2] = fv;
+      hooks->on_exec({fr->func, L->inst}, std::span<const uint64_t>(xb, 3));
+    }
+    commit(L->inst, L->width, (cond & 1) ? tv : fv);
+    ++fr->ip;
+    VM_DISPATCH();
+  }
+  VM_CASE(Print) : {
+    const uint64_t v0 = value_of(L->a);
+    if (want_exec) {
+      hooks->on_exec({fr->func, L->inst}, std::span<const uint64_t>(&v0, 1));
+    }
+    const auto spec = ir::PrintSpec::unpack(L->imm);
+    std::string text;
+    switch (spec.kind) {
+      case ir::PrintSpec::Kind::Int:
+        text = support::format(
+            "%lld\n", static_cast<long long>(sign_extend(v0, L->opw)));
+        break;
+      case ir::PrintSpec::Kind::Uint:
+        text = support::format("%llu\n",
+                               static_cast<unsigned long long>(v0));
+        break;
+      case ir::PrintSpec::Kind::Char:
+        text.push_back(static_cast<char>(v0 & 0xff));
+        break;
+      case ir::PrintSpec::Kind::Float: {
+        const double v = L->opw == 32 ? bits_to_f32(v0) : bits_to_f64(v0);
+        text = support::format("%.*g\n",
+                               static_cast<int>(spec.precision), v);
+        break;
+      }
+    }
+    (spec.is_output ? res.output : res.debug_output) += text;
+    ++fr->ip;
+    VM_DISPATCH();
+  }
+  VM_CASE(Detect) : {
+    const uint64_t v0 = value_of(L->a);
+    if (want_exec) {
+      hooks->on_exec({fr->func, L->inst}, std::span<const uint64_t>(&v0, 1));
+    }
+    if ((v0 & 1) != 0) {
+      res.outcome = Outcome::Detected;
+      return res;
+    }
+    ++fr->ip;
+    VM_DISPATCH();
+  }
+  VM_CASE(Phi) : {
+    // Phis execute at block entry (enter_block); a dispatched phi slot
+    // means the entry block starts with one, which the verifier rejects.
+    commit(L->inst, L->width, 0);
+    ++fr->ip;
+    VM_DISPATCH();
+  }
+  VM_CASE(CmpBr) : {
+    // Fused cmp+condbr. The cmp half commits through the hook exactly
+    // like the standalone op, then the branch half re-reads the
+    // committed register so a hook-injected fault steers the branch —
+    // identical to the interpreter executing the two instructions.
+    const uint64_t a = value_of(L->a), b = value_of(L->b);
+    if (want_exec) {
+      xb[0] = a, xb[1] = b;
+      hooks->on_exec({fr->func, L->inst}, std::span<const uint64_t>(xb, 2));
+    }
+    const bool r = L->c != 0 ? ir::eval_fcmp(L->pred, L->opw, a, b)
+                             : ir::eval_icmp(L->pred, L->opw, a, b);
+    commit(L->inst, L->width, r ? 1 : 0);
+    const LIns& B = code[fr->ip + 1];  // the standalone CondBr slot
+    if (++res.dynamic_insts > options.fuel) goto vm_hang;
+    const uint64_t cond = fr->regs[L->inst];
+    if (want_exec) {
+      hooks->on_exec({fr->func, B.inst},
+                     std::span<const uint64_t>(&cond, 1));
+    }
+    const bool taken = (cond & 1) != 0;
+    if (want_branch) hooks->on_branch({fr->func, B.inst}, taken);
+    if (!enter_block(taken ? B.a : B.b)) goto vm_hang;
+    VM_DISPATCH();
+  }
+  VM_CASE(LoadCast) : {
+    // Fused load+cast; same re-read-after-commit discipline as CmpBr.
+    const uint64_t addr = value_of(L->a);
+    if (want_exec) {
+      hooks->on_exec({fr->func, L->inst},
+                     std::span<const uint64_t>(&addr, 1));
+    }
+    uint64_t v = 0;
+    if (!memory_.load(addr, L->opw, v)) {
+      vm_crash(support::format("out-of-bounds load at 0x%llx",
+                               static_cast<unsigned long long>(addr)));
+      return res;
+    }
+    if (want_load) hooks->on_load({fr->func, L->inst}, addr, L->opw);
+    commit(L->inst, L->width, v & L->imm);
+    const LIns& C = code[fr->ip + 1];  // the standalone cast slot
+    if (++res.dynamic_insts > options.fuel) goto vm_hang;
+    const uint64_t src = fr->regs[L->inst];
+    if (want_exec) {
+      hooks->on_exec({fr->func, C.inst},
+                     std::span<const uint64_t>(&src, 1));
+    }
+    const uint64_t out =
+        C.op == LOp::SExt
+            ? static_cast<uint64_t>(sign_extend(src, C.opw)) & C.imm
+            : src & C.imm;
+    commit(C.inst, C.width, out);
+    fr->ip += 2;
+    VM_DISPATCH();
+  }
+
+#if !TRIDENT_COMPUTED_GOTO
+      VM_CASE(Count) : {
+        assert(false && "invalid lowered opcode");
+        return res;
+      }
+    }
+  }
+#endif
+#undef VM_CASE
+#undef VM_DISPATCH
+
+vm_hang:
+  res.outcome = Outcome::Hang;
+  return res;
+}
+
+}  // namespace trident::interp

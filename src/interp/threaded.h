@@ -1,0 +1,191 @@
+// Pre-lowered direct-threaded execution backend.
+//
+// The tree-walking Interpreter re-decodes every instruction on every
+// dynamic execution: operand Values go through a kind switch, widths and
+// masks are recomputed, block/cursor indirection fetches the next
+// instruction. This backend lowers each ir::Function once into a flat
+// dispatch stream of fixed-size LIns slots in which all of that is
+// pre-resolved:
+//
+//   decode          operand Values become 2-bit-tagged u32 slots
+//                   (register / argument / constant-pool / global-base)
+//                   resolved with one shift and one indexed load;
+//   slot assignment blocks are concatenated in program order, one slot
+//                   per instruction, so a stream offset and a
+//                   (block, cursor) position are interconvertible — the
+//                   key to engine-agnostic Snapshots;
+//   fusion          adjacent cmp+condbr and load+cast pairs are fused
+//                   into superinstructions that skip one dispatch;
+//   dispatch        computed-goto (labels-as-values) where the compiler
+//                   supports it, a dense switch otherwise.
+//
+// The backend is bit-identical to the Interpreter — same RunResults,
+// same ExecHooks call order and arguments, same fuel accounting, same
+// crash messages, interchangeable Snapshots (docs/ENGINE.md spells out
+// the contract; tests/engine_test.cpp enforces it). Two deliberate
+// consequences of that contract:
+//
+//  * Snapshot-recording runs execute the *unfused* stream: the
+//    interpreter may capture a snapshot between a cmp and its branch,
+//    and a fused pair would skip that boundary. Trials (which never
+//    record) run the fused stream; a resume that lands mid-pair simply
+//    starts on the second slot, which always holds the standalone op.
+//  * ExecHooks::interest() lets the engine skip materializing callback
+//    arguments (operand spans, the pre-store read behind on_store's
+//    `silent` flag) for hooks that do not observe them. fi::Injector is
+//    kResult-only, which is where most of the trial-loop win comes from.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "interp/engine.h"
+#include "interp/interpreter.h"
+#include "ir/module.h"
+
+namespace trident::interp {
+
+/// Lowered opcodes. Mostly 1:1 with ir::Opcode; casts with identical
+/// semantics collapse (Trunc/ZExt/Bitcast -> MaskCast), ICmp/FCmp share
+/// one handler (float flag in `c`), and CmpBr/LoadCast are the fused
+/// superinstructions (first slot of the pair in the fused stream; the
+/// second slot always keeps its standalone form so a resume can land on
+/// it).
+enum class LOp : uint8_t {
+  Add, Sub, Mul, SDiv, SRem, UDiv, URem,
+  And, Or, Xor, Shl, LShr, AShr,
+  FAdd, FSub, FMul, FDiv,
+  Cmp, MaskCast, SExt, FPTrunc, FPExt, FPToSI, SIToFP,
+  Alloca, Load, Store, Gep, Memcpy,
+  Br, CondBr, Ret, Call,
+  Select, Print, Detect,
+  Phi,  // dead slot: phis execute at block entry, never via dispatch
+  CmpBr, LoadCast,
+  Count,
+};
+
+/// Operand encoding: 2-bit tag | 30-bit index. One shift + one indexed
+/// load at runtime, no Value-kind switch.
+inline constexpr uint32_t kOperandTagShift = 30;
+inline constexpr uint32_t kOperandIndexMask = (1u << kOperandTagShift) - 1;
+enum : uint32_t {
+  kTagReg = 0,     // frame register (instruction result)
+  kTagArg = 1,     // frame argument
+  kTagConst = 2,   // function constant pool (LoweredFunction::consts)
+  kTagGlobal = 3,  // global base address
+};
+
+/// One 32-byte dispatch-stream slot. Field meaning is per-op:
+///   inst   original instruction id (register slot / ir::InstRef)
+///   width  result width in bits (0 = void)
+///   a,b,c  encoded operands, except: Br a=dest block; CondBr a/b=taken/
+///          fallthrough blocks, c=cond; Ret b=has-operand flag; Call
+///          a=offset into `extra`, b=arg count; Cmp/CmpBr c=is-float
+///   opw    operand width (cmp/casts/gep index/print) or byte count
+///          (load/store)
+///   imm    result mask (arith/shifts/casts/load), alloca size, gep
+///          element size, memcpy byte count, packed PrintSpec, or Call
+///          callee id
+struct LIns {
+  LOp op = LOp::Ret;
+  ir::CmpPred pred = ir::CmpPred::None;
+  uint8_t width = 0;
+  uint8_t opw = 0;
+  uint32_t inst = 0;
+  uint32_t a = 0;
+  uint32_t b = 0;
+  uint32_t c = 0;
+  uint64_t imm = 0;
+};
+
+/// One lowered phi: executed at block entry with parallel-assignment
+/// semantics by the branch handlers, exactly like the interpreter's
+/// do_phis (same fuel, hook and commit behavior per phi).
+struct LPhi {
+  uint32_t inst = 0;
+  uint8_t width = 0;
+  /// (predecessor block, encoded operand), in ir order; first match
+  /// against the edge's source block wins, default payload 0.
+  std::vector<std::pair<uint32_t, uint32_t>> incoming;
+};
+
+struct LBlock {
+  uint32_t start = 0;     // stream offset of the block's first slot
+  uint32_t entry_ip = 0;  // start + n_phis: first slot after the phis
+  uint32_t n_phis = 0;
+  std::vector<LPhi> phis;
+};
+
+struct LoweredFunction {
+  std::vector<LIns> code;   // unfused stream, one slot per instruction
+  std::vector<LIns> fused;  // same slots with pair heads fused
+  std::vector<LBlock> blocks;
+  std::vector<uint64_t> consts;    // constant raws + trailing 0 for None
+  std::vector<uint32_t> extra;     // call-argument operand encodings
+  std::vector<int16_t> result_width;  // per inst: -1 = void, else width
+  uint32_t num_insts = 0;
+};
+
+/// The whole module, lowered once. Immutable after lower(); a campaign
+/// lowers one shared program and hands it to every worker's
+/// ThreadedEngine so the work (and the engine.* metrics derived from
+/// these counters) does not scale with the thread count.
+struct LoweredProgram {
+  std::vector<LoweredFunction> funcs;
+  uint64_t lowered_insts = 0;      // total stream slots
+  uint64_t superinstructions = 0;  // fused pair heads across all funcs
+
+  static std::shared_ptr<const LoweredProgram> lower(const ir::Module& m);
+};
+
+class ThreadedEngine final : public ExecutionEngine {
+ public:
+  /// Lowers the module privately.
+  explicit ThreadedEngine(const ir::Module& module);
+  /// Shares a pre-lowered program (must be lowered from `module`).
+  ThreadedEngine(const ir::Module& module,
+                 std::shared_ptr<const LoweredProgram> program);
+
+  RunResult run(uint32_t func_id, std::span<const uint64_t> args,
+                const RunOptions& options) override;
+  RunResult run_main(const RunOptions& options = {}) override;
+  Snapshot snapshot() const override;
+  RunResult resume(const Snapshot& s, const RunOptions& options) override;
+  const Memory& memory() const override { return memory_; }
+  EngineKind kind() const override { return EngineKind::Threaded; }
+
+  const LoweredProgram& program() const { return *program_; }
+  uint64_t global_base(uint32_t index) const { return global_bases_[index]; }
+
+ private:
+  /// Execution frame over the dispatch stream. `ip` is the stream offset
+  /// of the next slot; `block` tracks the owning block so ip converts to
+  /// the interpreter's (block, cursor) for Snapshot interchange.
+  struct TFrame {
+    uint32_t func = 0;
+    std::vector<uint64_t> regs;
+    std::vector<uint64_t> args;
+    uint32_t block = 0;
+    uint32_t prev_block = ir::kNoBlock;
+    uint32_t ip = 0;
+    std::vector<uint64_t> allocas;
+    uint32_t ret_to_inst = ir::kNoBlock;
+  };
+
+  void reset_globals();
+  RunResult run_loop(RunResult res, std::vector<TFrame> stack,
+                     const RunOptions& options);
+  Frame to_frame(const TFrame& fr) const;
+  TFrame from_frame(const Frame& fr) const;
+
+  const ir::Module& module_;
+  std::shared_ptr<const LoweredProgram> program_;
+  Memory memory_;
+  std::vector<uint64_t> global_bases_;
+  bool pristine_ = true;
+  const RunResult* live_result_ = nullptr;
+  const std::vector<TFrame>* live_stack_ = nullptr;
+};
+
+}  // namespace trident::interp

@@ -8,6 +8,14 @@
 // harness (TRIDENT_METRICS_OUT) can persist one manifest per run; later
 // scaling work (sharded campaigns, multi-process fan-out) aggregates
 // these manifests instead of scraping stdout.
+//
+// Manifest metric families: fi.* (campaign tallies, snapshot engine),
+// engine.* (execution backend: engine.threaded, engine.lowered_functions,
+// engine.lowered_insts, engine.superinstructions), interp.memcache.*
+// (memory-cache hit rates), fm./fs./fc./trident.* (model solvers and
+// memos), analysis.* (static lint), eval.* (cell accounting), phase.*
+// (wall-time gauges), pool.* (thread-pool instrumentation).
+// tools/check_manifest.py validates these families in CI.
 #pragma once
 
 #include <cstdint>

@@ -1,0 +1,622 @@
+// Execution-engine parity suite: the direct-threaded backend
+// (interp/threaded.h) must be bit-identical to the reference
+// Interpreter — same RunResults, same hook call order and arguments,
+// same crash messages and fuel accounting, interchangeable snapshots,
+// identical FI campaigns at any thread count — across every bundled
+// workload. Also unit-tests the lowering itself (slot layout,
+// jump-target fixup, superinstruction fusion). docs/ENGINE.md states
+// the contract this file enforces.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "fi/campaign.h"
+#include "fi/trial_runner.h"
+#include "interp/engine.h"
+#include "interp/interpreter.h"
+#include "interp/threaded.h"
+#include "ir/builder.h"
+#include "profiler/profiler.h"
+#include "workloads/common.h"
+#include "workloads/workloads.h"
+
+namespace trident {
+namespace {
+
+using ir::IRBuilder;
+using ir::Module;
+using ir::Type;
+using ir::Value;
+
+void expect_same_run(const interp::RunResult& a, const interp::RunResult& b) {
+  EXPECT_EQ(a.outcome, b.outcome);
+  EXPECT_EQ(a.output, b.output);
+  EXPECT_EQ(a.debug_output, b.debug_output);
+  EXPECT_EQ(a.dynamic_insts, b.dynamic_insts);
+  EXPECT_EQ(a.dynamic_results, b.dynamic_results);
+  EXPECT_EQ(a.ret_raw, b.ret_raw);
+  EXPECT_EQ(a.crash_reason, b.crash_reason);
+}
+
+void expect_identical(const fi::CampaignResult& a,
+                      const fi::CampaignResult& b) {
+  ASSERT_EQ(a.trials.size(), b.trials.size());
+  EXPECT_EQ(a.sdc, b.sdc);
+  EXPECT_EQ(a.benign, b.benign);
+  EXPECT_EQ(a.crash, b.crash);
+  EXPECT_EQ(a.hang, b.hang);
+  EXPECT_EQ(a.detected, b.detected);
+  EXPECT_EQ(a.fuel_exhausted, b.fuel_exhausted);
+  for (size_t i = 0; i < a.trials.size(); ++i) {
+    EXPECT_EQ(a.trials[i].target, b.trials[i].target) << "slot " << i;
+    EXPECT_EQ(a.trials[i].bit, b.trials[i].bit) << "slot " << i;
+    EXPECT_EQ(a.trials[i].outcome, b.trials[i].outcome) << "slot " << i;
+    EXPECT_EQ(a.trials[i].fuel_exhausted, b.trials[i].fuel_exhausted)
+        << "slot " << i;
+  }
+}
+
+// Same stateful shape as snapshot_test.cpp: globals, a call, allocas, a
+// memcpy, data-dependent branches, interleaved output.
+Module make_stateful() {
+  Module m;
+  const auto gt = m.add_global({"table", 32 * 4, {}});
+  const auto gs = m.add_global({"shadow", 32 * 4, {}});
+  IRBuilder b(m);
+
+  const auto mix = b.begin_function("mix", {Type::i64()}, Type::i64());
+  b.set_block(b.block("entry"));
+  const Value x = b.arg(0);
+  const Value h =
+      b.mul(b.xor_(x, b.lshr(x, b.i64(3))), b.i64(2654435761ull));
+  b.ret(b.urem(h, b.i64(1000003)));
+  b.end_function();
+
+  b.begin_function("main", {}, Type::void_());
+  b.set_block(b.block("entry"));
+  const Value t = b.global(gt);
+  workloads::lcg_fill_i32(b, t, 32, 7, 977);
+  b.memcpy_(b.global(gs), t, 32 * 4);
+  const Value acc = b.alloca_(8, "acc");
+  b.store(b.i64(1), acc);
+  workloads::counted_loop(b, 0, 40, 1, [&](Value i) {
+    const Value idx = b.urem(i, b.i32(32));
+    const Value cell = b.gep(b.global(gs), idx, 4);
+    const Value v = b.zext(b.load(Type::i32(), cell), Type::i64());
+    const Value a0 = b.load(Type::i64(), acc);
+    const Value a1 = b.call(mix, {b.add(a0, v)});
+    b.store(a1, acc);
+    b.store(b.trunc(a1, Type::i32()), cell);
+    workloads::if_then(b, b.icmp(ir::CmpPred::Eq, b.urem(i, b.i32(8)),
+                                 b.i32(0)),
+                       [&] { b.print_uint(b.load(Type::i64(), acc)); });
+  });
+  b.print_uint(b.load(Type::i64(), acc));
+  b.ret();
+  b.end_function();
+  return m;
+}
+
+TEST(EngineKind, NamesRoundTrip) {
+  EXPECT_STREQ(interp::engine_kind_name(interp::EngineKind::Interp),
+               "interp");
+  EXPECT_STREQ(interp::engine_kind_name(interp::EngineKind::Threaded),
+               "threaded");
+  EXPECT_EQ(interp::engine_kind_from_name("interp"),
+            interp::EngineKind::Interp);
+  EXPECT_EQ(interp::engine_kind_from_name("threaded"),
+            interp::EngineKind::Threaded);
+  EXPECT_FALSE(interp::engine_kind_from_name("Interp").has_value());
+  EXPECT_FALSE(interp::engine_kind_from_name("").has_value());
+  EXPECT_FALSE(interp::engine_kind_from_name("jit").has_value());
+  // The diagnostic suffix lists every valid choice.
+  const std::string names = interp::engine_kind_names();
+  EXPECT_NE(names.find("interp"), std::string::npos);
+  EXPECT_NE(names.find("threaded"), std::string::npos);
+}
+
+TEST(EngineKind, FactoryBuildsTheRequestedBackend) {
+  const auto m = make_stateful();
+  const auto a = interp::make_engine(interp::EngineKind::Interp, m);
+  const auto b = interp::make_engine(interp::EngineKind::Threaded, m);
+  EXPECT_EQ(a->kind(), interp::EngineKind::Interp);
+  EXPECT_EQ(b->kind(), interp::EngineKind::Threaded);
+  EXPECT_STREQ(a->name(), "interp");
+  EXPECT_STREQ(b->name(), "threaded");
+  expect_same_run(a->run_main({}), b->run_main({}));
+}
+
+// ---- Lowering unit tests -----------------------------------------------
+
+// A diamond with phis: checks slot layout (blocks concatenated in
+// program order, one slot per instruction), jump-target fixup on Br and
+// CondBr, and phi bundling at block entry.
+Module make_diamond() {
+  Module m;
+  IRBuilder b(m);
+  b.begin_function("main", {}, Type::void_());
+  const auto entry = b.block("entry");
+  const auto then_bb = b.block("then");
+  const auto else_bb = b.block("else");
+  const auto join = b.block("join");
+  b.set_block(entry);
+  const Value n = b.add(b.i32(30), b.i32(12));
+  const Value c = b.icmp(ir::CmpPred::SLt, n, b.i32(40));
+  b.cond_br(c, then_bb, else_bb);
+  b.set_block(then_bb);
+  const Value tv = b.add(n, b.i32(1));
+  b.br(join);
+  b.set_block(else_bb);
+  const Value ev = b.mul(n, b.i32(3));
+  b.br(join);
+  b.set_block(join);
+  const Value p = b.phi(Type::i32(), "p");
+  b.add_phi_incoming(p, tv, then_bb);
+  b.add_phi_incoming(p, ev, else_bb);
+  b.print_uint(b.zext(p, Type::i64()));
+  b.ret();
+  b.end_function();
+  return m;
+}
+
+TEST(Lowering, SlotLayoutAndJumpTargets) {
+  const auto m = make_diamond();
+  const auto program = interp::LoweredProgram::lower(m);
+  ASSERT_EQ(program->funcs.size(), 1u);
+  const auto& lf = program->funcs[0];
+  const auto& f = m.functions[0];
+
+  // One slot per instruction; blocks concatenated in program order.
+  ASSERT_EQ(lf.code.size(), f.num_insts());
+  ASSERT_EQ(lf.blocks.size(), f.num_blocks());
+  uint32_t expect_start = 0;
+  for (size_t bb = 0; bb < f.num_blocks(); ++bb) {
+    EXPECT_EQ(lf.blocks[bb].start, expect_start) << "block " << bb;
+    EXPECT_EQ(lf.blocks[bb].entry_ip,
+              lf.blocks[bb].start + lf.blocks[bb].n_phis);
+    expect_start += static_cast<uint32_t>(f.blocks[bb].insts.size());
+    // Slot offset of instruction k of the block is start + k: the
+    // (block, cursor) <-> stream-offset conversion Snapshots rely on.
+    for (size_t k = 0; k < f.blocks[bb].insts.size(); ++k) {
+      EXPECT_EQ(lf.code[lf.blocks[bb].start + k].inst,
+                f.blocks[bb].insts[k]);
+    }
+  }
+
+  // CondBr targets are lowered to block ids: a=taken, b=fallthrough.
+  const auto& cond_ir = f.inst(f.terminator(0));
+  ASSERT_EQ(cond_ir.op, ir::Opcode::CondBr);
+  const auto& cond = lf.code[lf.blocks[0].start + f.blocks[0].insts.size() - 1];
+  EXPECT_EQ(cond.op, interp::LOp::CondBr);
+  EXPECT_EQ(cond.a, cond_ir.succ[0]);
+  EXPECT_EQ(cond.b, cond_ir.succ[1]);
+  // Br in "then" jumps to the join block.
+  const auto& br_ir = f.inst(f.terminator(1));
+  ASSERT_EQ(br_ir.op, ir::Opcode::Br);
+  const auto& br = lf.code[lf.blocks[1].start + f.blocks[1].insts.size() - 1];
+  EXPECT_EQ(br.op, interp::LOp::Br);
+  EXPECT_EQ(br.a, br_ir.succ[0]);
+
+  // The phi landed in the join block's bundle, with both incoming edges,
+  // and its dispatch slot is dead (never executed).
+  ASSERT_EQ(lf.blocks[3].n_phis, 1u);
+  EXPECT_EQ(lf.blocks[3].phis[0].incoming.size(), 2u);
+  EXPECT_EQ(lf.blocks[3].phis[0].incoming[0].first, 1u);
+  EXPECT_EQ(lf.blocks[3].phis[0].incoming[1].first, 2u);
+  EXPECT_EQ(lf.code[lf.blocks[3].start].op, interp::LOp::Phi);
+
+  interp::ThreadedEngine engine(m, program);
+  const auto res = engine.run_main({});
+  EXPECT_EQ(res.outcome, interp::Outcome::Ok);
+  EXPECT_EQ(res.output, "126\n");  // 42 < 40 is false: else path, 42 * 3
+}
+
+TEST(Lowering, SuperinstructionsFuseOnlyAdjacentDependentPairs) {
+  const auto m = make_stateful();
+  const auto program = interp::LoweredProgram::lower(m);
+  EXPECT_GT(program->superinstructions, 0u);
+  EXPECT_GT(program->lowered_insts, 0u);
+
+  uint64_t fused_heads = 0;
+  for (const auto& lf : program->funcs) {
+    ASSERT_EQ(lf.code.size(), lf.fused.size());
+    for (size_t i = 0; i < lf.fused.size(); ++i) {
+      const auto op = lf.fused[i].op;
+      // The unfused stream never contains superinstructions.
+      EXPECT_NE(lf.code[i].op, interp::LOp::CmpBr);
+      EXPECT_NE(lf.code[i].op, interp::LOp::LoadCast);
+      if (op == interp::LOp::CmpBr || op == interp::LOp::LoadCast) {
+        ++fused_heads;
+        // Only the pair head is rewritten; the second slot keeps its
+        // standalone form so a resume landing mid-pair still works.
+        ASSERT_LT(i + 1, lf.fused.size());
+        EXPECT_EQ(lf.fused[i + 1].op, lf.code[i + 1].op);
+        if (op == interp::LOp::CmpBr) {
+          EXPECT_EQ(lf.code[i].op, interp::LOp::Cmp);
+          EXPECT_EQ(lf.fused[i + 1].op, interp::LOp::CondBr);
+        } else {
+          EXPECT_EQ(lf.code[i].op, interp::LOp::Load);
+        }
+      } else {
+        // Non-head slots are identical between the two streams.
+        EXPECT_EQ(static_cast<int>(op), static_cast<int>(lf.code[i].op));
+      }
+    }
+  }
+  EXPECT_EQ(fused_heads, program->superinstructions);
+}
+
+// ---- Whole-workload parity ---------------------------------------------
+
+TEST(EngineParity, GoldenRunsMatchOnAllWorkloads) {
+  for (const auto& w : workloads::all_workloads()) {
+    const auto m = w.build();
+    interp::Interpreter interp(m);
+    interp::ThreadedEngine threaded(m);
+    expect_same_run(interp.run_main({}), threaded.run_main({}));
+    // Dirty re-run: reset semantics must match too.
+    expect_same_run(interp.run_main({}), threaded.run_main({}));
+  }
+}
+
+TEST(EngineParity, CampaignsMatchOnAllWorkloadsAndThreadCounts) {
+  for (const auto& w : workloads::all_workloads()) {
+    const auto m = w.build();
+    const auto profile = prof::collect_profile(m);
+    fi::CampaignOptions options;
+    options.trials = 24;
+    options.seed = 7;
+    options.threads = 1;
+    options.max_snapshots = 16;
+    const auto reference = fi::run_overall_campaign(m, profile, options);
+
+    options.engine = interp::EngineKind::Threaded;
+    const auto threaded1 = fi::run_overall_campaign(m, profile, options);
+    expect_identical(threaded1, reference);
+
+    options.threads = 8;
+    const auto threaded8 = fi::run_overall_campaign(m, profile, options);
+    expect_identical(threaded8, reference);
+  }
+}
+
+// ---- Hook semantics through superinstructions --------------------------
+
+// Full-interest hook that both records every callback (a textual trace)
+// and perturbs results: flipping bit 0 of cmp results redirects fused
+// CmpBr branches, and perturbing load results feeds mutated values into
+// fused LoadCast casts. Both engines must produce the same trace and the
+// same RunResult — i.e. the fused handlers must observe the committed
+// (hook-mutated) register, not the value they computed.
+class TraceHooks final : public interp::ExecHooks {
+ public:
+  void on_result(ir::InstRef ref, uint64_t idx, uint64_t& bits) override {
+    append("res", ref, {idx, bits});
+    if (idx % 13 == 5) bits ^= 1;
+  }
+  void on_exec(ir::InstRef ref, std::span<const uint64_t> ops) override {
+    trace_ += "exec " + std::to_string(ref.func) + ":" +
+              std::to_string(ref.inst);
+    for (const uint64_t o : ops) trace_ += " " + std::to_string(o);
+    trace_ += '\n';
+  }
+  void on_branch(ir::InstRef ref, bool taken) override {
+    append("br", ref, {taken ? 1u : 0u});
+  }
+  void on_load(ir::InstRef ref, uint64_t addr, unsigned bytes) override {
+    append("ld", ref, {addr, bytes});
+  }
+  void on_store(ir::InstRef ref, uint64_t addr, unsigned bytes,
+                bool silent) override {
+    append("st", ref, {addr, bytes, silent ? 1u : 0u});
+  }
+  void on_alloc(uint64_t base, uint64_t size) override {
+    append("al", {}, {base, size});
+  }
+  void on_memcpy(ir::InstRef ref, uint64_t dst, uint64_t src,
+                 uint64_t bytes) override {
+    append("mc", ref, {dst, src, bytes});
+  }
+
+  const std::string& trace() const { return trace_; }
+
+ private:
+  void append(const char* tag, ir::InstRef ref,
+              std::initializer_list<uint64_t> vals) {
+    trace_ += tag;
+    trace_ += ' ';
+    trace_ += std::to_string(ref.func) + ":" + std::to_string(ref.inst);
+    for (const uint64_t v : vals) trace_ += " " + std::to_string(v);
+    trace_ += '\n';
+  }
+  std::string trace_;
+};
+
+TEST(EngineParity, FullInterestMutatingHooksTraceIdentically) {
+  const auto m = make_stateful();
+  TraceHooks interp_hooks, threaded_hooks;
+  interp::RunOptions a, b;
+  a.hooks = &interp_hooks;
+  b.hooks = &threaded_hooks;
+  const auto ra = interp::Interpreter(m).run_main(a);
+  const auto rb = interp::ThreadedEngine(m).run_main(b);
+  expect_same_run(ra, rb);
+  ASSERT_FALSE(interp_hooks.trace().empty());
+  EXPECT_EQ(interp_hooks.trace(), threaded_hooks.trace());
+}
+
+// ---- Crash / hang parity ----------------------------------------------
+
+TEST(EngineParity, CrashReasonsMatchExactly) {
+  // Division by zero.
+  {
+    Module m;
+    IRBuilder b(m);
+    b.begin_function("main", {}, Type::void_());
+    b.set_block(b.block("entry"));
+    b.print_int(b.sdiv(b.i32(7), b.sub(b.i32(1), b.i32(1))));
+    b.ret();
+    b.end_function();
+    const auto ra = interp::Interpreter(m).run_main({});
+    const auto rb = interp::ThreadedEngine(m).run_main({});
+    ASSERT_EQ(ra.outcome, interp::Outcome::Crash);
+    expect_same_run(ra, rb);
+  }
+  // Out-of-bounds load: the crash message embeds the faulting address,
+  // so parity here also checks address-space layout parity.
+  {
+    Module m;
+    const auto g = m.add_global({"buf", 16, {}});
+    IRBuilder b(m);
+    b.begin_function("main", {}, Type::void_());
+    b.set_block(b.block("entry"));
+    b.print_uint(b.zext(
+        b.load(Type::i32(), b.gep(b.global(g), b.i32(8), 4)), Type::i64()));
+    b.ret();
+    b.end_function();
+    const auto ra = interp::Interpreter(m).run_main({});
+    const auto rb = interp::ThreadedEngine(m).run_main({});
+    ASSERT_EQ(ra.outcome, interp::Outcome::Crash);
+    EXPECT_NE(ra.crash_reason.find("out-of-bounds load"), std::string::npos);
+    expect_same_run(ra, rb);
+  }
+}
+
+TEST(EngineParity, HangFuelAccountingMatches) {
+  const auto m = make_stateful();
+  for (const uint64_t fuel : {1ull, 2ull, 137ull, 1000ull}) {
+    interp::RunOptions options;
+    options.fuel = fuel;
+    const auto ra = interp::Interpreter(m).run_main(options);
+    const auto rb = interp::ThreadedEngine(m).run_main(options);
+    ASSERT_EQ(ra.outcome, interp::Outcome::Hang) << "fuel " << fuel;
+    expect_same_run(ra, rb);
+  }
+}
+
+// ---- Snapshot interchange ----------------------------------------------
+
+TEST(EngineParity, SnapshotsRecordedOnEitherEngineResumeOnTheOther) {
+  const auto m = make_stateful();
+  const auto reference = interp::Interpreter(m).run_main({});
+  ASSERT_EQ(reference.outcome, interp::Outcome::Ok);
+
+  for (const auto recorder_kind :
+       {interp::EngineKind::Interp, interp::EngineKind::Threaded}) {
+    std::vector<interp::Snapshot> snapshots;
+    interp::RunOptions recording;
+    recording.snapshot_interval = 17;
+    recording.snapshots = &snapshots;
+    const auto rec = interp::make_engine(recorder_kind, m);
+    expect_same_run(rec->run_main(recording), reference);
+    ASSERT_GT(snapshots.size(), 3u);
+
+    // Every captured boundary resumes bit-identically on both backends.
+    interp::Interpreter interp_resumer(m);
+    interp::ThreadedEngine threaded_resumer(m);
+    for (const auto& s : snapshots) {
+      expect_same_run(interp_resumer.resume(s, {}), reference);
+      expect_same_run(threaded_resumer.resume(s, {}), reference);
+    }
+  }
+}
+
+TEST(EngineParity, PristineSnapshotsMatchAcrossEngines) {
+  const auto m = make_stateful();
+  interp::Interpreter interp(m);
+  interp::ThreadedEngine threaded(m);
+  const auto a = interp.snapshot();
+  const auto b = threaded.snapshot();
+  EXPECT_EQ(a.dyn_insts, b.dyn_insts);
+  EXPECT_EQ(a.dyn_results, b.dyn_results);
+  EXPECT_EQ(a.stack.size(), b.stack.size());
+  EXPECT_EQ(a.global_bases, b.global_bases);
+  EXPECT_EQ(a.memory.bytes_live(), b.memory.bytes_live());
+}
+
+TEST(EngineParity, SnapshotPlansAreFieldIdentical) {
+  const auto m = make_stateful();
+  const auto profile = prof::collect_profile(m);
+  const uint64_t fuel = fi::campaign_fuel(profile, 50);
+
+  // Hottest result-producing instruction, as an occurrence target.
+  ir::InstRef target;
+  uint64_t best = 0;
+  const auto& main_fn = m.functions.back();
+  for (uint32_t i = 0; i < main_fn.num_insts(); ++i) {
+    const ir::InstRef ref{static_cast<uint32_t>(m.functions.size() - 1), i};
+    if (main_fn.inst(i).has_result() && profile.exec(ref) > best) {
+      best = profile.exec(ref);
+      target = ref;
+    }
+  }
+  ASSERT_GT(best, 10u);
+
+  const auto plan_i = fi::build_snapshot_plan(
+      m, profile.total_results, fuel, ir::kNoFunc, 16, 256ull << 20, target,
+      fi::make_engine_context(m, interp::EngineKind::Interp));
+  const auto plan_t = fi::build_snapshot_plan(
+      m, profile.total_results, fuel, ir::kNoFunc, 16, 256ull << 20, target,
+      fi::make_engine_context(m, interp::EngineKind::Threaded));
+
+  EXPECT_EQ(plan_i.interval, plan_t.interval);
+  EXPECT_EQ(plan_i.bytes, plan_t.bytes);
+  EXPECT_EQ(plan_i.occurrence_dyn_index, plan_t.occurrence_dyn_index);
+  ASSERT_EQ(plan_i.snapshots.size(), plan_t.snapshots.size());
+  ASSERT_GT(plan_i.snapshots.size(), 0u);
+  for (size_t k = 0; k < plan_i.snapshots.size(); ++k) {
+    const auto& si = plan_i.snapshots[k];
+    const auto& st = plan_t.snapshots[k];
+    EXPECT_EQ(si.dyn_insts, st.dyn_insts) << "snapshot " << k;
+    EXPECT_EQ(si.dyn_results, st.dyn_results) << "snapshot " << k;
+    EXPECT_EQ(si.output, st.output) << "snapshot " << k;
+    EXPECT_EQ(si.debug_output, st.debug_output) << "snapshot " << k;
+    EXPECT_EQ(si.global_bases, st.global_bases) << "snapshot " << k;
+    ASSERT_EQ(si.stack.size(), st.stack.size()) << "snapshot " << k;
+    for (size_t f = 0; f < si.stack.size(); ++f) {
+      const auto& fi_ = si.stack[f];
+      const auto& ft = st.stack[f];
+      EXPECT_EQ(fi_.func, ft.func);
+      EXPECT_EQ(fi_.block, ft.block);
+      EXPECT_EQ(fi_.prev_block, ft.prev_block);
+      EXPECT_EQ(fi_.cursor, ft.cursor);
+      EXPECT_EQ(fi_.regs, ft.regs);
+      EXPECT_EQ(fi_.args, ft.args);
+      EXPECT_EQ(fi_.allocas, ft.allocas);
+      EXPECT_EQ(fi_.ret_to_inst, ft.ret_to_inst);
+    }
+  }
+}
+
+// ---- Cross-engine checkpoint resume ------------------------------------
+
+std::string tmp_path(const std::string& name) {
+  const std::string path = ::testing::TempDir() + name;
+  std::remove(path.c_str());
+  return path;
+}
+
+TEST(EngineParity, CheckpointWrittenByOneEngineResumesOnTheOther) {
+  const auto m = make_stateful();
+  const auto profile = prof::collect_profile(m);
+
+  fi::CampaignOptions base;
+  base.trials = 60;
+  base.seed = 21;
+  base.threads = 1;
+  base.max_snapshots = 0;
+  const auto reference = fi::run_overall_campaign(m, profile, base);
+
+  for (const auto first_kind :
+       {interp::EngineKind::Interp, interp::EngineKind::Threaded}) {
+    const auto second_kind = first_kind == interp::EngineKind::Interp
+                                 ? interp::EngineKind::Threaded
+                                 : interp::EngineKind::Interp;
+    // Full checkpointed run under the first engine, "killed" after 23
+    // trials by truncating the log.
+    const std::string full = tmp_path("engine_ckpt_full.jsonl");
+    auto write = base;
+    write.engine = first_kind;
+    write.max_snapshots = 8;
+    write.checkpoint_path = full;
+    fi::run_overall_campaign(m, profile, write);
+
+    std::ifstream in(full, std::ios::binary);
+    std::string line, cut;
+    size_t kept = 0;
+    while (std::getline(in, line) && kept < 1 + 23) {
+      cut += line + "\n";
+      ++kept;
+    }
+    ASSERT_EQ(kept, 1u + 23);
+
+    const std::string path = tmp_path("engine_ckpt_cut.jsonl");
+    std::ofstream(path, std::ios::binary) << cut;
+    auto resume = base;
+    resume.engine = second_kind;
+    resume.max_snapshots = 8;
+    resume.threads = 8;
+    resume.checkpoint_path = path;
+    const auto merged = fi::run_overall_campaign(m, profile, resume);
+    EXPECT_EQ(merged.resumed, 23u);
+    expect_identical(merged, reference);
+  }
+}
+
+TEST(EngineParity, PerInstructionCampaignsMatch) {
+  const auto m = make_stateful();
+  const auto profile = prof::collect_profile(m);
+  ir::InstRef target;
+  uint64_t best = 0;
+  const auto& main_fn = m.functions.back();
+  for (uint32_t i = 0; i < main_fn.num_insts(); ++i) {
+    const ir::InstRef ref{static_cast<uint32_t>(m.functions.size() - 1), i};
+    if (main_fn.inst(i).has_result() && profile.exec(ref) > best) {
+      best = profile.exec(ref);
+      target = ref;
+    }
+  }
+  ASSERT_GT(best, 10u);
+
+  fi::CampaignOptions options;
+  options.trials = 60;
+  options.seed = 31;
+  options.threads = 1;
+  options.max_snapshots = 16;
+  const auto reference = fi::run_instruction_campaign(m, profile, target,
+                                                      options);
+  options.engine = interp::EngineKind::Threaded;
+  for (const uint32_t threads : {1u, 8u}) {
+    options.threads = threads;
+    expect_identical(
+        fi::run_instruction_campaign(m, profile, target, options), reference);
+  }
+}
+
+// engine.* manifest metrics: thread-count invariant, and consistent with
+// the selected backend.
+TEST(EngineMetrics, ExportedOncePerCampaignAndThreadInvariant) {
+  const auto m = make_stateful();
+  const auto profile = prof::collect_profile(m);
+  fi::CampaignOptions options;
+  options.trials = 40;
+  options.seed = 3;
+  options.max_snapshots = 8;
+
+  obs::Registry interp_metrics;
+  options.threads = 1;
+  options.metrics = &interp_metrics;
+  fi::run_overall_campaign(m, profile, options);
+  EXPECT_EQ(interp_metrics.counter("engine.threaded"), 0u);
+  EXPECT_EQ(interp_metrics.counter("engine.lowered_insts"), 0u);
+  EXPECT_EQ(interp_metrics.counter("engine.superinstructions"), 0u);
+
+  options.engine = interp::EngineKind::Threaded;
+  uint64_t lowered[2], fused[2], funcs[2];
+  for (int i = 0; i < 2; ++i) {
+    obs::Registry metrics;
+    options.threads = i == 0 ? 1 : 8;
+    options.metrics = &metrics;
+    fi::run_overall_campaign(m, profile, options);
+    EXPECT_EQ(metrics.counter("engine.threaded"), 1u);
+    lowered[i] = metrics.counter("engine.lowered_insts");
+    fused[i] = metrics.counter("engine.superinstructions");
+    funcs[i] = metrics.counter("engine.lowered_functions");
+    EXPECT_GT(lowered[i], 0u);
+    EXPECT_GT(fused[i], 0u);
+    EXPECT_EQ(funcs[i], m.functions.size());
+  }
+  EXPECT_EQ(lowered[0], lowered[1]);
+  EXPECT_EQ(fused[0], fused[1]);
+  EXPECT_EQ(funcs[0], funcs[1]);
+
+  const auto program = interp::LoweredProgram::lower(m);
+  EXPECT_EQ(lowered[0], program->lowered_insts);
+  EXPECT_EQ(fused[0], program->superinstructions);
+}
+
+}  // namespace
+}  // namespace trident

@@ -20,6 +20,14 @@ Modes:
       trident-analyze/1): per-function stats, diagnostic severities,
       masked-bit accounting, and the totals roll-up.
 
+  check_manifest.py engines A.json B.json
+      Engine-parity check for two campaign manifests produced by the
+      same `trident inject` command under different --engine backends
+      (or thread counts): every fi.* counter must match exactly.
+      Timing gauges, memory-cache and pool counters (which legitimately
+      differ across backends) and the engine.* family itself are
+      ignored.
+
   check_manifest.py selftest
       Validate the committed fixtures (tools/fixtures/
       eval_report_tiny.json and analyze_tiny.json) and verify that
@@ -71,7 +79,9 @@ def check_campaign(path, manifest):
                   "fi.fuel_exhausted", "fi.snapshot_count",
                   "fi.snapshot_bytes", "fi.snapshot_skipped_insts",
                   "fi.snapshot_resumed_trials", "interp.memcache.hits",
-                  "interp.memcache.lookups"]
+                  "interp.memcache.lookups", "engine.threaded",
+                  "engine.lowered_functions", "engine.lowered_insts",
+                  "engine.superinstructions"]
         + [f"fi.outcome.{o}" for o in OUTCOMES],
         gauges=["fi.trials_per_sec", "fi.campaign.seconds",
                 "phase.campaign.seconds"],
@@ -92,6 +102,19 @@ def check_campaign(path, manifest):
         bail(f"{path}: snapshot work reported without any snapshots")
     if c["interp.memcache.hits"] > c["interp.memcache.lookups"]:
         bail(f"{path}: memory-cache hits exceed lookups")
+    # Execution-backend consistency: the interpreter lowers nothing, and
+    # a threaded campaign must have lowered something.
+    if c["engine.threaded"] not in (0, 1):
+        bail(f"{path}: engine.threaded must be 0 or 1")
+    if c["engine.threaded"] == 0:
+        for key in ("engine.lowered_functions", "engine.lowered_insts",
+                    "engine.superinstructions"):
+            if c[key] != 0:
+                bail(f"{path}: interp campaign reports nonzero {key}")
+    else:
+        if c["engine.lowered_insts"] == 0 or \
+                c["engine.lowered_functions"] == 0:
+            bail(f"{path}: threaded campaign lowered nothing")
     return c
 
 
@@ -127,6 +150,37 @@ def mode_run(argv):
     )
     print(f"manifests OK: {fresh['fi.trials.total']} trials fresh, "
           f"{resumed['fi.trials.resumed']} resumed, predict instrumented")
+
+
+# Counter families that may legitimately differ between two backends
+# running the same campaign: timing-derived values live in gauges (all
+# ignored), the threaded engine skips memory-cache traffic the
+# interpreter performs, pool scheduling is nondeterministic, and the
+# engine.* family describes the backend itself.
+ENGINE_IGNORED_PREFIXES = ("interp.memcache.", "engine.", "pool.")
+
+
+def mode_engines(argv):
+    if len(argv) != 2:
+        bail(__doc__)
+    a, b = (load(p) for p in argv)
+    ca = check_campaign(argv[0], a)
+    cb = check_campaign(argv[1], b)
+    keys = set(ca) | set(cb)
+    mismatches = []
+    for key in sorted(keys):
+        if key.startswith(ENGINE_IGNORED_PREFIXES):
+            continue
+        if ca.get(key) != cb.get(key):
+            mismatches.append(
+                f"  {key}: {ca.get(key)!r} != {cb.get(key)!r}")
+    if mismatches:
+        bail(f"{argv[0]} vs {argv[1]}: campaign counters differ across "
+             f"engines:\n" + "\n".join(mismatches))
+    compared = sum(1 for k in keys
+                   if not k.startswith(ENGINE_IGNORED_PREFIXES))
+    print(f"engine parity OK: {compared} counters identical "
+          f"({ca['fi.trials.total']} trials)")
 
 
 # ---------------------------------------------------------------------------
@@ -424,14 +478,15 @@ def mode_selftest(argv):
 
 
 def main(argv):
-    if len(argv) >= 2 and argv[1] in ("run", "eval", "analyze", "selftest"):
+    if len(argv) >= 2 and argv[1] in ("run", "eval", "analyze", "engines",
+                                      "selftest"):
         mode, rest = argv[1], argv[2:]
     elif len(argv) == 4:
         mode, rest = "run", argv[1:]  # legacy positional form
     else:
         bail(__doc__)
     {"run": mode_run, "eval": mode_eval, "analyze": mode_analyze,
-     "selftest": mode_selftest}[mode](rest)
+     "engines": mode_engines, "selftest": mode_selftest}[mode](rest)
 
 
 if __name__ == "__main__":

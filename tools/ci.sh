@@ -71,8 +71,35 @@ python3 tools/check_manifest.py eval \
   | grep -q ' 0 computed' \
   || { echo "eval re-run was not a full cache hit" >&2; exit 1; }
 
-# Trial-engine throughput smoke: a quick snapshots-on vs snapshots-off
-# campaign per workload. The binary exits nonzero if the two results are
-# not bit-identical, so this doubles as an end-to-end equivalence check.
+# Engine-parity smoke: the same checkpointed campaign under both
+# execution backends must write byte-identical checkpoint logs and
+# manifests whose fi.* counters match exactly (docs/ENGINE.md). A
+# third run on the threaded backend at 8 threads must agree with the
+# single-threaded logs after sorting (workers append in completion
+# order; the set of records is what is deterministic).
+"$bindir/tools/trident" inject pathfinder --trials 60 --threads 1 \
+  --engine interp --checkpoint "$smokedir/eng-i.jsonl" \
+  --metrics-out "$smokedir/eng-i.json" --no-progress
+"$bindir/tools/trident" inject pathfinder --trials 60 --threads 1 \
+  --engine threaded --checkpoint "$smokedir/eng-t.jsonl" \
+  --metrics-out "$smokedir/eng-t.json" --no-progress
+cmp "$smokedir/eng-i.jsonl" "$smokedir/eng-t.jsonl" \
+  || { echo "engine parity: checkpoint logs differ" >&2; exit 1; }
+python3 tools/check_manifest.py engines \
+  "$smokedir/eng-i.json" "$smokedir/eng-t.json"
+"$bindir/tools/trident" inject pathfinder --trials 60 --threads 8 \
+  --engine threaded --checkpoint "$smokedir/eng-t8.jsonl" \
+  --metrics-out "$smokedir/eng-t8.json" --no-progress
+sort "$smokedir/eng-i.jsonl" > "$smokedir/eng-i.sorted"
+sort "$smokedir/eng-t8.jsonl" > "$smokedir/eng-t8.sorted"
+cmp "$smokedir/eng-i.sorted" "$smokedir/eng-t8.sorted" \
+  || { echo "engine parity: 8-thread threaded log differs" >&2; exit 1; }
+python3 tools/check_manifest.py engines \
+  "$smokedir/eng-i.json" "$smokedir/eng-t8.json"
+
+# Trial-engine throughput smoke: a quick snapshots-off vs snapshots-on
+# vs threaded-engine campaign per workload. The binary exits nonzero if
+# the three results are not bit-identical, so this doubles as an
+# end-to-end equivalence check.
 TRIDENT_TRIALS=60 TRIDENT_BENCH_OUT="$smokedir/BENCH_trial_throughput.json" \
   "$bindir/bench/trial_throughput"

@@ -15,6 +15,11 @@
 // env var, else hardware_concurrency. Results are bit-identical for any
 // thread count.
 //
+// `--engine interp|threaded` selects the execution backend for run,
+// inject, protect and eval (default interp). Outputs, fault outcomes,
+// checkpoints and manifest fi.* counters are bit-identical across
+// backends; only speed and the engine.* metrics differ (docs/ENGINE.md).
+//
 // `--checkpoint f.jsonl` makes campaigns crash-safe: completed trials
 // are appended to the log as they finish, and re-running the same
 // command resumes from it, producing a result bit-identical to an
@@ -41,6 +46,7 @@
 #include "eval/runner.h"
 #include "eval/spec.h"
 #include "fi/campaign.h"
+#include "interp/engine.h"
 #include "ir/parser.h"
 #include "ir/printer.h"
 #include "ir/verifier.h"
@@ -89,6 +95,12 @@ int usage() {
                "                               cells; see docs/EVAL.md)\n"
                "common: --threads N            worker threads (0 = auto;\n"
                "                               results identical for any N)\n"
+               "        --engine interp|threaded\n"
+               "                               execution backend for run /\n"
+               "                               inject / protect / eval\n"
+               "                               (default interp; results are\n"
+               "                               bit-identical either way, see\n"
+               "                               docs/ENGINE.md)\n"
                "        --checkpoint f.jsonl   crash-safe campaigns: append\n"
                "                               finished trials, resume on\n"
                "                               re-run (bit-identical result)\n"
@@ -154,6 +166,7 @@ struct Args {
   uint32_t threads = 0;  // 0 = TRIDENT_THREADS env or hardware
   uint64_t max_snapshots = 64;  // snapshot-and-resume engine; 0 = off
   uint64_t snapshot_budget_mib = 256;
+  interp::EngineKind engine = interp::EngineKind::Interp;
 };
 
 // One registry per process run; commands add their counters/timers and
@@ -171,6 +184,7 @@ fi::CampaignOptions campaign_options(const Args& args) {
   options.checkpoint_path = args.checkpoint;
   options.max_snapshots = args.max_snapshots;
   options.snapshot_bytes_budget = args.snapshot_budget_mib << 20;
+  options.engine = args.engine;
   options.metrics = &metrics();
   options.progress = !args.no_progress && obs::stderr_is_tty();
   return options;
@@ -189,7 +203,25 @@ bool parse_args(int argc, char** argv, Args& args) {
     } else if (a == "--model") {
       const char* v = next();
       if (!v) return false;
+      // Enum-ish flags fail fast and list the valid choices (the
+      // find_workload pattern), instead of surfacing the bad name
+      // only after profiling.
+      if (!core::model_config_from_name(v)) {
+        std::fprintf(stderr, "error: unknown model '%s'\nvalid models: %s\n",
+                     v, core::model_config_names().c_str());
+        return false;
+      }
       args.model = v;
+    } else if (a == "--engine") {
+      const char* v = next();
+      if (!v) return false;
+      const auto kind = interp::engine_kind_from_name(v);
+      if (!kind) {
+        std::fprintf(stderr, "error: unknown engine '%s'\nvalid engines: %s\n",
+                     v, interp::engine_kind_names().c_str());
+        return false;
+      }
+      args.engine = *kind;
     } else if (a == "--per-inst") {
       args.per_inst = true;
     } else if (a == "--json") {
@@ -254,7 +286,10 @@ bool parse_args(int argc, char** argv, Args& args) {
 
 std::optional<core::ModelConfig> model_config(const std::string& name) {
   const auto config = core::model_config_from_name(name);
-  if (!config) std::fprintf(stderr, "error: unknown model '%s'\n", name.c_str());
+  if (!config) {
+    std::fprintf(stderr, "error: unknown model '%s'\nvalid models: %s\n",
+                 name.c_str(), core::model_config_names().c_str());
+  }
   return config;
 }
 
@@ -279,8 +314,8 @@ int cmd_dump(const Args& args, const ir::Module& m) {
   return 0;
 }
 
-int cmd_run(const ir::Module& m) {
-  const auto res = interp::Interpreter(m).run_main({});
+int cmd_run(const Args& args, const ir::Module& m) {
+  const auto res = interp::make_engine(args.engine, m)->run_main({});
   std::printf("outcome: %s\n", interp::outcome_name(res.outcome));
   if (!res.crash_reason.empty()) {
     std::printf("crash: %s\n", res.crash_reason.c_str());
@@ -496,6 +531,7 @@ int cmd_eval(const Args& args) {
   options.out_dir =
       args.out_dir.empty() ? "eval-out/" + spec.name : args.out_dir;
   options.threads = args.threads;
+  options.engine = args.engine;
   options.force = args.force;
   options.progress = !args.no_progress && obs::stderr_is_tty();
   options.metrics = &metrics();
@@ -569,7 +605,7 @@ int main(int argc, char** argv) {
       const auto m = load_target(args.target);
       if (!m) return 1;
       if (cmd == "dump") rc = cmd_dump(args, *m);
-      else if (cmd == "run") rc = cmd_run(*m);
+      else if (cmd == "run") rc = cmd_run(args, *m);
       else if (cmd == "profile") rc = cmd_profile(*m);
       else if (cmd == "predict") rc = cmd_predict(args, *m);
       else if (cmd == "analyze") rc = cmd_analyze(args, *m);
