@@ -58,14 +58,19 @@ uint64_t demanded_operand_bits(const ir::Function& func,
       return full;
 
     case ir::Opcode::And: {
-      const KnownBits other =
-          known.of_value(user.operands[1 - operand_index]);
-      return d & ~other.zeros;
+      // "The other operand forces this bit" assumes the operands are
+      // independent registers. For x & x (both operands the same value)
+      // a flipped bit changes both sides at once, so the forced-bit
+      // argument is invalid — found by the fuzzer's dont-care-flip
+      // oracle (tests/fuzz_corpus/demanded_and_or_alias.tir).
+      const ir::Value& other_v = user.operands[1 - operand_index];
+      if (other_v == v) return d;
+      return d & ~known.of_value(other_v).zeros;
     }
     case ir::Opcode::Or: {
-      const KnownBits other =
-          known.of_value(user.operands[1 - operand_index]);
-      return d & ~other.ones;
+      const ir::Value& other_v = user.operands[1 - operand_index];
+      if (other_v == v) return d;
+      return d & ~known.of_value(other_v).ones;
     }
     case ir::Opcode::Xor:
       return d;

@@ -1,5 +1,6 @@
 #include "analysis/known_bits.h"
 
+#include <algorithm>
 #include <bit>
 
 #include "ir/eval.h"
@@ -180,6 +181,52 @@ KnownBits kb_ashr(const KnownBits& a, const KnownBits& amount) {
   return r;
 }
 
+KnownBits kb_udiv(const KnownBits& a, const KnownBits& b) {
+  const unsigned w = a.width;
+  if (a.fully_known() && b.fully_known() && b.value() != 0) {
+    return KnownBits::constant((a.value() & a.mask()) /
+                                   (b.value() & b.mask()),
+                               w);
+  }
+  // Quotient never exceeds the dividend: leading zeros carry over.
+  KnownBits r = KnownBits::unknown(w);
+  unsigned lz = 0;
+  while (lz < w && (a.zeros >> (w - 1 - lz)) & 1) ++lz;
+  // A divisor with umin >= 2 halves the quotient at least umin-fold:
+  // floor(a / b) < 2^(w - lz) / 2^floor(log2(umin)) on every non-trap
+  // execution, which adds floor(log2(umin)) more leading zeros.
+  if (b.umin() >= 2) {
+    lz = std::min<unsigned>(w, lz + (std::bit_width(b.umin()) - 1));
+  }
+  if (lz > 0) r.zeros = low_mask(lz) << (w - lz);
+  return r;
+}
+
+KnownBits kb_urem(const KnownBits& a, const KnownBits& b) {
+  const unsigned w = a.width;
+  if (a.fully_known() && b.fully_known() && b.value() != 0) {
+    return KnownBits::constant((a.value() & a.mask()) %
+                                   (b.value() & b.mask()),
+                               w);
+  }
+  KnownBits r = KnownBits::unknown(w);
+  // The remainder is < b and <= a, so the leading zeros implied by
+  // either bound carry over.
+  uint64_t bound = a.umax();  // a mod b <= a
+  if (b.umax() > 0) bound = std::min(bound, b.umax() - 1);  // a mod b < b
+  const unsigned sig = std::bit_width(bound);
+  if (sig < w) r.zeros = low_mask(w - sig) << sig;
+  // A power-of-two divisor keeps exactly the low log2(b) bits, so the
+  // dividend's knowledge of those bits survives.
+  if (b.fully_known() && b.value() != 0 &&
+      std::has_single_bit(b.value() & b.mask())) {
+    const uint64_t keep = (b.value() & b.mask()) - 1;
+    r.ones = a.ones & keep;
+    r.zeros |= (a.zeros & keep) | (low_mask(w) & ~keep);
+  }
+  return r;
+}
+
 KnownBits kb_trunc(const KnownBits& a, unsigned to_width) {
   KnownBits r = KnownBits::unknown(to_width);
   r.ones = a.ones & r.mask();
@@ -311,29 +358,8 @@ KnownBits KnownBitsAnalysis::transfer(uint32_t id) const {
       a.width = static_cast<uint8_t>(w);
       return a;
     }
-    case ir::Opcode::UDiv: {
-      const KnownBits a = op(0), b = op(1);
-      if (a.fully_known() && b.fully_known() && b.value() != 0) {
-        return KnownBits::constant((a.value() & a.mask()) /
-                                       (b.value() & b.mask()),
-                                   w);
-      }
-      // Quotient never exceeds the dividend: leading zeros carry over.
-      KnownBits r = KnownBits::unknown(w);
-      unsigned lz = 0;
-      while (lz < a.width && (a.zeros >> (a.width - 1 - lz)) & 1) ++lz;
-      if (lz > 0) r.zeros = low_mask(lz) << (w - lz);
-      return r;
-    }
-    case ir::Opcode::URem: {
-      const KnownBits a = op(0), b = op(1);
-      if (a.fully_known() && b.fully_known() && b.value() != 0) {
-        return KnownBits::constant((a.value() & a.mask()) %
-                                       (b.value() & b.mask()),
-                                   w);
-      }
-      return KnownBits::unknown(w);
-    }
+    case ir::Opcode::UDiv: return kb_udiv(op(0), op(1));
+    case ir::Opcode::URem: return kb_urem(op(0), op(1));
     case ir::Opcode::ICmp: {
       const KnownBits a = op(0), b = op(1);
       if (!a.defined || !b.defined) {

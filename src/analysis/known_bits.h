@@ -59,6 +59,11 @@ KnownBits kb_mul(const KnownBits& a, const KnownBits& b);
 KnownBits kb_shl(const KnownBits& a, const KnownBits& amount);
 KnownBits kb_lshr(const KnownBits& a, const KnownBits& amount);
 KnownBits kb_ashr(const KnownBits& a, const KnownBits& amount);
+/// Unsigned division/remainder. Claims hold for every execution that
+/// produces a result (division by zero traps instead, so b == 0 is
+/// outside the concretization these are checked against).
+KnownBits kb_udiv(const KnownBits& a, const KnownBits& b);
+KnownBits kb_urem(const KnownBits& a, const KnownBits& b);
 KnownBits kb_trunc(const KnownBits& a, unsigned to_width);
 KnownBits kb_zext(const KnownBits& a, unsigned to_width);
 KnownBits kb_sext(const KnownBits& a, unsigned to_width);

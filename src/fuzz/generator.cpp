@@ -1,0 +1,530 @@
+#include "fuzz/generator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ir/builder.h"
+#include "support/bits.h"
+#include "support/rng.h"
+
+namespace trident::fuzz {
+
+namespace {
+
+using ir::CmpPred;
+using ir::Opcode;
+using ir::Type;
+using ir::Value;
+
+// Integer widths the generator mixes; index into the per-width pools.
+constexpr unsigned kIntWidths[4] = {8, 16, 32, 64};
+
+struct ArrayInfo {
+  Value ptr;
+  Type elem;
+  uint32_t elems = 0;  // power of two, so `and` masks indices in-bounds
+};
+
+class Gen {
+ public:
+  Gen(ir::Module& module, uint64_t seed, const GenOptions& opt)
+      : b_(module), rng_(support::Rng::stream(seed, 0)), opt_(opt) {}
+
+  void run() {
+    if (opt_.with_helper && rng_.next_bool(0.7)) emit_helper();
+    emit_main();
+  }
+
+ private:
+  // ---- Random pick helpers ----------------------------------------------
+
+  unsigned pick_width_index() {
+    const uint64_t k = rng_.next_below(100);
+    return k < 15 ? 0 : k < 35 ? 1 : k < 75 ? 2 : 3;
+  }
+
+  // An "interesting" constant: boundary values dominate because they are
+  // where shift/division/carry transfer bugs live.
+  Value const_of(unsigned wi) {
+    const unsigned w = kIntWidths[wi];
+    const Type t = Type::i(w);
+    switch (rng_.next_below(8)) {
+      case 0: return b_.const_int(t, 0);
+      case 1: return b_.const_int(t, 1);
+      case 2: return b_.const_int(t, support::low_mask(w));        // -1
+      case 3: return b_.const_int(t, 1ULL << (w - 1));             // min
+      case 4: return b_.const_int(t, (1ULL << (w - 1)) - 1);       // max
+      case 5: return b_.const_int(t, rng_.next_below(w + 3));      // shiftish
+      default: return b_.const_int(t, rng_.next_u64());            // masked by
+    }                                                              // low bits
+  }
+
+  Value pick_int(unsigned wi) {
+    auto& pool = ints_[wi];
+    if (!pool.empty() && rng_.next_below(100) < 80) {
+      return pool[rng_.next_below(pool.size())];
+    }
+    return const_of(wi);
+  }
+
+  Value pick_float(unsigned fi) {
+    auto& pool = floats_[fi];
+    if (!pool.empty() && rng_.next_below(100) < 75) {
+      return pool[rng_.next_below(pool.size())];
+    }
+    const double v = (static_cast<double>(rng_.next_range(-1000, 1000)) +
+                      static_cast<double>(rng_.next_below(16)) / 16.0);
+    return fi == 0 ? b_.f32(static_cast<float>(v)) : b_.f64(v);
+  }
+
+  Value pick_bool() {
+    if (!bools_.empty() && rng_.next_below(100) < 80) {
+      return bools_[rng_.next_below(bools_.size())];
+    }
+    return b_.i1(rng_.next_bool(0.5));
+  }
+
+  void push_int(unsigned wi, Value v) { ints_[wi].push_back(v); }
+
+  CmpPred pick_icmp_pred() {
+    static constexpr CmpPred kPreds[] = {
+        CmpPred::Eq,  CmpPred::Ne,  CmpPred::SLt, CmpPred::SLe,
+        CmpPred::SGt, CmpPred::SGe, CmpPred::ULt, CmpPred::ULe,
+        CmpPred::UGt, CmpPred::UGe};
+    return kPreds[rng_.next_below(10)];
+  }
+
+  CmpPred pick_fcmp_pred() {
+    static constexpr CmpPred kPreds[] = {CmpPred::Eq,  CmpPred::Ne,
+                                         CmpPred::SLt, CmpPred::SLe,
+                                         CmpPred::SGt, CmpPred::SGe};
+    return kPreds[rng_.next_below(6)];
+  }
+
+  // A divisor that cannot trap: nonzero for unsigned, and additionally
+  // positive for signed (ruling out both /0 and INT_MIN / -1).
+  Value safe_divisor(unsigned wi, bool is_signed) {
+    const unsigned w = kIntWidths[wi];
+    Value d = pick_int(wi);
+    if (is_signed) {
+      d = b_.and_(d, b_.const_int(Type::i(w), (1ULL << (w - 1)) - 1));
+    }
+    return b_.or_(d, b_.const_int(Type::i(w), 1));
+  }
+
+  // ---- Expression statements --------------------------------------------
+
+  void expr_int_arith() {
+    const unsigned wi = pick_width_index();
+    static constexpr Opcode kOps[] = {Opcode::Add, Opcode::Sub, Opcode::Mul,
+                                      Opcode::And, Opcode::Or,  Opcode::Xor};
+    push_int(wi, b_.binop(kOps[rng_.next_below(6)], pick_int(wi),
+                          pick_int(wi)));
+  }
+
+  void expr_shift() {
+    const unsigned wi = pick_width_index();
+    const unsigned w = kIntWidths[wi];
+    static constexpr Opcode kOps[] = {Opcode::Shl, Opcode::LShr,
+                                      Opcode::AShr};
+    // Half the amounts are boundary constants (0, w-1, w, w+1, 63): the
+    // mod-width semantics is exactly where engines and the known-bits
+    // transfers can disagree.
+    Value amount;
+    if (rng_.next_bool(0.5)) {
+      const uint64_t picks[] = {0, 1, w - 1, w, w + 1, 63};
+      amount = b_.const_int(Type::i(w), picks[rng_.next_below(6)]);
+    } else {
+      amount = pick_int(wi);
+    }
+    push_int(wi, b_.binop(kOps[rng_.next_below(3)], pick_int(wi), amount));
+  }
+
+  void expr_division() {
+    const unsigned wi = pick_width_index();
+    static constexpr Opcode kOps[] = {Opcode::UDiv, Opcode::URem,
+                                      Opcode::SDiv, Opcode::SRem};
+    const unsigned k = static_cast<unsigned>(rng_.next_below(4));
+    push_int(wi, b_.binop(kOps[k], pick_int(wi), safe_divisor(wi, k >= 2)));
+  }
+
+  void expr_cmp() {
+    if (rng_.next_bool(0.75)) {
+      const unsigned wi = pick_width_index();
+      bools_.push_back(
+          b_.icmp(pick_icmp_pred(), pick_int(wi), pick_int(wi)));
+    } else {
+      const unsigned fi = static_cast<unsigned>(rng_.next_below(2));
+      bools_.push_back(
+          b_.fcmp(pick_fcmp_pred(), pick_float(fi), pick_float(fi)));
+    }
+  }
+
+  void expr_select() {
+    const unsigned wi = pick_width_index();
+    push_int(wi, b_.select(pick_bool(), pick_int(wi), pick_int(wi)));
+  }
+
+  void expr_cast() {
+    switch (rng_.next_below(6)) {
+      case 0: {  // int -> wider int
+        const unsigned from = static_cast<unsigned>(rng_.next_below(3));
+        const unsigned to =
+            from + 1 + static_cast<unsigned>(rng_.next_below(3 - from));
+        const Value v = pick_int(from);
+        const Type t = Type::i(kIntWidths[to]);
+        push_int(to, rng_.next_bool(0.5) ? b_.zext(v, t) : b_.sext(v, t));
+        break;
+      }
+      case 1: {  // int -> narrower int
+        const unsigned from =
+            1 + static_cast<unsigned>(rng_.next_below(3));
+        const unsigned to = static_cast<unsigned>(rng_.next_below(from));
+        push_int(to, b_.trunc(pick_int(from), Type::i(kIntWidths[to])));
+        break;
+      }
+      case 2: {  // same-width int <-> float reinterpret
+        if (rng_.next_bool(0.5)) {
+          const unsigned fi = static_cast<unsigned>(rng_.next_below(2));
+          const unsigned wi = fi == 0 ? 2 : 3;
+          floats_[fi].push_back(b_.bitcast(
+              pick_int(wi), fi == 0 ? Type::f32() : Type::f64()));
+        } else {
+          const unsigned fi = static_cast<unsigned>(rng_.next_below(2));
+          const unsigned wi = fi == 0 ? 2 : 3;
+          push_int(wi, b_.bitcast(pick_float(fi), Type::i(kIntWidths[wi])));
+        }
+        break;
+      }
+      case 3: {  // float -> signed int (saturating, cannot trap)
+        const unsigned wi = 2 + static_cast<unsigned>(rng_.next_below(2));
+        push_int(wi, b_.fptosi(pick_float(rng_.next_below(2) != 0),
+                               Type::i(kIntWidths[wi])));
+        break;
+      }
+      case 4: {  // signed int -> float
+        const unsigned wi = pick_width_index();
+        const unsigned fi = static_cast<unsigned>(rng_.next_below(2));
+        floats_[fi].push_back(b_.sitofp(
+            pick_int(wi), fi == 0 ? Type::f32() : Type::f64()));
+        break;
+      }
+      default: {  // f32 <-> f64
+        if (rng_.next_bool(0.5)) {
+          floats_[1].push_back(b_.fpext(pick_float(0)));
+        } else {
+          floats_[0].push_back(b_.fptrunc(pick_float(1)));
+        }
+        break;
+      }
+    }
+  }
+
+  void expr_float_arith() {
+    const unsigned fi = static_cast<unsigned>(rng_.next_below(2));
+    static constexpr Opcode kOps[] = {Opcode::FAdd, Opcode::FSub,
+                                      Opcode::FMul, Opcode::FDiv};
+    floats_[fi].push_back(b_.binop(kOps[rng_.next_below(4)], pick_float(fi),
+                                   pick_float(fi)));
+  }
+
+  // In-bounds element pointer of a random array: index is masked with
+  // elems-1 (elems is a power of two).
+  Value array_elem_ptr(const ArrayInfo& arr) {
+    const Value idx =
+        b_.and_(pick_int(2), b_.i32(static_cast<int32_t>(arr.elems - 1)));
+    return b_.gep(arr.ptr, idx, arr.elem.store_size());
+  }
+
+  void expr_memory() {
+    if (arrays_.empty()) return expr_int_arith();
+    const auto& arr = arrays_[rng_.next_below(arrays_.size())];
+    const Value ptr = array_elem_ptr(arr);
+    if (rng_.next_bool(0.45)) {  // load
+      const Value v = b_.load(arr.elem, ptr);
+      if (arr.elem.is_float()) {
+        floats_[arr.elem.width() == 32 ? 0 : 1].push_back(v);
+      } else {
+        push_int(width_index(arr.elem.width()), v);
+      }
+    } else {  // store
+      b_.store(value_of_type(arr.elem), ptr);
+    }
+  }
+
+  void expr_memcpy() {
+    if (arrays_.empty()) return expr_int_arith();
+    const auto& dst = arrays_[rng_.next_below(arrays_.size())];
+    const auto& src = arrays_[rng_.next_below(arrays_.size())];
+    const uint64_t bytes =
+        std::min<uint64_t>(dst.elems * dst.elem.store_size(),
+                           src.elems * src.elem.store_size());
+    b_.memcpy_(dst.ptr, src.ptr, bytes);
+  }
+
+  void expr_call() {
+    if (!helper_) return expr_int_arith();
+    push_int(2, b_.call(*helper_, {pick_int(2), pick_int(2)}));
+  }
+
+  void expr_print() {
+    if (rng_.next_bool(0.6)) {
+      const unsigned wi = pick_width_index();
+      if (rng_.next_bool(0.5)) {
+        b_.print_int(pick_int(wi));
+      } else {
+        b_.print_uint(pick_int(wi));
+      }
+    } else {
+      const unsigned precs[] = {3, 6, 9};
+      b_.print_float(pick_float(rng_.next_below(2) != 0),
+                     precs[rng_.next_below(3)]);
+    }
+  }
+
+  void expr() {
+    const uint64_t k = rng_.next_below(100);
+    if (k < 10) expr_memory();
+    else if (k < 13) expr_memcpy();
+    else if (k < 21) expr_cmp();
+    else if (k < 31) expr_cast();
+    else if (k < 42) expr_shift();
+    else if (k < 52) expr_division();
+    else if (k < 58) expr_select();
+    else if (k < 62) expr_call();
+    else if (k < 67) expr_print();
+    else if (k < 80) expr_float_arith();
+    else expr_int_arith();
+  }
+
+  // ---- Regions -----------------------------------------------------------
+
+  struct PoolSnapshot {
+    size_t ints[4];
+    size_t floats[2];
+    size_t bools;
+  };
+
+  PoolSnapshot snapshot() const {
+    PoolSnapshot s{};
+    for (int i = 0; i < 4; ++i) s.ints[i] = ints_[i].size();
+    for (int i = 0; i < 2; ++i) s.floats[i] = floats_[i].size();
+    s.bools = bools_.size();
+    return s;
+  }
+
+  // Drops every value defined since `s`: they live in blocks that do not
+  // dominate the code that follows the region.
+  void restore(const PoolSnapshot& s) {
+    for (int i = 0; i < 4; ++i) ints_[i].resize(s.ints[i]);
+    for (int i = 0; i < 2; ++i) floats_[i].resize(s.floats[i]);
+    bools_.resize(s.bools);
+  }
+
+  void region_straightline() {
+    for (uint32_t i = 0; i < opt_.exprs_per_region; ++i) expr();
+  }
+
+  void region_diamond() {
+    const Value cond = pick_bool();
+    const uint32_t bt = b_.block("then");
+    const uint32_t be = b_.block("else");
+    const uint32_t bm = b_.block("merge");
+    b_.cond_br(cond, bt, be);
+    const auto before = snapshot();
+    const unsigned wi = pick_width_index();
+
+    b_.set_block(bt);
+    for (uint32_t i = 0; i < opt_.exprs_per_region / 2; ++i) expr();
+    const Value vt = pick_int(wi);
+    b_.br(bm);
+    restore(before);
+
+    b_.set_block(be);
+    for (uint32_t i = 0; i < opt_.exprs_per_region / 2; ++i) expr();
+    const Value ve = pick_int(wi);
+    b_.br(bm);
+    restore(before);
+
+    b_.set_block(bm);
+    const Value merged = b_.phi(Type::i(kIntWidths[wi]), "merge");
+    b_.add_phi_incoming(merged, vt, bt);
+    b_.add_phi_incoming(merged, ve, be);
+    push_int(wi, merged);
+  }
+
+  // Self-loop: one header block that branches back to itself. Everything
+  // defined in the header dominates the exit, so the pools keep it all.
+  void region_loop_selfshape() {
+    const int64_t trip = rng_.next_range(2, opt_.max_loop_trip);
+    const unsigned wi = pick_width_index();
+    const Value init = pick_int(wi);
+    const uint32_t pre = b_.current_block();
+    const uint32_t header = b_.block("loop");
+    const uint32_t exit = b_.block("exit");
+    b_.br(header);
+
+    b_.set_block(header);
+    const Value iphi = b_.phi(Type::i32(), "i");
+    const Value acc = b_.phi(Type::i(kIntWidths[wi]), "acc");
+    push_int(2, iphi);
+    push_int(wi, acc);
+    for (uint32_t i = 0; i < opt_.exprs_per_region; ++i) expr();
+    const Value acc_next = pick_int(wi);
+    const Value i_next = b_.add(iphi, b_.i32(1));
+    const Value cont = b_.icmp(CmpPred::SLt, i_next,
+                               b_.i32(static_cast<int32_t>(trip)));
+    b_.cond_br(cont, header, exit);
+    b_.add_phi_incoming(iphi, b_.i32(0), pre);
+    b_.add_phi_incoming(iphi, i_next, header);
+    b_.add_phi_incoming(acc, init, pre);
+    b_.add_phi_incoming(acc, acc_next, header);
+
+    b_.set_block(exit);
+    push_int(wi, acc);
+  }
+
+  // While-shape: header tests first, a separate body branches back. Body
+  // definitions do NOT dominate the exit, so the pools are restored.
+  void region_loop_whileshape() {
+    const int64_t trip = rng_.next_range(1, opt_.max_loop_trip);
+    const uint32_t pre = b_.current_block();
+    const uint32_t header = b_.block("while");
+    const uint32_t body = b_.block("body");
+    const uint32_t exit = b_.block("endwhile");
+    b_.br(header);
+
+    b_.set_block(header);
+    const Value iphi = b_.phi(Type::i32(), "i");
+    const Value cont = b_.icmp(CmpPred::SLt, iphi,
+                               b_.i32(static_cast<int32_t>(trip)));
+    b_.cond_br(cont, body, exit);
+
+    const auto before = snapshot();
+    b_.set_block(body);
+    push_int(2, iphi);
+    for (uint32_t i = 0; i < opt_.exprs_per_region; ++i) expr();
+    const Value i_next = b_.add(iphi, b_.i32(1));
+    b_.br(header);
+    restore(before);
+    b_.add_phi_incoming(iphi, b_.i32(0), pre);
+    b_.add_phi_incoming(iphi, i_next, body);
+
+    b_.set_block(exit);
+  }
+
+  // ---- Functions ---------------------------------------------------------
+
+  void emit_helper() {
+    helper_ = b_.begin_function("helper", {Type::i32(), Type::i32()},
+                                Type::i32());
+    b_.set_block(b_.block("entry"));
+    Value v = b_.xor_(b_.arg(0), b_.arg(1));
+    for (uint32_t i = 0, n = 2 + static_cast<uint32_t>(rng_.next_below(4));
+         i < n; ++i) {
+      static constexpr Opcode kOps[] = {Opcode::Add, Opcode::Mul,
+                                        Opcode::And, Opcode::Xor,
+                                        Opcode::Shl, Opcode::LShr};
+      const Value rhs = rng_.next_bool(0.5)
+                            ? b_.arg(rng_.next_below(2) ? 1 : 0)
+                            : b_.i32(static_cast<int32_t>(rng_.next_u64()));
+      v = b_.binop(kOps[rng_.next_below(6)], v, rhs);
+    }
+    if (rng_.next_bool(0.5)) {
+      v = b_.udiv(v, b_.or_(b_.arg(1), b_.i32(1)));
+    }
+    b_.ret(v);
+    b_.end_function();
+  }
+
+  unsigned width_index(unsigned w) const {
+    return w == 8 ? 0 : w == 16 ? 1 : w == 32 ? 2 : 3;
+  }
+
+  Value value_of_type(Type t) {
+    if (t.is_float()) return pick_float(t.width() == 32 ? 0 : 1);
+    return pick_int(width_index(t.width()));
+  }
+
+  void emit_main() {
+    b_.begin_function("main", {}, Type::void_());
+    b_.set_block(b_.block("entry"));
+
+    // Memory arena: a few small arrays, partially initialized. Allocas
+    // live only in the entry block so loops do not grow the heap.
+    const uint32_t n_arrays =
+        1 + static_cast<uint32_t>(rng_.next_below(opt_.max_arrays));
+    for (uint32_t i = 0; i < n_arrays; ++i) {
+      const Type kElems[] = {Type::i8(),  Type::i16(), Type::i32(),
+                             Type::i64(), Type::f32(), Type::f64()};
+      ArrayInfo arr;
+      arr.elem = kElems[rng_.next_below(6)];
+      arr.elems = 4u << rng_.next_below(3);  // 4, 8 or 16 elements
+      arr.ptr = b_.alloca_(arr.elems * arr.elem.store_size(), "arr");
+      arrays_.push_back(arr);
+      for (uint32_t k = 0, n = 1 + static_cast<uint32_t>(rng_.next_below(3));
+           k < n; ++k) {
+        const Value ptr =
+            b_.gep(arr.ptr, b_.i32(static_cast<int32_t>(
+                                rng_.next_below(arr.elems))),
+                   arr.elem.store_size());
+        b_.store(value_of_type(arr.elem), ptr);
+      }
+    }
+    for (uint32_t i = 0; i < opt_.exprs_per_region; ++i) expr();
+
+    for (uint32_t r = 0; r < opt_.regions; ++r) {
+      switch (rng_.next_below(4)) {
+        case 0: region_straightline(); break;
+        case 1: region_diamond(); break;
+        case 2: region_loop_selfshape(); break;
+        default: region_loop_whileshape(); break;
+      }
+    }
+
+    // Epilogue: print live values of every flavour — the output roots
+    // SDC classification and the demanded-bits analysis key off.
+    for (unsigned wi = 0; wi < 4; ++wi) {
+      if (!ints_[wi].empty()) b_.print_int(ints_[wi].back());
+    }
+    for (unsigned fi = 0; fi < 2; ++fi) {
+      if (!floats_[fi].empty()) b_.print_float(floats_[fi].back());
+    }
+    if (!arrays_.empty()) {
+      const auto& arr = arrays_.back();
+      const Value v = b_.load(arr.elem, array_elem_ptr(arr));
+      if (arr.elem.is_float()) {
+        b_.print_float(v);
+      } else {
+        b_.print_uint(v);
+      }
+    }
+    // Unconditional checksum print: the output stream is never empty.
+    b_.print_int(pick_int(2));
+    b_.ret();
+    b_.end_function();
+  }
+
+  ir::IRBuilder b_;
+  support::Rng rng_;
+  GenOptions opt_;
+  std::vector<Value> ints_[4];
+  std::vector<Value> floats_[2];
+  std::vector<Value> bools_;
+  std::vector<ArrayInfo> arrays_;
+  std::optional<uint32_t> helper_;
+};
+
+}  // namespace
+
+ir::Module generate_program(uint64_t seed, const GenOptions& options) {
+  ir::Module module;
+  module.name = "fuzz_" + std::to_string(seed);
+  Gen(module, seed, options).run();
+  return module;
+}
+
+}  // namespace trident::fuzz

@@ -1,0 +1,39 @@
+// Seed-reproducible random IR program generator, the input half of the
+// differential fuzzer (docs/FUZZING.md).
+//
+// generate_program(seed) is a pure function of (seed, options) built on
+// the same counter-based RNG discipline as fi/ (Rng::stream), so a seed
+// in a bug report reproduces the exact module on any machine, any thread
+// count, forever. Emitted modules hold a generator contract the oracles
+// rely on:
+//   - verifier-clean (ir::verify returns no errors);
+//   - the golden run terminates with Outcome::Ok (loops have small
+//     constant trip counts, divisors are forced nonzero and positive,
+//     loads/stores are masked in-bounds, casts cannot trap);
+//   - at least one value is printed, so FI campaigns have an
+//     SDC-observable output stream.
+// Within that envelope the programs deliberately span the shapes the 11
+// built-in workloads do not: mixed bit widths (i8..i64, f32/f64), phi
+// diamonds, self- and while-shaped loops, shift amounts at and beyond
+// the width, division/remainder chains, gep/load/store/memcpy over
+// small arrays, and cross-function calls.
+#pragma once
+
+#include <cstdint>
+
+#include "ir/module.h"
+
+namespace trident::fuzz {
+
+struct GenOptions {
+  uint32_t regions = 5;          // control-flow regions in main
+  uint32_t exprs_per_region = 7; // expression statements per region
+  uint32_t max_loop_trip = 12;   // constant loop trip count bound
+  uint32_t max_arrays = 3;       // allocas in main's entry block
+  bool with_helper = true;       // emit (and call) a helper function
+};
+
+/// Deterministic: the module depends only on (seed, options).
+ir::Module generate_program(uint64_t seed, const GenOptions& options = {});
+
+}  // namespace trident::fuzz

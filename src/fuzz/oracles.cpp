@@ -1,0 +1,381 @@
+#include "fuzz/oracles.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "analysis/bit_facts.h"
+#include "core/trident.h"
+#include "fi/campaign.h"
+#include "interp/engine.h"
+#include "interp/interpreter.h"
+#include "ir/parser.h"
+#include "ir/printer.h"
+#include "ir/verifier.h"
+#include "profiler/profiler.h"
+#include "support/bits.h"
+#include "support/rng.h"
+
+namespace trident::fuzz {
+
+namespace {
+
+using interp::Outcome;
+using interp::RunOptions;
+using interp::RunResult;
+using support::low_mask;
+
+// Fuel for the oracle runs: generated programs execute a few thousand
+// instructions, so this is effectively unlimited while still bounding
+// adversarial corpus files.
+constexpr uint64_t kGoldenFuel = 50'000'000;
+
+std::string fmt(const char* format, ...) {
+  va_list args;
+  va_start(args, format);
+  char buf[512];
+  vsnprintf(buf, sizeof buf, format, args);
+  va_end(args);
+  return buf;
+}
+
+/// First field on which two RunResults differ, or nullptr if identical.
+const char* run_result_diff(const RunResult& a, const RunResult& b) {
+  if (a.outcome != b.outcome) return "outcome";
+  if (a.output != b.output) return "output";
+  if (a.debug_output != b.debug_output) return "debug_output";
+  if (a.dynamic_insts != b.dynamic_insts) return "dynamic_insts";
+  if (a.dynamic_results != b.dynamic_results) return "dynamic_results";
+  if (a.ret_raw != b.ret_raw) return "ret_raw";
+  if (a.crash_reason != b.crash_reason) return "crash_reason";
+  return nullptr;
+}
+
+struct Probe {
+  ir::InstRef ref;
+  uint64_t dyn_index = 0;
+  uint64_t candidate_no = 0;  // ordinal among candidates (for bit choice)
+};
+
+/// Golden-run hook: checks every committed value against the static
+/// known-bits facts and reservoir-samples dont-care flip probes.
+class GoldenRecorder final : public interp::ExecHooks {
+ public:
+  GoldenRecorder(const ir::Module& module, const analysis::BitFacts& facts,
+                 uint64_t seed, uint64_t max_probes)
+      : module_(module),
+        facts_(facts),
+        rng_(support::Rng::stream(seed, /*index=*/0xb175)),
+        max_probes_(max_probes) {}
+
+  uint32_t interest() const override { return kResult; }
+
+  void on_result(ir::InstRef ref, uint64_t dyn_index,
+                 uint64_t& bits) override {
+    const auto& kb = facts_.known(ref);
+    if (kb.width != 0) {
+      // `bits` is the raw pre-commit payload; compare within the width.
+      const uint64_t v = bits & low_mask(kb.width);
+      checked_ += support::popcount_low(kb.known(), kb.width);
+      if (((kb.zeros & v) | (kb.ones & ~v)) & low_mask(kb.width)) {
+        if (violations.size() < 4) {
+          const auto& func = module_.function(ref.func);
+          violations.push_back(fmt(
+              "known-bits mismatch at %s:%s (dyn %llu): value=0x%llx "
+              "zeros=0x%llx ones=0x%llx",
+              func.name.c_str(),
+              ir::print_inst(module_, func, ref.inst).c_str(),
+              (unsigned long long)dyn_index, (unsigned long long)v,
+              (unsigned long long)kb.zeros, (unsigned long long)kb.ones));
+        }
+      }
+      const uint64_t dont_care = ~facts_.demanded(ref) & low_mask(kb.width);
+      if (dont_care != 0 && max_probes_ > 0) {
+        // Uniform reservoir over all dont-care dynamic sites.
+        if (probes.size() < max_probes_) {
+          probes.push_back({ref, dyn_index, candidates_});
+        } else {
+          const uint64_t j = rng_.next_below(candidates_ + 1);
+          if (j < max_probes_) {
+            probes[j] = {ref, dyn_index, candidates_};
+          }
+        }
+        ++candidates_;
+      }
+    }
+    (void)bits;
+  }
+
+  uint64_t bits_checked() const { return checked_; }
+
+  std::vector<std::string> violations;
+  std::vector<Probe> probes;
+
+ private:
+  const ir::Module& module_;
+  const analysis::BitFacts& facts_;
+  support::Rng rng_;
+  uint64_t max_probes_ = 0;
+  uint64_t candidates_ = 0;
+  uint64_t checked_ = 0;
+};
+
+/// Flips one chosen bit of one chosen dynamic result — the oracle-b
+/// perturbation (unlike fi::Injector it takes the bit directly).
+class FlipHook final : public interp::ExecHooks {
+ public:
+  FlipHook(uint64_t dyn_index, unsigned bit)
+      : dyn_index_(dyn_index), bit_(bit) {}
+
+  uint32_t interest() const override { return kResult; }
+
+  void on_result(ir::InstRef ref, uint64_t dyn_index,
+                 uint64_t& bits) override {
+    if (dyn_index == dyn_index_) {
+      bits ^= 1ULL << bit_;
+      fired_ = true;
+      ref_ = ref;
+    }
+  }
+
+  bool fired() const { return fired_; }
+  ir::InstRef ref() const { return ref_; }
+
+ private:
+  uint64_t dyn_index_ = 0;
+  unsigned bit_ = 0;
+  bool fired_ = false;
+  ir::InstRef ref_;
+};
+
+/// `index`-th set bit of `mask` (index < popcount(mask)).
+unsigned nth_set_bit(uint64_t mask, unsigned index) {
+  for (unsigned b = 0; b < 64; ++b) {
+    if ((mask >> b) & 1) {
+      if (index == 0) return b;
+      --index;
+    }
+  }
+  return 0;  // unreachable under the precondition
+}
+
+void compare_campaigns(const fi::CampaignResult& interp_result,
+                       const fi::CampaignResult& threaded_result,
+                       CheckResult& out) {
+  if (interp_result.trials.size() != threaded_result.trials.size()) {
+    out.divergences.push_back(
+        {"engine", fmt("FI campaign size differs across engines: "
+                       "interp=%zu threaded=%zu",
+                       interp_result.trials.size(),
+                       threaded_result.trials.size())});
+    return;
+  }
+  for (size_t i = 0; i < interp_result.trials.size(); ++i) {
+    const auto& a = interp_result.trials[i];
+    const auto& b = threaded_result.trials[i];
+    if (a.outcome != b.outcome || !(a.target == b.target) ||
+        a.bit != b.bit || a.fuel_exhausted != b.fuel_exhausted) {
+      out.divergences.push_back(
+          {"engine",
+           fmt("FI trial %zu differs across engines: interp={%s f%u:i%u "
+               "bit %u} threaded={%s f%u:i%u bit %u}",
+               i, fi::fi_outcome_name(a.outcome), a.target.func,
+               a.target.inst, a.bit, fi::fi_outcome_name(b.outcome),
+               b.target.func, b.target.inst, b.bit)});
+      return;  // one detailed mismatch per campaign is enough to act on
+    }
+  }
+}
+
+}  // namespace
+
+CheckResult check_module(const ir::Module& module, uint64_t seed,
+                         const OracleOptions& options) {
+  CheckResult out;
+
+  // -- Contract: the module must verify and its golden run must be Ok.
+  if (std::string errors = ir::verify_to_string(module); !errors.empty()) {
+    if (auto nl = errors.find('\n'); nl != std::string::npos) {
+      errors.resize(nl);
+    }
+    out.divergences.push_back(
+        {"contract", "module fails verification: " + errors});
+    return out;
+  }
+
+  analysis::BitFacts facts(module, options.threads);
+
+  // -- Golden run on the reference engine, with the oracle-b recorder
+  //    checking every known-bits claim against the executed values.
+  interp::Interpreter interp_engine(module);
+  GoldenRecorder recorder(module, facts, seed, options.demanded_probes);
+  RunOptions golden_options;
+  golden_options.fuel = kGoldenFuel;
+  golden_options.hooks = &recorder;
+  const RunResult golden = interp_engine.run_main(golden_options);
+  out.golden_dynamic_insts = golden.dynamic_insts;
+  out.known_bits_checked = recorder.bits_checked();
+  if (golden.outcome != Outcome::Ok) {
+    out.divergences.push_back(
+        {"contract", fmt("golden run is %s, not Ok%s%s",
+                         interp::outcome_name(golden.outcome),
+                         golden.crash_reason.empty() ? "" : ": ",
+                         golden.crash_reason.c_str())});
+    return out;
+  }
+  for (const auto& v : recorder.violations) {
+    out.divergences.push_back({"bits", v});
+  }
+
+  // -- Oracle (a), golden half: the threaded engine must reproduce the
+  //    reference run bit for bit.
+  {
+    auto threaded =
+        interp::make_engine(interp::EngineKind::Threaded, module);
+    RunOptions plain;
+    plain.fuel = kGoldenFuel;
+    const RunResult threaded_golden = threaded->run_main(plain);
+    interp::Interpreter plain_interp(module);
+    const RunResult interp_golden = plain_interp.run_main(plain);
+    if (const char* field =
+            run_result_diff(interp_golden, threaded_golden)) {
+      out.divergences.push_back(
+          {"engine",
+           fmt("golden run differs across engines in %s", field)});
+    }
+  }
+
+  // -- Oracle (c): print -> parse -> print fixed point.
+  {
+    const std::string text1 = ir::print_module(module);
+    ir::ParseError error;
+    auto reparsed = ir::parse_module(text1, &error);
+    if (!reparsed) {
+      out.divergences.push_back(
+          {"roundtrip", fmt("printed module fails to reparse at line %u: %s",
+                            error.line, error.message.c_str())});
+    } else if (std::string errors = ir::verify_to_string(*reparsed);
+               !errors.empty()) {
+      if (auto nl = errors.find('\n'); nl != std::string::npos) {
+        errors.resize(nl);
+      }
+      out.divergences.push_back(
+          {"roundtrip", "reparsed module fails verification: " + errors});
+    } else if (const std::string text2 = ir::print_module(*reparsed);
+               text1 != text2) {
+      size_t line = 1, at = 0;
+      const size_t n = std::min(text1.size(), text2.size());
+      while (at < n && text1[at] == text2[at]) {
+        if (text1[at] == '\n') ++line;
+        ++at;
+      }
+      out.divergences.push_back(
+          {"roundtrip",
+           fmt("print->parse->print is not a fixed point (first "
+               "difference on line %zu)",
+               line)});
+    }
+  }
+
+  // -- Oracle (b), dont-care half: flipping a statically non-demanded
+  //    bit must leave the entire run unchanged.
+  {
+    support::Rng bit_rng = support::Rng::stream(seed, /*index=*/0xdc);
+    for (const Probe& probe : recorder.probes) {
+      const auto& kb = facts.known(probe.ref);
+      const uint64_t dont_care =
+          ~facts.demanded(probe.ref) & low_mask(kb.width);
+      if (dont_care == 0) continue;
+      const unsigned n_bits = support::popcount_low(dont_care, kb.width);
+      const unsigned bit = nth_set_bit(
+          dont_care, static_cast<unsigned>(bit_rng.next_below(n_bits)));
+      FlipHook flip(probe.dyn_index, bit);
+      RunOptions flip_options;
+      flip_options.fuel = kGoldenFuel;
+      flip_options.hooks = &flip;
+      const RunResult flipped = interp_engine.run_main(flip_options);
+      ++out.demanded_probes_run;
+      if (const char* field = run_result_diff(golden, flipped)) {
+        const auto& func = module.function(probe.ref.func);
+        out.divergences.push_back(
+            {"bits",
+             fmt("flip of non-demanded bit %u at %s:%s (dyn %llu) "
+                 "changed the run (%s)",
+                 bit, func.name.c_str(),
+                 ir::print_inst(module, func, probe.ref.inst).c_str(),
+                 (unsigned long long)probe.dyn_index, field)});
+        if (out.divergences.size() > 8) break;
+      }
+    }
+  }
+
+  // -- Oracles (a) FI half and (d): one profile, two campaigns, three
+  //    model variants.
+  const prof::Profile profile = prof::collect_profile(module);
+  fi::CampaignOptions campaign_options;
+  campaign_options.seed = seed;
+  campaign_options.trials = options.fi_trials;
+  campaign_options.threads = options.threads;
+  campaign_options.engine = interp::EngineKind::Interp;
+  const fi::CampaignResult fi_interp =
+      fi::run_overall_campaign(module, profile, campaign_options);
+  campaign_options.engine = interp::EngineKind::Threaded;
+  const fi::CampaignResult fi_threaded =
+      fi::run_overall_campaign(module, profile, campaign_options);
+  compare_campaigns(fi_interp, fi_threaded, out);
+
+  out.fi_trials = fi_interp.total();
+  out.fi_sdc = fi_interp.sdc_prob();
+  out.fi_sdc_ci95 = fi_interp.sdc_ci95();
+
+  out.sdc_full =
+      core::Trident(module, profile, core::ModelConfig::full())
+          .overall_sdc_exact();
+  out.sdc_bits =
+      core::Trident(module, profile, core::ModelConfig::bits())
+          .overall_sdc_exact();
+  out.sdc_fs =
+      core::Trident(module, profile, core::ModelConfig::fs_only())
+          .overall_sdc_exact();
+
+  // Hard invariant: the bit-level refinement only lowers predictions.
+  if (out.sdc_bits > out.sdc_full + 1e-9) {
+    out.divergences.push_back(
+        {"model", fmt("trident_bits prediction %.4f exceeds trident %.4f "
+                      "(bit_refine must only lower)",
+                      out.sdc_bits, out.sdc_full)});
+  }
+  // Soft thresholds: model vs FI ground truth, beyond the campaign CI.
+  const double slack = out.fi_sdc_ci95 + options.model_tolerance;
+  if (std::fabs(out.sdc_full - out.fi_sdc) > slack) {
+    out.divergences.push_back(
+        {"model", fmt("trident %.4f vs FI %.4f +/- %.4f exceeds "
+                      "tolerance %.2f",
+                      out.sdc_full, out.fi_sdc, out.fi_sdc_ci95,
+                      options.model_tolerance)});
+  }
+  if (std::fabs(out.sdc_bits - out.fi_sdc) > slack) {
+    out.divergences.push_back(
+        {"model", fmt("trident_bits %.4f vs FI %.4f +/- %.4f exceeds "
+                      "tolerance %.2f",
+                      out.sdc_bits, out.fi_sdc, out.fi_sdc_ci95,
+                      options.model_tolerance)});
+  }
+  // fs-only deliberately overestimates (every reached store counts as
+  // SDC); give it double slack and only flag gross breakage.
+  if (std::fabs(out.sdc_fs - out.fi_sdc) >
+      out.fi_sdc_ci95 + 2 * options.model_tolerance) {
+    out.divergences.push_back(
+        {"model", fmt("fs-only %.4f vs FI %.4f +/- %.4f exceeds double "
+                      "tolerance %.2f",
+                      out.sdc_fs, out.fi_sdc, out.fi_sdc_ci95,
+                      2 * options.model_tolerance)});
+  }
+
+  return out;
+}
+
+}  // namespace trident::fuzz

@@ -1,0 +1,66 @@
+// The four differential oracles of the fuzzer (docs/FUZZING.md).
+//
+// Each generated module is cross-checked along every axis on which this
+// repository makes a hard claim:
+//   (a) engine    — interp vs threaded bit-identity on the golden run
+//                   and on a small FI campaign (docs/ENGINE.md contract);
+//   (b) bits      — known-bits facts must agree with every executed
+//                   value, and flipping a statically non-demanded bit
+//                   must not change the run at all (docs/ANALYSIS.md
+//                   soundness claims);
+//   (c) roundtrip — print -> parse -> print is a fixed point and the
+//                   reparsed module verifies (parser contract);
+//   (d) model     — trident / trident_bits / fs-only overall SDC vs a
+//                   small FI campaign, within divergence thresholds,
+//                   plus the hard invariant bits <= full (bit_refine
+//                   "can only lower predictions").
+// All checks are deterministic in (module, seed, options) at any thread
+// count, so a report line in CI is byte-reproducible from its seed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/module.h"
+
+namespace trident::fuzz {
+
+struct OracleOptions {
+  uint64_t fi_trials = 150;      // FI campaign size (oracles a and d)
+  uint64_t demanded_probes = 24; // dont-care bit flips tried (oracle b)
+  uint32_t threads = 0;          // campaign/analysis concurrency
+  // Allowed |model - FI| beyond the campaign's 95% CI half-width
+  // (oracle d). Random programs sit far outside the paper's benchmark
+  // envelope, so this is a drift tripwire, not an accuracy claim.
+  double model_tolerance = 0.45;
+};
+
+struct Divergence {
+  std::string oracle;  // "engine" | "bits" | "roundtrip" | "model"
+  std::string detail;  // one line, stable wording (reports are diffed)
+};
+
+struct CheckResult {
+  std::vector<Divergence> divergences;
+  // Report fodder (all deterministic).
+  uint64_t golden_dynamic_insts = 0;
+  uint64_t fi_trials = 0;
+  double fi_sdc = 0, fi_sdc_ci95 = 0;
+  double sdc_full = 0, sdc_bits = 0, sdc_fs = 0;
+  uint64_t known_bits_checked = 0;   // (value, known-bit) comparisons
+  uint64_t demanded_probes_run = 0;  // dont-care flips executed
+
+  bool ok() const { return divergences.empty(); }
+};
+
+/// Runs all four oracles on `module`. `seed` drives the FI campaign and
+/// the probe sampling; it is usually the generator seed so one number
+/// reproduces the whole line. The module must satisfy the generator
+/// contract (verifier-clean, golden run Ok) — check_module re-validates
+/// both and reports violations as divergences instead of crashing, so it
+/// is safe to call on shrunken candidates and hand-written corpus files.
+CheckResult check_module(const ir::Module& module, uint64_t seed,
+                         const OracleOptions& options = {});
+
+}  // namespace trident::fuzz

@@ -1,0 +1,114 @@
+#include "fuzz/shrink.h"
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/verifier.h"
+
+namespace trident::fuzz {
+
+namespace {
+
+using ir::Function;
+using ir::Instruction;
+using ir::Module;
+using ir::Opcode;
+using ir::Value;
+
+bool has_uses(const Function& func, uint32_t id) {
+  for (const Instruction& inst : func.insts) {
+    for (const Value& v : inst.operands) {
+      if (v.is_inst() && v.index == id) return true;
+    }
+  }
+  return false;
+}
+
+/// Removes instruction `id` (which must have no uses) and renumbers every
+/// id above it, keeping the function's id-indexed invariants intact.
+void erase_inst(Function& func, uint32_t id) {
+  auto& block_insts = func.blocks[func.insts[id].block].insts;
+  for (auto it = block_insts.begin(); it != block_insts.end(); ++it) {
+    if (*it == id) {
+      block_insts.erase(it);
+      break;
+    }
+  }
+  func.insts.erase(func.insts.begin() + id);
+  for (Instruction& inst : func.insts) {
+    for (Value& v : inst.operands) {
+      if (v.is_inst() && v.index > id) --v.index;
+    }
+  }
+  for (auto& block : func.blocks) {
+    for (uint32_t& i : block.insts) {
+      if (i > id) --i;
+    }
+  }
+}
+
+}  // namespace
+
+ir::Module shrink_module(const ir::Module& module,
+                         const ShrinkPredicate& still_fails,
+                         const ShrinkOptions& options) {
+  Module best = module;
+  uint64_t attempts = 0;
+
+  auto accept = [&](const Module& candidate) {
+    if (attempts >= options.max_attempts) return false;
+    ++attempts;
+    return ir::verify(candidate).empty() && still_fails(candidate);
+  };
+
+  for (uint32_t round = 0; round < options.max_rounds; ++round) {
+    bool progressed = false;
+    for (uint32_t f = 0; f < best.functions.size(); ++f) {
+      // High ids first: epilogue instructions depend on earlier ones, so
+      // deleting back-to-front cascades dead code in a single pass.
+      for (uint32_t id = static_cast<uint32_t>(
+               best.functions[f].insts.size());
+           id-- > 0;) {
+        if (attempts >= options.max_attempts) return best;
+        const Instruction& inst = best.functions[f].insts[id];
+        if (inst.is_terminator()) continue;
+
+        if (!has_uses(best.functions[f], id)) {
+          Module candidate = best;
+          erase_inst(candidate.functions[f], id);
+          if (accept(candidate)) {
+            best = std::move(candidate);
+            progressed = true;
+          }
+          continue;
+        }
+
+        // Used result: try collapsing it to a zero constant of its type
+        // (pointers excluded — a null base would just trade the original
+        // divergence for an out-of-bounds crash).
+        if (inst.has_result() && !inst.type.is_ptr()) {
+          Module candidate = best;
+          Function& func = candidate.functions[f];
+          const uint32_t cid =
+              func.add_constant(ir::Constant{inst.type, 0});
+          for (Instruction& other : func.insts) {
+            for (Value& v : other.operands) {
+              if (v.is_inst() && v.index == id) {
+                v = Value::constant(cid);
+              }
+            }
+          }
+          erase_inst(func, id);
+          if (accept(candidate)) {
+            best = std::move(candidate);
+            progressed = true;
+          }
+        }
+      }
+    }
+    if (!progressed) break;
+  }
+  return best;
+}
+
+}  // namespace trident::fuzz

@@ -1,0 +1,35 @@
+// Delta-debugging-style module reduction for fuzzer divergences.
+//
+// Given a failing module and a predicate ("does this module still
+// exhibit the divergence?"), shrink_module greedily tries instruction-
+// level reductions — deleting dead instructions, replacing a result
+// with a zero constant and deleting its definition — and keeps every
+// candidate that (1) still verifies and (2) still fails. The result is
+// the smallest module the pass set reaches, suitable for committing to
+// tests/fuzz_corpus/. Deterministic: candidates are tried in a fixed
+// order, so the same input and predicate always shrink to the same
+// module.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "ir/module.h"
+
+namespace trident::fuzz {
+
+struct ShrinkOptions {
+  uint32_t max_rounds = 6;      // full passes over the module
+  uint64_t max_attempts = 4000; // predicate evaluations (they run FI)
+};
+
+using ShrinkPredicate = std::function<bool(const ir::Module&)>;
+
+/// Returns the reduced module (== input when nothing could be removed).
+/// `still_fails` must be true for `module` itself; it is only invoked on
+/// verifier-clean candidates.
+ir::Module shrink_module(const ir::Module& module,
+                         const ShrinkPredicate& still_fails,
+                         const ShrinkOptions& options = {});
+
+}  // namespace trident::fuzz

@@ -195,6 +195,21 @@ bool parse_block_ref(Cursor& cur, uint32_t& out) {
   return true;
 }
 
+// Position of the "  ; " name marker, ignoring occurrences inside
+// double quotes (global lines carry arbitrary quoted names, which may
+// legitimately contain the marker). npos when there is none.
+size_t find_name_marker(std::string_view line) {
+  bool quoted = false;
+  for (size_t i = 0; i + 4 <= line.size(); ++i) {
+    if (line[i] == '"') {
+      quoted = !quoted;
+    } else if (!quoted && line.compare(i, 4, "  ; ") == 0) {
+      return i;
+    }
+  }
+  return std::string_view::npos;
+}
+
 }  // namespace
 
 std::optional<Module> parse_module(std::string_view text, ParseError* error) {
@@ -206,22 +221,26 @@ std::optional<Module> parse_module(std::string_view text, ParseError* error) {
 
   // Split lines, separating trailing "  ; name" comments (the printer
   // renders instruction/block names that way; they are preserved so
-  // printed text is a parse/print fixed point).
+  // printed text is a parse/print fixed point). Accepts inputs the
+  // printer never emits: CRLF line endings (the \r is stripped BEFORE
+  // the comment split, else it would stick to the name), a missing
+  // final newline, and quoted global names containing the marker.
   std::vector<std::string> lines;
   std::vector<std::string> names;
   {
     size_t start = 0;
-    while (start <= text.size()) {
+    while (start < text.size()) {
       size_t nl = text.find('\n', start);
       if (nl == std::string_view::npos) nl = text.size();
       std::string line(text.substr(start, nl - start));
-      std::string name;
-      if (const auto c = line.find("  ; "); c != std::string::npos) {
-        name = line.substr(c + 4);
-        line.resize(c);
-      }
       while (!line.empty() && (line.back() == ' ' || line.back() == '\r')) {
         line.pop_back();
+      }
+      std::string name;
+      if (const auto c = find_name_marker(line); c != std::string::npos) {
+        name = line.substr(c + 4);
+        line.resize(c);
+        while (!line.empty() && line.back() == ' ') line.pop_back();
       }
       lines.push_back(std::move(line));
       names.push_back(std::move(name));
@@ -288,6 +307,7 @@ std::optional<Module> parse_module(std::string_view text, ParseError* error) {
 
   // Pass 2: function bodies.
   uint32_t current = kNoFunc;
+  uint32_t header_line = 0;  // 1-based line of the current "func @" header
   std::optional<FunctionParser> fp;
   const auto finalize = [&]() -> bool {
     if (!fp) return true;
@@ -327,7 +347,12 @@ std::optional<Module> parse_module(std::string_view text, ParseError* error) {
     Cursor cur(line);
     if (cur.consume("@g")) continue;  // globals done in pass 1
     if (cur.consume("func @")) {
-      if (!finalize()) return fail(li + 1, "duplicate instruction id");
+      // A finalize failure is a property of the function that just
+      // ended, so it is reported at that function's header line, not at
+      // the line of the next header (or past EOF, as it used to be for
+      // the final function of the file).
+      if (!finalize()) return fail(header_line, "duplicate instruction id");
+      header_line = li + 1;
       const auto rest = line;
       const auto at = rest.find('@');
       const auto paren = rest.find('(', at);
@@ -493,8 +518,7 @@ std::optional<Module> parse_module(std::string_view text, ParseError* error) {
     proto.inst.name = names[li];
     fp->protos.push_back(std::move(proto));
   }
-  if (!finalize()) return fail(static_cast<uint32_t>(lines.size()),
-                               "duplicate instruction id");
+  if (!finalize()) return fail(header_line, "duplicate instruction id");
   return module;
 }
 

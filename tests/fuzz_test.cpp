@@ -1,0 +1,136 @@
+// Tests for the differential fuzzer subsystem (src/fuzz/): generator
+// contract and determinism, oracle cleanliness and determinism, the
+// shrinker, and the checked-in regression corpus.
+//
+// Every tests/fuzz_corpus/*.tir file is a shrunk repro of a bug the
+// fuzzer found; running the full oracle stack over the corpus keeps
+// those bugs fixed.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "fuzz/generator.h"
+#include "fuzz/oracles.h"
+#include "fuzz/shrink.h"
+#include "interp/interpreter.h"
+#include "ir/builder.h"
+#include "ir/parser.h"
+#include "ir/printer.h"
+#include "ir/verifier.h"
+
+namespace trident::fuzz {
+namespace {
+
+// Small oracle budget: corpus modules are tiny, and the unit suite
+// should stay fast. The CLI smoke in tools/ci.sh runs the full budget.
+OracleOptions quick_options() {
+  OracleOptions opt;
+  opt.fi_trials = 60;
+  opt.demanded_probes = 12;
+  return opt;
+}
+
+std::string describe(const CheckResult& r) {
+  std::ostringstream os;
+  for (const auto& d : r.divergences) {
+    os << "[" << d.oracle << "] " << d.detail << "\n";
+  }
+  return os.str();
+}
+
+std::vector<std::filesystem::path> corpus_files() {
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(TRIDENT_FUZZ_CORPUS_DIR)) {
+    if (entry.path().extension() == ".tir") files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+TEST(FuzzCorpus, EveryReproPassesAllOracles) {
+  const auto files = corpus_files();
+  ASSERT_FALSE(files.empty()) << "no corpus at " TRIDENT_FUZZ_CORPUS_DIR;
+  for (const auto& path : files) {
+    std::ifstream in(path);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    ir::ParseError error;
+    auto m = ir::parse_module(buf.str(), &error);
+    ASSERT_TRUE(m.has_value()) << path.filename() << " line " << error.line
+                               << ": " << error.message;
+    ASSERT_TRUE(ir::verify(*m).empty())
+        << path.filename() << ": " << ir::verify_to_string(*m);
+    const auto result = check_module(*m, /*seed=*/1, quick_options());
+    EXPECT_TRUE(result.ok()) << path.filename() << "\n" << describe(result);
+  }
+}
+
+TEST(FuzzGenerator, SameSeedPrintsIdentically) {
+  for (uint64_t seed : {0ull, 7ull, 30ull, 179ull}) {
+    const auto a = generate_program(seed);
+    const auto b = generate_program(seed);
+    EXPECT_EQ(ir::print_module(a), ir::print_module(b)) << "seed " << seed;
+  }
+}
+
+TEST(FuzzGenerator, ProgramsAreVerifierCleanAndRunToCompletion) {
+  for (uint64_t seed = 0; seed < 25; ++seed) {
+    const auto m = generate_program(seed);
+    ASSERT_TRUE(ir::verify(m).empty())
+        << "seed " << seed << ": " << ir::verify_to_string(m);
+    const auto golden = interp::Interpreter(m).run_main({});
+    EXPECT_EQ(golden.outcome, interp::Outcome::Ok) << "seed " << seed;
+    EXPECT_FALSE(golden.output.empty()) << "seed " << seed;
+  }
+}
+
+TEST(FuzzOracles, GeneratedSeedsAreCleanAndDeterministic) {
+  for (uint64_t seed : {3ull, 30ull, 179ull}) {
+    const auto m = generate_program(seed);
+    const auto a = check_module(m, seed, quick_options());
+    EXPECT_TRUE(a.ok()) << "seed " << seed << "\n" << describe(a);
+    const auto b = check_module(m, seed, quick_options());
+    EXPECT_EQ(a.divergences.size(), b.divergences.size());
+    EXPECT_EQ(a.golden_dynamic_insts, b.golden_dynamic_insts);
+    EXPECT_EQ(a.fi_sdc, b.fi_sdc);
+    EXPECT_EQ(a.sdc_full, b.sdc_full);
+    EXPECT_EQ(a.sdc_bits, b.sdc_bits);
+    EXPECT_EQ(a.sdc_fs, b.sdc_fs);
+    EXPECT_EQ(a.known_bits_checked, b.known_bits_checked);
+    EXPECT_EQ(a.demanded_probes_run, b.demanded_probes_run);
+  }
+}
+
+TEST(FuzzShrink, RemovesDeadCodeWhilePreservingThePredicate) {
+  ir::Module m;
+  ir::IRBuilder b(m);
+  b.begin_function("main", {}, ir::Type::void_());
+  b.set_block(b.block("entry"));
+  const auto live = b.add(b.i32(3), b.i32(4));
+  // Dead chain the predicate does not care about.
+  const auto d0 = b.mul(b.i32(5), b.i32(6));
+  const auto d1 = b.xor_(d0, b.i32(9));
+  b.add(d1, d0);
+  b.print_int(live);
+  b.ret();
+  b.end_function();
+  ASSERT_TRUE(ir::verify(m).empty()) << ir::verify_to_string(m);
+
+  const auto original_insts = m.functions[0].insts.size();
+  const auto keeps_output = [](const ir::Module& candidate) {
+    return interp::Interpreter(candidate).run_main({}).output == "7\n";
+  };
+  ASSERT_TRUE(keeps_output(m));
+  const auto shrunk = shrink_module(m, keeps_output);
+  EXPECT_TRUE(ir::verify(shrunk).empty());
+  EXPECT_TRUE(keeps_output(shrunk));
+  EXPECT_LT(shrunk.functions[0].insts.size(), original_insts);
+}
+
+}  // namespace
+}  // namespace trident::fuzz

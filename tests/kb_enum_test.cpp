@@ -1,0 +1,204 @@
+// Exhaustive soundness enumeration for the known-bits binary transfer
+// functions, with the shift and division transfers as the headline
+// targets (they encode the subtlest claims: modulo-width amounts,
+// leading-zero carry-over, power-of-two remainders).
+//
+// Two sweeps, both complete rather than sampled:
+//
+//  * Width 4, every abstraction pair: each of the 3^4 = 81 abstractions
+//    per operand (each bit known-0 / known-1 / unknown) against every
+//    other, checked against every concrete pair in the product of the
+//    two concretizations. This covers every reachable abstract input.
+//  * Width 8, every concrete pair (256 x 256): abstractions are derived
+//    from the concrete values through deterministic knowledge masks,
+//    including the fully-known mask, which doubles as a constant-fold
+//    precision check.
+//
+// Soundness criterion: for every concrete execution consistent with the
+// abstract operands, the concrete result must not contradict a claimed
+// bit. Division by zero traps instead of producing a result, so b == 0
+// is outside the concretization for udiv/urem.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/known_bits.h"
+#include "support/bits.h"
+
+namespace trident::analysis {
+namespace {
+
+using support::low_mask;
+using support::sign_extend;
+
+uint64_t ev_and(uint64_t a, uint64_t b, unsigned) { return a & b; }
+uint64_t ev_or(uint64_t a, uint64_t b, unsigned) { return a | b; }
+uint64_t ev_xor(uint64_t a, uint64_t b, unsigned) { return a ^ b; }
+uint64_t ev_add(uint64_t a, uint64_t b, unsigned w) {
+  return (a + b) & low_mask(w);
+}
+uint64_t ev_sub(uint64_t a, uint64_t b, unsigned w) {
+  return (a - b) & low_mask(w);
+}
+uint64_t ev_mul(uint64_t a, uint64_t b, unsigned w) {
+  return (a * b) & low_mask(w);
+}
+// Shift amounts are taken modulo the width, matching the interpreter.
+uint64_t ev_shl(uint64_t a, uint64_t b, unsigned w) {
+  return (a << (b % w)) & low_mask(w);
+}
+uint64_t ev_lshr(uint64_t a, uint64_t b, unsigned w) { return a >> (b % w); }
+uint64_t ev_ashr(uint64_t a, uint64_t b, unsigned w) {
+  return static_cast<uint64_t>(sign_extend(a, w) >> (b % w)) & low_mask(w);
+}
+uint64_t ev_udiv(uint64_t a, uint64_t b, unsigned) { return a / b; }
+uint64_t ev_urem(uint64_t a, uint64_t b, unsigned) { return a % b; }
+
+KnownBits kb_add0(const KnownBits& a, const KnownBits& b) {
+  return kb_add(a, b, false);
+}
+
+struct OpCase {
+  const char* name;
+  KnownBits (*transfer)(const KnownBits&, const KnownBits&);
+  uint64_t (*eval)(uint64_t, uint64_t, unsigned);
+  bool traps_on_zero_b;
+};
+
+const OpCase kOps[] = {
+    {"and", kb_and, ev_and, false},   {"or", kb_or, ev_or, false},
+    {"xor", kb_xor, ev_xor, false},   {"add", kb_add0, ev_add, false},
+    {"sub", kb_sub, ev_sub, false},   {"mul", kb_mul, ev_mul, false},
+    {"shl", kb_shl, ev_shl, false},   {"lshr", kb_lshr, ev_lshr, false},
+    {"ashr", kb_ashr, ev_ashr, false}, {"udiv", kb_udiv, ev_udiv, true},
+    {"urem", kb_urem, ev_urem, true},
+};
+
+// One concrete result against one abstract claim.
+::testing::AssertionResult consistent(const OpCase& op, const KnownBits& a,
+                                      const KnownBits& b, const KnownBits& r,
+                                      uint64_t x, uint64_t y, unsigned w) {
+  const uint64_t v = op.eval(x, y, w) & low_mask(w);
+  const uint64_t bad = ((r.zeros & v) | (r.ones & ~v)) & low_mask(w);
+  if (bad == 0) return ::testing::AssertionSuccess();
+  return ::testing::AssertionFailure()
+         << op.name << " w=" << w << " a={z=" << a.zeros << ",o=" << a.ones
+         << "} b={z=" << b.zeros << ",o=" << b.ones << "} x=" << x
+         << " y=" << y << " -> " << v << " contradicts claim {z=" << r.zeros
+         << ",o=" << r.ones << "} on bits " << bad;
+}
+
+// Decode a base-3 code into a width-4 abstraction (0 = unknown,
+// 1 = known-0, 2 = known-1 per bit).
+KnownBits decode4(unsigned code) {
+  KnownBits kb = KnownBits::unknown(4);
+  for (unsigned bit = 0; bit < 4; ++bit, code /= 3) {
+    const unsigned trit = code % 3;
+    if (trit == 1) kb.zeros |= 1u << bit;
+    if (trit == 2) kb.ones |= 1u << bit;
+  }
+  return kb;
+}
+
+TEST(KnownBitsEnum, Width4AllAbstractionPairsAreSound) {
+  constexpr unsigned kW = 4;
+  constexpr unsigned kCodes = 81;  // 3^4
+  // Precompute concretizations.
+  std::vector<std::vector<uint64_t>> gamma(kCodes);
+  for (unsigned c = 0; c < kCodes; ++c) {
+    const KnownBits kb = decode4(c);
+    for (uint64_t x = 0; x < 16; ++x) {
+      if ((x & kb.zeros) == 0 && (x & kb.ones) == kb.ones) {
+        gamma[c].push_back(x);
+      }
+    }
+  }
+  for (const OpCase& op : kOps) {
+    for (unsigned ca = 0; ca < kCodes; ++ca) {
+      const KnownBits a = decode4(ca);
+      for (unsigned cb = 0; cb < kCodes; ++cb) {
+        const KnownBits b = decode4(cb);
+        const KnownBits r = op.transfer(a, b);
+        ASSERT_TRUE(r.defined) << op.name;
+        ASSERT_EQ(r.width, kW) << op.name;
+        ASSERT_EQ(r.zeros & r.ones, 0u) << op.name;  // no contradictions
+        for (uint64_t x : gamma[ca]) {
+          for (uint64_t y : gamma[cb]) {
+            if (op.traps_on_zero_b && y == 0) continue;
+            ASSERT_TRUE(consistent(op, a, b, r, x, y, kW));
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(KnownBitsEnum, Width8AllConcretePairsAreSound) {
+  constexpr unsigned kW = 8;
+  for (const OpCase& op : kOps) {
+    for (uint64_t x = 0; x < 256; ++x) {
+      for (uint64_t y = 0; y < 256; ++y) {
+        if (op.traps_on_zero_b && y == 0) continue;
+        // Deterministic partial-knowledge masks: which bits of the
+        // concrete values the abstraction is told about. 0xFF doubles
+        // as the constant-fold precision check below.
+        const uint64_t h = (x * 251 + y * 17 + 13) & 0xFF;
+        const uint64_t masks[] = {0xFF, h, static_cast<uint64_t>(~h) & 0xFF,
+                                  (x ^ y) & 0xFF};
+        for (uint64_t ma : masks) {
+          for (uint64_t mb : masks) {
+            KnownBits a = KnownBits::unknown(kW);
+            a.ones = x & ma;
+            a.zeros = ~x & ma & 0xFF;
+            KnownBits b = KnownBits::unknown(kW);
+            b.ones = y & mb;
+            b.zeros = ~y & mb & 0xFF;
+            const KnownBits r = op.transfer(a, b);
+            ASSERT_EQ(r.zeros & r.ones, 0u) << op.name;
+            ASSERT_TRUE(consistent(op, a, b, r, x, y, kW));
+            if (ma == 0xFF && mb == 0xFF) {
+              // Fully known operands must fold to the exact result.
+              ASSERT_TRUE(r.fully_known())
+                  << op.name << " x=" << x << " y=" << y;
+              ASSERT_EQ(r.value(), op.eval(x, y, kW) & 0xFF)
+                  << op.name << " x=" << x << " y=" << y;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+// The enrichments added to the division transfers during the audit:
+// divisor lower bounds shrink the quotient, and a power-of-two divisor
+// turns urem into a mask of the dividend.
+TEST(KnownBitsEnum, DivisionTransfersUseDivisorBounds) {
+  // udiv: dividend < 2^8 (unknown i8 zext'd shape), divisor known >= 64
+  // (bit 6 known one) leaves at most 2 significant bits.
+  KnownBits a = KnownBits::unknown(8);
+  KnownBits b = KnownBits::unknown(8);
+  b.ones = 0x40;
+  const KnownBits q = kb_udiv(a, b);
+  EXPECT_EQ(q.zeros & 0xFC, 0xFCu);
+
+  // urem by a known power of two keeps exactly the low bits.
+  KnownBits pow2 = KnownBits::constant(8, 8);
+  KnownBits dividend = KnownBits::unknown(8);
+  dividend.ones = 0x05;
+  dividend.zeros = 0x02;
+  const KnownBits r = kb_urem(dividend, pow2);
+  EXPECT_EQ(r.ones, 0x05u);
+  EXPECT_EQ(r.zeros, 0xFAu);
+  EXPECT_TRUE(r.fully_known());
+
+  // urem: the result is strictly below the divisor's umax.
+  KnownBits small = KnownBits::unknown(8);
+  small.zeros = 0xF0;  // divisor <= 15
+  const KnownBits m = kb_urem(KnownBits::unknown(8), small);
+  EXPECT_EQ(m.zeros & 0xF0, 0xF0u);
+}
+
+}  // namespace
+}  // namespace trident::analysis

@@ -177,6 +177,73 @@ INSTANTIATE_TEST_SUITE_P(AllWorkloads, ParserRoundTrip,
                          ::testing::ValuesIn(workloads::all_workloads()),
                          [](const auto& info) { return info.param.name; });
 
+// ---------------------------------------------------------------------
+// Input-robustness regressions found by the differential fuzzer's
+// round-trip oracle (see docs/FUZZING.md).
+
+TEST(Parser, AcceptsCrlfLineEndings) {
+  std::string text = R"(func @main() -> void {
+bb0:  ; entry
+  %0 = add i32 i32 1, i32 2
+  print %0 fmt=int prec=0
+  ret
+}
+)";
+  std::string crlf;
+  for (char c : text) {
+    if (c == '\n') crlf += '\r';
+    crlf += c;
+  }
+  const auto m = parse_or_fail(crlf);
+  ASSERT_TRUE(m);
+  EXPECT_EQ(m->functions[0].blocks[0].name, "entry");
+  EXPECT_EQ(interp::Interpreter(*m).run_main({}).output, "3\n");
+}
+
+TEST(Parser, AcceptsMissingTrailingNewline) {
+  // The final line carries both an instruction and a "  ; name"
+  // comment, and the file ends without '\n'.
+  const auto m = parse_or_fail(
+      "func @main() -> void {\n"
+      "bb0:\n"
+      "  %0 = add i32 i32 20, i32 22  ; answer\n"
+      "  print %0 fmt=int prec=0\n"
+      "  ret\n"
+      "}");
+  ASSERT_TRUE(m);
+  EXPECT_EQ(m->functions[0].insts[0].name, "answer");
+  EXPECT_EQ(interp::Interpreter(*m).run_main({}).output, "42\n");
+}
+
+TEST(Parser, CommentMarkerInsideQuotedGlobalNameIsNotAComment) {
+  const auto m = parse_or_fail(R"(@g0 = global "a  ; b" size 8
+
+func @main() -> void {
+bb0:
+  ret
+}
+)");
+  ASSERT_TRUE(m);
+  ASSERT_EQ(m->globals.size(), 1u);
+  EXPECT_EQ(m->globals[0].name, "a  ; b");
+}
+
+TEST(Parser, DuplicateIdInFinalFunctionReportsHeaderLine) {
+  ParseError error;
+  const auto m = parse_module(
+      "func @main() -> void {\n"   // line 1
+      "bb0:\n"
+      "  %0 = add i32 i32 1, i32 2\n"
+      "  %0 = add i32 i32 3, i32 4\n"
+      "  ret\n"
+      "}\n",
+      &error);
+  EXPECT_FALSE(m.has_value());
+  // The function that owns the duplicate starts on line 1; the old
+  // behavior reported one line past EOF.
+  EXPECT_EQ(error.line, 1u);
+}
+
 TEST(Parser, ProtectedModulesRoundTripToo) {
   // Output of the duplication pass (dups, detection compares, Detect
   // instructions, bitcasts for float checks) survives text round-trips.

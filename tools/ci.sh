@@ -103,3 +103,18 @@ python3 tools/check_manifest.py engines \
 # end-to-end equivalence check.
 TRIDENT_TRIALS=60 TRIDENT_BENCH_OUT="$smokedir/BENCH_trial_throughput.json" \
   "$bindir/bench/trial_throughput"
+
+# Differential-fuzzer smoke (docs/FUZZING.md): a fixed seed range
+# through every oracle — engine parity, known/demanded-bits soundness,
+# print/parse round-trip, model-vs-FI sanity. `trident fuzz` exits
+# nonzero on any divergence, and the report must be byte-identical
+# across FI thread counts (the per-program report lines are part of the
+# determinism contract). TRIDENT_FUZZ_BUDGET shrinks the range for
+# quick local runs.
+fuzz_count="${TRIDENT_FUZZ_BUDGET:-200}"
+"$bindir/tools/trident" fuzz --seed 0 --count "$fuzz_count" --threads 1 \
+  --emit "$smokedir/fuzz-repro" > "$smokedir/fuzz-t1.txt"
+"$bindir/tools/trident" fuzz --seed 0 --count "$fuzz_count" --threads 8 \
+  --emit "$smokedir/fuzz-repro" > "$smokedir/fuzz-t8.txt"
+cmp "$smokedir/fuzz-t1.txt" "$smokedir/fuzz-t8.txt" \
+  || { echo "fuzz: thread-count-dependent report" >&2; exit 1; }

@@ -33,6 +33,7 @@
 #include <cstdio>
 #include <cstring>
 #include <exception>
+#include <filesystem>
 #include <fstream>
 #include <optional>
 #include <sstream>
@@ -46,6 +47,9 @@
 #include "eval/runner.h"
 #include "eval/spec.h"
 #include "fi/campaign.h"
+#include "fuzz/generator.h"
+#include "fuzz/oracles.h"
+#include "fuzz/shrink.h"
 #include "interp/engine.h"
 #include "ir/parser.h"
 #include "ir/printer.h"
@@ -84,6 +88,17 @@ int usage() {
                "                               fault-injection campaign\n"
                "  protect <target> [--budget F] [-o f.tir] [--evaluate]\n"
                "                               selective duplication\n"
+               "  fuzz [target.tir] [--seed S] [--count N]\n"
+               "       [--trials N] [--tolerance F] [--emit D]\n"
+               "                               differential fuzzer: generate\n"
+               "                               N seeded programs (or check\n"
+               "                               one .tir file) and cross-check\n"
+               "                               engines, bit analyses, the\n"
+               "                               parser round-trip and the\n"
+               "                               models against FI; divergences\n"
+               "                               are shrunk into D/seed_S.tir\n"
+               "                               (docs/FUZZING.md; exit 1 on\n"
+               "                               any divergence)\n"
                "  eval <spec.json> [--out-dir D] [--force]\n"
                "                               paper-scale evaluation: run\n"
                "                               the spec's workload x model x\n"
@@ -122,16 +137,39 @@ std::optional<ir::Module> load_target(const std::string& target) {
   for (const auto& w : workloads::all_workloads()) {
     if (w.name == target) return w.build();
   }
-  std::ifstream in(target);
-  if (!in) {
+  // Classify the path before opening it: on Linux an ifstream happily
+  // opens a directory and reads zero bytes, which used to surface as a
+  // baffling parse error on an "empty" module.
+  std::error_code ec;
+  const auto status = std::filesystem::status(target, ec);
+  if (ec || !std::filesystem::exists(status)) {
     std::fprintf(stderr,
                  "error: no workload or file named '%s'\n"
                  "registered workloads: %s\n",
                  target.c_str(), workloads::workload_names().c_str());
     return std::nullopt;
   }
+  if (std::filesystem::is_directory(status)) {
+    std::fprintf(stderr,
+                 "error: '%s' is a directory, not an IR file\n",
+                 target.c_str());
+    return std::nullopt;
+  }
+  std::ifstream in(target);
+  if (!in) {
+    std::fprintf(stderr, "error: '%s' exists but is unreadable\n",
+                 target.c_str());
+    return std::nullopt;
+  }
   std::stringstream buf;
   buf << in.rdbuf();
+  if (buf.str().empty()) {
+    std::fprintf(stderr,
+                 "error: '%s' is empty (expected textual IR, the format "
+                 "of `trident dump`)\n",
+                 target.c_str());
+    return std::nullopt;
+  }
   ir::ParseError error;
   auto m = ir::parse_module(buf.str(), &error);
   if (!m) {
@@ -160,6 +198,10 @@ struct Args {
   bool force = false;  // eval: recompute cached cells
   bool no_progress = false;
   uint64_t trials = 3000;
+  bool trials_set = false;    // fuzz defaults lower unless --trials given
+  uint64_t count = 100;       // fuzz: number of generated programs
+  double tolerance = 0.45;    // fuzz: model-vs-FI divergence threshold
+  std::string emit = "fuzz-repro";  // fuzz: repro output directory
   uint64_t samples = 0;  // 0 = exact
   uint64_t seed = 1234;
   double budget = 1.0 / 3;
@@ -238,6 +280,19 @@ bool parse_args(int argc, char** argv, Args& args) {
       const char* v = next();
       if (!v) return false;
       args.trials = std::strtoull(v, nullptr, 10);
+      args.trials_set = true;
+    } else if (a == "--count") {
+      const char* v = next();
+      if (!v) return false;
+      args.count = std::strtoull(v, nullptr, 10);
+    } else if (a == "--tolerance") {
+      const char* v = next();
+      if (!v) return false;
+      args.tolerance = std::strtod(v, nullptr);
+    } else if (a == "--emit") {
+      const char* v = next();
+      if (!v) return false;
+      args.emit = v;
     } else if (a == "--samples") {
       const char* v = next();
       if (!v) return false;
@@ -281,7 +336,7 @@ bool parse_args(int argc, char** argv, Args& args) {
       return false;
     }
   }
-  return !args.target.empty();
+  return true;
 }
 
 std::optional<core::ModelConfig> model_config(const std::string& name) {
@@ -520,6 +575,109 @@ int cmd_analyze(const Args& args, const ir::Module& m) {
   return result.errors > 0 ? 1 : 0;
 }
 
+// One deterministic report line per checked program. The format is part
+// of the CI contract: tools/ci.sh diffs the full report across thread
+// counts, so nothing here may depend on timing or concurrency.
+void print_fuzz_line(const std::string& label,
+                     const fuzz::CheckResult& res) {
+  if (res.ok()) {
+    std::printf("%s: ok dyn=%llu fi_sdc=%.4f full=%.4f bits=%.4f "
+                "fs=%.4f kb=%llu probes=%llu\n",
+                label.c_str(),
+                static_cast<unsigned long long>(res.golden_dynamic_insts),
+                res.fi_sdc, res.sdc_full, res.sdc_bits, res.sdc_fs,
+                static_cast<unsigned long long>(res.known_bits_checked),
+                static_cast<unsigned long long>(res.demanded_probes_run));
+    return;
+  }
+  std::printf("%s: DIVERGENT\n", label.c_str());
+  for (const auto& d : res.divergences) {
+    std::printf("  [%s] %s\n", d.oracle.c_str(), d.detail.c_str());
+  }
+}
+
+// Shrinks a divergent module (preserving at least one of the oracle
+// categories that originally fired) and writes seed_<S>.tir plus a
+// .txt note with the seed and divergence details to args.emit.
+void emit_fuzz_repro(const Args& args, const ir::Module& module,
+                     uint64_t seed, const fuzz::CheckResult& res,
+                     const fuzz::OracleOptions& oracle_options) {
+  std::vector<std::string> failing;
+  for (const auto& d : res.divergences) failing.push_back(d.oracle);
+  const auto still_fails = [&](const ir::Module& candidate) {
+    const auto check = fuzz::check_module(candidate, seed, oracle_options);
+    for (const auto& d : check.divergences) {
+      for (const auto& oracle : failing) {
+        if (d.oracle == oracle) return true;
+      }
+    }
+    return false;
+  };
+  const ir::Module reduced = fuzz::shrink_module(module, still_fails);
+
+  std::error_code ec;
+  std::filesystem::create_directories(args.emit, ec);
+  const std::string stem =
+      args.emit + "/seed_" + std::to_string(seed);
+  {
+    std::ofstream out(stem + ".tir");
+    out << ir::print_module(reduced);
+  }
+  std::ofstream note(stem + ".txt");
+  note << "seed: " << seed << "\n";
+  note << "reproduce: trident fuzz --seed " << seed << " --count 1";
+  if (args.trials_set) note << " --trials " << args.trials;
+  note << "\n";
+  note << "insts: " << module.num_insts() << " -> " << reduced.num_insts()
+       << " after shrinking\n";
+  for (const auto& d : res.divergences) {
+    note << "[" << d.oracle << "] " << d.detail << "\n";
+  }
+  std::printf("  wrote %s.tir (insts %zu -> %zu) and %s.txt\n",
+              stem.c_str(), module.num_insts(), reduced.num_insts(),
+              stem.c_str());
+}
+
+int cmd_fuzz(const Args& args) {
+  fuzz::OracleOptions oracle_options;
+  oracle_options.fi_trials = args.trials_set ? args.trials : 150;
+  oracle_options.threads = args.threads;
+  oracle_options.model_tolerance = args.tolerance;
+
+  // With an explicit target, re-check that one module (the workflow for
+  // corpus files and shrunken repros); otherwise generate count modules.
+  if (!args.target.empty()) {
+    const auto m = load_target(args.target);
+    if (!m) return 1;
+    const auto res = fuzz::check_module(*m, args.seed, oracle_options);
+    print_fuzz_line(args.target, res);
+    return res.ok() ? 0 : 1;
+  }
+
+  std::printf("fuzz: seeds [%llu, %llu), %llu FI trials/program, "
+              "tolerance %.2f\n",
+              static_cast<unsigned long long>(args.seed),
+              static_cast<unsigned long long>(args.seed + args.count),
+              static_cast<unsigned long long>(oracle_options.fi_trials),
+              oracle_options.model_tolerance);
+  uint64_t divergent = 0;
+  for (uint64_t i = 0; i < args.count; ++i) {
+    const uint64_t seed = args.seed + i;
+    const ir::Module module = fuzz::generate_program(seed);
+    const auto res = fuzz::check_module(module, seed, oracle_options);
+    print_fuzz_line("seed " + std::to_string(seed), res);
+    if (!res.ok()) {
+      ++divergent;
+      emit_fuzz_repro(args, module, seed, res, oracle_options);
+    }
+  }
+  std::printf("checked %llu programs: %llu ok, %llu divergent\n",
+              static_cast<unsigned long long>(args.count),
+              static_cast<unsigned long long>(args.count - divergent),
+              static_cast<unsigned long long>(divergent));
+  return divergent > 0 ? 1 : 0;
+}
+
 int cmd_eval(const Args& args) {
   eval::ExperimentSpec spec;
   std::string error;
@@ -595,12 +753,17 @@ int main(int argc, char** argv) {
 
   Args args;
   if (!parse_args(argc - 2, argv + 2, args)) return usage();
+  // Every command except fuzz (which generates its own programs when no
+  // corpus file is given) requires a target.
+  if (cmd != "fuzz" && args.target.empty()) return usage();
 
   int rc;
   try {
     if (cmd == "eval") {
       // The target is a spec file, not a workload/IR module.
       rc = cmd_eval(args);
+    } else if (cmd == "fuzz") {
+      rc = cmd_fuzz(args);
     } else {
       const auto m = load_target(args.target);
       if (!m) return 1;
