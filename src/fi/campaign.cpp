@@ -131,6 +131,7 @@ struct EngineStats {
   uint64_t resumed_trials = 0;
   uint64_t memcache_hits = 0;
   uint64_t memcache_lookups = 0;
+  uint64_t native_fallbacks = 0;
 };
 
 void export_metrics(obs::Registry& registry, const CampaignResult& result,
@@ -151,16 +152,30 @@ void export_metrics(obs::Registry& registry, const CampaignResult& result,
   registry.add("fi.snapshot_resumed_trials", engine.resumed_trials);
   registry.add("interp.memcache.hits", engine.memcache_hits);
   registry.add("interp.memcache.lookups", engine.memcache_lookups);
-  // Backend counters come from the campaign's single shared lowering,
-  // not per worker, so they are invariant under the thread count.
+  // Backend counters come from the campaign's single shared lowering
+  // and compilation, not per worker, so they are invariant under the
+  // thread count. The native backend shares the threaded lowering (its
+  // fallback engine and resume mapping run on it), so lowered_* report
+  // it for both.
   const bool threaded = backend.kind == interp::EngineKind::Threaded;
+  const bool native = backend.kind == interp::EngineKind::Native;
   registry.add("engine.threaded", threaded ? 1 : 0);
   registry.add("engine.lowered_functions",
-               threaded ? backend.program->funcs.size() : 0);
+               backend.program != nullptr ? backend.program->funcs.size() : 0);
   registry.add("engine.lowered_insts",
-               threaded ? backend.program->lowered_insts : 0);
+               backend.program != nullptr ? backend.program->lowered_insts : 0);
   registry.add("engine.superinstructions",
-               threaded ? backend.program->superinstructions : 0);
+               backend.program != nullptr ? backend.program->superinstructions
+                                          : 0);
+  registry.add("engine.native", native ? 1 : 0);
+  const interp::NativeStats native_stats =
+      native ? backend.native->stats() : interp::NativeStats{};
+  registry.add("engine.native.functions", native_stats.functions);
+  registry.add("engine.native.code_bytes", native_stats.code_bytes);
+  registry.add("engine.native.compile_ms",
+               static_cast<uint64_t>(std::llround(native_stats.compile_ms)));
+  registry.add("engine.native.fallbacks",
+               native ? engine.native_fallbacks : 0);
   const uint64_t lookups = registry.counter("interp.memcache.lookups");
   if (lookups > 0) {
     registry.set("interp.memcache.hit_rate",
@@ -306,7 +321,12 @@ CampaignResult run_planned(const ir::Module& module,
     engine.resumed_trials += runner->resumed_trials();
     engine.memcache_hits += runner->engine().memory().cache_hits();
     engine.memcache_lookups += runner->engine().memory().cache_lookups();
+    if (const auto* ne =
+            dynamic_cast<const interp::NativeEngine*>(&runner->engine())) {
+      engine.native_fallbacks += ne->fallback_runs();
+    }
   }
+  engine.native_fallbacks += snap_plan.fallback_runs;
 
   CampaignResult result;
   result.resumed = resumed;

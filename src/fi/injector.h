@@ -39,6 +39,18 @@ class Injector final : public interp::ExecHooks {
   /// arguments during trials (see ExecHooks::interest).
   uint32_t interest() const override { return kResult; }
 
+  /// Sparse-result promise for the native backend: a DynIndex site
+  /// touches exactly one dynamic-result index, so compiled trials arm a
+  /// single check. Occurrence sites count occurrences from run start and
+  /// promise nothing (the native engine falls back; campaigns rewrite
+  /// them to DynIndex sites before the trial loop when a snapshot plan
+  /// exists).
+  int64_t result_watch() const override {
+    return site_.mode == InjectionSite::Mode::DynIndex
+               ? static_cast<int64_t>(site_.dyn_index)
+               : -1;
+  }
+
   bool fired() const { return fired_; }
   ir::InstRef target() const { return target_; }
   unsigned bit() const { return bit_; }

@@ -40,6 +40,13 @@ std::unique_ptr<interp::ExecutionEngine> EngineContext::make(
                ? std::make_unique<interp::ThreadedEngine>(module, program)
                : std::make_unique<interp::ThreadedEngine>(module);
   }
+  if (kind == interp::EngineKind::Native) {
+    // Share the campaign's one compiled program (the process-wide build
+    // cache makes the ad-hoc path a lookup, not a recompile).
+    return native != nullptr
+               ? std::make_unique<interp::NativeEngine>(module, native)
+               : std::make_unique<interp::NativeEngine>(module);
+  }
   return std::make_unique<interp::Interpreter>(module);
 }
 
@@ -49,6 +56,11 @@ EngineContext make_engine_context(const ir::Module& module,
   ctx.kind = kind;
   if (kind == interp::EngineKind::Threaded) {
     ctx.program = interp::LoweredProgram::lower(module);
+  } else if (kind == interp::EngineKind::Native) {
+    // Compile once per campaign; workers share the immutable program,
+    // and the fallback engine inside each worker reuses its lowering.
+    ctx.native = interp::NativeProgram::build(module);
+    ctx.program = ctx.native->lowered();
   }
   return ctx;
 }
@@ -91,6 +103,9 @@ SnapshotPlan build_snapshot_plan(const ir::Module& module,
     exec->run(entry, {}, options);
   }
   if (occ_target.valid()) plan.occurrence_dyn_index = recorder.take();
+  if (const auto* ne = dynamic_cast<interp::NativeEngine*>(exec.get())) {
+    plan.fallback_runs = ne->fallback_runs();
+  }
 
   for (const auto& s : plan.snapshots) plan.bytes += s.bytes();
   // Thin to the byte budget: dropping every other snapshot keeps the

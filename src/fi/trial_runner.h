@@ -26,18 +26,21 @@
 #include "fi/campaign.h"
 #include "interp/engine.h"
 #include "interp/interpreter.h"
+#include "interp/native.h"
 #include "interp/threaded.h"
 
 namespace trident::fi {
 
 /// Which ExecutionEngine a campaign's runners execute trials on, plus
 /// the module's pre-lowered program when the threaded backend is
-/// selected. The campaign lowers once and shares the immutable program
-/// across all workers, so lowering cost (and the engine.* metrics
-/// derived from it) is independent of the thread count.
+/// selected and the compiled program when the native backend is. The
+/// campaign lowers/compiles once and shares the immutable program across
+/// all workers, so lowering and host-compile cost (and the engine.*
+/// metrics derived from them) are independent of the thread count.
 struct EngineContext {
   interp::EngineKind kind = interp::EngineKind::Interp;
   std::shared_ptr<const interp::LoweredProgram> program;
+  std::shared_ptr<const interp::NativeProgram> native;
 
   /// Fresh engine over `module` (which must be the module the context
   /// was made for).
@@ -58,6 +61,10 @@ struct SnapshotPlan {
   std::vector<interp::Snapshot> snapshots;
   uint64_t interval = 0;  // dynamic results between captures
   uint64_t bytes = 0;     // retained footprint (sum of Snapshot::bytes)
+  // Native-engine fallback runs taken while recording (snapshot capture
+  // always needs the threaded fallback); folded into the campaign's
+  // engine.native.fallbacks counter.
+  uint64_t fallback_runs = 0;
 
   /// Occurrence campaigns inject into the k-th dynamic occurrence of one
   /// static instruction; the injector counts occurrences from run start,

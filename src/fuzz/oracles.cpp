@@ -163,28 +163,29 @@ unsigned nth_set_bit(uint64_t mask, unsigned index) {
 }
 
 void compare_campaigns(const fi::CampaignResult& interp_result,
-                       const fi::CampaignResult& threaded_result,
-                       CheckResult& out) {
-  if (interp_result.trials.size() != threaded_result.trials.size()) {
+                       const fi::CampaignResult& other_result,
+                       const char* other_name, CheckResult& out) {
+  if (interp_result.trials.size() != other_result.trials.size()) {
     out.divergences.push_back(
         {"engine", fmt("FI campaign size differs across engines: "
-                       "interp=%zu threaded=%zu",
-                       interp_result.trials.size(),
-                       threaded_result.trials.size())});
+                       "interp=%zu %s=%zu",
+                       interp_result.trials.size(), other_name,
+                       other_result.trials.size())});
     return;
   }
   for (size_t i = 0; i < interp_result.trials.size(); ++i) {
     const auto& a = interp_result.trials[i];
-    const auto& b = threaded_result.trials[i];
+    const auto& b = other_result.trials[i];
     if (a.outcome != b.outcome || !(a.target == b.target) ||
         a.bit != b.bit || a.fuel_exhausted != b.fuel_exhausted) {
       out.divergences.push_back(
           {"engine",
            fmt("FI trial %zu differs across engines: interp={%s f%u:i%u "
-               "bit %u} threaded={%s f%u:i%u bit %u}",
+               "bit %u} %s={%s f%u:i%u bit %u}",
                i, fi::fi_outcome_name(a.outcome), a.target.func,
-               a.target.inst, a.bit, fi::fi_outcome_name(b.outcome),
-               b.target.func, b.target.inst, b.bit)});
+               a.target.inst, a.bit, other_name,
+               fi::fi_outcome_name(b.outcome), b.target.func,
+               b.target.inst, b.bit)});
       return;  // one detailed mismatch per campaign is enough to act on
     }
   }
@@ -230,21 +231,23 @@ CheckResult check_module(const ir::Module& module, uint64_t seed,
     out.divergences.push_back({"bits", v});
   }
 
-  // -- Oracle (a), golden half: the threaded engine must reproduce the
-  //    reference run bit for bit.
+  // -- Oracle (a), golden half: every non-reference engine must
+  //    reproduce the reference run bit for bit (all pairs reduce to
+  //    interp-vs-each, since bit-identity is transitive).
   {
-    auto threaded =
-        interp::make_engine(interp::EngineKind::Threaded, module);
     RunOptions plain;
     plain.fuel = kGoldenFuel;
-    const RunResult threaded_golden = threaded->run_main(plain);
     interp::Interpreter plain_interp(module);
     const RunResult interp_golden = plain_interp.run_main(plain);
-    if (const char* field =
-            run_result_diff(interp_golden, threaded_golden)) {
-      out.divergences.push_back(
-          {"engine",
-           fmt("golden run differs across engines in %s", field)});
+    for (const auto kind : interp::all_engine_kinds()) {
+      if (kind == interp::EngineKind::Interp) continue;
+      const RunResult other_golden =
+          interp::make_engine(kind, module)->run_main(plain);
+      if (const char* field = run_result_diff(interp_golden, other_golden)) {
+        out.divergences.push_back(
+            {"engine", fmt("golden run differs interp vs %s in %s",
+                           interp::engine_kind_name(kind), field)});
+      }
     }
   }
 
@@ -322,10 +325,14 @@ CheckResult check_module(const ir::Module& module, uint64_t seed,
   campaign_options.engine = interp::EngineKind::Interp;
   const fi::CampaignResult fi_interp =
       fi::run_overall_campaign(module, profile, campaign_options);
-  campaign_options.engine = interp::EngineKind::Threaded;
-  const fi::CampaignResult fi_threaded =
-      fi::run_overall_campaign(module, profile, campaign_options);
-  compare_campaigns(fi_interp, fi_threaded, out);
+  for (const auto kind : interp::all_engine_kinds()) {
+    if (kind == interp::EngineKind::Interp) continue;
+    campaign_options.engine = kind;
+    const fi::CampaignResult fi_other =
+        fi::run_overall_campaign(module, profile, campaign_options);
+    compare_campaigns(fi_interp, fi_other, interp::engine_kind_name(kind),
+                      out);
+  }
 
   out.fi_trials = fi_interp.total();
   out.fi_sdc = fi_interp.sdc_prob();

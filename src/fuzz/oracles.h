@@ -2,8 +2,10 @@
 //
 // Each generated module is cross-checked along every axis on which this
 // repository makes a hard claim:
-//   (a) engine    — interp vs threaded bit-identity on the golden run
-//                   and on a small FI campaign (docs/ENGINE.md contract);
+//   (a) engine    — bit-identity of every registered backend
+//                   (all_engine_kinds(): threaded, native, ...) against
+//                   the reference interpreter on the golden run and on a
+//                   small FI campaign (docs/ENGINE.md contract);
 //   (b) bits      — known-bits facts must agree with every executed
 //                   value, and flipping a statically non-demanded bit
 //                   must not change the run at all (docs/ANALYSIS.md

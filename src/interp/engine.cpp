@@ -3,6 +3,7 @@
 #include <memory>
 
 #include "interp/interpreter.h"
+#include "interp/native.h"
 #include "interp/threaded.h"
 
 namespace trident::interp {
@@ -13,6 +14,8 @@ const char* engine_kind_name(EngineKind kind) {
       return "interp";
     case EngineKind::Threaded:
       return "threaded";
+    case EngineKind::Native:
+      return "native";
   }
   return "?";
 }
@@ -20,12 +23,19 @@ const char* engine_kind_name(EngineKind kind) {
 std::optional<EngineKind> engine_kind_from_name(std::string_view name) {
   if (name == "interp") return EngineKind::Interp;
   if (name == "threaded") return EngineKind::Threaded;
+  if (name == "native") return EngineKind::Native;
   return std::nullopt;
+}
+
+std::span<const EngineKind> all_engine_kinds() {
+  static constexpr EngineKind kKinds[] = {
+      EngineKind::Interp, EngineKind::Threaded, EngineKind::Native};
+  return kKinds;
 }
 
 std::string engine_kind_names() {
   std::string out;
-  for (const EngineKind kind : {EngineKind::Interp, EngineKind::Threaded}) {
+  for (const EngineKind kind : all_engine_kinds()) {
     if (!out.empty()) out += ", ";
     out += engine_kind_name(kind);
   }
@@ -37,6 +47,8 @@ std::unique_ptr<ExecutionEngine> make_engine(EngineKind kind,
   switch (kind) {
     case EngineKind::Threaded:
       return std::make_unique<ThreadedEngine>(module);
+    case EngineKind::Native:
+      return std::make_unique<NativeEngine>(module);
     case EngineKind::Interp:
       break;
   }

@@ -2,15 +2,17 @@
 //
 // An ExecutionEngine runs an ir::Module and classifies the outcome; the
 // reference implementation is the tree-walking Interpreter
-// (interp/interpreter.h) and the performance implementation is the
-// pre-lowered direct-threaded backend (interp/threaded.h). Every backend
-// honours the same contract (docs/ENGINE.md, "The bit-identity
-// contract"): given the same module, entry, options and hooks, run(),
-// run_main() and resume() return byte-identical RunResults, invoke the
-// ExecHooks callbacks in the same order with the same arguments, and
+// (interp/interpreter.h) and the performance implementations are the
+// pre-lowered direct-threaded backend (interp/threaded.h) and the
+// host-compiled native backend (interp/native.h). Every backend honours
+// the same contract (docs/ENGINE.md, "The bit-identity contract"):
+// given the same module, entry, options and hooks, run(), run_main()
+// and resume() return byte-identical RunResults, invoke the ExecHooks
+// callbacks in the same order with the same arguments, and
 // capture/resume interchangeable Snapshots. FI campaigns and the eval
 // subsystem are therefore engine-agnostic: CampaignOptions::engine (CLI
-// --engine={interp,threaded}) only moves wall-clock, never a result.
+// --engine={interp,threaded,native}) only moves wall-clock, never a
+// result.
 #pragma once
 
 #include <cstdint>
@@ -35,9 +37,13 @@ struct LoweredProgram;
 enum class EngineKind : uint8_t {
   Interp,    // tree-walking reference interpreter
   Threaded,  // pre-lowered direct-threaded dispatch (interp/threaded.h)
+  Native,    // host-compiled machine code (interp/native.h); falls back
+             // to the threaded engine for dense-hook paths and on hosts
+             // without runtime compilation
 };
 
-/// Canonical CLI/JSON name of an engine kind ("interp", "threaded").
+/// Canonical CLI/JSON name of an engine kind ("interp", "threaded",
+/// "native").
 const char* engine_kind_name(EngineKind kind);
 
 /// Inverse of engine_kind_name; nullopt for unknown names (callers list
@@ -47,6 +53,11 @@ std::optional<EngineKind> engine_kind_from_name(std::string_view name);
 /// Comma-separated valid engine names, in EngineKind order — the
 /// standard suffix of every unknown-engine diagnostic.
 std::string engine_kind_names();
+
+/// Every EngineKind, in declaration order. Parity tests and the fuzzer's
+/// engine oracle iterate this so a new backend is automatically held to
+/// the bit-identity contract.
+std::span<const EngineKind> all_engine_kinds();
 
 /// Abstract execution substrate. One engine instance is single-threaded
 /// and reusable across runs (construction materializes the module's

@@ -84,6 +84,16 @@ class ExecHooks {
   /// the threaded engine skip the bookkeeping the others need.
   virtual uint32_t interest() const { return kAll; }
 
+  /// Sparse-result promise for the native backend (interp/native.h).
+  /// A non-negative value declares that on_result is a no-op at every
+  /// dyn_result_index other than the returned one, so compiled code may
+  /// skip the callback everywhere else (it still re-masks committed
+  /// results). The default -1 makes no promise: a kResult hook without a
+  /// watch index (tracers, recorders) forces the native engine to fall
+  /// back to the threaded backend. fi::Injector overrides this with its
+  /// armed dynamic index.
+  virtual int64_t result_watch() const { return -1; }
+
   /// After an instruction computes its result and before it is committed
   /// to the destination register. `dyn_result_index` counts executed
   /// result-producing instructions from 0; mutating `bits` emulates a

@@ -1,0 +1,1145 @@
+#include "interp/native.h"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <limits>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "ir/printer.h"
+#include "support/bits.h"
+#include "support/str.h"
+
+// Runtime compilation needs POSIX process/dl facilities and a host whose
+// byte order matches the interpreter's little-endian memory model (the
+// generated code memcpys raw bytes where the interpreter assembles them).
+#if (defined(__unix__) || defined(__APPLE__)) && defined(__BYTE_ORDER__) && \
+    __BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__
+#define TRIDENT_NATIVE_SUPPORTED 1
+#include <dlfcn.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define TRIDENT_NATIVE_SUPPORTED 0
+#endif
+
+namespace trident::interp {
+
+namespace {
+
+using support::low_mask;
+using support::sign_extend;
+
+// Mirror of the `struct TnCtx` emitted at the top of every generated
+// translation unit. Field order, types and padding must match the C
+// definition in prelude() exactly — the generated code addresses this
+// struct through the ABI, not through a shared header.
+struct TnCtx {
+  void* env = nullptr;
+  uint64_t fuel = 0;
+  uint64_t arm = 0;  // armed dyn_result_index (~0 = no hook installed)
+  uint64_t di = 0;   // dynamic_insts (spilled at every exit/call)
+  uint64_t dr = 0;   // dynamic_results
+  uint64_t rv = 0;   // callee return payload
+  uint64_t asp = 0;  // alloca-stack depth (shim-maintained)
+  uint32_t depth = 0;
+  uint32_t max_depth = 0;
+  int32_t crash_code = 0;  // 1=div0 2=sdiv overflow 3=stack overflow
+  uint32_t pad_ = 0;
+  const uint64_t* gb = nullptr;  // global base addresses
+  // One-segment memory window: [mb, mb+msz) maps to host bytes at mp.
+  // Refreshed by the load/store shims, dropped whenever a segment dies.
+  uint64_t mb = 0;
+  uint64_t msz = 0;
+  uint8_t* mp = nullptr;
+  int (*mem_load)(void*, uint64_t, uint32_t, uint64_t*) = nullptr;
+  int (*mem_store)(void*, uint64_t, uint32_t, uint64_t) = nullptr;
+  int (*memcpy_fn)(void*, uint64_t, uint64_t, uint64_t) = nullptr;
+  uint64_t (*alloca_fn)(void*, uint64_t) = nullptr;
+  void (*ret_free)(void*, uint64_t) = nullptr;
+  uint64_t (*hook_result)(void*, uint32_t, uint32_t, uint64_t,
+                          uint64_t) = nullptr;
+  void (*print_fn)(void*, uint32_t, uint32_t, uint64_t) = nullptr;
+};
+
+// Host-side state the shims operate on; TnCtx::env points here.
+struct TnEnv {
+  Memory& memory;
+  std::vector<uint64_t>& allocas;
+  std::string& pending_crash;
+  const ir::Module& module;
+  RunResult& res;
+  const RunOptions& options;
+  TnCtx* ctx = nullptr;
+};
+
+// Refreshes the generated code's inline memory window around `addr` so
+// subsequent accesses to the same segment skip the shim entirely.
+void refresh_window(TnEnv& e, uint64_t addr) {
+  uint8_t* p = nullptr;
+  const uint64_t avail = e.memory.span(addr, &p);
+  e.ctx->mb = addr;
+  e.ctx->msz = avail;
+  e.ctx->mp = p;
+}
+
+int tn_mem_load(void* envp, uint64_t addr, uint32_t bytes, uint64_t* out) {
+  auto& e = *static_cast<TnEnv*>(envp);
+  uint64_t v = 0;
+  if (!e.memory.load(addr, bytes, v)) {
+    e.pending_crash = support::format(
+        "out-of-bounds load at 0x%llx", static_cast<unsigned long long>(addr));
+    return 0;
+  }
+  *out = v;
+  refresh_window(e, addr);
+  return 1;
+}
+
+int tn_mem_store(void* envp, uint64_t addr, uint32_t bytes, uint64_t value) {
+  auto& e = *static_cast<TnEnv*>(envp);
+  if (!e.memory.store(addr, bytes, value)) {
+    e.pending_crash = support::format(
+        "out-of-bounds store at 0x%llx", static_cast<unsigned long long>(addr));
+    return 0;
+  }
+  refresh_window(e, addr);
+  return 1;
+}
+
+// Bulk copy with the interpreter's exact per-byte semantics (see the
+// Memcpy case in interpreter.cpp): every byte before the first invalid
+// one commits, overlapping dst > src copies replicate the prefix, and
+// the crash carries the reason and address of the first bad byte.
+int tn_memcpy(void* envp, uint64_t dst, uint64_t src, uint64_t n) {
+  auto& e = *static_cast<TnEnv*>(envp);
+  const uint8_t* sp = nullptr;
+  uint8_t* dp = nullptr;
+  const uint64_t s_avail = e.memory.span(src, &sp);
+  const uint64_t d_avail = e.memory.span(dst, &dp);
+  const uint64_t ok = std::min({n, s_avail, d_avail});
+  if (ok != 0) {
+    const bool overlap = dst < src + ok && src < dst + ok;
+    if (!overlap || dst <= src) {
+      std::memmove(dp, sp, ok);
+    } else {
+      for (uint64_t i = 0; i < ok; ++i) dp[i] = sp[i];
+    }
+  }
+  if (ok < n) {
+    if (s_avail == ok) {
+      e.pending_crash = support::format(
+          "out-of-bounds memcpy read at 0x%llx",
+          static_cast<unsigned long long>(src + ok));
+    } else {
+      e.pending_crash = support::format(
+          "out-of-bounds memcpy write at 0x%llx",
+          static_cast<unsigned long long>(dst + ok));
+    }
+    return 0;
+  }
+  return 1;
+}
+
+uint64_t tn_alloca(void* envp, uint64_t size) {
+  auto& e = *static_cast<TnEnv*>(envp);
+  const uint64_t base = e.memory.allocate(size);
+  e.allocas.push_back(base);
+  e.ctx->asp = e.allocas.size();
+  // Memory::span pointers are documented as invalidated by allocate.
+  e.ctx->mp = nullptr;
+  return base;
+}
+
+void tn_ret_free(void* envp, uint64_t mark) {
+  auto& e = *static_cast<TnEnv*>(envp);
+  auto& al = e.allocas;
+  if (al.size() > mark) {
+    for (size_t i = al.size(); i-- > mark;) e.memory.free(al[i]);
+    al.resize(mark);
+    e.ctx->mp = nullptr;  // the window may cover a freed segment
+  }
+  e.ctx->asp = mark;
+}
+
+uint64_t tn_hook_result(void* envp, uint32_t func, uint32_t inst, uint64_t dr,
+                        uint64_t bits) {
+  auto& e = *static_cast<TnEnv*>(envp);
+  e.options.hooks->on_result({func, inst}, dr, bits);
+  return bits;  // the generated code re-masks to the result width
+}
+
+void tn_print(void* envp, uint32_t func, uint32_t inst_id, uint64_t v) {
+  auto& e = *static_cast<TnEnv*>(envp);
+  const auto& f = e.module.functions[func];
+  const auto& inst = f.insts[inst_id];
+  const auto spec = ir::PrintSpec::unpack(inst.imm);
+  const auto t = f.value_type(inst.operands[0]);
+  std::string text;
+  switch (spec.kind) {
+    case ir::PrintSpec::Kind::Int:
+      text = support::format(
+          "%lld\n", static_cast<long long>(sign_extend(v, t.width())));
+      break;
+    case ir::PrintSpec::Kind::Uint:
+      text = support::format("%llu\n", static_cast<unsigned long long>(v));
+      break;
+    case ir::PrintSpec::Kind::Char:
+      text.push_back(static_cast<char>(v & 0xff));
+      break;
+    case ir::PrintSpec::Kind::Float: {
+      const double d =
+          t.width() == 32 ? support::bits_to_f32(v) : support::bits_to_f64(v);
+      text = support::format("%.*g\n", static_cast<int>(spec.precision), d);
+      break;
+    }
+  }
+  (spec.is_output ? e.res.output : e.res.debug_output) += text;
+}
+
+// ---------------------------------------------------------------------------
+// C code generation
+// ---------------------------------------------------------------------------
+
+std::string hex64(uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "0x%llxULL",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+// `expr & low_mask(w)`, elided when the mask is a no-op.
+std::string mask_expr(const std::string& e, unsigned w) {
+  if (w == 0 || w >= 64) return e;
+  return "(" + e + " & " + hex64(low_mask(w)) + ")";
+}
+
+// support::sign_extend(expr, w) as a C expression.
+std::string sx_expr(const std::string& e, unsigned w) {
+  if (w >= 64) return "(int64_t)(" + e + ")";
+  const uint64_t m = 1ULL << (w - 1);
+  return "((int64_t)((((" + e + ") & " + hex64(low_mask(w)) + ") ^ " +
+         hex64(m) + ") - " + hex64(m) + "))";
+}
+
+std::string i64lit(int64_t v) {
+  if (v == std::numeric_limits<int64_t>::min())
+    return "(-9223372036854775807LL - 1)";
+  return std::to_string(v) + "LL";
+}
+
+std::string operand_expr(const ir::Function& f, const ir::Value& v) {
+  switch (v.kind) {
+    case ir::Value::Kind::Inst:
+      return "r" + std::to_string(v.index);
+    case ir::Value::Kind::Arg:
+      return "args[" + std::to_string(v.index) + "]";
+    case ir::Value::Kind::Const:
+      return hex64(f.constants[v.index].raw);
+    case ir::Value::Kind::Global:
+      return "g" + std::to_string(v.index);
+    case ir::Value::Kind::None:
+      break;
+  }
+  return "0ULL";
+}
+
+// Commit of a computed value: the single armed on_result check (the
+// fault-injection point), the post-hook re-mask, the dynamic-result
+// count and the register write, mirroring the interpreter's commit().
+void emit_commit(std::string& o, uint32_t fidx, uint32_t inst_id, unsigned w,
+                 const std::string& expr) {
+  const uint64_t m = w == 0 || w >= 64 ? ~0ULL : low_mask(w);
+  o += "    { uint64_t tv = " + expr + "; TN_COMMIT(" + std::to_string(fidx) +
+       "u, " + std::to_string(inst_id) + "u, & " + hex64(m) + ", tv); r" +
+       std::to_string(inst_id) + " = tv; }\n";
+}
+
+// CFG edge: stage the target block's phi inputs (parallel assignment,
+// like the interpreter's do_phis), then burn fuel and commit each phi,
+// then jump to the first non-phi slot.
+void emit_edge(std::string& o, const ir::Function& f, uint32_t fidx,
+               const LoweredFunction& lf, uint32_t from_block,
+               uint32_t to_block) {
+  const auto& tb = f.blocks[to_block];
+  const uint32_t n_phis = lf.blocks[to_block].n_phis;
+  if (n_phis != 0) {
+    o += "    {\n";
+    for (uint32_t i = 0; i < n_phis; ++i) {
+      const auto& phi = f.insts[tb.insts[i]];
+      std::string v = "0ULL";
+      for (uint32_t k = 0; k < phi.incoming.size(); ++k) {
+        if (phi.incoming[k] == from_block) {
+          v = operand_expr(f, phi.operands[k]);
+          break;
+        }
+      }
+      o += "      uint64_t p" + std::to_string(i) + " = " + v + ";\n";
+    }
+    for (uint32_t i = 0; i < n_phis; ++i) {
+      const uint32_t id = tb.insts[i];
+      const unsigned w = f.insts[id].type.width();
+      const uint64_t m = w == 0 || w >= 64 ? ~0ULL : low_mask(w);
+      o += "      TN_FUEL; TN_COMMIT(" + std::to_string(fidx) + "u, " +
+           std::to_string(id) + "u, & " + hex64(m) + ", p" +
+           std::to_string(i) + "); r" + std::to_string(id) + " = p" +
+           std::to_string(i) + ";\n";
+    }
+    o += "    }\n";
+  }
+  o += "    goto I" + std::to_string(lf.blocks[to_block].entry_ip) + ";\n";
+}
+
+// One instruction at its stream slot: label, fuel, exact interpreter
+// semantics. `cur_block` is the owning block (edge stubs need the
+// branch's source block for phi input selection).
+void emit_inst(std::string& o, const ir::Function& f, uint32_t fidx,
+               const LoweredFunction& lf, uint32_t inst_id,
+               uint32_t cur_block) {
+  const auto& inst = f.insts[inst_id];
+  const unsigned w = inst.type.width();
+  const auto op = [&](size_t i) { return operand_expr(f, inst.operands[i]); };
+  const auto opw_of = [&](size_t i) {
+    return f.value_type(inst.operands[i]).width();
+  };
+  const std::string F = std::to_string(fidx);
+  const std::string I = std::to_string(inst_id);
+
+  switch (inst.op) {
+    case ir::Opcode::Add:
+      emit_commit(o, fidx, inst_id, w, mask_expr("(" + op(0) + " + " + op(1) + ")", w));
+      break;
+    case ir::Opcode::Sub:
+      emit_commit(o, fidx, inst_id, w, mask_expr("(" + op(0) + " - " + op(1) + ")", w));
+      break;
+    case ir::Opcode::Mul:
+      emit_commit(o, fidx, inst_id, w, mask_expr("(" + op(0) + " * " + op(1) + ")", w));
+      break;
+    case ir::Opcode::SDiv:
+    case ir::Opcode::SRem: {
+      o += "    { int64_t a = " + sx_expr(op(0), w) + "; int64_t b = " +
+           sx_expr(op(1), w) + ";\n";
+      o += "      if (b == 0) TN_CRASH(1);\n";
+      o += "      if (a == (-9223372036854775807LL - 1) && b == -1) "
+           "TN_CRASH(2);\n";
+      const char* d = inst.op == ir::Opcode::SDiv ? "/" : "%";
+      emit_commit(o, fidx, inst_id, w,
+                  mask_expr(std::string("(uint64_t)(a ") + d + " b)", w));
+      o += "    }\n";
+      break;
+    }
+    case ir::Opcode::UDiv:
+    case ir::Opcode::URem: {
+      o += "    if ((" + op(1) + ") == 0ULL) TN_CRASH(1);\n";
+      const char* d = inst.op == ir::Opcode::UDiv ? "/" : "%";
+      emit_commit(o, fidx, inst_id, w,
+                  mask_expr("(" + op(0) + " " + d + " " + op(1) + ")", w));
+      break;
+    }
+    case ir::Opcode::And:
+      emit_commit(o, fidx, inst_id, w, "(" + op(0) + " & " + op(1) + ")");
+      break;
+    case ir::Opcode::Or:
+      emit_commit(o, fidx, inst_id, w, "(" + op(0) + " | " + op(1) + ")");
+      break;
+    case ir::Opcode::Xor:
+      emit_commit(o, fidx, inst_id, w, "(" + op(0) + " ^ " + op(1) + ")");
+      break;
+    case ir::Opcode::Shl:
+      emit_commit(o, fidx, inst_id, w,
+                  mask_expr("(" + op(0) + " << ((" + op(1) + ") % " +
+                                std::to_string(w) + "ULL))",
+                            w));
+      break;
+    case ir::Opcode::LShr:
+      emit_commit(o, fidx, inst_id, w,
+                  mask_expr("(" + op(0) + " >> ((" + op(1) + ") % " +
+                                std::to_string(w) + "ULL))",
+                            w));
+      break;
+    case ir::Opcode::AShr:
+      emit_commit(o, fidx, inst_id, w,
+                  mask_expr("((uint64_t)(" + sx_expr(op(0), w) + " >> ((" +
+                                op(1) + ") % " + std::to_string(w) + "ULL)))",
+                            w));
+      break;
+    case ir::Opcode::FAdd:
+    case ir::Opcode::FSub:
+    case ir::Opcode::FMul:
+    case ir::Opcode::FDiv: {
+      const char* d = inst.op == ir::Opcode::FAdd   ? "+"
+                      : inst.op == ir::Opcode::FSub ? "-"
+                      : inst.op == ir::Opcode::FMul ? "*"
+                                                    : "/";
+      if (w == 32) {
+        emit_commit(o, fidx, inst_id, w,
+                    std::string("tn_fb32(tn_bf32(") + op(0) + ") " + d +
+                        " tn_bf32(" + op(1) + "))");
+      } else {
+        emit_commit(o, fidx, inst_id, w,
+                    std::string("tn_fb64(tn_bf64(") + op(0) + ") " + d +
+                        " tn_bf64(" + op(1) + "))");
+      }
+      break;
+    }
+    case ir::Opcode::ICmp: {
+      const unsigned ow = opw_of(0);
+      std::string cond;
+      const std::string ma = mask_expr("(" + op(0) + ")", ow);
+      const std::string mb = mask_expr("(" + op(1) + ")", ow);
+      const std::string sa = sx_expr(op(0), ow);
+      const std::string sb = sx_expr(op(1), ow);
+      switch (inst.pred) {
+        case ir::CmpPred::Eq:  cond = ma + " == " + mb; break;
+        case ir::CmpPred::Ne:  cond = ma + " != " + mb; break;
+        case ir::CmpPred::SLt: cond = sa + " < " + sb; break;
+        case ir::CmpPred::SLe: cond = sa + " <= " + sb; break;
+        case ir::CmpPred::SGt: cond = sa + " > " + sb; break;
+        case ir::CmpPred::SGe: cond = sa + " >= " + sb; break;
+        case ir::CmpPred::ULt: cond = ma + " < " + mb; break;
+        case ir::CmpPred::ULe: cond = ma + " <= " + mb; break;
+        case ir::CmpPred::UGt: cond = ma + " > " + mb; break;
+        case ir::CmpPred::UGe: cond = ma + " >= " + mb; break;
+        case ir::CmpPred::None: cond = "0"; break;
+      }
+      emit_commit(o, fidx, inst_id, w, "((" + cond + ") ? 1ULL : 0ULL)");
+      break;
+    }
+    case ir::Opcode::FCmp: {
+      const unsigned ow = opw_of(0);
+      const std::string fa = ow == 32 ? "(double)tn_bf32(" + op(0) + ")"
+                                      : "tn_bf64(" + op(0) + ")";
+      const std::string fb = ow == 32 ? "(double)tn_bf32(" + op(1) + ")"
+                                      : "tn_bf64(" + op(1) + ")";
+      o += "    { double fa = " + fa + "; double fb = " + fb + ";\n";
+      std::string cond;
+      switch (inst.pred) {
+        case ir::CmpPred::Eq:  cond = "fa == fb"; break;
+        case ir::CmpPred::Ne:  cond = "fa < fb || fa > fb"; break;
+        case ir::CmpPred::SLt: cond = "fa < fb"; break;
+        case ir::CmpPred::SLe: cond = "fa <= fb"; break;
+        case ir::CmpPred::SGt: cond = "fa > fb"; break;
+        case ir::CmpPred::SGe: cond = "fa >= fb"; break;
+        default: cond = "0"; break;  // unordered preds: always false
+      }
+      emit_commit(o, fidx, inst_id, w, "((" + cond + ") ? 1ULL : 0ULL)");
+      o += "    }\n";
+      break;
+    }
+    case ir::Opcode::Trunc:
+    case ir::Opcode::ZExt:
+    case ir::Opcode::Bitcast:
+      emit_commit(o, fidx, inst_id, w, mask_expr("(" + op(0) + ")", w));
+      break;
+    case ir::Opcode::SExt:
+      emit_commit(o, fidx, inst_id, w,
+                  mask_expr("((uint64_t)" + sx_expr(op(0), opw_of(0)) + ")", w));
+      break;
+    case ir::Opcode::FPTrunc:
+      emit_commit(o, fidx, inst_id, w, "tn_fb32((float)tn_bf64(" + op(0) + "))");
+      break;
+    case ir::Opcode::FPExt:
+      emit_commit(o, fidx, inst_id, w, "tn_fb64((double)tn_bf32(" + op(0) + "))");
+      break;
+    case ir::Opcode::FPToSI: {
+      const unsigned ow = opw_of(0);
+      const int64_t lo64 = sign_extend(1ULL << (w - 1), w);
+      const int64_t hi64 = sign_extend(low_mask(w) >> 1, w);
+      o += "    { double v = " +
+           (ow == 32 ? "(double)tn_bf32(" + op(0) + ")"
+                     : "tn_bf64(" + op(0) + ")") +
+           ";\n";
+      o += "      int64_t q = 0;\n";
+      // volatile blocks constant folding of the out-of-range boundary
+      // casts so they convert at run time, exactly like the interpreter.
+      o += "      if (!(v != v)) {\n";
+      o += "        volatile double lo = (double)" + i64lit(lo64) + ";\n";
+      o += "        volatile double hi = (double)" + i64lit(hi64) + ";\n";
+      o += "        q = v <= lo ? (int64_t)lo : v >= hi ? (int64_t)hi : "
+           "(int64_t)v;\n";
+      o += "      }\n";
+      emit_commit(o, fidx, inst_id, w, mask_expr("((uint64_t)q)", w));
+      o += "    }\n";
+      break;
+    }
+    case ir::Opcode::SIToFP: {
+      const unsigned ow = opw_of(0);
+      o += "    { double v = (double)" + sx_expr(op(0), ow) + ";\n";
+      emit_commit(o, fidx, inst_id, w,
+                  w == 32 ? "tn_fb32((float)v)" : "tn_fb64(v)");
+      o += "    }\n";
+      break;
+    }
+    case ir::Opcode::Alloca:
+      emit_commit(o, fidx, inst_id, w,
+                  "c->alloca_fn(c->env, " + hex64(inst.imm) + ")");
+      break;
+    case ir::Opcode::Load: {
+      const unsigned bytes = inst.type.store_size();
+      const std::string ub = "uint" + std::to_string(bytes * 8) + "_t";
+      o += "    { uint64_t a = " + op(0) + "; uint64_t lv;\n";
+      o += "      uint64_t off = a - c->mb;\n";
+      o += "      if (c->mp && off < c->msz && " + std::to_string(bytes) +
+           "ULL <= c->msz - off) {\n";
+      o += "        " + ub + " t; memcpy(&t, c->mp + off, " +
+           std::to_string(bytes) + "); lv = (uint64_t)t;\n";
+      o += "      } else if (!c->mem_load(c->env, a, " +
+           std::to_string(bytes) + "u, &lv)) { TN_SPILL; return 1; }\n";
+      emit_commit(o, fidx, inst_id, w, mask_expr("lv", w));
+      o += "    }\n";
+      break;
+    }
+    case ir::Opcode::Store: {
+      const unsigned bytes = f.value_type(inst.operands[0]).store_size();
+      const std::string ub = "uint" + std::to_string(bytes * 8) + "_t";
+      o += "    { uint64_t a = " + op(1) + "; uint64_t sv = " + op(0) + ";\n";
+      o += "      uint64_t off = a - c->mb;\n";
+      o += "      if (c->mp && off < c->msz && " + std::to_string(bytes) +
+           "ULL <= c->msz - off) {\n";
+      o += "        " + ub + " t = (" + ub + ")sv; memcpy(c->mp + off, &t, " +
+           std::to_string(bytes) + ");\n";
+      o += "      } else if (!c->mem_store(c->env, a, " +
+           std::to_string(bytes) + "u, sv)) { TN_SPILL; return 1; }\n";
+      o += "    }\n";
+      break;
+    }
+    case ir::Opcode::Memcpy:
+      o += "    if (!c->memcpy_fn(c->env, " + op(0) + ", " + op(1) + ", " +
+           hex64(inst.imm) + ")) { TN_SPILL; return 1; }\n";
+      break;
+    case ir::Opcode::Gep: {
+      const unsigned idxw = opw_of(1);
+      emit_commit(o, fidx, inst_id, w,
+                  "(" + op(0) + " + (uint64_t)" + sx_expr(op(1), idxw) +
+                      " * " + hex64(inst.imm) + ")");
+      break;
+    }
+    case ir::Opcode::Br:
+      emit_edge(o, f, fidx, lf, cur_block, inst.succ[0]);
+      break;
+    case ir::Opcode::CondBr:
+      o += "    if ((" + op(0) + ") & 1ULL) {\n";
+      emit_edge(o, f, fidx, lf, cur_block, inst.succ[0]);
+      o += "    } else {\n";
+      emit_edge(o, f, fidx, lf, cur_block, inst.succ[1]);
+      o += "    }\n";
+      break;
+    case ir::Opcode::Ret: {
+      const bool has_allocas =
+          std::any_of(f.insts.begin(), f.insts.end(), [](const auto& in) {
+            return in.op == ir::Opcode::Alloca;
+          });
+      o += "    { uint64_t rv = " +
+           (inst.operands.empty() ? std::string("0ULL") : op(0)) + ";\n";
+      if (has_allocas) o += "      c->ret_free(c->env, amark);\n";
+      o += "      c->rv = rv; TN_SPILL; return 0; }\n";
+      break;
+    }
+    case ir::Opcode::Call: {
+      o += "    if (c->depth >= c->max_depth) TN_CRASH(3);\n";
+      o += "    {\n";
+      const size_t n = inst.operands.size();
+      if (n == 0) {
+        o += "      const uint64_t* cargs = (const uint64_t*)0;\n";
+      } else {
+        o += "      uint64_t cargs[" + std::to_string(n) + "];\n";
+        for (size_t i = 0; i < n; ++i) {
+          o += "      cargs[" + std::to_string(i) + "] = " + op(i) + ";\n";
+        }
+      }
+      o += "      TN_SPILL;\n";
+      o += "      c->depth += 1u;\n";
+      o += "      { int st = tn_f" + std::to_string(inst.callee) +
+           "(c, cargs, 0u, (const uint64_t*)0, c->asp);\n";
+      o += "        c->depth -= 1u;\n";
+      o += "        if (st) return st; }\n";
+      o += "      di = c->di; dr = c->dr;\n";
+      if (inst.has_result()) emit_commit(o, fidx, inst_id, w, "c->rv");
+      o += "    }\n";
+      break;
+    }
+    case ir::Opcode::Phi:
+      // Straight-line phi (entry block / degenerate placement): the
+      // interpreter's main-loop case commits 0.
+      emit_commit(o, fidx, inst_id, w, "0ULL");
+      break;
+    case ir::Opcode::Select:
+      emit_commit(o, fidx, inst_id, w,
+                  "(((" + op(0) + ") & 1ULL) ? " + op(1) + " : " + op(2) + ")");
+      break;
+    case ir::Opcode::Print:
+      o += "    c->print_fn(c->env, " + F + "u, " + I + "u, " + op(0) + ");\n";
+      break;
+    case ir::Opcode::Detect:
+      o += "    if (((" + op(0) + ") & 1ULL) != 0ULL) { TN_SPILL; return 3; "
+           "}\n";
+      break;
+  }
+}
+
+const char* prelude() {
+  return R"(#include <stdint.h>
+#include <string.h>
+
+struct TnCtx {
+  void* env;
+  uint64_t fuel; uint64_t arm; uint64_t di; uint64_t dr; uint64_t rv;
+  uint64_t asp;
+  uint32_t depth; uint32_t max_depth; int32_t crash_code; uint32_t pad_;
+  const uint64_t* gb;
+  uint64_t mb; uint64_t msz; uint8_t* mp;
+  int (*mem_load)(void*, uint64_t, uint32_t, uint64_t*);
+  int (*mem_store)(void*, uint64_t, uint32_t, uint64_t);
+  int (*memcpy_fn)(void*, uint64_t, uint64_t, uint64_t);
+  uint64_t (*alloca_fn)(void*, uint64_t);
+  void (*ret_free)(void*, uint64_t);
+  uint64_t (*hook_result)(void*, uint32_t, uint32_t, uint64_t, uint64_t);
+  void (*print_fn)(void*, uint32_t, uint32_t, uint64_t);
+};
+
+static inline float tn_bf32(uint64_t x) {
+  uint32_t u = (uint32_t)x; float f; memcpy(&f, &u, 4); return f;
+}
+static inline uint64_t tn_fb32(float f) {
+  uint32_t u; memcpy(&u, &f, 4); return (uint64_t)u;
+}
+static inline double tn_bf64(uint64_t x) {
+  double d; memcpy(&d, &x, 8); return d;
+}
+static inline uint64_t tn_fb64(double d) {
+  uint64_t x; memcpy(&x, &d, 8); return x;
+}
+
+#define TN_SPILL do { c->di = di; c->dr = dr; } while (0)
+#define TN_FUEL do { if (++di > fuel) { TN_SPILL; return 2; } } while (0)
+#define TN_CRASH(code) do { c->crash_code = (code); TN_SPILL; return 1; } \
+  while (0)
+#define TN_COMMIT(F, I, M, tv) do { \
+  if (dr == arm) { (tv) = c->hook_result(c->env, (F), (I), dr, (tv)) M; } \
+  dr++; } while (0)
+
+)";
+}
+
+// Emits the whole module as one C translation unit. Layout contract:
+// instruction at (block b, cursor i) lives at linear ip
+// lf.blocks[b].start + i — the same mapping LoweredProgram uses — so the
+// resume driver can enter at any interpreter snapshot boundary via the
+// `start` switch. Leading phis of non-entry blocks own slots but emit no
+// code (edges commit them); the entry block's leading phis (degenerate,
+// verifier-rejected, but the fuzzer may probe them) execute inline
+// exactly like the interpreter's main-loop Phi case.
+std::string generate_c(const ir::Module& m, const LoweredProgram& lp) {
+  std::string o = prelude();
+
+  for (size_t fidx = 0; fidx < m.functions.size(); ++fidx) {
+    o += "static int tn_f" + std::to_string(fidx) +
+         "(struct TnCtx* c, const uint64_t* args, uint32_t start, "
+         "const uint64_t* seed, uint64_t amark);\n";
+  }
+  o += "\n";
+
+  for (uint32_t fidx = 0; fidx < m.functions.size(); ++fidx) {
+    const auto& f = m.functions[fidx];
+    const auto& lf = lp.funcs[fidx];
+    o += "static int tn_f" + std::to_string(fidx) +
+         "(struct TnCtx* c, const uint64_t* args, uint32_t start, "
+         "const uint64_t* seed, uint64_t amark) {\n";
+    o += "  const uint64_t fuel = c->fuel;\n";
+    o += "  const uint64_t arm = c->arm;\n";
+    o += "  uint64_t di = c->di;\n";
+    o += "  uint64_t dr = c->dr;\n";
+    o += "  (void)args; (void)seed; (void)amark;\n";
+
+    // Globals referenced by this function, loaded once.
+    std::vector<bool> used_global(m.globals.size(), false);
+    for (const auto& inst : f.insts) {
+      for (const auto& v : inst.operands) {
+        if (v.is_global()) used_global[v.index] = true;
+      }
+    }
+    for (size_t g = 0; g < used_global.size(); ++g) {
+      if (used_global[g]) {
+        o += "  const uint64_t g" + std::to_string(g) + " = c->gb[" +
+             std::to_string(g) + "];\n";
+      }
+    }
+
+    // One 64-bit local per result register, seeded on resume.
+    std::vector<uint32_t> result_ids;
+    for (uint32_t id = 0; id < f.insts.size(); ++id) {
+      if (f.insts[id].has_result()) result_ids.push_back(id);
+    }
+    for (const uint32_t id : result_ids) {
+      o += "  uint64_t r" + std::to_string(id) + " = 0;\n";
+    }
+    if (!result_ids.empty()) {
+      o += "  if (seed) {\n";
+      for (const uint32_t id : result_ids) {
+        o += "    r" + std::to_string(id) + " = seed[" + std::to_string(id) +
+             "];\n";
+      }
+      o += "  }\n";
+    }
+
+    // Entry dispatch over every executable slot.
+    o += "  switch (start) {\n";
+    for (uint32_t b = 0; b < f.blocks.size(); ++b) {
+      const auto& lb = lf.blocks[b];
+      const uint32_t first = b == 0 ? 0 : lb.n_phis;
+      for (uint32_t i = first; i < f.blocks[b].insts.size(); ++i) {
+        const uint32_t ip = lb.start + i;
+        o += "    case " + std::to_string(ip) + "u: goto I" +
+             std::to_string(ip) + ";\n";
+      }
+    }
+    o += "    default: TN_SPILL; return 4;\n";
+    o += "  }\n";
+
+    for (uint32_t b = 0; b < f.blocks.size(); ++b) {
+      const auto& lb = lf.blocks[b];
+      const uint32_t first = b == 0 ? 0 : lb.n_phis;
+      for (uint32_t i = first; i < f.blocks[b].insts.size(); ++i) {
+        const uint32_t ip = lb.start + i;
+        const uint32_t inst_id = f.blocks[b].insts[i];
+        o += "  I" + std::to_string(ip) + ": ;\n";
+        o += "    TN_FUEL;\n";
+        emit_inst(o, f, fidx, lf, inst_id, b);
+      }
+    }
+    o += "  TN_SPILL; return 4;\n";
+    o += "}\n\n";
+  }
+
+  o += "typedef int (*TnFn)(struct TnCtx*, const uint64_t*, uint32_t, "
+       "const uint64_t*, uint64_t);\n";
+  o += "const TnFn tn_table[] = {";
+  if (m.functions.empty()) {
+    o += " 0";
+  } else {
+    for (size_t fidx = 0; fidx < m.functions.size(); ++fidx) {
+      if (fidx) o += ",";
+      o += " tn_f" + std::to_string(fidx);
+    }
+  }
+  o += " };\n";
+  return o;
+}
+
+void init_ctx(TnCtx& ctx, TnEnv& env, const RunOptions& options,
+              const std::vector<uint64_t>& global_bases, uint32_t depth) {
+  ctx.env = &env;
+  ctx.fuel = options.fuel;
+  // can_serve guarantees result_watch() >= 0 whenever hooks are set; no
+  // hooks means no index ever matches.
+  ctx.arm = options.hooks != nullptr
+                ? static_cast<uint64_t>(options.hooks->result_watch())
+                : ~0ULL;
+  ctx.di = 0;
+  ctx.dr = 0;
+  ctx.rv = 0;
+  ctx.asp = env.allocas.size();
+  ctx.depth = depth;
+  ctx.max_depth = options.max_call_depth;
+  ctx.crash_code = 0;
+  ctx.gb = global_bases.data();
+  ctx.mb = 0;
+  ctx.msz = 0;
+  ctx.mp = nullptr;
+  ctx.mem_load = tn_mem_load;
+  ctx.mem_store = tn_mem_store;
+  ctx.memcpy_fn = tn_memcpy;
+  ctx.alloca_fn = tn_alloca;
+  ctx.ret_free = tn_ret_free;
+  ctx.hook_result = tn_hook_result;
+  ctx.print_fn = tn_print;
+}
+
+void finish_result(RunResult& res, const TnCtx& ctx, int status, bool set_ret,
+                   std::string& pending_crash) {
+  res.dynamic_insts = ctx.di;
+  res.dynamic_results = ctx.dr;
+  switch (status) {
+    case 0:
+      res.outcome = Outcome::Ok;
+      if (set_ret) res.ret_raw = ctx.rv;
+      break;
+    case 1:
+      res.outcome = Outcome::Crash;
+      switch (ctx.crash_code) {
+        case 1: res.crash_reason = "integer division by zero"; break;
+        case 2: res.crash_reason = "signed division overflow"; break;
+        case 3: res.crash_reason = "call stack overflow"; break;
+        default: res.crash_reason = std::move(pending_crash); break;
+      }
+      break;
+    case 2:
+      res.outcome = Outcome::Hang;
+      break;
+    case 3:
+      res.outcome = Outcome::Detected;
+      break;
+    default:
+      res.outcome = Outcome::Crash;
+      res.crash_reason = "native engine internal error";
+      break;
+  }
+}
+
+// One loud notice per process and reason class; every fallback still
+// counts in NativeEngine::fallback_runs() for the manifest.
+void warn_fallback(const NativeProgram& p) {
+  if (!p.available()) {
+    static std::once_flag once;
+    std::call_once(once, [&p] {
+      std::fprintf(stderr,
+                   "trident: --engine native: runtime compilation unavailable "
+                   "(%s); falling back to the threaded engine (results "
+                   "unchanged)\n",
+                   p.error().c_str());
+    });
+  } else {
+    static std::once_flag once;
+    std::call_once(once, [] {
+      std::fprintf(stderr,
+                   "trident: --engine native: run needs dense hooks (tracing, "
+                   "profiling or snapshot recording); falling back to the "
+                   "threaded engine (results unchanged)\n");
+    });
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// NativeProgram
+// ---------------------------------------------------------------------------
+
+std::shared_ptr<const NativeProgram> NativeProgram::build(
+    const ir::Module& module) {
+  static std::mutex mu;
+  static std::map<std::string, std::weak_ptr<const NativeProgram>> cache;
+  static std::deque<std::shared_ptr<const NativeProgram>> recent;
+
+  const std::string key = ir::print_module(module);
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    if (const auto it = cache.find(key); it != cache.end()) {
+      if (auto hit = it->second.lock()) return hit;
+    }
+  }
+
+  // Compile outside the lock: the host compiler run dominates, and two
+  // racing builders at worst duplicate work for distinct keys.
+  std::shared_ptr<NativeProgram> prog(new NativeProgram());
+  prog->compile(module);
+
+  std::lock_guard<std::mutex> lock(mu);
+  if (const auto it = cache.find(key); it != cache.end()) {
+    if (auto hit = it->second.lock()) return hit;  // lost the race
+  }
+  cache[key] = prog;
+  recent.push_back(prog);
+  if (recent.size() > 32) recent.pop_front();
+  if (cache.size() > 256) {
+    for (auto it = cache.begin(); it != cache.end();) {
+      it = it->second.expired() ? cache.erase(it) : std::next(it);
+    }
+  }
+  return prog;
+}
+
+NativeProgram::~NativeProgram() {
+#if TRIDENT_NATIVE_SUPPORTED
+  if (handle_ != nullptr) dlclose(handle_);
+#endif
+}
+
+void NativeProgram::compile(const ir::Module& module) {
+  const auto t0 = std::chrono::steady_clock::now();
+  // The lowered program is always produced: the fallback engine and the
+  // resume ip mapping need it even when compilation is unavailable.
+  lowered_ = LoweredProgram::lower(module);
+  const auto done = [&] {
+    stats_.compile_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+  };
+
+#if !TRIDENT_NATIVE_SUPPORTED
+  error_ = "runtime compilation is not supported on this platform";
+  done();
+#else
+  const std::string src = generate_c(module, *lowered_);
+
+  const char* tmpdir = std::getenv("TMPDIR");
+  std::string dir_templ = std::string(tmpdir && *tmpdir ? tmpdir : "/tmp") +
+                          "/trident-native-XXXXXX";
+  std::vector<char> dirbuf(dir_templ.begin(), dir_templ.end());
+  dirbuf.push_back('\0');
+  if (mkdtemp(dirbuf.data()) == nullptr) {
+    error_ = "mkdtemp failed for native codegen scratch dir";
+    done();
+    return;
+  }
+  const std::string dir = dirbuf.data();
+  const std::string c_path = dir + "/m.c";
+  const std::string so_path = dir + "/m.so";
+  const auto cleanup = [&] {
+    unlink(c_path.c_str());
+    unlink(so_path.c_str());
+    rmdir(dir.c_str());
+  };
+
+  if (FILE* fp = std::fopen(c_path.c_str(), "w")) {
+    const size_t written = std::fwrite(src.data(), 1, src.size(), fp);
+    std::fclose(fp);
+    if (written != src.size()) {
+      error_ = "short write of generated C source";
+      cleanup();
+      done();
+      return;
+    }
+  } else {
+    error_ = "cannot write generated C source";
+    cleanup();
+    done();
+    return;
+  }
+
+  std::vector<std::string> compilers;
+  if (const char* e = std::getenv("TRIDENT_CC"); e != nullptr && *e != '\0') {
+    compilers.push_back(e);
+  }
+  if (const char* e = std::getenv("CC"); e != nullptr && *e != '\0') {
+    compilers.push_back(e);
+  }
+  compilers.push_back("cc");
+  compilers.push_back("gcc");
+  compilers.push_back("clang");
+
+  bool compiled = false;
+  for (const auto& cc : compilers) {
+    const std::string cmd = cc + " -O2 -fPIC -shared -w -o '" + so_path +
+                            "' '" + c_path + "' >/dev/null 2>&1";
+    if (std::system(cmd.c_str()) != 0) continue;
+    struct stat st{};
+    if (stat(so_path.c_str(), &st) == 0 && st.st_size > 0) {
+      stats_.code_bytes = static_cast<uint64_t>(st.st_size);
+      compiled = true;
+      break;
+    }
+  }
+  if (!compiled) {
+    error_ = "no usable host C compiler (tried $TRIDENT_CC, $CC, cc, gcc, "
+             "clang)";
+    cleanup();
+    done();
+    return;
+  }
+
+  handle_ = dlopen(so_path.c_str(), RTLD_NOW | RTLD_LOCAL);
+  if (handle_ == nullptr) {
+    const char* err = dlerror();
+    error_ = std::string("dlopen failed: ") + (err != nullptr ? err : "?");
+    cleanup();
+    done();
+    return;
+  }
+  table_ = reinterpret_cast<const TrialFn*>(dlsym(handle_, "tn_table"));
+  if (table_ == nullptr) {
+    error_ = "generated object has no tn_table symbol";
+    dlclose(handle_);
+    handle_ = nullptr;
+    cleanup();
+    done();
+    return;
+  }
+  stats_.functions = module.functions.size();
+  cleanup();  // the mapping stays alive after unlink on POSIX
+  done();
+#endif
+}
+
+// ---------------------------------------------------------------------------
+// NativeEngine
+// ---------------------------------------------------------------------------
+
+NativeEngine::NativeEngine(const ir::Module& module)
+    : NativeEngine(module, NativeProgram::build(module)) {}
+
+NativeEngine::NativeEngine(const ir::Module& module,
+                           std::shared_ptr<const NativeProgram> program)
+    : module_(module), program_(std::move(program)) {
+  assert(program_ != nullptr);
+  reset_globals();
+}
+
+NativeEngine::~NativeEngine() = default;
+
+// Replica of Interpreter::reset_globals: identical allocation order, so
+// bases, crash addresses and snapshot layouts agree bit for bit.
+void NativeEngine::reset_globals() {
+  memory_.clear();
+  global_bases_.clear();
+  global_bases_.reserve(module_.globals.size());
+  for (const auto& g : module_.globals) {
+    const uint64_t base = memory_.allocate(g.size ? g.size : 1);
+    for (size_t i = 0; i < g.init.size() && i < g.size; ++i) {
+      memory_.store(base + i, 1, g.init[i]);
+    }
+    global_bases_.push_back(base);
+  }
+}
+
+bool NativeEngine::can_serve(const RunOptions& options) const {
+  if (!program_->available()) return false;
+  if (options.snapshots != nullptr) return false;
+  if (options.hooks == nullptr) return true;
+  return (options.hooks->interest() & ~uint32_t{ExecHooks::kResult}) == 0 &&
+         options.hooks->result_watch() >= 0;
+}
+
+ThreadedEngine& NativeEngine::fallback() {
+  if (fallback_ == nullptr) {
+    fallback_ = std::make_unique<ThreadedEngine>(module_, program_->lowered());
+  }
+  return *fallback_;
+}
+
+RunResult NativeEngine::run(uint32_t func_id, std::span<const uint64_t> args,
+                            const RunOptions& options) {
+  if (!can_serve(options)) {
+    warn_fallback(*program_);
+    ++fallback_runs_;
+    last_run_fallback_ = true;
+    return fallback().run(func_id, args, options);
+  }
+  last_run_fallback_ = false;
+  if (!pristine_) reset_globals();
+  pristine_ = false;
+  alloca_stack_.clear();
+  pending_crash_.clear();
+
+  RunResult res;
+  TnCtx ctx;
+  TnEnv env{memory_, alloca_stack_, pending_crash_, module_,
+            res,     options,       &ctx};
+  init_ctx(ctx, env, options, global_bases_, /*depth=*/1);
+
+  std::vector<uint64_t> argv(args.begin(), args.end());
+  const int status = program_->fn(func_id)(
+      &ctx, argv.empty() ? nullptr : argv.data(), 0, nullptr, 0);
+  finish_result(res, ctx, status, /*set_ret=*/true, pending_crash_);
+  return res;
+}
+
+RunResult NativeEngine::run_main(const RunOptions& options) {
+  const auto main_id = module_.find_function("main");
+  assert(main_id && "module has no main function");
+  return run(*main_id, {}, options);
+}
+
+Snapshot NativeEngine::snapshot() const {
+  if (last_run_fallback_ && fallback_ != nullptr) return fallback_->snapshot();
+  Snapshot s;
+  s.memory = memory_;
+  s.global_bases = global_bases_;
+  return s;
+}
+
+const Memory& NativeEngine::memory() const {
+  if (last_run_fallback_ && fallback_ != nullptr) return fallback_->memory();
+  return memory_;
+}
+
+RunResult NativeEngine::resume(const Snapshot& s, const RunOptions& options) {
+  if (!can_serve(options)) {
+    warn_fallback(*program_);
+    ++fallback_runs_;
+    last_run_fallback_ = true;
+    return fallback().resume(s, options);
+  }
+  last_run_fallback_ = false;
+
+  RunResult res;
+  res.dynamic_insts = s.dyn_insts;
+  res.dynamic_results = s.dyn_results;
+  res.output = s.output;
+  res.debug_output = s.debug_output;
+  memory_ = s.memory;  // copy-assign keeps this object's cache stats
+  global_bases_ = s.global_bases;
+  pristine_ = false;
+  pending_crash_.clear();
+
+  std::vector<Frame> stack = s.stack;
+  if (stack.empty()) return res;
+
+  // Rebuild the flat alloca stack (outermost frame first) and record
+  // each frame's watermark: a frame's Ret frees back to its own mark.
+  alloca_stack_.clear();
+  std::vector<uint64_t> marks(stack.size(), 0);
+  for (size_t i = 0; i < stack.size(); ++i) {
+    marks[i] = alloca_stack_.size();
+    alloca_stack_.insert(alloca_stack_.end(), stack[i].allocas.begin(),
+                         stack[i].allocas.end());
+  }
+
+  TnCtx ctx;
+  TnEnv env{memory_, alloca_stack_, pending_crash_, module_,
+            res,     options,       &ctx};
+  init_ctx(ctx, env, options, global_bases_,
+           static_cast<uint32_t>(stack.size()));
+  ctx.di = s.dyn_insts;
+  ctx.dr = s.dyn_results;
+
+  // Run the innermost frame to completion, then unwind: commit its
+  // return value into the caller (replicating the interpreter's Ret
+  // path) and continue the caller from its saved (block, cursor).
+  const auto& lp = *program_->lowered();
+  auto* hooks = options.hooks;
+  for (size_t i = stack.size(); i-- > 0;) {
+    Frame& fr = stack[i];
+    ctx.depth = static_cast<uint32_t>(i + 1);
+    const uint32_t ip = lp.funcs[fr.func].blocks[fr.block].start + fr.cursor;
+    const int status = program_->fn(fr.func)(
+        &ctx, fr.args.empty() ? nullptr : fr.args.data(), ip, fr.regs.data(),
+        marks[i]);
+    if (status != 0) {
+      finish_result(res, ctx, status, /*set_ret=*/false, pending_crash_);
+      return res;
+    }
+    if (i == 0) {
+      finish_result(res, ctx, 0, /*set_ret=*/true, pending_crash_);
+      return res;
+    }
+    Frame& caller = stack[i - 1];
+    const uint32_t ret_to = fr.ret_to_inst;
+    if (ret_to != ir::kNoBlock) {
+      const auto& cinst = module_.functions[caller.func].insts[ret_to];
+      if (cinst.has_result()) {
+        uint64_t bits = ctx.rv;
+        if (hooks != nullptr) {
+          if (ctx.dr == ctx.arm) {
+            hooks->on_result({caller.func, ret_to}, ctx.dr, bits);
+          }
+          const unsigned w = cinst.type.width();
+          if (w != 0) bits &= low_mask(w);
+        }
+        ++ctx.dr;
+        caller.regs[ret_to] = bits;
+      }
+    }
+  }
+  return res;  // unreachable: the loop exits through frame 0
+}
+
+}  // namespace trident::interp

@@ -1,0 +1,146 @@
+// Native-code execution backend: host-compiled FI trials.
+//
+// The direct-threaded engine (interp/threaded.h) removed the per-
+// instruction decode cost but still pays one dispatch per dynamic
+// instruction. This backend removes the dispatch too: each ir::Function
+// is translated once into plain C (registers become C locals, operands
+// and widths become compile-time constants, blocks become labels), the
+// whole module is compiled by the host C compiler into a shared object,
+// and trials call the resulting machine code directly.
+//
+//   codegen   one C translation unit per module; every result register
+//             is a 64-bit local, constants/widths/masks are literals,
+//             phi edges become staged-assignment stubs on each CFG edge;
+//   compile   $TRIDENT_CC / $CC / cc / gcc / clang, -O2 -fPIC -shared,
+//             into a temp dir that is removed after dlopen;
+//   link      dlopen(RTLD_NOW|RTLD_LOCAL) + one dlsym of the emitted
+//             per-function entry table;
+//   cache     compiled programs are cached process-wide by printed IR,
+//             so campaigns, tests and the fuzzer compile each module
+//             once no matter how many engines they construct.
+//
+// The bit-identity contract (docs/ENGINE.md) holds exactly: per-
+// instruction fuel accounting, crash strings with faulting addresses,
+// Outcome classification, dynamic counters and output streams match the
+// reference interpreter byte for byte. The compiled code counts every
+// dynamic result and arms a single injection check per trial: an
+// ExecHooks whose interest() is kResult and whose result_watch() names
+// one dynamic-result index (fi::Injector in DynIndex mode) runs at full
+// native speed; everything denser — per-inst tracing, snapshot
+// recording, profiling, occurrence-mode injectors — transparently falls
+// back to an embedded ThreadedEngine sharing this module's lowered
+// program (one loud stderr notice per process; results are unchanged,
+// and the manifest counts the fallback runs). Hosts without runtime
+// compilation (no usable compiler, non-POSIX, big-endian) make the
+// whole program unavailable and every run falls back, which is what
+// lets --engine native stay green on minimal images.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "interp/engine.h"
+#include "interp/interpreter.h"
+#include "interp/threaded.h"
+
+namespace trident::interp {
+
+/// Codegen/compile observability, reported as engine.native.* manifest
+/// counters by FI campaigns.
+struct NativeStats {
+  double compile_ms = 0;    // codegen + host compile + dlopen wall time
+  uint64_t functions = 0;   // compiled ir::Functions (0 when unavailable)
+  uint64_t code_bytes = 0;  // size of the produced shared object
+};
+
+/// One module compiled to host machine code, plus the shared lowered
+/// program the fallback engine and the snapshot ip mapping reuse.
+/// Immutable after build(); safe to share across worker threads (the
+/// generated code keeps all run state in a per-call context).
+class NativeProgram {
+ public:
+  using TrialFn = int (*)(void* ctx, const uint64_t* args, uint32_t start,
+                          const uint64_t* seed, uint64_t alloca_mark);
+
+  /// Compiles `module`, hitting the process-wide cache keyed by printed
+  /// IR. Never fails hard: when the host cannot runtime-compile, the
+  /// returned program reports available() == false and error() says why.
+  static std::shared_ptr<const NativeProgram> build(const ir::Module& module);
+
+  ~NativeProgram();
+  NativeProgram(const NativeProgram&) = delete;
+  NativeProgram& operator=(const NativeProgram&) = delete;
+
+  bool available() const { return handle_ != nullptr; }
+  const std::string& error() const { return error_; }
+  const NativeStats& stats() const { return stats_; }
+  TrialFn fn(uint32_t func_id) const { return table_[func_id]; }
+
+  /// The module's lowered program: the fallback ThreadedEngine shares
+  /// it, and its per-block stream offsets define the (block, cursor) ->
+  /// linear-ip mapping the generated entry switches use for resume.
+  const std::shared_ptr<const LoweredProgram>& lowered() const {
+    return lowered_;
+  }
+
+ private:
+  NativeProgram() = default;
+
+  /// Codegen + host compile + dlopen; on any failure leaves the program
+  /// unavailable with error_ set (and lowered_ still usable).
+  void compile(const ir::Module& module);
+
+  std::shared_ptr<const LoweredProgram> lowered_;
+  void* handle_ = nullptr;        // dlopen handle, closed in the dtor
+  const TrialFn* table_ = nullptr;  // dlsym'd per-function entry table
+  std::string error_;
+  NativeStats stats_;
+};
+
+/// ExecutionEngine over a NativeProgram. Single-threaded and reusable
+/// across runs like every backend; construction materializes globals
+/// with the interpreter's exact allocation order so crash addresses and
+/// snapshot layouts agree bit for bit.
+class NativeEngine final : public ExecutionEngine {
+ public:
+  explicit NativeEngine(const ir::Module& module);
+  NativeEngine(const ir::Module& module,
+               std::shared_ptr<const NativeProgram> program);
+  ~NativeEngine() override;
+
+  RunResult run(uint32_t func_id, std::span<const uint64_t> args,
+                const RunOptions& options) override;
+  RunResult run_main(const RunOptions& options = {}) override;
+  Snapshot snapshot() const override;
+  RunResult resume(const Snapshot& s, const RunOptions& options) override;
+  const Memory& memory() const override;
+  EngineKind kind() const override { return EngineKind::Native; }
+
+  const NativeProgram& program() const { return *program_; }
+  /// Runs/resumes this engine delegated to the embedded threaded engine
+  /// (dense hooks, snapshot recording, or an unavailable program).
+  uint64_t fallback_runs() const { return fallback_runs_; }
+
+ private:
+  /// Whether the compiled fast path can serve these options: no
+  /// snapshot recording, and hooks absent or kResult-only with a
+  /// result_watch() promise (see ExecHooks::result_watch).
+  bool can_serve(const RunOptions& options) const;
+  ThreadedEngine& fallback();
+  void reset_globals();
+
+  const ir::Module& module_;
+  std::shared_ptr<const NativeProgram> program_;
+  Memory memory_;
+  std::vector<uint64_t> global_bases_;
+  std::vector<uint64_t> alloca_stack_;
+  bool pristine_ = true;
+  bool last_run_fallback_ = false;
+  uint64_t fallback_runs_ = 0;
+  std::unique_ptr<ThreadedEngine> fallback_;
+  std::string pending_crash_;  // set by memory shims (address-bearing)
+};
+
+}  // namespace trident::interp

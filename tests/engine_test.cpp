@@ -1,11 +1,14 @@
-// Execution-engine parity suite: the direct-threaded backend
-// (interp/threaded.h) must be bit-identical to the reference
-// Interpreter — same RunResults, same hook call order and arguments,
-// same crash messages and fuel accounting, interchangeable snapshots,
-// identical FI campaigns at any thread count — across every bundled
-// workload. Also unit-tests the lowering itself (slot layout,
-// jump-target fixup, superinstruction fusion). docs/ENGINE.md states
-// the contract this file enforces.
+// Execution-engine parity suite: every registered backend (the
+// direct-threaded engine of interp/threaded.h, the native-code engine
+// of interp/native.h, and whatever all_engine_kinds() grows next) must
+// be bit-identical to the reference Interpreter — same RunResults, same
+// hook call order and arguments, same crash messages and fuel
+// accounting, interchangeable snapshots, identical FI campaigns at any
+// thread count — across every bundled workload. The suite iterates
+// all_engine_kinds() rather than naming backends, so adding an
+// EngineKind automatically enrolls it here. Also unit-tests the
+// lowering itself (slot layout, jump-target fixup, superinstruction
+// fusion). docs/ENGINE.md states the contract this file enforces.
 #include <gtest/gtest.h>
 
 #include <fstream>
@@ -30,6 +33,15 @@ using ir::IRBuilder;
 using ir::Module;
 using ir::Type;
 using ir::Value;
+
+// Every backend that must match the reference interpreter bit for bit.
+std::vector<interp::EngineKind> nonreference_kinds() {
+  std::vector<interp::EngineKind> kinds;
+  for (const auto kind : interp::all_engine_kinds()) {
+    if (kind != interp::EngineKind::Interp) kinds.push_back(kind);
+  }
+  return kinds;
+}
 
 void expect_same_run(const interp::RunResult& a, const interp::RunResult& b) {
   EXPECT_EQ(a.outcome, b.outcome);
@@ -105,28 +117,32 @@ TEST(EngineKind, NamesRoundTrip) {
                "interp");
   EXPECT_STREQ(interp::engine_kind_name(interp::EngineKind::Threaded),
                "threaded");
-  EXPECT_EQ(interp::engine_kind_from_name("interp"),
-            interp::EngineKind::Interp);
-  EXPECT_EQ(interp::engine_kind_from_name("threaded"),
-            interp::EngineKind::Threaded);
+  EXPECT_STREQ(interp::engine_kind_name(interp::EngineKind::Native),
+               "native");
+  // Every kind round-trips through its name.
+  for (const auto kind : interp::all_engine_kinds()) {
+    EXPECT_EQ(interp::engine_kind_from_name(interp::engine_kind_name(kind)),
+              kind);
+  }
   EXPECT_FALSE(interp::engine_kind_from_name("Interp").has_value());
   EXPECT_FALSE(interp::engine_kind_from_name("").has_value());
   EXPECT_FALSE(interp::engine_kind_from_name("jit").has_value());
   // The diagnostic suffix lists every valid choice.
   const std::string names = interp::engine_kind_names();
-  EXPECT_NE(names.find("interp"), std::string::npos);
-  EXPECT_NE(names.find("threaded"), std::string::npos);
+  for (const auto kind : interp::all_engine_kinds()) {
+    EXPECT_NE(names.find(interp::engine_kind_name(kind)), std::string::npos);
+  }
 }
 
 TEST(EngineKind, FactoryBuildsTheRequestedBackend) {
   const auto m = make_stateful();
-  const auto a = interp::make_engine(interp::EngineKind::Interp, m);
-  const auto b = interp::make_engine(interp::EngineKind::Threaded, m);
-  EXPECT_EQ(a->kind(), interp::EngineKind::Interp);
-  EXPECT_EQ(b->kind(), interp::EngineKind::Threaded);
-  EXPECT_STREQ(a->name(), "interp");
-  EXPECT_STREQ(b->name(), "threaded");
-  expect_same_run(a->run_main({}), b->run_main({}));
+  const auto reference = interp::Interpreter(m).run_main({});
+  for (const auto kind : interp::all_engine_kinds()) {
+    const auto engine = interp::make_engine(kind, m);
+    EXPECT_EQ(engine->kind(), kind);
+    EXPECT_STREQ(engine->name(), interp::engine_kind_name(kind));
+    expect_same_run(engine->run_main({}), reference);
+  }
 }
 
 // ---- Lowering unit tests -----------------------------------------------
@@ -255,10 +271,12 @@ TEST(EngineParity, GoldenRunsMatchOnAllWorkloads) {
   for (const auto& w : workloads::all_workloads()) {
     const auto m = w.build();
     interp::Interpreter interp(m);
-    interp::ThreadedEngine threaded(m);
-    expect_same_run(interp.run_main({}), threaded.run_main({}));
-    // Dirty re-run: reset semantics must match too.
-    expect_same_run(interp.run_main({}), threaded.run_main({}));
+    for (const auto kind : nonreference_kinds()) {
+      const auto engine = interp::make_engine(kind, m);
+      expect_same_run(interp.run_main({}), engine->run_main({}));
+      // Dirty re-run: reset semantics must match too.
+      expect_same_run(interp.run_main({}), engine->run_main({}));
+    }
   }
 }
 
@@ -273,13 +291,15 @@ TEST(EngineParity, CampaignsMatchOnAllWorkloadsAndThreadCounts) {
     options.max_snapshots = 16;
     const auto reference = fi::run_overall_campaign(m, profile, options);
 
-    options.engine = interp::EngineKind::Threaded;
-    const auto threaded1 = fi::run_overall_campaign(m, profile, options);
-    expect_identical(threaded1, reference);
-
-    options.threads = 8;
-    const auto threaded8 = fi::run_overall_campaign(m, profile, options);
-    expect_identical(threaded8, reference);
+    for (const auto kind : nonreference_kinds()) {
+      options.engine = kind;
+      options.threads = 1;
+      expect_identical(fi::run_overall_campaign(m, profile, options),
+                       reference);
+      options.threads = 8;
+      expect_identical(fi::run_overall_campaign(m, profile, options),
+                       reference);
+    }
   }
 }
 
@@ -337,15 +357,22 @@ class TraceHooks final : public interp::ExecHooks {
 
 TEST(EngineParity, FullInterestMutatingHooksTraceIdentically) {
   const auto m = make_stateful();
-  TraceHooks interp_hooks, threaded_hooks;
-  interp::RunOptions a, b;
+  TraceHooks interp_hooks;
+  interp::RunOptions a;
   a.hooks = &interp_hooks;
-  b.hooks = &threaded_hooks;
   const auto ra = interp::Interpreter(m).run_main(a);
-  const auto rb = interp::ThreadedEngine(m).run_main(b);
-  expect_same_run(ra, rb);
   ASSERT_FALSE(interp_hooks.trace().empty());
-  EXPECT_EQ(interp_hooks.trace(), threaded_hooks.trace());
+  // Dense hooks force the native engine onto its fallback path; the
+  // trace must be bit-identical either way.
+  for (const auto kind : nonreference_kinds()) {
+    TraceHooks hooks;
+    interp::RunOptions b;
+    b.hooks = &hooks;
+    const auto rb = interp::make_engine(kind, m)->run_main(b);
+    expect_same_run(ra, rb);
+    EXPECT_EQ(interp_hooks.trace(), hooks.trace())
+        << "engine " << interp::engine_kind_name(kind);
+  }
 }
 
 // ---- Crash / hang parity ----------------------------------------------
@@ -361,9 +388,10 @@ TEST(EngineParity, CrashReasonsMatchExactly) {
     b.ret();
     b.end_function();
     const auto ra = interp::Interpreter(m).run_main({});
-    const auto rb = interp::ThreadedEngine(m).run_main({});
     ASSERT_EQ(ra.outcome, interp::Outcome::Crash);
-    expect_same_run(ra, rb);
+    for (const auto kind : nonreference_kinds()) {
+      expect_same_run(ra, interp::make_engine(kind, m)->run_main({}));
+    }
   }
   // Out-of-bounds load: the crash message embeds the faulting address,
   // so parity here also checks address-space layout parity.
@@ -378,10 +406,11 @@ TEST(EngineParity, CrashReasonsMatchExactly) {
     b.ret();
     b.end_function();
     const auto ra = interp::Interpreter(m).run_main({});
-    const auto rb = interp::ThreadedEngine(m).run_main({});
     ASSERT_EQ(ra.outcome, interp::Outcome::Crash);
     EXPECT_NE(ra.crash_reason.find("out-of-bounds load"), std::string::npos);
-    expect_same_run(ra, rb);
+    for (const auto kind : nonreference_kinds()) {
+      expect_same_run(ra, interp::make_engine(kind, m)->run_main({}));
+    }
   }
 }
 
@@ -391,9 +420,10 @@ TEST(EngineParity, HangFuelAccountingMatches) {
     interp::RunOptions options;
     options.fuel = fuel;
     const auto ra = interp::Interpreter(m).run_main(options);
-    const auto rb = interp::ThreadedEngine(m).run_main(options);
     ASSERT_EQ(ra.outcome, interp::Outcome::Hang) << "fuel " << fuel;
-    expect_same_run(ra, rb);
+    for (const auto kind : nonreference_kinds()) {
+      expect_same_run(ra, interp::make_engine(kind, m)->run_main(options));
+    }
   }
 }
 
@@ -404,8 +434,7 @@ TEST(EngineParity, SnapshotsRecordedOnEitherEngineResumeOnTheOther) {
   const auto reference = interp::Interpreter(m).run_main({});
   ASSERT_EQ(reference.outcome, interp::Outcome::Ok);
 
-  for (const auto recorder_kind :
-       {interp::EngineKind::Interp, interp::EngineKind::Threaded}) {
+  for (const auto recorder_kind : interp::all_engine_kinds()) {
     std::vector<interp::Snapshot> snapshots;
     interp::RunOptions recording;
     recording.snapshot_interval = 17;
@@ -414,12 +443,15 @@ TEST(EngineParity, SnapshotsRecordedOnEitherEngineResumeOnTheOther) {
     expect_same_run(rec->run_main(recording), reference);
     ASSERT_GT(snapshots.size(), 3u);
 
-    // Every captured boundary resumes bit-identically on both backends.
-    interp::Interpreter interp_resumer(m);
-    interp::ThreadedEngine threaded_resumer(m);
+    // Every captured boundary resumes bit-identically on every backend.
+    std::vector<std::unique_ptr<interp::ExecutionEngine>> resumers;
+    for (const auto kind : interp::all_engine_kinds()) {
+      resumers.push_back(interp::make_engine(kind, m));
+    }
     for (const auto& s : snapshots) {
-      expect_same_run(interp_resumer.resume(s, {}), reference);
-      expect_same_run(threaded_resumer.resume(s, {}), reference);
+      for (const auto& resumer : resumers) {
+        expect_same_run(resumer->resume(s, {}), reference);
+      }
     }
   }
 }
@@ -427,14 +459,15 @@ TEST(EngineParity, SnapshotsRecordedOnEitherEngineResumeOnTheOther) {
 TEST(EngineParity, PristineSnapshotsMatchAcrossEngines) {
   const auto m = make_stateful();
   interp::Interpreter interp(m);
-  interp::ThreadedEngine threaded(m);
   const auto a = interp.snapshot();
-  const auto b = threaded.snapshot();
-  EXPECT_EQ(a.dyn_insts, b.dyn_insts);
-  EXPECT_EQ(a.dyn_results, b.dyn_results);
-  EXPECT_EQ(a.stack.size(), b.stack.size());
-  EXPECT_EQ(a.global_bases, b.global_bases);
-  EXPECT_EQ(a.memory.bytes_live(), b.memory.bytes_live());
+  for (const auto kind : nonreference_kinds()) {
+    const auto b = interp::make_engine(kind, m)->snapshot();
+    EXPECT_EQ(a.dyn_insts, b.dyn_insts);
+    EXPECT_EQ(a.dyn_results, b.dyn_results);
+    EXPECT_EQ(a.stack.size(), b.stack.size());
+    EXPECT_EQ(a.global_bases, b.global_bases);
+    EXPECT_EQ(a.memory.bytes_live(), b.memory.bytes_live());
+  }
 }
 
 TEST(EngineParity, SnapshotPlansAreFieldIdentical) {
@@ -455,39 +488,46 @@ TEST(EngineParity, SnapshotPlansAreFieldIdentical) {
   }
   ASSERT_GT(best, 10u);
 
+  const auto expect_same_plan = [](const fi::SnapshotPlan& plan_i,
+                                   const fi::SnapshotPlan& plan_t) {
+    EXPECT_EQ(plan_i.interval, plan_t.interval);
+    EXPECT_EQ(plan_i.bytes, plan_t.bytes);
+    EXPECT_EQ(plan_i.occurrence_dyn_index, plan_t.occurrence_dyn_index);
+    ASSERT_EQ(plan_i.snapshots.size(), plan_t.snapshots.size());
+    ASSERT_GT(plan_i.snapshots.size(), 0u);
+    for (size_t k = 0; k < plan_i.snapshots.size(); ++k) {
+      const auto& si = plan_i.snapshots[k];
+      const auto& st = plan_t.snapshots[k];
+      EXPECT_EQ(si.dyn_insts, st.dyn_insts) << "snapshot " << k;
+      EXPECT_EQ(si.dyn_results, st.dyn_results) << "snapshot " << k;
+      EXPECT_EQ(si.output, st.output) << "snapshot " << k;
+      EXPECT_EQ(si.debug_output, st.debug_output) << "snapshot " << k;
+      EXPECT_EQ(si.global_bases, st.global_bases) << "snapshot " << k;
+      ASSERT_EQ(si.stack.size(), st.stack.size()) << "snapshot " << k;
+      for (size_t f = 0; f < si.stack.size(); ++f) {
+        const auto& fi_ = si.stack[f];
+        const auto& ft = st.stack[f];
+        EXPECT_EQ(fi_.func, ft.func);
+        EXPECT_EQ(fi_.block, ft.block);
+        EXPECT_EQ(fi_.prev_block, ft.prev_block);
+        EXPECT_EQ(fi_.cursor, ft.cursor);
+        EXPECT_EQ(fi_.regs, ft.regs);
+        EXPECT_EQ(fi_.args, ft.args);
+        EXPECT_EQ(fi_.allocas, ft.allocas);
+        EXPECT_EQ(fi_.ret_to_inst, ft.ret_to_inst);
+      }
+    }
+  };
+
   const auto plan_i = fi::build_snapshot_plan(
       m, profile.total_results, fuel, ir::kNoFunc, 16, 256ull << 20, target,
       fi::make_engine_context(m, interp::EngineKind::Interp));
-  const auto plan_t = fi::build_snapshot_plan(
-      m, profile.total_results, fuel, ir::kNoFunc, 16, 256ull << 20, target,
-      fi::make_engine_context(m, interp::EngineKind::Threaded));
-
-  EXPECT_EQ(plan_i.interval, plan_t.interval);
-  EXPECT_EQ(plan_i.bytes, plan_t.bytes);
-  EXPECT_EQ(plan_i.occurrence_dyn_index, plan_t.occurrence_dyn_index);
-  ASSERT_EQ(plan_i.snapshots.size(), plan_t.snapshots.size());
-  ASSERT_GT(plan_i.snapshots.size(), 0u);
-  for (size_t k = 0; k < plan_i.snapshots.size(); ++k) {
-    const auto& si = plan_i.snapshots[k];
-    const auto& st = plan_t.snapshots[k];
-    EXPECT_EQ(si.dyn_insts, st.dyn_insts) << "snapshot " << k;
-    EXPECT_EQ(si.dyn_results, st.dyn_results) << "snapshot " << k;
-    EXPECT_EQ(si.output, st.output) << "snapshot " << k;
-    EXPECT_EQ(si.debug_output, st.debug_output) << "snapshot " << k;
-    EXPECT_EQ(si.global_bases, st.global_bases) << "snapshot " << k;
-    ASSERT_EQ(si.stack.size(), st.stack.size()) << "snapshot " << k;
-    for (size_t f = 0; f < si.stack.size(); ++f) {
-      const auto& fi_ = si.stack[f];
-      const auto& ft = st.stack[f];
-      EXPECT_EQ(fi_.func, ft.func);
-      EXPECT_EQ(fi_.block, ft.block);
-      EXPECT_EQ(fi_.prev_block, ft.prev_block);
-      EXPECT_EQ(fi_.cursor, ft.cursor);
-      EXPECT_EQ(fi_.regs, ft.regs);
-      EXPECT_EQ(fi_.args, ft.args);
-      EXPECT_EQ(fi_.allocas, ft.allocas);
-      EXPECT_EQ(fi_.ret_to_inst, ft.ret_to_inst);
-    }
+  for (const auto kind : nonreference_kinds()) {
+    SCOPED_TRACE(interp::engine_kind_name(kind));
+    const auto plan_t = fi::build_snapshot_plan(
+        m, profile.total_results, fuel, ir::kNoFunc, 16, 256ull << 20,
+        target, fi::make_engine_context(m, kind));
+    expect_same_plan(plan_i, plan_t);
   }
 }
 
@@ -510,11 +550,14 @@ TEST(EngineParity, CheckpointWrittenByOneEngineResumesOnTheOther) {
   base.max_snapshots = 0;
   const auto reference = fi::run_overall_campaign(m, profile, base);
 
-  for (const auto first_kind :
-       {interp::EngineKind::Interp, interp::EngineKind::Threaded}) {
-    const auto second_kind = first_kind == interp::EngineKind::Interp
-                                 ? interp::EngineKind::Threaded
-                                 : interp::EngineKind::Interp;
+  // Every ordered pair of distinct backends: checkpoints are engine-free,
+  // so a campaign killed under one engine must resume bit-identically
+  // under any other.
+  for (const auto first_kind : interp::all_engine_kinds()) {
+  for (const auto second_kind : interp::all_engine_kinds()) {
+    if (first_kind == second_kind) continue;
+    SCOPED_TRACE(std::string(interp::engine_kind_name(first_kind)) + " -> " +
+                 interp::engine_kind_name(second_kind));
     // Full checkpointed run under the first engine, "killed" after 23
     // trials by truncating the log.
     const std::string full = tmp_path("engine_ckpt_full.jsonl");
@@ -544,6 +587,7 @@ TEST(EngineParity, CheckpointWrittenByOneEngineResumesOnTheOther) {
     EXPECT_EQ(merged.resumed, 23u);
     expect_identical(merged, reference);
   }
+  }
 }
 
 TEST(EngineParity, PerInstructionCampaignsMatch) {
@@ -568,11 +612,14 @@ TEST(EngineParity, PerInstructionCampaignsMatch) {
   options.max_snapshots = 16;
   const auto reference = fi::run_instruction_campaign(m, profile, target,
                                                       options);
-  options.engine = interp::EngineKind::Threaded;
-  for (const uint32_t threads : {1u, 8u}) {
-    options.threads = threads;
-    expect_identical(
-        fi::run_instruction_campaign(m, profile, target, options), reference);
+  for (const auto kind : nonreference_kinds()) {
+    options.engine = kind;
+    for (const uint32_t threads : {1u, 8u}) {
+      options.threads = threads;
+      expect_identical(
+          fi::run_instruction_campaign(m, profile, target, options),
+          reference);
+    }
   }
 }
 
@@ -616,6 +663,36 @@ TEST(EngineMetrics, ExportedOncePerCampaignAndThreadInvariant) {
   const auto program = interp::LoweredProgram::lower(m);
   EXPECT_EQ(lowered[0], program->lowered_insts);
   EXPECT_EQ(fused[0], program->superinstructions);
+
+  // Native backend: compile metrics are internally consistent whether or
+  // not this host can runtime-compile, and thread-count invariant (the
+  // campaign compiles once, not per worker).
+  options.engine = interp::EngineKind::Native;
+  uint64_t nfuncs[2], nbytes[2];
+  for (int i = 0; i < 2; ++i) {
+    obs::Registry metrics;
+    options.threads = i == 0 ? 1 : 8;
+    options.metrics = &metrics;
+    fi::run_overall_campaign(m, profile, options);
+    EXPECT_EQ(metrics.counter("engine.native"), 1u);
+    EXPECT_EQ(metrics.counter("engine.threaded"), 0u);
+    nfuncs[i] = metrics.counter("engine.native.functions");
+    nbytes[i] = metrics.counter("engine.native.code_bytes");
+    if (nfuncs[i] > 0) {
+      EXPECT_EQ(nfuncs[i], m.functions.size());
+      EXPECT_GT(nbytes[i], 0u);
+    } else {
+      // Host can't runtime-compile: no code, and every run fell back.
+      EXPECT_EQ(nbytes[i], 0u);
+    }
+    // The backend shares the threaded lowering (resume mapping and
+    // fallback engine), so lowering metrics are populated either way;
+    // the snapshot-recording golden run always counts as a fallback.
+    EXPECT_GT(metrics.counter("engine.lowered_insts"), 0u);
+    EXPECT_GT(metrics.counter("engine.native.fallbacks"), 0u);
+  }
+  EXPECT_EQ(nfuncs[0], nfuncs[1]);
+  EXPECT_EQ(nbytes[0], nbytes[1]);
 }
 
 }  // namespace

@@ -80,6 +80,9 @@ def check_campaign(path, manifest):
                   "fi.snapshot_bytes", "fi.snapshot_skipped_insts",
                   "fi.snapshot_resumed_trials", "interp.memcache.hits",
                   "interp.memcache.lookups", "engine.threaded",
+                  "engine.native", "engine.native.functions",
+                  "engine.native.code_bytes", "engine.native.compile_ms",
+                  "engine.native.fallbacks",
                   "engine.lowered_functions", "engine.lowered_insts",
                   "engine.superinstructions"]
         + [f"fi.outcome.{o}" for o in OUTCOMES],
@@ -102,11 +105,16 @@ def check_campaign(path, manifest):
         bail(f"{path}: snapshot work reported without any snapshots")
     if c["interp.memcache.hits"] > c["interp.memcache.lookups"]:
         bail(f"{path}: memory-cache hits exceed lookups")
-    # Execution-backend consistency: the interpreter lowers nothing, and
-    # a threaded campaign must have lowered something.
-    if c["engine.threaded"] not in (0, 1):
-        bail(f"{path}: engine.threaded must be 0 or 1")
-    if c["engine.threaded"] == 0:
+    # Execution-backend consistency: the interpreter lowers nothing;
+    # threaded and native campaigns share the lowering (the native
+    # backend needs it for its resume mapping and fallback engine), so
+    # exactly the non-interp campaigns report lowering work.
+    for flag in ("engine.threaded", "engine.native"):
+        if c[flag] not in (0, 1):
+            bail(f"{path}: {flag} must be 0 or 1")
+    if c["engine.threaded"] == 1 and c["engine.native"] == 1:
+        bail(f"{path}: campaign claims two backends at once")
+    if c["engine.threaded"] == 0 and c["engine.native"] == 0:
         for key in ("engine.lowered_functions", "engine.lowered_insts",
                     "engine.superinstructions"):
             if c[key] != 0:
@@ -114,7 +122,27 @@ def check_campaign(path, manifest):
     else:
         if c["engine.lowered_insts"] == 0 or \
                 c["engine.lowered_functions"] == 0:
-            bail(f"{path}: threaded campaign lowered nothing")
+            bail(f"{path}: non-interp campaign lowered nothing")
+    # Native compile accounting: a non-native campaign compiles nothing;
+    # a native campaign either compiled every function (code_bytes
+    # accompany them) or fell back entirely on a host without runtime
+    # compilation (zero functions, zero code bytes, nonzero fallbacks —
+    # the attempt latency may still land in compile_ms).
+    if c["engine.native"] == 0:
+        for key in ("engine.native.functions", "engine.native.code_bytes",
+                    "engine.native.compile_ms", "engine.native.fallbacks"):
+            if c[key] != 0:
+                bail(f"{path}: non-native campaign reports nonzero {key}")
+    else:
+        if (c["engine.native.functions"] > 0) != \
+                (c["engine.native.code_bytes"] > 0):
+            bail(f"{path}: engine.native.functions and "
+                 f"engine.native.code_bytes disagree about whether code "
+                 f"was generated")
+        if c["engine.native.functions"] == 0 and \
+                c["engine.native.fallbacks"] == 0:
+            bail(f"{path}: native campaign compiled nothing yet reports "
+                 f"no fallback runs")
     return c
 
 

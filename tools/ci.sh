@@ -97,10 +97,45 @@ cmp "$smokedir/eng-i.sorted" "$smokedir/eng-t8.sorted" \
 python3 tools/check_manifest.py engines \
   "$smokedir/eng-i.json" "$smokedir/eng-t8.json"
 
+# Native-engine parity smoke: same shape as above but with --engine
+# native, which compiles trials to host machine code (docs/ENGINE.md,
+# "Native backend"). The probe run detects hosts that cannot
+# runtime-compile (no usable host compiler, unsupported platform); the
+# campaign still runs there via the transparent threaded fallback, so
+# parity would pass vacuously — skip it with a visible notice instead
+# so a silently-broken compile pipeline can't hide in a green CI run.
+"$bindir/tools/trident" inject pathfinder --trials 4 --threads 1 \
+  --engine native --metrics-out "$smokedir/eng-n-probe.json" --no-progress
+native_functions="$(python3 -c '
+import json, sys
+print(json.load(open(sys.argv[1]))["counters"]["engine.native.functions"])
+' "$smokedir/eng-n-probe.json")"
+if [ "$native_functions" -gt 0 ]; then
+  "$bindir/tools/trident" inject pathfinder --trials 60 --threads 1 \
+    --engine native --checkpoint "$smokedir/eng-n.jsonl" \
+    --metrics-out "$smokedir/eng-n.json" --no-progress
+  cmp "$smokedir/eng-i.jsonl" "$smokedir/eng-n.jsonl" \
+    || { echo "engine parity: native checkpoint log differs" >&2; exit 1; }
+  python3 tools/check_manifest.py engines \
+    "$smokedir/eng-i.json" "$smokedir/eng-n.json"
+  "$bindir/tools/trident" inject pathfinder --trials 60 --threads 8 \
+    --engine native --checkpoint "$smokedir/eng-n8.jsonl" \
+    --metrics-out "$smokedir/eng-n8.json" --no-progress
+  sort "$smokedir/eng-n8.jsonl" > "$smokedir/eng-n8.sorted"
+  cmp "$smokedir/eng-i.sorted" "$smokedir/eng-n8.sorted" \
+    || { echo "engine parity: 8-thread native log differs" >&2; exit 1; }
+  python3 tools/check_manifest.py engines \
+    "$smokedir/eng-i.json" "$smokedir/eng-n8.json"
+else
+  echo "NOTICE: host cannot runtime-compile (engine.native.functions=0);" \
+       "skipping native-engine parity smoke (threaded fallback still" \
+       "validated the campaign above)" >&2
+fi
+
 # Trial-engine throughput smoke: a quick snapshots-off vs snapshots-on
-# vs threaded-engine campaign per workload. The binary exits nonzero if
-# the three results are not bit-identical, so this doubles as an
-# end-to-end equivalence check.
+# vs threaded-engine vs native-engine campaign per workload. The binary
+# exits nonzero if the four results are not bit-identical, so this
+# doubles as an end-to-end equivalence check.
 TRIDENT_TRIALS=60 TRIDENT_BENCH_OUT="$smokedir/BENCH_trial_throughput.json" \
   "$bindir/bench/trial_throughput"
 

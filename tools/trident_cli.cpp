@@ -15,10 +15,15 @@
 // env var, else hardware_concurrency. Results are bit-identical for any
 // thread count.
 //
-// `--engine interp|threaded` selects the execution backend for run,
-// inject, protect and eval (default interp). Outputs, fault outcomes,
-// checkpoints and manifest fi.* counters are bit-identical across
-// backends; only speed and the engine.* metrics differ (docs/ENGINE.md).
+// `--engine interp|threaded|native` selects the execution backend for
+// run, inject, protect and eval (default interp). Outputs, fault
+// outcomes, checkpoints and manifest fi.* counters are bit-identical
+// across backends; only speed and the engine.* metrics differ
+// (docs/ENGINE.md). The native backend compiles trials to host machine
+// code; runs that need dense hooks (tracing, profiling, snapshot
+// recording) fall back to the threaded engine with one stderr notice
+// and an engine.native.fallbacks manifest count, and hosts without
+// runtime compilation fall back entirely.
 //
 // `--checkpoint f.jsonl` makes campaigns crash-safe: completed trials
 // are appended to the log as they finish, and re-running the same
@@ -110,11 +115,14 @@ int usage() {
                "                               cells; see docs/EVAL.md)\n"
                "common: --threads N            worker threads (0 = auto;\n"
                "                               results identical for any N)\n"
-               "        --engine interp|threaded\n"
+               "        --engine interp|threaded|native\n"
                "                               execution backend for run /\n"
                "                               inject / protect / eval\n"
                "                               (default interp; results are\n"
-               "                               bit-identical either way, see\n"
+               "                               bit-identical on every\n"
+               "                               backend; native falls back to\n"
+               "                               threaded for dense-hook runs\n"
+               "                               and uncompilable hosts, see\n"
                "                               docs/ENGINE.md)\n"
                "        --checkpoint f.jsonl   crash-safe campaigns: append\n"
                "                               finished trials, resume on\n"
