@@ -9,10 +9,77 @@
 #include "baselines/pvf.h"
 #include "core/trident.h"
 #include "fi/campaign.h"
+#include "obs/interrupt.h"
 #include "profiler/profiler.h"
 #include "support/thread_pool.h"
 
 namespace trident::eval {
+
+std::vector<InflightTable::Claim> InflightTable::claim_all(
+    const ResultStore& store, const std::vector<CellKey>& keys, bool force) {
+  std::vector<Claim> claims(keys.size());
+  // One lock across the whole list: a racing claim_all sees either none
+  // or all of this run's ownerships, so overlapping specs split into
+  // one owner and pure waiters — never an arbitrary interleaving. The
+  // in-lock store probes are cheap (small JSON reads) next to the cells
+  // themselves.
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    Claim& claim = claims[i];
+    if (const auto it = inflight_.find(keys[i].canonical);
+        it != inflight_.end()) {
+      claim.role = Role::Waiter;
+      claim.cell = it->second;
+      ++dedup_hits_;
+      continue;
+    }
+    if (!force) {
+      if (auto hit = store.load(keys[i])) {
+        claim.role = Role::StoreHit;
+        claim.data = std::move(*hit);
+        continue;
+      }
+    }
+    claim.role = Role::Owner;
+    claim.cell = std::make_shared<InflightCell>();
+    claim.cell->canonical = keys[i].canonical;
+    inflight_.emplace(keys[i].canonical, claim.cell);
+  }
+  return claims;
+}
+
+void InflightTable::publish(const std::shared_ptr<InflightCell>& cell) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  cell->state = InflightCell::State::Done;
+  inflight_.erase(cell->canonical);
+  resolved_.notify_all();
+}
+
+void InflightTable::fail(const std::shared_ptr<InflightCell>& cell,
+                         const std::string& why) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (cell->state != InflightCell::State::Pending) return;
+  cell->state = InflightCell::State::Failed;
+  cell->error = why;
+  inflight_.erase(cell->canonical);
+  resolved_.notify_all();
+}
+
+void InflightTable::wait(const std::shared_ptr<InflightCell>& cell) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  resolved_.wait(lock, [&] {
+    return cell->state != InflightCell::State::Pending;
+  });
+  if (cell->state == InflightCell::State::Failed) {
+    throw std::runtime_error(
+        "eval: deduplicated cell failed in the owning run: " + cell->error);
+  }
+}
+
+uint64_t InflightTable::dedup_hits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dedup_hits_;
+}
 
 namespace {
 
@@ -173,7 +240,13 @@ EvalResults run_spec(const ExperimentSpec& spec, const RunOptions& options) {
       options.metrics != nullptr ? *options.metrics : scratch;
   obs::ScopedTimer timer(registry, "phase.eval.seconds");
 
-  const ResultStore store(options.out_dir + "/store");
+  StoreOptions store_options;
+  store_options.shards = options.store_shards;
+  store_options.upstream_dir = options.store_upstream;
+  const ResultStore store(
+      options.store_dir.empty() ? options.out_dir + "/store"
+                                : options.store_dir,
+      store_options);
   const auto names = spec.expanded_workloads();
 
   // Profiling pass: build every workload module and collect its golden
@@ -230,23 +303,46 @@ EvalResults run_spec(const ExperimentSpec& spec, const RunOptions& options) {
     }
   }
 
-  std::atomic<uint64_t> computed{0}, cached{0}, trials_run{0}, done{0};
+  std::atomic<uint64_t> computed{0}, cached{0}, deduped{0}, trials_run{0},
+      done{0};
   obs::ProgressLine progress(options.progress, "eval " + spec.name);
+  const auto bump_progress = [&] {
+    const uint64_t d = done.fetch_add(1, std::memory_order_relaxed) + 1;
+    progress.update(d, cells.size());
+    if (options.on_progress) options.on_progress(d, cells.size());
+  };
 
-  const auto run_cell = [&](Cell& cell) {
-    if (!options.force) {
-      if (auto hit = store.load(cell.key)) {
-        cell.data = std::move(*hit);
-        cell.cached = true;
-        cached.fetch_add(1, std::memory_order_relaxed);
-        return;
-      }
-    } else {
+  // Claim the whole cell list atomically: each cell is a store hit, an
+  // ownership (this run computes it), or a wait on another run already
+  // computing the identical cell. Offline runs use a run-private table,
+  // so the daemon's dedup path is the only path.
+  InflightTable local_table;
+  InflightTable& table =
+      options.inflight != nullptr ? *options.inflight : local_table;
+  std::vector<CellKey> keys;
+  keys.reserve(cells.size());
+  for (const Cell& cell : cells) keys.push_back(cell.key);
+  const auto claims = table.claim_all(store, keys, options.force);
+
+  for (size_t i = 0; i < cells.size(); ++i) {
+    if (claims[i].role == InflightTable::Role::StoreHit) {
+      cells[i].data = claims[i].data;
+      cells[i].cached = true;
+      cached.fetch_add(1, std::memory_order_relaxed);
+      bump_progress();
+    }
+  }
+  std::vector<size_t> owned;
+  for (size_t i = 0; i < cells.size(); ++i) {
+    if (claims[i].role == InflightTable::Role::Owner) owned.push_back(i);
+  }
+
+  const auto compute_cell = [&](Cell& cell) {
+    if (options.force) {
       // A stale mid-campaign checkpoint must not feed a forced re-run.
       std::error_code ec;
       std::filesystem::remove(store.checkpoint_path(cell.key), ec);
     }
-
     const ir::Module& module = modules[cell.workload];
     const prof::Profile& profile = profiles[cell.workload];
     switch (cell.kind) {
@@ -278,6 +374,10 @@ EvalResults run_spec(const ExperimentSpec& spec, const RunOptions& options) {
         }
         trials_run.fetch_add(result.total() - result.resumed,
                              std::memory_order_relaxed);
+        // A preempted campaign already flushed every finished trial to
+        // its checkpoint log; the partial tallies must not be persisted
+        // as a finished cell.
+        if (result.interrupted) throw obs::Interrupted();
         cell.data = fi_counts_to_json(result);
         break;
       }
@@ -327,18 +427,70 @@ EvalResults run_spec(const ExperimentSpec& spec, const RunOptions& options) {
     computed.fetch_add(1, std::memory_order_relaxed);
   };
 
+  const auto run_owned = [&](uint64_t oi) {
+    Cell& cell = cells[owned[oi]];
+    const auto& entry = claims[owned[oi]].cell;
+    // Cooperative interrupt: stop starting cells. The failed entry
+    // wakes any waiter with a clear error instead of hanging it.
+    if (obs::interrupt_requested()) {
+      table.fail(entry, "interrupted");
+      return;
+    }
+    try {
+      compute_cell(cell);
+      table.publish(entry);
+    } catch (const std::exception& e) {
+      table.fail(entry, e.what());
+      throw;
+    } catch (...) {
+      table.fail(entry, "unknown error");
+      throw;
+    }
+    bump_progress();
+  };
+
   {
     obs::ScopedTimer t(registry, "phase.eval.cells.seconds");
-    support::ThreadPool::global().parallel_for(
-        cells.size(),
-        [&](uint64_t i) {
-          run_cell(cells[i]);
-          progress.update(done.fetch_add(1, std::memory_order_relaxed) + 1,
-                          cells.size());
-        },
-        options.threads, /*grain=*/1);
+    std::exception_ptr first_error;
+    try {
+      if (options.scheduler != nullptr) {
+        options.scheduler->run_cells(owned.size(), run_owned);
+      } else {
+        support::ThreadPool::global().parallel_for(owned.size(), run_owned,
+                                                   options.threads,
+                                                   /*grain=*/1);
+      }
+    } catch (...) {
+      first_error = std::current_exception();
+    }
+    // parallel_for abandons remaining chunks after a body exception;
+    // their entries are still Pending and would hang waiters in other
+    // runs forever. fail() is a no-op on entries that resolved.
+    for (const size_t i : owned) {
+      table.fail(claims[i].cell, "abandoned: another cell in its run failed");
+    }
+    if (first_error) std::rethrow_exception(first_error);
   }
-  progress.finish(cells.size(), cells.size());
+
+  if (obs::interrupt_requested()) throw obs::Interrupted();
+
+  // Waiters resolve last, on this thread: every owned cell above is
+  // done, so the owning runs make progress and the waits terminate.
+  for (size_t i = 0; i < cells.size(); ++i) {
+    if (claims[i].role != InflightTable::Role::Waiter) continue;
+    table.wait(claims[i].cell);
+    auto hit = store.load(cells[i].key);
+    if (!hit) {
+      throw std::runtime_error("eval: deduplicated cell " +
+                               cells[i].key.slug +
+                               " missing from the store after its owning "
+                               "run published it");
+    }
+    cells[i].data = std::move(*hit);
+    deduped.fetch_add(1, std::memory_order_relaxed);
+    bump_progress();
+  }
+  progress.finish(done.load(), cells.size());
 
   // ---- Assembly: fold the cell payloads into per-workload results ----
   EvalResults results;
@@ -346,6 +498,7 @@ EvalResults run_spec(const ExperimentSpec& spec, const RunOptions& options) {
   results.cells_total = cells.size();
   results.cells_computed = computed.load();
   results.cells_cached = cached.load();
+  results.cells_deduped = deduped.load();
   results.fi_trials_run = trials_run.load();
   results.workloads.resize(names.size());
 
@@ -413,7 +566,9 @@ EvalResults run_spec(const ExperimentSpec& spec, const RunOptions& options) {
   registry.add("eval.cells.total", results.cells_total);
   registry.add("eval.cells.computed", results.cells_computed);
   registry.add("eval.cells.cached", results.cells_cached);
+  registry.add("eval.cells.deduped", results.cells_deduped);
   registry.add("eval.fi.trials_run", results.fi_trials_run);
+  registry.add("eval.store.upstream_hits", store.upstream_hits());
   return results;
 }
 

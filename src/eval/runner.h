@@ -20,7 +20,12 @@
 // a finished spec performs zero FI trials.
 #pragma once
 
+#include <condition_variable>
 #include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -33,9 +38,94 @@
 
 namespace trident::eval {
 
+/// How run_spec dispatches its independent cells. The default (null in
+/// RunOptions) is a plain parallel_for over the shared pool; the serve
+/// daemon substitutes a fair per-session scheduler so one giant spec
+/// cannot starve the other connected clients. Implementations must run
+/// `body(0..n-1)` each exactly once (any order, any concurrency) and
+/// propagate the first body exception.
+class CellScheduler {
+ public:
+  virtual ~CellScheduler() = default;
+  virtual void run_cells(uint64_t n,
+                         const std::function<void(uint64_t)>& body) = 0;
+};
+
+/// One in-flight cell computation, shared between the run that owns it
+/// and every run waiting on it. Created and resolved by InflightTable.
+struct InflightCell {
+  enum class State { Pending, Done, Failed };
+  std::string canonical;
+  State state = State::Pending;
+  std::string error;  // set when Failed
+};
+
+/// Cross-run de-duplication of identical cells (docs/SERVE.md).
+///
+/// Before computing anything, a run *claims* its whole cell list
+/// atomically: each cell resolves to a store hit (already persisted),
+/// an ownership (this run computes and publishes it), or a wait (some
+/// other run is computing the identical cell right now). Because the
+/// entire list is claimed under one lock, two runs submitting the same
+/// spec split deterministically — whichever claims first owns every
+/// not-yet-stored cell and the other waits for all of them, never an
+/// arbitrary interleaving. Waiting is deadlock-free by construction:
+/// owners compute every owned cell before waiting on anything, so
+/// there is no circular wait, and a failed or abandoned owner fails its
+/// entries (fail() is a no-op on resolved cells), waking waiters with
+/// the error instead of hanging them.
+///
+/// run_spec uses a private table when RunOptions::inflight is null, so
+/// offline runs exercise the exact same code path the daemon does.
+class InflightTable {
+ public:
+  enum class Role { StoreHit, Owner, Waiter };
+  struct Claim {
+    Role role = Role::Owner;
+    support::json::Value data;          // StoreHit only
+    std::shared_ptr<InflightCell> cell; // Owner and Waiter
+  };
+
+  /// Claims every key atomically (one lock across the whole list, with
+  /// the store probed in-lock). `force` skips the store probe so a
+  /// forced run recomputes — but still de-duplicates against runs
+  /// already computing the same cell.
+  std::vector<Claim> claim_all(const ResultStore& store,
+                               const std::vector<CellKey>& keys, bool force);
+
+  /// Marks an owned cell computed-and-persisted and wakes its waiters.
+  void publish(const std::shared_ptr<InflightCell>& cell);
+  /// Marks an owned cell failed (no-op unless still Pending) and wakes
+  /// its waiters; a later claim of the same key may retry as owner.
+  void fail(const std::shared_ptr<InflightCell>& cell,
+            const std::string& why);
+  /// Blocks until the cell resolves; throws std::runtime_error with the
+  /// owner's error when it failed.
+  void wait(const std::shared_ptr<InflightCell>& cell);
+
+  /// Cells claimed as Waiter since construction (the daemon reports
+  /// this as serve.inflight_dedup_hits).
+  uint64_t dedup_hits() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable resolved_;
+  std::map<std::string, std::shared_ptr<InflightCell>> inflight_;
+  uint64_t dedup_hits_ = 0;
+};
+
 struct RunOptions {
-  /// Artifact directory; the store lives at <out_dir>/store.
+  /// Artifact directory; the store lives at <out_dir>/store unless
+  /// store_dir overrides it.
   std::string out_dir = "eval-out";
+  /// Result-store directory; empty = <out_dir>/store. The daemon points
+  /// every session at one shared store.
+  std::string store_dir;
+  /// Store shard fan-out (eval::StoreOptions::shards: 0/1 flat, 16 or
+  /// 256 hash-prefix subdirectories).
+  uint32_t store_shards = 0;
+  /// Optional read-only upstream store (eval::StoreOptions).
+  std::string store_upstream;
   /// Worker cap for every parallel stage (0 = TRIDENT_THREADS env or
   /// hardware_concurrency). Results are identical for any value.
   uint32_t threads = 0;
@@ -53,6 +143,14 @@ struct RunOptions {
   /// Optional sink for eval.* counters, the aggregated fi.* campaign
   /// metrics of every computed cell, and phase timers.
   obs::Registry* metrics = nullptr;
+  /// Cell dispatcher; null = parallel_for on the shared pool.
+  CellScheduler* scheduler = nullptr;
+  /// Shared in-flight table; null = a run-private one (identical code
+  /// path, no cross-run dedup).
+  InflightTable* inflight = nullptr;
+  /// Called as cells resolve, with (cells done, cells total). May be
+  /// invoked concurrently from worker threads.
+  std::function<void(uint64_t, uint64_t)> on_progress;
 };
 
 /// Outcome tallies of one or more pooled FI campaigns.
@@ -95,6 +193,11 @@ struct EvalResults {
   uint64_t cells_total = 0;
   uint64_t cells_computed = 0;
   uint64_t cells_cached = 0;
+  /// Cells whose value arrived from another run computing the identical
+  /// cell concurrently (InflightTable waiters; 0 without a shared
+  /// table). Counted separately from cells_cached, which means "already
+  /// in the store when this run claimed it".
+  uint64_t cells_deduped = 0;
   /// FI trials actually executed by this invocation (excludes both
   /// cached cells and trials restored from mid-campaign checkpoints);
   /// 0 when every cell was a cache hit.
@@ -102,7 +205,9 @@ struct EvalResults {
 };
 
 /// Runs the spec to completion. Throws std::runtime_error on an invalid
-/// spec or an unwritable store.
+/// spec or an unwritable store, and obs::Interrupted when
+/// SIGINT/SIGTERM preempted the run (everything finished by then is
+/// persisted or checkpointed, so a re-run resumes).
 EvalResults run_spec(const ExperimentSpec& spec, const RunOptions& options);
 
 // ---- Cache keys (exposed for tests and tools) --------------------------

@@ -1,51 +1,35 @@
 #include "eval/store.h"
 
-#include <cstdio>
+#include <atomic>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
+
+#include "support/str.h"
 
 namespace trident::eval {
 
 namespace fs = std::filesystem;
 namespace json = support::json;
 
-uint64_t fnv1a64(const std::string& s) {
-  uint64_t h = 14695981039346656037ull;
-  for (const unsigned char c : s) {
-    h ^= c;
-    h *= 1099511628211ull;
-  }
-  return h;
+namespace {
+
+/// Hash-prefix shard name for a cell: the first 1 (16 shards) or 2
+/// (256 shards) hex digits of the key hash. Empty for a flat store.
+std::string shard_name(const std::string& hash16, uint32_t shards) {
+  if (shards == 16) return hash16.substr(0, 1);
+  if (shards == 256) return hash16.substr(0, 2);
+  return {};
 }
 
-std::string CellKey::hash_hex() const {
-  char buf[17];
-  std::snprintf(buf, sizeof buf, "%016llx",
-                static_cast<unsigned long long>(fnv1a64(canonical)));
-  return buf;
-}
-
-ResultStore::ResultStore(std::string dir) : dir_(std::move(dir)) {
-  std::error_code ec;
-  fs::create_directories(dir_, ec);
-  if (ec) {
-    throw std::runtime_error("eval store: cannot create directory '" + dir_ +
-                             "': " + ec.message());
-  }
-}
-
-std::string ResultStore::cell_path(const CellKey& key) const {
-  return dir_ + "/" + key.slug + "-" + key.hash_hex() + ".json";
-}
-
-std::string ResultStore::checkpoint_path(const CellKey& key) const {
-  return dir_ + "/" + key.slug + "-" + key.hash_hex() + ".ckpt.jsonl";
-}
-
-std::optional<json::Value> ResultStore::load(const CellKey& key) const {
-  std::ifstream in(cell_path(key), std::ios::binary);
+/// Loads and validates one candidate cell file against `key`. Shared by
+/// the store's own slots and the upstream probes — validation is
+/// identical everywhere: schema, kind, and the exact canonical string.
+std::optional<json::Value> load_cell_file(const std::string& path,
+                                          const CellKey& key) {
+  std::ifstream in(path, std::ios::binary);
   if (!in) return std::nullopt;
   std::ostringstream buf;
   buf << in.rdbuf();
@@ -62,6 +46,90 @@ std::optional<json::Value> ResultStore::load(const CellKey& key) const {
   return *data;
 }
 
+}  // namespace
+
+uint64_t fnv1a64(const std::string& s) { return support::fnv1a64(s); }
+
+std::string CellKey::hash_hex() const {
+  return support::fnv1a64_hex(canonical);
+}
+
+ResultStore::ResultStore(std::string dir, const StoreOptions& options)
+    : dir_(std::move(dir)),
+      shards_(options.shards),
+      upstream_dir_(options.upstream_dir) {
+  if (shards_ != 0 && shards_ != 1 && shards_ != 16 && shards_ != 256) {
+    throw std::runtime_error(
+        "eval store: shard count must be 0, 1, 16 or 256 (got " +
+        std::to_string(shards_) + ")");
+  }
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec) {
+    throw std::runtime_error("eval store: cannot create directory '" + dir_ +
+                             "': " + ec.message());
+  }
+  // Create every shard directory up front: concurrent writers then
+  // never race mkdir, and a reader can enumerate the layout without
+  // guessing which prefixes exist.
+  if (shards_ == 16 || shards_ == 256) {
+    static const char kHex[] = "0123456789abcdef";
+    for (uint32_t i = 0; i < shards_; ++i) {
+      std::string name;
+      if (shards_ == 16) {
+        name = {kHex[i]};
+      } else {
+        name = {kHex[i >> 4], kHex[i & 0xf]};
+      }
+      fs::create_directories(dir_ + "/" + name, ec);
+      if (ec) {
+        throw std::runtime_error("eval store: cannot create shard '" + dir_ +
+                                 "/" + name + "': " + ec.message());
+      }
+    }
+  }
+}
+
+std::string ResultStore::shard_dir(const CellKey& key) const {
+  const std::string name = shard_name(key.hash_hex(), shards_);
+  return name.empty() ? dir_ : dir_ + "/" + name;
+}
+
+std::string ResultStore::cell_path(const CellKey& key) const {
+  return shard_dir(key) + "/" + key.slug + "-" + key.hash_hex() + ".json";
+}
+
+std::string ResultStore::checkpoint_path(const CellKey& key) const {
+  return shard_dir(key) + "/" + key.slug + "-" + key.hash_hex() +
+         ".ckpt.jsonl";
+}
+
+std::optional<json::Value> ResultStore::load(const CellKey& key) const {
+  // Own slot first (flat or sharded per this store's layout).
+  if (auto found = load_cell_file(cell_path(key), key)) return found;
+  // A sharded store reads through to the flat legacy layout so a store
+  // populated before sharding keeps serving hits in place.
+  const std::string hash16 = key.hash_hex();
+  const std::string file = key.slug + "-" + hash16 + ".json";
+  if (shards_ == 16 || shards_ == 256) {
+    if (auto found = load_cell_file(dir_ + "/" + file, key)) return found;
+  }
+  // Read-only upstream federation: probe every layout, since the
+  // upstream's shard count is its own business.
+  if (!upstream_dir_.empty()) {
+    for (const uint32_t layout : {0u, 16u, 256u}) {
+      const std::string name = shard_name(hash16, layout);
+      const std::string base =
+          name.empty() ? upstream_dir_ : upstream_dir_ + "/" + name;
+      if (auto found = load_cell_file(base + "/" + file, key)) {
+        upstream_hits_.fetch_add(1, std::memory_order_relaxed);
+        return found;
+      }
+    }
+  }
+  return std::nullopt;
+}
+
 void ResultStore::save(const CellKey& key, json::Value data) const {
   json::Value cell = json::Value::object();
   cell.set("schema", json::Value(std::string("trident-eval/1")));
@@ -72,7 +140,17 @@ void ResultStore::save(const CellKey& key, json::Value data) const {
   const std::string text = cell.write_pretty();
 
   const std::string path = cell_path(key);
-  const std::string tmp = path + ".tmp";
+  // The temp name must be unique per writer: two threads — or two
+  // processes, e.g. an offline run racing a daemon — sharing one ".tmp"
+  // would interleave writes and could rename a torn file into place.
+  // Per-process entropy (clock at first use) + a per-write counter.
+  static const uint64_t tmp_epoch = static_cast<uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+  static std::atomic<uint64_t> tmp_seq{0};
+  const std::string tmp = path + ".tmp." +
+                          support::fnv1a64_hex(std::to_string(tmp_epoch) +
+                                               ":" +
+                                               std::to_string(tmp_seq++));
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
     if (!out) {

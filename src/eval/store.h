@@ -8,12 +8,27 @@
 // into the file name `<slug>-<hash16>.json`; the canonical string is
 // echoed inside the file and re-checked on load, so a hash collision or
 // a hand-edited file degrades to a cache miss, never to silently wrong
-// data. Writes go through a temp file + rename, so a crash mid-write
-// leaves either the old cell or none — the orchestrator's crash-safety
-// rests on that plus the per-cell fi::campaign checkpoint logs that
-// live alongside unfinished FI cells.
+// data. Writes go through a per-writer temp file + rename, so a crash
+// mid-write (or two processes racing the same cell) leaves either a
+// complete cell or none — the orchestrator's crash-safety rests on that
+// plus the per-cell fi::campaign checkpoint logs that live alongside
+// unfinished FI cells.
+//
+// Layouts (docs/SERVE.md, "Store sharding"):
+//   flat     every cell directly in dir/ — the offline default, and the
+//            layout every store produced before sharding existed
+//   sharded  cells fan out into hash-prefix subdirectories (dir/<p>/,
+//            where <p> is the first 1 or 2 hex digits of the key hash,
+//            for 16 or 256 shards) so many concurrent writers — the
+//            serve daemon's sessions — never contend on one directory
+// A sharded store reads through to the flat layout (a pre-sharding
+// store keeps serving hits) and, when StoreOptions::upstream_dir is
+// set, to a read-only upstream store in any layout — the federation
+// shape where a team shares one warm store and each daemon only writes
+// locally. Writes always land in this store's own layout.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -38,23 +53,41 @@ struct CellKey {
   std::string hash_hex() const;
 };
 
-/// FNV-1a 64-bit (the repo-standard cheap stable hash).
+/// FNV-1a 64-bit (support::fnv1a64; re-exported because the store's
+/// callers and tests historically reach it through this header).
 uint64_t fnv1a64(const std::string& s);
+
+struct StoreOptions {
+  /// 0 or 1 = flat layout; 16 or 256 = hash-prefix sharding (1 or 2 hex
+  /// digits). Any other value throws — a store's shard count is part of
+  /// its on-disk contract, not a tuning knob to round silently.
+  uint32_t shards = 0;
+  /// Optional read-only upstream store directory, probed (in every
+  /// layout) when a cell misses both this store's own slot and the flat
+  /// legacy slot. Never written.
+  std::string upstream_dir;
+};
 
 class ResultStore {
  public:
-  /// Opens (and creates, recursively) the store directory.
-  explicit ResultStore(std::string dir);
+  /// Opens (and creates, recursively) the store directory — including
+  /// every shard subdirectory, so concurrent writers never race mkdir.
+  explicit ResultStore(std::string dir) : ResultStore(std::move(dir), {}) {}
+  ResultStore(std::string dir, const StoreOptions& options);
 
   const std::string& dir() const { return dir_; }
+  uint32_t shards() const { return shards_; }
 
   std::string cell_path(const CellKey& key) const;
   /// Sidecar fi::campaign checkpoint log for an in-progress FI cell;
-  /// deleted once the cell itself is persisted.
+  /// deleted once the cell itself is persisted. Lives in the cell's
+  /// shard directory.
   std::string checkpoint_path(const CellKey& key) const;
 
   /// Loads a cell: present, parseable, schema-tagged "trident-eval/1",
   /// and carrying exactly `key.canonical` — anything else is a miss.
+  /// Probes this store's own slot, then (when sharded) the flat legacy
+  /// slot, then the upstream store in every layout.
   std::optional<support::json::Value> load(const CellKey& key) const;
 
   /// Persists `data` (the cell payload) under `key` atomically, wrapped
@@ -63,8 +96,18 @@ class ResultStore {
   /// store directory is not writable.
   void save(const CellKey& key, support::json::Value data) const;
 
+  /// Cells served by the upstream federation since construction.
+  uint64_t upstream_hits() const {
+    return upstream_hits_.load(std::memory_order_relaxed);
+  }
+
  private:
+  std::string shard_dir(const CellKey& key) const;
+
   std::string dir_;
+  uint32_t shards_ = 0;
+  std::string upstream_dir_;
+  mutable std::atomic<uint64_t> upstream_hits_{0};
 };
 
 }  // namespace trident::eval

@@ -10,6 +10,7 @@
 
 #include "fi/trial_runner.h"
 #include "obs/checkpoint.h"
+#include "obs/interrupt.h"
 #include "stats/stats.h"
 #include "support/thread_pool.h"
 
@@ -176,6 +177,7 @@ void export_metrics(obs::Registry& registry, const CampaignResult& result,
                static_cast<uint64_t>(std::llround(native_stats.compile_ms)));
   registry.add("engine.native.fallbacks",
                native ? engine.native_fallbacks : 0);
+  registry.add("engine.native.cache_hits", native_stats.cache_hits);
   const uint64_t lookups = registry.counter("interp.memcache.lookups");
   if (lookups > 0) {
     registry.set("interp.memcache.hit_rate",
@@ -293,14 +295,25 @@ CampaignResult run_planned(const ir::Module& module,
 
   obs::ProgressLine progress(options.progress, "fi");
   std::atomic<uint64_t> done{resumed};
+  std::atomic<uint64_t> ran{0};
+  std::atomic<bool> interrupted{false};
   progress.update(resumed, plan.size());
   const auto run_slot = [&](uint64_t slot) {
+    // Cooperative interrupt: skip remaining slots instead of starting
+    // new trials. Everything already finished is in the checkpoint log,
+    // so a re-run resumes exactly here.
+    if (obs::interrupt_requested()) {
+      interrupted.store(true, std::memory_order_relaxed);
+      return;
+    }
     TrialRunner* runner = acquire_runner();
     const Trial trial =
         run_classified_trial(*runner, (*sites)[slot], fuel, options);
     release_runner(runner);
     trials[slot] = trial;
+    have[slot] = 1;
     if (log) log->append(to_record(slot, trial));
+    ran.fetch_add(1, std::memory_order_relaxed);
     progress.update(done.fetch_add(1, std::memory_order_relaxed) + 1,
                     plan.size());
   };
@@ -314,7 +327,7 @@ CampaignResult run_planned(const ir::Module& module,
     support::ThreadPool::global().parallel_for(
         todo.size(), [&](uint64_t i) { run_slot(todo[i]); }, workers);
   }
-  progress.finish(plan.size(), plan.size());
+  progress.finish(done.load(), plan.size());
 
   for (const auto& runner : runners) {
     engine.skipped_insts += runner->skipped_insts();
@@ -330,10 +343,17 @@ CampaignResult run_planned(const ir::Module& module,
 
   CampaignResult result;
   result.resumed = resumed;
+  result.interrupted = interrupted.load();
   result.trials.reserve(trials.size());
-  for (const auto& trial : trials) tally(result, trial);
+  // Tally completed slots only, in slot order: on an interrupted run the
+  // skipped slots hold default-constructed trials that must not pollute
+  // the probabilities (and slot order keeps the trial list identical to
+  // an uninterrupted run's prefix restricted to completed slots).
+  for (uint64_t i = 0; i < trials.size(); ++i) {
+    if (have[i]) tally(result, trials[i]);
+  }
   if (options.metrics != nullptr) {
-    export_metrics(*options.metrics, result, todo.size(),
+    export_metrics(*options.metrics, result, ran.load(),
                    obs::now_seconds() - started, engine, backend);
   }
   return result;

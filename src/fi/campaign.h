@@ -48,6 +48,12 @@ struct CampaignResult {
   uint64_t fuel_exhausted = 0;
   /// Trials restored from the checkpoint log instead of being re-run.
   uint64_t resumed = 0;
+  /// True when obs::interrupt_requested() preempted the campaign: the
+  /// remaining slots were skipped (every finished trial is already in
+  /// the checkpoint log) and `trials` holds only the completed ones, so
+  /// the probabilities below are still over completed trials only. A
+  /// re-run with the same checkpoint path resumes where this left off.
+  bool interrupted = false;
 
   uint64_t total() const { return trials.size(); }
   double sdc_prob() const;

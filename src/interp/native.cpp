@@ -7,6 +7,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <deque>
+#include <filesystem>
 #include <limits>
 #include <map>
 #include <mutex>
@@ -636,8 +637,28 @@ static inline uint64_t tn_fb64(double d) {
 // code (edges commit them); the entry block's leading phis (degenerate,
 // verifier-rejected, but the fuzzer may probe them) execute inline
 // exactly like the interpreter's main-loop Phi case.
-std::string generate_c(const ir::Module& m, const LoweredProgram& lp) {
+// Bump whenever the generated C's semantics or ABI change: the version
+// is part of the persistent-cache key (file name and tn_key symbol), so
+// objects compiled by an older codegen are never loaded by a newer one.
+constexpr int kNativeCodegenVersion = 1;
+
+// Full validation key baked into every generated object as `tn_key`.
+// Derived from the printed IR's hash and length plus the codegen
+// version — computable at cache-probe time without running codegen.
+std::string native_cache_key(const std::string& ir_text) {
+  return std::string("trident-native/") +
+         std::to_string(kNativeCodegenVersion) + "/" +
+         support::fnv1a64_hex(ir_text) + "/" +
+         std::to_string(ir_text.size());
+}
+
+std::string generate_c(const ir::Module& m, const LoweredProgram& lp,
+                       const std::string& cache_key) {
   std::string o = prelude();
+  // Identity of this object, checked by a later process before trusting
+  // a persistently cached .so (the key alphabet is [a-z0-9/-], so no C
+  // string escaping is needed).
+  o += "const char tn_key[] = \"" + cache_key + "\";\n\n";
 
   for (size_t fidx = 0; fidx < m.functions.size(); ++fidx) {
     o += "static int tn_f" + std::to_string(fidx) +
@@ -839,7 +860,7 @@ std::shared_ptr<const NativeProgram> NativeProgram::build(
   // Compile outside the lock: the host compiler run dominates, and two
   // racing builders at worst duplicate work for distinct keys.
   std::shared_ptr<NativeProgram> prog(new NativeProgram());
-  prog->compile(module);
+  prog->compile(module, key);
 
   std::lock_guard<std::mutex> lock(mu);
   if (const auto it = cache.find(key); it != cache.end()) {
@@ -856,13 +877,21 @@ std::shared_ptr<const NativeProgram> NativeProgram::build(
   return prog;
 }
 
+std::shared_ptr<const NativeProgram> NativeProgram::build_uncached(
+    const ir::Module& module) {
+  std::shared_ptr<NativeProgram> prog(new NativeProgram());
+  prog->compile(module, ir::print_module(module));
+  return prog;
+}
+
 NativeProgram::~NativeProgram() {
 #if TRIDENT_NATIVE_SUPPORTED
   if (handle_ != nullptr) dlclose(handle_);
 #endif
 }
 
-void NativeProgram::compile(const ir::Module& module) {
+void NativeProgram::compile(const ir::Module& module,
+                            const std::string& ir_text) {
   const auto t0 = std::chrono::steady_clock::now();
   // The lowered program is always produced: the fallback engine and the
   // resume ip mapping need it even when compilation is unavailable.
@@ -875,10 +904,46 @@ void NativeProgram::compile(const ir::Module& module) {
   };
 
 #if !TRIDENT_NATIVE_SUPPORTED
+  (void)ir_text;
   error_ = "runtime compilation is not supported on this platform";
   done();
 #else
-  const std::string src = generate_c(module, *lowered_);
+  const std::string cache_key = native_cache_key(ir_text);
+  // Persistent object cache: when $TRIDENT_NATIVE_CACHE names a
+  // directory, probe it for an object another process already compiled
+  // for this exact IR and codegen version. The embedded tn_key is the
+  // authority — file-name collisions or stale files fail the strcmp and
+  // are deleted, then recompiled below.
+  std::string cache_path;
+  if (const char* e = std::getenv("TRIDENT_NATIVE_CACHE");
+      e != nullptr && *e != '\0') {
+    cache_path = std::string(e) + "/tn-" +
+                 support::fnv1a64_hex(ir_text) + "-g" +
+                 std::to_string(kNativeCodegenVersion) + ".so";
+    if (void* h = dlopen(cache_path.c_str(), RTLD_NOW | RTLD_LOCAL)) {
+      const char* stored_key =
+          reinterpret_cast<const char*>(dlsym(h, "tn_key"));
+      const auto* table =
+          reinterpret_cast<const TrialFn*>(dlsym(h, "tn_table"));
+      if (stored_key != nullptr && cache_key == stored_key &&
+          table != nullptr) {
+        handle_ = h;
+        table_ = table;
+        stats_.functions = module.functions.size();
+        stats_.cache_hits = 1;
+        struct stat st{};
+        if (stat(cache_path.c_str(), &st) == 0) {
+          stats_.code_bytes = static_cast<uint64_t>(st.st_size);
+        }
+        done();
+        return;
+      }
+      dlclose(h);
+      unlink(cache_path.c_str());
+    }
+  }
+
+  const std::string src = generate_c(module, *lowered_, cache_key);
 
   const char* tmpdir = std::getenv("TMPDIR");
   std::string dir_templ = std::string(tmpdir && *tmpdir ? tmpdir : "/tmp") +
@@ -964,6 +1029,24 @@ void NativeProgram::compile(const ir::Module& module) {
     return;
   }
   stats_.functions = module.functions.size();
+  // Publish to the persistent cache (best effort — a read-only or
+  // missing cache dir must never fail the compile that just succeeded).
+  // Copy to a per-writer temp name in the cache dir, then rename: racing
+  // publishers each rename a complete file, and a crash mid-copy leaves
+  // only a temp that the next tn_key-mismatch probe path ignores.
+  if (!cache_path.empty()) {
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    fs::create_directories(fs::path(cache_path).parent_path(), ec);
+    const std::string pub_tmp =
+        cache_path + ".tmp." + std::to_string(getpid());
+    fs::copy_file(so_path, pub_tmp, fs::copy_options::overwrite_existing,
+                  ec);
+    if (!ec) {
+      fs::rename(pub_tmp, cache_path, ec);
+      if (ec) fs::remove(pub_tmp, ec);
+    }
+  }
   cleanup();  // the mapping stays alive after unlink on POSIX
   done();
 #endif

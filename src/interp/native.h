@@ -17,7 +17,15 @@
 //             per-function entry table;
 //   cache     compiled programs are cached process-wide by printed IR,
 //             so campaigns, tests and the fuzzer compile each module
-//             once no matter how many engines they construct.
+//             once no matter how many engines they construct; and, when
+//             $TRIDENT_NATIVE_CACHE names a directory, across processes
+//             too — the shared object is published there as
+//             tn-<irhash16>-g<codegen version>.so with the full cache
+//             key baked in as the `tn_key` symbol, and a later process
+//             (a restarted serve daemon, a re-run CLI) dlopens it after
+//             verifying tn_key instead of re-running the host compiler.
+//             A stale or foreign file fails the tn_key check and is
+//             replaced; cache hits surface as engine.native.cache_hits.
 //
 // The bit-identity contract (docs/ENGINE.md) holds exactly: per-
 // instruction fuel accounting, crash strings with faulting addresses,
@@ -53,6 +61,8 @@ struct NativeStats {
   double compile_ms = 0;    // codegen + host compile + dlopen wall time
   uint64_t functions = 0;   // compiled ir::Functions (0 when unavailable)
   uint64_t code_bytes = 0;  // size of the produced shared object
+  uint64_t cache_hits = 0;  // 1 when the object came from the persistent
+                            // $TRIDENT_NATIVE_CACHE dir (no compiler run)
 };
 
 /// One module compiled to host machine code, plus the shared lowered
@@ -68,6 +78,13 @@ class NativeProgram {
   /// IR. Never fails hard: when the host cannot runtime-compile, the
   /// returned program reports available() == false and error() says why.
   static std::shared_ptr<const NativeProgram> build(const ir::Module& module);
+
+  /// build() without the process-wide memoization — every call runs the
+  /// full compile path (still honouring $TRIDENT_NATIVE_CACHE). The
+  /// persistent-cache tests use this to exercise a "fresh process"
+  /// without forking one.
+  static std::shared_ptr<const NativeProgram> build_uncached(
+      const ir::Module& module);
 
   ~NativeProgram();
   NativeProgram(const NativeProgram&) = delete;
@@ -88,9 +105,11 @@ class NativeProgram {
  private:
   NativeProgram() = default;
 
-  /// Codegen + host compile + dlopen; on any failure leaves the program
-  /// unavailable with error_ set (and lowered_ still usable).
-  void compile(const ir::Module& module);
+  /// Codegen + host compile + dlopen (or a persistent-cache dlopen);
+  /// `ir_text` is the module's printed IR, the content the cache key is
+  /// derived from. On any failure leaves the program unavailable with
+  /// error_ set (and lowered_ still usable).
+  void compile(const ir::Module& module, const std::string& ir_text);
 
   std::shared_ptr<const LoweredProgram> lowered_;
   void* handle_ = nullptr;        // dlopen handle, closed in the dtor

@@ -1,0 +1,40 @@
+#include "obs/interrupt.h"
+
+#include <csignal>
+#include <cstdlib>
+
+namespace trident::obs {
+
+namespace {
+
+// sig_atomic_t, not std::atomic: the only writer that matters is the
+// async signal handler, and sig_atomic_t is the type the standard
+// guarantees is safe there. Readers poll, so torn reads are impossible
+// (the value is 0 or 1) and ordering is irrelevant.
+volatile std::sig_atomic_t g_interrupted = 0;
+
+extern "C" void on_signal(int sig) {
+  if (g_interrupted) {
+    // Second signal: the cooperative path is stuck or too slow — die
+    // now with the conventional 128+SIGINT status. _Exit is
+    // async-signal-safe; nothing here may allocate or lock.
+    std::_Exit(130);
+  }
+  g_interrupted = 1;
+  (void)sig;
+}
+
+}  // namespace
+
+void install_interrupt_handlers() {
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+}
+
+bool interrupt_requested() { return g_interrupted != 0; }
+
+void request_interrupt() { g_interrupted = 1; }
+
+void clear_interrupt() { g_interrupted = 0; }
+
+}  // namespace trident::obs

@@ -1,0 +1,45 @@
+// Cooperative process-wide interrupt flag (SIGINT/SIGTERM).
+//
+// Long-running stages — FI campaign trial loops, eval cell runs, the
+// serve daemon's accept loop — poll interrupt_requested() between units
+// of work and wind down cleanly when it is set: campaigns stop
+// scheduling new trials (every finished trial is already flushed to the
+// JSONL checkpoint log), the eval orchestrator stops starting cells and
+// throws Interrupted, and the CLI writes the run manifest before
+// exiting with status 130. A second signal restores the default
+// disposition path and terminates immediately, so a wedged run can
+// still be killed from the keyboard.
+//
+// The flag is process-wide by design: one Ctrl-C means "this process
+// should stop", and every cooperating loop in the process observes the
+// same signal without any plumbing.
+#pragma once
+
+#include <stdexcept>
+
+namespace trident::obs {
+
+/// Installs the SIGINT/SIGTERM handlers (idempotent; safe to call from
+/// main() before any threads exist). Without this call the flag can
+/// still be driven manually via request_interrupt().
+void install_interrupt_handlers();
+
+/// True once a signal arrived or request_interrupt() ran.
+bool interrupt_requested();
+
+/// Sets the flag programmatically (the serve daemon's shutdown path and
+/// the tests use this; it is exactly what the signal handler does).
+void request_interrupt();
+
+/// Clears the flag (tests only — a real run never un-interrupts).
+void clear_interrupt();
+
+/// Thrown by orchestrators (eval::run_spec) when the flag preempted the
+/// run. The CLI maps it to exit status 130 after flushing the manifest.
+class Interrupted : public std::runtime_error {
+ public:
+  Interrupted() : std::runtime_error(
+      "interrupted (SIGINT/SIGTERM); finished work is checkpointed") {}
+};
+
+}  // namespace trident::obs

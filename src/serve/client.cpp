@@ -1,0 +1,137 @@
+#include "serve/client.h"
+
+#include <stdexcept>
+
+#include "serve/protocol.h"
+#include "serve/session.h"
+
+namespace trident::serve {
+
+namespace json = support::json;
+
+struct Client::Impl {
+  std::unique_ptr<LineChannel> channel;
+  uint64_t session_id = 0;
+  uint64_t next_id = 0;
+};
+
+Client::Client(const std::string& socket_path) : impl_(new Impl) {
+  std::string error;
+  const int fd = connect_unix(socket_path, &error);
+  if (fd < 0) throw std::runtime_error("trident client: " + error);
+  impl_->channel = std::make_unique<LineChannel>(fd);
+
+  std::string line;
+  if (!impl_->channel->read_line(&line)) {
+    throw std::runtime_error(
+        "trident client: daemon closed the connection before hello");
+  }
+  Event hello;
+  if (!parse_event(line, &hello, &error) ||
+      hello.kind != Event::Kind::Hello) {
+    throw std::runtime_error("trident client: bad hello: " + error);
+  }
+  impl_->session_id = hello.session;
+}
+
+Client::~Client() = default;
+
+uint64_t Client::session_id() const { return impl_->session_id; }
+
+json::Value Client::call(json::Value request, const ProgressFn& progress) {
+  const uint64_t id = ++impl_->next_id;
+  request.set("id", json::Value(id));
+  if (!impl_->channel->send_line(request.write() + "\n")) {
+    throw std::runtime_error("trident client: daemon connection lost");
+  }
+  std::string line;
+  while (impl_->channel->read_line(&line)) {
+    Event event;
+    std::string error;
+    if (!parse_event(line, &event, &error)) {
+      throw std::runtime_error("trident client: " + error);
+    }
+    switch (event.kind) {
+      case Event::Kind::Progress:
+        if (event.id == id && progress) progress(event.done, event.total);
+        break;
+      case Event::Kind::Result:
+        if (event.id == id) return std::move(event.data);
+        break;  // a stray reply to an older id: ignore
+      case Event::Kind::Error:
+        if (event.id == id || event.id == 0) {
+          throw std::runtime_error("trident client: server error: " +
+                                   event.message);
+        }
+        break;
+      case Event::Kind::Hello:
+        break;  // unexpected mid-stream; harmless
+    }
+  }
+  throw std::runtime_error(
+      "trident client: daemon closed the connection mid-request");
+}
+
+EvalOutcome Client::eval(const std::string& spec_json, bool force,
+                         const ProgressFn& progress) {
+  json::ParseError perr;
+  auto spec = json::parse(spec_json, &perr);
+  if (!spec || !spec->is_object()) {
+    throw std::runtime_error("trident client: spec is not a JSON object: " +
+                             perr.message);
+  }
+  json::Value req = json::Value::object();
+  req.set("op", json::Value(std::string("eval")));
+  req.set("spec", std::move(*spec));
+  if (force) req.set("force", json::Value(true));
+  const json::Value d = call(std::move(req), progress);
+
+  EvalOutcome out;
+  out.spec_name = d.get_string("spec_name", "");
+  out.cells_total = d.get_uint("cells_total", 0);
+  out.cells_computed = d.get_uint("cells_computed", 0);
+  out.cells_cached = d.get_uint("cells_cached", 0);
+  out.cells_deduped = d.get_uint("cells_deduped", 0);
+  out.fi_trials_run = d.get_uint("fi_trials_run", 0);
+  out.report_json = d.get_string("report_json", "");
+  out.report_csv = d.get_string("report_csv", "");
+  out.per_instruction_csv = d.get_string("per_instruction_csv", "");
+  out.report_md = d.get_string("report_md", "");
+  return out;
+}
+
+json::Value Client::predict(const std::string& target,
+                            const std::string& model) {
+  json::Value req = json::Value::object();
+  req.set("op", json::Value(std::string("predict")));
+  req.set("target", json::Value(target));
+  req.set("model", json::Value(model));
+  return call(std::move(req), nullptr);
+}
+
+json::Value Client::analyze(const std::string& target) {
+  json::Value req = json::Value::object();
+  req.set("op", json::Value(std::string("analyze")));
+  req.set("target", json::Value(target));
+  return call(std::move(req), nullptr);
+}
+
+bool Client::ping() {
+  json::Value req = json::Value::object();
+  req.set("op", json::Value(std::string("ping")));
+  return call(std::move(req), nullptr).get_bool("pong", false);
+}
+
+json::Value Client::stats() {
+  json::Value req = json::Value::object();
+  req.set("op", json::Value(std::string("stats")));
+  return call(std::move(req), nullptr);
+}
+
+void Client::shutdown_server() {
+  json::Value req = json::Value::object();
+  req.set("op", json::Value(std::string("shutdown")));
+  call(std::move(req), nullptr);
+}
+
+}  // namespace trident::serve

@@ -1,0 +1,79 @@
+// Client side of the trident-serve/1 protocol: connect, submit, stream.
+//
+// One Client is one connection (one daemon session). Calls are
+// synchronous — each sends a request and blocks until the matching
+// result or error event arrives, forwarding progress events to the
+// caller's callback along the way. Server-reported errors surface as
+// std::runtime_error carrying the daemon's message.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "support/json.h"
+
+namespace trident::serve {
+
+/// What an eval request returns: the finished report artifacts (byte-
+/// identical to offline `trident eval` output) plus cell accounting.
+struct EvalOutcome {
+  std::string report_json;
+  std::string report_csv;
+  std::string per_instruction_csv;
+  std::string report_md;
+  uint64_t cells_total = 0;
+  uint64_t cells_computed = 0;
+  uint64_t cells_cached = 0;
+  uint64_t cells_deduped = 0;
+  uint64_t fi_trials_run = 0;
+  std::string spec_name;
+};
+
+class Client {
+ public:
+  using ProgressFn = std::function<void(uint64_t done, uint64_t total)>;
+
+  /// Connects and validates the daemon's hello. Throws
+  /// std::runtime_error when the daemon is unreachable or speaks a
+  /// different protocol version.
+  explicit Client(const std::string& socket_path);
+  ~Client();
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Submits an eval spec (the JSON text of a trident-eval-spec/1
+  /// document) and blocks until the report comes back.
+  EvalOutcome eval(const std::string& spec_json, bool force,
+                   const ProgressFn& progress = nullptr);
+
+  /// Overall SDC prediction for one registered workload.
+  support::json::Value predict(const std::string& target,
+                               const std::string& model);
+
+  /// trident-analyze/1 lint document for one registered workload.
+  support::json::Value analyze(const std::string& target);
+
+  /// Round-trip liveness probe.
+  bool ping();
+
+  /// The daemon's current counter/gauge registry.
+  support::json::Value stats();
+
+  /// Asks the daemon to shut down (it finishes in-flight requests).
+  void shutdown_server();
+
+  /// Session id assigned by the daemon's hello.
+  uint64_t session_id() const;
+
+ private:
+  /// Sends `request` and pumps events until result/error for it.
+  support::json::Value call(support::json::Value request,
+                            const ProgressFn& progress);
+
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace trident::serve

@@ -1,0 +1,267 @@
+#include "serve/daemon.h"
+
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "analysis/lint.h"
+#include "core/trident.h"
+#include "eval/report.h"
+#include "eval/spec.h"
+#include "obs/interrupt.h"
+#include "profiler/profiler.h"
+#include "serve/protocol.h"
+#include "serve/scheduler.h"
+#include "serve/session.h"
+#include "workloads/workloads.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+namespace trident::serve {
+
+namespace json = support::json;
+
+namespace {
+
+/// Resolves the request's "target" workload (throwing on an unknown
+/// name, with the full registered list in the message).
+const workloads::Workload& named_workload(const json::Value& body) {
+  const std::string target = body.get_string("target", "");
+  if (target.empty()) {
+    throw std::runtime_error("request has no \"target\" workload name");
+  }
+  return workloads::find_workload(target);
+}
+
+json::Value handle_predict(const json::Value& body) {
+  const auto& meta = named_workload(body);
+  const std::string model = body.get_string("model", "full");
+  const auto config = core::model_config_from_name(model);
+  if (!config) {
+    throw std::runtime_error("unknown model '" + model + "' (expected " +
+                             core::model_config_names() + ")");
+  }
+  const ir::Module module = meta.build();
+  const prof::Profile profile = prof::collect_profile(module);
+  const core::Trident trident(module, profile, *config);
+  json::Value d = json::Value::object();
+  d.set("target", json::Value(meta.name));
+  d.set("model", json::Value(model));
+  d.set("sdc", json::Value(trident.overall_sdc_exact()));
+  d.set("dynamic_insts", json::Value(profile.total_dynamic));
+  d.set("population", json::Value(profile.total_results));
+  return d;
+}
+
+json::Value handle_analyze(const json::Value& body, uint32_t threads) {
+  const auto& meta = named_workload(body);
+  const ir::Module module = meta.build();
+  return analysis::lint_to_json(analysis::lint_module(module, threads),
+                                meta.name);
+}
+
+}  // namespace
+
+struct Daemon::Impl {
+  const DaemonOptions* options = nullptr;
+  std::atomic<bool> shutdown{false};
+  std::atomic<uint64_t> next_session{0};
+  FairScheduler scheduler;
+  eval::InflightTable inflight;
+  obs::Registry scratch;  // sink when the caller passes no registry
+  obs::Registry* registry = nullptr;
+
+  std::mutex sessions_mutex;
+  std::vector<std::shared_ptr<LineChannel>> channels;
+  std::vector<std::thread> threads;
+
+  explicit Impl(uint32_t slots) : scheduler(slots) {}
+
+  json::Value handle_eval(const Request& req, LineChannel& channel,
+                          const std::shared_ptr<FairScheduler::Session>&
+                              session);
+  void run_session(std::shared_ptr<LineChannel> channel,
+                   uint64_t session_id);
+};
+
+json::Value Daemon::Impl::handle_eval(
+    const Request& req, LineChannel& channel,
+    const std::shared_ptr<FairScheduler::Session>& session) {
+  const json::Value* spec_obj = req.body.find("spec");
+  if (spec_obj == nullptr || !spec_obj->is_object()) {
+    throw std::runtime_error("eval request has no \"spec\" object");
+  }
+  eval::ExperimentSpec spec;
+  std::string error;
+  if (!eval::parse_spec(spec_obj->write(), &spec, &error)) {
+    throw std::runtime_error(error);
+  }
+
+  eval::RunOptions run;
+  run.store_dir = options->store_dir;
+  run.store_shards = options->store_shards;
+  run.store_upstream = options->upstream_dir;
+  run.threads = options->threads;
+  run.engine = options->engine;
+  run.force = req.body.get_bool("force", false);
+  run.metrics = options->metrics;
+  SessionScheduler cell_scheduler(scheduler, session);
+  run.scheduler = &cell_scheduler;
+  run.inflight = &inflight;
+  const uint64_t id = req.id;
+  run.on_progress = [&channel, id](uint64_t cells_done,
+                                   uint64_t cells_total) {
+    channel.send_line(progress_line(id, cells_done, cells_total));
+  };
+
+  const eval::EvalResults results = eval::run_spec(spec, run);
+
+  // The client writes these byte-for-byte; they are the exact strings
+  // eval::write_reports puts on disk, which is the determinism
+  // contract's observable surface.
+  json::Value d = json::Value::object();
+  d.set("spec_name", json::Value(spec.name));
+  d.set("cells_total", json::Value(results.cells_total));
+  d.set("cells_computed", json::Value(results.cells_computed));
+  d.set("cells_cached", json::Value(results.cells_cached));
+  d.set("cells_deduped", json::Value(results.cells_deduped));
+  d.set("fi_trials_run", json::Value(results.fi_trials_run));
+  d.set("report_json", json::Value(eval::report_json(results)));
+  d.set("report_csv", json::Value(eval::overall_csv(results)));
+  d.set("per_instruction_csv",
+        json::Value(eval::per_instruction_csv(results)));
+  d.set("report_md", json::Value(eval::report_markdown(results)));
+  return d;
+}
+
+void Daemon::Impl::run_session(std::shared_ptr<LineChannel> channel_ptr,
+                               uint64_t session_id) {
+  obs::Registry& reg = *registry;
+  LineChannel& channel = *channel_ptr;
+  if (!channel.send_line(hello_line(session_id))) return;
+  const auto session = scheduler.register_session();
+
+  std::string line;
+  while (channel.read_line(&line)) {
+    if (line.empty()) continue;
+    Request req;
+    std::string error;
+    if (!parse_request(line, &req, &error)) {
+      reg.add("serve.errors");
+      if (!channel.send_line(error_line(0, error))) break;
+      continue;
+    }
+    reg.add("serve.requests");
+    reg.add("serve.requests." + req.op);
+    try {
+      json::Value data = json::Value::object();
+      if (req.op == "eval") {
+        data = handle_eval(req, channel, session);
+      } else if (req.op == "predict") {
+        data = handle_predict(req.body);
+      } else if (req.op == "analyze") {
+        data = handle_analyze(req.body, options->threads);
+      } else if (req.op == "ping") {
+        data.set("pong", json::Value(true));
+      } else if (req.op == "stats") {
+        json::ParseError perr;
+        if (auto stats = json::parse(reg.to_json(), &perr)) {
+          data = std::move(*stats);
+        }
+      } else if (req.op == "shutdown") {
+        data.set("stopping", json::Value(true));
+        channel.send_line(result_line(req.id, std::move(data)));
+        shutdown.store(true);
+        break;
+      } else {
+        throw std::runtime_error("unknown op '" + req.op + "'");
+      }
+      if (!channel.send_line(result_line(req.id, std::move(data)))) break;
+    } catch (const std::exception& e) {
+      reg.add("serve.errors");
+      if (!channel.send_line(error_line(req.id, e.what()))) break;
+    }
+  }
+}
+
+Daemon::Daemon(DaemonOptions options)
+    : impl_(new Impl(options.slots)), options_(std::move(options)) {
+  impl_->options = &options_;
+  impl_->registry = options_.metrics != nullptr ? options_.metrics
+                                                : &impl_->scratch;
+}
+
+Daemon::~Daemon() { delete impl_; }
+
+void Daemon::request_shutdown() { impl_->shutdown.store(true); }
+
+void Daemon::serve() {
+#ifdef SIGPIPE
+  // A client that disconnects mid-reply must cost us an EPIPE write
+  // error on its own channel, never a process-killing signal.
+  std::signal(SIGPIPE, SIG_IGN);
+#endif
+  std::string error;
+  const int listen_fd = listen_unix(options_.socket_path, &error);
+  if (listen_fd < 0) {
+    throw std::runtime_error("trident serve: " + error);
+  }
+  obs::Registry& registry = *impl_->registry;
+  if (!options_.quiet) {
+    std::fprintf(stderr,
+                 "trident serve: listening on %s (store %s, %u shards)\n",
+                 options_.socket_path.c_str(), options_.store_dir.c_str(),
+                 options_.store_shards);
+  }
+
+  while (!impl_->shutdown.load() && !obs::interrupt_requested()) {
+    const int fd = accept_unix(listen_fd, /*timeout_ms=*/200, &error);
+    if (fd == 0) continue;  // timeout or EINTR: re-check the flags
+    if (fd < 0) {
+      if (!options_.quiet) {
+        std::fprintf(stderr, "trident serve: accept failed: %s\n",
+                     error.c_str());
+      }
+      break;
+    }
+    auto channel = std::make_shared<LineChannel>(fd);
+    const uint64_t session_id = impl_->next_session.fetch_add(1) + 1;
+    registry.add("serve.sessions");
+    std::lock_guard<std::mutex> lock(impl_->sessions_mutex);
+    impl_->channels.push_back(channel);
+    impl_->threads.emplace_back([this, channel, session_id] {
+      impl_->run_session(channel, session_id);
+    });
+  }
+
+#if defined(__unix__) || defined(__APPLE__)
+  ::close(listen_fd);
+  ::unlink(options_.socket_path.c_str());
+#endif
+  // Unblock every session reader, then join. A session mid-eval
+  // finishes its request first (shutdown() only closes its socket, not
+  // the computation), which keeps the store consistent.
+  {
+    std::lock_guard<std::mutex> lock(impl_->sessions_mutex);
+    for (const auto& channel : impl_->channels) channel->shutdown();
+  }
+  for (auto& thread : impl_->threads) thread.join();
+
+  registry.set_counter("serve.inflight_dedup_hits",
+                       impl_->inflight.dedup_hits());
+  registry.set_counter(
+      "serve.store_shards",
+      options_.store_shards == 0 ? 1 : options_.store_shards);
+  if (!options_.quiet) {
+    std::fprintf(stderr, "trident serve: shut down\n");
+  }
+}
+
+}  // namespace trident::serve

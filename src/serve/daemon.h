@@ -1,0 +1,82 @@
+// The trident evaluation daemon (docs/SERVE.md).
+//
+// One long-lived process owns a sharded eval::ResultStore and the
+// shared thread pool; any number of `trident client` processes connect
+// over a Unix-domain socket and submit eval specs, prediction queries
+// and analysis requests. The daemon gives them three things an offline
+// `trident eval` cannot:
+//
+//   warm state    workload modules, profiles and (with --engine native)
+//                 compiled code persist across requests instead of
+//                 being rebuilt per invocation;
+//   dedup         identical in-flight cells are computed once — two
+//                 clients submitting overlapping specs share one
+//                 campaign (eval::InflightTable), and finished cells
+//                 are served from the store as usual;
+//   fairness      cells are scheduled round-robin across sessions
+//                 (serve::FairScheduler), so a small request lands
+//                 between a big request's cells instead of behind all
+//                 of them.
+//
+// Determinism contract: a daemon-served spec produces byte-identical
+// report artifacts to an offline `trident eval` of the same spec —
+// sharding, dedup and fair scheduling change where and when cells
+// compute, never what they compute.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "eval/runner.h"
+#include "interp/engine.h"
+#include "obs/metrics.h"
+
+namespace trident::serve {
+
+struct DaemonOptions {
+  /// Unix-domain socket path clients connect to.
+  std::string socket_path = "/tmp/trident-serve.sock";
+  /// Shared result store (sharded by default: many sessions write
+  /// concurrently).
+  std::string store_dir = "serve-out/store";
+  uint32_t store_shards = 16;
+  /// Optional read-only upstream store (eval::StoreOptions).
+  std::string upstream_dir;
+  /// Worker cap for cell internals (0 = pool default).
+  uint32_t threads = 0;
+  /// Concurrent-cell cap for the fair scheduler (0 = pool default).
+  uint32_t slots = 0;
+  /// Execution backend for FI cells.
+  interp::EngineKind engine = interp::EngineKind::Interp;
+  /// serve.* / eval.* / fi.* counter sink (required for the manifest).
+  obs::Registry* metrics = nullptr;
+  /// Suppress the startup/shutdown notices on stderr.
+  bool quiet = false;
+};
+
+class Daemon {
+ public:
+  explicit Daemon(DaemonOptions options);
+  ~Daemon();
+  Daemon(const Daemon&) = delete;
+  Daemon& operator=(const Daemon&) = delete;
+
+  /// Binds the socket and serves until a client sends `shutdown`, or
+  /// SIGINT/SIGTERM arrives (obs::interrupt_requested). Throws
+  /// std::runtime_error when the socket cannot be bound. On return all
+  /// session threads are joined and the socket file is removed.
+  void serve();
+
+  /// Asks the accept loop to wind down (thread-safe; the `shutdown` op
+  /// and tests use this).
+  void request_shutdown();
+
+  const DaemonOptions& options() const { return options_; }
+
+ private:
+  struct Impl;
+  Impl* impl_;
+  DaemonOptions options_;
+};
+
+}  // namespace trident::serve

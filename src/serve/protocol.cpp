@@ -1,0 +1,107 @@
+#include "serve/protocol.h"
+
+namespace trident::serve {
+
+namespace json = support::json;
+
+bool parse_request(const std::string& line, Request* out,
+                   std::string* error) {
+  json::ParseError perr;
+  auto doc = json::parse(line, &perr);
+  if (!doc) {
+    if (error != nullptr) *error = "malformed request: " + perr.message;
+    return false;
+  }
+  if (!doc->is_object()) {
+    if (error != nullptr) *error = "request is not a JSON object";
+    return false;
+  }
+  out->op = doc->get_string("op", "");
+  if (out->op.empty()) {
+    if (error != nullptr) *error = "request has no \"op\"";
+    return false;
+  }
+  out->id = doc->get_uint("id", 0);
+  out->body = std::move(*doc);
+  return true;
+}
+
+std::string hello_line(uint64_t session_id) {
+  json::Value v = json::Value::object();
+  v.set("event", json::Value(std::string("hello")));
+  v.set("protocol", json::Value(std::string(kProtocol)));
+  v.set("session", json::Value(session_id));
+  return v.write() + "\n";
+}
+
+std::string progress_line(uint64_t id, uint64_t done, uint64_t total) {
+  json::Value v = json::Value::object();
+  v.set("event", json::Value(std::string("progress")));
+  v.set("id", json::Value(id));
+  v.set("done", json::Value(done));
+  v.set("total", json::Value(total));
+  return v.write() + "\n";
+}
+
+std::string result_line(uint64_t id, json::Value data) {
+  json::Value v = json::Value::object();
+  v.set("event", json::Value(std::string("result")));
+  v.set("id", json::Value(id));
+  v.set("data", std::move(data));
+  return v.write() + "\n";
+}
+
+std::string error_line(uint64_t id, const std::string& message) {
+  json::Value v = json::Value::object();
+  v.set("event", json::Value(std::string("error")));
+  v.set("id", json::Value(id));
+  v.set("message", json::Value(message));
+  return v.write() + "\n";
+}
+
+bool parse_event(const std::string& line, Event* out, std::string* error) {
+  json::ParseError perr;
+  auto doc = json::parse(line, &perr);
+  if (!doc || !doc->is_object()) {
+    if (error != nullptr) {
+      *error = !doc ? "malformed event: " + perr.message
+                    : "event is not a JSON object";
+    }
+    return false;
+  }
+  const std::string kind = doc->get_string("event", "");
+  if (kind == "hello") {
+    if (doc->get_string("protocol", "") != kProtocol) {
+      if (error != nullptr) {
+        *error = "protocol mismatch: server speaks '" +
+                 doc->get_string("protocol", "") + "', client speaks '" +
+                 kProtocol + "'";
+      }
+      return false;
+    }
+    out->kind = Event::Kind::Hello;
+    out->session = doc->get_uint("session", 0);
+    return true;
+  }
+  out->id = doc->get_uint("id", 0);
+  if (kind == "progress") {
+    out->kind = Event::Kind::Progress;
+    out->done = doc->get_uint("done", 0);
+    out->total = doc->get_uint("total", 0);
+    return true;
+  }
+  if (kind == "result") {
+    out->kind = Event::Kind::Result;
+    if (const json::Value* data = doc->find("data")) out->data = *data;
+    return true;
+  }
+  if (kind == "error") {
+    out->kind = Event::Kind::Error;
+    out->message = doc->get_string("message", "unknown server error");
+    return true;
+  }
+  if (error != nullptr) *error = "unknown event kind '" + kind + "'";
+  return false;
+}
+
+}  // namespace trident::serve

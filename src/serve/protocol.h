@@ -1,0 +1,61 @@
+// Wire protocol of the evaluation daemon (docs/SERVE.md).
+//
+// trident-serve/1 is line-delimited JSON over a Unix-domain stream
+// socket: every message is one compact JSON object on one line. The
+// daemon opens each connection with a `hello` event; after that the
+// client sends requests `{"op": ..., "id": N, ...}` and the daemon
+// answers each with zero or more `progress` events followed by exactly
+// one `result` or `error` event echoing the request id. Requests on one
+// connection are served in order; ids let a client correlate anyway
+// (and keep the protocol honest about which reply answers what).
+//
+// Ops: eval (body: spec object + force flag), predict (target, model),
+// analyze (target), ping, stats, shutdown.
+//
+// Framing relies on support::json::Value::write() emitting no raw
+// newlines (it escapes them inside strings), so "one line" and "one
+// message" coincide by construction.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "support/json.h"
+
+namespace trident::serve {
+
+inline constexpr const char* kProtocol = "trident-serve/1";
+
+/// One parsed client request.
+struct Request {
+  std::string op;
+  uint64_t id = 0;
+  support::json::Value body;  // the whole request object
+};
+
+/// Parses one request line. False (with *error set) on malformed JSON,
+/// a non-object, or a missing/empty "op".
+bool parse_request(const std::string& line, Request* out, std::string* error);
+
+// ---- Server-side line builders (all end in '\n') -----------------------
+std::string hello_line(uint64_t session_id);
+std::string progress_line(uint64_t id, uint64_t done, uint64_t total);
+std::string result_line(uint64_t id, support::json::Value data);
+std::string error_line(uint64_t id, const std::string& message);
+
+/// One parsed server event (client side).
+struct Event {
+  enum class Kind { Hello, Progress, Result, Error };
+  Kind kind = Kind::Error;
+  uint64_t id = 0;       // request id (Progress/Result/Error)
+  uint64_t session = 0;  // Hello
+  uint64_t done = 0, total = 0;  // Progress
+  std::string message;           // Error
+  support::json::Value data;     // Result payload
+};
+
+/// Parses one server event line. False (with *error set) on malformed
+/// JSON, an unknown event kind, or a hello with the wrong protocol.
+bool parse_event(const std::string& line, Event* out, std::string* error);
+
+}  // namespace trident::serve

@@ -1,0 +1,131 @@
+#include "serve/scheduler.h"
+
+#include <exception>
+
+#include "support/thread_pool.h"
+
+namespace trident::serve {
+
+/// Completion state of one run_cells call, shared by its queued tasks
+/// and the blocked caller. Kept alive by shared_ptr captures so a
+/// still-running task outliving an exceptional caller is harmless.
+struct FairScheduler::Batch {
+  std::mutex mutex;
+  std::condition_variable finished;
+  uint64_t remaining = 0;
+  std::exception_ptr first_error;
+};
+
+FairScheduler::FairScheduler(uint32_t slots, bool autostart)
+    : slots_(slots != 0 ? slots : support::ThreadPool::default_threads()),
+      started_(autostart) {}
+
+FairScheduler::~FairScheduler() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  // run_cells is synchronous, so by destruction time no caller can be
+  // blocked and the queues are empty; only in-flight pumps remain.
+  started_ = false;
+  idle_.wait(lock, [&] { return active_ == 0; });
+}
+
+void FairScheduler::start() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  started_ = true;
+  spawn_locked();
+}
+
+std::shared_ptr<FairScheduler::Session> FairScheduler::register_session() {
+  auto session = std::make_shared<Session>();
+  std::lock_guard<std::mutex> lock(mutex_);
+  sessions_.push_back(session);
+  return session;
+}
+
+std::function<void()> FairScheduler::dequeue_rr() {
+  const size_t count = sessions_.size();
+  for (size_t j = 0; j < count; ++j) {
+    const size_t idx = (cursor_ + j) % count;
+    if (auto session = sessions_[idx].lock();
+        session != nullptr && !session->tasks_.empty()) {
+      std::function<void()> task = std::move(session->tasks_.front());
+      session->tasks_.pop_front();
+      cursor_ = (idx + 1) % count;  // next scan starts past this session
+      --pending_;
+      return task;
+    }
+  }
+  // Nothing queued anywhere: reap sessions whose owners disconnected.
+  std::erase_if(sessions_,
+                [](const std::weak_ptr<Session>& s) { return s.expired(); });
+  cursor_ = 0;
+  return {};
+}
+
+void FairScheduler::spawn_locked() {
+  while (started_ && active_ < slots_ && active_ < pending_) {
+    ++active_;
+    support::ThreadPool::global().submit([this] { pump(); });
+  }
+}
+
+void FairScheduler::pump() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      task = dequeue_rr();
+      if (!task) {
+        --active_;
+        idle_.notify_all();
+        return;
+      }
+    }
+    task();
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++tasks_run_;
+  }
+}
+
+void FairScheduler::run_cells(const std::shared_ptr<Session>& session,
+                              uint64_t n,
+                              const std::function<void(uint64_t)>& body) {
+  if (n == 0) return;
+  auto batch = std::make_shared<Batch>();
+  batch->remaining = n;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (uint64_t i = 0; i < n; ++i) {
+      session->tasks_.push_back([batch, &body, i] {
+        // `body` is safe to capture by reference: the caller blocks
+        // below until remaining hits zero, which happens only after
+        // every task's body call has returned.
+        std::exception_ptr error;
+        try {
+          body(i);
+        } catch (...) {
+          error = std::current_exception();
+        }
+        std::lock_guard<std::mutex> batch_lock(batch->mutex);
+        if (error && !batch->first_error) batch->first_error = error;
+        if (--batch->remaining == 0) batch->finished.notify_all();
+      });
+    }
+    pending_ += n;
+    spawn_locked();
+  }
+  std::unique_lock<std::mutex> lock(batch->mutex);
+  batch->finished.wait(lock, [&] { return batch->remaining == 0; });
+  if (batch->first_error) std::rethrow_exception(batch->first_error);
+}
+
+uint64_t FairScheduler::pending() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return pending_;
+}
+
+uint64_t FairScheduler::tasks_run() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return tasks_run_;
+}
+
+}  // namespace trident::serve

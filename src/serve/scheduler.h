@@ -1,0 +1,114 @@
+// Fair cross-session cell scheduling for the serve daemon.
+//
+// Every connected client session registers here; when a session's eval
+// request reaches its compute phase it enqueues its owned cells and
+// blocks until they finish. Cells are drained round-robin *across
+// sessions* — one cell from session A, one from B, ... — so a client
+// that submits a thousand-cell spec cannot starve the client that
+// submitted three cells behind it; with k active sessions each gets
+// ~1/k of the compute slots regardless of arrival order or spec size.
+// Compare the offline path, which hands the whole cell list to
+// ThreadPool::parallel_for at once (perfect for one tenant, FIFO-unfair
+// for many).
+//
+// The scheduler owns no threads. It submits up to `slots` short-lived
+// "pump" jobs to the shared ThreadPool; each pump repeatedly picks the
+// next session's front task, runs it, and exits when every queue is
+// empty. FI cells still parallelize their trial loops on the same pool
+// underneath — fairness is applied at the cell boundary, where the
+// determinism contract already guarantees order independence.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "eval/runner.h"
+
+namespace trident::serve {
+
+class FairScheduler {
+ public:
+  /// `slots` caps concurrently running cells (0 = the pool's default
+  /// thread count). `autostart = false` queues without draining until
+  /// start() — the scheduling tests use this to stage a deterministic
+  /// backlog.
+  explicit FairScheduler(uint32_t slots = 0, bool autostart = true);
+  /// Blocks until every pump has exited (run_cells callers have all
+  /// returned by then; nothing can be left queued).
+  ~FairScheduler();
+
+  /// Begins draining (idempotent).
+  void start();
+
+  /// One session's private task queue. Sessions are addressed by
+  /// shared_ptr; a session that disconnects simply drops its pointer
+  /// and the scheduler reaps the dead entry on its next scan.
+  class Session {
+   private:
+    friend class FairScheduler;
+    std::deque<std::function<void()>> tasks_;
+  };
+
+  std::shared_ptr<Session> register_session();
+
+  /// Enqueues body(0..n-1) on `session`'s queue and blocks until all n
+  /// have run. Tasks interleave round-robin with other sessions'.
+  /// Rethrows the first body exception after the batch drains (the
+  /// batch is never abandoned half-queued — eval's inflight accounting
+  /// relies on every owned cell either running or failing explicitly).
+  void run_cells(const std::shared_ptr<Session>& session, uint64_t n,
+                 const std::function<void(uint64_t)>& body);
+
+  /// Tasks enqueued but not yet started (all sessions).
+  uint64_t pending() const;
+  /// Tasks completed since construction.
+  uint64_t tasks_run() const;
+
+ private:
+  struct Batch;
+
+  /// Pops the next task round-robin across sessions; empty function
+  /// when every queue is drained. Caller holds mutex_.
+  std::function<void()> dequeue_rr();
+  /// Tops up pump jobs on the shared pool. Caller holds mutex_.
+  void spawn_locked();
+  /// One pump job: drain tasks until the queues are empty.
+  void pump();
+
+  mutable std::mutex mutex_;
+  std::condition_variable idle_;  // signalled when a pump exits
+  std::vector<std::weak_ptr<Session>> sessions_;
+  size_t cursor_ = 0;       // round-robin position in sessions_
+  uint32_t slots_ = 0;      // max concurrent pumps
+  uint32_t active_ = 0;     // pumps currently running
+  bool started_ = false;
+  uint64_t pending_ = 0;
+  uint64_t tasks_run_ = 0;
+};
+
+/// eval::CellScheduler adapter binding one session to the shared
+/// FairScheduler: the daemon passes this in RunOptions::scheduler so
+/// run_spec's owned cells go through the fair queue instead of a
+/// private parallel_for.
+class SessionScheduler final : public eval::CellScheduler {
+ public:
+  SessionScheduler(FairScheduler& scheduler,
+                   std::shared_ptr<FairScheduler::Session> session)
+      : scheduler_(scheduler), session_(std::move(session)) {}
+
+  void run_cells(uint64_t n,
+                 const std::function<void(uint64_t)>& body) override {
+    scheduler_.run_cells(session_, n, body);
+  }
+
+ private:
+  FairScheduler& scheduler_;
+  std::shared_ptr<FairScheduler::Session> session_;
+};
+
+}  // namespace trident::serve

@@ -1,0 +1,199 @@
+#include "serve/session.h"
+
+#include <cerrno>
+#include <cstring>
+#include <mutex>
+#include <string>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define TRIDENT_SERVE_SUPPORTED 1
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#else
+#define TRIDENT_SERVE_SUPPORTED 0
+#endif
+
+#ifndef MSG_NOSIGNAL
+#define MSG_NOSIGNAL 0  // macOS: the daemon ignores SIGPIPE instead
+#endif
+
+namespace trident::serve {
+
+bool serve_supported() { return TRIDENT_SERVE_SUPPORTED != 0; }
+
+#if !TRIDENT_SERVE_SUPPORTED
+
+namespace {
+int unsupported(std::string* error) {
+  if (error != nullptr) {
+    *error = "trident serve requires Unix-domain sockets, which this "
+             "platform does not provide";
+  }
+  return -1;
+}
+}  // namespace
+
+int listen_unix(const std::string&, std::string* error) {
+  return unsupported(error);
+}
+int connect_unix(const std::string&, std::string* error) {
+  return unsupported(error);
+}
+int accept_unix(int, int, std::string* error) { return unsupported(error); }
+
+struct LineChannel::Impl {};
+LineChannel::LineChannel(int) : impl_(nullptr) {}
+LineChannel::~LineChannel() = default;
+bool LineChannel::send_line(const std::string&) { return false; }
+bool LineChannel::read_line(std::string*) { return false; }
+void LineChannel::shutdown() {}
+int LineChannel::fd() const { return -1; }
+
+#else  // TRIDENT_SERVE_SUPPORTED
+
+namespace {
+
+bool fill_addr(const std::string& path, sockaddr_un* addr,
+               std::string* error) {
+  if (path.size() >= sizeof(addr->sun_path)) {
+    if (error != nullptr) {
+      *error = "socket path too long (" + std::to_string(path.size()) +
+               " bytes; the sockaddr_un limit is " +
+               std::to_string(sizeof(addr->sun_path) - 1) + ")";
+    }
+    return false;
+  }
+  std::memset(addr, 0, sizeof(*addr));
+  addr->sun_family = AF_UNIX;
+  std::memcpy(addr->sun_path, path.c_str(), path.size() + 1);
+  return true;
+}
+
+std::string errno_message(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+int listen_unix(const std::string& path, std::string* error) {
+  sockaddr_un addr;
+  if (!fill_addr(path, &addr, error)) return -1;
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    if (error != nullptr) *error = errno_message("socket");
+    return -1;
+  }
+  // A previous daemon that crashed leaves its socket file behind; bind
+  // would fail with EADDRINUSE. Remove it — a *live* daemon is still
+  // detectable by clients because connect succeeds only against a
+  // listening socket, never a plain file.
+  ::unlink(path.c_str());
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    if (error != nullptr) *error = errno_message("bind");
+    ::close(fd);
+    return -1;
+  }
+  if (::listen(fd, 64) != 0) {
+    if (error != nullptr) *error = errno_message("listen");
+    ::close(fd);
+    ::unlink(path.c_str());
+    return -1;
+  }
+  return fd;
+}
+
+int connect_unix(const std::string& path, std::string* error) {
+  sockaddr_un addr;
+  if (!fill_addr(path, &addr, error)) return -1;
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    if (error != nullptr) *error = errno_message("socket");
+    return -1;
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    if (error != nullptr) {
+      *error = "cannot connect to '" + path + "': " + std::strerror(errno) +
+               " (is the daemon running? start one with `trident serve`)";
+    }
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+int accept_unix(int listen_fd, int timeout_ms, std::string* error) {
+  pollfd pfd{listen_fd, POLLIN, 0};
+  const int ready = ::poll(&pfd, 1, timeout_ms);
+  if (ready == 0) return 0;
+  if (ready < 0) {
+    if (errno == EINTR) return 0;  // signal: let the loop poll its flags
+    if (error != nullptr) *error = errno_message("poll");
+    return -1;
+  }
+  const int fd = ::accept(listen_fd, nullptr, nullptr);
+  if (fd < 0) {
+    if (errno == EINTR || errno == ECONNABORTED) return 0;
+    if (error != nullptr) *error = errno_message("accept");
+    return -1;
+  }
+  return fd;
+}
+
+struct LineChannel::Impl {
+  int fd = -1;
+  std::mutex send_mutex;
+  std::string read_buffer;  // single-consumer, no lock needed
+};
+
+LineChannel::LineChannel(int fd) : impl_(new Impl) { impl_->fd = fd; }
+
+LineChannel::~LineChannel() {
+  if (impl_->fd >= 0) ::close(impl_->fd);
+  delete impl_;
+}
+
+bool LineChannel::send_line(const std::string& line) {
+  std::lock_guard<std::mutex> lock(impl_->send_mutex);
+  size_t off = 0;
+  while (off < line.size()) {
+    const ssize_t n = ::send(impl_->fd, line.data() + off, line.size() - off,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+bool LineChannel::read_line(std::string* line) {
+  std::string& buf = impl_->read_buffer;
+  for (;;) {
+    if (const size_t nl = buf.find('\n'); nl != std::string::npos) {
+      line->assign(buf, 0, nl);
+      buf.erase(0, nl + 1);
+      return true;
+    }
+    char chunk[4096];
+    const ssize_t n = ::recv(impl_->fd, chunk, sizeof chunk, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;  // EOF; a partial trailing line is dropped
+    buf.append(chunk, static_cast<size_t>(n));
+  }
+}
+
+void LineChannel::shutdown() { ::shutdown(impl_->fd, SHUT_RDWR); }
+
+int LineChannel::fd() const { return impl_->fd; }
+
+#endif  // TRIDENT_SERVE_SUPPORTED
+
+}  // namespace trident::serve

@@ -1,0 +1,61 @@
+// POSIX socket plumbing for the serve daemon: Unix-domain listeners,
+// connections, and a mutex-guarded line channel.
+//
+// Everything here is gated on serve_supported(): on non-POSIX hosts the
+// functions fail cleanly with an explanatory error and the CLI verbs
+// report the feature unavailable instead of failing to compile — the
+// same pattern the native backend uses for runtime compilation.
+#pragma once
+
+#include <string>
+
+namespace trident::serve {
+
+/// Whether this build has Unix-domain socket support at all.
+bool serve_supported();
+
+/// Creates, binds and listens on a Unix-domain stream socket. Removes a
+/// stale socket file first (connect_unix distinguishes a live daemon
+/// from a dead file). Returns the listening fd, or -1 with *error set
+/// (also when `path` exceeds the sockaddr_un limit, ~107 bytes).
+int listen_unix(const std::string& path, std::string* error);
+
+/// Connects to a daemon's socket. Returns the fd, or -1 with *error.
+int connect_unix(const std::string& path, std::string* error);
+
+/// Accepts one connection, waiting at most `timeout_ms` (so the accept
+/// loop can poll its shutdown flag). Returns the fd, 0 on timeout, or
+/// -1 with *error.
+int accept_unix(int listen_fd, int timeout_ms, std::string* error);
+
+/// One connected socket, read and written in whole '\n'-terminated
+/// lines. Sends are mutex-serialized so progress events emitted by
+/// worker threads never interleave mid-line; reads are single-consumer
+/// (each connection has one reader thread). The destructor closes the
+/// fd.
+class LineChannel {
+ public:
+  explicit LineChannel(int fd);
+  ~LineChannel();
+  LineChannel(const LineChannel&) = delete;
+  LineChannel& operator=(const LineChannel&) = delete;
+
+  /// Writes the full line (which must already end in '\n'). False once
+  /// the peer is gone; SIGPIPE is suppressed.
+  bool send_line(const std::string& line);
+
+  /// Reads up to the next '\n' (stripped). False on EOF or error.
+  bool read_line(std::string* line);
+
+  /// Shuts the socket down both ways, unblocking a reader in another
+  /// thread (the daemon's session teardown path).
+  void shutdown();
+
+  int fd() const;
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+}  // namespace trident::serve

@@ -5,6 +5,22 @@
 
 namespace trident::support {
 
+uint64_t fnv1a64(std::string_view s) {
+  uint64_t h = 14695981039346656037ull;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::string fnv1a64_hex(std::string_view s) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(fnv1a64(s)));
+  return buf;
+}
+
 std::string format(const char* fmt, ...) {
   va_list args;
   va_start(args, fmt);

@@ -1,11 +1,23 @@
 // Small string/formatting helpers used by the IR printer and the
-// benchmark harnesses (fixed-width tables, percentage formatting).
+// benchmark harnesses (fixed-width tables, percentage formatting), plus
+// the repo-standard cheap stable hash.
 #pragma once
 
+#include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace trident::support {
+
+/// FNV-1a 64-bit. The stable content hash behind the eval result
+/// store's file names and the native backend's compiled-object cache —
+/// stable across platforms and processes, never used where collision
+/// resistance matters (both callers re-validate the full key).
+uint64_t fnv1a64(std::string_view s);
+
+/// fnv1a64 rendered as 16 lowercase hex digits (the on-disk spelling).
+std::string fnv1a64_hex(std::string_view s);
 
 /// printf-style formatting into a std::string.
 std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));

@@ -13,6 +13,7 @@
 #include "fi/campaign.h"
 #include "ir/builder.h"
 #include "obs/checkpoint.h"
+#include "obs/interrupt.h"
 #include "profiler/profiler.h"
 
 namespace trident::fi {
@@ -283,6 +284,64 @@ TEST(Checkpoint, UnknownVersionIsRejected) {
     EXPECT_NE(std::string(e.what()).find("version 99"), std::string::npos)
         << e.what();
   }
+}
+
+// Clears the process-wide interrupt flag on scope exit so a failing
+// interrupt test cannot poison the tests that run after it.
+struct InterruptGuard {
+  ~InterruptGuard() { obs::clear_interrupt(); }
+};
+
+TEST(Checkpoint, InterruptSkipsRemainingSlotsAndResumeCompletes) {
+  const InterruptGuard guard;
+  const auto m = make_fragile();
+  const auto profile = prof::collect_profile(m);
+  const auto options = base_options();
+  const auto reference = run_overall_campaign(m, profile, options);
+
+  // Build a full log, cut it at 13 trials — the state a SIGINT'd run
+  // leaves behind.
+  const std::string full_path = tmp_path("ckpt_intr_full.jsonl");
+  auto with_log = options;
+  with_log.checkpoint_path = full_path;
+  run_overall_campaign(m, profile, with_log);
+  const auto lines = lines_of(read_file(full_path));
+  const std::string path = tmp_path("ckpt_intr.jsonl");
+  write_file(path, join(lines, 1 + 13));
+  auto resume = options;
+  resume.checkpoint_path = path;
+
+  // With the interrupt flag raised, the campaign restores the 13 logged
+  // trials, runs nothing new, and reports the preemption. The partial
+  // tally covers exactly the completed slots.
+  obs::request_interrupt();
+  const auto partial = run_overall_campaign(m, profile, resume);
+  EXPECT_TRUE(partial.interrupted);
+  EXPECT_EQ(partial.resumed, 13u);
+  EXPECT_EQ(partial.total(), 13u);
+
+  // Clearing the flag and re-running completes bit-identically, as if
+  // the interruption never happened.
+  obs::clear_interrupt();
+  const auto completed = run_overall_campaign(m, profile, resume);
+  EXPECT_FALSE(completed.interrupted);
+  EXPECT_EQ(completed.resumed, 13u);
+  expect_identical(completed, reference);
+}
+
+TEST(Checkpoint, InterruptBeforeAnyTrialTalliesNothing) {
+  const InterruptGuard guard;
+  const auto m = make_fragile();
+  const auto profile = prof::collect_profile(m);
+  auto options = base_options();
+  options.threads = 4;  // skipping must be safe under parallel slots too
+  obs::request_interrupt();
+  const auto result = run_overall_campaign(m, profile, options);
+  EXPECT_TRUE(result.interrupted);
+  EXPECT_EQ(result.total(), 0u);
+  EXPECT_EQ(result.sdc + result.benign + result.crash + result.hang +
+                result.detected,
+            0u);
 }
 
 TEST(Checkpoint, InstructionCampaignResumes) {

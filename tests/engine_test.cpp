@@ -11,7 +11,10 @@
 // fusion). docs/ENGINE.md states the contract this file enforces.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <filesystem>
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -20,6 +23,7 @@
 #include "fi/trial_runner.h"
 #include "interp/engine.h"
 #include "interp/interpreter.h"
+#include "interp/native.h"
 #include "interp/threaded.h"
 #include "ir/builder.h"
 #include "profiler/profiler.h"
@@ -694,6 +698,85 @@ TEST(EngineMetrics, ExportedOncePerCampaignAndThreadInvariant) {
   EXPECT_EQ(nfuncs[0], nfuncs[1]);
   EXPECT_EQ(nbytes[0], nbytes[1]);
 }
+
+#if defined(__unix__) || defined(__APPLE__)
+
+// Scoped TRIDENT_NATIVE_CACHE override (restores the prior value so the
+// other native tests keep running cache-less).
+struct NativeCacheEnv {
+  std::optional<std::string> prev;
+  explicit NativeCacheEnv(const std::string& dir) {
+    if (const char* p = std::getenv("TRIDENT_NATIVE_CACHE")) prev = p;
+    ::setenv("TRIDENT_NATIVE_CACHE", dir.c_str(), 1);
+  }
+  ~NativeCacheEnv() {
+    if (prev) {
+      ::setenv("TRIDENT_NATIVE_CACHE", prev->c_str(), 1);
+    } else {
+      ::unsetenv("TRIDENT_NATIVE_CACHE");
+    }
+  }
+};
+
+TEST(NativeEngine, PersistentCacheSkipsRecompileAcrossBuilds) {
+  namespace fs = std::filesystem;
+  const std::string cache_dir =
+      ::testing::TempDir() + "trident_native_cache_test";
+  fs::remove_all(cache_dir);
+  const NativeCacheEnv env(cache_dir);
+  const auto m = make_stateful();
+
+  // First build: a real compile that publishes tn-<hash>-g<ver>.so.
+  const auto first = interp::NativeProgram::build_uncached(m);
+  if (!first->available()) {
+    GTEST_SKIP() << "host cannot runtime-compile: " << first->error();
+  }
+  EXPECT_EQ(first->stats().cache_hits, 0u);
+  std::vector<fs::path> objects;
+  for (const auto& entry : fs::directory_iterator(cache_dir)) {
+    objects.push_back(entry.path());
+  }
+  ASSERT_EQ(objects.size(), 1u);
+  EXPECT_EQ(objects[0].filename().string().substr(0, 3), "tn-");
+  EXPECT_EQ(objects[0].extension(), ".so");
+
+  // Second build (a restarted daemon, in effect): served from the cache
+  // file, no compiler run, same compiled surface. Scoped so its dlopen
+  // handle is closed before the corruption phase below — a still-loaded
+  // library would otherwise satisfy dlopen by pathname alone.
+  {
+    const auto second = interp::NativeProgram::build_uncached(m);
+    ASSERT_TRUE(second->available());
+    EXPECT_EQ(second->stats().cache_hits, 1u);
+    EXPECT_EQ(second->stats().functions, first->stats().functions);
+    EXPECT_GT(second->stats().code_bytes, 0u);
+
+    // The cached object executes bit-identically to the interpreter.
+    interp::NativeEngine engine(m, second);
+    expect_same_run(engine.run_main({}),
+                    interp::Interpreter(m).run_main({}));
+  }
+
+  // A corrupted cache file degrades to a recompile, never to a crash or
+  // a bogus hit — and the recompile heals the cache. Unlink before
+  // rewriting: `first` above still maps its own original object.
+  fs::remove(objects[0]);
+  { std::ofstream(objects[0], std::ios::binary) << "not an ELF"; }
+  const auto healed = interp::NativeProgram::build_uncached(m);
+  ASSERT_TRUE(healed->available());
+  EXPECT_EQ(healed->stats().cache_hits, 0u);
+  const auto rehit = interp::NativeProgram::build_uncached(m);
+  ASSERT_TRUE(rehit->available());
+  EXPECT_EQ(rehit->stats().cache_hits, 1u);
+
+  // A different module must not hit this module's cache entry.
+  const auto other = interp::NativeProgram::build_uncached(make_diamond());
+  if (other->available()) {
+    EXPECT_EQ(other->stats().cache_hits, 0u);
+  }
+}
+
+#endif  // POSIX
 
 }  // namespace
 }  // namespace trident

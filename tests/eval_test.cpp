@@ -10,6 +10,7 @@
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "eval/report.h"
@@ -244,6 +245,158 @@ TEST(Store, SaveRemovesCheckpointSidecar) {
   ASSERT_TRUE(fs::exists(store.checkpoint_path(key)));
   store.save(key, json::Value::object());
   EXPECT_FALSE(fs::exists(store.checkpoint_path(key)));
+}
+
+TEST(Store, ShardedLayoutPlacesCellsByHashPrefix) {
+  const auto dir = fresh_dir("eval_store_sharded");
+  StoreOptions options;
+  options.shards = 16;
+  ResultStore store(dir, options);
+  EXPECT_EQ(store.shards(), 16u);
+  // Every shard directory exists up front (no mkdir races later).
+  for (const char c : std::string("0123456789abcdef")) {
+    EXPECT_TRUE(fs::is_directory(dir + "/" + std::string(1, c))) << c;
+  }
+  const CellKey key{"cell", "dep/sharded"};
+  store.save(key, json::Value::object());
+  // The cell file lives under the 1-hex-digit prefix of its key hash.
+  EXPECT_EQ(store.cell_path(key),
+            dir + "/" + key.hash_hex().substr(0, 1) + "/cell-" +
+                key.hash_hex() + ".json");
+  EXPECT_TRUE(fs::exists(store.cell_path(key)));
+  ASSERT_TRUE(store.load(key).has_value());
+
+  // 256 shards use a 2-digit prefix.
+  StoreOptions wide;
+  wide.shards = 256;
+  ResultStore store256(fresh_dir("eval_store_sharded256"), wide);
+  EXPECT_EQ(store256.cell_path(key),
+            store256.dir() + "/" + key.hash_hex().substr(0, 2) + "/cell-" +
+                key.hash_hex() + ".json");
+}
+
+TEST(Store, InvalidShardCountThrows) {
+  StoreOptions options;
+  options.shards = 7;
+  EXPECT_THROW(ResultStore(fresh_dir("eval_store_badshards"), options),
+               std::runtime_error);
+}
+
+TEST(Store, ShardedStoreReadsThroughFlatLegacyLayout) {
+  // A store written flat yesterday keeps serving hits after the
+  // directory is reopened sharded.
+  const auto dir = fresh_dir("eval_store_legacy");
+  const CellKey key{"cell", "dep/legacy"};
+  {
+    ResultStore flat(dir);
+    auto data = json::Value::object();
+    data.set("sdc", json::Value(uint64_t{5}));
+    flat.save(key, std::move(data));
+  }
+  StoreOptions options;
+  options.shards = 16;
+  ResultStore sharded(dir, options);
+  const auto loaded = sharded.load(key);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->get_uint("sdc", 0), 5u);
+  // New writes land in the sharded layout, not the flat slot.
+  sharded.save(CellKey{"cell", "dep/new"}, json::Value::object());
+  EXPECT_FALSE(
+      fs::exists(dir + "/cell-" + CellKey{"cell", "dep/new"}.hash_hex() +
+                 ".json"));
+}
+
+TEST(Store, UpstreamFederationServesMissesReadOnly) {
+  // Upstream warm store (sharded), local store empty (flat): the local
+  // store serves upstream cells without ever writing upstream.
+  const auto upstream_dir = fresh_dir("eval_store_upstream");
+  const CellKey key{"cell", "dep/upstream"};
+  {
+    StoreOptions options;
+    options.shards = 16;
+    ResultStore upstream(upstream_dir, options);
+    auto data = json::Value::object();
+    data.set("sdc", json::Value(uint64_t{9}));
+    upstream.save(key, std::move(data));
+  }
+  StoreOptions options;
+  options.upstream_dir = upstream_dir;
+  ResultStore local(fresh_dir("eval_store_local"), options);
+  EXPECT_EQ(local.upstream_hits(), 0u);
+  const auto loaded = local.load(key);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->get_uint("sdc", 0), 9u);
+  EXPECT_EQ(local.upstream_hits(), 1u);
+  // A genuine miss stays a miss (and still counts no upstream hit).
+  EXPECT_FALSE(local.load(CellKey{"cell", "dep/absent"}).has_value());
+  EXPECT_EQ(local.upstream_hits(), 1u);
+  // Writes go to the local store; upstream is never touched.
+  local.save(CellKey{"cell", "dep/local"}, json::Value::object());
+  EXPECT_TRUE(fs::exists(local.cell_path(CellKey{"cell", "dep/local"})));
+  const auto upstream_files =
+      std::distance(fs::recursive_directory_iterator(upstream_dir),
+                    fs::recursive_directory_iterator{});
+  ResultStore reopened(upstream_dir, StoreOptions{16, ""});
+  EXPECT_FALSE(reopened.load(CellKey{"cell", "dep/local"}).has_value());
+  EXPECT_EQ(std::distance(fs::recursive_directory_iterator(upstream_dir),
+                          fs::recursive_directory_iterator{}),
+            upstream_files);
+}
+
+TEST(Store, RacingWritersLeaveCompleteCells) {
+  // Many threads hammering the same sharded store — identical keys and
+  // distinct keys — must leave every cell complete and loadable (the
+  // serve daemon's sessions do exactly this).
+  StoreOptions options;
+  options.shards = 16;
+  ResultStore store(fresh_dir("eval_store_race"), options);
+  constexpr int kThreads = 8;
+  constexpr int kDistinct = 24;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&store, t] {
+      for (int i = 0; i < kDistinct; ++i) {
+        // Same key set from every thread: last rename wins, each file
+        // is always either the old or the new complete cell.
+        const CellKey key{"race", "dep/race/" + std::to_string(i)};
+        auto data = json::Value::object();
+        data.set("writer", json::Value(static_cast<uint64_t>(t)));
+        data.set("i", json::Value(static_cast<uint64_t>(i)));
+        store.save(key, std::move(data));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (int i = 0; i < kDistinct; ++i) {
+    const CellKey key{"race", "dep/race/" + std::to_string(i)};
+    const auto loaded = store.load(key);
+    ASSERT_TRUE(loaded.has_value()) << i;
+    EXPECT_EQ(loaded->get_uint("i", 999), static_cast<uint64_t>(i));
+    EXPECT_LT(loaded->get_uint("writer", 999),
+              static_cast<uint64_t>(kThreads));
+  }
+  // No temp-file litter survives the races.
+  for (const auto& entry : fs::recursive_directory_iterator(store.dir())) {
+    if (entry.is_regular_file()) {
+      EXPECT_EQ(entry.path().extension(), ".json") << entry.path();
+    }
+  }
+}
+
+TEST(Store, CorruptShardedCellRecoversOnResave) {
+  StoreOptions options;
+  options.shards = 16;
+  ResultStore store(fresh_dir("eval_store_shard_corrupt"), options);
+  const CellKey key{"cell", "dep/corrupt"};
+  store.save(key, json::Value::object());
+  std::ofstream(store.cell_path(key), std::ios::binary) << "{torn";
+  EXPECT_FALSE(store.load(key).has_value());  // miss, not poison
+  auto data = json::Value::object();
+  data.set("ok", json::Value(true));
+  store.save(key, std::move(data));
+  const auto loaded = store.load(key);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_TRUE(loaded->get_bool("ok", false));
 }
 
 TEST(Store, KeyHashIsStable) {

@@ -1,0 +1,452 @@
+// Serve-subsystem tests: the trident-serve/1 wire protocol, the
+// cross-run inflight dedup table, the fair cross-session scheduler, and
+// an end-to-end daemon/client round trip pinned to the determinism
+// contract (daemon-served artifacts byte-identical to offline eval).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "eval/report.h"
+#include "eval/runner.h"
+#include "eval/store.h"
+#include "obs/metrics.h"
+#include "serve/client.h"
+#include "serve/daemon.h"
+#include "serve/protocol.h"
+#include "serve/scheduler.h"
+#include "serve/session.h"
+#include "support/json.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+namespace trident::serve {
+namespace {
+
+namespace fs = std::filesystem;
+namespace json = support::json;
+
+std::string fresh_dir(const std::string& name) {
+  const std::string path = ::testing::TempDir() + name;
+  fs::remove_all(path);
+  return path;
+}
+
+// ---- Protocol ----------------------------------------------------------
+
+TEST(Protocol, ParseRequestAcceptsWellFormedLines) {
+  Request req;
+  std::string error;
+  ASSERT_TRUE(parse_request(
+      R"({"op": "eval", "id": 7, "force": true, "spec": {"name": "x"}})",
+      &req, &error))
+      << error;
+  EXPECT_EQ(req.op, "eval");
+  EXPECT_EQ(req.id, 7u);
+  EXPECT_TRUE(req.body.get_bool("force", false));
+  ASSERT_NE(req.body.find("spec"), nullptr);
+}
+
+TEST(Protocol, ParseRequestRejectsMalformed) {
+  Request req;
+  std::string error;
+  EXPECT_FALSE(parse_request("{not json", &req, &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(parse_request("[1, 2]", &req, &error));
+  EXPECT_FALSE(parse_request(R"({"id": 1})", &req, &error));  // no op
+}
+
+TEST(Protocol, EventLinesRoundTrip) {
+  Event event;
+  std::string error;
+
+  const std::string hello = hello_line(42);
+  EXPECT_EQ(hello.back(), '\n');
+  ASSERT_TRUE(parse_event(hello, &event, &error)) << error;
+  EXPECT_EQ(event.kind, Event::Kind::Hello);
+  EXPECT_EQ(event.session, 42u);
+
+  ASSERT_TRUE(parse_event(progress_line(3, 5, 9), &event, &error)) << error;
+  EXPECT_EQ(event.kind, Event::Kind::Progress);
+  EXPECT_EQ(event.id, 3u);
+  EXPECT_EQ(event.done, 5u);
+  EXPECT_EQ(event.total, 9u);
+
+  auto data = json::Value::object();
+  data.set("pong", json::Value(true));
+  ASSERT_TRUE(parse_event(result_line(3, std::move(data)), &event, &error))
+      << error;
+  EXPECT_EQ(event.kind, Event::Kind::Result);
+  EXPECT_TRUE(event.data.get_bool("pong", false));
+
+  ASSERT_TRUE(parse_event(error_line(4, "boom"), &event, &error)) << error;
+  EXPECT_EQ(event.kind, Event::Kind::Error);
+  EXPECT_EQ(event.id, 4u);
+  EXPECT_EQ(event.message, "boom");
+}
+
+TEST(Protocol, HelloWithWrongProtocolIsRejected) {
+  Event event;
+  std::string error;
+  EXPECT_FALSE(parse_event(
+      R"({"event": "hello", "protocol": "trident-serve/99", "session": 1})"
+      "\n",
+      &event, &error));
+  EXPECT_NE(error.find("protocol"), std::string::npos) << error;
+}
+
+// A report string with embedded newlines must still be one line on the
+// wire — the framing invariant the whole protocol rests on.
+TEST(Protocol, ResultPayloadWithNewlinesStaysOneLine) {
+  auto data = json::Value::object();
+  data.set("report_md", json::Value(std::string("# Title\n\nrow1\nrow2\n")));
+  const std::string line = result_line(1, std::move(data));
+  EXPECT_EQ(line.find('\n'), line.size() - 1);
+  Event event;
+  std::string error;
+  ASSERT_TRUE(parse_event(line, &event, &error)) << error;
+  EXPECT_EQ(event.data.get_string("report_md", ""), "# Title\n\nrow1\nrow2\n");
+}
+
+// ---- eval::InflightTable -----------------------------------------------
+
+using eval::CellKey;
+using eval::InflightTable;
+using eval::ResultStore;
+
+TEST(Inflight, SecondClaimOfPendingCellWaits) {
+  ResultStore store(fresh_dir("serve_inflight_basic"));
+  InflightTable table;
+  const std::vector<CellKey> keys{{"a", "dep/a"}, {"b", "dep/b"}};
+
+  const auto first = table.claim_all(store, keys, /*force=*/false);
+  ASSERT_EQ(first.size(), 2u);
+  EXPECT_EQ(first[0].role, InflightTable::Role::Owner);
+  EXPECT_EQ(first[1].role, InflightTable::Role::Owner);
+
+  // The whole second claim waits on the first — deterministic split.
+  const auto second = table.claim_all(store, keys, /*force=*/false);
+  EXPECT_EQ(second[0].role, InflightTable::Role::Waiter);
+  EXPECT_EQ(second[1].role, InflightTable::Role::Waiter);
+  EXPECT_EQ(table.dedup_hits(), 2u);
+
+  // Owner persists then publishes; waiters wake and find the cell.
+  for (size_t i = 0; i < keys.size(); ++i) {
+    auto data = json::Value::object();
+    data.set("i", json::Value(static_cast<uint64_t>(i)));
+    store.save(keys[i], std::move(data));
+    table.publish(first[i].cell);
+  }
+  for (size_t i = 0; i < keys.size(); ++i) {
+    table.wait(second[i].cell);  // must not block now
+    const auto loaded = store.load(keys[i]);
+    ASSERT_TRUE(loaded.has_value());
+    EXPECT_EQ(loaded->get_uint("i", 99), i);
+  }
+}
+
+TEST(Inflight, StoredCellResolvesWithoutOwnership) {
+  ResultStore store(fresh_dir("serve_inflight_hit"));
+  InflightTable table;
+  const CellKey key{"warm", "dep/warm"};
+  auto data = json::Value::object();
+  data.set("sdc", json::Value(uint64_t{3}));
+  store.save(key, std::move(data));
+
+  const auto claims = table.claim_all(store, {key}, /*force=*/false);
+  ASSERT_EQ(claims.size(), 1u);
+  EXPECT_EQ(claims[0].role, InflightTable::Role::StoreHit);
+  EXPECT_EQ(claims[0].data.get_uint("sdc", 0), 3u);
+  EXPECT_EQ(table.dedup_hits(), 0u);
+}
+
+TEST(Inflight, ForceSkipsStoreButStillDedups) {
+  ResultStore store(fresh_dir("serve_inflight_force"));
+  InflightTable table;
+  const CellKey key{"cell", "dep/cell"};
+  store.save(key, json::Value::object());
+
+  // force: the stored value must not satisfy the claim...
+  const auto first = table.claim_all(store, {key}, /*force=*/true);
+  EXPECT_EQ(first[0].role, InflightTable::Role::Owner);
+  // ...but a concurrent identical computation is still shared.
+  const auto second = table.claim_all(store, {key}, /*force=*/true);
+  EXPECT_EQ(second[0].role, InflightTable::Role::Waiter);
+  table.publish(first[0].cell);
+  table.wait(second[0].cell);
+}
+
+TEST(Inflight, FailedOwnerWakesWaiterWithError) {
+  ResultStore store(fresh_dir("serve_inflight_fail"));
+  InflightTable table;
+  const CellKey key{"bad", "dep/bad"};
+  const auto owner = table.claim_all(store, {key}, false);
+  const auto waiter = table.claim_all(store, {key}, false);
+  ASSERT_EQ(waiter[0].role, InflightTable::Role::Waiter);
+
+  table.fail(owner[0].cell, "campaign exploded");
+  try {
+    table.wait(waiter[0].cell);
+    FAIL() << "wait() should rethrow the owner's failure";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("campaign exploded"),
+              std::string::npos)
+        << e.what();
+  }
+  // fail() on an already-resolved cell is a no-op (the abandoned-batch
+  // sweep calls it unconditionally).
+  table.fail(owner[0].cell, "later");
+
+  // The key is free again: a new claim may retry as owner.
+  const auto retry = table.claim_all(store, {key}, false);
+  EXPECT_EQ(retry[0].role, InflightTable::Role::Owner);
+  table.publish(retry[0].cell);
+}
+
+TEST(Inflight, WaiterBlocksUntilPublish) {
+  ResultStore store(fresh_dir("serve_inflight_block"));
+  InflightTable table;
+  const CellKey key{"slow", "dep/slow"};
+  const auto owner = table.claim_all(store, {key}, false);
+  const auto waiter = table.claim_all(store, {key}, false);
+
+  std::atomic<bool> woke{false};
+  std::thread t([&] {
+    table.wait(waiter[0].cell);
+    woke.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(woke.load());
+  table.publish(owner[0].cell);
+  t.join();
+  EXPECT_TRUE(woke.load());
+}
+
+// ---- FairScheduler -----------------------------------------------------
+
+TEST(Scheduler, DrainsRoundRobinAcrossSessions) {
+  // One slot + deferred start = fully deterministic drain order.
+  FairScheduler scheduler(/*slots=*/1, /*autostart=*/false);
+  const auto a = scheduler.register_session();
+  const auto b = scheduler.register_session();
+
+  std::mutex mutex;
+  std::vector<std::string> order;
+  const auto record = [&](const std::string& who, uint64_t i) {
+    std::lock_guard<std::mutex> lock(mutex);
+    order.push_back(who + std::to_string(i));
+  };
+
+  // run_cells blocks, so each batch is staged from its own thread.
+  std::thread ta([&] {
+    scheduler.run_cells(a, 3, [&](uint64_t i) { record("a", i); });
+  });
+  std::thread tb([&] {
+    scheduler.run_cells(b, 2, [&](uint64_t i) { record("b", i); });
+  });
+  while (scheduler.pending() < 5) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  scheduler.start();
+  ta.join();
+  tb.join();
+  EXPECT_EQ(order,
+            (std::vector<std::string>{"a0", "b0", "a1", "b1", "a2"}));
+  EXPECT_EQ(scheduler.tasks_run(), 5u);
+  EXPECT_EQ(scheduler.pending(), 0u);
+}
+
+TEST(Scheduler, RethrowsFirstBodyException) {
+  FairScheduler scheduler;
+  const auto session = scheduler.register_session();
+  std::atomic<uint64_t> ran{0};
+  try {
+    scheduler.run_cells(session, 4, [&](uint64_t i) {
+      ran.fetch_add(1);
+      if (i == 2) throw std::runtime_error("cell 2 failed");
+    });
+    FAIL() << "run_cells should rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "cell 2 failed");
+  }
+  // The batch drains fully even on failure (no half-queued leftovers).
+  EXPECT_EQ(ran.load(), 4u);
+  EXPECT_EQ(scheduler.pending(), 0u);
+}
+
+TEST(Scheduler, ManySessionsManyCellsAllRun) {
+  FairScheduler scheduler(/*slots=*/4);
+  std::atomic<uint64_t> ran{0};
+  std::vector<std::thread> threads;
+  for (int s = 0; s < 6; ++s) {
+    threads.emplace_back([&] {
+      const auto session = scheduler.register_session();
+      scheduler.run_cells(session, 25,
+                          [&](uint64_t) { ran.fetch_add(1); });
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(ran.load(), 6u * 25u);
+  EXPECT_EQ(scheduler.tasks_run(), 6u * 25u);
+}
+
+// ---- End-to-end daemon/client ------------------------------------------
+
+#if defined(__unix__) || defined(__APPLE__)
+
+eval::ExperimentSpec e2e_spec() {
+  eval::ExperimentSpec spec;
+  spec.name = "serve-e2e";
+  spec.workloads = {"pathfinder"};
+  spec.models = {"full"};
+  spec.seeds = {1};
+  spec.fi.trials = 30;
+  spec.per_inst.top_n = 1;
+  spec.per_inst.trials = 10;
+  return spec;
+}
+
+// Connects with retries: the daemon thread binds the socket
+// asynchronously.
+std::unique_ptr<Client> connect_with_retry(const std::string& socket_path) {
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    try {
+      return std::make_unique<Client>(socket_path);
+    } catch (const std::runtime_error&) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+  }
+  throw std::runtime_error("daemon never came up on " + socket_path);
+}
+
+TEST(ServeE2E, DaemonServedReportsMatchOfflineByteForByte) {
+  ASSERT_TRUE(serve_supported());
+  const auto spec = e2e_spec();
+
+  // Offline reference run.
+  eval::RunOptions offline;
+  offline.out_dir = fresh_dir("serve_e2e_offline");
+  const auto reference = eval::run_spec(spec, offline);
+
+  // Socket paths must fit sun_path; keep it short and pid-unique.
+  const std::string socket_path =
+      "/tmp/trident-serve-test-" + std::to_string(::getpid()) + ".sock";
+  obs::Registry registry;
+  DaemonOptions options;
+  options.socket_path = socket_path;
+  options.store_dir = fresh_dir("serve_e2e_store");
+  options.store_shards = 16;
+  options.metrics = &registry;
+  options.quiet = true;
+  Daemon daemon(std::move(options));
+  std::thread server([&] { daemon.serve(); });
+
+  {
+    auto client = connect_with_retry(socket_path);
+    EXPECT_TRUE(client->ping());
+    EXPECT_GT(client->session_id(), 0u);
+
+    std::atomic<uint64_t> progress_events{0};
+    const auto outcome = client->eval(
+        spec.to_json(), /*force=*/false,
+        [&](uint64_t, uint64_t) { progress_events.fetch_add(1); });
+
+    EXPECT_EQ(outcome.spec_name, "serve-e2e");
+    EXPECT_EQ(outcome.cells_total, reference.cells_total);
+    EXPECT_EQ(outcome.cells_computed, reference.cells_total);
+    EXPECT_EQ(outcome.cells_deduped, 0u);
+    EXPECT_GT(outcome.fi_trials_run, 0u);
+    EXPECT_GT(progress_events.load(), 0u);
+
+    // The determinism contract: byte-identical artifacts, different
+    // machine(s)/store/scheduler notwithstanding.
+    EXPECT_EQ(outcome.report_json, eval::report_json(reference));
+    EXPECT_EQ(outcome.report_csv, eval::overall_csv(reference));
+    EXPECT_EQ(outcome.per_instruction_csv,
+              eval::per_instruction_csv(reference));
+    EXPECT_EQ(outcome.report_md, eval::report_markdown(reference));
+
+    // Same spec again on the daemon's warm store: zero work.
+    const auto warm = client->eval(spec.to_json(), false);
+    EXPECT_EQ(warm.cells_computed, 0u);
+    EXPECT_EQ(warm.cells_cached, warm.cells_total);
+    EXPECT_EQ(warm.fi_trials_run, 0u);
+    EXPECT_EQ(warm.report_json, outcome.report_json);
+
+    // The sharded layout is real: cells live under hash-prefix dirs.
+    bool found_sharded_cell = false;
+    for (const auto& entry :
+         fs::recursive_directory_iterator(daemon.options().store_dir)) {
+      if (entry.is_regular_file() &&
+          entry.path().parent_path() != daemon.options().store_dir) {
+        found_sharded_cell = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found_sharded_cell);
+
+    // predict and analyze ride the same connection.
+    const auto prediction = client->predict("pathfinder", "full");
+    EXPECT_EQ(prediction.get_string("target", ""), "pathfinder");
+    const double sdc = prediction.get_double("sdc", -1.0);
+    EXPECT_GE(sdc, 0.0);
+    EXPECT_LE(sdc, 1.0);
+    const auto lint = client->analyze("pathfinder");
+    EXPECT_TRUE(lint.is_object());
+
+    // stats must expose the serve counters mid-flight.
+    const auto stats = client->stats();
+    const auto* counters = stats.find("counters");
+    ASSERT_NE(counters, nullptr);
+    EXPECT_GE(counters->get_uint("serve.requests", 0), 4u);
+
+    client->shutdown_server();
+  }
+  server.join();
+
+  EXPECT_NE(registry.to_json().find("serve.sessions"), std::string::npos);
+  EXPECT_FALSE(fs::exists(socket_path));
+}
+
+TEST(ServeE2E, ServerSideErrorsSurfaceWithoutKillingTheSession) {
+  ASSERT_TRUE(serve_supported());
+  const std::string socket_path =
+      "/tmp/trident-serve-err-" + std::to_string(::getpid()) + ".sock";
+  DaemonOptions options;
+  options.socket_path = socket_path;
+  options.store_dir = fresh_dir("serve_e2e_err_store");
+  options.quiet = true;
+  Daemon daemon(std::move(options));
+  std::thread server([&] { daemon.serve(); });
+  {
+    auto client = connect_with_retry(socket_path);
+    // Unknown workload: the daemon replies with an error event...
+    try {
+      client->predict("nosuchworkload", "full");
+      FAIL() << "predict of an unknown workload should throw";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("nosuchworkload"),
+                std::string::npos)
+          << e.what();
+    }
+    // ...and the session keeps serving.
+    EXPECT_TRUE(client->ping());
+    client->shutdown_server();
+  }
+  server.join();
+}
+
+#endif  // POSIX
+
+}  // namespace
+}  // namespace trident::serve

@@ -28,6 +28,12 @@ Modes:
       differ across backends) and the engine.* family itself are
       ignored.
 
+  check_manifest.py serve MANIFEST.json
+      Validate a `trident serve` run manifest: the serve.* family
+      (sessions, requests, inflight dedup accounting, store shard
+      count) plus the eval.* cell accounting the daemon aggregates
+      across its sessions.
+
   check_manifest.py selftest
       Validate the committed fixtures (tools/fixtures/
       eval_report_tiny.json and analyze_tiny.json) and verify that
@@ -82,7 +88,7 @@ def check_campaign(path, manifest):
                   "interp.memcache.lookups", "engine.threaded",
                   "engine.native", "engine.native.functions",
                   "engine.native.code_bytes", "engine.native.compile_ms",
-                  "engine.native.fallbacks",
+                  "engine.native.fallbacks", "engine.native.cache_hits",
                   "engine.lowered_functions", "engine.lowered_insts",
                   "engine.superinstructions"]
         + [f"fi.outcome.{o}" for o in OUTCOMES],
@@ -130,7 +136,8 @@ def check_campaign(path, manifest):
     # the attempt latency may still land in compile_ms).
     if c["engine.native"] == 0:
         for key in ("engine.native.functions", "engine.native.code_bytes",
-                    "engine.native.compile_ms", "engine.native.fallbacks"):
+                    "engine.native.compile_ms", "engine.native.fallbacks",
+                    "engine.native.cache_hits"):
             if c[key] != 0:
                 bail(f"{path}: non-native campaign reports nonzero {key}")
     else:
@@ -143,6 +150,11 @@ def check_campaign(path, manifest):
                 c["engine.native.fallbacks"] == 0:
             bail(f"{path}: native campaign compiled nothing yet reports "
                  f"no fallback runs")
+        # A cache hit serves compiled code; a campaign that compiled no
+        # functions cannot have been served from the persistent cache.
+        if c["engine.native.functions"] == 0 and \
+                c["engine.native.cache_hits"] != 0:
+            bail(f"{path}: cache hits reported without compiled functions")
     return c
 
 
@@ -307,9 +319,17 @@ def check_eval_report(path, report):
 
 
 def check_eval_store(store_dir, expected_cells):
-    names = sorted(n for n in os.listdir(store_dir) if n.endswith(".json"))
-    for name in names:
-        path = os.path.join(store_dir, name)
+    # Walk recursively: sharded stores fan cells out into hash-prefix
+    # subdirectories (flat stores just have no subdirectories). Skip the
+    # native-cache directory the CLI may colocate with the store.
+    paths = []
+    for dirpath, dirnames, filenames in os.walk(store_dir):
+        dirnames[:] = [d for d in dirnames if d != "native-cache"]
+        paths.extend(os.path.join(dirpath, n) for n in filenames
+                     if n.endswith(".json"))
+    paths.sort()
+    for path in paths:
+        name = os.path.basename(path)
         with open(path) as f:
             cell = json.load(f)
         if cell.get("schema") != "trident-eval/1":
@@ -330,10 +350,10 @@ def check_eval_store(store_dir, expected_cells):
         elif name.startswith("model-"):
             if "overall_sdc" not in data or "insts" not in data:
                 bail(f"{path}: model cell missing overall_sdc/insts")
-    if len(names) < expected_cells:
-        bail(f"{store_dir}: {len(names)} cells on disk but the report "
+    if len(paths) < expected_cells:
+        bail(f"{store_dir}: {len(paths)} cells on disk but the report "
              f"accounts for {expected_cells}")
-    return len(names)
+    return len(paths)
 
 
 def mode_eval(argv):
@@ -440,6 +460,44 @@ def mode_analyze(argv):
           f"{totals['masked_bits_total']} masked bits")
 
 
+# ---------------------------------------------------------------------------
+# trident serve manifests
+# ---------------------------------------------------------------------------
+
+def mode_serve(argv):
+    if len(argv) != 1:
+        bail(__doc__)
+    path = argv[0]
+    manifest = load(path)
+    require(path, manifest,
+            counters=["serve.sessions", "serve.requests",
+                      "serve.inflight_dedup_hits", "serve.store_shards"])
+    c = manifest["counters"]
+    if c["serve.sessions"] <= 0:
+        bail(f"{path}: daemon served no sessions")
+    if c["serve.requests"] <= 0:
+        bail(f"{path}: daemon served no requests")
+    # Every accepted request is tallied once globally and once per op.
+    per_op = sum(v for k, v in c.items() if k.startswith("serve.requests."))
+    if per_op != c["serve.requests"]:
+        bail(f"{path}: per-op request tallies sum to {per_op}, "
+             f"serve.requests is {c['serve.requests']}")
+    if c["serve.inflight_dedup_hits"] < 0:
+        bail(f"{path}: negative serve.inflight_dedup_hits")
+    if c["serve.store_shards"] not in (1, 16, 256):
+        bail(f"{path}: serve.store_shards = {c['serve.store_shards']!r}, "
+             f"expected one of 1/16/256")
+    # A daemon that evaluated cells aggregates the same eval.* accounting
+    # the offline runner emits; dedup hits require eval traffic.
+    if c["serve.inflight_dedup_hits"] > 0 and \
+            c.get("serve.requests.eval", 0) == 0:
+        bail(f"{path}: dedup hits reported without any eval requests")
+    print(f"serve manifest OK: {c['serve.sessions']} sessions, "
+          f"{c['serve.requests']} requests, "
+          f"{c['serve.inflight_dedup_hits']} dedup hits, "
+          f"{c['serve.store_shards']} store shards")
+
+
 def mode_selftest(argv):
     if argv:
         bail(__doc__)
@@ -507,14 +565,15 @@ def mode_selftest(argv):
 
 def main(argv):
     if len(argv) >= 2 and argv[1] in ("run", "eval", "analyze", "engines",
-                                      "selftest"):
+                                      "serve", "selftest"):
         mode, rest = argv[1], argv[2:]
     elif len(argv) == 4:
         mode, rest = "run", argv[1:]  # legacy positional form
     else:
         bail(__doc__)
     {"run": mode_run, "eval": mode_eval, "analyze": mode_analyze,
-     "engines": mode_engines, "selftest": mode_selftest}[mode](rest)
+     "engines": mode_engines, "serve": mode_serve,
+     "selftest": mode_selftest}[mode](rest)
 
 
 if __name__ == "__main__":

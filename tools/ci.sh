@@ -153,3 +153,71 @@ fuzz_count="${TRIDENT_FUZZ_BUDGET:-200}"
   --emit "$smokedir/fuzz-repro" > "$smokedir/fuzz-t8.txt"
 cmp "$smokedir/fuzz-t1.txt" "$smokedir/fuzz-t8.txt" \
   || { echo "fuzz: thread-count-dependent report" >&2; exit 1; }
+
+# Serve-daemon smoke (docs/SERVE.md): a long-lived daemon on a private
+# socket, two clients racing the same spec, and the offline runner must
+# all agree byte-for-byte. Client A owns every cell; client B arrives
+# while they are in flight, so the in-flight dedup table must hand it
+# the same results without executing a single trial. A third client on
+# the warm store is a pure cache hit, and the daemon manifest must
+# account for the sessions, requests, dedup hits and shard layout.
+servedir="$smokedir/serve"
+mkdir -p "$servedir"
+"$bindir/tools/trident" serve --socket "$servedir/daemon.sock" \
+  --store "$servedir/store" --shards 16 \
+  --metrics-out "$servedir/daemon.json" 2> "$servedir/daemon.log" &
+daemon_pid=$!
+trap 'kill "$daemon_pid" 2>/dev/null; rm -rf "$smokedir"' EXIT
+i=0
+while [ ! -S "$servedir/daemon.sock" ]; do
+  i=$((i + 1))
+  [ "$i" -le 100 ] || { echo "serve: daemon never bound its socket" >&2
+                        cat "$servedir/daemon.log" >&2; exit 1; }
+  sleep 0.1
+done
+"$bindir/tools/trident" client eval examples/specs/serve_smoke.json \
+  --socket "$servedir/daemon.sock" --out-dir "$servedir/client-a" \
+  --no-progress > "$servedir/client-a.txt" &
+client_a_pid=$!
+sleep 0.3  # let A claim every cell so B dedups against its in-flight work
+"$bindir/tools/trident" client eval examples/specs/serve_smoke.json \
+  --socket "$servedir/daemon.sock" --out-dir "$servedir/client-b" \
+  --no-progress > "$servedir/client-b.txt"
+wait "$client_a_pid"
+grep -q '8 total, 8 computed, 0 cached, 0 deduped' "$servedir/client-a.txt" \
+  || { echo "serve: client A did not compute every cell" >&2
+       cat "$servedir/client-a.txt" >&2; exit 1; }
+grep -q '8 total, 0 computed, 0 cached, 8 deduped' "$servedir/client-b.txt" \
+  || { echo "serve: client B was not deduplicated against A" >&2
+       cat "$servedir/client-b.txt" >&2; exit 1; }
+grep -q 'FI trials executed for this request: 0' "$servedir/client-b.txt" \
+  || { echo "serve: deduplicated client B still ran trials" >&2; exit 1; }
+"$bindir/tools/trident" eval examples/specs/serve_smoke.json \
+  --out-dir "$servedir/offline" --threads 4 --no-progress > /dev/null
+for f in report.md report.csv per_instruction.csv report.json; do
+  cmp "$servedir/offline/$f" "$servedir/client-a/$f" \
+    || { echo "serve: client A $f differs from offline eval" >&2; exit 1; }
+  cmp "$servedir/offline/$f" "$servedir/client-b/$f" \
+    || { echo "serve: client B $f differs from offline eval" >&2; exit 1; }
+done
+"$bindir/tools/trident" client eval examples/specs/serve_smoke.json \
+  --socket "$servedir/daemon.sock" --out-dir "$servedir/client-c" \
+  --no-progress \
+  | grep -q '8 total, 0 computed, 8 cached, 0 deduped' \
+  || { echo "serve: warm re-eval was not a full cache hit" >&2; exit 1; }
+"$bindir/tools/trident" client ping --socket "$servedir/daemon.sock" \
+  | grep -q pong || { echo "serve: ping failed" >&2; exit 1; }
+"$bindir/tools/trident" client shutdown --socket "$servedir/daemon.sock" \
+  > /dev/null
+wait "$daemon_pid"
+trap 'rm -rf "$smokedir"' EXIT
+python3 tools/check_manifest.py serve "$servedir/daemon.json"
+dedup_hits="$(python3 -c '
+import json, sys
+print(json.load(open(sys.argv[1]))["counters"]["serve.inflight_dedup_hits"])
+' "$servedir/daemon.json")"
+[ "$dedup_hits" -eq 8 ] \
+  || { echo "serve: expected 8 dedup hits, manifest says $dedup_hits" >&2
+       exit 1; }
+python3 tools/check_manifest.py eval \
+  "$servedir/client-a/report.json" "$servedir/store"

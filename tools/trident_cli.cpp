@@ -36,6 +36,7 @@
 // <target> is a bundled workload name (see `trident list`) or a path to a
 // textual IR file (the format of `trident dump`, parseable by ir/parser).
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <exception>
 #include <filesystem>
@@ -59,8 +60,12 @@
 #include "ir/parser.h"
 #include "ir/printer.h"
 #include "ir/verifier.h"
+#include "obs/interrupt.h"
 #include "obs/metrics.h"
 #include "profiler/profiler.h"
+#include "serve/client.h"
+#include "serve/daemon.h"
+#include "serve/session.h"
 #include "protect/duplication.h"
 #include "protect/selector.h"
 #include "stats/stats.h"
@@ -104,6 +109,26 @@ int usage() {
                "                               are shrunk into D/seed_S.tir\n"
                "                               (docs/FUZZING.md; exit 1 on\n"
                "                               any divergence)\n"
+               "  serve [--socket P] [--store D] [--shards N]\n"
+               "        [--upstream D] [--slots N]\n"
+               "                               evaluation daemon: serve\n"
+               "                               eval/predict/analyze\n"
+               "                               requests from concurrent\n"
+               "                               clients over a Unix socket,\n"
+               "                               de-duplicating identical\n"
+               "                               in-flight cells over a\n"
+               "                               sharded result store\n"
+               "                               (docs/SERVE.md)\n"
+               "  client <op> [...] [--socket P]\n"
+               "        eval <spec.json> [--out-dir D] [--force]\n"
+               "        predict <workload> [--model M]\n"
+               "        analyze <workload>\n"
+               "        ping | stats | shutdown\n"
+               "                               submit one request to a\n"
+               "                               running daemon; eval writes\n"
+               "                               the same report artifacts,\n"
+               "                               byte-identical, as offline\n"
+               "                               `trident eval`\n"
                "  eval <spec.json> [--out-dir D] [--force]\n"
                "                               paper-scale evaluation: run\n"
                "                               the spec's workload x model x\n"
@@ -195,7 +220,14 @@ std::optional<ir::Module> load_target(const std::string& target) {
 
 struct Args {
   std::string target;
+  std::string target2;  // client: the operand after the op name
   std::string out;
+  std::string socket = "/tmp/trident-serve.sock";
+  std::string store;     // serve: store dir ("" = <out-dir>/store)
+  std::string upstream;  // serve: read-only upstream store
+  uint32_t shards = 16;     // serve: store shard fan-out
+  bool shards_set = false;  // eval defaults flat, serve defaults 16
+  uint32_t slots = 0;       // serve: concurrent-cell cap (0 = auto)
   std::string model = "full";
   std::string checkpoint;   // campaign checkpoint log ("" = off)
   std::string metrics_out;  // run-manifest path ("" = off)
@@ -337,8 +369,31 @@ bool parse_args(int argc, char** argv, Args& args) {
       args.metrics_out = v;
     } else if (a == "--no-progress") {
       args.no_progress = true;
+    } else if (a == "--socket") {
+      const char* v = next();
+      if (!v) return false;
+      args.socket = v;
+    } else if (a == "--store") {
+      const char* v = next();
+      if (!v) return false;
+      args.store = v;
+    } else if (a == "--upstream") {
+      const char* v = next();
+      if (!v) return false;
+      args.upstream = v;
+    } else if (a == "--shards") {
+      const char* v = next();
+      if (!v) return false;
+      args.shards = static_cast<uint32_t>(std::strtoul(v, nullptr, 10));
+      args.shards_set = true;
+    } else if (a == "--slots") {
+      const char* v = next();
+      if (!v) return false;
+      args.slots = static_cast<uint32_t>(std::strtoul(v, nullptr, 10));
     } else if (args.target.empty() && a[0] != '-') {
       args.target = a;
+    } else if (args.target2.empty() && a[0] != '-') {
+      args.target2 = a;
     } else {
       std::fprintf(stderr, "error: unknown argument '%s'\n", a.c_str());
       return false;
@@ -458,6 +513,16 @@ int cmd_inject(const Args& args, const ir::Module& m) {
     std::printf("resumed:  %llu from %s\n",
                 static_cast<unsigned long long>(result.resumed),
                 args.checkpoint.c_str());
+  }
+  if (result.interrupted) {
+    std::fprintf(stderr,
+                 "interrupted: campaign stopped after %llu trials; finished "
+                 "work is checkpointed%s\n",
+                 static_cast<unsigned long long>(result.total()),
+                 args.checkpoint.empty()
+                     ? ""
+                     : ", re-run with the same --checkpoint to resume");
+    return 130;
   }
   std::printf("SDC:      %6.2f%% (±%.2f%% at 95%%)\n",
               result.sdc_prob() * 100, result.sdc_ci95() * 100);
@@ -686,6 +751,23 @@ int cmd_fuzz(const Args& args) {
   return divergent > 0 ? 1 : 0;
 }
 
+// Point the native backend's persistent object cache into the store
+// directory, so a daemon restart (or a fresh CLI run over the same
+// store) reuses compiled shared objects instead of re-running the host
+// compiler. Env-var based so it composes with TRIDENT_NATIVE_CACHE set
+// explicitly by the user (which wins).
+void enable_native_cache(const Args& args, const std::string& store_dir) {
+#if defined(__unix__) || defined(__APPLE__)
+  if (args.engine == interp::EngineKind::Native) {
+    setenv("TRIDENT_NATIVE_CACHE", (store_dir + "/native-cache").c_str(),
+           /*overwrite=*/0);
+  }
+#else
+  (void)args;
+  (void)store_dir;
+#endif
+}
+
 int cmd_eval(const Args& args) {
   eval::ExperimentSpec spec;
   std::string error;
@@ -701,6 +783,14 @@ int cmd_eval(const Args& args) {
   options.force = args.force;
   options.progress = !args.no_progress && obs::stderr_is_tty();
   options.metrics = &metrics();
+  options.store_dir = args.store;
+  // Offline eval keeps the flat layout unless --shards is given, so old
+  // store directories stay readable and writable in place.
+  options.store_shards = args.shards_set ? args.shards : 0;
+  options.store_upstream = args.upstream;
+  enable_native_cache(args, options.store_dir.empty()
+                                ? options.out_dir + "/store"
+                                : options.store_dir);
 
   const auto results = eval::run_spec(spec, options);
   const auto paths = eval::write_reports(results, options.out_dir);
@@ -727,6 +817,147 @@ int cmd_eval(const Args& args) {
   std::printf("\nwrote %s\n      %s\n      %s\n      %s\n",
               paths.report_md.c_str(), paths.report_csv.c_str(),
               paths.per_instruction_csv.c_str(), paths.report_json.c_str());
+  return 0;
+}
+
+int cmd_serve(const Args& args) {
+  if (!serve::serve_supported()) {
+    std::fprintf(stderr,
+                 "error: trident serve requires Unix-domain sockets, which "
+                 "this platform does not provide\n");
+    return 1;
+  }
+  serve::DaemonOptions options;
+  options.socket_path = args.socket;
+  options.store_dir = args.store.empty()
+                          ? (args.out_dir.empty() ? "serve-out" : args.out_dir)
+                                + "/store"
+                          : args.store;
+  options.store_shards = args.shards;
+  options.upstream_dir = args.upstream;
+  options.threads = args.threads;
+  options.slots = args.slots;
+  options.engine = args.engine;
+  options.metrics = &metrics();
+  enable_native_cache(args, options.store_dir);
+  serve::Daemon daemon(std::move(options));
+  daemon.serve();
+  // SIGINT/SIGTERM wound the daemon down cleanly; still report the
+  // conventional interrupted exit code (the manifest is written anyway).
+  return obs::interrupt_requested() ? 130 : 0;
+}
+
+int cmd_client(const Args& args) {
+  const std::string& op = args.target;
+  serve::Client client(args.socket);
+
+  if (op == "ping") {
+    if (!client.ping()) {
+      std::fprintf(stderr, "error: daemon did not pong\n");
+      return 1;
+    }
+    std::printf("pong (session %llu)\n",
+                static_cast<unsigned long long>(client.session_id()));
+    return 0;
+  }
+  if (op == "stats") {
+    std::fputs((client.stats().write_pretty() + "\n").c_str(), stdout);
+    return 0;
+  }
+  if (op == "shutdown") {
+    client.shutdown_server();
+    std::printf("daemon stopping\n");
+    return 0;
+  }
+  if (op == "predict") {
+    if (args.target2.empty()) {
+      std::fprintf(stderr, "error: client predict needs a workload name\n");
+      return 2;
+    }
+    const auto d = client.predict(args.target2, args.model);
+    std::printf("model: %s\n", d.get_string("model", "?").c_str());
+    std::printf("overall SDC probability: %.2f%%\n",
+                d.get_double("sdc", 0) * 100);
+    return 0;
+  }
+  if (op == "analyze") {
+    if (args.target2.empty()) {
+      std::fprintf(stderr, "error: client analyze needs a workload name\n");
+      return 2;
+    }
+    std::fputs((client.analyze(args.target2).write_pretty() + "\n").c_str(),
+               stdout);
+    return 0;
+  }
+  if (op != "eval") {
+    std::fprintf(stderr,
+                 "error: unknown client op '%s' (expected eval, predict, "
+                 "analyze, ping, stats or shutdown)\n",
+                 op.c_str());
+    return 2;
+  }
+
+  if (args.target2.empty()) {
+    std::fprintf(stderr, "error: client eval needs a spec file\n");
+    return 2;
+  }
+  std::ifstream in(args.target2);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot read spec '%s'\n",
+                 args.target2.c_str());
+    return 2;
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+
+  const bool show_progress = !args.no_progress && obs::stderr_is_tty();
+  obs::ProgressLine progress(show_progress, "serve eval");
+  const auto outcome =
+      client.eval(buf.str(), args.force, [&](uint64_t done, uint64_t total) {
+        progress.update(done, total);
+      });
+  progress.finish(outcome.cells_total, outcome.cells_total);
+
+  // Same artifact set, names and bytes as offline `trident eval` — the
+  // determinism contract is checked by cmp in tools/ci.sh.
+  const std::string out_dir = args.out_dir.empty()
+                                  ? "eval-out/" + outcome.spec_name
+                                  : args.out_dir;
+  std::error_code ec;
+  std::filesystem::create_directories(out_dir, ec);
+  if (ec) {
+    std::fprintf(stderr, "error: cannot create '%s': %s\n", out_dir.c_str(),
+                 ec.message().c_str());
+    return 1;
+  }
+  const auto write = [&](const std::string& name, const std::string& text) {
+    std::ofstream out(out_dir + "/" + name,
+                      std::ios::binary | std::ios::trunc);
+    out << text;
+    if (!out) {
+      throw std::runtime_error("cannot write '" + out_dir + "/" + name +
+                               "'");
+    }
+  };
+  write("report.csv", outcome.report_csv);
+  write("per_instruction.csv", outcome.per_instruction_csv);
+  write("report.json", outcome.report_json);
+  write("report.md", outcome.report_md);
+
+  std::printf("spec:     %s (daemon session %llu)\n",
+              outcome.spec_name.c_str(),
+              static_cast<unsigned long long>(client.session_id()));
+  std::printf("cells:    %llu total, %llu computed, %llu cached, "
+              "%llu deduped\n",
+              static_cast<unsigned long long>(outcome.cells_total),
+              static_cast<unsigned long long>(outcome.cells_computed),
+              static_cast<unsigned long long>(outcome.cells_cached),
+              static_cast<unsigned long long>(outcome.cells_deduped));
+  std::printf("FI trials executed for this request: %llu\n",
+              static_cast<unsigned long long>(outcome.fi_trials_run));
+  std::printf("wrote %s/{report.md,report.csv,per_instruction.csv,"
+              "report.json}\n",
+              out_dir.c_str());
   return 0;
 }
 
@@ -762,14 +993,24 @@ int main(int argc, char** argv) {
   Args args;
   if (!parse_args(argc - 2, argv + 2, args)) return usage();
   // Every command except fuzz (which generates its own programs when no
-  // corpus file is given) requires a target.
-  if (cmd != "fuzz" && args.target.empty()) return usage();
+  // corpus file is given) and serve (which only needs a socket)
+  // requires a target.
+  if (cmd != "fuzz" && cmd != "serve" && args.target.empty()) return usage();
+
+  // First SIGINT/SIGTERM stops cleanly (checkpoint + manifest flushed,
+  // exit 130); a second one exits immediately.
+  obs::install_interrupt_handlers();
 
   int rc;
   try {
     if (cmd == "eval") {
       // The target is a spec file, not a workload/IR module.
       rc = cmd_eval(args);
+    } else if (cmd == "serve") {
+      rc = cmd_serve(args);
+    } else if (cmd == "client") {
+      // The target is the daemon op (eval, predict, ping, ...).
+      rc = cmd_client(args);
     } else if (cmd == "fuzz") {
       rc = cmd_fuzz(args);
     } else {
@@ -784,6 +1025,13 @@ int main(int argc, char** argv) {
       else if (cmd == "protect") rc = cmd_protect(args, *m);
       else return usage();
     }
+  } catch (const obs::Interrupted& e) {
+    // SIGINT/SIGTERM mid-run: completed work is already on disk
+    // (checkpoint log, store cells); flush the manifest too so the
+    // partial run stays inspectable, then use the conventional code.
+    std::fprintf(stderr, "%s\n", e.what());
+    write_manifest(args, cmd);
+    return 130;
   } catch (const std::exception& e) {
     // Checkpoint mismatches and similar setup failures surface here
     // with an actionable message instead of a stack-unwound abort.
